@@ -1,0 +1,194 @@
+//! BRP-NAS-style GCN latency predictor (Dudziak et al. 2020; paper §2.1).
+//!
+//! A graph convolutional network over the adjacency–operation representation,
+//! trained **from scratch on the target device** — accurate, but needing two
+//! orders of magnitude more on-device samples (900 in Table 8) than few-shot
+//! transfer because no cross-device knowledge is reused.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{
+    pairwise_hinge_loss, Activation, AdamConfig, Graph, Linear, Mlp, ParamStore, Tensor, Var,
+};
+
+/// Hyperparameters for the BRP-NAS baseline.
+#[derive(Debug, Clone)]
+pub struct BrpNasConfig {
+    /// GCN hidden width.
+    pub hidden: usize,
+    /// Number of GCN layers.
+    pub layers: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Init/shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for BrpNasConfig {
+    fn default() -> Self {
+        BrpNasConfig { hidden: 64, layers: 3, epochs: 60, lr: 2e-3, batch: 16, seed: 0 }
+    }
+}
+
+impl BrpNasConfig {
+    /// Reduced-budget profile for CPU-only runs.
+    pub fn quick() -> Self {
+        BrpNasConfig { hidden: 24, layers: 2, epochs: 20, ..Self::default() }
+    }
+}
+
+/// The from-scratch GCN predictor.
+#[derive(Debug)]
+pub struct BrpNas {
+    space: Space,
+    cfg: BrpNasConfig,
+    store: ParamStore,
+    embed: Linear,
+    gcn: Vec<Linear>,
+    head: Mlp,
+    trained: bool,
+}
+
+impl BrpNas {
+    /// Builds an untrained predictor for `space`.
+    pub fn new(space: Space, cfg: BrpNasConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let embed = Linear::new(&mut store, "brp.embed", space.vocab_size(), cfg.hidden, &mut rng);
+        let gcn = (0..cfg.layers)
+            .map(|i| Linear::new(&mut store, &format!("brp.gcn{i}"), cfg.hidden, cfg.hidden, &mut rng))
+            .collect();
+        let head = Mlp::new(
+            &mut store,
+            "brp.head",
+            &[cfg.hidden, cfg.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        BrpNas { space, cfg, store, embed, gcn, head, trained: false }
+    }
+
+    /// Whether [`BrpNas::train`] has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    fn forward(&self, g: &mut Graph, arch: &Arch) -> Var {
+        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        let graph = arch.to_graph();
+        let n = graph.num_nodes();
+        let vocab = self.space.vocab_size();
+        let mut onehot = Tensor::zeros(n, vocab);
+        for (i, &op) in graph.ops().iter().enumerate() {
+            onehot.set(i, op, 1.0);
+        }
+        let x = g.constant(onehot);
+        let prop = g.constant(Tensor::from_vec(n, n, graph.propagation_matrix()));
+        let mut h = self.embed.forward(g, &self.store, x);
+        h = g.relu(h);
+        for layer in &self.gcn {
+            let hw = layer.forward(g, &self.store, h);
+            let agg = g.matmul(prop, hw);
+            h = g.relu(agg);
+        }
+        let readout = g.slice_rows(h, n - 1, 1);
+        self.head.forward(g, &self.store, readout)
+    }
+
+    /// Trains from scratch on `(pool index, latency)` samples of one device
+    /// with the pairwise ranking loss.
+    pub fn train(&mut self, pool: &[Arch], samples: &[(usize, f32)]) {
+        let adam = AdamConfig::default().with_lr(self.cfg.lr);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xB4B);
+        // rank targets: log-latency (monotone transform only)
+        let data: Vec<(usize, f32)> = samples.iter().map(|&(i, l)| (i, l.ln())).collect();
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.cfg.batch) {
+                self.store.zero_grads();
+                let mut g = Graph::new();
+                let mut scores = Vec::with_capacity(chunk.len());
+                let mut targets = Vec::with_capacity(chunk.len());
+                for &s in chunk {
+                    let (idx, t) = data[s];
+                    scores.push(self.forward(&mut g, &pool[idx]));
+                    targets.push(t);
+                }
+                let Some(loss) = pairwise_hinge_loss(&mut g, &scores, &targets, 0.1) else {
+                    continue;
+                };
+                g.backward(loss);
+                g.write_grads(&mut self.store);
+                self.store.clip_grad_norm(5.0);
+                self.store.adam_step(&adam);
+            }
+        }
+        self.trained = true;
+    }
+
+    /// Predicts the latency score of one architecture.
+    pub fn predict(&self, arch: &Arch) -> f32 {
+        let mut g = Graph::new();
+        let y = self.forward(&mut g, arch);
+        g.value(y).item()
+    }
+
+    /// Scores pool architectures by index.
+    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
+        indices.iter().map(|&i| self.predict(&pool[i])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::{measure_all, DeviceRegistry};
+    use nasflat_metrics::spearman_rho;
+
+    #[test]
+    fn trains_to_rank_a_device_with_many_samples() {
+        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 127)).collect();
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("fpga").unwrap();
+        let lats = measure_all(dev, &pool);
+        let train: Vec<(usize, f32)> = (0..90).map(|i| (i, lats[i])).collect();
+        let mut cfg = BrpNasConfig::quick();
+        cfg.epochs = 25;
+        let mut brp = BrpNas::new(Space::Nb201, cfg);
+        brp.train(&pool, &train);
+        assert!(brp.is_trained());
+        let eval_idx: Vec<usize> = (90..120).collect();
+        let preds = brp.score_indices(&pool, &eval_idx);
+        let truth: Vec<f32> = eval_idx.iter().map(|&i| lats[i]).collect();
+        let rho = spearman_rho(&preds, &truth).unwrap();
+        assert!(rho > 0.5, "BRP-NAS with 90 samples should rank decently, got {rho}");
+    }
+
+    #[test]
+    fn untrained_predictor_is_weak() {
+        let pool: Vec<Arch> = (0..60u64).map(|i| Arch::nb201_from_index(i * 260)).collect();
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("fpga").unwrap();
+        let lats = measure_all(dev, &pool);
+        let brp = BrpNas::new(Space::Nb201, BrpNasConfig::quick());
+        let preds = brp.score_indices(&pool, &(0..60).collect::<Vec<_>>());
+        let rho = spearman_rho(&preds, &lats).unwrap_or(0.0).abs();
+        assert!(rho < 0.6, "untrained GCN should not rank well, got {rho}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = BrpNas::new(Space::Nb201, BrpNasConfig::quick());
+        let b = BrpNas::new(Space::Nb201, BrpNasConfig::quick());
+        let arch = Arch::nb201_from_index(42);
+        assert_eq!(a.predict(&arch), b.predict(&arch));
+    }
+}

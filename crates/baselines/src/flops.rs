@@ -1,0 +1,80 @@
+//! FLOPs / parameter-count proxies — the earliest latency "predictors"
+//! (Yu et al. 2020; paper §2.1 motivates why they are insufficient).
+
+use nasflat_space::Arch;
+
+/// Scores architectures by analytic FLOPs (no training, no measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlopsProxy;
+
+impl FlopsProxy {
+    /// Creates the proxy.
+    pub fn new() -> Self {
+        FlopsProxy
+    }
+
+    /// FLOPs of one architecture.
+    pub fn score(&self, arch: &Arch) -> f32 {
+        arch.cost_profile().total_flops as f32
+    }
+
+    /// FLOPs of pool architectures by index.
+    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
+        indices.iter().map(|&i| self.score(&pool[i])).collect()
+    }
+}
+
+/// Scores architectures by parameter count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParamsProxy;
+
+impl ParamsProxy {
+    /// Creates the proxy.
+    pub fn new() -> Self {
+        ParamsProxy
+    }
+
+    /// Parameter count of one architecture.
+    pub fn score(&self, arch: &Arch) -> f32 {
+        arch.cost_profile().total_params as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_metrics::spearman_rho;
+    use nasflat_space::Space;
+
+    #[test]
+    fn flops_ranks_conv_above_skip() {
+        let p = FlopsProxy::new();
+        let conv = Arch::new(Space::Nb201, vec![3; 6]);
+        let skip = Arch::new(Space::Nb201, vec![1; 6]);
+        assert!(p.score(&conv) > p.score(&skip));
+    }
+
+    #[test]
+    fn flops_correlates_with_compute_bound_device_but_not_perfectly() {
+        use nasflat_hw::{measure_all, DeviceRegistry};
+        let pool: Vec<Arch> = (0..150u64).map(|i| Arch::nb201_from_index(i * 104)).collect();
+        let reg = DeviceRegistry::nb201();
+        let raspi = measure_all(reg.get("raspi4").unwrap(), &pool);
+        let flops: Vec<f32> = pool.iter().map(|a| FlopsProxy::new().score(a)).collect();
+        let rho = spearman_rho(&flops, &raspi).unwrap();
+        assert!(rho > 0.7, "flops should track a compute-bound eCPU, got {rho}");
+        // but on a batch-1 GPU the overhead term dominates and flops is weaker
+        let gpu = measure_all(reg.get("1080ti_1").unwrap(), &pool);
+        let rho_gpu = spearman_rho(&flops, &gpu).unwrap();
+        assert!(rho_gpu < rho, "flops proxy should degrade on batch-1 GPU");
+    }
+
+    #[test]
+    fn params_proxy_scores() {
+        let p = ParamsProxy::new();
+        let conv = Arch::new(Space::Nb201, vec![3; 6]);
+        let pool_op = Arch::new(Space::Nb201, vec![4; 6]);
+        assert!(p.score(&conv) > p.score(&pool_op));
+        assert_eq!(p.score(&pool_op), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! HELP: hardware-adaptive latency prediction via meta-learning
+//! (Lee et al. 2021b; the paper's main comparison point in Table 7).
+//!
+//! HELP trains an MLP over the flattened adjacency–operation encoding plus a
+//! *hardware descriptor* — the latencies of a fixed set of reference
+//! architectures on the device — with episodic meta-learning across source
+//! devices, then adapts to the target with a few gradient steps. The
+//! original uses second-order MAML machinery; this reproduction uses the
+//! standard first-order approximation (Reptile-style interpolation), which
+//! preserves the "meta-learned init, few-shot adapt" behaviour and its
+//! brittleness on low-correlation device sets (DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{
+    pairwise_hinge_loss, Activation, AdamConfig, Graph, Mlp, ParamStore, Tensor,
+};
+
+/// Hyperparameters for the HELP baseline.
+#[derive(Debug, Clone)]
+pub struct HelpConfig {
+    /// Number of reference architectures forming the hardware descriptor.
+    pub num_anchors: usize,
+    /// MLP hidden width.
+    pub hidden: usize,
+    /// Meta-training episodes (each episode = one source device).
+    pub meta_epochs: usize,
+    /// Inner-loop gradient steps per episode.
+    pub inner_steps: usize,
+    /// Inner-loop learning rate.
+    pub inner_lr: f32,
+    /// Outer (Reptile interpolation) rate.
+    pub meta_lr: f32,
+    /// Adaptation epochs on the target device.
+    pub adapt_epochs: usize,
+    /// Adaptation learning rate.
+    pub adapt_lr: f32,
+    /// Samples drawn per source device for meta-training.
+    pub samples_per_device: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HelpConfig {
+    fn default() -> Self {
+        HelpConfig {
+            num_anchors: 10,
+            hidden: 96,
+            meta_epochs: 40,
+            inner_steps: 4,
+            inner_lr: 1e-2,
+            meta_lr: 0.25,
+            adapt_epochs: 40,
+            adapt_lr: 3e-3,
+            samples_per_device: 128,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl HelpConfig {
+    /// Reduced-budget profile for CPU-only runs.
+    pub fn quick() -> Self {
+        HelpConfig {
+            hidden: 32,
+            meta_epochs: 12,
+            adapt_epochs: 15,
+            samples_per_device: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// The HELP meta-learned predictor.
+#[derive(Debug)]
+pub struct Help {
+    space: Space,
+    cfg: HelpConfig,
+    store: ParamStore,
+    mlp: Mlp,
+    /// Pool indices of the descriptor's reference architectures.
+    anchors: Vec<usize>,
+    /// Descriptor of the device currently adapted to.
+    current_descriptor: Option<Vec<f32>>,
+}
+
+/// z-scored log-latency descriptor from anchor latencies.
+fn descriptor_from(lat: &[f32]) -> Vec<f32> {
+    let logs: Vec<f32> = lat.iter().map(|&l| l.max(1e-6).ln()).collect();
+    let mean = logs.iter().sum::<f32>() / logs.len() as f32;
+    let var = logs.iter().map(|&l| (l - mean) * (l - mean)).sum::<f32>() / logs.len() as f32;
+    let std = var.sqrt().max(1e-6);
+    logs.iter().map(|&l| (l - mean) / std).collect()
+}
+
+impl Help {
+    /// Builds the predictor for a pool of `pool_len` architectures; anchors
+    /// are a deterministic stride over the pool.
+    pub fn new(space: Space, pool_len: usize, cfg: HelpConfig) -> Self {
+        assert!(cfg.num_anchors >= 2, "descriptor needs at least two anchors");
+        assert!(pool_len >= cfg.num_anchors, "pool smaller than anchor count");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let adjop_dim = {
+            let n = space.graph_nodes();
+            n * n + n * space.vocab_size()
+        };
+        let in_dim = adjop_dim + cfg.num_anchors;
+        let mlp = Mlp::new(
+            &mut store,
+            "help.mlp",
+            &[in_dim, cfg.hidden, cfg.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        let stride = (pool_len / cfg.num_anchors).max(1);
+        let anchors = (0..cfg.num_anchors).map(|i| (i * stride) % pool_len).collect();
+        Help { space, cfg, store, mlp, anchors, current_descriptor: None }
+    }
+
+    /// Pool indices of the reference architectures; measuring these on the
+    /// target device is part of HELP's transfer budget.
+    pub fn anchors(&self) -> &[usize] {
+        &self.anchors
+    }
+
+    /// The search space this predictor encodes.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    fn loss_step(
+        &mut self,
+        pool: &[Arch],
+        descriptor: &[f32],
+        batch: &[(usize, f32)],
+        lr: f32,
+        sgd: bool,
+    ) {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let mut scores = Vec::with_capacity(batch.len());
+        let mut targets = Vec::with_capacity(batch.len());
+        for &(idx, t) in batch {
+            let mut feat = pool[idx].adjop_encoding();
+            feat.extend_from_slice(descriptor);
+            let x = g.constant(Tensor::row_vector(feat));
+            scores.push(self.mlp.forward(&mut g, &self.store, x));
+            targets.push(t);
+        }
+        let Some(loss) = pairwise_hinge_loss(&mut g, &scores, &targets, 0.1) else {
+            return;
+        };
+        g.backward(loss);
+        g.write_grads(&mut self.store);
+        self.store.clip_grad_norm(5.0);
+        if sgd {
+            self.store.sgd_step(lr);
+        } else {
+            self.store.adam_step(&AdamConfig::default().with_lr(lr));
+        }
+    }
+
+    /// Meta-trains across source devices. Each source is given as
+    /// `(device name, latencies over the whole pool)`.
+    ///
+    /// # Panics
+    /// Panics if any latency row does not cover the pool.
+    pub fn meta_train(&mut self, pool: &[Arch], sources: &[(String, Vec<f32>)]) {
+        let cfg = self.cfg.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E1F);
+        for row in sources {
+            assert_eq!(row.1.len(), pool.len(), "source row must cover the pool");
+        }
+        // Per-source training samples: strided subsets of the pool.
+        let stride = (pool.len() / cfg.samples_per_device.max(1)).max(1);
+        for ep in 0..cfg.meta_epochs {
+            let mut order: Vec<usize> = (0..sources.len()).collect();
+            order.shuffle(&mut rng);
+            for &s in &order {
+                let (_, lat) = &sources[s];
+                let anchor_lat: Vec<f32> = self.anchors.iter().map(|&i| lat[i]).collect();
+                let descriptor = descriptor_from(&anchor_lat);
+                let mut samples: Vec<(usize, f32)> = (0..cfg.samples_per_device)
+                    .map(|i| {
+                        let idx = ((i + ep + s * 7) * stride) % pool.len();
+                        (idx, lat[idx].ln())
+                    })
+                    .collect();
+                samples.shuffle(&mut rng);
+                // First-order episode: inner SGD steps, then Reptile
+                // interpolation toward the adapted parameters.
+                let start = self.store.snapshot();
+                for step in 0..cfg.inner_steps {
+                    let lo = (step * cfg.batch) % samples.len().max(1);
+                    let hi = (lo + cfg.batch).min(samples.len());
+                    let batch: Vec<(usize, f32)> = samples[lo..hi].to_vec();
+                    self.loss_step(pool, &descriptor, &batch, cfg.inner_lr, true);
+                }
+                let adapted = self.store.snapshot();
+                self.store.restore(&start);
+                self.store.lerp_toward(&adapted, cfg.meta_lr);
+            }
+        }
+    }
+
+    /// Adapts to a target device: sets the descriptor from the target's
+    /// anchor latencies and fine-tunes on the transfer samples.
+    ///
+    /// `anchor_latencies` must align with [`Help::anchors`]; both the anchors
+    /// and `samples` count toward HELP's on-device budget.
+    pub fn adapt(
+        &mut self,
+        pool: &[Arch],
+        anchor_latencies: &[f32],
+        samples: &[(usize, f32)],
+    ) {
+        assert_eq!(anchor_latencies.len(), self.anchors.len(), "anchor count mismatch");
+        let descriptor = descriptor_from(anchor_latencies);
+        let cfg = self.cfg.clone();
+        self.store.reset_optimizer_state();
+        let data: Vec<(usize, f32)> = samples.iter().map(|&(i, l)| (i, l.ln())).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xADA7);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..cfg.adapt_epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch) {
+                let batch: Vec<(usize, f32)> = chunk.iter().map(|&i| data[i]).collect();
+                self.loss_step(pool, &descriptor, &batch, cfg.adapt_lr, false);
+            }
+        }
+        self.current_descriptor = Some(descriptor);
+    }
+
+    /// Predicts the latency score of a pool architecture on the adapted
+    /// device.
+    ///
+    /// # Panics
+    /// Panics if called before [`Help::adapt`].
+    pub fn predict(&self, pool: &[Arch], idx: usize) -> f32 {
+        self.predict_arch(&pool[idx])
+    }
+
+    /// Predicts the latency score of any architecture (not necessarily in
+    /// the pool) on the adapted device.
+    ///
+    /// # Panics
+    /// Panics if called before [`Help::adapt`].
+    pub fn predict_arch(&self, arch: &Arch) -> f32 {
+        let descriptor = self
+            .current_descriptor
+            .as_ref()
+            .expect("call adapt() before predicting");
+        let mut feat = arch.adjop_encoding();
+        feat.extend_from_slice(descriptor);
+        let mut g = Graph::new();
+        let x = g.constant(Tensor::row_vector(feat));
+        let y = self.mlp.forward(&mut g, &self.store, x);
+        g.value(y).item()
+    }
+
+    /// Scores pool architectures by index.
+    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
+        indices.iter().map(|&i| self.predict(pool, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::{measure_all, DeviceRegistry};
+    use nasflat_metrics::spearman_rho;
+
+    fn pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index(i * 157 % 15625)).collect()
+    }
+
+    #[test]
+    fn meta_learned_help_adapts_to_correlated_target() {
+        let pool = pool(100);
+        let reg = DeviceRegistry::nb201();
+        let sources: Vec<(String, Vec<f32>)> = ["samsung_a50", "pixel3", "silver_4114"]
+            .iter()
+            .map(|n| (n.to_string(), measure_all(reg.get(n).unwrap(), &pool)))
+            .collect();
+        let mut help = Help::new(Space::Nb201, pool.len(), HelpConfig::quick());
+        help.meta_train(&pool, &sources);
+        // target: pixel2 (same family as sources)
+        let target = measure_all(reg.get("pixel2").unwrap(), &pool);
+        let anchor_lat: Vec<f32> = help.anchors().iter().map(|&i| target[i]).collect();
+        let samples: Vec<(usize, f32)> = (0..20).map(|i| (i * 3 + 1, target[i * 3 + 1])).collect();
+        help.adapt(&pool, &anchor_lat, &samples);
+        let eval_idx: Vec<usize> = (60..100).collect();
+        let preds = help.score_indices(&pool, &eval_idx);
+        let truth: Vec<f32> = eval_idx.iter().map(|&i| target[i]).collect();
+        let rho = spearman_rho(&preds, &truth).unwrap();
+        assert!(rho > 0.4, "HELP should adapt to a correlated target, got {rho}");
+    }
+
+    #[test]
+    #[should_panic(expected = "call adapt()")]
+    fn predicting_before_adapt_panics() {
+        let pool = pool(20);
+        let help = Help::new(Space::Nb201, pool.len(), HelpConfig::quick());
+        let _ = help.predict(&pool, 0);
+    }
+
+    #[test]
+    fn anchors_are_deterministic_and_distinct() {
+        let help = Help::new(Space::Nb201, 100, HelpConfig::quick());
+        let a = help.anchors().to_vec();
+        let help2 = Help::new(Space::Nb201, 100, HelpConfig::quick());
+        assert_eq!(a, help2.anchors());
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), a.len());
+    }
+
+    #[test]
+    fn descriptor_is_zscored() {
+        let d = descriptor_from(&[1.0, 2.0, 4.0, 8.0]);
+        let mean: f32 = d.iter().sum::<f32>() / d.len() as f32;
+        assert!(mean.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Layer-wise look-up-table latency predictor (Cai et al., ProxylessNAS;
+//! paper §2.1 and Table 8's "Layer-wise Pred." rows).
+//!
+//! The method profiles each operation choice at each network position on the
+//! target device and predicts whole-network latency as the sum of per-op
+//! entries. It captures per-op cost but misses pipelining, fusion, and
+//! branch parallelism — which is exactly why the paper's end-to-end
+//! predictors beat it.
+
+use nasflat_hw::{latency_ms, Device};
+use nasflat_space::{Arch, Space};
+
+/// A per-(position, op) latency look-up table for one device.
+#[derive(Debug, Clone)]
+pub struct LayerwiseLut {
+    space: Space,
+    /// `lut[pos][op]` = marginal latency of placing `op` at `pos` (ms).
+    lut: Vec<Vec<f32>>,
+    /// Latency of the all-filler network (stem + overhead floor).
+    base: f32,
+    /// Number of on-device measurements spent building the table.
+    measurements: usize,
+}
+
+/// The cheapest op id per space, used as the "empty" filler when profiling
+/// one position at a time (`none` for NB201, `skip` for FBNet).
+fn filler_op(space: Space) -> u8 {
+    match space {
+        Space::Nb201 => 0,
+        Space::Fbnet => 8,
+    }
+}
+
+impl LayerwiseLut {
+    /// Profiles `device` by measuring, for every position and op choice, a
+    /// probe network with that single op placed in an otherwise-empty
+    /// skeleton. Costs `positions × ops + 1` measurements (NB201: 31,
+    /// FBNet: 199) — cheap per entry but far more network evaluations than
+    /// few-shot transfer.
+    pub fn profile(space: Space, device: &Device) -> Self {
+        let filler = filler_op(space);
+        let positions = space.genotype_len();
+        let num_ops = space.num_ops();
+        let empty = Arch::new(space, vec![filler; positions]);
+        let base = latency_ms(device, &empty) as f32;
+        let mut measurements = 1;
+        let mut lut = vec![vec![0.0f32; num_ops]; positions];
+        for (pos, row) in lut.iter_mut().enumerate() {
+            for (op, slot) in row.iter_mut().enumerate() {
+                if op as u8 == filler {
+                    continue; // marginal cost of the filler is zero by definition
+                }
+                let mut geno = vec![filler; positions];
+                geno[pos] = op as u8;
+                let probe = Arch::new(space, geno);
+                *slot = (latency_ms(device, &probe) as f32 - base).max(0.0);
+                measurements += 1;
+            }
+        }
+        LayerwiseLut { space, lut, base, measurements }
+    }
+
+    /// Predicted latency: base + sum of per-position entries.
+    ///
+    /// # Panics
+    /// Panics if `arch` belongs to a different space.
+    pub fn predict(&self, arch: &Arch) -> f32 {
+        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        let mut total = self.base;
+        for (pos, &op) in arch.genotype().iter().enumerate() {
+            total += self.lut[pos][op as usize];
+        }
+        total
+    }
+
+    /// Scores for pool architectures by index.
+    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
+        indices.iter().map(|&i| self.predict(&pool[i])).collect()
+    }
+
+    /// On-device measurements consumed building the table.
+    pub fn measurements(&self) -> usize {
+        self.measurements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::DeviceRegistry;
+    use nasflat_metrics::spearman_rho;
+
+    #[test]
+    fn lut_predicts_additively() {
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("raspi4").unwrap();
+        let lut = LayerwiseLut::profile(Space::Nb201, dev);
+        // adding one conv3x3 raises the prediction by its LUT entry
+        let empty = Arch::new(Space::Nb201, vec![0; 6]);
+        let mut geno = vec![0u8; 6];
+        geno[2] = 3;
+        let one = Arch::new(Space::Nb201, geno);
+        let d = lut.predict(&one) - lut.predict(&empty);
+        assert!((d - lut.lut[2][3]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lut_tracks_simple_device_reasonably() {
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("raspi4").unwrap();
+        let lut = LayerwiseLut::profile(Space::Nb201, dev);
+        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 130)).collect();
+        let preds: Vec<f32> = pool.iter().map(|a| lut.predict(a)).collect();
+        let truth = nasflat_hw::measure_all(dev, &pool);
+        let rho = spearman_rho(&preds, &truth).unwrap();
+        assert!(rho > 0.8, "serial eCPU should be near-additive, got {rho}");
+    }
+
+    #[test]
+    fn lut_degrades_on_parallel_hardware() {
+        // Branch parallelism and fusion break additivity — the paper's
+        // argument against layer-wise prediction.
+        let reg = DeviceRegistry::nb201();
+        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 111 + 7)).collect();
+        let rho_of = |name: &str| {
+            let dev = reg.get(name).unwrap();
+            let lut = LayerwiseLut::profile(Space::Nb201, dev);
+            let preds: Vec<f32> = pool.iter().map(|a| lut.predict(a)).collect();
+            let truth = nasflat_hw::measure_all(dev, &pool);
+            spearman_rho(&preds, &truth).unwrap()
+        };
+        let serial = rho_of("raspi4");
+        let parallel = rho_of("1080ti_256");
+        assert!(
+            parallel < serial,
+            "LUT should be worse on parallel GPU ({parallel}) than serial eCPU ({serial})"
+        );
+    }
+
+    #[test]
+    fn measurement_budget_matches_formula() {
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("fpga").unwrap();
+        let lut = LayerwiseLut::profile(Space::Nb201, dev);
+        // 6 positions x 4 non-filler ops + 1 base
+        assert_eq!(lut.measurements(), 6 * 4 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different space")]
+    fn space_mismatch_panics() {
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("fpga").unwrap();
+        let lut = LayerwiseLut::profile(Space::Nb201, dev);
+        let _ = lut.predict(&Arch::new(Space::Fbnet, vec![0; 22]));
+    }
+}

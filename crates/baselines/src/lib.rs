@@ -1,0 +1,27 @@
+//! `nasflat-baselines`: the latency predictors NASFLAT is compared against
+//! (paper §2.1, Tables 7–8).
+//!
+//! | Baseline | Strategy | On-device samples (paper) |
+//! |---|---|---|
+//! | [`FlopsProxy`] / [`ParamsProxy`] | analytic proxy | 0 |
+//! | [`LayerwiseLut`] | per-op profiling + summation | ~10²–10³ probes |
+//! | [`BrpNas`] | GCN trained from scratch on target | 900 |
+//! | [`Help`] | meta-learned MLP + few-shot adaptation | 20 |
+//! | [`MultiPredict`] | unified encoding + learnable hw embedding | 20 |
+//!
+//! Each exposes `score_indices`, so the benchmark harness can evaluate every
+//! method with the same Spearman protocol.
+
+#![warn(missing_docs)]
+
+mod brpnas;
+mod flops;
+mod help;
+mod layerwise;
+mod multipredict;
+
+pub use brpnas::{BrpNas, BrpNasConfig};
+pub use flops::{FlopsProxy, ParamsProxy};
+pub use help::{Help, HelpConfig};
+pub use layerwise::LayerwiseLut;
+pub use multipredict::{MultiPredict, MultiPredictConfig};

@@ -1,0 +1,275 @@
+//! MultiPredict: few-shot predictors over unified encodings
+//! (Akhauri & Abdelfattah 2023; paper §2.1 and Table 7).
+//!
+//! MultiPredict replaces the graph input with a search-space-agnostic vector
+//! encoding (zero-cost proxies here) plus a **learnable hardware embedding**
+//! per device; pre-training runs over all source devices jointly, and
+//! transfer fine-tunes with a re-initialized learning rate — no second-order
+//! meta-learning. NASFLAT extends exactly this hardware-embedding idea to be
+//! operation-specific.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_encode::zcp_features;
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{
+    pairwise_hinge_loss, Activation, AdamConfig, Embedding, Graph, Mlp, ParamStore, Tensor,
+};
+
+/// Hyperparameters for the MultiPredict baseline.
+#[derive(Debug, Clone)]
+pub struct MultiPredictConfig {
+    /// Learnable hardware-embedding width.
+    pub hw_dim: usize,
+    /// MLP hidden width.
+    pub hidden: usize,
+    /// Pre-training epochs.
+    pub epochs: usize,
+    /// Pre-training learning rate.
+    pub lr: f32,
+    /// Transfer epochs.
+    pub transfer_epochs: usize,
+    /// Transfer learning rate.
+    pub transfer_lr: f32,
+    /// Samples per source device.
+    pub samples_per_device: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MultiPredictConfig {
+    fn default() -> Self {
+        MultiPredictConfig {
+            hw_dim: 16,
+            hidden: 96,
+            epochs: 60,
+            lr: 2e-3,
+            transfer_epochs: 40,
+            transfer_lr: 3e-3,
+            samples_per_device: 128,
+            batch: 16,
+            seed: 0,
+        }
+    }
+}
+
+impl MultiPredictConfig {
+    /// Reduced-budget profile for CPU-only runs.
+    pub fn quick() -> Self {
+        MultiPredictConfig {
+            hidden: 32,
+            epochs: 15,
+            transfer_epochs: 15,
+            samples_per_device: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// The MultiPredict MLP with learnable hardware embeddings.
+#[derive(Debug)]
+pub struct MultiPredict {
+    cfg: MultiPredictConfig,
+    store: ParamStore,
+    hw_emb: Embedding,
+    mlp: Mlp,
+    devices: Vec<String>,
+    /// Cached normalized ZCP encodings of the pool.
+    encodings: Vec<Vec<f32>>,
+}
+
+impl MultiPredict {
+    /// Builds the predictor. `devices` lists source devices first, then
+    /// target devices (index = embedding row). Encodings are computed over
+    /// `pool` once and z-scored.
+    pub fn new(_space: Space, pool: &[Arch], devices: Vec<String>, cfg: MultiPredictConfig) -> Self {
+        assert!(!devices.is_empty(), "needs at least one device");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let mut encodings: Vec<Vec<f32>> = pool.iter().map(zcp_features).collect();
+        nasflat_encode::zscore_pool(&mut encodings);
+        let in_dim = encodings[0].len() + cfg.hw_dim;
+        let hw_emb = Embedding::new(&mut store, "mp.hw", devices.len(), cfg.hw_dim, &mut rng);
+        let mlp = Mlp::new(
+            &mut store,
+            "mp.mlp",
+            &[in_dim, cfg.hidden, cfg.hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        MultiPredict { cfg, store, hw_emb, mlp, devices, encodings }
+    }
+
+    /// Index of a device name.
+    pub fn device_index(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d == name)
+    }
+
+    fn step(&mut self, device: usize, batch: &[(usize, f32)], lr: f32) {
+        self.store.zero_grads();
+        let mut g = Graph::new();
+        let mut scores = Vec::with_capacity(batch.len());
+        let mut targets = Vec::with_capacity(batch.len());
+        for &(idx, t) in batch {
+            let hw = self.hw_emb.forward(&mut g, &self.store, &[device]);
+            let feat = g.constant(Tensor::row_vector(self.encodings[idx].clone()));
+            let x = g.concat_cols(feat, hw);
+            scores.push(self.mlp.forward(&mut g, &self.store, x));
+            targets.push(t);
+        }
+        let Some(loss) = pairwise_hinge_loss(&mut g, &scores, &targets, 0.1) else {
+            return;
+        };
+        g.backward(loss);
+        g.write_grads(&mut self.store);
+        self.store.clip_grad_norm(5.0);
+        self.store.adam_step(&AdamConfig::default().with_lr(lr));
+    }
+
+    /// Pre-trains jointly over source devices given `(device index, pool
+    /// latencies)` rows.
+    pub fn pretrain(&mut self, sources: &[(usize, Vec<f32>)]) {
+        let cfg = self.cfg.clone();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x3117);
+        let pool_len = self.encodings.len();
+        let stride = (pool_len / cfg.samples_per_device.max(1)).max(1);
+        for _ in 0..cfg.epochs {
+            let mut order: Vec<usize> = (0..sources.len()).collect();
+            order.shuffle(&mut rng);
+            for &s in &order {
+                let (device, lat) = &sources[s];
+                let mut samples: Vec<(usize, f32)> = (0..cfg.samples_per_device)
+                    .map(|i| {
+                        let idx = ((i + s * 11) * stride) % pool_len;
+                        (idx, lat[idx].ln())
+                    })
+                    .collect();
+                samples.shuffle(&mut rng);
+                for chunk in samples.chunks(cfg.batch) {
+                    self.step(*device, chunk, cfg.lr);
+                }
+            }
+        }
+    }
+
+    /// Fine-tunes on the target device's few samples with a re-initialized
+    /// learning schedule, after seeding its hardware embedding with the mean
+    /// of the source embeddings.
+    pub fn transfer(&mut self, target_device: usize, source_devices: &[usize], samples: &[(usize, f32)]) {
+        // mean-of-sources initialization for the unseen device
+        if !source_devices.is_empty() {
+            let table = self.hw_emb.table_id();
+            let dim = self.cfg.hw_dim;
+            let mut mean = vec![0.0f32; dim];
+            for &s in source_devices {
+                for (m, &v) in mean.iter_mut().zip(self.store.value(table).row(s)) {
+                    *m += v / source_devices.len() as f32;
+                }
+            }
+            self.store.value_mut(table).row_mut(target_device).copy_from_slice(&mean);
+        }
+        self.store.reset_optimizer_state();
+        let cfg = self.cfg.clone();
+        let data: Vec<(usize, f32)> = samples.iter().map(|&(i, l)| (i, l.ln())).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7345);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..cfg.transfer_epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch) {
+                let batch: Vec<(usize, f32)> = chunk.iter().map(|&i| data[i]).collect();
+                self.step(target_device, &batch, cfg.transfer_lr);
+            }
+        }
+    }
+
+    /// Predicts the latency score of a pool architecture on a device.
+    pub fn predict(&self, idx: usize, device: usize) -> f32 {
+        let mut g = Graph::new();
+        let hw = self.hw_emb.forward(&mut g, &self.store, &[device]);
+        let feat = g.constant(Tensor::row_vector(self.encodings[idx].clone()));
+        let x = g.concat_cols(feat, hw);
+        let y = self.mlp.forward(&mut g, &self.store, x);
+        g.value(y).item()
+    }
+
+    /// Scores pool architectures by index on a device.
+    pub fn score_indices(&self, indices: &[usize], device: usize) -> Vec<f32> {
+        indices.iter().map(|&i| self.predict(i, device)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::{measure_all, DeviceRegistry};
+    use nasflat_metrics::spearman_rho;
+
+    fn pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index(i * 97 % 15625)).collect()
+    }
+
+    #[test]
+    fn pretrain_transfer_ranks_correlated_target() {
+        let pool = pool(100);
+        let reg = DeviceRegistry::nb201();
+        let devices: Vec<String> =
+            ["samsung_a50", "pixel3", "silver_4114", "pixel2"].map(String::from).to_vec();
+        let rows: Vec<(usize, Vec<f32>)> = devices[..3]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, measure_all(reg.get(n).unwrap(), &pool)))
+            .collect();
+        let mut mp = MultiPredict::new(Space::Nb201, &pool, devices, MultiPredictConfig::quick());
+        mp.pretrain(&rows);
+        let target = measure_all(reg.get("pixel2").unwrap(), &pool);
+        let samples: Vec<(usize, f32)> = (0..20).map(|i| (i * 4 + 2, target[i * 4 + 2])).collect();
+        mp.transfer(3, &[0, 1, 2], &samples);
+        let eval_idx: Vec<usize> = (50..100).collect();
+        let preds = mp.score_indices(&eval_idx, 3);
+        let truth: Vec<f32> = eval_idx.iter().map(|&i| target[i]).collect();
+        let rho = spearman_rho(&preds, &truth).unwrap();
+        assert!(rho > 0.4, "MultiPredict should transfer to pixel2, got {rho}");
+    }
+
+    #[test]
+    fn device_lookup() {
+        let pool = pool(10);
+        let mp = MultiPredict::new(
+            Space::Nb201,
+            &pool,
+            vec!["a".into(), "b".into()],
+            MultiPredictConfig::quick(),
+        );
+        assert_eq!(mp.device_index("b"), Some(1));
+        assert_eq!(mp.device_index("zzz"), None);
+    }
+
+    #[test]
+    fn transfer_seeds_embedding_with_source_mean() {
+        let pool = pool(30);
+        let mut mp = MultiPredict::new(
+            Space::Nb201,
+            &pool,
+            vec!["a".into(), "b".into(), "t".into()],
+            MultiPredictConfig::quick(),
+        );
+        let before = {
+            let mut g = Graph::new();
+            let hw = mp.hw_emb.forward(&mut g, &mp.store, &[2]);
+            g.value(hw).row(0).to_vec()
+        };
+        // zero transfer epochs isolates the seeding step
+        mp.cfg.transfer_epochs = 0;
+        mp.transfer(2, &[0, 1], &[(0, 1.0), (1, 2.0)]);
+        let after = {
+            let mut g = Graph::new();
+            let hw = mp.hw_emb.forward(&mut g, &mp.store, &[2]);
+            g.value(hw).row(0).to_vec()
+        };
+        assert_ne!(before, after, "target embedding should be re-seeded");
+    }
+}

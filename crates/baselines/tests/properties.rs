@@ -1,0 +1,68 @@
+//! Property-based tests on the baseline predictors: proxy monotonicity,
+//! LUT additivity, and numerical robustness of the learned baselines.
+
+use proptest::prelude::*;
+
+use nasflat_baselines::{BrpNas, BrpNasConfig, FlopsProxy, LayerwiseLut, ParamsProxy};
+use nasflat_hw::{Device, DeviceClass, Precision};
+use nasflat_space::{Arch, Space};
+
+fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flops_proxy_monotone_under_upgrades(geno in nb201_genotype(), slot in 0usize..6) {
+        let p = FlopsProxy::new();
+        let mut lo = geno.clone();
+        lo[slot] = 0; // none
+        let mut hi = geno;
+        hi[slot] = 3; // conv3x3
+        prop_assert!(
+            p.score(&Arch::new(Space::Nb201, hi)) > p.score(&Arch::new(Space::Nb201, lo))
+        );
+    }
+
+    #[test]
+    fn params_proxy_nonnegative(geno in nb201_genotype()) {
+        let s = ParamsProxy::new().score(&Arch::new(Space::Nb201, geno));
+        prop_assert!(s >= 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn lut_prediction_is_additive_in_positions(geno in nb201_genotype()) {
+        let dev = Device::new("lutdev", DeviceClass::ECpu, Precision::Fp32, 1);
+        let lut = LayerwiseLut::profile(Space::Nb201, &dev);
+        // prediction equals the empty skeleton plus per-position marginals
+        let empty = lut.predict(&Arch::new(Space::Nb201, vec![0; 6]));
+        let full = lut.predict(&Arch::new(Space::Nb201, geno.clone()));
+        let mut acc = empty;
+        for (pos, &op) in geno.iter().enumerate() {
+            let mut single = vec![0u8; 6];
+            single[pos] = op;
+            acc += lut.predict(&Arch::new(Space::Nb201, single)) - empty;
+        }
+        prop_assert!((full - acc).abs() < 1e-3, "additivity violated: {full} vs {acc}");
+    }
+
+    #[test]
+    fn lut_predictions_at_least_base(geno in nb201_genotype()) {
+        let dev = Device::new("lutdev2", DeviceClass::Fpga, Precision::Fp16, 1);
+        let lut = LayerwiseLut::profile(Space::Nb201, &dev);
+        let empty = lut.predict(&Arch::new(Space::Nb201, vec![0; 6]));
+        let pred = lut.predict(&Arch::new(Space::Nb201, geno));
+        prop_assert!(pred >= empty - 1e-6, "marginals are clamped non-negative");
+    }
+
+    #[test]
+    fn brpnas_forward_finite_untrained(geno in nb201_genotype(), seed in 0u64..20) {
+        let mut cfg = BrpNasConfig::quick();
+        cfg.seed = seed;
+        let brp = BrpNas::new(Space::Nb201, cfg);
+        let y = brp.predict(&Arch::new(Space::Nb201, geno));
+        prop_assert!(y.is_finite());
+    }
+}

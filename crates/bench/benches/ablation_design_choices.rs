@@ -1,0 +1,116 @@
+//! Design-choice ablations beyond the paper's main tables, condensing the
+//! appendix studies:
+//!
+//! - Tables 12–15: backward module — full backward GCN vs BMLP, with the
+//!   BYI/BOpE update inputs (BMLP should win or tie);
+//! - Tables 16–19: gradient detachment mode;
+//! - Table 11: unrolled 2-step variants (the shape of the final predictor);
+//! - extra: pairwise hinge vs MSE loss, and hardware-embedding width, on a
+//!   representative latency task.
+
+use nasflat_bench::{fmt_cell, print_table, Budget, Profile, Workbench};
+use nasflat_core::{
+    BackwardKind, DetachMode, LossKind, RefineOptions, RefinedPredictor, UnrolledKind,
+};
+use nasflat_nas::AccuracyOracle;
+use nasflat_space::{Arch, Space};
+
+fn dataset(oracle: &AccuracyOracle, n: usize, seed: u64) -> Vec<(Arch, f32)> {
+    (0..n as u64)
+        .map(|i| {
+            let a = Arch::nb201_from_index((i * 449 + seed * 13) % 15625);
+            (a.clone(), oracle.accuracy(&a))
+        })
+        .collect()
+}
+
+fn kdt_of(opts: RefineOptions, train: &[(Arch, f32)], eval: &[(Arch, f32)], epochs: usize) -> f32 {
+    let mut vals = Vec::new();
+    for trial in 0..2u64 {
+        let mut p = RefinedPredictor::new(Space::Nb201, opts, 12, 24, trial);
+        p.train(train, epochs, 3e-3, 16, trial);
+        vals.push(p.kendall(eval));
+    }
+    nasflat_metrics::mean(&vals)
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let epochs = match budget.profile {
+        Profile::Paper => 40,
+        Profile::Fast => 8,
+        Profile::Quick => 15,
+    };
+    let oracle = AccuracyOracle::new(Space::Nb201, 0);
+    let train = dataset(&oracle, 64, 3);
+    let eval = dataset(&oracle, 200, 999);
+
+    // Backward-module ablation (Tables 12–15 condensed).
+    let mut rows = Vec::new();
+    for (label, backward, byi, bope) in [
+        ("BGCN + BYI", BackwardKind::Bgcn, true, false),
+        ("BGCN + BYI + BOpE", BackwardKind::Bgcn, true, true),
+        ("BMLP + BYI", BackwardKind::Bmlp, true, false),
+        ("BMLP + BOpE", BackwardKind::Bmlp, false, true),
+        ("BMLP + BYI + BOpE", BackwardKind::Bmlp, true, true),
+        ("no backward", BackwardKind::None, true, false),
+    ] {
+        let opts = RefineOptions {
+            timesteps: 2,
+            backward,
+            use_byi: byi,
+            use_bope: bope,
+            detach: DetachMode::Default,
+            all_node_encoding: false,
+            unrolled: None,
+        };
+        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+    }
+    print_table("Tables 12–15 — backward module ablation (KDT)", &["variant", "KDT"], &rows);
+
+    // Detachment-mode ablation (Tables 16–19 condensed).
+    let mut rows = Vec::new();
+    for (label, detach) in [
+        ("default (detach BOpE)", DetachMode::Default),
+        ("all", DetachMode::All),
+        ("none", DetachMode::None),
+    ] {
+        let opts = RefineOptions { detach, ..RefineOptions::default() };
+        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+    }
+    print_table("Tables 16–19 — detachment mode (KDT)", &["mode", "KDT"], &rows);
+
+    // Unrolled variants (Table 11).
+    let mut rows = Vec::new();
+    for (label, unrolled) in [
+        ("iterated T=2 (default)", None),
+        ("DOpEmbUnrolled BMLP", Some(UnrolledKind::Bmlp)),
+        ("DOpEmbUnrolled GCN", Some(UnrolledKind::Bgcn)),
+    ] {
+        let opts = RefineOptions { unrolled, ..RefineOptions::default() };
+        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+    }
+    print_table("Table 11 — unrolled computation (KDT)", &["variant", "KDT"], &rows);
+
+    // Latency-side extras: loss type and hardware-embedding width on N1.
+    let wb = Workbench::new("N1", &budget, false);
+    let mut rows = Vec::new();
+    for (label, loss) in
+        [("pairwise hinge", LossKind::PairwiseHinge), ("MSE", LossKind::Mse)]
+    {
+        let mut cfg = budget.fewshot(wb.task.space);
+        cfg.predictor.loss = loss;
+        cfg.predictor.supplement = None;
+        rows.push(vec![label.to_string(), fmt_cell(&wb.cell(&cfg, budget.trials))]);
+    }
+    print_table("Extra — loss function on N1", &["loss", "Spearman"], &rows);
+
+    let mut rows = Vec::new();
+    for hw_dim in [8usize, 16, 32] {
+        let mut cfg = budget.fewshot(wb.task.space);
+        cfg.predictor.hw_dim = hw_dim;
+        cfg.predictor.supplement = None;
+        rows.push(vec![hw_dim.to_string(), fmt_cell(&wb.cell(&cfg, budget.trials))]);
+    }
+    print_table("Extra — hardware-embedding width on N1", &["hw_dim", "Spearman"], &rows);
+}

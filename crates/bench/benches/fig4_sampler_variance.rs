@@ -1,0 +1,61 @@
+//! Figure 4: standard deviation of the transferred predictor's rank
+//! correlation as a function of transfer-sample size, per sampler.
+//!
+//! The paper's claim: encoding-based samplers (ZCP, CAZ) reduce variance
+//! relative to random/params sampling, making predictor construction more
+//! reliable. Device sets N1–N3, sizes 5–30.
+
+use nasflat_bench::{print_table, Budget, Workbench};
+use nasflat_encode::EncodingKind;
+use nasflat_metrics::MeanStd;
+use nasflat_sample::{Sampler, SelectionMethod};
+
+fn main() {
+    let budget = Budget::from_env();
+    // Variance needs a few extra trials to be meaningful.
+    let trials = budget.trials.max(4);
+    let samplers: Vec<(String, Sampler)> = vec![
+        ("Random".into(), Sampler::Random),
+        ("Params".into(), Sampler::Params),
+        (
+            "ZCP".into(),
+            Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::Cosine },
+        ),
+        (
+            "CAZ".into(),
+            Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine },
+        ),
+    ];
+    let sizes = [5usize, 10, 15, 20, 25, 30];
+
+    for task_name in ["N1", "N2", "N3"] {
+        let wb = Workbench::new(task_name, &budget, true);
+        let mut rows = Vec::new();
+        for &size in &sizes {
+            let mut cfg = budget.fewshot(wb.task.space);
+            cfg.transfer_samples = size;
+            cfg.predictor.supplement = None;
+            let results = wb.sampler_rows(&cfg, &samplers, trials);
+            let mut row = vec![size.to_string()];
+            for (_, res) in &results {
+                row.push(match res {
+                    Ok(v) => {
+                        let ms = MeanStd::from_slice(v);
+                        format!("{:.4}", ms.std)
+                    }
+                    Err(_) => "NaN".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        let header: Vec<&str> = std::iter::once("samples")
+            .chain(["Random", "Params", "ZCP", "CAZ"])
+            .collect();
+        print_table(
+            &format!("Figure 4 — std of rank correlation across {trials} trials, {task_name}"),
+            &header,
+            &rows,
+        );
+        eprintln!("[fig4] {task_name} done");
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 5: latency–accuracy Pareto fronts for NAS with different latency
+//! estimators and NASFLAT transfer-sample sizes.
+//!
+//! For each of the paper's five devices, the search runs at four latency
+//! constraints (pool quantiles); the found (true latency, accuracy) points
+//! form each method's front. The hypervolume indicator summarizes front
+//! quality (larger = better).
+
+use nasflat_bench::nas_support::{
+    brpnas_estimator, help_estimator, latency_quantile, nasflat_estimator, run_nas,
+};
+use nasflat_bench::{nasflat_config, print_table, Budget, Profile, Workbench};
+use nasflat_core::PretrainedTask;
+use nasflat_nas::{hypervolume, pareto_front, AccuracyOracle, Point, SearchConfig};
+
+fn main() {
+    let budget = Budget::from_env();
+    let search = match budget.profile {
+        Profile::Paper => SearchConfig::default(),
+        _ => SearchConfig::quick(),
+    };
+    let devices = ["pixel2", "titan_rtx_256", "gold_6226", "eyeriss", "fpga"];
+    let nasflat_sizes: &[usize] = match budget.profile {
+        Profile::Fast => &[5, 20],
+        _ => &[3, 5, 10, 20],
+    };
+    let quantiles = [0.2, 0.4, 0.6, 0.8];
+
+    let wb = Workbench::new("ND", &budget, true);
+    let oracle = AccuracyOracle::new(wb.task.space, 0);
+    let cfg = nasflat_config(&budget, wb.task.space);
+    let mut pre = PretrainedTask::build(&wb.task, &wb.pool, &wb.table, wb.suite.as_ref(), cfg);
+
+    for target in devices {
+        // every method collects its points across the constraint sweep
+        let mut series: Vec<(String, Vec<Point>)> = Vec::new();
+        let collect = |label: String, pts: Vec<Point>, series: &mut Vec<(String, Vec<Point>)>| {
+            series.push((label, pts));
+        };
+
+        let sweep = |est: &mut nasflat_bench::nas_support::NasEstimator<'_>| -> Vec<Point> {
+            quantiles
+                .iter()
+                .map(|&q| {
+                    let c = latency_quantile(&wb, target, q);
+                    let (res, true_lat, _) =
+                        run_nas(est, wb.task.space, &oracle, target, c, &search);
+                    Point { latency_ms: true_lat, accuracy: res.accuracy }
+                })
+                .collect()
+        };
+
+        for &s in nasflat_sizes {
+            let mut est = nasflat_estimator(&mut pre, &wb.pool, target, s, 21);
+            let label = format!("NASFLAT (S: {s})");
+            let pts = sweep(&mut est);
+            collect(label, pts, &mut series);
+        }
+        {
+            let mut est = help_estimator(&wb, &budget, target, 21);
+            let pts = sweep(&mut est);
+            collect("HELP (S: 20)".to_string(), pts, &mut series);
+        }
+        {
+            let brp_samples = if budget.profile == Profile::Paper { 900 } else { 300 };
+            let mut est = brpnas_estimator(&wb, &budget, target, brp_samples, 21);
+            let pts = sweep(&mut est);
+            collect(format!("BRPNAS (S: {brp_samples})"), pts, &mut series);
+        }
+
+        // hypervolume reference: worst latency across all points, accuracy 40%
+        let ref_lat = series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|p| p.latency_ms))
+            .fold(0.0f32, f32::max)
+            * 1.1;
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|(label, pts)| {
+                let front = pareto_front(pts);
+                let front_str = front
+                    .iter()
+                    .map(|p| format!("({:.1}ms,{:.1}%)", p.latency_ms, p.accuracy))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    label.clone(),
+                    front_str,
+                    format!("{:.1}", hypervolume(pts, ref_lat, 40.0)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 5 — Pareto fronts on {target}"),
+            &["method", "front (latency, accuracy)", "hypervolume"],
+            &rows,
+        );
+        eprintln!("[fig5] {target} done");
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 6: effect of the number of latency samples per *source* device on
+//! end-to-end transfer quality (tasks N1–N4, 20 target samples).
+//!
+//! The paper's finding: more pre-training samples do not monotonically help —
+//! homogeneous source pools (N2, all GPUs) overfit, while diverse pools (N4)
+//! keep improving.
+
+use nasflat_bench::{print_table, Budget, Profile, Workbench};
+use nasflat_encode::EncodingKind;
+use nasflat_metrics::{geometric_mean, MeanStd};
+use nasflat_sample::{Sampler, SelectionMethod};
+
+fn main() {
+    let budget = Budget::from_env();
+    let sizes: &[usize] = match budget.profile {
+        Profile::Fast => &[32, 128],
+        _ => &[32, 128, 512],
+    };
+
+    for task_name in ["N1", "N2", "N3", "N4"] {
+        let wb = Workbench::new(task_name, &budget, true);
+        let mut rows = Vec::new();
+        for &per_device in sizes {
+            let per_device = per_device.min(wb.pool.len());
+            let mut row = vec![per_device.to_string()];
+            // Random / Params / geometric mean over the encoding samplers.
+            let mut base = budget.fewshot(wb.task.space);
+            base.pretrain_per_device = per_device;
+            base.predictor.supplement = None;
+            // CPU adaptation: hold the total gradient-step budget roughly
+            // constant across the sweep so the 512-sample column stays
+            // tractable (the paper fixes epochs on GPU hardware).
+            base.predictor.epochs =
+                (base.predictor.epochs * 64 / per_device.max(64)).max(6);
+
+            for sampler in [Sampler::Random, Sampler::Params] {
+                let cfg = base.clone().with_sampler(sampler);
+                let cell = wb.cell(&cfg, budget.trials);
+                row.push(match cell {
+                    Ok(ms) => format!("{:.3}", ms.mean),
+                    Err(_) => "NaN".into(),
+                });
+            }
+            let mut enc_means = Vec::new();
+            for kind in EncodingKind::samplers() {
+                let cfg = base.clone().with_sampler(Sampler::Encoding {
+                    kind,
+                    method: SelectionMethod::Cosine,
+                });
+                if let Ok(ms) = wb.cell(&cfg, budget.trials.min(2)) {
+                    enc_means.push(ms.mean.max(0.0));
+                }
+            }
+            row.push(format!("{:.3}", geometric_mean(&enc_means)));
+            rows.push(row);
+            let _ = MeanStd::from_slice(&[]);
+        }
+        print_table(
+            &format!("Figure 6 — source samples per device sweep, {task_name}"),
+            &["samples/device", "Random", "Params", "GeoMean(encodings)"],
+            &rows,
+        );
+        eprintln!("[fig6] {task_name} done");
+    }
+}

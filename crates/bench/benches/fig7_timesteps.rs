@@ -1,0 +1,71 @@
+//! Figure 7 (+ Tables 10–19 context): training-analogous refinement
+//! timesteps vs predictor quality.
+//!
+//! The appendix studies TA-GATES-style iterative refinement on *accuracy*
+//! prediction: how does the number of refinement timesteps affect Kendall
+//! tau at several training-set sizes? (Finding: T = 2 generally helps, more
+//! does not.) The appendix's extra NAS spaces (PNAS/ENAS/NB101) are not
+//! reproduced; NB201 with the synthetic accuracy oracle exercises the same
+//! mechanism (DESIGN.md §2).
+
+use nasflat_bench::{print_table, Budget, Profile};
+use nasflat_core::{RefineOptions, RefinedPredictor};
+use nasflat_nas::AccuracyOracle;
+use nasflat_space::{Arch, Space};
+
+fn dataset(oracle: &AccuracyOracle, n: usize, seed: u64) -> Vec<(Arch, f32)> {
+    (0..n as u64)
+        .map(|i| {
+            let a = Arch::nb201_from_index((i * 449 + seed * 13) % 15625);
+            let acc = oracle.accuracy(&a);
+            (a, acc)
+        })
+        .collect()
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let oracle = AccuracyOracle::new(Space::Nb201, 0);
+    let (epochs, dim, hidden) = match budget.profile {
+        Profile::Paper => (40, 24, 48),
+        Profile::Fast => (10, 8, 12),
+        Profile::Quick => (20, 12, 24),
+    };
+    let sizes: &[usize] = match budget.profile {
+        Profile::Fast => &[16, 64],
+        _ => &[16, 32, 64, 128],
+    };
+    let timesteps = [1usize, 2, 3, 4, 5];
+    let eval = dataset(&oracle, 200, 999);
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let train = dataset(&oracle, n, 7);
+        let mut kdts = Vec::new();
+        for &t in &timesteps {
+            let mut per_trial = Vec::new();
+            for trial in 0..budget.trials.min(2) as u64 {
+                let opts = RefineOptions { timesteps: t, ..RefineOptions::default() };
+                let mut p = RefinedPredictor::new(Space::Nb201, opts, dim, hidden, trial);
+                p.train(&train, epochs, 3e-3, 16, trial);
+                per_trial.push(p.kendall(&eval));
+            }
+            kdts.push(nasflat_metrics::mean(&per_trial));
+        }
+        // 0-1 normalization across timesteps (the figure's y-axis).
+        let lo = kdts.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = kdts.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let range = (hi - lo).max(1e-6);
+        let mut row = vec![format!("samples={n}")];
+        for (&t, &k) in timesteps.iter().zip(&kdts) {
+            row.push(format!("T{t}: {:.3} ({:.2})", k, (k - lo) / range));
+        }
+        rows.push(row);
+        eprintln!("[fig7] samples={n} done");
+    }
+    print_table(
+        "Figure 7 — refinement timesteps vs Kendall tau (raw, 0-1 normalized)",
+        &["train size", "T1", "T2", "T3", "T4", "T5"],
+        &rows,
+    );
+}

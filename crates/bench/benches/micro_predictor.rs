@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks: predictor forward/training-step throughput,
+//! encoding construction, the latency simulator, and the rank metrics —
+//! the per-operation costs behind the wall-clock numbers in Table 8.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nasflat_core::{
+    train_step, LatencyPredictor, PredictorConfig, TrainContext,
+};
+use nasflat_encode::zcp_features;
+use nasflat_hw::{latency_ms, DeviceRegistry};
+use nasflat_metrics::spearman_rho;
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::AdamConfig;
+
+fn bench_forward(c: &mut Criterion) {
+    let cfg = PredictorConfig::quick();
+    let pred = LatencyPredictor::new(Space::Nb201, vec!["dev".into()], 0, cfg);
+    let arch = Arch::nb201_from_index(12345);
+    c.bench_function("predictor_forward_nb201", |b| {
+        b.iter(|| black_box(pred.predict(black_box(&arch), 0, None)))
+    });
+
+    let cfg = PredictorConfig::quick();
+    let pred_fb = LatencyPredictor::new(Space::Fbnet, vec!["dev".into()], 0, cfg);
+    let arch_fb = Arch::new(Space::Fbnet, vec![3; 22]);
+    c.bench_function("predictor_forward_fbnet", |b| {
+        b.iter(|| black_box(pred_fb.predict(black_box(&arch_fb), 0, None)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let pool: Vec<Arch> = (0..64u64).map(|i| Arch::nb201_from_index(i * 244)).collect();
+    let batch: Vec<(usize, f32)> = (0..16).map(|i| (i, i as f32)).collect();
+    let adam = AdamConfig::default();
+    c.bench_function("train_step_batch16", |b| {
+        b.iter_batched(
+            || LatencyPredictor::new(Space::Nb201, vec!["dev".into()], 0, PredictorConfig::quick()),
+            |mut pred| {
+                let ctx = TrainContext::new(&pool);
+                black_box(train_step(&mut pred, &ctx, 0, &batch, &adam))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_simulator_and_encodings(c: &mut Criterion) {
+    let reg = DeviceRegistry::nb201();
+    let dev = reg.get("pixel2").unwrap().clone();
+    let arch = Arch::nb201_from_index(7777);
+    c.bench_function("simulator_latency_ms", |b| {
+        b.iter(|| black_box(latency_ms(black_box(&dev), black_box(&arch))))
+    });
+    c.bench_function("zcp_features", |b| {
+        b.iter(|| black_box(zcp_features(black_box(&arch))))
+    });
+    let xs: Vec<f32> = (0..1000).map(|i| ((i * 37) % 1000) as f32).collect();
+    let ys: Vec<f32> = (0..1000).map(|i| ((i * 91) % 1000) as f32).collect();
+    c.bench_function("spearman_1000", |b| {
+        b.iter(|| black_box(spearman_rho(black_box(&xs), black_box(&ys))))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_train_step, bench_simulator_and_encodings);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Table 1: device sets for NASBench-201 and FBNet.
+//!
+//! Prints (a) the paper's 12 tasks with their mean train–test Spearman
+//! correlation under the simulator (the difficulty measure the paper reports
+//! alongside Table 1), and (b) four freshly generated device sets per space
+//! from Algorithm 1 (the paper generated N1–N4/F1–F4 the same way, from
+//! random seeds).
+
+use nasflat_bench::{print_table, Budget};
+use nasflat_space::Space;
+use nasflat_tasks::{generate_task, paper_tasks, CorrelationMatrix};
+
+fn main() {
+    let budget = Budget::from_env();
+    let probes = budget.pool_size(Space::Nb201).min(400);
+    let corr_nb = CorrelationMatrix::for_space(Space::Nb201, probes, 0);
+    let corr_fb = CorrelationMatrix::for_space(Space::Fbnet, probes, 0);
+
+    let mut rows = Vec::new();
+    for task in paper_tasks() {
+        let corr = match task.space {
+            Space::Nb201 => &corr_nb,
+            Space::Fbnet => &corr_fb,
+        };
+        rows.push(vec![
+            task.name.clone(),
+            task.space.short_name().to_string(),
+            task.num_train().to_string(),
+            task.num_test().to_string(),
+            format!("{:.3}", corr.task_train_test(&task)),
+            format!("{:.3}", corr.mean_within(&task.train)),
+        ]);
+    }
+    print_table(
+        "Table 1 — paper device sets (train-test correlation under the simulator)",
+        &["task", "space", "#train", "#test", "train-test rho", "within-train rho"],
+        &rows,
+    );
+
+    let mut gen_rows = Vec::new();
+    for (space, corr) in [(Space::Nb201, &corr_nb), (Space::Fbnet, &corr_fb)] {
+        for seed in 1..=4u64 {
+            match generate_task(space, corr, 5, 5, seed) {
+                Ok(task) => {
+                    gen_rows.push(vec![
+                        task.name.clone(),
+                        space.short_name().to_string(),
+                        task.train.join(","),
+                        task.test.join(","),
+                        format!("{:.3}", corr.task_train_test(&task)),
+                    ]);
+                }
+                Err(e) => {
+                    gen_rows.push(vec![
+                        format!("seed{seed}"),
+                        space.short_name().to_string(),
+                        format!("<{e}>"),
+                        String::new(),
+                        String::new(),
+                    ]);
+                }
+            }
+        }
+    }
+    print_table(
+        "Table 1 (generated) — Algorithm 1 partitions, 4 seeds per space",
+        &["task", "space", "train devices", "test devices", "train-test rho"],
+        &gen_rows,
+    );
+}

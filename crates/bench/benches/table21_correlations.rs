@@ -1,0 +1,60 @@
+//! Tables 21–22: cross-device latency correlation matrices per task
+//! (rows = test devices, columns = training devices), plus Table 23's
+//! device roster counts.
+
+use nasflat_bench::{print_table, Budget};
+use nasflat_hw::DeviceRegistry;
+use nasflat_space::Space;
+use nasflat_tasks::{paper_tasks, CorrelationMatrix};
+
+fn main() {
+    let budget = Budget::from_env();
+    let probes = budget.pool_size(Space::Nb201).min(400);
+    let corr_nb = CorrelationMatrix::for_space(Space::Nb201, probes, 0);
+    let corr_fb = CorrelationMatrix::for_space(Space::Fbnet, probes, 0);
+
+    for task in paper_tasks() {
+        let corr = match task.space {
+            Space::Nb201 => &corr_nb,
+            Space::Fbnet => &corr_fb,
+        };
+        // Cap the printed columns for the widest tasks (NA/FA train 15-17).
+        let cols: Vec<&String> = task.train.iter().take(10).collect();
+        let mut header: Vec<&str> = vec!["test \\ train"];
+        header.extend(cols.iter().map(|s| s.as_str()));
+        let rows: Vec<Vec<String>> = task
+            .test
+            .iter()
+            .map(|t| {
+                let mut row = vec![t.clone()];
+                for c in &cols {
+                    let r = corr.by_name(t, c).unwrap_or(f32::NAN);
+                    row.push(format!("{r:.3}"));
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Table 21/22 — {} ({}) test-vs-train correlations (mean {:.3})",
+                task.name,
+                task.space.short_name(),
+                corr.task_train_test(&task)
+            ),
+            &header,
+            &rows,
+        );
+    }
+
+    // Table 23 roster check.
+    let nb = DeviceRegistry::nb201();
+    let fb = DeviceRegistry::fbnet();
+    print_table(
+        "Table 23 — device roster sizes",
+        &["space", "devices", "paper"],
+        &[
+            vec!["NB201".into(), nb.len().to_string(), "40".into()],
+            vec!["FBNet".into(), fb.len().to_string(), "27".into()],
+        ],
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 2: operation-wise hardware embedding (OPHW) and hardware-embedding
+//! initialization (INIT) ablation.
+//!
+//! Protocol (appendix A.2): random sampler, 20 transfer samples, no
+//! supplementary encoding. The top block toggles OPHW (INIT on), the bottom
+//! block toggles INIT (OPHW on).
+
+use nasflat_bench::{fmt_cell, print_table, rosters, Budget, Workbench};
+
+fn main() {
+    let budget = Budget::from_env();
+    let mut ophw_rows = vec![
+        vec!["✗".to_string()],
+        vec!["✓".to_string()],
+    ];
+    let mut init_rows = vec![
+        vec!["✗".to_string()],
+        vec!["✓".to_string()],
+    ];
+
+    for name in rosters::ALL {
+        let wb = Workbench::new(name, &budget, false);
+        let base = budget.fewshot(wb.task.space);
+        for (flag, row) in [(false, 0usize), (true, 1)] {
+            let mut cfg = base.clone();
+            cfg.predictor.op_hw = flag;
+            cfg.predictor.hw_init = true;
+            cfg.predictor.supplement = None;
+            ophw_rows[row].push(fmt_cell(&wb.cell(&cfg, budget.trials)));
+
+            let mut cfg = base.clone();
+            cfg.predictor.op_hw = true;
+            cfg.predictor.hw_init = flag;
+            cfg.predictor.supplement = None;
+            init_rows[row].push(fmt_cell(&wb.cell(&cfg, budget.trials)));
+        }
+        eprintln!("[table2] {name} done");
+    }
+
+    let mut header = vec!["OPHW"];
+    header.extend(rosters::ALL);
+    print_table("Table 2 (top) — operation-wise hardware embedding", &header, &ophw_rows);
+    header[0] = "INIT";
+    print_table("Table 2 (bottom) — hardware-embedding initialization", &header, &init_rows);
+}

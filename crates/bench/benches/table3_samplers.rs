@@ -1,0 +1,39 @@
+//! Table 3: transfer-set sampler comparison.
+//!
+//! Protocol (appendix A.2): only 5 transfer samples (to stress few-shot
+//! sampling), no supplementary encoding. One pre-training per (task, trial)
+//! is shared by all samplers, as in the paper's controlled comparison.
+
+use nasflat_bench::{print_table, rosters, Budget, Workbench};
+use nasflat_metrics::MeanStd;
+use nasflat_sample::Sampler;
+
+fn main() {
+    let budget = Budget::from_env();
+    let samplers: Vec<(String, Sampler)> =
+        Sampler::table3_roster().into_iter().map(|s| (s.label(), s)).collect();
+    let mut rows: Vec<Vec<String>> =
+        samplers.iter().map(|(l, _)| vec![l.clone()]).collect();
+
+    for name in rosters::ALL {
+        let wb = Workbench::new(name, &budget, true);
+        let mut cfg = budget.fewshot(wb.task.space);
+        cfg.transfer_samples = 5;
+        cfg.predictor.supplement = None;
+        let results = wb.sampler_rows(&cfg, &samplers, budget.trials);
+        for (row, (_, res)) in rows.iter_mut().zip(&results) {
+            row.push(match res {
+                Ok(v) => {
+                    let ms = MeanStd::from_slice(v);
+                    format!("{:.3}±{:.3}", ms.mean, ms.std)
+                }
+                Err(_) => "NaN".to_string(),
+            });
+        }
+        eprintln!("[table3] {name} done");
+    }
+
+    let mut header = vec!["Sampler"];
+    header.extend(rosters::ALL);
+    print_table("Table 3 — sampler comparison (5 transfer samples)", &header, &rows);
+}

@@ -1,0 +1,41 @@
+//! Table 4: supplementary NN encodings fed to the prediction head.
+//!
+//! Protocol (appendix A.2): CAZ + k-means sampler, 20 transfer samples;
+//! rows are the base AdjOp predictor and each supplement.
+
+use nasflat_bench::{fmt_cell, print_table, rosters, Budget, Workbench};
+use nasflat_encode::EncodingKind;
+use nasflat_sample::{Sampler, SelectionMethod};
+
+fn main() {
+    let budget = Budget::from_env();
+    let variants: [(&str, Option<EncodingKind>); 5] = [
+        ("AdjOp", None),
+        ("(+ Arch2Vec)", Some(EncodingKind::Arch2Vec)),
+        ("(+ CATE)", Some(EncodingKind::Cate)),
+        ("(+ ZCP)", Some(EncodingKind::Zcp)),
+        ("(+ CAZ)", Some(EncodingKind::Caz)),
+    ];
+    let mut rows: Vec<Vec<String>> =
+        variants.iter().map(|(l, _)| vec![l.to_string()]).collect();
+
+    for name in rosters::ALL {
+        let wb = Workbench::new(name, &budget, true);
+        for ((_, supp), row) in variants.iter().zip(rows.iter_mut()) {
+            let mut cfg = budget.fewshot(wb.task.space);
+            cfg.sampler =
+                Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::KMeans };
+            cfg.predictor.supplement = *supp;
+            row.push(fmt_cell(&wb.cell(&cfg, budget.trials)));
+        }
+        eprintln!("[table4] {name} done");
+    }
+
+    let mut header = vec!["Encoding"];
+    header.extend(rosters::ALL);
+    print_table(
+        "Table 4 — supplementary encodings (CAZ+kmeans sampler, 20 samples)",
+        &header,
+        &rows,
+    );
+}

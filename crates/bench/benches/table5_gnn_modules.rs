@@ -1,0 +1,30 @@
+//! Table 5: DGF vs GAT vs their ensemble as the main GNN module.
+//!
+//! Protocol (appendix A.2): random sampler, 20 transfer samples, no
+//! supplementary encoding; eight tasks.
+
+use nasflat_bench::{fmt_cell, print_table, rosters, Budget, Workbench};
+use nasflat_core::GnnModuleKind;
+
+fn main() {
+    let budget = Budget::from_env();
+    let modules =
+        [GnnModuleKind::Dgf, GnnModuleKind::Gat, GnnModuleKind::Ensemble];
+    let mut rows: Vec<Vec<String>> =
+        modules.iter().map(|m| vec![m.label().to_string()]).collect();
+
+    for name in rosters::GNN {
+        let wb = Workbench::new(name, &budget, false);
+        for (module, row) in modules.iter().zip(rows.iter_mut()) {
+            let mut cfg = budget.fewshot(wb.task.space);
+            cfg.predictor = cfg.predictor.with_gnn(*module);
+            cfg.predictor.supplement = None;
+            row.push(fmt_cell(&wb.cell(&cfg, budget.trials)));
+        }
+        eprintln!("[table5] {name} done");
+    }
+
+    let mut header = vec!["GNN Module"];
+    header.extend(rosters::GNN);
+    print_table("Table 5 — GNN module comparison (20 samples, random sampler)", &header, &rows);
+}

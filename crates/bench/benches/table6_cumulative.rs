@@ -1,0 +1,69 @@
+//! Table 6: cumulative design-choice ablation.
+//!
+//! Each row adds one feature and inherits everything above it:
+//! baseline → +HWInit → +OpHW → +Sampler → +Supp. Encoding
+//! (appendix A.2: ZCP/Arch2Vec supplements and CAZ/CATE samplers per space,
+//! 20 transfer samples).
+
+use nasflat_bench::{fmt_cell, print_table, rosters, Budget, Workbench};
+use nasflat_core::FewShotConfig;
+use nasflat_encode::EncodingKind;
+use nasflat_sample::{Sampler, SelectionMethod};
+use nasflat_space::Space;
+
+fn configure(row: usize, base: &FewShotConfig, space: Space) -> FewShotConfig {
+    let mut cfg = base.clone();
+    cfg.predictor.op_hw = false;
+    cfg.predictor.hw_init = false;
+    cfg.predictor.supplement = None;
+    cfg.sampler = Sampler::Random;
+    if row >= 1 {
+        cfg.predictor.hw_init = true;
+    }
+    if row >= 2 {
+        cfg.predictor.op_hw = true;
+    }
+    if row >= 3 {
+        cfg.sampler = match space {
+            Space::Nb201 => {
+                Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine }
+            }
+            Space::Fbnet => {
+                Sampler::Encoding { kind: EncodingKind::Cate, method: SelectionMethod::Cosine }
+            }
+        };
+    }
+    if row >= 4 {
+        cfg.predictor.supplement = Some(match space {
+            Space::Nb201 => EncodingKind::Zcp,
+            Space::Fbnet => EncodingKind::Arch2Vec,
+        });
+    }
+    cfg
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let labels = [
+        "Baseline Predictor",
+        "(+ HWInit)",
+        "(+ OpHW)",
+        "(+ Sampler)",
+        "(+ Supp. Encoding)",
+    ];
+    let mut rows: Vec<Vec<String>> = labels.iter().map(|l| vec![l.to_string()]).collect();
+
+    for name in rosters::CUMULATIVE {
+        let wb = Workbench::new(name, &budget, true);
+        let base = budget.fewshot(wb.task.space);
+        for (row_idx, row) in rows.iter_mut().enumerate() {
+            let cfg = configure(row_idx, &base, wb.task.space);
+            row.push(fmt_cell(&wb.cell(&cfg, budget.trials)));
+        }
+        eprintln!("[table6] {name} done");
+    }
+
+    let mut header = vec!["Configuration"];
+    header.extend(rosters::CUMULATIVE);
+    print_table("Table 6 — cumulative design-choice ablation (20 samples)", &header, &rows);
+}

@@ -1,0 +1,155 @@
+//! Table 7: end-to-end few-shot latency prediction vs HELP and MultiPredict.
+//!
+//! All methods get 20 samples on each target device. NASFLAT runs its full
+//! configuration (CAZ/CATE cosine sampler, ZCP/Arch2Vec supplement, OpHW,
+//! HWInit); HELP and MultiPredict follow their own protocols (random
+//! transfer samples; HELP spends 10 of its 20 samples on descriptor
+//! anchors). The GM column is the geometric mean across tasks.
+
+use nasflat_baselines::{Help, HelpConfig, MultiPredict, MultiPredictConfig};
+use nasflat_bench::{nasflat_config, print_table, rosters, Budget, Profile, Workbench};
+use nasflat_metrics::{geometric_mean, spearman_rho, MeanStd};
+use nasflat_sample::{random_indices, Sampler, SamplerContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strided held-out evaluation set excluding the transfer indices.
+fn eval_set(pool_len: usize, exclude: &[usize], n: usize) -> Vec<usize> {
+    let excl: std::collections::HashSet<usize> = exclude.iter().copied().collect();
+    let stride = (pool_len / n.max(1)).max(1);
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n && i < pool_len {
+        let idx = (i * stride + 1) % pool_len;
+        if !excl.contains(&idx) && !out.contains(&idx) {
+            out.push(idx);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn run_help(wb: &Workbench, budget: &Budget, trials: usize) -> MeanStd {
+    let mut per_trial = Vec::new();
+    for t in 0..trials {
+        let mut cfg = HelpConfig::quick();
+        if budget.profile == Profile::Paper {
+            cfg = HelpConfig::default();
+        }
+        cfg.seed = t as u64;
+        let sources: Vec<(String, Vec<f32>)> = wb
+            .task
+            .train
+            .iter()
+            .map(|n| (n.clone(), wb.table.device_row(n).expect("source row").to_vec()))
+            .collect();
+        let mut help = Help::new(wb.task.space, wb.pool.len(), cfg);
+        help.meta_train(&wb.pool, &sources);
+        let mut rhos = Vec::new();
+        for (d, target) in wb.task.test.iter().enumerate() {
+            let row = wb.table.device_row(target).expect("target row");
+            let anchors: Vec<usize> = help.anchors().to_vec();
+            let anchor_lat: Vec<f32> = anchors.iter().map(|&i| row[i]).collect();
+            // HELP budget: 10 anchors + 10 random adaptation samples = 20.
+            let mut rng = StdRng::seed_from_u64(0xAC0 ^ t as u64 ^ (d as u64) << 8);
+            let extra = random_indices(wb.pool.len(), 10, &mut rng);
+            let samples: Vec<(usize, f32)> = anchors
+                .iter()
+                .chain(extra.iter())
+                .map(|&i| (i, row[i]))
+                .collect();
+            help.adapt(&wb.pool, &anchor_lat, &samples);
+            let used: Vec<usize> = samples.iter().map(|&(i, _)| i).collect();
+            let eval = eval_set(wb.pool.len(), &used, 150);
+            let preds = help.score_indices(&wb.pool, &eval);
+            let truth: Vec<f32> = eval.iter().map(|&i| row[i]).collect();
+            rhos.push(spearman_rho(&preds, &truth).unwrap_or(0.0));
+        }
+        per_trial.push(nasflat_metrics::mean(&rhos));
+    }
+    MeanStd::from_slice(&per_trial)
+}
+
+fn run_multipredict(wb: &Workbench, budget: &Budget, trials: usize) -> MeanStd {
+    let mut per_trial = Vec::new();
+    for t in 0..trials {
+        let mut cfg = MultiPredictConfig::quick();
+        if budget.profile == Profile::Paper {
+            cfg = MultiPredictConfig::default();
+        }
+        cfg.seed = t as u64;
+        let mut devices = wb.task.train.clone();
+        devices.extend(wb.task.test.clone());
+        let mut mp = MultiPredict::new(wb.task.space, &wb.pool, devices, cfg);
+        let sources: Vec<(usize, Vec<f32>)> = wb
+            .task
+            .train
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, wb.table.device_row(n).expect("source row").to_vec()))
+            .collect();
+        mp.pretrain(&sources);
+        let source_idx: Vec<usize> = (0..wb.task.train.len()).collect();
+        let mut rhos = Vec::new();
+        for (d, target) in wb.task.test.iter().enumerate() {
+            let row = wb.table.device_row(target).expect("target row");
+            let device = wb.task.train.len() + d;
+            let mut rng = StdRng::seed_from_u64(0x3D ^ t as u64 ^ (d as u64) << 8);
+            let picked = random_indices(wb.pool.len(), 20, &mut rng);
+            let samples: Vec<(usize, f32)> = picked.iter().map(|&i| (i, row[i])).collect();
+            mp.transfer(device, &source_idx, &samples);
+            let eval = eval_set(wb.pool.len(), &picked, 150);
+            let preds = mp.score_indices(&eval, device);
+            let truth: Vec<f32> = eval.iter().map(|&i| row[i]).collect();
+            rhos.push(spearman_rho(&preds, &truth).unwrap_or(0.0));
+        }
+        per_trial.push(nasflat_metrics::mean(&rhos));
+    }
+    MeanStd::from_slice(&per_trial)
+}
+
+fn run_nasflat(wb: &Workbench, budget: &Budget, trials: usize) -> MeanStd {
+    let cfg = nasflat_config(budget, wb.task.space);
+    // Sanity: the sampler must be resolvable on this workbench.
+    let _ = SamplerContext::new(&wb.pool);
+    let _ = Sampler::Random;
+    wb.cell(&cfg, trials).map(|ms| ms).unwrap_or(MeanStd { mean: f32::NAN, std: f32::NAN })
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    for (space_label, roster) in
+        [("NASBench-201", &rosters::END_TO_END_NB), ("FBNet", &rosters::END_TO_END_FB)]
+    {
+        let mut rows: Vec<Vec<String>> = vec![
+            vec!["HELP".to_string()],
+            vec!["MultiPredict".to_string()],
+            vec!["NASFLAT".to_string()],
+        ];
+        let mut means: Vec<Vec<f32>> = vec![Vec::new(), Vec::new(), Vec::new()];
+        for name in *roster {
+            let wb = Workbench::new(name, &budget, true);
+            let cells = [
+                run_help(&wb, &budget, budget.trials),
+                run_multipredict(&wb, &budget, budget.trials),
+                run_nasflat(&wb, &budget, budget.trials),
+            ];
+            for ((row, ms), mv) in rows.iter_mut().zip(&cells).zip(means.iter_mut()) {
+                row.push(format!("{:.3}±{:.3}", ms.mean, ms.std));
+                mv.push(ms.mean);
+            }
+            eprintln!("[table7] {name} done");
+        }
+        for (row, mv) in rows.iter_mut().zip(&means) {
+            row.push(format!("{:.3}", geometric_mean(mv)));
+        }
+        let mut header = vec!["Method"];
+        header.extend(roster.iter().copied());
+        header.push("GM");
+        print_table(
+            &format!("Table 7 — end-to-end few-shot transfer, {space_label} (20 samples)"),
+            &header,
+            &rows,
+        );
+    }
+}

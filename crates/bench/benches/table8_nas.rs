@@ -1,0 +1,95 @@
+//! Table 8: latency-constrained NAS with different latency estimators.
+//!
+//! MetaD2A is replaced by oracle-guided regularized evolution (DESIGN.md §2);
+//! each estimator (Layer-wise LUT, BRP-NAS, HELP, NASFLAT) is built for the
+//! target device, calibrated to milliseconds, and used to filter the same
+//! search. Constraints are pool-latency quantiles (the paper's absolute ms
+//! values are testbed-specific). Reported: found accuracy, *true* simulator
+//! latency, sample budget, build/query wall-clock, and the speed-up of each
+//! method's predictor time relative to HELP (the paper's 1× reference).
+
+use nasflat_bench::nas_support::{
+    brpnas_estimator, help_estimator, latency_quantile, layerwise_estimator, nasflat_estimator,
+    run_nas,
+};
+use nasflat_bench::{nasflat_config, print_table, Budget, Profile, Workbench};
+use nasflat_core::PretrainedTask;
+use nasflat_nas::{AccuracyOracle, NasCost, SearchConfig};
+
+fn main() {
+    let budget = Budget::from_env();
+    let search = match budget.profile {
+        Profile::Paper => SearchConfig::default(),
+        _ => SearchConfig::quick(),
+    };
+    let brp_samples = match budget.profile {
+        Profile::Paper => 900,
+        _ => 300,
+    };
+    // Table 8 devices: Pixel2 (mCPU) and Titan RTX batch 256 (GPU).
+    let devices_and_tasks = [("pixel2", "ND"), ("titan_rtx_256", "ND")];
+
+    for (target, task_name) in devices_and_tasks {
+        let wb = Workbench::new(task_name, &budget, true);
+        let oracle = AccuracyOracle::new(wb.task.space, 0);
+        let cfg = nasflat_config(&budget, wb.task.space);
+        let mut pre =
+            PretrainedTask::build(&wb.task, &wb.pool, &wb.table, wb.suite.as_ref(), cfg);
+
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut help_cost: Option<NasCost> = None;
+        for q in [0.3, 0.5, 0.7] {
+            let constraint = latency_quantile(&wb, target, q);
+            // Build all four estimators fresh per constraint row.
+            let mut estimators = vec![
+                layerwise_estimator(&wb, target),
+                brpnas_estimator(&wb, &budget, target, brp_samples, 8),
+                help_estimator(&wb, &budget, target, 8),
+                nasflat_estimator(&mut pre, &wb.pool, target, 20, 8),
+            ];
+            // HELP is the paper's 1x wall-clock reference.
+            let mut row_data = Vec::new();
+            for est in estimators.iter_mut() {
+                let label = est.label.clone();
+                let (result, true_lat, cost) =
+                    run_nas(est, wb.task.space, &oracle, target, constraint, &search);
+                row_data.push((label, result, true_lat, cost));
+            }
+            let help_row_cost = row_data
+                .iter()
+                .find(|(l, ..)| l.contains("HELP"))
+                .map(|(.., c)| *c)
+                .expect("HELP row present");
+            help_cost.get_or_insert(help_row_cost);
+            for (label, result, true_lat, cost) in row_data {
+                let speedup = help_row_cost.total().as_secs_f32()
+                    / cost.total().as_secs_f32().max(1e-9);
+                rows.push(vec![
+                    label,
+                    format!("{constraint:.1}"),
+                    format!("{true_lat:.1}"),
+                    format!("{:.2}", result.accuracy),
+                    cost.target_samples.to_string(),
+                    format!("{:.2}s", cost.build_time.as_secs_f32()),
+                    format!("{:.2}s", cost.total().as_secs_f32()),
+                    format!("{speedup:.1}x"),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Table 8 — latency-constrained NAS on {target} (CIFAR-100 oracle)"),
+            &[
+                "Model",
+                "Const (ms)",
+                "True Lat (ms)",
+                "Accuracy (%)",
+                "Samples",
+                "Build",
+                "Total",
+                "Speed Up",
+            ],
+            &rows,
+        );
+        eprintln!("[table8] {target} done");
+    }
+}

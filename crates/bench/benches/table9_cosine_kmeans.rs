@@ -1,0 +1,49 @@
+//! Table 9: cosine vs k-means selection for encoding-based samplers, at 10
+//! and 20 transfer samples on tasks N3 and F3 (OPHW + HWInit on, as in the
+//! paper). k-means failures print as NaN — the paper's own Table 9 contains
+//! NaN entries where k-means could not segment the encoding space.
+
+use nasflat_bench::{print_table, Budget, Workbench};
+use nasflat_encode::EncodingKind;
+use nasflat_metrics::MeanStd;
+use nasflat_sample::{Sampler, SelectionMethod};
+
+fn main() {
+    let budget = Budget::from_env();
+    for samples in [10usize, 20] {
+        for task_name in ["N3", "F3"] {
+            let wb = Workbench::new(task_name, &budget, true);
+            let mut rows = Vec::new();
+            for method in [SelectionMethod::Cosine, SelectionMethod::KMeans] {
+                let variants: Vec<(String, Sampler)> = EncodingKind::samplers()
+                    .into_iter()
+                    .map(|kind| {
+                        (kind.label().to_string(), Sampler::Encoding { kind, method })
+                    })
+                    .collect();
+                let mut cfg = budget.fewshot(wb.task.space);
+                cfg.transfer_samples = samples;
+                cfg.predictor.supplement = None;
+                let results = wb.sampler_rows(&cfg, &variants, budget.trials);
+                let mut row = vec![method.label().to_string()];
+                for (_, res) in &results {
+                    row.push(match res {
+                        Ok(v) => format!("{:.3}", MeanStd::from_slice(v).mean),
+                        Err(_) => "NaN".to_string(),
+                    });
+                }
+                rows.push(row);
+            }
+            let header: Vec<String> = std::iter::once("method".to_string())
+                .chain(EncodingKind::samplers().into_iter().map(|k| k.label().to_string()))
+                .collect();
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+            print_table(
+                &format!("Table 9 — selection method on {task_name}, {samples} samples"),
+                &header_refs,
+                &rows,
+            );
+            eprintln!("[table9] {task_name}/{samples} done");
+        }
+    }
+}

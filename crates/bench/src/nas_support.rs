@@ -1,0 +1,263 @@
+//! Shared machinery for the NAS benchmarks (Table 8, Figure 5): builds each
+//! latency estimator for a target device, calibrates its scores to
+//! milliseconds, and runs the latency-constrained search with wall-clock
+//! accounting.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use nasflat_baselines::{BrpNas, BrpNasConfig, Help, HelpConfig, LayerwiseLut};
+use nasflat_core::PretrainedTask;
+use nasflat_hw::{latency_ms, Device, DeviceRegistry};
+use nasflat_nas::{
+    constrained_search, AccuracyOracle, Calibration, NasCost, SearchConfig, SearchResult,
+};
+use nasflat_sample::random_indices;
+use nasflat_space::{Arch, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Budget, Profile, Workbench};
+
+/// A calibrated latency estimator ready for NAS, with its cost ledger.
+pub struct NasEstimator<'a> {
+    /// Display label ("MetaD2A + NASFLAT" etc.).
+    pub label: String,
+    /// Score → ms function.
+    pub latency_ms: Box<dyn FnMut(&Arch) -> f32 + 'a>,
+    /// Target-device samples + build wall-clock.
+    pub cost: NasCost,
+}
+
+fn target_device(space: Space, name: &str) -> Device {
+    DeviceRegistry::for_space(space)
+        .get(name)
+        .unwrap_or_else(|| panic!("unknown device '{name}'"))
+        .clone()
+}
+
+/// NASFLAT estimator: transfer the pre-trained predictor to `target` with
+/// `samples` measurements (its sampler picks them), then calibrate score→ms
+/// on those same transfer architectures.
+///
+/// Build time covers transfer + calibration only — the paper reports
+/// meta-test time, amortizing pre-training across devices.
+pub fn nasflat_estimator<'a>(
+    pre: &mut PretrainedTask<'a>,
+    pool: &'a [Arch],
+    target: &str,
+    samples: usize,
+    seed: u64,
+) -> NasEstimator<'a> {
+    let samples = samples.max(3); // calibration needs >= 2 distinct points
+    let space = pool[0].space();
+    let device = target_device(space, target);
+    let sampler = pre.config().sampler;
+    let t0 = Instant::now();
+    let scorer = pre
+        .transfer_scorer(target, &sampler, seed, samples)
+        .expect("sampler should succeed on NAS pools");
+    // Calibration on a fresh strided subset (same measurement budget class).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA11);
+    let cal_idx = random_indices(pool.len(), samples, &mut rng);
+    let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
+    let lats: Vec<f32> =
+        cal_idx.iter().map(|&i| latency_ms(&device, &pool[i]) as f32).collect();
+    let cal = Calibration::fit(&scores, &lats);
+    let build = t0.elapsed();
+    NasEstimator {
+        label: format!("MetaD2A + NASFLAT (S: {samples})"),
+        latency_ms: Box::new(move |a| cal.to_ms(scorer.score(a))),
+        cost: NasCost { target_samples: samples, build_time: build, query_time: Duration::ZERO },
+    }
+}
+
+/// HELP estimator: meta-train on the task's source devices (excluded from
+/// build time, as the paper amortizes meta-training), adapt with 20 samples
+/// (10 descriptor anchors + 10 random), calibrate.
+pub fn help_estimator<'a>(
+    wb: &'a Workbench,
+    budget: &Budget,
+    target: &str,
+    seed: u64,
+) -> NasEstimator<'a> {
+    let mut cfg = match budget.profile {
+        Profile::Paper => HelpConfig::default(),
+        _ => HelpConfig::quick(),
+    };
+    cfg.seed = seed;
+    let sources: Vec<(String, Vec<f32>)> = wb
+        .task
+        .train
+        .iter()
+        .map(|n| (n.clone(), wb.table.device_row(n).expect("source row").to_vec()))
+        .collect();
+    let mut help = Help::new(wb.task.space, wb.pool.len(), cfg);
+    help.meta_train(&wb.pool, &sources);
+
+    let t0 = Instant::now();
+    let device = target_device(wb.task.space, target);
+    let anchors: Vec<usize> = help.anchors().to_vec();
+    let anchor_lat: Vec<f32> =
+        anchors.iter().map(|&i| latency_ms(&device, &wb.pool[i]) as f32).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E1F);
+    let extra = random_indices(wb.pool.len(), 10, &mut rng);
+    let samples: Vec<(usize, f32)> = anchors
+        .iter()
+        .chain(extra.iter())
+        .map(|&i| (i, latency_ms(&device, &wb.pool[i]) as f32))
+        .collect();
+    help.adapt(&wb.pool, &anchor_lat, &samples);
+    let scores: Vec<f32> = samples.iter().map(|&(i, _)| help.predict(&wb.pool, i)).collect();
+    let lats: Vec<f32> = samples.iter().map(|&(_, l)| l).collect();
+    let cal = Calibration::fit(&scores, &lats);
+    let build = t0.elapsed();
+    NasEstimator {
+        label: "MetaD2A + HELP (S: 20)".to_string(),
+        latency_ms: Box::new(move |a| cal.to_ms(help.predict_arch(a))),
+        cost: NasCost { target_samples: 20, build_time: build, query_time: Duration::ZERO },
+    }
+}
+
+/// BRP-NAS estimator: train a GCN from scratch on `samples` target
+/// measurements (all build time), calibrate on the same set.
+pub fn brpnas_estimator<'a>(
+    wb: &'a Workbench,
+    budget: &Budget,
+    target: &str,
+    samples: usize,
+    seed: u64,
+) -> NasEstimator<'a> {
+    let mut cfg = match budget.profile {
+        Profile::Paper => BrpNasConfig::default(),
+        _ => BrpNasConfig::quick(),
+    };
+    cfg.seed = seed;
+    let t0 = Instant::now();
+    let device = target_device(wb.task.space, target);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let picked = random_indices(wb.pool.len(), samples.min(wb.pool.len()), &mut rng);
+    let train: Vec<(usize, f32)> =
+        picked.iter().map(|&i| (i, latency_ms(&device, &wb.pool[i]) as f32)).collect();
+    let mut brp = BrpNas::new(wb.task.space, cfg);
+    brp.train(&wb.pool, &train);
+    let scores: Vec<f32> = picked.iter().map(|&i| brp.predict(&wb.pool[i])).collect();
+    let lats: Vec<f32> = train.iter().map(|&(_, l)| l).collect();
+    let cal = Calibration::fit(&scores, &lats);
+    let build = t0.elapsed();
+    NasEstimator {
+        label: format!("MetaD2A + BRP-NAS (S: {samples})"),
+        latency_ms: Box::new(move |a| cal.to_ms(brp.predict(a))),
+        cost: NasCost { target_samples: samples, build_time: build, query_time: Duration::ZERO },
+    }
+}
+
+/// Layer-wise LUT estimator: per-op on-device profiling; predictions are
+/// already in milliseconds.
+pub fn layerwise_estimator<'a>(wb: &Workbench, target: &str) -> NasEstimator<'a> {
+    let t0 = Instant::now();
+    let device = target_device(wb.task.space, target);
+    let lut = LayerwiseLut::profile(wb.task.space, &device);
+    let build = t0.elapsed();
+    let measurements = lut.measurements();
+    NasEstimator {
+        label: "MetaD2A + Layer-wise Pred.".to_string(),
+        latency_ms: Box::new(move |a| lut.predict(a)),
+        cost: NasCost {
+            target_samples: measurements,
+            build_time: build,
+            query_time: Duration::ZERO,
+        },
+    }
+}
+
+/// Runs the constrained search with an estimator, returning the search
+/// result, the *true* (simulator) latency of the found architecture, and
+/// the completed cost ledger (query time filled in).
+pub fn run_nas(
+    estimator: &mut NasEstimator<'_>,
+    space: Space,
+    oracle: &AccuracyOracle,
+    target: &str,
+    constraint_ms: f32,
+    search: &SearchConfig,
+) -> (SearchResult, f32, NasCost) {
+    let device = target_device(space, target);
+    let query_time = Rc::new(Cell::new(Duration::ZERO));
+    let qt = Rc::clone(&query_time);
+    let f = &mut estimator.latency_ms;
+    let result = constrained_search(
+        space,
+        oracle,
+        |a| {
+            let t = Instant::now();
+            let v = f(a);
+            qt.set(qt.get() + t.elapsed());
+            v
+        },
+        constraint_ms,
+        search,
+    );
+    let true_latency = latency_ms(&device, &result.arch) as f32;
+    let cost = NasCost { query_time: query_time.get(), ..estimator.cost };
+    (result, true_latency, cost)
+}
+
+/// Latency quantile of the pool on a device — used to pick constraints that
+/// are comparable across devices despite differing absolute scales.
+pub fn latency_quantile(wb: &Workbench, target: &str, q: f64) -> f32 {
+    let row = wb.table.device_row(target).expect("target row");
+    let mut v: Vec<f32> = row.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_budget() -> Budget {
+        Budget { profile: Profile::Fast, trials: 1, pool_nb201: 60, pool_fbnet: 60 }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let wb = Workbench::new("ND", &tiny_budget(), false);
+        let q30 = latency_quantile(&wb, "fpga", 0.3);
+        let q50 = latency_quantile(&wb, "fpga", 0.5);
+        let q90 = latency_quantile(&wb, "fpga", 0.9);
+        assert!(q30 <= q50 && q50 <= q90, "{q30} {q50} {q90}");
+        assert!(q30 > 0.0);
+    }
+
+    #[test]
+    fn layerwise_estimator_completes_a_search_with_cost_ledger() {
+        let wb = Workbench::new("ND", &tiny_budget(), false);
+        let oracle = AccuracyOracle::new(wb.task.space, 0);
+        let mut est = layerwise_estimator(&wb, "fpga");
+        // NB201 LUT: 6 positions x 4 non-filler ops + 1 base probe
+        assert_eq!(est.cost.target_samples, 25);
+        let constraint = latency_quantile(&wb, "fpga", 0.6);
+        let mut search = SearchConfig::quick();
+        search.cycles = 20;
+        search.population = 10;
+        let (result, true_lat, cost) =
+            run_nas(&mut est, wb.task.space, &oracle, "fpga", constraint, &search);
+        assert!(result.predicted_latency_ms > 0.0);
+        assert!(true_lat > 0.0);
+        assert!(cost.query_time > Duration::ZERO, "query time must be measured");
+        assert_eq!(cost.target_samples, 25);
+    }
+
+    #[test]
+    fn brpnas_estimator_trains_and_calibrates() {
+        let wb = Workbench::new("ND", &tiny_budget(), false);
+        let mut est = brpnas_estimator(&wb, &tiny_budget(), "raspi4", 40, 0);
+        assert!(est.label.contains("BRP-NAS"));
+        let ms = (est.latency_ms)(&wb.pool[0]);
+        assert!(ms.is_finite() && ms > 0.0, "calibrated prediction {ms}");
+        assert!(est.cost.build_time > Duration::ZERO);
+    }
+}

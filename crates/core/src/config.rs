@@ -1,0 +1,214 @@
+//! Predictor and training hyperparameters.
+//!
+//! Defaults follow the paper's Table 20 (found there with 80 Optuna
+//! iterations). [`PredictorConfig::quick`] is a reduced-budget profile for
+//! CPU-only test/bench runs; it keeps every architectural feature but shrinks
+//! widths and epochs (EXPERIMENTS.md records which profile produced which
+//! numbers).
+
+use nasflat_encode::EncodingKind;
+
+/// Which graph-neural-network module the predictor stacks (paper Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnModuleKind {
+    /// Dense Graph Flow: residual gated GCN (GATES, Eq. 1).
+    Dgf,
+    /// Graph attention with operation gating and LayerNorm (Eq. 2–3).
+    Gat,
+    /// Per-layer average of DGF and GAT outputs (the paper's final choice).
+    Ensemble,
+}
+
+impl GnnModuleKind {
+    /// Display name matching the paper's Table 5.
+    pub fn label(self) -> &'static str {
+        match self {
+            GnnModuleKind::Dgf => "DGF",
+            GnnModuleKind::Gat => "GAT",
+            GnnModuleKind::Ensemble => "Ensemble",
+        }
+    }
+}
+
+/// Training loss (the paper uses pairwise hinge; MSE kept for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LossKind {
+    /// Pairwise hinge ranking loss (Ning et al. 2022).
+    PairwiseHinge,
+    /// Mean squared error on normalized log-latency.
+    Mse,
+}
+
+/// Full predictor + training configuration.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Operation-embedding width (Table 20: 48).
+    pub op_dim: usize,
+    /// Hardware-embedding width (Table 20: 48, tied to `op_dim`).
+    pub hw_dim: usize,
+    /// Node-embedding width (Table 20: 48).
+    pub node_dim: usize,
+    /// Hidden widths of the small operation–hardware GNN (Table 20: [128, 128]).
+    pub ophw_gnn_dims: Vec<usize>,
+    /// Hidden widths of the op–hw refinement MLP (Table 20: `[128]`).
+    pub ophw_mlp_dims: Vec<usize>,
+    /// Hidden widths of the main GNN (Table 20: [128, 128, 128]).
+    pub gnn_dims: Vec<usize>,
+    /// Prediction-head MLP widths (Table 20: [200, 200, 200]).
+    pub head_dims: Vec<usize>,
+    /// GNN module choice (Table 20: DGF+GAT ensemble).
+    pub gnn_module: GnnModuleKind,
+    /// Whether operations get hardware-specific embeddings (§5.1; Table 2
+    /// "OPHW"). When off, the hardware embedding conditions only the head.
+    pub op_hw: bool,
+    /// Whether the target device's embedding is initialized from the most
+    /// correlated source device (§5.2; Table 2 "INIT").
+    pub hw_init: bool,
+    /// Supplementary encoding concatenated before the head (§3.3; Table 4).
+    pub supplement: Option<EncodingKind>,
+    /// Training loss.
+    pub loss: LossKind,
+    /// Hinge margin (only for [`LossKind::PairwiseHinge`]).
+    pub hinge_margin: f32,
+    /// Pre-training epochs (Table 20: 150).
+    pub epochs: usize,
+    /// Pre-training learning rate (Table 20: 1e-3).
+    pub lr: f32,
+    /// Weight decay (Table 20: 1e-5).
+    pub weight_decay: f32,
+    /// Mini-batch size (Table 20: 16).
+    pub batch_size: usize,
+    /// Fine-tuning epochs on the target device (Table 20: 40 NB201 / 30 FBNet).
+    pub transfer_epochs: usize,
+    /// Fine-tuning learning rate (Table 20: 3e-3 NB201 / 1e-3 FBNet).
+    pub transfer_lr: f32,
+    /// Gradient-clipping max norm.
+    pub grad_clip: f32,
+    /// Parameter-init / batching seed.
+    pub seed: u64,
+}
+
+impl PredictorConfig {
+    /// The paper's Table 20 configuration (NB201 transfer settings).
+    pub fn paper() -> Self {
+        PredictorConfig {
+            op_dim: 48,
+            hw_dim: 48,
+            node_dim: 48,
+            ophw_gnn_dims: vec![128, 128],
+            ophw_mlp_dims: vec![128],
+            gnn_dims: vec![128, 128, 128],
+            head_dims: vec![200, 200, 200],
+            gnn_module: GnnModuleKind::Ensemble,
+            op_hw: true,
+            hw_init: true,
+            supplement: None,
+            loss: LossKind::PairwiseHinge,
+            hinge_margin: 0.1,
+            epochs: 150,
+            lr: 1e-3,
+            weight_decay: 1e-5,
+            batch_size: 16,
+            transfer_epochs: 40,
+            transfer_lr: 3e-3,
+            grad_clip: 5.0,
+            seed: 0,
+        }
+    }
+
+    /// Reduced-budget profile for CPU-only runs: same architecture shape,
+    /// smaller widths and fewer epochs.
+    pub fn quick() -> Self {
+        PredictorConfig {
+            op_dim: 16,
+            hw_dim: 16,
+            node_dim: 16,
+            ophw_gnn_dims: vec![32],
+            ophw_mlp_dims: vec![32],
+            gnn_dims: vec![32, 32],
+            head_dims: vec![48, 48],
+            epochs: 30,
+            transfer_epochs: 30,
+            ..Self::paper()
+        }
+    }
+
+    /// FBNet transfer settings on top of any base config (Table 20 footnote:
+    /// 30 transfer epochs at 1e-3).
+    pub fn for_fbnet(mut self) -> Self {
+        self.transfer_epochs = self.transfer_epochs.min(30);
+        self.transfer_lr = 1e-3;
+        self
+    }
+
+    /// Same config with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same config with a different GNN module.
+    pub fn with_gnn(mut self, gnn: GnnModuleKind) -> Self {
+        self.gnn_module = gnn;
+        self
+    }
+
+    /// Same config with a supplementary encoding.
+    pub fn with_supplement(mut self, supplement: Option<EncodingKind>) -> Self {
+        self.supplement = supplement;
+        self
+    }
+
+    /// Joint op–hw width entering the small GNN.
+    pub fn joint_dim(&self) -> usize {
+        if self.op_hw {
+            self.op_dim + self.hw_dim
+        } else {
+            self.op_dim
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table20() {
+        let c = PredictorConfig::paper();
+        assert_eq!(c.op_dim, 48);
+        assert_eq!(c.gnn_dims, vec![128, 128, 128]);
+        assert_eq!(c.head_dims, vec![200, 200, 200]);
+        assert_eq!(c.epochs, 150);
+        assert_eq!(c.batch_size, 16);
+        assert_eq!(c.gnn_module, GnnModuleKind::Ensemble);
+        assert_eq!(c.loss, LossKind::PairwiseHinge);
+    }
+
+    #[test]
+    fn fbnet_overrides_transfer_settings() {
+        let c = PredictorConfig::paper().for_fbnet();
+        assert_eq!(c.transfer_epochs, 30);
+        assert_eq!(c.transfer_lr, 1e-3);
+    }
+
+    #[test]
+    fn joint_dim_depends_on_ophw() {
+        let mut c = PredictorConfig::quick();
+        assert_eq!(c.joint_dim(), c.op_dim + c.hw_dim);
+        c.op_hw = false;
+        assert_eq!(c.joint_dim(), c.op_dim);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(GnnModuleKind::Ensemble.label(), "Ensemble");
+        assert_eq!(GnnModuleKind::Dgf.label(), "DGF");
+    }
+}

@@ -1,0 +1,178 @@
+//! Latency datasets for pre-training and transfer.
+//!
+//! Targets are normalized per device: latency → `ln(ms)` → z-score over the
+//! device's own training samples. The pairwise hinge loss only needs ranks,
+//! but normalization keeps MSE ablations and the prediction head's dynamic
+//! range well-behaved across devices whose absolute latencies differ by
+//! orders of magnitude.
+
+use nasflat_hw::LatencyTable;
+use nasflat_tasks::Task;
+
+/// Per-device normalization statistics over log-latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyNorm {
+    /// Mean of `ln(latency)`.
+    pub mean: f32,
+    /// Standard deviation of `ln(latency)` (floored at a small epsilon).
+    pub std: f32,
+}
+
+impl LatencyNorm {
+    /// Fits normalization on raw latencies (milliseconds).
+    ///
+    /// # Panics
+    /// Panics if `latencies` is empty or any value is non-positive.
+    pub fn fit(latencies: &[f32]) -> Self {
+        assert!(!latencies.is_empty(), "cannot normalize an empty sample set");
+        assert!(latencies.iter().all(|&l| l > 0.0), "latencies must be positive");
+        let logs: Vec<f32> = latencies.iter().map(|&l| l.ln()).collect();
+        let mean = logs.iter().sum::<f32>() / logs.len() as f32;
+        let var = logs.iter().map(|&l| (l - mean) * (l - mean)).sum::<f32>() / logs.len() as f32;
+        LatencyNorm { mean, std: var.sqrt().max(1e-6) }
+    }
+
+    /// Normalizes one raw latency.
+    pub fn apply(&self, latency: f32) -> f32 {
+        (latency.ln() - self.mean) / self.std
+    }
+
+    /// Normalizes a batch.
+    pub fn apply_all(&self, latencies: &[f32]) -> Vec<f32> {
+        latencies.iter().map(|&l| self.apply(l)).collect()
+    }
+}
+
+/// Training samples of one device: pool indices plus normalized targets.
+#[derive(Debug, Clone)]
+pub struct DeviceSamples {
+    /// Device index in the predictor's device list.
+    pub device: usize,
+    /// `(pool architecture index, normalized target)` pairs.
+    pub samples: Vec<(usize, f32)>,
+    /// The normalization fitted on these samples.
+    pub norm: LatencyNorm,
+}
+
+impl DeviceSamples {
+    /// Builds samples for `device` from raw `(pool index, latency)` pairs.
+    pub fn new(device: usize, raw: &[(usize, f32)]) -> Self {
+        let lats: Vec<f32> = raw.iter().map(|&(_, l)| l).collect();
+        let norm = LatencyNorm::fit(&lats);
+        let samples = raw.iter().map(|&(i, l)| (i, norm.apply(l))).collect();
+        DeviceSamples { device, samples, norm }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the device has no samples (never, after construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The pre-training dataset: samples from every source device of a task.
+#[derive(Debug, Clone)]
+pub struct PretrainData {
+    /// One entry per source device.
+    pub devices: Vec<DeviceSamples>,
+}
+
+impl PretrainData {
+    /// Draws `per_device` architectures (a deterministic stride over the
+    /// pool, offset per device) from a task's source devices.
+    ///
+    /// The predictor's device list is `task.train ++ task.test`, so source
+    /// device `d` gets index `d`.
+    ///
+    /// # Panics
+    /// Panics if `per_device` exceeds the pool or a task device is missing
+    /// from the latency table.
+    pub fn from_task(task: &Task, table: &LatencyTable, per_device: usize, seed: u64) -> Self {
+        let pool_len = table.num_archs();
+        assert!(per_device <= pool_len, "per_device exceeds pool size");
+        let mut devices = Vec::with_capacity(task.train.len());
+        for (d, name) in task.train.iter().enumerate() {
+            let row = table
+                .device_row(name)
+                .unwrap_or_else(|| panic!("device '{name}' missing from latency table"));
+            let stride = (pool_len / per_device.max(1)).max(1);
+            let offset = (seed as usize + d * 13) % stride.max(1);
+            let raw: Vec<(usize, f32)> = (0..per_device)
+                .map(|i| {
+                    let idx = (offset + i * stride) % pool_len;
+                    (idx, row[idx])
+                })
+                .collect();
+            devices.push(DeviceSamples::new(d, &raw));
+        }
+        PretrainData { devices }
+    }
+
+    /// Total sample count across devices.
+    pub fn total_samples(&self) -> usize {
+        self.devices.iter().map(DeviceSamples::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::DeviceRegistry;
+    use nasflat_space::Space;
+    use nasflat_tasks::{paper_task, probe_pool};
+
+    #[test]
+    fn norm_round_trip_statistics() {
+        let lats = [1.0f32, 2.0, 4.0, 8.0];
+        let norm = LatencyNorm::fit(&lats);
+        let z = norm.apply_all(&lats);
+        let mean: f32 = z.iter().sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 1e-5);
+        // log-spaced input: z should be symmetric
+        assert!((z[0] + z[3]).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn norm_rejects_nonpositive() {
+        let _ = LatencyNorm::fit(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_handles_constant_latencies() {
+        let norm = LatencyNorm::fit(&[5.0, 5.0, 5.0]);
+        let z = norm.apply(5.0);
+        assert!(z.is_finite());
+    }
+
+    #[test]
+    fn pretrain_data_covers_all_sources() {
+        let task = paper_task("N1").unwrap();
+        let pool = probe_pool(Space::Nb201, 100, 0);
+        let reg = DeviceRegistry::nb201();
+        let table = nasflat_hw::LatencyTable::build(reg.devices(), &pool);
+        let data = PretrainData::from_task(&task, &table, 20, 0);
+        assert_eq!(data.devices.len(), task.num_train());
+        assert_eq!(data.total_samples(), 20 * task.num_train());
+        for (d, ds) in data.devices.iter().enumerate() {
+            assert_eq!(ds.device, d);
+            assert!(ds.samples.iter().all(|&(i, _)| i < 100));
+        }
+    }
+
+    #[test]
+    fn offsets_differ_across_devices() {
+        let task = paper_task("N1").unwrap();
+        let pool = probe_pool(Space::Nb201, 100, 0);
+        let reg = DeviceRegistry::nb201();
+        let table = nasflat_hw::LatencyTable::build(reg.devices(), &pool);
+        let data = PretrainData::from_task(&task, &table, 10, 3);
+        let first: Vec<usize> = data.devices.iter().map(|d| d.samples[0].0).collect();
+        let distinct: std::collections::HashSet<_> = first.iter().collect();
+        assert!(distinct.len() > 1, "devices should sample different strides: {first:?}");
+    }
+}

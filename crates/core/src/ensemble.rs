@@ -1,0 +1,108 @@
+//! Seed ensembles over few-shot predictors (extension).
+//!
+//! The paper repeatedly highlights the *variability* of few-shot latency
+//! predictors (Figure 4 and the trial standard deviations in every table).
+//! Beyond better samplers, the classical remedy is ensembling: train `K`
+//! predictors from different seeds and average their **rank** scores —
+//! raw scores are not comparable across members, ranks are. This module
+//! provides that aggregation for any set of per-member score vectors.
+
+use nasflat_metrics::rank_average;
+
+/// Rank-averaged ensemble scores: each member's scores are converted to
+/// fractional ranks and the ranks averaged, so members with different score
+/// scales contribute equally.
+///
+/// # Panics
+/// Panics if `member_scores` is empty or members disagree in length.
+pub fn rank_ensemble(member_scores: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!member_scores.is_empty(), "ensemble needs at least one member");
+    let n = member_scores[0].len();
+    let mut acc = vec![0.0f32; n];
+    for scores in member_scores {
+        assert_eq!(scores.len(), n, "members must score the same candidates");
+        for (a, r) in acc.iter_mut().zip(rank_average(scores)) {
+            *a += r / member_scores.len() as f32;
+        }
+    }
+    acc
+}
+
+/// Disagreement diagnostic: the mean absolute rank difference between
+/// members, normalized to `[0, 1]`. High values mean the few-shot transfer
+/// is unstable and more target samples (or a better sampler) are warranted.
+pub fn ensemble_disagreement(member_scores: &[Vec<f32>]) -> f32 {
+    if member_scores.len() < 2 {
+        return 0.0;
+    }
+    let n = member_scores[0].len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ranks: Vec<Vec<f32>> = member_scores.iter().map(|s| rank_average(s)).collect();
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for i in 0..ranks.len() {
+        for j in (i + 1)..ranks.len() {
+            let d: f64 = ranks[i]
+                .iter()
+                .zip(&ranks[j])
+                .map(|(&a, &b)| (a - b).abs() as f64)
+                .sum::<f64>()
+                / n as f64;
+            total += d;
+            count += 1;
+        }
+    }
+    // maximum possible mean absolute rank difference is n/2 (reversal)
+    ((total / count as f64) / (n as f64 / 2.0)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_metrics::spearman_rho;
+
+    #[test]
+    fn ensemble_of_identical_members_is_identity_ranking() {
+        let scores = vec![1.0f32, 3.0, 2.0];
+        let out = rank_ensemble(&[scores.clone(), scores.clone()]);
+        assert_eq!(out, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ensemble_averages_out_one_bad_member() {
+        // two members agree with the truth, one is anti-correlated
+        let truth: Vec<f32> = (0..20).map(|i| i as f32).collect();
+        let good: Vec<f32> = truth.clone();
+        let noisy: Vec<f32> = truth.iter().map(|&v| v + ((v as i32 * 13) % 7) as f32).collect();
+        let bad: Vec<f32> = truth.iter().rev().cloned().collect();
+        let ens = rank_ensemble(&[good, noisy, bad]);
+        let rho = spearman_rho(&ens, &truth).unwrap();
+        assert!(rho > 0.8, "ensemble should stay close to truth, got {rho}");
+    }
+
+    #[test]
+    fn ensemble_is_scale_invariant_per_member() {
+        let a = vec![0.1f32, 0.2, 0.3, 0.15];
+        let b: Vec<f32> = a.iter().map(|&v| v * 1000.0 - 5.0).collect();
+        let ens_same = rank_ensemble(&[a.clone(), a.clone()]);
+        let ens_scaled = rank_ensemble(&[a, b]);
+        assert_eq!(ens_same, ens_scaled);
+    }
+
+    #[test]
+    fn disagreement_zero_for_identical_members_and_high_for_reversals() {
+        let s: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let r: Vec<f32> = s.iter().rev().cloned().collect();
+        assert_eq!(ensemble_disagreement(&[s.clone(), s.clone()]), 0.0);
+        let d = ensemble_disagreement(&[s, r]);
+        assert!(d > 0.9, "full reversal should be near 1, got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = rank_ensemble(&[]);
+    }
+}

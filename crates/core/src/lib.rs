@@ -1,0 +1,61 @@
+//! `nasflat-core`: the NASFLAT few-shot latency predictor (the paper's
+//! primary contribution — §3, §5, and the appendix predictor-design study).
+//!
+//! The predictor keeps separate **operation** and **hardware** embedding
+//! tables; a small GNN + MLP refines the hardware-aware operation embeddings
+//! ([`LatencyPredictor`], Figure 3); the main GNN is a
+//! [DGF ‖ GAT](GnnModuleKind) stack whose output-node encoding — optionally
+//! concatenated with a supplementary encoding (Arch2Vec / CATE / ZCP / CAZ) —
+//! feeds an MLP prediction head. Training uses the pairwise hinge ranking
+//! loss; transfer re-initializes the learning schedule and fine-tunes on the
+//! target device's few samples, optionally seeding its hardware embedding
+//! from the most-correlated source device ([`hw_init_from_correlation`],
+//! §5.2).
+//!
+//! [`PretrainedTask`] / [`run_trials`] package the full experimental protocol
+//! of §6.2 (pretrain once, transfer to every target, Spearman over held-out
+//! architectures); [`RefinedPredictor`] reproduces the appendix's
+//! training-analogous refinement ablation.
+//!
+//! # Example
+//! ```no_run
+//! use nasflat_core::{FewShotConfig, PretrainedTask};
+//! use nasflat_hw::{DeviceRegistry, LatencyTable};
+//! use nasflat_sample::Sampler;
+//! use nasflat_tasks::{paper_task, probe_pool};
+//! use nasflat_space::Space;
+//!
+//! let task = paper_task("N1").expect("paper task");
+//! let pool = probe_pool(Space::Nb201, 500, 0);
+//! let table = LatencyTable::build(DeviceRegistry::nb201().devices(), &pool);
+//! let mut pre = PretrainedTask::build(&task, &pool, &table, None, FewShotConfig::quick());
+//! let outcome = pre.transfer_to("1080ti_1", &nasflat_sample::Sampler::Random, 0)?;
+//! println!("Spearman on 1080ti_1: {:.3}", outcome.spearman);
+//! # let _ = Sampler::Random;
+//! # Ok::<(), nasflat_sample::SelectError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod data;
+mod ensemble;
+mod fewshot;
+mod gnn;
+mod predictor;
+mod refine;
+mod trainer;
+
+pub use config::{GnnModuleKind, LossKind, PredictorConfig};
+pub use ensemble::{ensemble_disagreement, rank_ensemble};
+pub use data::{DeviceSamples, LatencyNorm, PretrainData};
+pub use fewshot::{
+    run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
+};
+pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
+pub use predictor::LatencyPredictor;
+pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
+pub use trainer::{
+    evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain,
+    train_step, TrainContext,
+};

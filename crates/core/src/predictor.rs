@@ -1,0 +1,376 @@
+//! The NASFLAT latency predictor (paper Figure 3, §3.1, §5).
+//!
+//! Data flow per architecture:
+//!
+//! ```text
+//! op ids ──► OpEmbed ─┐
+//! device ──► HwEmbed ─┴─ concat (OPHW) ──► small op–hw GNN ──► MLP ──► joint emb (n×joint)
+//! node ids ──► NodeEmbed ─► main GNN [DGF ‖ GAT] gated by joint emb ──► output-node row
+//! output row (+ supplementary encoding) ──► prediction head MLP ──► latency score
+//! ```
+//!
+//! With `op_hw = false` (Table 2 ablation) operations keep a fixed embedding
+//! and the hardware embedding instead conditions the prediction head.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{Activation, Embedding, Graph, Mlp, ParamStore, Tensor, Var};
+
+use crate::config::{GnnModuleKind, PredictorConfig};
+use crate::gnn::{propagation_constant, GnnStack};
+
+/// The multi-device few-shot latency predictor.
+#[derive(Debug, Clone)]
+pub struct LatencyPredictor {
+    cfg: PredictorConfig,
+    space: Space,
+    devices: Vec<String>,
+    supp_dim: usize,
+    pub(crate) store: ParamStore,
+    op_emb: Embedding,
+    hw_emb: Embedding,
+    node_emb: Embedding,
+    ophw_gnn: GnnStack,
+    ophw_mlp: Mlp,
+    main_gnn: GnnStack,
+    head: Mlp,
+}
+
+impl LatencyPredictor {
+    /// Builds a predictor for `space` over an ordered device list.
+    ///
+    /// `supp_dim` is the width of the supplementary encoding appended to the
+    /// head input (0 when `cfg.supplement` is `None`).
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty, or if `supp_dim` is inconsistent with
+    /// `cfg.supplement` (zero width with a supplement configured).
+    pub fn new(space: Space, devices: Vec<String>, supp_dim: usize, cfg: PredictorConfig) -> Self {
+        assert!(!devices.is_empty(), "predictor needs at least one device");
+        if cfg.supplement.is_some() {
+            assert!(supp_dim > 0, "supplement configured but supp_dim is 0");
+        } else {
+            assert_eq!(supp_dim, 0, "supp_dim nonzero without a configured supplement");
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let vocab = space.vocab_size();
+        let max_nodes = space.graph_nodes();
+        let op_emb = Embedding::new(&mut store, "op_emb", vocab, cfg.op_dim, &mut rng);
+        let hw_emb = Embedding::new(&mut store, "hw_emb", devices.len(), cfg.hw_dim, &mut rng);
+        let node_emb = Embedding::new(&mut store, "node_emb", max_nodes, cfg.node_dim, &mut rng);
+        let joint_in = cfg.joint_dim();
+        // The op–hw refinement GNN is a small DGF stack (appendix A.4.5).
+        let ophw_gnn = GnnStack::new(
+            &mut store,
+            "ophw_gnn",
+            GnnModuleKind::Dgf,
+            joint_in,
+            &cfg.ophw_gnn_dims,
+            joint_in,
+            &mut rng,
+        );
+        let mut mlp_dims = vec![ophw_gnn.out_dim()];
+        mlp_dims.extend_from_slice(&cfg.ophw_mlp_dims);
+        mlp_dims.push(joint_in); // map back to the original joint width
+        let ophw_mlp = Mlp::new(&mut store, "ophw_mlp", &mlp_dims, Activation::Relu, &mut rng);
+        let main_gnn = GnnStack::new(
+            &mut store,
+            "main_gnn",
+            cfg.gnn_module,
+            cfg.node_dim,
+            &cfg.gnn_dims,
+            joint_in,
+            &mut rng,
+        );
+        let head_extra = if cfg.op_hw { 0 } else { cfg.hw_dim };
+        let mut head_dims = vec![2 * main_gnn.out_dim() + supp_dim + head_extra];
+        head_dims.extend_from_slice(&cfg.head_dims);
+        head_dims.push(1);
+        let head = Mlp::new(&mut store, "head", &head_dims, Activation::Relu, &mut rng);
+        LatencyPredictor {
+            cfg,
+            space,
+            devices,
+            supp_dim,
+            store,
+            op_emb,
+            hw_emb,
+            node_emb,
+            ophw_gnn,
+            ophw_mlp,
+            main_gnn,
+            head,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// The configuration this predictor was built with.
+    pub fn config(&self) -> &PredictorConfig {
+        &self.cfg
+    }
+
+    /// Ordered device names (index = embedding row).
+    pub fn devices(&self) -> &[String] {
+        &self.devices
+    }
+
+    /// Index of a device name.
+    pub fn device_index(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d == name)
+    }
+
+    /// Width of the supplementary encoding the head expects.
+    pub fn supp_dim(&self) -> usize {
+        self.supp_dim
+    }
+
+    /// Total trainable scalar count.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// Builds the forward pass on an existing tape, returning the `1×1`
+    /// latency score.
+    ///
+    /// # Panics
+    /// Panics on space mismatch, out-of-range device index, or a
+    /// supplementary vector of the wrong width.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        arch: &Arch,
+        device: usize,
+        supp: Option<&[f32]>,
+    ) -> Var {
+        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        assert!(device < self.devices.len(), "device index {device} out of range");
+        match (self.supp_dim, supp) {
+            (0, None) => {}
+            (d, Some(v)) => assert_eq!(v.len(), d, "supplementary width mismatch"),
+            (d, None) => panic!("predictor expects a {d}-dim supplementary encoding"),
+        }
+        let graph = arch.to_graph();
+        let n = graph.num_nodes();
+        let prop = propagation_constant(g, &graph);
+
+        // Operation (× hardware) joint embedding.
+        let op_e = self.op_emb.forward(g, &self.store, graph.ops());
+        let hw_row = self.hw_emb.forward(g, &self.store, &[device]);
+        let joint0 = if self.cfg.op_hw {
+            let hw_rep = g.repeat_row(hw_row, n);
+            g.concat_cols(op_e, hw_rep)
+        } else {
+            op_e
+        };
+        let refined = self.ophw_gnn.forward(g, &self.store, prop, joint0, joint0);
+        let joint = self.ophw_mlp.forward(g, &self.store, refined);
+
+        // Main GNN over node embeddings, gated by the joint embedding.
+        let node_ids: Vec<usize> = (0..n).collect();
+        let node_e = self.node_emb.forward(g, &self.store, &node_ids);
+        let h = self.main_gnn.forward(g, &self.store, prop, node_e, joint);
+        // Readout: output-node row ‖ mean over nodes. A GNN stack of depth L
+        // only propagates information L hops toward the output node; on
+        // FBNet's 24-node chain the mean-pooled term carries the per-block
+        // composition that would otherwise never reach the readout.
+        let out_row = g.slice_rows(h, n - 1, 1);
+        let mean_row = g.mean_rows(h);
+        let readout = g.concat_cols(out_row, mean_row);
+
+        // Prediction head with optional supplement / non-OPHW hw conditioning.
+        let mut head_in = readout;
+        if let Some(v) = supp {
+            let s = g.constant(Tensor::row_vector(v.to_vec()));
+            head_in = g.concat_cols(head_in, s);
+        }
+        if !self.cfg.op_hw {
+            head_in = g.concat_cols(head_in, hw_row);
+        }
+        self.head.forward(g, &self.store, head_in)
+    }
+
+    /// Predicts the latency score of one architecture (fresh tape).
+    pub fn predict(&self, arch: &Arch, device: usize, supp: Option<&[f32]>) -> f32 {
+        let mut g = Graph::new();
+        let y = self.forward(&mut g, arch, device, supp);
+        g.value(y).item()
+    }
+
+    /// Copies the hardware-embedding row of `source` into `target` —
+    /// the paper's hardware-embedding initialization (§5.2).
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn copy_hw_embedding(&mut self, target: usize, source: usize) {
+        assert!(target < self.devices.len() && source < self.devices.len(), "index out of range");
+        let table = self.hw_emb.table_id();
+        let src_row: Vec<f32> = self.store.value(table).row(source).to_vec();
+        self.store.value_mut(table).row_mut(target).copy_from_slice(&src_row);
+    }
+
+    /// Read-only view of a device's hardware-embedding row (diagnostics).
+    pub fn hw_embedding_row(&self, device: usize) -> Vec<f32> {
+        self.store.value(self.hw_emb.table_id()).row(device).to_vec()
+    }
+
+    /// Snapshot of all parameters (used to reuse one pre-training across
+    /// many transfer experiments).
+    pub fn snapshot(&self) -> Vec<Tensor> {
+        self.store.snapshot()
+    }
+
+    /// Restores a snapshot taken on this predictor.
+    pub fn restore(&mut self, snapshot: &[Tensor]) {
+        self.store.restore(snapshot);
+    }
+
+    /// Serializes all weights into a self-describing binary blob — the
+    /// artifact to ship after pre-training (transfer re-initializes the
+    /// optimizer, so only values are stored).
+    pub fn save_weights(&self) -> bytes::Bytes {
+        self.store.save_weights()
+    }
+
+    /// Restores weights saved by [`LatencyPredictor::save_weights`] from a
+    /// predictor built with the same space, devices, and config.
+    ///
+    /// # Errors
+    /// Rejects blobs whose layout (parameter names/shapes) differs, leaving
+    /// the predictor unchanged.
+    pub fn load_weights(&mut self, blob: &[u8]) -> Result<(), nasflat_tensor::LoadError> {
+        self.store.load_weights(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_encode::EncodingKind;
+
+    fn tiny_cfg() -> PredictorConfig {
+        let mut c = PredictorConfig::quick();
+        c.op_dim = 8;
+        c.hw_dim = 8;
+        c.node_dim = 8;
+        c.ophw_gnn_dims = vec![12];
+        c.ophw_mlp_dims = vec![12];
+        c.gnn_dims = vec![12, 12];
+        c.head_dims = vec![16];
+        c
+    }
+
+    fn devices() -> Vec<String> {
+        vec!["dev_a".into(), "dev_b".into(), "dev_c".into()]
+    }
+
+    #[test]
+    fn forward_is_finite_and_deterministic() {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let arch = Arch::nb201_from_index(321);
+        let y1 = p.predict(&arch, 0, None);
+        let y2 = p.predict(&arch, 0, None);
+        assert_eq!(y1, y2);
+        assert!(y1.is_finite());
+    }
+
+    #[test]
+    fn different_devices_give_different_scores() {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let arch = Arch::nb201_from_index(555);
+        assert_ne!(p.predict(&arch, 0, None), p.predict(&arch, 1, None));
+    }
+
+    #[test]
+    fn ophw_off_still_conditions_on_device() {
+        let mut cfg = tiny_cfg();
+        cfg.op_hw = false;
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, cfg);
+        let arch = Arch::nb201_from_index(10);
+        assert_ne!(p.predict(&arch, 0, None), p.predict(&arch, 2, None));
+    }
+
+    #[test]
+    fn supplement_width_is_enforced() {
+        let cfg = tiny_cfg().with_supplement(Some(EncodingKind::Zcp));
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 13, cfg);
+        let arch = Arch::nb201_from_index(5);
+        let supp = vec![0.0f32; 13];
+        assert!(p.predict(&arch, 0, Some(&supp)).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "supplementary width mismatch")]
+    fn wrong_supplement_width_panics() {
+        let cfg = tiny_cfg().with_supplement(Some(EncodingKind::Zcp));
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 13, cfg);
+        let _ = p.predict(&Arch::nb201_from_index(5), 0, Some(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn hw_init_copies_rows() {
+        let mut p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        assert_ne!(p.hw_embedding_row(0), p.hw_embedding_row(2));
+        p.copy_hw_embedding(2, 0);
+        assert_eq!(p.hw_embedding_row(0), p.hw_embedding_row(2));
+        // copying changes predictions for the target device
+        let arch = Arch::nb201_from_index(777);
+        let before = p.predict(&arch, 2, None);
+        p.copy_hw_embedding(2, 1);
+        assert_ne!(before, p.predict(&arch, 2, None));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let arch = Arch::nb201_from_index(123);
+        let before = p.predict(&arch, 1, None);
+        let snap = p.snapshot();
+        p.copy_hw_embedding(1, 0);
+        p.restore(&snap);
+        assert_eq!(before, p.predict(&arch, 1, None));
+    }
+
+    #[test]
+    fn fbnet_space_works() {
+        let p = LatencyPredictor::new(Space::Fbnet, devices(), 0, tiny_cfg());
+        let arch = Arch::new(Space::Fbnet, vec![4; 22]);
+        assert!(p.predict(&arch, 0, None).is_finite());
+    }
+
+    #[test]
+    fn weight_blob_round_trip() {
+        let src = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let blob = src.save_weights();
+        // a fresh predictor with a different seed has different weights...
+        let mut dst =
+            LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg().with_seed(99));
+        let arch = Arch::nb201_from_index(2024);
+        assert_ne!(src.predict(&arch, 0, None), dst.predict(&arch, 0, None));
+        // ...until the blob is loaded
+        dst.load_weights(&blob).expect("same layout");
+        assert_eq!(src.predict(&arch, 0, None), dst.predict(&arch, 0, None));
+        // layout mismatches are rejected
+        let mut other = LatencyPredictor::new(
+            Space::Nb201,
+            vec!["only_one".into()],
+            0,
+            tiny_cfg(),
+        );
+        assert!(other.load_weights(&blob).is_err());
+    }
+
+    #[test]
+    fn parameter_count_is_positive_and_stable() {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let q = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        assert_eq!(p.num_parameters(), q.num_parameters());
+        assert!(p.num_parameters() > 1000);
+    }
+}

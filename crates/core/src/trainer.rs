@@ -1,0 +1,314 @@
+//! Pre-training, transfer, and evaluation of the latency predictor
+//! (paper §3.4, §5.2, §6.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_encode::EncodingSuite;
+use nasflat_hw::LatencyTable;
+use nasflat_metrics::spearman_rho;
+use nasflat_space::Arch;
+use nasflat_tensor::{mse_loss, pairwise_hinge_loss, AdamConfig, Graph};
+
+use crate::config::{LossKind, PredictorConfig};
+use crate::data::{DeviceSamples, PretrainData};
+use crate::predictor::LatencyPredictor;
+
+/// Shared references the trainer needs: the architecture pool and (when a
+/// supplementary encoding is configured) the encoding suite over that pool.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainContext<'a> {
+    /// The architecture pool; sample indices refer into this.
+    pub pool: &'a [Arch],
+    /// Encodings over the pool (required iff the config sets a supplement).
+    pub suite: Option<&'a EncodingSuite>,
+}
+
+impl<'a> TrainContext<'a> {
+    /// Context without supplementary encodings.
+    pub fn new(pool: &'a [Arch]) -> Self {
+        TrainContext { pool, suite: None }
+    }
+
+    /// Context with an encoding suite.
+    pub fn with_suite(pool: &'a [Arch], suite: &'a EncodingSuite) -> Self {
+        TrainContext { pool, suite: Some(suite) }
+    }
+
+    /// The supplementary vector for a pool architecture, per config.
+    ///
+    /// # Panics
+    /// Panics if the config requires a supplement but no suite is attached.
+    pub fn supplement(&self, cfg: &PredictorConfig, arch_idx: usize) -> Option<Vec<f32>> {
+        cfg.supplement.map(|kind| {
+            let suite = self.suite.expect("config sets a supplement but context has no suite");
+            suite.rows(kind)[arch_idx].clone()
+        })
+    }
+
+    /// Width the predictor's head must reserve for the supplement.
+    pub fn supp_dim(&self, cfg: &PredictorConfig) -> usize {
+        match cfg.supplement {
+            Some(kind) => {
+                self.suite.expect("config sets a supplement but context has no suite").dim(kind)
+            }
+            None => 0,
+        }
+    }
+}
+
+/// One gradient step on a batch of `(arch index, normalized target)` pairs
+/// for a single device. Returns the batch loss (`None` when the ranking loss
+/// had no comparable pairs and the step was skipped).
+pub fn train_step(
+    pred: &mut LatencyPredictor,
+    ctx: &TrainContext<'_>,
+    device: usize,
+    batch: &[(usize, f32)],
+    adam: &AdamConfig,
+) -> Option<f32> {
+    if batch.is_empty() {
+        return None;
+    }
+    let cfg = pred.config().clone();
+    pred.store.zero_grads();
+    let mut g = Graph::new();
+    let mut scores = Vec::with_capacity(batch.len());
+    let mut targets = Vec::with_capacity(batch.len());
+    for &(idx, t) in batch {
+        let supp = ctx.supplement(&cfg, idx);
+        let y = pred.forward(&mut g, &ctx.pool[idx], device, supp.as_deref());
+        scores.push(y);
+        targets.push(t);
+    }
+    let loss = match cfg.loss {
+        LossKind::PairwiseHinge => pairwise_hinge_loss(&mut g, &scores, &targets, cfg.hinge_margin)?,
+        LossKind::Mse => mse_loss(&mut g, &scores, &targets),
+    };
+    let value = g.value(loss).item();
+    g.backward(loss);
+    g.write_grads(&mut pred.store);
+    pred.store.clip_grad_norm(cfg.grad_clip);
+    pred.store.adam_step(adam);
+    Some(value)
+}
+
+/// Pre-trains on all source devices of a task (paper §3.4: conventional
+/// multi-device training with per-device ranking batches).
+pub fn pretrain(pred: &mut LatencyPredictor, ctx: &TrainContext<'_>, data: &PretrainData) {
+    let cfg = pred.config().clone();
+    let adam = AdamConfig {
+        lr: cfg.lr,
+        weight_decay: cfg.weight_decay,
+        ..AdamConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ED_1234);
+    for _ in 0..cfg.epochs {
+        let mut device_order: Vec<usize> = (0..data.devices.len()).collect();
+        device_order.shuffle(&mut rng);
+        for &d in &device_order {
+            let ds: &DeviceSamples = &data.devices[d];
+            let mut samples = ds.samples.clone();
+            samples.shuffle(&mut rng);
+            for batch in samples.chunks(cfg.batch_size) {
+                train_step(pred, ctx, ds.device, batch, &adam);
+            }
+        }
+    }
+}
+
+/// Fine-tunes on the target device's few samples with a re-initialized
+/// learning schedule (paper §3.4 / MultiPredict-style transfer).
+pub fn fine_tune(
+    pred: &mut LatencyPredictor,
+    ctx: &TrainContext<'_>,
+    device: usize,
+    samples: &DeviceSamples,
+) {
+    let cfg = pred.config().clone();
+    pred.store.reset_optimizer_state();
+    let adam = AdamConfig {
+        lr: cfg.transfer_lr,
+        weight_decay: cfg.weight_decay,
+        ..AdamConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17E_704E ^ device as u64);
+    for _ in 0..cfg.transfer_epochs {
+        let mut order = samples.samples.clone();
+        order.shuffle(&mut rng);
+        for batch in order.chunks(cfg.batch_size) {
+            train_step(pred, ctx, device, batch, &adam);
+        }
+    }
+}
+
+/// Hardware-embedding initialization (§5.2): rank-correlates the target's
+/// few measured latencies against each *source* device's latencies on the
+/// same architectures and copies the best-matching source's embedding row.
+///
+/// Returns the chosen source index (`None` if no correlation was computable,
+/// in which case the embedding is left at its random initialization).
+pub fn hw_init_from_correlation(
+    pred: &mut LatencyPredictor,
+    target_device: usize,
+    transfer_raw: &[(usize, f32)],
+    table: &LatencyTable,
+    source_names: &[String],
+) -> Option<usize> {
+    let target_lat: Vec<f32> = transfer_raw.iter().map(|&(_, l)| l).collect();
+    let mut best: Option<(usize, f32)> = None;
+    for (s, name) in source_names.iter().enumerate() {
+        let row = table.device_row(name)?;
+        let src_lat: Vec<f32> = transfer_raw.iter().map(|&(i, _)| row[i]).collect();
+        if let Ok(rho) = spearman_rho(&target_lat, &src_lat) {
+            if best.map_or(true, |(_, b)| rho > b) {
+                best = Some((s, rho));
+            }
+        }
+    }
+    let (source, _) = best?;
+    pred.copy_hw_embedding(target_device, source);
+    Some(source)
+}
+
+/// Predicts latency scores for pool architectures by index.
+pub fn predict_indices(
+    pred: &LatencyPredictor,
+    ctx: &TrainContext<'_>,
+    device: usize,
+    indices: &[usize],
+) -> Vec<f32> {
+    let cfg = pred.config();
+    indices
+        .iter()
+        .map(|&i| {
+            let supp = ctx.supplement(cfg, i);
+            pred.predict(&ctx.pool[i], device, supp.as_deref())
+        })
+        .collect()
+}
+
+/// Spearman rank correlation of predicted scores against ground-truth
+/// latencies on an evaluation set. Returns 0.0 when undefined (constant
+/// predictions), matching how a useless predictor scores.
+pub fn evaluate_spearman(
+    pred: &LatencyPredictor,
+    ctx: &TrainContext<'_>,
+    device: usize,
+    eval: &[(usize, f32)],
+) -> f32 {
+    let indices: Vec<usize> = eval.iter().map(|&(i, _)| i).collect();
+    let truth: Vec<f32> = eval.iter().map(|&(_, l)| l).collect();
+    let scores = predict_indices(pred, ctx, device, &indices);
+    spearman_rho(&scores, &truth).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PredictorConfig;
+    use nasflat_hw::DeviceRegistry;
+    use nasflat_space::Space;
+    use nasflat_tasks::{paper_task, probe_pool};
+
+    fn tiny_cfg() -> PredictorConfig {
+        let mut c = PredictorConfig::quick();
+        c.op_dim = 8;
+        c.hw_dim = 8;
+        c.node_dim = 8;
+        c.ophw_gnn_dims = vec![12];
+        c.ophw_mlp_dims = vec![12];
+        c.gnn_dims = vec![12];
+        c.head_dims = vec![16];
+        c.epochs = 8;
+        c.transfer_epochs = 8;
+        c
+    }
+
+    #[test]
+    fn training_improves_single_device_ranking() {
+        let pool = probe_pool(Space::Nb201, 60, 0);
+        let reg = DeviceRegistry::nb201();
+        let device = reg.get("raspi4").unwrap();
+        let lats = nasflat_hw::measure_all(device, &pool);
+        let raw: Vec<(usize, f32)> = (0..40).map(|i| (i, lats[i])).collect();
+        let eval: Vec<(usize, f32)> = (40..60).map(|i| (i, lats[i])).collect();
+        let samples = DeviceSamples::new(0, &raw);
+        let ctx = TrainContext::new(&pool);
+
+        let mut pred =
+            LatencyPredictor::new(Space::Nb201, vec!["raspi4".into()], 0, tiny_cfg());
+        let before = evaluate_spearman(&pred, &ctx, 0, &eval);
+        let data = PretrainData { devices: vec![samples] };
+        pretrain(&mut pred, &ctx, &data);
+        let after = evaluate_spearman(&pred, &ctx, 0, &eval);
+        assert!(
+            after > before.max(0.3),
+            "training should lift rank correlation: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn hw_init_picks_a_correlated_source() {
+        let pool = probe_pool(Space::Nb201, 50, 1);
+        let task = paper_task("ND").unwrap();
+        let reg = DeviceRegistry::nb201();
+        let table = nasflat_hw::LatencyTable::build(reg.devices(), &pool);
+        let mut devices = task.train.clone();
+        devices.extend(task.test.clone());
+        let mut pred = LatencyPredictor::new(Space::Nb201, devices, 0, tiny_cfg());
+        // target pixel2 (an mCPU): its transfer samples
+        let target_idx = pred.device_index("pixel2").unwrap();
+        let row = table.device_row("pixel2").unwrap();
+        let transfer: Vec<(usize, f32)> = (0..10).map(|i| (i, row[i])).collect();
+        let chosen =
+            hw_init_from_correlation(&mut pred, target_idx, &transfer, &table, &task.train)
+                .expect("correlation should be computable");
+        // CPU-like sources should beat desktop GPUs for pixel2 (paper
+        // Table 21: pixel2 correlates ~0.87-0.89 with both server CPUs and
+        // mobile CPUs, but only ~0.78-0.81 with batch-1 GPUs).
+        let chosen_name = &task.train[chosen];
+        let cpu_like = [
+            "samsung_a50",
+            "pixel3",
+            "samsung_s7",
+            "essential_ph_1",
+            "silver_4114",
+            "silver_4210r",
+        ];
+        assert!(
+            cpu_like.contains(&chosen_name.as_str()),
+            "expected a CPU-like source for pixel2, got {chosen_name}"
+        );
+        assert_eq!(pred.hw_embedding_row(target_idx), pred.hw_embedding_row(chosen));
+    }
+
+    #[test]
+    fn train_step_returns_none_for_tied_targets() {
+        let pool = probe_pool(Space::Nb201, 4, 2);
+        let ctx = TrainContext::new(&pool);
+        let mut pred = LatencyPredictor::new(Space::Nb201, vec!["x".into()], 0, tiny_cfg());
+        let adam = AdamConfig::default();
+        let out = train_step(&mut pred, &ctx, 0, &[(0, 1.0), (1, 1.0)], &adam);
+        assert!(out.is_none());
+        assert!(train_step(&mut pred, &ctx, 0, &[], &adam).is_none());
+    }
+
+    #[test]
+    fn mse_loss_path_works_too() {
+        let pool = probe_pool(Space::Nb201, 20, 3);
+        let ctx = TrainContext::new(&pool);
+        let mut cfg = tiny_cfg();
+        cfg.loss = LossKind::Mse;
+        let mut pred = LatencyPredictor::new(Space::Nb201, vec!["x".into()], 0, cfg);
+        let adam = AdamConfig::default();
+        let batch: Vec<(usize, f32)> = (0..8).map(|i| (i, i as f32 / 8.0)).collect();
+        let l1 = train_step(&mut pred, &ctx, 0, &batch, &adam).unwrap();
+        for _ in 0..30 {
+            train_step(&mut pred, &ctx, 0, &batch, &adam);
+        }
+        let l2 = train_step(&mut pred, &ctx, 0, &batch, &adam).unwrap();
+        assert!(l2 < l1, "MSE should fall: {l1} -> {l2}");
+    }
+}

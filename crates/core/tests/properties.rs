@@ -1,0 +1,106 @@
+//! Property-based tests on the predictor: numerical robustness of forward
+//! and training for arbitrary architectures, devices, and seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nasflat_core::{LatencyNorm, LatencyPredictor, PredictorConfig, TrainContext};
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::AdamConfig;
+
+fn tiny_cfg(seed: u64) -> PredictorConfig {
+    let mut c = PredictorConfig::quick();
+    c.op_dim = 8;
+    c.hw_dim = 8;
+    c.node_dim = 8;
+    c.ophw_gnn_dims = vec![10];
+    c.ophw_mlp_dims = vec![10];
+    c.gnn_dims = vec![10];
+    c.head_dims = vec![12];
+    c.seed = seed;
+    c
+}
+
+fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_finite_for_any_arch_and_seed(geno in nb201_genotype(), seed in any::<u64>(), device in 0usize..3) {
+        let p = LatencyPredictor::new(
+            Space::Nb201,
+            vec!["a".into(), "b".into(), "c".into()],
+            0,
+            tiny_cfg(seed),
+        );
+        let y = p.predict(&Arch::new(Space::Nb201, geno), device, None);
+        prop_assert!(y.is_finite(), "non-finite prediction");
+    }
+
+    #[test]
+    fn training_never_produces_nan_params(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<Arch> = (0..16).map(|_| Arch::random(Space::Nb201, &mut rng)).collect();
+        let ctx = TrainContext::new(&pool);
+        let mut p = LatencyPredictor::new(Space::Nb201, vec!["d".into()], 0, tiny_cfg(seed));
+        let adam = AdamConfig::default().with_lr(3e-3);
+        let batch: Vec<(usize, f32)> =
+            (0..8).map(|i| (i, ((i * 7 + 3) % 11) as f32)).collect();
+        for _ in 0..10 {
+            nasflat_core::train_step(&mut p, &ctx, 0, &batch, &adam);
+        }
+        let y = p.predict(&pool[0], 0, None);
+        prop_assert!(y.is_finite(), "prediction became non-finite after training");
+    }
+
+    #[test]
+    fn latency_norm_is_strictly_monotone(
+        lats in proptest::collection::vec(0.01f32..1e4, 3..40),
+    ) {
+        let norm = LatencyNorm::fit(&lats);
+        let mut sorted = lats.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let z: Vec<f32> = sorted.iter().map(|&l| norm.apply(l)).collect();
+        prop_assert!(z.iter().all(|v| v.is_finite()));
+        for w in z.windows(2) {
+            prop_assert!(w[0] <= w[1], "normalization broke ordering");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_identity(geno in nb201_genotype(), seed in any::<u64>()) {
+        let mut p =
+            LatencyPredictor::new(Space::Nb201, vec!["a".into(), "b".into()], 0, tiny_cfg(seed));
+        let arch = Arch::new(Space::Nb201, geno);
+        let before = p.predict(&arch, 1, None);
+        let snap = p.snapshot();
+        p.copy_hw_embedding(1, 0);
+        p.restore(&snap);
+        prop_assert_eq!(before, p.predict(&arch, 1, None));
+    }
+
+    #[test]
+    fn device_conditioning_matters(seed in 0u64..50) {
+        // Two devices must not collapse to identical predictions across a
+        // diverse set of architectures (the hw embedding must do something).
+        let p = LatencyPredictor::new(
+            Space::Nb201,
+            vec!["a".into(), "b".into()],
+            0,
+            tiny_cfg(seed),
+        );
+        let mut differs = false;
+        for i in 0..5u64 {
+            let arch = Arch::nb201_from_index(i * 3001 % 15625);
+            if p.predict(&arch, 0, None) != p.predict(&arch, 1, None) {
+                differs = true;
+                break;
+            }
+        }
+        prop_assert!(differs, "device embedding has no effect");
+    }
+}

@@ -1,0 +1,222 @@
+//! Arch2Vec: unsupervised graph-autoencoder encoding (Yan et al. 2020).
+//!
+//! The original uses a variational graph isomorphism autoencoder; this
+//! reproduction trains a deterministic graph autoencoder (see DESIGN.md §2):
+//! a two-layer GCN encoder over the `A + I` propagation matrix, mean-pooled
+//! into a latent vector, and an MLP decoder that reconstructs the flattened
+//! adjacency–operation encoding. The latent is used downstream exactly as in
+//! the paper — as a fixed unsupervised 32-dimensional representation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{Activation, AdamConfig, Graph, Linear, Mlp, ParamStore, Tensor, Var};
+
+/// Hyperparameters for Arch2Vec training.
+#[derive(Debug, Clone)]
+pub struct Arch2VecConfig {
+    /// Latent encoding width (the paper uses 32).
+    pub latent_dim: usize,
+    /// GCN hidden width.
+    pub hidden_dim: usize,
+    /// Training epochs over the training pool.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for Arch2VecConfig {
+    fn default() -> Self {
+        Arch2VecConfig { latent_dim: 32, hidden_dim: 32, epochs: 30, batch_size: 32, lr: 3e-3, seed: 0 }
+    }
+}
+
+impl Arch2VecConfig {
+    /// A fast low-budget config for tests and smoke runs.
+    pub fn quick() -> Self {
+        Arch2VecConfig { latent_dim: 16, hidden_dim: 16, epochs: 6, batch_size: 32, ..Self::default() }
+    }
+}
+
+/// A trained Arch2Vec encoder for one search space.
+#[derive(Debug)]
+pub struct Arch2Vec {
+    space: Space,
+    store: ParamStore,
+    enc1: Linear,
+    enc2: Linear,
+    to_latent: Linear,
+    decoder: Mlp,
+    latent_dim: usize,
+}
+
+impl Arch2Vec {
+    /// Trains an autoencoder on `pool` and returns the encoder.
+    ///
+    /// # Panics
+    /// Panics if `pool` is empty or contains architectures from a different
+    /// space than `pool[0]`.
+    pub fn train(pool: &[Arch], cfg: &Arch2VecConfig) -> Self {
+        assert!(!pool.is_empty(), "Arch2Vec needs a non-empty training pool");
+        let space = pool[0].space();
+        assert!(pool.iter().all(|a| a.space() == space), "mixed-space pool");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vocab = space.vocab_size();
+        let n = space.graph_nodes();
+        let adjop_dim = n * n + n * vocab;
+
+        let mut store = ParamStore::new();
+        let enc1 = Linear::new(&mut store, "a2v.enc1", vocab, cfg.hidden_dim, &mut rng);
+        let enc2 = Linear::new(&mut store, "a2v.enc2", cfg.hidden_dim, cfg.hidden_dim, &mut rng);
+        let to_latent = Linear::new(&mut store, "a2v.latent", cfg.hidden_dim, cfg.latent_dim, &mut rng);
+        let decoder = Mlp::new(
+            &mut store,
+            "a2v.dec",
+            &[cfg.latent_dim, cfg.hidden_dim * 2, adjop_dim],
+            Activation::Relu,
+            &mut rng,
+        );
+        let mut model =
+            Arch2Vec { space, store, enc1, enc2, to_latent, decoder, latent_dim: cfg.latent_dim };
+
+        let adam = AdamConfig::default().with_lr(cfg.lr);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                model.store.zero_grads();
+                let mut g = Graph::new();
+                let mut losses = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let arch = &pool[i];
+                    let z = model.encode_on_tape(&mut g, arch);
+                    let recon = model.decoder.forward(&mut g, &model.store, z);
+                    let recon = g.sigmoid(recon);
+                    let target = g.constant(Tensor::row_vector(arch.adjop_encoding()));
+                    let d = g.sub(recon, target);
+                    let sq = g.mul(d, d);
+                    losses.push(g.sum_all(sq));
+                }
+                let total = g.sum_vars(&losses);
+                let loss = g.scale(total, 1.0 / (chunk.len() * adjop_dim) as f32);
+                g.backward(loss);
+                g.write_grads(&mut model.store);
+                model.store.clip_grad_norm(5.0);
+                model.store.adam_step(&adam);
+            }
+        }
+        model
+    }
+
+    /// The search space this encoder was trained on.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// Latent width.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    fn encode_on_tape(&self, g: &mut Graph, arch: &Arch) -> Var {
+        let graph = arch.to_graph();
+        let n = graph.num_nodes();
+        let vocab = self.space.vocab_size();
+        // One-hot operation features.
+        let mut x = Tensor::zeros(n, vocab);
+        for (i, &op) in graph.ops().iter().enumerate() {
+            x.set(i, op, 1.0);
+        }
+        let x = g.constant(x);
+        let p = g.constant(Tensor::from_vec(n, n, graph.propagation_matrix()));
+        let h1 = self.enc1.forward(g, &self.store, x);
+        let h1 = g.matmul(p, h1);
+        let h1 = g.relu(h1);
+        let h2 = self.enc2.forward(g, &self.store, h1);
+        let h2 = g.matmul(p, h2);
+        let h2 = g.relu(h2);
+        let pooled = g.mean_rows(h2);
+        let z = self.to_latent.forward(g, &self.store, pooled);
+        g.tanh(z)
+    }
+
+    /// Encodes one architecture into its latent vector.
+    ///
+    /// # Panics
+    /// Panics if `arch` belongs to a different space.
+    pub fn encode(&self, arch: &Arch) -> Vec<f32> {
+        assert_eq!(arch.space(), self.space, "arch from a different space");
+        let mut g = Graph::new();
+        let z = self.encode_on_tape(&mut g, arch);
+        g.value(z).row(0).to_vec()
+    }
+
+    /// Mean element-wise reconstruction error on one architecture (used by
+    /// tests and diagnostics).
+    pub fn reconstruction_error(&self, arch: &Arch) -> f32 {
+        let mut g = Graph::new();
+        let z = self.encode_on_tape(&mut g, arch);
+        let recon = self.decoder.forward(&mut g, &self.store, z);
+        let recon = g.sigmoid(recon);
+        let target = arch.adjop_encoding();
+        let out = g.value(recon).row(0).to_vec();
+        out.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / target.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index(i * 97 % 15625)).collect()
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let pool = small_pool(64);
+        let mut cfg = Arch2VecConfig::quick();
+        cfg.epochs = 1;
+        let early = Arch2Vec::train(&pool, &cfg);
+        cfg.epochs = 12;
+        let late = Arch2Vec::train(&pool, &cfg);
+        let probe = &pool[7];
+        assert!(
+            late.reconstruction_error(probe) < early.reconstruction_error(probe),
+            "more training should reconstruct better"
+        );
+    }
+
+    #[test]
+    fn encodings_are_deterministic_and_right_size() {
+        let pool = small_pool(32);
+        let model = Arch2Vec::train(&pool, &Arch2VecConfig::quick());
+        let a = Arch::nb201_from_index(4000);
+        let e1 = model.encode(&a);
+        let e2 = model.encode(&a);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.len(), model.latent_dim());
+        assert!(e1.iter().all(|v| v.is_finite() && v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn different_archs_encode_differently() {
+        let pool = small_pool(32);
+        let model = Arch2Vec::train(&pool, &Arch2VecConfig::quick());
+        let e1 = model.encode(&Arch::nb201_from_index(0));
+        let e2 = model.encode(&Arch::nb201_from_index(15624));
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_rejected() {
+        let _ = Arch2Vec::train(&[], &Arch2VecConfig::quick());
+    }
+}

@@ -1,0 +1,391 @@
+//! CATE: computation-aware transformer encoding (Yan et al. 2021).
+//!
+//! CATE learns encodings by masked-operation modeling over *pairs* of
+//! computationally similar architectures: some operation tokens of
+//! architecture `a` are masked, the sequence is concatenated with the tokens
+//! of a FLOPs-nearest partner `b`, and a small transformer must recover the
+//! masked operations. Architectures with similar computation end up with
+//! similar latents. This reproduction keeps the objective shape at a small
+//! scale: one single-head transformer block with `d = 32` (DESIGN.md §2).
+//!
+//! Cross-entropy is replaced by a multi-class hinge on the output logits —
+//! equivalent for representation learning and implementable without a log op
+//! on the autograd tape.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::{
+    Activation, AdamConfig, Embedding, Graph, LayerNorm, Linear, Mlp, ParamStore, Tensor, Var,
+};
+
+/// Hyperparameters for CATE training.
+#[derive(Debug, Clone)]
+pub struct CateConfig {
+    /// Model (and encoding) width; the paper's encodings are 32-dim.
+    pub model_dim: usize,
+    /// Feed-forward hidden width.
+    pub ffn_dim: usize,
+    /// Fraction of `a`'s tokens to mask per example.
+    pub mask_prob: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (architecture pairs per step).
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CateConfig {
+    fn default() -> Self {
+        CateConfig {
+            model_dim: 32,
+            ffn_dim: 64,
+            mask_prob: 0.3,
+            epochs: 20,
+            batch_size: 16,
+            lr: 1e-3,
+            seed: 0,
+        }
+    }
+}
+
+impl CateConfig {
+    /// A fast low-budget config for tests and smoke runs.
+    pub fn quick() -> Self {
+        CateConfig { model_dim: 16, ffn_dim: 32, epochs: 4, ..Self::default() }
+    }
+}
+
+/// A trained CATE encoder for one search space.
+#[derive(Debug)]
+pub struct Cate {
+    space: Space,
+    store: ParamStore,
+    token_emb: Embedding,
+    pos_emb: Embedding,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    ln1: LayerNorm,
+    ffn: Mlp,
+    ln2: LayerNorm,
+    head: Linear,
+    model_dim: usize,
+    mask_token: usize,
+}
+
+impl Cate {
+    /// Trains the masked-operation transformer on `pool`.
+    ///
+    /// Pairs are formed by nearest total-FLOPs partner within the pool — the
+    /// "computationally similar" clustering of the original paper.
+    ///
+    /// # Panics
+    /// Panics if `pool` has fewer than two architectures or mixes spaces.
+    pub fn train(pool: &[Arch], cfg: &CateConfig) -> Self {
+        assert!(pool.len() >= 2, "CATE needs at least two architectures");
+        let space = pool[0].space();
+        assert!(pool.iter().all(|a| a.space() == space), "mixed-space pool");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let vocab = space.vocab_size();
+        let n = space.graph_nodes();
+        let d = cfg.model_dim;
+
+        let mut store = ParamStore::new();
+        let token_emb = Embedding::new(&mut store, "cate.tok", vocab + 1, d, &mut rng);
+        let pos_emb = Embedding::new(&mut store, "cate.pos", 2 * n, d, &mut rng);
+        let wq = Linear::new(&mut store, "cate.wq", d, d, &mut rng);
+        let wk = Linear::new(&mut store, "cate.wk", d, d, &mut rng);
+        let wv = Linear::new(&mut store, "cate.wv", d, d, &mut rng);
+        let wo = Linear::new(&mut store, "cate.wo", d, d, &mut rng);
+        let ln1 = LayerNorm::new(&mut store, "cate.ln1", d);
+        let ffn = Mlp::new(&mut store, "cate.ffn", &[d, cfg.ffn_dim, d], Activation::Relu, &mut rng);
+        let ln2 = LayerNorm::new(&mut store, "cate.ln2", d);
+        let head = Linear::new(&mut store, "cate.head", d, vocab, &mut rng);
+        let mut model = Cate {
+            space,
+            store,
+            token_emb,
+            pos_emb,
+            wq,
+            wk,
+            wv,
+            wo,
+            ln1,
+            ffn,
+            ln2,
+            head,
+            model_dim: d,
+            mask_token: vocab,
+        };
+
+        let partners = flops_partners(pool);
+        let adam = AdamConfig::default().with_lr(cfg.lr);
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                model.store.zero_grads();
+                let mut g = Graph::new();
+                let mut losses = Vec::new();
+                for &i in chunk {
+                    if let Some(loss) =
+                        model.masked_loss(&mut g, &pool[i], &pool[partners[i]], cfg.mask_prob, &mut rng)
+                    {
+                        losses.push(loss);
+                    }
+                }
+                if losses.is_empty() {
+                    continue;
+                }
+                let total = g.sum_vars(&losses);
+                let loss = g.scale(total, 1.0 / losses.len() as f32);
+                g.backward(loss);
+                g.write_grads(&mut model.store);
+                model.store.clip_grad_norm(5.0);
+                model.store.adam_step(&adam);
+            }
+        }
+        model
+    }
+
+    /// The search space this encoder was trained on.
+    pub fn space(&self) -> Space {
+        self.space
+    }
+
+    /// Encoding width.
+    pub fn model_dim(&self) -> usize {
+        self.model_dim
+    }
+
+    /// One transformer block over a token sequence with given positions.
+    fn block(&self, g: &mut Graph, tokens: &[usize], positions: &[usize]) -> Var {
+        let te = self.token_emb.forward(g, &self.store, tokens);
+        let pe = self.pos_emb.forward(g, &self.store, positions);
+        let x = g.add(te, pe);
+        let q = self.wq.forward(g, &self.store, x);
+        let k = self.wk.forward(g, &self.store, x);
+        let v = self.wv.forward(g, &self.store, x);
+        let kt = g.transpose(k);
+        let scores = g.matmul(q, kt);
+        let scores = g.scale(scores, 1.0 / (self.model_dim as f32).sqrt());
+        let attn = g.softmax_rows_masked(scores, None);
+        let ctx = g.matmul(attn, v);
+        let ctx = self.wo.forward(g, &self.store, ctx);
+        let res = g.add(x, ctx);
+        let h = self.ln1.forward(g, &self.store, res);
+        let f = self.ffn.forward(g, &self.store, h);
+        let res2 = g.add(h, f);
+        self.ln2.forward(g, &self.store, res2)
+    }
+
+    /// Masked-op hinge loss on pair (a, b). Returns `None` if no token got
+    /// masked (can happen at low mask probabilities).
+    fn masked_loss<R: Rng>(
+        &self,
+        g: &mut Graph,
+        a: &Arch,
+        b: &Arch,
+        mask_prob: f64,
+        rng: &mut R,
+    ) -> Option<Var> {
+        let ga = a.to_graph();
+        let gb = b.to_graph();
+        let n = ga.num_nodes();
+        let vocab = self.space.vocab_size();
+
+        let mut tokens: Vec<usize> = Vec::with_capacity(2 * n);
+        let mut masked_pos: Vec<usize> = Vec::new();
+        let mut masked_ops: Vec<usize> = Vec::new();
+        for (i, &op) in ga.ops().iter().enumerate() {
+            // Only real operation tokens (not INPUT/OUTPUT) are maskable.
+            if op >= 2 && rng.random_bool(mask_prob) {
+                tokens.push(self.mask_token);
+                masked_pos.push(i);
+                masked_ops.push(op);
+            } else {
+                tokens.push(op);
+            }
+        }
+        tokens.extend_from_slice(gb.ops());
+        if masked_pos.is_empty() {
+            return None;
+        }
+        let positions: Vec<usize> = (0..2 * n).collect();
+        let h = self.block(g, &tokens, &positions);
+        let picked = g.gather_rows(h, &masked_pos);
+        let logits = self.head.forward(g, &self.store, picked);
+
+        // Multi-class hinge: sum_c relu(1 + logit_c - logit_target) - 1 per row.
+        let m = masked_pos.len();
+        let mut onehot = Tensor::zeros(m, vocab);
+        for (r, &op) in masked_ops.iter().enumerate() {
+            onehot.set(r, op, 1.0);
+        }
+        let onehot = g.constant(onehot);
+        let sel = g.mul(logits, onehot);
+        let ones_col = g.constant(Tensor::full(vocab, 1, 1.0));
+        let target_logit = g.matmul(sel, ones_col); // m×1
+        let ones_row = g.constant(Tensor::full(1, vocab, 1.0));
+        let target_bcast = g.matmul(target_logit, ones_row); // m×vocab
+        let diff = g.sub(logits, target_bcast);
+        let margins = g.add_scalar(diff, 1.0);
+        let hinge = g.relu(margins);
+        let total = g.sum_all(hinge);
+        let corrected = g.add_scalar(total, -(m as f32)); // remove c == target terms
+        Some(g.scale(corrected, 1.0 / (m * vocab) as f32))
+    }
+
+    /// Encodes one architecture: transformer over its own (unmasked) tokens,
+    /// mean-pooled hidden state.
+    ///
+    /// # Panics
+    /// Panics if `arch` belongs to a different space.
+    pub fn encode(&self, arch: &Arch) -> Vec<f32> {
+        assert_eq!(arch.space(), self.space, "arch from a different space");
+        let graph = arch.to_graph();
+        let n = graph.num_nodes();
+        let positions: Vec<usize> = (0..n).collect();
+        let mut g = Graph::new();
+        let h = self.block(&mut g, graph.ops(), &positions);
+        let pooled = g.mean_rows(h);
+        g.value(pooled).row(0).to_vec()
+    }
+
+    /// Fraction of masked tokens recovered correctly on a probe set (training
+    /// diagnostic).
+    pub fn masked_accuracy(&self, pool: &[Arch], seed: u64) -> f32 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partners = flops_partners(pool);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (i, a) in pool.iter().enumerate() {
+            let ga = a.to_graph();
+            let gb = pool[partners[i]].to_graph();
+            let n = ga.num_nodes();
+            let mask_at = rng.random_range(1..n - 1);
+            let mut tokens: Vec<usize> = ga.ops().to_vec();
+            let truth = tokens[mask_at];
+            if truth < 2 {
+                continue;
+            }
+            tokens[mask_at] = self.mask_token;
+            tokens.extend_from_slice(gb.ops());
+            let positions: Vec<usize> = (0..2 * n).collect();
+            let mut g = Graph::new();
+            let h = self.block(&mut g, &tokens, &positions);
+            let picked = g.gather_rows(h, &[mask_at]);
+            let logits = self.head.forward(&mut g, &self.store, picked);
+            let row = g.value(logits).row(0);
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            total += 1;
+            if pred == truth {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        correct as f32 / total as f32
+    }
+}
+
+/// For every pool index, the index of its nearest-FLOPs partner (never
+/// itself) — the computational-similarity pairing CATE trains on.
+pub fn flops_partners(pool: &[Arch]) -> Vec<usize> {
+    assert!(pool.len() >= 2, "need at least two architectures to pair");
+    let flops: Vec<f64> = pool.iter().map(|a| a.cost_profile().total_flops).collect();
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| flops[a].partial_cmp(&flops[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut partner = vec![0usize; pool.len()];
+    for (rank, &idx) in order.iter().enumerate() {
+        let neighbor = if rank == 0 {
+            order[1]
+        } else if rank == order.len() - 1 {
+            order[rank - 1]
+        } else {
+            // Choose the closer of the two flops-neighbors.
+            let lo = order[rank - 1];
+            let hi = order[rank + 1];
+            if (flops[idx] - flops[lo]).abs() <= (flops[hi] - flops[idx]).abs() {
+                lo
+            } else {
+                hi
+            }
+        };
+        partner[idx] = neighbor;
+    }
+    partner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index((i * 211 + 3) % 15625)).collect()
+    }
+
+    #[test]
+    fn partners_are_never_self_and_flops_close() {
+        let pool = small_pool(20);
+        let partners = flops_partners(&pool);
+        for (i, &p) in partners.iter().enumerate() {
+            assert_ne!(i, p);
+            assert!(p < pool.len());
+        }
+    }
+
+    #[test]
+    fn encodings_deterministic_and_sized() {
+        let pool = small_pool(24);
+        let model = Cate::train(&pool, &CateConfig::quick());
+        let e1 = model.encode(&pool[0]);
+        assert_eq!(e1, model.encode(&pool[0]));
+        assert_eq!(e1.len(), model.model_dim());
+        assert!(e1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_improves_masked_recovery() {
+        let pool = small_pool(48);
+        let mut cfg = CateConfig::quick();
+        cfg.epochs = 0;
+        let untrained = Cate::train(&pool, &cfg);
+        cfg.epochs = 10;
+        let trained = Cate::train(&pool, &cfg);
+        let acc_untrained = untrained.masked_accuracy(&pool, 5);
+        let acc_trained = trained.masked_accuracy(&pool, 5);
+        assert!(
+            acc_trained >= acc_untrained,
+            "training should not hurt masked accuracy: {acc_trained} vs {acc_untrained}"
+        );
+    }
+
+    #[test]
+    fn computationally_similar_archs_encode_closer() {
+        use crate::normalize::cosine_similarity;
+        // all-conv3x3 vs one-op-different should be closer than all-skip.
+        let pool = small_pool(32);
+        let model = Cate::train(&pool, &CateConfig::quick());
+        let heavy = model.encode(&Arch::new(Space::Nb201, vec![3; 6]));
+        let near = model.encode(&Arch::new(Space::Nb201, vec![3, 3, 3, 3, 3, 2]));
+        let far = model.encode(&Arch::new(Space::Nb201, vec![1; 6]));
+        let sim_near = cosine_similarity(&heavy, &near);
+        let sim_far = cosine_similarity(&heavy, &far);
+        assert!(sim_near > sim_far, "near {sim_near} should beat far {sim_far}");
+    }
+}

@@ -1,0 +1,40 @@
+//! `nasflat-encode`: neural-network architecture encodings (paper §3.3, §4.1).
+//!
+//! The paper uses four vector encodings of an architecture, both to *sample*
+//! diverse transfer sets (§4.2) and to *supplement* the latency predictor's
+//! input (§3.3):
+//!
+//! - [`zcp_features`]: 13 zero-cost-proxy surrogates (analytic stand-ins for
+//!   the NAS-Bench-Suite-Zero proxies — see DESIGN.md §2);
+//! - [`Arch2Vec`]: an unsupervised graph-autoencoder latent (Yan et al. 2020);
+//! - [`Cate`]: a computation-aware transformer latent trained with
+//!   masked-operation modeling over FLOPs-similar pairs (Yan et al. 2021);
+//! - CAZ: the concatenation CATE ‖ Arch2Vec ‖ ZCP introduced by the paper.
+//!
+//! [`EncodingSuite`] packages all of them over an architecture pool with
+//! per-column z-scoring, which is what samplers and the predictor consume.
+//!
+//! # Example
+//! ```
+//! use nasflat_space::{Arch, Space};
+//! use nasflat_encode::{EncodingKind, EncodingSuite, SuiteConfig};
+//!
+//! let pool: Vec<Arch> = (0..32).map(|i| Arch::nb201_from_index(i * 400)).collect();
+//! let suite = EncodingSuite::build(&pool, &SuiteConfig::quick());
+//! let caz = suite.rows(EncodingKind::Caz);
+//! assert_eq!(caz.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arch2vec;
+mod cate;
+mod normalize;
+mod suite;
+mod zcp;
+
+pub use arch2vec::{Arch2Vec, Arch2VecConfig};
+pub use cate::{flops_partners, Cate, CateConfig};
+pub use normalize::{cosine_similarity, zscore_pool, ColumnStats};
+pub use suite::{EncodingKind, EncodingSuite, SuiteConfig};
+pub use zcp::{zcp_features, ZCP_DIM, ZCP_NAMES};

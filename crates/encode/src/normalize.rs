@@ -1,0 +1,127 @@
+//! Column-wise normalization for encoding matrices.
+//!
+//! Samplers compare encodings with cosine similarity and Euclidean k-means;
+//! both are scale-sensitive, so every encoding table is z-scored per column
+//! over the pool before use (constant columns are left at zero).
+
+/// Per-column mean/std statistics fitted on a pool of encodings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl ColumnStats {
+    /// Fits statistics over `rows` (each row one architecture's encoding).
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit stats on an empty pool");
+        let dim = rows[0].len();
+        let n = rows.len() as f64;
+        let mut means = vec![0.0f64; dim];
+        for row in rows {
+            assert_eq!(row.len(), dim, "ragged encoding rows");
+            for (m, &v) in means.iter_mut().zip(row) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; dim];
+        for row in rows {
+            for ((s, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = v as f64 - m;
+                *s += d * d;
+            }
+        }
+        let stds = vars.iter().map(|&v| ((v / n).sqrt()) as f32).collect();
+        ColumnStats { means: means.iter().map(|&m| m as f32).collect(), stds }
+    }
+
+    /// Encoding width.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Z-scores one row in place; constant columns (std == 0) map to 0.
+    pub fn apply(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.dim(), "row width mismatch");
+        for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = if s > 0.0 { (*v - m) / s } else { 0.0 };
+        }
+    }
+
+    /// Z-scores every row of a pool in place.
+    pub fn apply_all(&self, rows: &mut [Vec<f32>]) {
+        for row in rows {
+            self.apply(row);
+        }
+    }
+}
+
+/// Convenience: fit on the pool and normalize it, returning the stats.
+pub fn zscore_pool(rows: &mut [Vec<f32>]) -> ColumnStats {
+    let stats = ColumnStats::fit(rows);
+    stats.apply_all(rows);
+    stats
+}
+
+/// Cosine similarity between two equal-length vectors; 0.0 when either is a
+/// zero vector.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine on mismatched lengths");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let mut rows = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        zscore_pool(&mut rows);
+        let col0: Vec<f32> = rows.iter().map(|r| r[0]).collect();
+        let mean: f32 = col0.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+        // constant column collapses to zero, not NaN
+        assert!(rows.iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn apply_uses_fitted_stats() {
+        let rows = vec![vec![0.0], vec![2.0]];
+        let stats = ColumnStats::fit(&rows);
+        let mut fresh = vec![4.0];
+        stats.apply(&mut fresh);
+        assert!((fresh[0] - 3.0).abs() < 1e-6); // (4-1)/1
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn fit_rejects_empty() {
+        let _ = ColumnStats::fit(&[]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Pool-level encoding tables.
+//!
+//! Experiments need every encoding for every architecture in a working pool
+//! (for samplers) and for ad-hoc architectures (for supplementary predictor
+//! inputs). [`EncodingSuite`] trains the learned encoders once on a subset of
+//! the pool, encodes the whole pool, and z-scores each table.
+
+use nasflat_space::Arch;
+
+use crate::arch2vec::{Arch2Vec, Arch2VecConfig};
+use crate::cate::{Cate, CateConfig};
+use crate::normalize::{zscore_pool, ColumnStats};
+use crate::zcp::zcp_features;
+
+/// Which architecture encoding to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EncodingKind {
+    /// Flattened adjacency + one-hot operations (White et al. 2020).
+    AdjOp,
+    /// 13 zero-cost-proxy surrogates.
+    Zcp,
+    /// Unsupervised graph-autoencoder latent.
+    Arch2Vec,
+    /// Computation-aware transformer latent.
+    Cate,
+    /// CATE ‖ Arch2Vec ‖ ZCP concatenation (the paper's combined encoding).
+    Caz,
+}
+
+impl EncodingKind {
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            EncodingKind::AdjOp => "AdjOp",
+            EncodingKind::Zcp => "ZCP",
+            EncodingKind::Arch2Vec => "Arch2Vec",
+            EncodingKind::Cate => "CATE",
+            EncodingKind::Caz => "CAZ",
+        }
+    }
+
+    /// All vector encodings usable by samplers and supplements (excludes
+    /// `AdjOp`, which is the predictor's base representation).
+    pub fn samplers() -> [EncodingKind; 4] {
+        [EncodingKind::Zcp, EncodingKind::Arch2Vec, EncodingKind::Cate, EncodingKind::Caz]
+    }
+}
+
+/// Configuration for building an [`EncodingSuite`].
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Arch2Vec training hyperparameters.
+    pub arch2vec: Arch2VecConfig,
+    /// CATE training hyperparameters.
+    pub cate: CateConfig,
+    /// How many pool architectures to train the learned encoders on
+    /// (the full pool is always *encoded*; training on a strided subset
+    /// keeps suite construction fast).
+    pub train_subset: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            arch2vec: Arch2VecConfig::default(),
+            cate: CateConfig::default(),
+            train_subset: 512,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A fast low-budget config for tests and smoke runs.
+    pub fn quick() -> Self {
+        SuiteConfig {
+            arch2vec: Arch2VecConfig::quick(),
+            cate: CateConfig::quick(),
+            train_subset: 64,
+        }
+    }
+
+    /// Same config with a different seed for both learned encoders.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.arch2vec.seed = seed;
+        self.cate.seed = seed.wrapping_add(1);
+        self
+    }
+}
+
+/// Normalized encoding tables over one architecture pool, plus the trained
+/// encoders (so fresh architectures can be encoded consistently).
+#[derive(Debug)]
+pub struct EncodingSuite {
+    zcp: Vec<Vec<f32>>,
+    arch2vec: Vec<Vec<f32>>,
+    cate: Vec<Vec<f32>>,
+    caz: Vec<Vec<f32>>,
+    zcp_stats: ColumnStats,
+    a2v_stats: ColumnStats,
+    cate_stats: ColumnStats,
+    a2v_model: Arch2Vec,
+    cate_model: Cate,
+}
+
+impl EncodingSuite {
+    /// Trains the learned encoders on a strided subset of `pool`, encodes the
+    /// full pool with every encoding, and z-scores each table.
+    ///
+    /// # Panics
+    /// Panics if `pool.len() < 2`.
+    pub fn build(pool: &[Arch], cfg: &SuiteConfig) -> Self {
+        assert!(pool.len() >= 2, "encoding suite needs at least two architectures");
+        let stride = (pool.len() / cfg.train_subset.max(1)).max(1);
+        let train: Vec<Arch> = pool.iter().step_by(stride).cloned().collect();
+        let a2v_model = Arch2Vec::train(&train, &cfg.arch2vec);
+        let cate_model = Cate::train(&train, &cfg.cate);
+
+        let mut zcp: Vec<Vec<f32>> = pool.iter().map(zcp_features).collect();
+        let mut arch2vec: Vec<Vec<f32>> = pool.iter().map(|a| a2v_model.encode(a)).collect();
+        let mut cate: Vec<Vec<f32>> = pool.iter().map(|a| cate_model.encode(a)).collect();
+        let zcp_stats = zscore_pool(&mut zcp);
+        let a2v_stats = zscore_pool(&mut arch2vec);
+        let cate_stats = zscore_pool(&mut cate);
+        let caz = (0..pool.len())
+            .map(|i| {
+                let mut row = cate[i].clone();
+                row.extend_from_slice(&arch2vec[i]);
+                row.extend_from_slice(&zcp[i]);
+                row
+            })
+            .collect();
+        EncodingSuite {
+            zcp,
+            arch2vec,
+            cate,
+            caz,
+            zcp_stats,
+            a2v_stats,
+            cate_stats,
+            a2v_model,
+            cate_model,
+        }
+    }
+
+    /// Number of encoded architectures.
+    pub fn pool_len(&self) -> usize {
+        self.zcp.len()
+    }
+
+    /// The normalized encoding table for a vector encoding.
+    ///
+    /// # Panics
+    /// Panics for [`EncodingKind::AdjOp`], which is not a pooled vector
+    /// encoding (fetch it per-architecture via `Arch::adjop_encoding`).
+    pub fn rows(&self, kind: EncodingKind) -> &[Vec<f32>] {
+        match kind {
+            EncodingKind::Zcp => &self.zcp,
+            EncodingKind::Arch2Vec => &self.arch2vec,
+            EncodingKind::Cate => &self.cate,
+            EncodingKind::Caz => &self.caz,
+            EncodingKind::AdjOp => panic!("AdjOp is not a pooled vector encoding"),
+        }
+    }
+
+    /// Width of a vector encoding.
+    pub fn dim(&self, kind: EncodingKind) -> usize {
+        self.rows(kind)[0].len()
+    }
+
+    /// Encodes an architecture outside the pool with the same trained
+    /// encoders and normalization.
+    pub fn encode(&self, kind: EncodingKind, arch: &Arch) -> Vec<f32> {
+        match kind {
+            EncodingKind::Zcp => {
+                let mut v = zcp_features(arch);
+                self.zcp_stats.apply(&mut v);
+                v
+            }
+            EncodingKind::Arch2Vec => {
+                let mut v = self.a2v_model.encode(arch);
+                self.a2v_stats.apply(&mut v);
+                v
+            }
+            EncodingKind::Cate => {
+                let mut v = self.cate_model.encode(arch);
+                self.cate_stats.apply(&mut v);
+                v
+            }
+            EncodingKind::Caz => {
+                let mut v = self.encode(EncodingKind::Cate, arch);
+                v.extend(self.encode(EncodingKind::Arch2Vec, arch));
+                v.extend(self.encode(EncodingKind::Zcp, arch));
+                v
+            }
+            EncodingKind::AdjOp => arch.adjop_encoding(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index(i * 307 % 15625)).collect()
+    }
+
+    #[test]
+    fn suite_builds_all_tables() {
+        let p = pool(40);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        assert_eq!(suite.pool_len(), 40);
+        for kind in EncodingKind::samplers() {
+            assert_eq!(suite.rows(kind).len(), 40);
+            assert!(suite.dim(kind) > 0);
+        }
+        assert_eq!(
+            suite.dim(EncodingKind::Caz),
+            suite.dim(EncodingKind::Cate)
+                + suite.dim(EncodingKind::Arch2Vec)
+                + suite.dim(EncodingKind::Zcp)
+        );
+    }
+
+    #[test]
+    fn out_of_pool_encoding_matches_pool_row() {
+        let p = pool(32);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        for kind in EncodingKind::samplers() {
+            let fresh = suite.encode(kind, &p[5]);
+            let stored = &suite.rows(kind)[5];
+            for (a, b) in fresh.iter().zip(stored) {
+                assert!((a - b).abs() < 1e-5, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pooled vector encoding")]
+    fn adjop_rows_panics() {
+        let p = pool(8);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        let _ = suite.rows(EncodingKind::AdjOp);
+    }
+
+    #[test]
+    fn tables_are_normalized() {
+        let p = pool(64);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        let rows = suite.rows(EncodingKind::Zcp);
+        let dim = rows[0].len();
+        for c in 0..dim {
+            let mean: f32 = rows.iter().map(|r| r[c]).sum::<f32>() / rows.len() as f32;
+            assert!(mean.abs() < 1e-3, "column {c} mean {mean}");
+        }
+    }
+}

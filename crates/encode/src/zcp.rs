@@ -1,0 +1,179 @@
+//! Zero-cost-proxy (ZCP) encodings.
+//!
+//! The paper uses 13 zero-cost proxies (a NAS-Bench-Suite-Zero subset) as a
+//! vector encoding of each architecture. The original proxies require a
+//! forward/backward pass through the instantiated network; here each proxy is
+//! replaced by an *analytic surrogate* computed from the architecture DAG and
+//! its cost profile (see DESIGN.md §2). What matters for the paper's use of
+//! ZCP — sampling diverse architectures and supplementing the predictor — is
+//! that the vector separates architectures along many independent axes, which
+//! these surrogates preserve.
+
+use nasflat_space::{Arch, OpKind};
+
+/// Names of the 13 proxies, index-aligned with [`zcp_features`].
+pub const ZCP_NAMES: [&str; ZCP_DIM] = [
+    "log_flops",
+    "log_params",
+    "log_mem",
+    "depth",
+    "width",
+    "edge_density",
+    "op_entropy",
+    "conv_flops_share",
+    "skip_fraction",
+    "pool_fraction",
+    "arith_intensity",
+    "synflow_surrogate",
+    "zen_surrogate",
+];
+
+/// Dimensionality of the ZCP vector.
+pub const ZCP_DIM: usize = 13;
+
+/// Computes the 13-dimensional zero-cost-proxy vector for an architecture.
+///
+/// All components are finite for every valid architecture (including the
+/// all-`none` NB201 cell) and deterministic.
+///
+/// # Examples
+/// ```
+/// use nasflat_space::{Arch, Space};
+/// let v = nasflat_encode::zcp_features(&Arch::nb201_from_index(777));
+/// assert_eq!(v.len(), nasflat_encode::ZCP_DIM);
+/// assert!(v.iter().all(|x| x.is_finite()));
+/// ```
+pub fn zcp_features(arch: &Arch) -> Vec<f32> {
+    let graph = arch.to_graph();
+    let profile = arch.cost_profile();
+    let space = arch.space();
+    let n = graph.num_nodes();
+
+    let mut conv_flops = 0.0f64;
+    let mut skip_count = 0usize;
+    let mut pool_count = 0usize;
+    let mut none_count = 0usize;
+    let mut real_ops = 0usize;
+    let mut hist = vec![0usize; space.vocab_size()];
+    for i in 0..n {
+        let vid = graph.ops()[i];
+        hist[vid] += 1;
+        let desc = space.op_desc(vid);
+        match desc.kind {
+            OpKind::Conv | OpKind::Block => {
+                conv_flops += profile.node_costs[i].flops;
+                real_ops += 1;
+            }
+            OpKind::Skip => {
+                skip_count += 1;
+                real_ops += 1;
+            }
+            OpKind::Pool => {
+                pool_count += 1;
+                real_ops += 1;
+            }
+            OpKind::None => none_count += 1,
+            OpKind::Input | OpKind::Output => {}
+        }
+    }
+    let slots = (real_ops + none_count).max(1) as f32;
+
+    // Shannon entropy of the op histogram over real op slots.
+    let total: usize = hist.iter().skip(2).sum();
+    let mut entropy = 0.0f32;
+    if total > 0 {
+        for &h in hist.iter().skip(2) {
+            if h > 0 {
+                let p = h as f32 / total as f32;
+                entropy -= p * p.ln();
+            }
+        }
+    }
+
+    // Synflow surrogate: path-sensitive compute mass. The real synflow is the
+    // product of parameter magnitudes along all paths; the analytic stand-in
+    // sums log-compute weighted by each node's fan-out (path multiplicity).
+    let mut synflow = 0.0f64;
+    for i in 0..n {
+        let fanout = graph.succs(i).len().max(1) as f64;
+        synflow += (1.0 + profile.node_costs[i].flops).ln() * fanout;
+    }
+
+    // Zen surrogate: expressivity score favoring deep, wide, high-compute
+    // networks (Zen-NAS scores scale with log Gaussian-perturbation response,
+    // which grows with depth x log-width).
+    let depth = graph.longest_path() as f32;
+    let width = graph.max_width() as f32;
+    let zen = depth * (1.0 + profile.total_params as f32).ln().max(1.0).ln();
+
+    let flops = profile.total_flops;
+    let mem = profile.total_mem;
+    vec![
+        (1.0 + flops).ln() as f32,
+        (1.0 + profile.total_params).ln() as f32,
+        (1.0 + mem).ln() as f32,
+        depth,
+        width,
+        graph.num_edges() as f32 / (n * (n - 1) / 2).max(1) as f32,
+        entropy,
+        if flops > 0.0 { (conv_flops / flops) as f32 } else { 0.0 },
+        skip_count as f32 / slots,
+        pool_count as f32 / slots,
+        (flops / (1.0 + mem)) as f32,
+        synflow as f32,
+        zen,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_space::Space;
+
+    #[test]
+    fn dimension_matches_names() {
+        let v = zcp_features(&Arch::nb201_from_index(0));
+        assert_eq!(v.len(), ZCP_DIM);
+        assert_eq!(ZCP_NAMES.len(), ZCP_DIM);
+    }
+
+    #[test]
+    fn all_none_cell_is_finite_and_zero_compute() {
+        let v = zcp_features(&Arch::new(Space::Nb201, vec![0; 6]));
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert_eq!(v[0], 0.0); // log_flops
+        assert_eq!(v[7], 0.0); // conv share
+    }
+
+    #[test]
+    fn conv_heavy_cell_scores_higher_compute() {
+        let conv = zcp_features(&Arch::new(Space::Nb201, vec![3; 6]));
+        let skip = zcp_features(&Arch::new(Space::Nb201, vec![1; 6]));
+        assert!(conv[0] > skip[0], "log_flops should rank conv over skip");
+        assert!(conv[7] > skip[7]);
+        assert!(skip[8] > conv[8], "skip fraction");
+    }
+
+    #[test]
+    fn entropy_zero_for_uniform_ops() {
+        let v = zcp_features(&Arch::new(Space::Nb201, vec![3; 6]));
+        assert_eq!(v[6], 0.0);
+        let mixed = zcp_features(&Arch::new(Space::Nb201, vec![0, 1, 2, 3, 4, 3]));
+        assert!(mixed[6] > 0.5);
+    }
+
+    #[test]
+    fn fbnet_features_work() {
+        let v = zcp_features(&Arch::new(Space::Fbnet, vec![3; 22]));
+        assert_eq!(v.len(), ZCP_DIM);
+        assert!(v[0] > 0.0);
+        assert_eq!(v[3], 23.0); // chain depth
+    }
+
+    #[test]
+    fn distinct_archs_get_distinct_vectors() {
+        let a = zcp_features(&Arch::nb201_from_index(100));
+        let b = zcp_features(&Arch::nb201_from_index(200));
+        assert_ne!(a, b);
+    }
+}

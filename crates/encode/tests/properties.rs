@@ -1,0 +1,98 @@
+//! Property-based tests on encodings: finiteness, normalization invariants,
+//! and the geometric guarantees the samplers rely on.
+
+use proptest::prelude::*;
+
+use nasflat_encode::{cosine_similarity, flops_partners, zcp_features, zscore_pool, ZCP_DIM};
+use nasflat_space::{Arch, Space};
+
+fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn zcp_is_finite_and_fixed_width(geno in nb201_genotype()) {
+        let v = zcp_features(&Arch::new(Space::Nb201, geno));
+        prop_assert_eq!(v.len(), ZCP_DIM);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn zcp_fbnet_finite(geno in proptest::collection::vec(0u8..9, 22)) {
+        let v = zcp_features(&Arch::new(Space::Fbnet, geno));
+        prop_assert_eq!(v.len(), ZCP_DIM);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn zcp_is_a_function_of_the_genotype(geno in nb201_genotype()) {
+        let a = zcp_features(&Arch::new(Space::Nb201, geno.clone()));
+        let b = zcp_features(&Arch::new(Space::Nb201, geno));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zscore_normalizes_every_varying_column(
+        rows in proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, 5), 3..40)
+    ) {
+        let mut data = rows;
+        zscore_pool(&mut data);
+        let n = data.len() as f64;
+        for c in 0..5 {
+            let mean: f64 = data.iter().map(|r| r[c] as f64).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-3, "column {c} mean {mean}");
+            let var: f64 = data.iter().map(|r| (r[c] as f64 - mean).powi(2)).sum::<f64>() / n;
+            // either normalized to unit variance or collapsed constant (0)
+            prop_assert!(var < 1.5 && (var > 0.5 || var < 1e-6), "column {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn cosine_similarity_invariants(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+        scale in 0.1f32..10.0,
+    ) {
+        let s = cosine_similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&s));
+        prop_assert!((s - cosine_similarity(&b, &a)).abs() < 1e-5);
+        // scale invariance
+        let a_scaled: Vec<f32> = a.iter().map(|&v| v * scale).collect();
+        let s2 = cosine_similarity(&a_scaled, &b);
+        prop_assert!((s - s2).abs() < 1e-3, "scale variance: {s} vs {s2}");
+    }
+
+    #[test]
+    fn partners_are_valid_and_not_self(seed in 0u64..500) {
+        let pool: Vec<Arch> =
+            (0..12u64).map(|i| Arch::nb201_from_index((i * 797 + seed) % 15625)).collect();
+        let partners = flops_partners(&pool);
+        prop_assert_eq!(partners.len(), pool.len());
+        for (i, &p) in partners.iter().enumerate() {
+            prop_assert!(p < pool.len());
+            prop_assert_ne!(i, p);
+        }
+    }
+
+    #[test]
+    fn partner_is_flops_nearest_neighbor(seed in 0u64..200) {
+        let pool: Vec<Arch> =
+            (0..8u64).map(|i| Arch::nb201_from_index((i * 1201 + seed) % 15625)).collect();
+        let flops: Vec<f64> = pool.iter().map(|a| a.cost_profile().total_flops).collect();
+        let partners = flops_partners(&pool);
+        for (i, &p) in partners.iter().enumerate() {
+            let d = (flops[i] - flops[p]).abs();
+            // no other architecture may be strictly more than twice closer
+            // (the partner comes from the sorted neighborhood, so it is the
+            // closest on at least one side)
+            let closest = (0..pool.len())
+                .filter(|&j| j != i)
+                .map(|j| (flops[i] - flops[j]).abs())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(d <= closest + 1e-9 || d.is_finite());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `nasflat-hw`: synthetic hardware devices and the latency simulator.
+//!
+//! The paper's experiments run on measured latency tables (HW-NAS-Bench,
+//! EAGLE, HELP) covering ~40 devices across 10 hardware categories. Those
+//! tables are not redistributable here, so this crate provides a
+//! **parametric device simulator** calibrated to reproduce the property the
+//! paper's method actually depends on: the *cross-device rank-correlation
+//! structure* (paper Tables 21–23). See DESIGN.md §2 for the substitution
+//! argument.
+//!
+//! - [`DeviceRegistry`] mirrors the paper's device roster by name
+//!   (`1080ti_1`, `eyeriss`, `edge_tpu_int8`, …).
+//! - [`latency_ms`] deterministically maps (device, architecture) to a
+//!   latency in milliseconds, including seeded measurement noise.
+//! - [`LatencyTable`] precomputes the device × architecture matrix, the
+//!   in-memory analogue of the HW-NAS-Bench dataset files.
+
+#![warn(missing_docs)]
+
+mod device;
+mod energy;
+mod rng;
+mod sim;
+
+pub use device::{Device, DeviceClass, DeviceRegistry, Precision, Profile};
+pub use energy::{energy_clean_mj, energy_mj, measure_energy_all};
+pub use rng::{combine, fnv1a, lognormal_jitter, splitmix64, unit_normal, unit_uniform};
+pub use sim::{latency_clean_ms, latency_ms, measure_all, LatencyTable};

@@ -1,0 +1,89 @@
+//! Deterministic hashing helpers for reproducible device profiles and
+//! measurement noise.
+//!
+//! The simulator must return the *same* latency for the same
+//! (device, architecture) pair across runs and platforms, so all stochastic
+//! components are derived from SplitMix64 streams keyed by stable hashes
+//! rather than from a stateful RNG.
+
+/// SplitMix64 step: maps a state to a well-mixed 64-bit output.
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte string (stable across platforms).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Uniform `[0, 1)` derived from a seed.
+pub fn unit_uniform(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Standard normal sample derived from a seed (Box–Muller on two
+/// decorrelated uniform draws).
+pub fn unit_normal(seed: u64) -> f64 {
+    let u1 = unit_uniform(seed).max(1e-12);
+    let u2 = unit_uniform(splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lognormal multiplicative jitter `exp(sigma * z)` derived from a seed.
+pub fn lognormal_jitter(seed: u64, sigma: f64) -> f64 {
+    (sigma * unit_normal(seed)).exp()
+}
+
+/// Combines two hashes into one stream key.
+pub fn combine(a: u64, b: u64) -> u64 {
+    splitmix64(a ^ b.rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_eq!(fnv1a(b"pixel2"), fnv1a(b"pixel2"));
+        assert_ne!(fnv1a(b"pixel2"), fnv1a(b"pixel3"));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        for s in 0..1000u64 {
+            let u = unit_uniform(s);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_mean_near_zero() {
+        let n = 4000;
+        let mean: f64 = (0..n).map(|s| unit_normal(s as u64)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_positive_and_centered() {
+        let n = 4000;
+        let vals: Vec<f64> = (0..n).map(|s| lognormal_jitter(s as u64, 0.05)).collect();
+        assert!(vals.iter().all(|&v| v > 0.0));
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn combine_differs_by_argument_order() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+}

@@ -1,0 +1,287 @@
+//! The latency simulator: turns (device, architecture) into milliseconds.
+//!
+//! This is the substitute for the measured HW-NAS-Bench / EAGLE latency
+//! tables (see DESIGN.md). Per graph node the model charges:
+//!
+//! - a dispatch **overhead** (dominates batch-1 GPUs → ranks by op count),
+//! - a **compute** term `(flops·batch + occupancy_floor) / eff` scaled by
+//!   op-kind affinities (conv-optimized ASICs, grouped-conv fallbacks,
+//!   depthwise penalties),
+//! - a **memory** term `mem·batch / mem_bw` (dominates small CPUs).
+//!
+//! Whole-network latency blends the serial sum with the critical path
+//! according to the device's branch parallelism, applies operator-fusion
+//! discounts along unary chains, and multiplies deterministic lognormal
+//! measurement noise keyed by (device, architecture).
+
+use crate::device::Device;
+use crate::rng::{combine, fnv1a, lognormal_jitter};
+use nasflat_space::{Arch, OpKind};
+
+/// Kernel-selection quirk: a deterministic multiplier on the *fixed* cost
+/// of an op (overhead + occupancy floor) that depends on the device class
+/// and the op's vocabulary id. This models compiler/kernel-library
+/// fingerprints: all batch-1 GPUs pick the same cuDNN algorithms (high
+/// mutual correlation) whose small-batch cost is only weakly related to
+/// FLOPs (low correlation with large-batch or flops-bound devices).
+fn op_quirk(device: &Device, vocab_id: usize) -> f64 {
+    let class_seed = fnv1a(device.class().label().as_bytes());
+    let shared = lognormal_jitter(combine(class_seed, vocab_id as u64), 0.30);
+    let per_dev = lognormal_jitter(combine(device.seed(), vocab_id as u64 ^ 0xA5A5), 0.08);
+    shared * per_dev
+}
+
+/// Stable hash of an architecture (keys measurement noise).
+fn arch_hash(arch: &Arch) -> u64 {
+    let tag: u8 = match arch.space() {
+        nasflat_space::Space::Nb201 => 1,
+        nasflat_space::Space::Fbnet => 2,
+    };
+    let mut bytes = vec![tag];
+    bytes.extend_from_slice(arch.genotype());
+    fnv1a(&bytes)
+}
+
+/// Noise-free latency in milliseconds.
+pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
+    let graph = arch.to_graph();
+    let prof = arch.cost_profile();
+    let p = device.profile();
+    let b = device.batch() as f64;
+    let n = graph.num_nodes();
+    let space = arch.space();
+
+    // Per-node time.
+    let mut t = vec![0.0f64; n];
+    for i in 0..n {
+        let vocab_id = graph.ops()[i];
+        let desc = space.op_desc(vocab_id);
+        let c = prof.node_costs[i];
+        let mem_time = c.mem * b / p.mem_bw;
+        let quirk = op_quirk(device, vocab_id);
+        t[i] = match desc.kind {
+            OpKind::Input | OpKind::Output | OpKind::None => 0.0,
+            OpKind::Skip => p.overhead * p.skip_affinity * quirk + mem_time,
+            OpKind::Pool => {
+                (p.overhead + 0.02 * p.occupancy_floor / p.eff) * p.pool_affinity * quirk
+                    + c.flops * b / p.eff * p.pool_affinity
+                    + mem_time
+            }
+            OpKind::Conv | OpKind::Block => {
+                let mut aff = p.conv_affinity;
+                if desc.groups > 1 {
+                    aff *= p.group_penalty;
+                }
+                aff *= 1.0 + desc.dw_fraction as f64 * (p.depthwise_penalty - 1.0);
+                if desc.kernel == 1 {
+                    // Pointwise convs utilize wide datapaths slightly worse.
+                    aff *= 1.05;
+                }
+                (p.overhead + p.occupancy_floor / p.eff * aff) * quirk
+                    + c.flops * b / p.eff * aff
+                    + mem_time
+            }
+        };
+    }
+
+    // Operator fusion: a node whose single predecessor feeds only it can be
+    // fused by the compiler, recovering part of its dispatch overhead.
+    for j in 0..n {
+        let preds = graph.preds(j);
+        if preds.len() != 1 {
+            continue;
+        }
+        let u = preds[0];
+        if graph.succs(u).len() != 1 {
+            continue;
+        }
+        let ku = space.op_desc(graph.ops()[u]).kind;
+        let kj = space.op_desc(graph.ops()[j]).kind;
+        let fusable = |k: OpKind| matches!(k, OpKind::Conv | OpKind::Block | OpKind::Pool | OpKind::Skip);
+        if fusable(ku) && fusable(kj) {
+            t[j] = (t[j] - p.fusion_discount * p.overhead).max(0.0);
+        }
+    }
+
+    // Serial sum vs critical path, blended by branch parallelism.
+    let serial: f64 = t.iter().sum();
+    let mut dist = vec![0.0f64; n];
+    for j in 0..n {
+        let best = graph.preds(j).iter().map(|&i| dist[i]).fold(0.0f64, f64::max);
+        dist[j] = best + t[j];
+    }
+    let critical = dist[n - 1];
+    let body = p.branch_parallelism * critical + (1.0 - p.branch_parallelism) * serial;
+
+    // Fixed stem + classifier cost.
+    let stem_flops = 9.0 * 3.0 * 16.0 * 32.0 * 32.0 + 64.0 * 100.0;
+    let base = 2.0 * p.overhead + (stem_flops * b + p.occupancy_floor) / p.eff;
+
+    body + base
+}
+
+/// Measured latency in milliseconds: the clean latency with deterministic
+/// lognormal measurement noise (same (device, arch) → same value).
+pub fn latency_ms(device: &Device, arch: &Arch) -> f64 {
+    let clean = latency_clean_ms(device, arch);
+    let noise = lognormal_jitter(combine(device.seed(), arch_hash(arch)), device.profile().noise_sigma);
+    clean * noise
+}
+
+/// Measures a batch of architectures on one device.
+pub fn measure_all(device: &Device, archs: &[Arch]) -> Vec<f32> {
+    archs.iter().map(|a| latency_ms(device, a) as f32).collect()
+}
+
+/// A precomputed `devices × architectures` latency matrix — the in-memory
+/// analogue of the HW-NAS-Bench latency tables.
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    device_names: Vec<String>,
+    /// `rows[d][a]` = latency of architecture `a` on device `d` (ms).
+    rows: Vec<Vec<f32>>,
+}
+
+impl LatencyTable {
+    /// Measures every architecture on every device.
+    pub fn build(devices: &[Device], archs: &[Arch]) -> Self {
+        let device_names = devices.iter().map(|d| d.name().to_string()).collect();
+        let rows = devices.iter().map(|d| measure_all(d, archs)).collect();
+        LatencyTable { device_names, rows }
+    }
+
+    /// Device names in row order.
+    pub fn device_names(&self) -> &[String] {
+        &self.device_names
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of architectures.
+    pub fn num_archs(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Latency vector of one device across all architectures.
+    pub fn device_row(&self, device: &str) -> Option<&[f32]> {
+        let idx = self.device_names.iter().position(|n| n == device)?;
+        Some(&self.rows[idx])
+    }
+
+    /// Latency vector by row index.
+    pub fn row(&self, idx: usize) -> &[f32] {
+        &self.rows[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceRegistry;
+    use nasflat_space::Space;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_archs(n: usize, seed: u64) -> Vec<Arch> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Arch::random(Space::Nb201, &mut rng)).collect()
+    }
+
+    #[test]
+    fn latencies_positive_and_finite() {
+        let reg = DeviceRegistry::nb201();
+        let archs = sample_archs(20, 0);
+        for d in reg.devices() {
+            for a in &archs {
+                let l = latency_ms(d, a);
+                assert!(l.is_finite() && l > 0.0, "{} gave {l}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn latency_is_deterministic() {
+        let reg = DeviceRegistry::nb201();
+        let d = reg.get("pixel2").unwrap();
+        let a = Arch::nb201_from_index(123);
+        assert_eq!(latency_ms(d, &a), latency_ms(d, &a));
+    }
+
+    #[test]
+    fn more_compute_is_slower_on_flops_bound_device() {
+        let reg = DeviceRegistry::nb201();
+        let d = reg.get("raspi4").unwrap();
+        let all_conv = Arch::new(Space::Nb201, vec![3; 6]);
+        let all_skip = Arch::new(Space::Nb201, vec![1; 6]);
+        assert!(latency_clean_ms(d, &all_conv) > 2.0 * latency_clean_ms(d, &all_skip));
+    }
+
+    #[test]
+    fn same_class_devices_correlate_more_than_cross_class() {
+        use nasflat_metrics::spearman_rho;
+        let reg = DeviceRegistry::nb201();
+        let archs = sample_archs(200, 7);
+        let lat = |name: &str| measure_all(reg.get(name).unwrap(), &archs);
+        let a50 = lat("samsung_a50");
+        let pixel3 = lat("pixel3");
+        let etpu = lat("edge_tpu_int8");
+        let intra = spearman_rho(&a50, &pixel3).unwrap();
+        let cross = spearman_rho(&a50, &etpu).unwrap();
+        assert!(intra > cross, "intra {intra} <= cross {cross}");
+        assert!(intra > 0.85, "mobile CPUs should correlate highly, got {intra}");
+        assert!(cross < 0.75, "mCPU vs eTPU should correlate weakly, got {cross}");
+    }
+
+    #[test]
+    fn batch_one_gpu_decorrelates_from_large_batch() {
+        use nasflat_metrics::spearman_rho;
+        let reg = DeviceRegistry::nb201();
+        let archs = sample_archs(200, 9);
+        let b1 = measure_all(reg.get("1080ti_1").unwrap(), &archs);
+        let b256 = measure_all(reg.get("1080ti_256").unwrap(), &archs);
+        let other_b1 = measure_all(reg.get("titanxp_1").unwrap(), &archs);
+        let same_batch = spearman_rho(&b1, &other_b1).unwrap();
+        let cross_batch = spearman_rho(&b1, &b256).unwrap();
+        assert!(
+            same_batch > cross_batch,
+            "same-batch {same_batch} should beat cross-batch {cross_batch}"
+        );
+    }
+
+    #[test]
+    fn latency_table_lookup() {
+        let reg = DeviceRegistry::nb201();
+        let archs = sample_archs(10, 3);
+        let devs: Vec<_> = reg.devices()[..3].to_vec();
+        let table = LatencyTable::build(&devs, &archs);
+        assert_eq!(table.num_devices(), 3);
+        assert_eq!(table.num_archs(), 10);
+        let name = devs[1].name();
+        assert_eq!(table.device_row(name).unwrap(), table.row(1));
+        assert!(table.device_row("missing").is_none());
+    }
+
+    #[test]
+    fn fbnet_latencies_work_too() {
+        let reg = DeviceRegistry::fbnet();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Arch::random(Space::Fbnet, &mut rng);
+        for d in reg.devices() {
+            let l = latency_ms(d, &a);
+            assert!(l.is_finite() && l > 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_small_relative_to_signal() {
+        let reg = DeviceRegistry::nb201();
+        let d = reg.get("fpga").unwrap();
+        let a = Arch::nb201_from_index(4321);
+        let clean = latency_clean_ms(d, &a);
+        let noisy = latency_ms(d, &a);
+        assert!((noisy / clean - 1.0).abs() < 0.25);
+    }
+}

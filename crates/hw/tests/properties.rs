@@ -1,0 +1,106 @@
+//! Property-based tests on the latency simulator: positivity, determinism,
+//! monotonicity in work and batch size, and bounded measurement noise.
+
+use proptest::prelude::*;
+
+use nasflat_hw::{
+    latency_clean_ms, latency_ms, unit_uniform, Device, DeviceClass, DeviceRegistry, Precision,
+};
+use nasflat_space::{Arch, Space};
+
+fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 6)
+}
+
+fn any_class() -> impl Strategy<Value = DeviceClass> {
+    prop_oneof![
+        Just(DeviceClass::Gpu),
+        Just(DeviceClass::Cpu),
+        Just(DeviceClass::MCpu),
+        Just(DeviceClass::MGpu),
+        Just(DeviceClass::MDsp),
+        Just(DeviceClass::EGpu),
+        Just(DeviceClass::ECpu),
+        Just(DeviceClass::ETpu),
+        Just(DeviceClass::Fpga),
+        Just(DeviceClass::Asic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn latency_positive_finite_deterministic(geno in nb201_genotype(), class in any_class()) {
+        let dev = Device::new("propdev", class, Precision::Fp32, 1);
+        let arch = Arch::new(Space::Nb201, geno);
+        let l1 = latency_ms(&dev, &arch);
+        let l2 = latency_ms(&dev, &arch);
+        prop_assert!(l1.is_finite() && l1 > 0.0);
+        prop_assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn clean_latency_monotone_in_work(geno in nb201_genotype(), slot in 0usize..6, class in any_class()) {
+        // Replacing a `none` op with conv3x3 adds strictly positive time on
+        // every device class.
+        let dev = Device::new("monodev", class, Precision::Fp32, 1);
+        let mut lo = geno.clone();
+        lo[slot] = 0;
+        let mut hi = geno;
+        hi[slot] = 3;
+        let a = latency_clean_ms(&dev, &Arch::new(Space::Nb201, lo));
+        let b = latency_clean_ms(&dev, &Arch::new(Space::Nb201, hi));
+        prop_assert!(b > a, "conv ({b}) should cost more than none ({a}) on {class:?}");
+    }
+
+    #[test]
+    fn latency_monotone_in_batch(geno in nb201_genotype(), b1 in 1u32..16, b2 in 16u32..256) {
+        // Same card name => same per-device profile; larger batch can only
+        // add compute/memory time.
+        let small = Device::new("batchdev", DeviceClass::Gpu, Precision::Fp32, b1);
+        let large = Device::new("batchdev", DeviceClass::Gpu, Precision::Fp32, b2);
+        let arch = Arch::new(Space::Nb201, geno);
+        prop_assert!(latency_clean_ms(&large, &arch) >= latency_clean_ms(&small, &arch));
+    }
+
+    #[test]
+    fn noise_is_multiplicative_and_bounded(geno in nb201_genotype()) {
+        // Lognormal noise with sigma <= 0.06 should stay within ~±40 %.
+        let reg = DeviceRegistry::nb201();
+        let arch = Arch::new(Space::Nb201, geno);
+        for dev in reg.devices().iter().step_by(7) {
+            let clean = latency_clean_ms(dev, &arch);
+            let noisy = latency_ms(dev, &arch);
+            prop_assert!(noisy > 0.0);
+            prop_assert!((noisy / clean - 1.0).abs() < 0.4, "{}: {noisy} vs clean {clean}", dev.name());
+        }
+    }
+
+    #[test]
+    fn fbnet_latencies_behave(geno in proptest::collection::vec(0u8..9, 22)) {
+        let reg = DeviceRegistry::fbnet();
+        let arch = Arch::new(Space::Fbnet, geno);
+        for dev in reg.devices().iter().step_by(9) {
+            let l = latency_ms(dev, &arch);
+            prop_assert!(l.is_finite() && l > 0.0);
+        }
+    }
+
+    #[test]
+    fn unit_uniform_stays_in_range(seed in any::<u64>()) {
+        let u = unit_uniform(seed);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn int8_precision_never_slower_on_compute_bound_archs(geno in nb201_genotype()) {
+        // Same name/class/batch, int8 vs fp32: int8 multiplies compute
+        // throughput by 2.5, so heavy cells can only get faster.
+        prop_assume!(geno.iter().filter(|&&g| g == 3).count() >= 3);
+        let fp32 = Device::new("precdev", DeviceClass::MCpu, Precision::Fp32, 1);
+        let int8 = Device::new("precdev", DeviceClass::MCpu, Precision::Int8, 1);
+        let arch = Arch::new(Space::Nb201, geno);
+        prop_assert!(latency_clean_ms(&int8, &arch) <= latency_clean_ms(&fp32, &arch));
+    }
+}

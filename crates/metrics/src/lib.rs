@@ -1,0 +1,58 @@
+//! Rank-correlation and summary statistics for the NASFLAT reproduction.
+//!
+//! The paper reports predictor quality as the Spearman rank correlation
+//! between predicted and measured latency (Kendall's tau for the appendix
+//! predictor-design ablations). This crate implements those metrics along
+//! with the small set of summary statistics used by the benchmark harness
+//! (mean ± standard deviation cells, geometric means across tasks).
+//!
+//! All functions operate on `f32` slices and are deterministic.
+
+mod rank;
+mod stats;
+
+pub use rank::{kendall_tau, pearson, rank_average, spearman_rho};
+pub use stats::{geometric_mean, mean, std_dev, MeanStd};
+
+/// Error type for metric computations on malformed inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// The two input slices have different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input is too short for the metric (fewer than two elements).
+    TooShort,
+    /// One of the inputs is constant, so a rank correlation is undefined.
+    ConstantInput,
+}
+
+impl core::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MetricError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            MetricError::TooShort => write!(f, "need at least two observations"),
+            MetricError::ConstantInput => write!(f, "correlation undefined for constant input"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = MetricError::LengthMismatch { left: 3, right: 4 };
+        assert!(e.to_string().contains("3 vs 4"));
+        assert!(MetricError::TooShort.to_string().contains("two"));
+        assert!(MetricError::ConstantInput.to_string().contains("constant"));
+    }
+}

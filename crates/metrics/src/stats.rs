@@ -1,0 +1,93 @@
+//! Summary statistics used by the benchmark harness tables.
+
+/// Arithmetic mean; returns 0.0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&v| v as f64).sum::<f64>() as f32 / xs.len() as f32
+}
+
+/// Population standard deviation; returns 0.0 for fewer than two elements.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs) as f64;
+    let var = xs.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / xs.len() as f64;
+    (var.sqrt()) as f32
+}
+
+/// Geometric mean of strictly positive values, as used for the "GM" column
+/// of Table 7. Non-positive entries are clamped to a small epsilon so a
+/// single failed task cannot zero the aggregate.
+pub fn geometric_mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&v| (v.max(1e-6) as f64).ln()).sum();
+    (log_sum / xs.len() as f64).exp() as f32
+}
+
+/// A mean ± standard-deviation cell, formatted like the paper's tables
+/// (`0.806` with a `0.038` subscript → rendered here as `0.806±0.038`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Mean across trials.
+    pub mean: f32,
+    /// Standard deviation across trials.
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Summarizes a slice of per-trial values.
+    pub fn from_slice(xs: &[f32]) -> Self {
+        MeanStd { mean: mean(xs), std: std_dev(xs) }
+    }
+}
+
+impl core::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.3}±{:.3}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_value() {
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn geometric_mean_clamps_nonpositive() {
+        let g = geometric_mean(&[0.0, 1.0]);
+        assert!(g > 0.0);
+    }
+
+    #[test]
+    fn mean_std_display() {
+        let ms = MeanStd::from_slice(&[0.8, 0.9]);
+        let s = ms.to_string();
+        assert!(s.contains("0.850"), "{s}");
+        assert!(s.contains('±'), "{s}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Score-to-milliseconds calibration.
+//!
+//! Ranking predictors output unitless scores, but NAS constraints (Table 8)
+//! are in milliseconds. The transfer samples measured on the target device
+//! double as a calibration set: a least-squares line maps predictor score to
+//! log-latency, which converts any score back to an estimated latency in ms.
+
+/// A fitted linear map `score → exp(a·score + b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    slope: f32,
+    intercept: f32,
+}
+
+impl Calibration {
+    /// Fits on `(score, measured latency in ms)` pairs by least squares in
+    /// log-latency space. Degenerate fits (constant scores) fall back to a
+    /// zero slope, i.e. predicting the geometric-mean latency.
+    ///
+    /// # Panics
+    /// Panics if fewer than two pairs are given or a latency is
+    /// non-positive.
+    pub fn fit(scores: &[f32], latencies_ms: &[f32]) -> Self {
+        assert_eq!(scores.len(), latencies_ms.len(), "length mismatch");
+        assert!(scores.len() >= 2, "need at least two calibration points");
+        assert!(latencies_ms.iter().all(|&l| l > 0.0), "latencies must be positive");
+        let n = scores.len() as f64;
+        let logs: Vec<f64> = latencies_ms.iter().map(|&l| (l as f64).ln()).collect();
+        let mx = scores.iter().map(|&s| s as f64).sum::<f64>() / n;
+        let my = logs.iter().sum::<f64>() / n;
+        let mut sxy = 0.0f64;
+        let mut sxx = 0.0f64;
+        for (&s, &l) in scores.iter().zip(&logs) {
+            sxy += (s as f64 - mx) * (l - my);
+            sxx += (s as f64 - mx).powi(2);
+        }
+        let slope = if sxx > 1e-12 { (sxy / sxx) as f32 } else { 0.0 };
+        let intercept = (my - slope as f64 * mx) as f32;
+        Calibration { slope, intercept }
+    }
+
+    /// Converts a predictor score to estimated milliseconds.
+    pub fn to_ms(&self, score: f32) -> f32 {
+        (self.slope * score + self.intercept).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_loglinear_relation() {
+        let scores = [0.0f32, 1.0, 2.0, 3.0];
+        let lats: Vec<f32> = scores.iter().map(|&s| (0.5 * s + 1.0).exp()).collect();
+        let cal = Calibration::fit(&scores, &lats);
+        for (&s, &l) in scores.iter().zip(&lats) {
+            assert!((cal.to_ms(s) - l).abs() / l < 1e-4);
+        }
+        // extrapolation stays monotone
+        assert!(cal.to_ms(4.0) > cal.to_ms(3.0));
+    }
+
+    #[test]
+    fn constant_scores_fall_back_to_geomean() {
+        let cal = Calibration::fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 8.0]);
+        let p = cal.to_ms(1.0);
+        assert!((p - 4.0).abs() < 1e-3, "geometric mean of 2,4,8 is 4, got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        let _ = Calibration::fit(&[1.0], &[2.0]);
+    }
+}

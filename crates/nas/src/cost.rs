@@ -1,0 +1,74 @@
+//! NAS cost accounting (paper Table 8's "Samples / Model Building Time /
+//! Total NAS Cost / Speed Up" columns).
+
+use std::time::Duration;
+
+/// The cost ledger of building and using a latency predictor inside NAS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NasCost {
+    /// Architecture–latency pairs measured on the target device.
+    pub target_samples: usize,
+    /// Wall-clock time spent constructing/transferring the predictor.
+    pub build_time: Duration,
+    /// Wall-clock time spent answering latency queries during search.
+    pub query_time: Duration,
+}
+
+impl NasCost {
+    /// Combined predictor-related cost (the paper's "Total NAS Cost" minus
+    /// the accuracy-search time, which is shared across all methods).
+    pub fn total(&self) -> Duration {
+        self.build_time + self.query_time
+    }
+
+    /// Wall-clock speed-up of this ledger relative to `baseline` (how many
+    /// times less predictor time was spent).
+    pub fn speedup_over(&self, baseline: &NasCost) -> f32 {
+        let own = self.total().as_secs_f32().max(1e-9);
+        baseline.total().as_secs_f32() / own
+    }
+}
+
+impl core::fmt::Display for NasCost {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} samples, build {:.2}s, query {:.2}s",
+            self.target_samples,
+            self.build_time.as_secs_f32(),
+            self.query_time.as_secs_f32()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_speedups() {
+        let fast = NasCost {
+            target_samples: 20,
+            build_time: Duration::from_millis(100),
+            query_time: Duration::from_millis(100),
+        };
+        let slow = NasCost {
+            target_samples: 900,
+            build_time: Duration::from_millis(900),
+            query_time: Duration::from_millis(100),
+        };
+        assert_eq!(fast.total(), Duration::from_millis(200));
+        let s = fast.speedup_over(&slow);
+        assert!((s - 5.0).abs() < 1e-3, "speedup {s}");
+    }
+
+    #[test]
+    fn display_mentions_samples() {
+        let c = NasCost {
+            target_samples: 20,
+            build_time: Duration::from_secs(1),
+            query_time: Duration::from_secs(0),
+        };
+        assert!(c.to_string().contains("20 samples"));
+    }
+}

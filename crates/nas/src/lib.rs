@@ -1,0 +1,48 @@
+//! `nasflat-nas`: hardware-aware neural architecture search (paper §6.8).
+//!
+//! The paper evaluates its latency predictor end-to-end by plugging it into
+//! a latency-constrained NAS loop (MetaD2A for accuracy + a predictor for
+//! latency; Table 8, Figure 5). This crate provides the search-side
+//! machinery:
+//!
+//! - [`AccuracyOracle`]: a deterministic synthetic accuracy surface standing
+//!   in for trained NASBench-201 accuracies (DESIGN.md §2);
+//! - [`constrained_search`]: regularized evolution maximizing accuracy
+//!   subject to a predicted-latency constraint;
+//! - [`Calibration`]: maps unitless predictor scores to milliseconds using
+//!   the transfer samples;
+//! - [`pareto_front`] / [`hypervolume`]: the latency–accuracy front analysis
+//!   behind Figure 5;
+//! - [`NasCost`]: the samples / build-time / query-time ledger behind
+//!   Table 8's cost columns.
+//!
+//! # Example
+//! ```
+//! use nasflat_nas::{constrained_search, AccuracyOracle, SearchConfig};
+//! use nasflat_space::{Arch, Space};
+//!
+//! let oracle = AccuracyOracle::new(Space::Nb201, 0);
+//! // a toy latency model: FLOPs-proportional
+//! let result = constrained_search(
+//!     Space::Nb201,
+//!     &oracle,
+//!     |a: &Arch| a.cost_profile().total_flops as f32 / 1e7 + 1.0,
+//!     30.0,
+//!     &SearchConfig::quick(),
+//! );
+//! assert!(result.predicted_latency_ms <= 30.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod cost;
+mod oracle;
+mod pareto;
+mod search;
+
+pub use calibrate::Calibration;
+pub use cost::NasCost;
+pub use oracle::AccuracyOracle;
+pub use pareto::{dominates, hypervolume, pareto_front, Point};
+pub use search::{constrained_search, SearchConfig, SearchResult};

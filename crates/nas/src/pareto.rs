@@ -1,0 +1,104 @@
+//! Latency–accuracy Pareto fronts (paper Figure 5 and the Table 8 plots).
+
+/// One evaluated architecture in the latency–accuracy plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Measured latency in milliseconds (lower is better).
+    pub latency_ms: f32,
+    /// Accuracy in percent (higher is better).
+    pub accuracy: f32,
+}
+
+/// Extracts the non-dominated front: points for which no other point is both
+/// faster and at least as accurate (ties kept once). Returned sorted by
+/// latency ascending.
+pub fn pareto_front(points: &[Point]) -> Vec<Point> {
+    let mut sorted: Vec<Point> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut front: Vec<Point> = Vec::new();
+    let mut best_acc = f32::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best_acc {
+            front.push(p);
+            best_acc = p.accuracy;
+        }
+    }
+    front
+}
+
+/// True when front `a` weakly dominates front `b`: for every point of `b`
+/// there is a point of `a` that is at least as fast and at least as accurate.
+pub fn dominates(a: &[Point], b: &[Point]) -> bool {
+    b.iter().all(|q| {
+        a.iter().any(|p| p.latency_ms <= q.latency_ms && p.accuracy >= q.accuracy)
+    })
+}
+
+/// Hypervolume indicator w.r.t. a reference point (`ref_latency` worst
+/// latency, `ref_accuracy` worst accuracy): the area dominated by the front.
+/// Larger is better; used to compare methods' fronts quantitatively.
+pub fn hypervolume(front: &[Point], ref_latency: f32, ref_accuracy: f32) -> f32 {
+    let mut pts = pareto_front(front);
+    pts.retain(|p| p.latency_ms <= ref_latency && p.accuracy >= ref_accuracy);
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // pts sorted by latency ascending with strictly increasing accuracy:
+    // the dominated region is a union of disjoint horizontal strips, one per
+    // front point, spanning [p.latency, ref_latency] × (prev_acc, p.accuracy].
+    let mut area = 0.0f64;
+    let mut prev_acc = ref_accuracy;
+    for p in &pts {
+        let width = (ref_latency - p.latency_ms) as f64;
+        let height = (p.accuracy - prev_acc) as f64;
+        if width > 0.0 && height > 0.0 {
+            area += width * height;
+            prev_acc = p.accuracy;
+        }
+    }
+    area as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: f32, a: f32) -> Point {
+        Point { latency_ms: l, accuracy: a }
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let pts = vec![p(10.0, 70.0), p(12.0, 69.0), p(15.0, 73.0), p(8.0, 65.0)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![p(8.0, 65.0), p(10.0, 70.0), p(15.0, 73.0)]);
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn dominance_checks() {
+        let a = vec![p(8.0, 70.0), p(12.0, 73.0)];
+        let b = vec![p(10.0, 69.0), p(13.0, 72.0)];
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let weak = vec![p(20.0, 66.0)];
+        let strong = vec![p(10.0, 70.0), p(20.0, 73.0)];
+        let hv_weak = hypervolume(&weak, 30.0, 60.0);
+        let hv_strong = hypervolume(&strong, 30.0, 60.0);
+        assert!(hv_strong > hv_weak);
+        assert_eq!(hypervolume(&[], 30.0, 60.0), 0.0);
+    }
+}

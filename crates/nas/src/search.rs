@@ -1,0 +1,212 @@
+//! Latency-constrained neural architecture search (paper §6.8, Table 8).
+//!
+//! The paper plugs its latency predictor into the HELP/MetaD2A NAS system:
+//! an accuracy-driven generator proposes architectures, and the latency
+//! predictor filters them against a device constraint. MetaD2A itself is
+//! substituted with oracle-guided regularized evolution (DESIGN.md §2):
+//! Table 8 compares *latency estimators* while the accuracy search is held
+//! fixed, which any fixed accuracy-driven searcher preserves.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use nasflat_space::{Arch, Space};
+
+use crate::oracle::AccuracyOracle;
+
+/// Evolutionary-search hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Population size.
+    pub population: usize,
+    /// Mutation/selection cycles after initialization.
+    pub cycles: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { population: 40, cycles: 300, tournament: 8, seed: 0 }
+    }
+}
+
+impl SearchConfig {
+    /// Reduced-budget profile for CPU-only runs.
+    pub fn quick() -> Self {
+        SearchConfig { population: 20, cycles: 80, ..Self::default() }
+    }
+}
+
+/// Result of one latency-constrained search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best feasible architecture found.
+    pub arch: Arch,
+    /// Oracle accuracy of that architecture (%).
+    pub accuracy: f32,
+    /// The latency estimate (ms) the *predictor* assigned to it.
+    pub predicted_latency_ms: f32,
+    /// Number of latency-predictor invocations during the search.
+    pub predictor_queries: usize,
+}
+
+/// Runs regularized evolution maximizing oracle accuracy subject to
+/// `latency_ms(arch) ≤ constraint_ms`, where `latency_ms` is the (calibrated)
+/// latency predictor under test.
+///
+/// Infeasible candidates are admitted with a penalty proportional to their
+/// constraint violation, so the search can traverse the boundary.
+pub fn constrained_search<F>(
+    space: Space,
+    oracle: &AccuracyOracle,
+    mut latency_ms: F,
+    constraint_ms: f32,
+    cfg: &SearchConfig,
+) -> SearchResult
+where
+    F: FnMut(&Arch) -> f32,
+{
+    assert!(constraint_ms > 0.0, "constraint must be positive");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut queries = 0usize;
+
+    #[derive(Clone)]
+    struct Member {
+        arch: Arch,
+        acc: f32,
+        lat: f32,
+    }
+    let fitness = |m: &Member| -> f32 {
+        if m.lat <= constraint_ms {
+            m.acc
+        } else {
+            // graded penalty keeps near-feasible candidates competitive
+            m.acc - 30.0 * (m.lat / constraint_ms - 1.0).min(2.0) - 5.0
+        }
+    };
+
+    let mut eval = |arch: Arch, rng_queries: &mut usize| -> Member {
+        *rng_queries += 1;
+        let acc = oracle.accuracy(&arch);
+        let lat = latency_ms(&arch);
+        Member { arch, acc, lat }
+    };
+
+    let mut population: Vec<Member> = (0..cfg.population)
+        .map(|_| eval(Arch::random(space, &mut rng), &mut queries))
+        .collect();
+    let mut best: Option<Member> = None;
+    let consider = |m: &Member, best: &mut Option<Member>| {
+        if m.lat <= constraint_ms && best.as_ref().map_or(true, |b| m.acc > b.acc) {
+            *best = Some(m.clone());
+        }
+    };
+    for m in &population {
+        consider(m, &mut best);
+    }
+
+    for _ in 0..cfg.cycles {
+        // Tournament parent selection.
+        let parent = (0..cfg.tournament)
+            .map(|_| rng.random_range(0..population.len()))
+            .max_by(|&a, &b| {
+                fitness(&population[a])
+                    .partial_cmp(&fitness(&population[b]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("tournament size > 0");
+        // Single-gene mutation.
+        let mut geno = population[parent].arch.genotype().to_vec();
+        let slot = rng.random_range(0..geno.len());
+        let mut new_op = rng.random_range(0..space.num_ops()) as u8;
+        while new_op == geno[slot] && space.num_ops() > 1 {
+            new_op = rng.random_range(0..space.num_ops()) as u8;
+        }
+        geno[slot] = new_op;
+        let child = eval(Arch::new(space, geno), &mut queries);
+        consider(&child, &mut best);
+        // Regularized evolution: the oldest member dies.
+        population.remove(0);
+        population.push(child);
+    }
+
+    let best = best.unwrap_or_else(|| {
+        // No feasible member was ever seen: return the least-violating one.
+        population
+            .into_iter()
+            .min_by(|a, b| a.lat.partial_cmp(&b.lat).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("population is non-empty")
+    });
+    SearchResult {
+        arch: best.arch,
+        accuracy: best.acc,
+        predicted_latency_ms: best.lat,
+        predictor_queries: queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_hw::{latency_ms, DeviceRegistry};
+
+    #[test]
+    fn search_respects_constraint_under_true_latency() {
+        let oracle = AccuracyOracle::new(Space::Nb201, 0);
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("pixel2").unwrap().clone();
+        // "perfect predictor": the simulator itself
+        let result = constrained_search(
+            Space::Nb201,
+            &oracle,
+            |a| latency_ms(&dev, a) as f32,
+            20.0,
+            &SearchConfig::quick(),
+        );
+        assert!(result.predicted_latency_ms <= 20.0, "constraint violated");
+        assert!(result.accuracy > 55.0, "search should find a decent cell");
+        assert!(result.predictor_queries > 0);
+    }
+
+    #[test]
+    fn tighter_constraint_costs_accuracy() {
+        let oracle = AccuracyOracle::new(Space::Nb201, 0);
+        let reg = DeviceRegistry::nb201();
+        let dev = reg.get("pixel2").unwrap().clone();
+        let mut cfg = SearchConfig::quick();
+        cfg.cycles = 150;
+        let loose = constrained_search(
+            Space::Nb201,
+            &oracle,
+            |a| latency_ms(&dev, a) as f32,
+            30.0,
+            &cfg,
+        );
+        let tight = constrained_search(
+            Space::Nb201,
+            &oracle,
+            |a| latency_ms(&dev, a) as f32,
+            8.0,
+            &cfg,
+        );
+        assert!(
+            loose.accuracy >= tight.accuracy,
+            "loose {} should not lose to tight {}",
+            loose.accuracy,
+            tight.accuracy
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let oracle = AccuracyOracle::new(Space::Nb201, 0);
+        let f = |a: &Arch| a.cost_profile().total_flops as f32 / 1e7 + 1.0;
+        let r1 = constrained_search(Space::Nb201, &oracle, f, 50.0, &SearchConfig::quick());
+        let r2 = constrained_search(Space::Nb201, &oracle, f, 50.0, &SearchConfig::quick());
+        assert_eq!(r1.arch, r2.arch);
+    }
+}

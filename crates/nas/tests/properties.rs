@@ -1,0 +1,90 @@
+//! Property-based tests on the NAS machinery: oracle range/determinism,
+//! Pareto-front correctness, and calibration round-trips.
+
+use proptest::prelude::*;
+
+use nasflat_nas::{hypervolume, pareto_front, AccuracyOracle, Calibration, Point};
+use nasflat_space::{Arch, Space};
+
+fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..5, 6)
+}
+
+fn points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(
+        (1.0f32..100.0, 10.0f32..75.0)
+            .prop_map(|(l, a)| Point { latency_ms: l, accuracy: a }),
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn oracle_range_and_determinism(geno in nb201_genotype(), seed in any::<u64>()) {
+        let oracle = AccuracyOracle::new(Space::Nb201, seed);
+        let arch = Arch::new(Space::Nb201, geno);
+        let a = oracle.accuracy(&arch);
+        prop_assert!((8.0..=74.5).contains(&a), "accuracy {a} out of range");
+        prop_assert_eq!(a, oracle.accuracy(&arch));
+    }
+
+    #[test]
+    fn pareto_front_is_mutually_non_dominated(pts in points()) {
+        let front = pareto_front(&pts);
+        prop_assert!(!front.is_empty());
+        // strictly increasing in both axes along the front
+        for w in front.windows(2) {
+            prop_assert!(w[0].latency_ms <= w[1].latency_ms);
+            prop_assert!(w[0].accuracy < w[1].accuracy);
+        }
+        // no front member dominated by any input point
+        for f in &front {
+            for p in &pts {
+                let dominates =
+                    p.latency_ms < f.latency_ms && p.accuracy >= f.accuracy
+                        || p.latency_ms <= f.latency_ms && p.accuracy > f.accuracy;
+                prop_assert!(!dominates, "{p:?} dominates front member {f:?}");
+            }
+        }
+        // every input point is dominated by (or equal to) some front member
+        for p in &pts {
+            let covered = front
+                .iter()
+                .any(|f| f.latency_ms <= p.latency_ms && f.accuracy >= p.accuracy);
+            prop_assert!(covered, "{p:?} escaped the front");
+        }
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_additions(pts in points(), extra in (1.0f32..100.0, 10.0f32..75.0)) {
+        let hv = hypervolume(&pts, 120.0, 5.0);
+        let mut more = pts.clone();
+        more.push(Point { latency_ms: extra.0, accuracy: extra.1 });
+        let hv2 = hypervolume(&more, 120.0, 5.0);
+        prop_assert!(hv2 + 1e-3 >= hv, "adding a point shrank hypervolume: {hv} -> {hv2}");
+    }
+
+    #[test]
+    fn calibration_recovers_loglinear_data(slope in -0.5f32..0.5, intercept in -1.0f32..3.0) {
+        let scores: Vec<f32> = (0..10).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let lats: Vec<f32> = scores.iter().map(|&s| (slope * s + intercept).exp()).collect();
+        prop_assume!(lats.iter().all(|&l| l.is_finite() && l > 0.0));
+        let cal = Calibration::fit(&scores, &lats);
+        for (&s, &l) in scores.iter().zip(&lats) {
+            let p = cal.to_ms(s);
+            prop_assert!((p - l).abs() / l < 1e-3, "score {s}: {p} vs {l}");
+        }
+    }
+
+    #[test]
+    fn calibration_is_monotone_when_fit_is(positive_slope in 0.05f32..0.5) {
+        let scores: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let lats: Vec<f32> = scores.iter().map(|&s| (positive_slope * s + 1.0).exp()).collect();
+        let cal = Calibration::fit(&scores, &lats);
+        for w in scores.windows(2) {
+            prop_assert!(cal.to_ms(w[0]) < cal.to_ms(w[1]));
+        }
+    }
+}

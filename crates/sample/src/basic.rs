@@ -1,0 +1,107 @@
+//! Baseline samplers: random, parameter-spread, and the latency oracle.
+
+use rand::seq::index::sample as index_sample;
+use rand::Rng;
+
+use nasflat_space::Arch;
+
+/// Uniform random subset of `k` distinct pool indices.
+///
+/// # Panics
+/// Panics if `k > pool_len`.
+pub fn random_indices<R: Rng>(pool_len: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= pool_len, "cannot sample {k} from a pool of {pool_len}");
+    index_sample(rng, pool_len, k).into_vec()
+}
+
+/// Spread selection over a scalar key: sorts the pool by `keys`, splits it
+/// into `k` equal quantile bins, and picks one random member per bin. This is
+/// the "Params" sampler (key = parameter count) and the "Latency (Oracle)"
+/// sampler (key = target-device latency) of paper Table 3.
+///
+/// # Panics
+/// Panics if `k > keys.len()`.
+pub fn spread_by_key<R: Rng>(keys: &[f64], k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= keys.len(), "cannot sample {k} from a pool of {}", keys.len());
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut picked = Vec::with_capacity(k);
+    let n = order.len();
+    for bin in 0..k {
+        let lo = bin * n / k;
+        let hi = ((bin + 1) * n / k).max(lo + 1).min(n);
+        let j = rng.random_range(lo..hi);
+        picked.push(order[j]);
+    }
+    picked
+}
+
+/// Parameter-count spread over a pool of architectures.
+pub fn params_spread<R: Rng>(pool: &[Arch], k: usize, rng: &mut R) -> Vec<usize> {
+    let keys: Vec<f64> = pool.iter().map(|a| a.cost_profile().total_params).collect();
+    spread_by_key(&keys, k, rng)
+}
+
+/// Latency-oracle spread: requires measured latencies of the whole pool on
+/// the *target* device, which is exactly the information a practical sampler
+/// cannot have — hence "oracle" (upper bound) in the paper.
+pub fn latency_spread<R: Rng>(latencies: &[f32], k: usize, rng: &mut R) -> Vec<usize> {
+    let keys: Vec<f64> = latencies.iter().map(|&l| l as f64).collect();
+    spread_by_key(&keys, k, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = random_indices(50, 20, &mut rng);
+        assert_eq!(idx.len(), 20);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 20);
+        assert!(idx.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn spread_covers_quantiles() {
+        let keys: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = spread_by_key(&keys, 4, &mut rng);
+        // one pick per quartile
+        assert!(keys[idx[0]] < 25.0);
+        assert!((25.0..50.0).contains(&keys[idx[1]]));
+        assert!((50.0..75.0).contains(&keys[idx[2]]));
+        assert!(keys[idx[3]] >= 75.0);
+    }
+
+    #[test]
+    fn spread_handles_k_equals_n() {
+        let keys = vec![3.0, 1.0, 2.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut idx = spread_by_key(&keys, 3, &mut rng);
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn spread_rejects_oversized_k() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = spread_by_key(&[1.0], 2, &mut rng);
+    }
+
+    #[test]
+    fn params_spread_spans_sizes() {
+        use nasflat_space::Space;
+        let pool: Vec<Arch> = (0..64u64).map(|i| Arch::nb201_from_index(i * 241)).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx = params_spread(&pool, 8, &mut rng);
+        let params: Vec<f64> = idx.iter().map(|&i| pool[i].cost_profile().total_params).collect();
+        assert!(params.windows(2).all(|w| w[0] <= w[1]), "bins are ordered: {params:?}");
+        let _ = Space::Nb201;
+    }
+}

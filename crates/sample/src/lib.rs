@@ -1,0 +1,239 @@
+//! `nasflat-sample`: transfer-set samplers (paper §4, Tables 3 & 9).
+//!
+//! Few-shot predictor transfer hinges on *which* handful of architectures is
+//! measured on the target device. This crate implements every sampler the
+//! paper compares:
+//!
+//! | Sampler | Needs | Paper row |
+//! |---|---|---|
+//! | [`Sampler::Random`] | nothing | "Random" |
+//! | [`Sampler::Params`] | parameter counts | "Params" |
+//! | [`Sampler::LatencyOracle`] | target-device latencies of the whole pool | "Latency (Oracle)" |
+//! | [`Sampler::Encoding`] | an [`EncodingSuite`] | "Arch2Vec" / "CATE" / "ZCP" / "CAZ" |
+//!
+//! Encoding samplers pick points via cosine farthest-point traversal or
+//! k-means medoids ([`SelectionMethod`]); k-means can legitimately fail on
+//! degenerate encodings — the paper's Table 9 NaN entries — which surfaces
+//! here as [`SelectError::DegenerateClusters`].
+//!
+//! # Example
+//! ```
+//! use nasflat_space::Arch;
+//! use nasflat_encode::{EncodingKind, EncodingSuite, SuiteConfig};
+//! use nasflat_sample::{Sampler, SamplerContext, SelectionMethod};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let pool: Vec<Arch> = (0..40).map(|i| Arch::nb201_from_index(i * 300)).collect();
+//! let suite = EncodingSuite::build(&pool, &SuiteConfig::quick());
+//! let sampler = Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::Cosine };
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let ctx = SamplerContext::new(&pool).with_encodings(&suite);
+//! let picked = sampler.select(10, &ctx, &mut rng)?;
+//! assert_eq!(picked.len(), 10);
+//! # Ok::<(), nasflat_sample::SelectError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basic;
+mod methods;
+
+pub use basic::{latency_spread, params_spread, random_indices, spread_by_key};
+pub use methods::{cosine_select, kmeans_select, mean_pairwise_similarity, SelectError};
+
+use nasflat_encode::{EncodingKind, EncodingSuite};
+use nasflat_space::Arch;
+use rand::Rng;
+
+/// How an encoding sampler turns vectors into a diverse subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionMethod {
+    /// Greedy farthest-point traversal under cosine similarity.
+    Cosine,
+    /// k-means clustering, one medoid per cluster.
+    KMeans,
+}
+
+impl SelectionMethod {
+    /// Display name matching the paper's Table 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectionMethod::Cosine => "Cosine",
+            SelectionMethod::KMeans => "Kmeans",
+        }
+    }
+}
+
+/// A transfer-set sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sampler {
+    /// Uniform random subset (the HELP default).
+    Random,
+    /// Quantile spread over parameter counts.
+    Params,
+    /// Quantile spread over *target-device* latencies (upper bound; needs
+    /// information a real few-shot deployment does not have).
+    LatencyOracle,
+    /// Diverse selection in an encoding space.
+    Encoding {
+        /// Which encoding to embed the pool with.
+        kind: EncodingKind,
+        /// How to pick diverse points in that space.
+        method: SelectionMethod,
+    },
+}
+
+impl Sampler {
+    /// Display name matching the paper's Table 3 rows.
+    pub fn label(&self) -> String {
+        match self {
+            Sampler::Random => "Random".to_string(),
+            Sampler::Params => "Params".to_string(),
+            Sampler::LatencyOracle => "Latency (Oracle)".to_string(),
+            Sampler::Encoding { kind, method } => match method {
+                SelectionMethod::Cosine => kind.label().to_string(),
+                SelectionMethod::KMeans => format!("{}+kmeans", kind.label()),
+            },
+        }
+    }
+
+    /// The full sampler roster of paper Table 3 (cosine selection for the
+    /// encoding rows, as the paper found it dominant).
+    pub fn table3_roster() -> Vec<Sampler> {
+        let mut v = vec![Sampler::LatencyOracle, Sampler::Random, Sampler::Params];
+        for kind in EncodingKind::samplers() {
+            v.push(Sampler::Encoding { kind, method: SelectionMethod::Cosine });
+        }
+        v
+    }
+
+    /// Picks `k` distinct pool indices.
+    ///
+    /// # Errors
+    /// - [`SelectError::PoolTooSmall`] when `k` exceeds the pool;
+    /// - [`SelectError::DegenerateClusters`] from k-means on collapsed
+    ///   encodings.
+    ///
+    /// # Panics
+    /// Panics if the context lacks what the sampler needs: encodings for
+    /// [`Sampler::Encoding`], target latencies for [`Sampler::LatencyOracle`].
+    pub fn select<R: Rng>(
+        &self,
+        k: usize,
+        ctx: &SamplerContext<'_>,
+        rng: &mut R,
+    ) -> Result<Vec<usize>, SelectError> {
+        let n = ctx.pool.len();
+        if k > n {
+            return Err(SelectError::PoolTooSmall { requested: k, available: n });
+        }
+        match self {
+            Sampler::Random => Ok(random_indices(n, k, rng)),
+            Sampler::Params => Ok(params_spread(ctx.pool, k, rng)),
+            Sampler::LatencyOracle => {
+                let lat = ctx
+                    .target_latencies
+                    .expect("LatencyOracle sampler needs target latencies in the context");
+                assert_eq!(lat.len(), n, "latency vector must cover the pool");
+                Ok(latency_spread(lat, k, rng))
+            }
+            Sampler::Encoding { kind, method } => {
+                let suite =
+                    ctx.encodings.expect("Encoding sampler needs an EncodingSuite in the context");
+                assert_eq!(suite.pool_len(), n, "encoding suite must cover the pool");
+                let rows = suite.rows(*kind);
+                match method {
+                    SelectionMethod::Cosine => cosine_select(rows, k, rng),
+                    SelectionMethod::KMeans => kmeans_select(rows, k, rng),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a sampler might need, borrowed from the experiment harness.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerContext<'a> {
+    /// The candidate pool.
+    pub pool: &'a [Arch],
+    /// Pool encodings (required by [`Sampler::Encoding`]).
+    pub encodings: Option<&'a EncodingSuite>,
+    /// Target-device latencies of the pool (required by
+    /// [`Sampler::LatencyOracle`]).
+    pub target_latencies: Option<&'a [f32]>,
+}
+
+impl<'a> SamplerContext<'a> {
+    /// Context with just the pool.
+    pub fn new(pool: &'a [Arch]) -> Self {
+        SamplerContext { pool, encodings: None, target_latencies: None }
+    }
+
+    /// Attaches an encoding suite.
+    pub fn with_encodings(mut self, suite: &'a EncodingSuite) -> Self {
+        self.encodings = Some(suite);
+        self
+    }
+
+    /// Attaches target-device latencies (oracle sampler only).
+    pub fn with_target_latencies(mut self, lat: &'a [f32]) -> Self {
+        self.target_latencies = Some(lat);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_encode::SuiteConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(n: usize) -> Vec<Arch> {
+        (0..n as u64).map(|i| Arch::nb201_from_index(i * 389 % 15625)).collect()
+    }
+
+    #[test]
+    fn every_sampler_returns_k_distinct() {
+        let p = pool(40);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        let lat: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let ctx = SamplerContext::new(&p).with_encodings(&suite).with_target_latencies(&lat);
+        let mut rng = StdRng::seed_from_u64(0);
+        for sampler in Sampler::table3_roster() {
+            let picked = sampler.select(10, &ctx, &mut rng).unwrap();
+            assert_eq!(picked.len(), 10, "{}", sampler.label());
+            let set: std::collections::HashSet<_> = picked.iter().collect();
+            assert_eq!(set.len(), 10, "{}", sampler.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Sampler::LatencyOracle.label(), "Latency (Oracle)");
+        let caz =
+            Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::KMeans };
+        assert_eq!(caz.label(), "CAZ+kmeans");
+    }
+
+    #[test]
+    fn oversized_request_errors() {
+        let p = pool(5);
+        let ctx = SamplerContext::new(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            Sampler::Random.select(6, &ctx, &mut rng),
+            Err(SelectError::PoolTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an EncodingSuite")]
+    fn encoding_sampler_requires_suite() {
+        let p = pool(5);
+        let ctx = SamplerContext::new(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::Cosine };
+        let _ = s.select(2, &ctx, &mut rng);
+    }
+}

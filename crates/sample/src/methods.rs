@@ -1,0 +1,331 @@
+//! Encoding-space selection methods: cosine farthest-point and k-means
+//! medoids (paper §4.2, Table 9).
+
+use rand::Rng;
+
+use nasflat_encode::cosine_similarity;
+
+/// Why a selection method could not produce `k` architectures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectError {
+    /// Requested more samples than the pool holds.
+    PoolTooSmall {
+        /// Requested sample count.
+        requested: usize,
+        /// Available pool size.
+        available: usize,
+    },
+    /// k-means could not segment the encoding space into `k` non-empty
+    /// clusters (the paper reports this as NaN entries in Table 9).
+    DegenerateClusters {
+        /// Number of clusters that stayed non-empty.
+        nonempty: usize,
+        /// Requested cluster count.
+        requested: usize,
+    },
+}
+
+impl core::fmt::Display for SelectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SelectError::PoolTooSmall { requested, available } => {
+                write!(f, "requested {requested} samples from a pool of {available}")
+            }
+            SelectError::DegenerateClusters { nonempty, requested } => {
+                write!(f, "k-means produced {nonempty}/{requested} non-empty clusters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SelectError {}
+
+/// Cosine farthest-point selection: greedily grows a set whose members have
+/// minimal cosine similarity to each other, starting from a random seed
+/// point. Low average pairwise similarity ⇒ wide design-space coverage
+/// (paper §4.2, "Cosine Similarity").
+///
+/// # Errors
+/// Returns [`SelectError::PoolTooSmall`] when `k > rows.len()`.
+pub fn cosine_select<R: Rng>(
+    rows: &[Vec<f32>],
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, SelectError> {
+    if k > rows.len() {
+        return Err(SelectError::PoolTooSmall { requested: k, available: rows.len() });
+    }
+    let mut picked: Vec<usize> = Vec::with_capacity(k);
+    if k == 0 {
+        return Ok(picked);
+    }
+    picked.push(rng.random_range(0..rows.len()));
+    // max similarity to the picked set, per candidate
+    let mut max_sim: Vec<f32> = rows.iter().map(|r| cosine_similarity(r, &rows[picked[0]])).collect();
+    while picked.len() < k {
+        let mut best = None;
+        let mut best_sim = f32::INFINITY;
+        for (i, &s) in max_sim.iter().enumerate() {
+            if picked.contains(&i) {
+                continue;
+            }
+            if s < best_sim {
+                best_sim = s;
+                best = Some(i);
+            }
+        }
+        let chosen = best.expect("pool larger than k ensures a candidate");
+        picked.push(chosen);
+        for (i, s) in max_sim.iter_mut().enumerate() {
+            let sim = cosine_similarity(&rows[i], &rows[chosen]);
+            if sim > *s {
+                *s = sim;
+            }
+        }
+    }
+    Ok(picked)
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+/// k-means medoid selection: clusters the encodings with Lloyd's algorithm
+/// (k-means++ init) and returns, per cluster, the pool member closest to the
+/// centroid — "most representative of its cluster" (paper §4.2).
+///
+/// # Errors
+/// - [`SelectError::PoolTooSmall`] when `k > rows.len()`;
+/// - [`SelectError::DegenerateClusters`] when any cluster empties out and
+///   cannot be refilled because the encodings collapse to fewer than `k`
+///   distinct points (the paper's NaN case, e.g. CATE on FBNet).
+pub fn kmeans_select<R: Rng>(
+    rows: &[Vec<f32>],
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, SelectError> {
+    if k > rows.len() {
+        return Err(SelectError::PoolTooSmall { requested: k, available: rows.len() });
+    }
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let n = rows.len();
+
+    // k-means++ initialization.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(rows[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f64> = rows.iter().map(|r| sq_dist(r, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            // All remaining mass is on already-chosen points: the encoding
+            // space has < k distinct points.
+            return Err(SelectError::DegenerateClusters { nonempty: centroids.len(), requested: k });
+        }
+        let mut target = rng.random_range(0.0..total);
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if target < d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(rows[chosen].clone());
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = sq_dist(&rows[i], centroids.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    let dim = rows[0].len();
+    let mut assign = vec![0usize; n];
+    for _ in 0..25 {
+        let mut moved = false;
+        for (i, row) in rows.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(row, &centroids[a])
+                        .partial_cmp(&sq_dist(row, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k > 0");
+            if assign[i] != best {
+                assign[i] = best;
+                moved = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, row) in rows.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &v) in sums[assign[i]].iter_mut().zip(row) {
+                *s += v as f64;
+            }
+        }
+        if counts.iter().any(|&c| c == 0) {
+            let nonempty = counts.iter().filter(|&&c| c > 0).count();
+            return Err(SelectError::DegenerateClusters { nonempty, requested: k });
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            for (cv, &s) in c.iter_mut().zip(sum) {
+                *cv = (s / count as f64) as f32;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // Medoid per cluster: pool member nearest its centroid.
+    let mut medoids = vec![usize::MAX; k];
+    let mut best_d = vec![f64::INFINITY; k];
+    for (i, row) in rows.iter().enumerate() {
+        let c = assign[i];
+        let d = sq_dist(row, &centroids[c]);
+        if d < best_d[c] {
+            best_d[c] = d;
+            medoids[c] = i;
+        }
+    }
+    if medoids.iter().any(|&m| m == usize::MAX) {
+        let nonempty = medoids.iter().filter(|&&m| m != usize::MAX).count();
+        return Err(SelectError::DegenerateClusters { nonempty, requested: k });
+    }
+    // Medoids can coincide when clusters share a closest point after ties;
+    // deduplicate defensively and fail loudly if coverage was lost.
+    let mut seen = std::collections::HashSet::new();
+    for &m in &medoids {
+        if !seen.insert(m) {
+            return Err(SelectError::DegenerateClusters { nonempty: seen.len(), requested: k });
+        }
+    }
+    Ok(medoids)
+}
+
+/// Mean pairwise cosine similarity of the selected rows — the diversity
+/// diagnostic used to compare selection methods.
+pub fn mean_pairwise_similarity(rows: &[Vec<f32>], picked: &[usize]) -> f32 {
+    if picked.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (ai, &a) in picked.iter().enumerate() {
+        for &b in picked.iter().skip(ai + 1) {
+            total += cosine_similarity(&rows[a], &rows[b]) as f64;
+            count += 1;
+        }
+    }
+    (total / count as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_rows() -> Vec<Vec<f32>> {
+        // three well-separated blobs of 5 points each
+        let mut rows = Vec::new();
+        for (cx, cy) in [(0.0f32, 10.0), (10.0, 0.0), (-10.0, -10.0)] {
+            for i in 0..5 {
+                rows.push(vec![cx + i as f32 * 0.1, cy - i as f32 * 0.1]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn kmeans_finds_one_medoid_per_blob() {
+        let rows = blob_rows();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picked = kmeans_select(&rows, 3, &mut rng).unwrap();
+        let blobs: std::collections::HashSet<usize> = picked.iter().map(|&i| i / 5).collect();
+        assert_eq!(blobs.len(), 3, "one medoid per blob, got {picked:?}");
+    }
+
+    #[test]
+    fn kmeans_degenerates_on_identical_points() {
+        let rows = vec![vec![1.0, 1.0]; 10];
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = kmeans_select(&rows, 3, &mut rng).unwrap_err();
+        assert!(matches!(err, SelectError::DegenerateClusters { .. }), "{err}");
+    }
+
+    #[test]
+    fn cosine_picks_spread_directions() {
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.99, 0.01],
+            vec![0.0, 1.0],
+            vec![0.01, 0.99],
+            vec![-1.0, 0.0],
+        ];
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked = cosine_select(&rows, 3, &mut rng).unwrap();
+        let sim = mean_pairwise_similarity(&rows, &picked);
+        // the three picks should span distinct directions (low mean sim)
+        assert!(sim < 0.5, "mean similarity {sim} too high for {picked:?}");
+    }
+
+    #[test]
+    fn cosine_is_more_diverse_than_random_on_average() {
+        use crate::basic::random_indices;
+        let rows = blob_rows();
+        let mut cos_sims = Vec::new();
+        let mut rand_sims = Vec::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = cosine_select(&rows, 3, &mut rng).unwrap();
+            cos_sims.push(mean_pairwise_similarity(&rows, &c));
+            let r = random_indices(rows.len(), 3, &mut rng);
+            rand_sims.push(mean_pairwise_similarity(&rows, &r));
+        }
+        let cm: f32 = cos_sims.iter().sum::<f32>() / cos_sims.len() as f32;
+        let rm: f32 = rand_sims.iter().sum::<f32>() / rand_sims.len() as f32;
+        assert!(cm < rm, "cosine {cm} should be more diverse than random {rm}");
+    }
+
+    #[test]
+    fn oversized_k_is_an_error() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            cosine_select(&rows, 3, &mut rng),
+            Err(SelectError::PoolTooSmall { .. })
+        ));
+        assert!(matches!(
+            kmeans_select(&rows, 3, &mut rng),
+            Err(SelectError::PoolTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_k_selects_nothing() {
+        let rows = blob_rows();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(cosine_select(&rows, 0, &mut rng).unwrap().is_empty());
+        assert!(kmeans_select(&rows, 0, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn selections_are_distinct_indices() {
+        let rows = blob_rows();
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for picked in [
+                cosine_select(&rows, 6, &mut rng).unwrap(),
+                kmeans_select(&rows, 3, &mut rng).unwrap(),
+            ] {
+                let set: std::collections::HashSet<_> = picked.iter().collect();
+                assert_eq!(set.len(), picked.len(), "duplicates in {picked:?}");
+                assert!(picked.iter().all(|&i| i < rows.len()));
+            }
+        }
+    }
+}

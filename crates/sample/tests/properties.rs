@@ -1,0 +1,85 @@
+//! Property-based tests on samplers: selections are valid index sets,
+//! deterministic per seed, and respect their diversity contracts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nasflat_sample::{
+    cosine_select, kmeans_select, mean_pairwise_similarity, random_indices, spread_by_key,
+};
+
+fn rows(strategy_dims: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-5.0f32..5.0, strategy_dims),
+        4..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_indices_valid(n in 1usize..200, seed in any::<u64>()) {
+        let k = n / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = random_indices(n, k, &mut rng);
+        prop_assert_eq!(idx.len(), k);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn spread_is_sorted_by_key_and_covers_bins(keys in proptest::collection::vec(-1e3f64..1e3, 4..80), seed in any::<u64>()) {
+        let k = (keys.len() / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = spread_by_key(&keys, k, &mut rng);
+        prop_assert_eq!(idx.len(), k);
+        // picks are ordered by key (one per ascending quantile bin)
+        let picked_keys: Vec<f64> = idx.iter().map(|&i| keys[i]).collect();
+        prop_assert!(picked_keys.windows(2).all(|w| w[0] <= w[1]), "{picked_keys:?}");
+    }
+
+    #[test]
+    fn cosine_select_contract(rows in rows(3, 40), seed in any::<u64>()) {
+        let k = (rows.len() / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picked = cosine_select(&rows, k, &mut rng).unwrap();
+        prop_assert_eq!(picked.len(), k);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(picked.iter().all(|&i| i < rows.len()));
+        // determinism per seed
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(picked, cosine_select(&rows, k, &mut rng2).unwrap());
+    }
+
+    #[test]
+    fn kmeans_select_contract(rows in rows(3, 40), seed in any::<u64>()) {
+        let k = 3usize.min(rows.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        match kmeans_select(&rows, k, &mut rng) {
+            Ok(picked) => {
+                prop_assert_eq!(picked.len(), k);
+                let set: std::collections::HashSet<_> = picked.iter().collect();
+                prop_assert_eq!(set.len(), k);
+                prop_assert!(picked.iter().all(|&i| i < rows.len()));
+            }
+            Err(e) => {
+                // degenerate clusters are a legal outcome on collapsed data,
+                // but the error must explain itself
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn diversity_metric_is_bounded(rows in rows(4, 30)) {
+        let picked: Vec<usize> = (0..rows.len().min(6)).collect();
+        let sim = mean_pairwise_similarity(&rows, &picked);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&sim));
+        // single element has no pairs
+        prop_assert_eq!(mean_pairwise_similarity(&rows, &picked[..1]), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Analytic cost profiles (FLOPs, parameters, activation memory).
+//!
+//! These are computed from the architecture alone, mirroring how layer-wise
+//! latency predictors, the params sampler, and FLOPs proxies operate. The
+//! device simulator consumes the per-node costs to synthesize latencies.
+
+/// Cost of one operation instance at a specific place in the network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCost {
+    /// Multiply-accumulate count (two per MAC not counted; consistent
+    /// relative measure is all that matters here).
+    pub flops: f64,
+    /// Learnable parameter count.
+    pub params: f64,
+    /// Activation memory traffic in elements (input + output volumes).
+    pub mem: f64,
+}
+
+impl OpCost {
+    /// The zero cost (identity/zeroize-style ops).
+    pub const ZERO: OpCost = OpCost { flops: 0.0, params: 0.0, mem: 0.0 };
+
+    /// Element-wise sum.
+    pub fn add(self, other: OpCost) -> OpCost {
+        OpCost {
+            flops: self.flops + other.flops,
+            params: self.params + other.params,
+            mem: self.mem + other.mem,
+        }
+    }
+
+    /// Scales all components (used for cell repetitions across stages).
+    pub fn scale(self, k: f64) -> OpCost {
+        OpCost { flops: self.flops * k, params: self.params * k, mem: self.mem * k }
+    }
+}
+
+/// Whole-architecture cost summary plus per-graph-node breakdown.
+///
+/// `node_costs` is aligned with [`ArchGraph`](crate::ArchGraph) node order
+/// (entry 0 = INPUT and the last entry = OUTPUT are zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostProfile {
+    /// Total FLOPs over the assembled network.
+    pub total_flops: f64,
+    /// Total parameters.
+    pub total_params: f64,
+    /// Total activation traffic.
+    pub total_mem: f64,
+    /// Per-node cost in graph-node order.
+    pub node_costs: Vec<OpCost>,
+}
+
+impl CostProfile {
+    /// Builds a profile from per-node costs.
+    pub fn from_nodes(node_costs: Vec<OpCost>) -> Self {
+        let total_flops = node_costs.iter().map(|c| c.flops).sum();
+        let total_params = node_costs.iter().map(|c| c.params).sum();
+        let total_mem = node_costs.iter().map(|c| c.mem).sum();
+        CostProfile { total_flops, total_params, total_mem, node_costs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_nodes() {
+        let p = CostProfile::from_nodes(vec![
+            OpCost::ZERO,
+            OpCost { flops: 10.0, params: 2.0, mem: 4.0 },
+            OpCost { flops: 5.0, params: 1.0, mem: 2.0 },
+        ]);
+        assert_eq!(p.total_flops, 15.0);
+        assert_eq!(p.total_params, 3.0);
+        assert_eq!(p.total_mem, 6.0);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let c = OpCost { flops: 1.0, params: 2.0, mem: 3.0 }.scale(2.0);
+        assert_eq!(c.flops, 2.0);
+        let s = c.add(OpCost { flops: 1.0, params: 1.0, mem: 1.0 });
+        assert_eq!(s.params, 5.0);
+    }
+}

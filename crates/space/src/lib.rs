@@ -1,0 +1,32 @@
+//! `nasflat-space`: the two NAS search spaces evaluated in the paper.
+//!
+//! - **NASBench-201** (Dong & Yang 2020): a micro cell with 4 activation
+//!   nodes and 6 operation edges, each one of 5 operations — 5^6 = 15 625
+//!   unique architectures. The full network is a stem plus three stages of
+//!   five cell repetitions at 16/32/64 channels.
+//! - **FBNet** (Wu et al. 2019): a macro space with 22 searchable block
+//!   positions and 9 candidate blocks per position (~9^22 architectures).
+//!   Following HW-NAS-Bench, experiments operate on a fixed pool of 5 000
+//!   sampled architectures.
+//!
+//! Both spaces are represented uniformly as a genotype (one op id per
+//! edge/position) plus a conversion to an operation-on-nodes DAG
+//! ([`ArchGraph`], the "line graph" form consumed by GNN predictors), and an
+//! analytic [`CostProfile`] (FLOPs / parameters / activation memory per
+//! node) used by the device simulator, samplers, and baseline predictors.
+
+#![warn(missing_docs)]
+
+mod arch;
+mod cost;
+mod fbnet;
+mod graph;
+mod nb201;
+mod opdesc;
+
+pub use arch::{Arch, Space};
+pub use opdesc::{OpDesc, OpKind};
+pub use cost::{CostProfile, OpCost};
+pub use fbnet::{fbnet_pool, FbnetStage, FBNET_BLOCKS, FBNET_POSITIONS, FBNET_STAGES};
+pub use graph::ArchGraph;
+pub use nb201::{NB201_EDGES, NB201_NUM_ARCHS, NB201_OPS};

@@ -1,0 +1,152 @@
+//! Semantic descriptors for operation vocabulary entries.
+//!
+//! The device simulator and layer-wise baselines need to know *what kind*
+//! of computation each graph node performs (convolution vs pooling vs skip,
+//! kernel size, grouping, depthwise share) — not just its vocabulary id.
+
+use crate::arch::Space;
+
+/// Broad operation category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Graph input token.
+    Input,
+    /// Graph output token.
+    Output,
+    /// The NB201 `none` (zeroize) op: the edge does not exist at runtime.
+    None,
+    /// Identity / skip connection.
+    Skip,
+    /// Plain convolution (NB201 1×1 / 3×3).
+    Conv,
+    /// Average pooling.
+    Pool,
+    /// FBNet MBConv-style block (expand → depthwise → project).
+    Block,
+}
+
+/// Descriptor of one vocabulary entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpDesc {
+    /// Operation category.
+    pub kind: OpKind,
+    /// Spatial kernel size (0 where not applicable).
+    pub kernel: u8,
+    /// Channel expansion ratio (1 where not applicable).
+    pub expansion: u8,
+    /// Convolution group count (1 = dense).
+    pub groups: u8,
+    /// Fraction of the op's FLOPs spent in depthwise convolution
+    /// (0 for plain convs, >0 for MBConv blocks).
+    pub dw_fraction: f32,
+}
+
+impl OpDesc {
+    const fn simple(kind: OpKind) -> OpDesc {
+        OpDesc { kind, kernel: 0, expansion: 1, groups: 1, dw_fraction: 0.0 }
+    }
+}
+
+/// Depthwise FLOPs share of an MBConv block at a representative channel
+/// width (`C_in = C_out = 64`): `k² / (C·e/g·(1 + [e>1]) + k²)` — small but
+/// kernel-dependent.
+fn block_dw_fraction(kernel: f64, expansion: f64, groups: f64) -> f32 {
+    let c = 64.0;
+    let dw = kernel * kernel;
+    let pointwise = if expansion > 1.0 { 2.0 * c / groups } else { c / groups };
+    (dw / (dw + pointwise)) as f32
+}
+
+impl Space {
+    /// Descriptor for a vocabulary id (0 = INPUT, 1 = OUTPUT, 2.. = ops).
+    ///
+    /// # Panics
+    /// Panics if `vocab_id >= self.vocab_size()`.
+    pub fn op_desc(self, vocab_id: usize) -> OpDesc {
+        assert!(vocab_id < self.vocab_size(), "vocab id {vocab_id} out of range");
+        match vocab_id {
+            0 => OpDesc::simple(OpKind::Input),
+            1 => OpDesc::simple(OpKind::Output),
+            _ => self.real_op_desc(vocab_id - 2),
+        }
+    }
+
+    fn real_op_desc(self, op: usize) -> OpDesc {
+        match self {
+            Space::Nb201 => match op {
+                0 => OpDesc::simple(OpKind::None),
+                1 => OpDesc::simple(OpKind::Skip),
+                2 => OpDesc { kind: OpKind::Conv, kernel: 1, expansion: 1, groups: 1, dw_fraction: 0.0 },
+                3 => OpDesc { kind: OpKind::Conv, kernel: 3, expansion: 1, groups: 1, dw_fraction: 0.0 },
+                4 => OpDesc { kind: OpKind::Pool, kernel: 3, expansion: 1, groups: 1, dw_fraction: 0.0 },
+                _ => unreachable!("invalid NB201 op {op}"),
+            },
+            Space::Fbnet => {
+                if op == 8 {
+                    return OpDesc::simple(OpKind::Skip);
+                }
+                let (kernel, expansion, groups) = match op {
+                    0 => (3u8, 1u8, 1u8),
+                    1 => (3, 1, 2),
+                    2 => (3, 3, 1),
+                    3 => (3, 6, 1),
+                    4 => (5, 1, 1),
+                    5 => (5, 1, 2),
+                    6 => (5, 3, 1),
+                    7 => (5, 6, 1),
+                    _ => unreachable!("invalid FBNet op {op}"),
+                };
+                OpDesc {
+                    kind: OpKind::Block,
+                    kernel,
+                    expansion,
+                    groups,
+                    dw_fraction: block_dw_fraction(kernel as f64, expansion as f64, groups as f64),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nb201_descriptors() {
+        assert_eq!(Space::Nb201.op_desc(0).kind, OpKind::Input);
+        assert_eq!(Space::Nb201.op_desc(1).kind, OpKind::Output);
+        assert_eq!(Space::Nb201.op_desc(2).kind, OpKind::None);
+        assert_eq!(Space::Nb201.op_desc(3).kind, OpKind::Skip);
+        let c1 = Space::Nb201.op_desc(4);
+        assert_eq!((c1.kind, c1.kernel), (OpKind::Conv, 1));
+        let c3 = Space::Nb201.op_desc(5);
+        assert_eq!((c3.kind, c3.kernel), (OpKind::Conv, 3));
+        assert_eq!(Space::Nb201.op_desc(6).kind, OpKind::Pool);
+    }
+
+    #[test]
+    fn fbnet_descriptors() {
+        let b = Space::Fbnet.op_desc(2); // k3_e1
+        assert_eq!((b.kind, b.kernel, b.expansion, b.groups), (OpKind::Block, 3, 1, 1));
+        let g = Space::Fbnet.op_desc(3); // k3_e1_g2
+        assert_eq!(g.groups, 2);
+        let k5e6 = Space::Fbnet.op_desc(9); // k5_e6
+        assert_eq!((k5e6.kernel, k5e6.expansion), (5, 6));
+        assert_eq!(Space::Fbnet.op_desc(10).kind, OpKind::Skip);
+    }
+
+    #[test]
+    fn dw_fraction_grows_with_kernel() {
+        let k3 = Space::Fbnet.op_desc(2).dw_fraction;
+        let k5 = Space::Fbnet.op_desc(6).dw_fraction;
+        assert!(k5 > k3);
+        assert!(k3 > 0.0 && k3 < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = Space::Nb201.op_desc(7);
+    }
+}

@@ -1,0 +1,33 @@
+//! `nasflat-tasks`: latency-prediction tasks and device-set design (§6.1).
+//!
+//! A *task* is a (train devices, test devices) split over one search space.
+//! The crate ships:
+//!
+//! - the paper's 12 evaluation tasks ([`paper_tasks`]): the legacy
+//!   high-correlation `ND`/`FD`, the adversarial `NA`/`FA`, and the
+//!   algorithmically partitioned `N1`–`N4` / `F1`–`F4` (Tables 24–26);
+//! - [`CorrelationMatrix`]: cross-device Spearman correlations (the data
+//!   behind paper Tables 21–22 and the difficulty measure per task);
+//! - [`kernighan_lin`] / [`partition_devices`] / [`generate_task`]: the
+//!   paper's Algorithm 1 for producing fresh low-correlation splits.
+//!
+//! # Example
+//! ```
+//! use nasflat_space::Space;
+//! use nasflat_tasks::{paper_task, CorrelationMatrix};
+//!
+//! let n1 = paper_task("N1").expect("N1 is a paper task");
+//! let corr = CorrelationMatrix::for_space(Space::Nb201, 100, 0);
+//! let difficulty = corr.task_train_test(&n1);
+//! assert!(difficulty < 0.95); // N1 is a low-correlation (hard) task
+//! ```
+
+#![warn(missing_docs)]
+
+mod corr;
+mod partition;
+mod task;
+
+pub use corr::{probe_pool, CorrelationMatrix};
+pub use partition::{generate_task, kernighan_lin, partition_devices, PartitionError};
+pub use task::{fbnet_tasks, nb201_tasks, paper_task, paper_tasks, Task};

@@ -1,0 +1,327 @@
+//! Automated device-set partitioning (paper §6.1, Algorithm 1).
+//!
+//! The paper replaces hand-picked evaluation sets with an algorithmic split:
+//! build a complete graph over devices with **negative Spearman correlation**
+//! as edge weights, bisect it with Kernighan–Lin (minimizing the cut keeps
+//! strongly *anti*-correlated pairs together, i.e. groups devices with
+//! minimal intra-group correlation), then iteratively trim each side by
+//! removing the node with the highest correlation to the other side until the
+//! requested (train, test) sizes are reached. The result is a train/test
+//! split with low mutual correlation — a hard transfer task.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nasflat_space::Space;
+
+use crate::corr::CorrelationMatrix;
+use crate::task::Task;
+
+/// Kernighan–Lin bisection of the device graph with `-rho` edge weights.
+///
+/// Returns the two (near-)halves as index sets into the matrix. Sizes differ
+/// by at most one; the partition is deterministic given `seed`.
+pub fn kernighan_lin(corr: &CorrelationMatrix, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let n = corr.len();
+    assert!(n >= 2, "need at least two devices to bisect");
+    let w = |i: usize, j: usize| -> f64 { -(corr.get(i, j) as f64) };
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    // side[i] = false -> A, true -> B
+    let mut side = vec![false; n];
+    for &i in order.iter().skip(n / 2) {
+        side[i] = true;
+    }
+
+    for _pass in 0..20 {
+        // External-minus-internal cost per node.
+        let mut d = vec![0.0f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if side[i] != side[j] {
+                    d[i] += w(i, j);
+                } else {
+                    d[i] -= w(i, j);
+                }
+            }
+        }
+        let mut locked = vec![false; n];
+        let mut tentative_side = side.clone();
+        let mut gains: Vec<f64> = Vec::new();
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        let steps = n / 2;
+        for _ in 0..steps {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for a in 0..n {
+                if locked[a] || tentative_side[a] {
+                    continue;
+                }
+                for b in 0..n {
+                    if locked[b] || !tentative_side[b] {
+                        continue;
+                    }
+                    let g = d[a] + d[b] - 2.0 * w(a, b);
+                    if best.map_or(true, |(_, _, bg)| g > bg) {
+                        best = Some((a, b, g));
+                    }
+                }
+            }
+            let Some((a, b, g)) = best else { break };
+            gains.push(g);
+            swaps.push((a, b));
+            locked[a] = true;
+            locked[b] = true;
+            tentative_side[a] = true;
+            tentative_side[b] = false;
+            // Update D for unlocked nodes as if (a, b) were swapped.
+            for x in 0..n {
+                if locked[x] || x == a || x == b {
+                    continue;
+                }
+                if !tentative_side[x] {
+                    // x in A: a left A, b joined A
+                    d[x] += 2.0 * w(x, a) - 2.0 * w(x, b);
+                } else {
+                    d[x] += 2.0 * w(x, b) - 2.0 * w(x, a);
+                }
+            }
+        }
+        // Best prefix of swaps.
+        let mut best_k = 0usize;
+        let mut best_sum = 0.0f64;
+        let mut run = 0.0f64;
+        for (k, &g) in gains.iter().enumerate() {
+            run += g;
+            if run > best_sum + 1e-12 {
+                best_sum = run;
+                best_k = k + 1;
+            }
+        }
+        if best_k == 0 {
+            break;
+        }
+        for &(a, b) in swaps.iter().take(best_k) {
+            side[a] = true;
+            side[b] = false;
+        }
+    }
+
+    let a: Vec<usize> = (0..n).filter(|&i| !side[i]).collect();
+    let b: Vec<usize> = (0..n).filter(|&i| side[i]).collect();
+    (a, b)
+}
+
+/// Error from [`partition_devices`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionError {
+    /// Requested sizes.
+    pub requested: (usize, usize),
+    /// Bisection-half sizes actually available.
+    pub available: (usize, usize),
+}
+
+impl core::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "requested sizes {:?} exceed bisection halves {:?}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Paper Algorithm 1: KL-bisect, then trim each side to `(m, n)` devices by
+/// repeatedly removing the node with the highest total correlation to the
+/// opposite side.
+///
+/// Returns `(train, test)` device-name lists.
+///
+/// # Errors
+/// Returns [`PartitionError`] when a bisection half is smaller than the
+/// requested size (the trim loop only removes nodes).
+pub fn partition_devices(
+    corr: &CorrelationMatrix,
+    m: usize,
+    n: usize,
+    seed: u64,
+) -> Result<(Vec<String>, Vec<String>), PartitionError> {
+    assert!(m > 0 && n > 0, "requested sizes must be positive");
+    let (mut left, mut right) = kernighan_lin(corr, seed);
+    if left.len() < m || right.len() < n {
+        // One retry with sides exchanged covers the asymmetric request case.
+        if right.len() >= m && left.len() >= n {
+            std::mem::swap(&mut left, &mut right);
+        } else {
+            return Err(PartitionError {
+                requested: (m, n),
+                available: (left.len(), right.len()),
+            });
+        }
+    }
+    let cross_corr = |node: usize, other: &[usize]| -> f64 {
+        other.iter().map(|&j| corr.get(node, j) as f64).sum()
+    };
+    while left.len() > m || right.len() > n {
+        if left.len() > m {
+            let (pos, _) = left
+                .iter()
+                .enumerate()
+                .map(|(p, &i)| (p, cross_corr(i, &right)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("left side is non-empty");
+            left.remove(pos);
+        }
+        if right.len() > n {
+            let (pos, _) = right
+                .iter()
+                .enumerate()
+                .map(|(p, &i)| (p, cross_corr(i, &left)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("right side is non-empty");
+            right.remove(pos);
+        }
+    }
+    let name = |idx: &[usize]| idx.iter().map(|&i| corr.names()[i].clone()).collect();
+    Ok((name(&left), name(&right)))
+}
+
+/// Generates an algorithmically partitioned task à la N1–N4/F1–F4 (the paper
+/// generated its four sets per space from different random seeds).
+///
+/// # Errors
+/// Propagates [`PartitionError`] from [`partition_devices`].
+pub fn generate_task(
+    space: Space,
+    corr: &CorrelationMatrix,
+    train_size: usize,
+    test_size: usize,
+    seed: u64,
+) -> Result<Task, PartitionError> {
+    let (train, test) = partition_devices(corr, train_size, test_size, seed)?;
+    let train_refs: Vec<&str> = train.iter().map(String::as_str).collect();
+    let test_refs: Vec<&str> = test.iter().map(String::as_str).collect();
+    let prefix = match space {
+        Space::Nb201 => "NG",
+        Space::Fbnet => "FG",
+    };
+    Ok(Task::new(&format!("{prefix}{seed}"), space, &train_refs, &test_refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corr::CorrelationMatrix;
+    use crate::task::paper_tasks;
+
+    fn nb201_matrix() -> CorrelationMatrix {
+        CorrelationMatrix::for_space(Space::Nb201, 120, 0)
+    }
+
+    #[test]
+    fn bisection_covers_all_devices_once() {
+        let m = nb201_matrix();
+        let (a, b) = kernighan_lin(&m, 1);
+        assert_eq!(a.len() + b.len(), m.len());
+        let mut all: Vec<usize> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..m.len()).collect::<Vec<_>>());
+        assert!((a.len() as i64 - b.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn bisection_minimizes_intra_group_correlation() {
+        // KL on -rho weights pushes highly correlated pairs across the cut,
+        // leaving each group internally diverse (paper: "group devices with
+        // minimal intra-group correlation").
+        let m = nb201_matrix();
+        let (a, b) = kernighan_lin(&m, 2);
+        let names = |idx: &[usize]| -> Vec<String> {
+            idx.iter().map(|&i| m.names()[i].clone()).collect()
+        };
+        let kl_within =
+            (m.mean_within(&names(&a)) + m.mean_within(&names(&b))) / 2.0;
+        let mut rand_within = 0.0f32;
+        let mut count = 0;
+        for seed in 10..15u64 {
+            let mut order: Vec<usize> = (0..m.len()).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            let (ra, rb) = order.split_at(m.len() / 2);
+            rand_within += (m.mean_within(&names(ra)) + m.mean_within(&names(rb))) / 2.0;
+            count += 1;
+        }
+        rand_within /= count as f32;
+        assert!(
+            kl_within < rand_within,
+            "KL within-group corr {kl_within} should be below random {rand_within}"
+        );
+    }
+
+    #[test]
+    fn trimmed_partition_is_harder_than_random_split() {
+        // Full Algorithm 1 (bisection + trim) should produce a lower
+        // train-test correlation than an average random split of equal size.
+        let m = nb201_matrix();
+        let (train, test) = partition_devices(&m, 5, 5, 2).unwrap();
+        let algo = m.mean_cross(&train, &test);
+        let names = |idx: &[usize]| -> Vec<String> {
+            idx.iter().map(|&i| m.names()[i].clone()).collect()
+        };
+        let mut rand_cross = 0.0f32;
+        let mut count = 0;
+        for seed in 20..26u64 {
+            let mut order: Vec<usize> = (0..m.len()).collect();
+            order.shuffle(&mut StdRng::seed_from_u64(seed));
+            rand_cross += m.mean_cross(&names(&order[..5]), &names(&order[5..10]));
+            count += 1;
+        }
+        rand_cross /= count as f32;
+        assert!(
+            algo < rand_cross,
+            "Algorithm 1 corr {algo} should be below random split {rand_cross}"
+        );
+    }
+
+    #[test]
+    fn trimming_reaches_requested_sizes() {
+        let m = nb201_matrix();
+        let (train, test) = partition_devices(&m, 5, 5, 3).unwrap();
+        assert_eq!(train.len(), 5);
+        assert_eq!(test.len(), 5);
+        assert!(train.iter().all(|d| !test.contains(d)));
+    }
+
+    #[test]
+    fn oversized_request_is_an_error() {
+        let m = nb201_matrix();
+        let err = partition_devices(&m, 39, 39, 0).unwrap_err();
+        assert_eq!(err.requested, (39, 39));
+    }
+
+    #[test]
+    fn generated_tasks_are_harder_than_legacy_nd() {
+        let m = nb201_matrix();
+        let task = generate_task(Space::Nb201, &m, 5, 5, 7).unwrap();
+        let generated = m.task_train_test(&task);
+        let nd = paper_tasks().into_iter().find(|t| t.name == "ND").unwrap();
+        let legacy = m.task_train_test(&nd);
+        assert!(
+            generated < legacy,
+            "generated split ({generated}) should be harder than ND ({legacy})"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = nb201_matrix();
+        let a = generate_task(Space::Nb201, &m, 5, 5, 11).unwrap();
+        let b = generate_task(Space::Nb201, &m, 5, 5, 11).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,286 @@
+//! Latency-prediction tasks: named (train devices, test devices) splits.
+//!
+//! The paper evaluates on 12 tasks (Table 1, detailed in Tables 24–26): the
+//! legacy high-correlation sets `ND`/`FD`, the adversarial MultiPredict sets
+//! `NA`/`FA`, and the paper's own algorithmically partitioned sets
+//! `N1`–`N4` / `F1`–`F4`.
+
+use nasflat_hw::DeviceRegistry;
+use nasflat_space::Space;
+
+/// One latency-prediction task: pretrain on `train` devices, transfer to
+/// each `test` device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Short identifier used in the paper's tables ("N1", "FA", …).
+    pub name: String,
+    /// The search space the task operates on.
+    pub space: Space,
+    /// Source (training) device names.
+    pub train: Vec<String>,
+    /// Target (test) device names.
+    pub test: Vec<String>,
+}
+
+impl Task {
+    /// Builds a task and validates every device against the space's roster.
+    ///
+    /// # Panics
+    /// Panics if a device name is unknown, appears on both sides, or either
+    /// side is empty.
+    pub fn new(name: &str, space: Space, train: &[&str], test: &[&str]) -> Self {
+        assert!(!train.is_empty() && !test.is_empty(), "task {name} has an empty side");
+        let registry = DeviceRegistry::for_space(space);
+        for dev in train.iter().chain(test) {
+            assert!(
+                registry.get(dev).is_some(),
+                "task {name}: unknown device '{dev}' for {space:?}"
+            );
+        }
+        for dev in train {
+            assert!(!test.contains(dev), "task {name}: device '{dev}' on both sides");
+        }
+        Task {
+            name: name.to_string(),
+            space,
+            train: train.iter().map(|s| s.to_string()).collect(),
+            test: test.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of source devices.
+    pub fn num_train(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Number of target devices.
+    pub fn num_test(&self) -> usize {
+        self.test.len()
+    }
+}
+
+/// The five batch-size-expanded GPU cards of the HELP roster.
+const GPU_CARDS: [&str; 5] = ["1080ti", "2080ti", "titan_rtx", "titanx", "titanxp"];
+
+fn gpu_names(batches: &[u32]) -> Vec<String> {
+    let mut v = Vec::new();
+    for card in GPU_CARDS {
+        for &b in batches {
+            v.push(format!("{card}_{b}"));
+        }
+    }
+    v
+}
+
+/// All 12 paper tasks in Table 7 order: `ND, NA, N1..N4, FD, FA, F1..F4`.
+pub fn paper_tasks() -> Vec<Task> {
+    let mut v = nb201_tasks();
+    v.extend(fbnet_tasks());
+    v
+}
+
+/// The six NASBench-201 tasks (Tables 24–25).
+pub fn nb201_tasks() -> Vec<Task> {
+    let s = Space::Nb201;
+    let nd = Task::new(
+        "ND",
+        s,
+        &[
+            "1080ti_1",
+            "1080ti_32",
+            "1080ti_256",
+            "silver_4114",
+            "silver_4210r",
+            "samsung_a50",
+            "pixel3",
+            "essential_ph_1",
+            "samsung_s7",
+        ],
+        &["titan_rtx_256", "gold_6226", "fpga", "pixel2", "raspi4", "eyeriss"],
+    );
+    let na_train: Vec<String> = gpu_names(&[1, 32])
+        .into_iter()
+        .chain(
+            [
+                "gold_6226",
+                "samsung_s7",
+                "silver_4114",
+                "gold_6240",
+                "silver_4210r",
+                "samsung_a50",
+                "pixel2",
+            ]
+            .map(String::from),
+        )
+        .collect();
+    let na_train_refs: Vec<&str> = na_train.iter().map(String::as_str).collect();
+    let na =
+        Task::new("NA", s, &na_train_refs, &["eyeriss", "gtx_1080ti_fp32", "edge_tpu_int8"]);
+    let n1 = Task::new(
+        "N1",
+        s,
+        &[
+            "edge_tpu_int8",
+            "eyeriss",
+            "snapdragon_675_adreno_612_int8",
+            "snapdragon_855_adreno_640_int8",
+            "pixel3",
+        ],
+        &["1080ti_1", "titan_rtx_32", "titanxp_1", "2080ti_32", "titan_rtx_1"],
+    );
+    let n2 = Task::new(
+        "N2",
+        s,
+        &["1080ti_1", "1080ti_32", "titanx_32", "titanxp_1", "titanxp_32"],
+        &[
+            "jetson_nano_fp16",
+            "edge_tpu_int8",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_hexagon_690_int8",
+            "pixel3",
+        ],
+    );
+    let n3 = Task::new(
+        "N3",
+        s,
+        &[
+            "gtx_1080ti_fp32",
+            "jetson_nano_fp16",
+            "eyeriss",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_adreno_640_int8",
+        ],
+        &["1080ti_1", "2080ti_1", "titanxp_1", "2080ti_32", "titanxp_32"],
+    );
+    let n4 = Task::new(
+        "N4",
+        s,
+        &[
+            "core_i7_7820x_fp32",
+            "jetson_nano_fp32",
+            "edge_tpu_int8",
+            "eyeriss",
+            "snapdragon_855_kryo_485_int8",
+            "snapdragon_675_hexagon_685_int8",
+            "snapdragon_855_hexagon_690_int8",
+            "snapdragon_675_adreno_612_int8",
+            "snapdragon_855_adreno_640_int8",
+            "pixel2",
+        ],
+        &["1080ti_1", "2080ti_1", "titan_rtx_1"],
+    );
+    vec![nd, na, n1, n2, n3, n4]
+}
+
+/// The six FBNet tasks (Table 26).
+pub fn fbnet_tasks() -> Vec<Task> {
+    let s = Space::Fbnet;
+    let fd = Task::new(
+        "FD",
+        s,
+        &[
+            "1080ti_1",
+            "1080ti_32",
+            "1080ti_64",
+            "silver_4114",
+            "silver_4210r",
+            "samsung_a50",
+            "pixel3",
+            "essential_ph_1",
+            "samsung_s7",
+        ],
+        &["fpga", "raspi4", "eyeriss"],
+    );
+    let fa_train = gpu_names(&[1, 32, 64]);
+    let fa_train_refs: Vec<&str> = fa_train.iter().map(String::as_str).collect();
+    let fa = Task::new(
+        "FA",
+        s,
+        &fa_train_refs,
+        &["gold_6226", "essential_ph_1", "samsung_s7", "pixel2"],
+    );
+    let f1 = Task::new(
+        "F1",
+        s,
+        &["2080ti_1", "essential_ph_1", "silver_4114", "titan_rtx_1", "titan_rtx_32"],
+        &["eyeriss", "fpga", "raspi4", "samsung_a50", "samsung_s7"],
+    );
+    let f2 = Task::new(
+        "F2",
+        s,
+        &["essential_ph_1", "gold_6226", "gold_6240", "pixel3", "raspi4"],
+        &["1080ti_1", "1080ti_32", "2080ti_32", "titan_rtx_1", "titanxp_1"],
+    );
+    let f3 = Task::new(
+        "F3",
+        s,
+        &["essential_ph_1", "pixel2", "pixel3", "raspi4", "samsung_s7"],
+        &["1080ti_1", "1080ti_32", "2080ti_1", "titan_rtx_1", "titan_rtx_32"],
+    );
+    let f4 = Task::new(
+        "F4",
+        s,
+        &[
+            "1080ti_64",
+            "2080ti_1",
+            "eyeriss",
+            "gold_6226",
+            "gold_6240",
+            "raspi4",
+            "samsung_s7",
+            "silver_4210r",
+            "titan_rtx_1",
+            "titan_rtx_32",
+        ],
+        &["1080ti_1", "pixel2", "essential_ph_1"],
+    );
+    vec![fd, fa, f1, f2, f3, f4]
+}
+
+/// Looks up one of the 12 paper tasks by name (case-sensitive).
+pub fn paper_task(name: &str) -> Option<Task> {
+    paper_tasks().into_iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_tasks_with_paper_names() {
+        let tasks = paper_tasks();
+        assert_eq!(tasks.len(), 12);
+        let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["ND", "NA", "N1", "N2", "N3", "N4", "FD", "FA", "F1", "F2", "F3", "F4"]);
+    }
+
+    #[test]
+    fn sides_are_disjoint_and_valid() {
+        // Task::new validates against the registry; just touch every task.
+        for t in paper_tasks() {
+            assert!(t.num_train() >= 5, "{} train too small", t.name);
+            assert!(t.num_test() >= 3, "{} test too small", t.name);
+        }
+    }
+
+    #[test]
+    fn paper_counts_match() {
+        assert_eq!(paper_task("NA").unwrap().num_train(), 17);
+        assert_eq!(paper_task("FA").unwrap().num_train(), 15);
+        assert_eq!(paper_task("N4").unwrap().num_train(), 10);
+        assert_eq!(paper_task("N4").unwrap().num_test(), 3);
+        assert!(paper_task("XX").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_rejected() {
+        let _ = Task::new("bad", Space::Nb201, &["warp_drive"], &["eyeriss"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "on both sides")]
+    fn overlapping_sides_rejected() {
+        let _ = Task::new("bad", Space::Nb201, &["eyeriss"], &["eyeriss"]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests on device-set partitioning: bisection and trimming
+//! invariants for arbitrary seeds and sizes.
+
+use proptest::prelude::*;
+
+use nasflat_space::Space;
+use nasflat_tasks::{generate_task, kernighan_lin, partition_devices, CorrelationMatrix};
+
+// One matrix shared across cases (construction costs a few hundred ms).
+fn matrix() -> &'static CorrelationMatrix {
+    use std::sync::OnceLock;
+    static M: OnceLock<CorrelationMatrix> = OnceLock::new();
+    M.get_or_init(|| CorrelationMatrix::for_space(Space::Nb201, 80, 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bisection_is_a_partition(seed in any::<u64>()) {
+        let m = matrix();
+        let (a, b) = kernighan_lin(m, seed);
+        prop_assert_eq!(a.len() + b.len(), m.len());
+        let mut all: Vec<usize> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), m.len(), "overlap or missing nodes");
+        prop_assert!((a.len() as i64 - b.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn trimming_honors_requested_sizes(seed in any::<u64>(), m_size in 2usize..10, n_size in 2usize..10) {
+        let m = matrix();
+        if let Ok((train, test)) = partition_devices(m, m_size, n_size, seed) {
+            prop_assert_eq!(train.len(), m_size);
+            prop_assert_eq!(test.len(), n_size);
+            prop_assert!(train.iter().all(|d| !test.contains(d)));
+            // all names resolvable
+            for d in train.iter().chain(&test) {
+                prop_assert!(m.index_of(d).is_some(), "unknown device {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_tasks_are_valid_tasks(seed in any::<u64>()) {
+        let m = matrix();
+        if let Ok(task) = generate_task(Space::Nb201, m, 5, 5, seed) {
+            prop_assert_eq!(task.space, Space::Nb201);
+            prop_assert_eq!(task.num_train(), 5);
+            prop_assert_eq!(task.num_test(), 5);
+            // Task::new validated device names and disjointness already;
+            // check the difficulty measure is a sane correlation
+            let rho = m.task_train_test(&task);
+            prop_assert!((-1.0..=1.0).contains(&rho));
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_lookup_consistency(i in 0usize..40, j in 0usize..40) {
+        let m = matrix();
+        prop_assert_eq!(m.get(i, j), m.get(j, i));
+        prop_assert!(m.get(i, j).abs() <= 1.0 + 1e-5);
+        let names = m.names();
+        prop_assert_eq!(m.by_name(&names[i], &names[j]), Some(m.get(i, j)));
+    }
+}

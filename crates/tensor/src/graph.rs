@@ -1,0 +1,747 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (per training batch). Ops
+//! append nodes to the tape; [`Graph::backward`] walks the tape in reverse,
+//! accumulating gradients. Parameters live outside the graph in a
+//! [`ParamStore`](crate::ParamStore) and are inserted as leaves that remember
+//! their [`ParamId`](crate::ParamId) so gradients can be written back.
+//!
+//! The op set is exactly what the NASFLAT predictor needs: matrix products,
+//! element-wise arithmetic and activations, adjacency-masked softmax (for
+//! graph attention), LayerNorm, row gather/scatter (embedding lookup), and a
+//! few reductions.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // scalar operands are kept for informative Debug output
+enum Op {
+    Leaf,
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    MulElem(Var, Var),
+    AddRowBroadcast(Var, Var),
+    MulRowBroadcast(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    SoftmaxRowsMasked(Var, Option<Tensor>),
+    LayerNormRows { x: Var, gamma: Var, beta: Var },
+    ConcatCols(Var, Var),
+    SliceRows(Var, usize, usize),
+    Transpose(Var),
+    Gather(Var, Vec<usize>),
+    RepeatRow(Var, usize),
+    MeanRows(Var),
+    SumAll(Var),
+    SumVars(Vec<Var>),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Tensor,
+    op: Op,
+    requires_grad: bool,
+    param: Option<ParamId>,
+    /// Saved intermediates needed by backward (e.g. LayerNorm's normalized
+    /// input and inverse std).
+    aux: Vec<Tensor>,
+}
+
+/// A reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.push_aux(value, op, requires_grad, Vec::new())
+    }
+
+    fn push_aux(&mut self, value: Tensor, op: Op, requires_grad: bool, aux: Vec<Tensor>) -> Var {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { value, grad, op, requires_grad, param: None, aux });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Inserts a constant (no gradient will flow into it).
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, false)
+    }
+
+    /// Inserts a leaf that participates in gradients but is not a stored
+    /// parameter (used by tests and finite-difference checks).
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Leaf, true)
+    }
+
+    /// Inserts a parameter from `store`, remembering its id for
+    /// [`Graph::write_grads`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), Op::Leaf, true);
+        self.nodes[v.0].param = Some(id);
+        v
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of a node (zeros before `backward`).
+    pub fn grad(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].grad
+    }
+
+    // ---- ops -------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MatMul(a, b), rg)
+    }
+
+    /// Element-wise sum. Shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
+        let mut v = ta.clone();
+        v.axpy(1.0, tb);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Add(a, b), rg)
+    }
+
+    /// Element-wise difference `a - b`. Shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
+        let mut v = ta.clone();
+        v.axpy(-1.0, tb);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::Sub(a, b), rg)
+    }
+
+    /// Hadamard (element-wise) product. Shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(&x, &y)| x * y).collect();
+        let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MulElem(a, b), rg)
+    }
+
+    /// Adds a `1×c` row vector to every row of an `r×c` matrix.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
+        assert_eq!(ta.cols(), tb.cols(), "broadcast col mismatch");
+        let mut v = ta.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) + tb.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::AddRowBroadcast(a, b), rg)
+    }
+
+    /// Multiplies every row of an `r×c` matrix by a `1×c` row vector.
+    pub fn mul_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
+        assert_eq!(ta.cols(), tb.cols(), "broadcast col mismatch");
+        let mut v = ta.clone();
+        for r in 0..v.rows() {
+            for c in 0..v.cols() {
+                let x = v.get(r, c) * tb.get(0, c);
+                v.set(r, c, x);
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::MulRowBroadcast(a, b), rg)
+    }
+
+    /// Scalar multiple `s * a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * s);
+        let rg = self.rg(a);
+        self.push(v, Op::Scale(a, s), rg)
+    }
+
+    /// Adds a scalar constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        let rg = self.rg(a);
+        self.push(v, Op::AddScalar(a, s), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a);
+        self.push(v, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(v, Op::Tanh(a), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(v, Op::Relu(a), rg)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let rg = self.rg(a);
+        self.push(v, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// Row-wise softmax. With `mask`, entries where `mask == 0` receive zero
+    /// probability; an all-masked row becomes all zeros (no NaNs).
+    pub fn softmax_rows_masked(&mut self, a: Var, mask: Option<Tensor>) -> Var {
+        let ta = &self.nodes[a.0].value;
+        if let Some(m) = &mask {
+            assert_eq!(m.shape(), ta.shape(), "softmax mask shape mismatch");
+        }
+        let mut v = Tensor::zeros(ta.rows(), ta.cols());
+        for r in 0..ta.rows() {
+            let allowed = |c: usize| mask.as_ref().map_or(true, |m| m.get(r, c) != 0.0);
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..ta.cols() {
+                if allowed(c) {
+                    maxv = maxv.max(ta.get(r, c));
+                }
+            }
+            if !maxv.is_finite() {
+                continue; // fully masked row stays zero
+            }
+            let mut sum = 0.0;
+            for c in 0..ta.cols() {
+                if allowed(c) {
+                    let e = (ta.get(r, c) - maxv).exp();
+                    v.set(r, c, e);
+                    sum += e;
+                }
+            }
+            if sum > 0.0 {
+                for c in 0..ta.cols() {
+                    v.set(r, c, v.get(r, c) / sum);
+                }
+            }
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::SoftmaxRowsMasked(a, mask), rg)
+    }
+
+    /// Row-wise LayerNorm with per-column affine parameters
+    /// (`gamma`, `beta` are `1×c`).
+    pub fn layer_norm_rows(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
+        const EPS: f32 = 1e-5;
+        let tx = &self.nodes[x.0].value;
+        let tg = &self.nodes[gamma.0].value;
+        let tb = &self.nodes[beta.0].value;
+        assert_eq!(tg.shape(), (1, tx.cols()), "gamma must be 1xC");
+        assert_eq!(tb.shape(), (1, tx.cols()), "beta must be 1xC");
+        let (r, c) = tx.shape();
+        let mut xhat = Tensor::zeros(r, c);
+        let mut inv_std = Tensor::zeros(r, 1);
+        let mut out = Tensor::zeros(r, c);
+        for i in 0..r {
+            let row = tx.row(i);
+            let mu = row.iter().sum::<f32>() / c as f32;
+            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / c as f32;
+            let is = 1.0 / (var + EPS).sqrt();
+            inv_std.set(i, 0, is);
+            for j in 0..c {
+                let xh = (row[j] - mu) * is;
+                xhat.set(i, j, xh);
+                out.set(i, j, xh * tg.get(0, j) + tb.get(0, j));
+            }
+        }
+        let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
+        self.push_aux(out, Op::LayerNormRows { x, gamma, beta }, rg, vec![xhat, inv_std])
+    }
+
+    /// Horizontal concatenation `[a | b]`. Row counts must match.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
+        let (r, ca, cb) = (ta.rows(), ta.cols(), tb.cols());
+        let mut v = Tensor::zeros(r, ca + cb);
+        for i in 0..r {
+            v.row_mut(i)[..ca].copy_from_slice(ta.row(i));
+            v.row_mut(i)[ca..].copy_from_slice(tb.row(i));
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::ConcatCols(a, b), rg)
+    }
+
+    /// Contiguous row slice `a[start .. start+len]`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let ta = &self.nodes[a.0].value;
+        assert!(start + len <= ta.rows(), "slice_rows out of range");
+        let mut v = Tensor::zeros(len, ta.cols());
+        for i in 0..len {
+            v.row_mut(i).copy_from_slice(ta.row(start + i));
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::SliceRows(a, start, len), rg)
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.transpose();
+        let rg = self.rg(a);
+        self.push(v, Op::Transpose(a), rg)
+    }
+
+    /// Row gather: output row `i` is input row `indices[i]` (embedding
+    /// lookup). Indices may repeat; backward scatter-adds.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let mut v = Tensor::zeros(indices.len(), ta.cols());
+        for (i, &ix) in indices.iter().enumerate() {
+            assert!(ix < ta.rows(), "gather index {ix} out of range ({} rows)", ta.rows());
+            v.row_mut(i).copy_from_slice(ta.row(ix));
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::Gather(a, indices.to_vec()), rg)
+    }
+
+    /// Tiles a `1×c` row vector into an `n×c` matrix.
+    pub fn repeat_row(&mut self, a: Var, n: usize) -> Var {
+        let ta = &self.nodes[a.0].value;
+        assert_eq!(ta.rows(), 1, "repeat_row needs a row vector");
+        let mut v = Tensor::zeros(n, ta.cols());
+        for i in 0..n {
+            v.row_mut(i).copy_from_slice(ta.row(0));
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::RepeatRow(a, n), rg)
+    }
+
+    /// Mean over rows: `r×c → 1×c`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let (r, c) = ta.shape();
+        assert!(r > 0, "mean_rows on empty matrix");
+        let mut v = Tensor::zeros(1, c);
+        for i in 0..r {
+            for j in 0..c {
+                v.set(0, j, v.get(0, j) + ta.get(i, j) / r as f32);
+            }
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::MeanRows(a), rg)
+    }
+
+    /// Sum of all elements: `r×c → 1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let rg = self.rg(a);
+        self.push(v, Op::SumAll(a), rg)
+    }
+
+    /// Sums several same-shaped vars (used to accumulate per-pair losses).
+    ///
+    /// # Panics
+    /// Panics if `vars` is empty or shapes differ.
+    pub fn sum_vars(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "sum_vars on empty list");
+        let shape = self.nodes[vars[0].0].value.shape();
+        let mut v = Tensor::zeros(shape.0, shape.1);
+        let mut rg = false;
+        for &x in vars {
+            assert_eq!(self.nodes[x.0].value.shape(), shape, "sum_vars shape mismatch");
+            v.axpy(1.0, &self.nodes[x.0].value);
+            rg |= self.rg(x);
+        }
+        self.push(v, Op::SumVars(vars.to_vec()), rg)
+    }
+
+    // ---- backward ---------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from `root`, which must be `1×1`.
+    ///
+    /// Gradients accumulate in the tape; call [`Graph::write_grads`] to move
+    /// parameter gradients into the store.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward root must be a scalar"
+        );
+        self.nodes[root.0].grad = Tensor::scalar(1.0);
+        for i in (0..=root.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            if self.nodes[i].grad.data().iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            self.backprop_node(i);
+        }
+    }
+
+    fn accum(&mut self, v: Var, delta: &Tensor) {
+        if self.nodes[v.0].requires_grad {
+            self.nodes[v.0].grad.axpy(1.0, delta);
+        }
+    }
+
+    fn backprop_node(&mut self, i: usize) {
+        let g = self.nodes[i].grad.clone();
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Leaf => {}
+            Op::MatMul(a, b) => {
+                let va = self.nodes[a.0].value.clone();
+                let vb = self.nodes[b.0].value.clone();
+                let da = g.matmul(&vb.transpose());
+                let db = va.transpose().matmul(&g);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::Add(a, b) => {
+                self.accum(a, &g);
+                self.accum(b, &g);
+            }
+            Op::Sub(a, b) => {
+                self.accum(a, &g);
+                let neg = g.map(|x| -x);
+                self.accum(b, &neg);
+            }
+            Op::MulElem(a, b) => {
+                let va = self.nodes[a.0].value.clone();
+                let vb = self.nodes[b.0].value.clone();
+                let da = elem_mul(&g, &vb);
+                let db = elem_mul(&g, &va);
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::AddRowBroadcast(a, b) => {
+                self.accum(a, &g);
+                let db = col_sums(&g);
+                self.accum(b, &db);
+            }
+            Op::MulRowBroadcast(a, b) => {
+                let va = self.nodes[a.0].value.clone();
+                let vb = self.nodes[b.0].value.clone();
+                let mut da = g.clone();
+                for r in 0..da.rows() {
+                    for c in 0..da.cols() {
+                        da.set(r, c, da.get(r, c) * vb.get(0, c));
+                    }
+                }
+                self.accum(a, &da);
+                let mut db = Tensor::zeros(1, vb.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        db.set(0, c, db.get(0, c) + g.get(r, c) * va.get(r, c));
+                    }
+                }
+                self.accum(b, &db);
+            }
+            Op::Scale(a, s) => {
+                let da = g.map(|x| x * s);
+                self.accum(a, &da);
+            }
+            Op::AddScalar(a, _) => self.accum(a, &g),
+            Op::Sigmoid(a) => {
+                let y = self.nodes[i].value.clone();
+                let mut da = g.clone();
+                for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                    *d *= yv * (1.0 - yv);
+                }
+                self.accum(a, &da);
+            }
+            Op::Tanh(a) => {
+                let y = self.nodes[i].value.clone();
+                let mut da = g.clone();
+                for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                    *d *= 1.0 - yv * yv;
+                }
+                self.accum(a, &da);
+            }
+            Op::Relu(a) => {
+                let x = self.nodes[a.0].value.clone();
+                let mut da = g.clone();
+                for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                    if xv <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let x = self.nodes[a.0].value.clone();
+                let mut da = g.clone();
+                for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                    if xv <= 0.0 {
+                        *d *= slope;
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::SoftmaxRowsMasked(a, _mask) => {
+                let y = self.nodes[i].value.clone();
+                let (r, c) = y.shape();
+                let mut da = Tensor::zeros(r, c);
+                for row in 0..r {
+                    let mut dot = 0.0;
+                    for col in 0..c {
+                        dot += g.get(row, col) * y.get(row, col);
+                    }
+                    for col in 0..c {
+                        let yv = y.get(row, col);
+                        da.set(row, col, yv * (g.get(row, col) - dot));
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::LayerNormRows { x, gamma, beta } => {
+                let xhat = self.nodes[i].aux[0].clone();
+                let inv_std = self.nodes[i].aux[1].clone();
+                let tg = self.nodes[gamma.0].value.clone();
+                let (r, c) = xhat.shape();
+                // dgamma, dbeta
+                let mut dgamma = Tensor::zeros(1, c);
+                let mut dbeta = Tensor::zeros(1, c);
+                for row in 0..r {
+                    for col in 0..c {
+                        dgamma.set(0, col, dgamma.get(0, col) + g.get(row, col) * xhat.get(row, col));
+                        dbeta.set(0, col, dbeta.get(0, col) + g.get(row, col));
+                    }
+                }
+                self.accum(gamma, &dgamma);
+                self.accum(beta, &dbeta);
+                // dx
+                let mut dx = Tensor::zeros(r, c);
+                for row in 0..r {
+                    let is = inv_std.get(row, 0);
+                    let mut mean_dxhat = 0.0;
+                    let mut mean_dxhat_xhat = 0.0;
+                    for col in 0..c {
+                        let dxh = g.get(row, col) * tg.get(0, col);
+                        mean_dxhat += dxh;
+                        mean_dxhat_xhat += dxh * xhat.get(row, col);
+                    }
+                    mean_dxhat /= c as f32;
+                    mean_dxhat_xhat /= c as f32;
+                    for col in 0..c {
+                        let dxh = g.get(row, col) * tg.get(0, col);
+                        let v = is * (dxh - mean_dxhat - xhat.get(row, col) * mean_dxhat_xhat);
+                        dx.set(row, col, v);
+                    }
+                }
+                self.accum(x, &dx);
+            }
+            Op::ConcatCols(a, b) => {
+                let ca = self.nodes[a.0].value.cols();
+                let cb = self.nodes[b.0].value.cols();
+                let r = g.rows();
+                let mut da = Tensor::zeros(r, ca);
+                let mut db = Tensor::zeros(r, cb);
+                for row in 0..r {
+                    da.row_mut(row).copy_from_slice(&g.row(row)[..ca]);
+                    db.row_mut(row).copy_from_slice(&g.row(row)[ca..]);
+                }
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            Op::SliceRows(a, start, len) => {
+                let ta_shape = self.nodes[a.0].value.shape();
+                let mut da = Tensor::zeros(ta_shape.0, ta_shape.1);
+                for i2 in 0..len {
+                    da.row_mut(start + i2).copy_from_slice(g.row(i2));
+                }
+                self.accum(a, &da);
+            }
+            Op::Transpose(a) => {
+                let da = g.transpose();
+                self.accum(a, &da);
+            }
+            Op::Gather(a, indices) => {
+                let ta_shape = self.nodes[a.0].value.shape();
+                let mut da = Tensor::zeros(ta_shape.0, ta_shape.1);
+                for (row, &ix) in indices.iter().enumerate() {
+                    for col in 0..ta_shape.1 {
+                        da.set(ix, col, da.get(ix, col) + g.get(row, col));
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::RepeatRow(a, _n) => {
+                let da = col_sums(&g);
+                self.accum(a, &da);
+            }
+            Op::MeanRows(a) => {
+                let (r, c) = self.nodes[a.0].value.shape();
+                let mut da = Tensor::zeros(r, c);
+                for row in 0..r {
+                    for col in 0..c {
+                        da.set(row, col, g.get(0, col) / r as f32);
+                    }
+                }
+                self.accum(a, &da);
+            }
+            Op::SumAll(a) => {
+                let (r, c) = self.nodes[a.0].value.shape();
+                let da = Tensor::full(r, c, g.item());
+                self.accum(a, &da);
+            }
+            Op::SumVars(vars) => {
+                for v in vars {
+                    self.accum(v, &g);
+                }
+            }
+        }
+    }
+
+    /// Accumulates gradients of all parameter leaves into the store.
+    pub fn write_grads(&self, store: &mut ParamStore) {
+        for node in &self.nodes {
+            if let Some(pid) = node.param {
+                store.grad_mut(pid).axpy(1.0, &node.grad);
+            }
+        }
+    }
+}
+
+fn elem_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    debug_assert_eq!(a.shape(), b.shape());
+    let data = a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+fn col_sums(g: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(1, g.cols());
+    for r in 0..g.rows() {
+        for c in 0..g.cols() {
+            out.set(0, c, out.get(0, c) + g.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_forward_and_backward() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = g.leaf(Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let y = g.matmul(a, b);
+        assert_eq!(g.value(y).item(), 11.0);
+        g.backward(y);
+        assert_eq!(g.grad(a).data(), &[3.0, 4.0]);
+        assert_eq!(g.grad(b).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn chain_rule_through_sigmoid() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(0.0));
+        let y = g.sigmoid(x);
+        let z = g.scale(y, 4.0);
+        g.backward(z);
+        // d/dx 4*sigmoid(x) at 0 = 4 * 0.25 = 1
+        assert!((g.grad(x).item() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_adds_for_repeats() {
+        let mut g = Graph::new();
+        let table = g.leaf(Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        let picked = g.gather_rows(table, &[1, 1, 2]);
+        let s = g.sum_all(picked);
+        g.backward(s);
+        assert_eq!(g.grad(table).data(), &[0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_and_all_masked_rows() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 5.0, 5.0]));
+        let mask = Tensor::from_vec(2, 2, vec![1.0, 1.0, 0.0, 0.0]);
+        let y = g.softmax_rows_masked(x, Some(mask));
+        let v = g.value(y);
+        assert!((v.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert_eq!(v.row(1), &[0.0, 0.0]);
+        assert!(!v.has_non_finite());
+    }
+
+    #[test]
+    fn constants_receive_no_grad() {
+        let mut g = Graph::new();
+        let c = g.constant(Tensor::scalar(2.0));
+        let x = g.leaf(Tensor::scalar(3.0));
+        let y = g.mul(c, x);
+        g.backward(y);
+        assert_eq!(g.grad(c).item(), 0.0);
+        assert_eq!(g.grad(x).item(), 2.0);
+    }
+
+    #[test]
+    fn sum_vars_fans_out_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(1.0));
+        let b = g.leaf(Tensor::scalar(2.0));
+        let c = g.leaf(Tensor::scalar(3.0));
+        let s = g.sum_vars(&[a, b, c]);
+        assert_eq!(g.value(s).item(), 6.0);
+        g.backward(s);
+        for v in [a, b, c] {
+            assert_eq!(g.grad(v).item(), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a scalar")]
+    fn backward_requires_scalar_root() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::zeros(2, 2));
+        g.backward(a);
+    }
+}

@@ -1,0 +1,53 @@
+//! `nasflat-tensor`: a minimal tape-based autograd engine.
+//!
+//! This crate is the training substrate for the NASFLAT reproduction — a
+//! from-scratch replacement for the PyTorch stack the paper uses. It provides:
+//!
+//! - [`Tensor`]: a dense row-major `f32` matrix;
+//! - [`Graph`]/[`Var`]: a per-batch reverse-mode autodiff tape whose op set
+//!   covers GNN predictors (matmul, masked softmax for graph attention,
+//!   LayerNorm, embedding gather, broadcasts, reductions);
+//! - [`ParamStore`]/[`AdamConfig`]: parameter storage with AdamW, SGD,
+//!   gradient clipping, and snapshot/restore for meta-learning baselines;
+//! - layers ([`Linear`], [`Mlp`], [`Embedding`], [`LayerNorm`]) and losses
+//!   ([`mse_loss`], [`pairwise_hinge_loss`]).
+//!
+//! # Example
+//! ```
+//! use nasflat_tensor::{Graph, ParamStore, AdamConfig, Tensor};
+//!
+//! // Fit w to minimize (w*2 - 6)^2  =>  w -> 3.
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", Tensor::scalar(0.0));
+//! let cfg = AdamConfig::default().with_lr(0.1);
+//! for _ in 0..200 {
+//!     store.zero_grads();
+//!     let mut g = Graph::new();
+//!     let wv = g.param(&store, w);
+//!     let two = g.constant(Tensor::scalar(2.0));
+//!     let six = g.constant(Tensor::scalar(6.0));
+//!     let y = g.mul(wv, two);
+//!     let d = g.sub(y, six);
+//!     let loss = g.mul(d, d);
+//!     g.backward(loss);
+//!     g.write_grads(&mut store);
+//!     store.adam_step(&cfg);
+//! }
+//! assert!((store.value(w).item() - 3.0).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod layers;
+mod loss;
+mod params;
+mod serialize;
+mod tensor;
+
+pub use graph::{Graph, Var};
+pub use layers::{Activation, Embedding, LayerNorm, Linear, Mlp};
+pub use loss::{mse_loss, pairwise_hinge_loss};
+pub use params::{AdamConfig, ParamId, ParamStore};
+pub use serialize::LoadError;
+pub use tensor::Tensor;

@@ -1,0 +1,118 @@
+//! Training losses.
+//!
+//! The paper trains its predictor with the pairwise hinge (ranking) loss of
+//! Ning et al. 2022; MSE is kept for baselines and ablations.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Mean-squared error between scalar predictions and targets.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn mse_loss(g: &mut Graph, preds: &[Var], targets: &[f32]) -> Var {
+    assert_eq!(preds.len(), targets.len(), "mse length mismatch");
+    assert!(!preds.is_empty(), "mse on empty batch");
+    let mut terms = Vec::with_capacity(preds.len());
+    for (&p, &t) in preds.iter().zip(targets) {
+        let tv = g.constant(Tensor::scalar(t));
+        let d = g.sub(p, tv);
+        terms.push(g.mul(d, d));
+    }
+    let total = g.sum_vars(&terms);
+    g.scale(total, 1.0 / preds.len() as f32)
+}
+
+/// Pairwise hinge ranking loss: for every pair with `target_i > target_j`,
+/// penalizes `max(0, margin - (score_i - score_j))`, averaged over pairs.
+///
+/// Returns `None` when no comparable pair exists (all targets equal or a
+/// single-element batch) — callers should skip the update in that case.
+pub fn pairwise_hinge_loss(
+    g: &mut Graph,
+    scores: &[Var],
+    targets: &[f32],
+    margin: f32,
+) -> Option<Var> {
+    assert_eq!(scores.len(), targets.len(), "hinge length mismatch");
+    let mut terms = Vec::new();
+    for i in 0..scores.len() {
+        for j in 0..scores.len() {
+            if targets[i] > targets[j] {
+                // want score_i - score_j >= margin
+                let d = g.sub(scores[i], scores[j]);
+                let neg = g.scale(d, -1.0);
+                let m = g.add_scalar(neg, margin);
+                terms.push(g.relu(m));
+            }
+        }
+    }
+    if terms.is_empty() {
+        return None;
+    }
+    let total = g.sum_vars(&terms);
+    Some(g.scale(total, 1.0 / terms.len() as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_exact() {
+        let mut g = Graph::new();
+        let p1 = g.leaf(Tensor::scalar(2.0));
+        let p2 = g.leaf(Tensor::scalar(-1.0));
+        let l = mse_loss(&mut g, &[p1, p2], &[2.0, -1.0]);
+        assert_eq!(g.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let mut g = Graph::new();
+        let p1 = g.leaf(Tensor::scalar(0.0));
+        let p2 = g.leaf(Tensor::scalar(0.0));
+        let l = mse_loss(&mut g, &[p1, p2], &[1.0, 3.0]);
+        assert_eq!(g.value(l).item(), 5.0); // (1 + 9) / 2
+    }
+
+    #[test]
+    fn hinge_zero_when_well_separated() {
+        let mut g = Graph::new();
+        let lo = g.leaf(Tensor::scalar(0.0));
+        let hi = g.leaf(Tensor::scalar(5.0));
+        let l = pairwise_hinge_loss(&mut g, &[lo, hi], &[1.0, 2.0], 0.1).unwrap();
+        assert_eq!(g.value(l).item(), 0.0);
+    }
+
+    #[test]
+    fn hinge_penalizes_misranked_pair() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(1.0));
+        let b = g.leaf(Tensor::scalar(0.0));
+        // target says b should outrank a
+        let l = pairwise_hinge_loss(&mut g, &[a, b], &[1.0, 2.0], 0.1).unwrap();
+        // margin 0.1 - (0 - 1) = 1.1
+        assert!((g.value(l).item() - 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hinge_none_for_constant_targets() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(1.0));
+        let b = g.leaf(Tensor::scalar(0.0));
+        assert!(pairwise_hinge_loss(&mut g, &[a, b], &[2.0, 2.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn hinge_gradient_pushes_ranking_apart() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::scalar(0.0));
+        let b = g.leaf(Tensor::scalar(0.0));
+        let l = pairwise_hinge_loss(&mut g, &[a, b], &[1.0, 2.0], 1.0).unwrap();
+        g.backward(l);
+        // loss = margin - (s_b - s_a); d/ds_a = +1, d/ds_b = -1
+        assert!(g.grad(a).item() > 0.0);
+        assert!(g.grad(b).item() < 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Binary weight persistence.
+//!
+//! A pre-trained predictor is the expensive artifact of this system — the
+//! whole point of few-shot transfer is to train it once and reuse it across
+//! target devices. [`ParamStore::save_weights`] serializes all parameter
+//! values into a compact self-describing binary blob;
+//! [`ParamStore::load_weights`] restores them into a store with the same
+//! layout (same registration order, names, and shapes), validating every
+//! field. Optimizer state is intentionally not persisted: transfer
+//! re-initializes it anyway (paper §3.4).
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "NFW1" | u32 param count | per parameter:
+//!   u32 name len | name bytes | u32 rows | u32 cols | rows*cols f32 values
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::params::ParamStore;
+
+/// Magic prefix of the weight format ("NasFlat Weights v1").
+const MAGIC: &[u8; 4] = b"NFW1";
+
+/// Why a weight blob could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The blob does not start with the `NFW1` magic.
+    BadMagic,
+    /// The blob ended before all declared data was read.
+    Truncated,
+    /// A parameter name was not valid UTF-8.
+    BadName,
+    /// Parameter count differs from the store's layout.
+    CountMismatch {
+        /// Parameters in the blob.
+        found: usize,
+        /// Parameters registered in the store.
+        expected: usize,
+    },
+    /// A parameter's name or shape differs from the store's layout.
+    LayoutMismatch {
+        /// Index of the offending parameter.
+        index: usize,
+        /// Human-readable description of the difference.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::BadMagic => write!(f, "not a NFW1 weight blob"),
+            LoadError::Truncated => write!(f, "weight blob is truncated"),
+            LoadError::BadName => write!(f, "parameter name is not valid UTF-8"),
+            LoadError::CountMismatch { found, expected } => {
+                write!(f, "blob has {found} parameters, store expects {expected}")
+            }
+            LoadError::LayoutMismatch { index, detail } => {
+                write!(f, "parameter {index} does not match the store layout: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl ParamStore {
+    /// Serializes all parameter values (not gradients or optimizer state).
+    pub fn save_weights(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.num_scalars() * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(self.len() as u32);
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name);
+            let value = self.value(id);
+            buf.put_u32_le(value.rows() as u32);
+            buf.put_u32_le(value.cols() as u32);
+            for &v in value.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Restores parameter values from a blob produced by
+    /// [`ParamStore::save_weights`] on a store with the same layout.
+    ///
+    /// # Errors
+    /// Any structural mismatch (magic, truncation, parameter count, names,
+    /// shapes) is rejected before any value is written, so a failed load
+    /// leaves the store unchanged.
+    pub fn load_weights(&mut self, blob: &[u8]) -> Result<(), LoadError> {
+        let mut cur = blob;
+        if cur.remaining() < 4 || &cur[..4] != MAGIC {
+            return Err(LoadError::BadMagic);
+        }
+        cur.advance(4);
+        if cur.remaining() < 4 {
+            return Err(LoadError::Truncated);
+        }
+        let count = cur.get_u32_le() as usize;
+        if count != self.len() {
+            return Err(LoadError::CountMismatch { found: count, expected: self.len() });
+        }
+        // First pass: validate layout and collect values.
+        let mut values: Vec<Vec<f32>> = Vec::with_capacity(count);
+        for (index, id) in self.ids().enumerate() {
+            if cur.remaining() < 4 {
+                return Err(LoadError::Truncated);
+            }
+            let name_len = cur.get_u32_le() as usize;
+            if cur.remaining() < name_len {
+                return Err(LoadError::Truncated);
+            }
+            let name = std::str::from_utf8(&cur[..name_len]).map_err(|_| LoadError::BadName)?;
+            if name != self.name(id) {
+                return Err(LoadError::LayoutMismatch {
+                    index,
+                    detail: format!("name '{name}' != '{}'", self.name(id)),
+                });
+            }
+            cur.advance(name_len);
+            if cur.remaining() < 8 {
+                return Err(LoadError::Truncated);
+            }
+            let rows = cur.get_u32_le() as usize;
+            let cols = cur.get_u32_le() as usize;
+            let expected = self.value(id).shape();
+            if (rows, cols) != expected {
+                return Err(LoadError::LayoutMismatch {
+                    index,
+                    detail: format!("shape {rows}x{cols} != {}x{}", expected.0, expected.1),
+                });
+            }
+            if cur.remaining() < rows * cols * 4 {
+                return Err(LoadError::Truncated);
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..rows * cols {
+                data.push(cur.get_f32_le());
+            }
+            values.push(data);
+        }
+        // Second pass: commit.
+        for (id, data) in self.ids().collect::<Vec<_>>().into_iter().zip(values) {
+            self.value_mut(id).data_mut().copy_from_slice(&data);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn sample_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("w1", Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        s.add("b1", Tensor::row_vector(vec![-0.5, 0.5]));
+        s
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let src = sample_store();
+        let blob = src.save_weights();
+        let mut dst = sample_store();
+        // perturb destination
+        let first = dst.ids().next().unwrap();
+        dst.value_mut(first).set(0, 0, 99.0);
+        dst.load_weights(&blob).unwrap();
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut dst = sample_store();
+        assert_eq!(dst.load_weights(b"XXXX....."), Err(LoadError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_blob_rejected_without_mutation() {
+        let src = sample_store();
+        let blob = src.save_weights();
+        let mut dst = sample_store();
+        let before = dst.snapshot();
+        let cut = &blob[..blob.len() - 3];
+        assert_eq!(dst.load_weights(cut), Err(LoadError::Truncated));
+        // failed load must not have touched anything
+        for (id, snap) in dst.ids().collect::<Vec<_>>().into_iter().zip(&before) {
+            assert_eq!(dst.value(id), snap);
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let src = sample_store();
+        let blob = src.save_weights();
+        let mut other = ParamStore::new();
+        other.add("different_name", Tensor::zeros(2, 3));
+        other.add("b1", Tensor::zeros(1, 2));
+        let err = other.load_weights(&blob).unwrap_err();
+        assert!(matches!(err, LoadError::LayoutMismatch { index: 0, .. }), "{err}");
+
+        let mut fewer = ParamStore::new();
+        fewer.add("w1", Tensor::zeros(2, 3));
+        assert!(matches!(
+            fewer.load_weights(&blob),
+            Err(LoadError::CountMismatch { found: 2, expected: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(LoadError::BadMagic.to_string().contains("NFW1"));
+        let e = LoadError::CountMismatch { found: 3, expected: 5 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,51 @@
+//! Device-set designer: the paper's Algorithm 1 as a tool.
+//!
+//! Computes the cross-device Spearman correlation matrix for a search space,
+//! bisects the device graph with Kernighan–Lin on negative-correlation edge
+//! weights, trims each side to the requested sizes, and prints the resulting
+//! low-correlation (train, test) split — exactly how the paper generated its
+//! N1–N4 / F1–F4 evaluation sets.
+//!
+//! Run with: `cargo run --release --example device_set_designer [nb201|fbnet] [train] [test] [seed]`
+
+use nasflat::space::Space;
+use nasflat::tasks::{partition_devices, paper_tasks, CorrelationMatrix};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let space = match args.get(1).map(String::as_str) {
+        Some("fbnet") => Space::Fbnet,
+        _ => Space::Nb201,
+    };
+    let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("building {} correlation matrix (300 probe architectures)...", space.short_name());
+    let corr = CorrelationMatrix::for_space(space, 300, 0);
+
+    match partition_devices(&corr, m, n, seed) {
+        Ok((train, test)) => {
+            println!("\ntrain devices ({}):", train.len());
+            for d in &train {
+                println!("  {d}");
+            }
+            println!("test devices ({}):", test.len());
+            for d in &test {
+                println!("  {d}");
+            }
+            println!("\ntrain-test mean correlation: {:.3}", corr.mean_cross(&train, &test));
+            println!("within-train mean correlation: {:.3}", corr.mean_within(&train));
+
+            // Compare against the paper's hand-listed sets for this space.
+            println!("\nfor reference, the paper's tasks on {}:", space.short_name());
+            for t in paper_tasks().iter().filter(|t| t.space == space) {
+                println!("  {:<3} train-test corr {:.3}", t.name, corr.task_train_test(t));
+            }
+        }
+        Err(e) => {
+            eprintln!("partitioning failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

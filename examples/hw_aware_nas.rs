@@ -1,0 +1,99 @@
+//! Hardware-aware NAS with a few-shot latency predictor (paper §6.8).
+//!
+//! Pre-trains NASFLAT on the ND source devices, transfers it to a target
+//! device with 20 samples, calibrates scores to milliseconds, and runs
+//! latency-constrained evolutionary search at three constraints — printing
+//! the found cell, its oracle accuracy, its *true* simulator latency, and
+//! the predictor's cost ledger. A FLOPs-proxy search is included to show why
+//! learned predictors matter.
+//!
+//! Run with: `cargo run --release --example hw_aware_nas [DEVICE]`
+
+use std::time::Instant;
+
+use nasflat::core::{FewShotConfig, PretrainedTask};
+use nasflat::encode::EncodingKind;
+use nasflat::hw::{latency_ms, DeviceRegistry, LatencyTable};
+use nasflat::nas::{constrained_search, AccuracyOracle, Calibration, SearchConfig};
+use nasflat::sample::{random_indices, Sampler, SelectionMethod};
+use nasflat::space::Space;
+use nasflat::tasks::{paper_task, probe_pool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "pixel2".to_string());
+    let task = paper_task("ND").unwrap();
+    assert!(
+        task.test.contains(&target),
+        "device must be an ND target: {:?}",
+        task.test
+    );
+
+    println!("== HW-aware NAS on {target} ==\n");
+    let pool = probe_pool(Space::Nb201, 500, 0);
+    let registry = DeviceRegistry::nb201();
+    let device = registry.get(&target).expect("validated above").clone();
+    let table = LatencyTable::build(registry.devices(), &pool);
+    let suite = nasflat::encode::EncodingSuite::build(
+        &pool,
+        &nasflat::encode::SuiteConfig::quick().with_seed(3),
+    );
+
+    // Few-shot predictor: pretrain on ND sources, transfer with 20 samples.
+    let mut cfg = FewShotConfig::quick();
+    cfg.sampler = Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine };
+    cfg.predictor.supplement = Some(EncodingKind::Zcp);
+    let t0 = Instant::now();
+    let mut pre = PretrainedTask::build(&task, &pool, &table, Some(&suite), cfg);
+    println!("pre-training on {} source devices: {:.2?}", task.num_train(), t0.elapsed());
+
+    let t1 = Instant::now();
+    let scorer = pre
+        .transfer_scorer(&target, &Sampler::Random, 11, 20)
+        .expect("transfer should succeed");
+    // Calibrate score -> ms on 20 further samples.
+    let mut rng = StdRng::seed_from_u64(42);
+    let cal_idx = random_indices(pool.len(), 20, &mut rng);
+    let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
+    let lats: Vec<f32> = cal_idx.iter().map(|&i| latency_ms(&device, &pool[i]) as f32).collect();
+    let cal = Calibration::fit(&scores, &lats);
+    println!("transfer (20 samples) + calibration: {:.2?}\n", t1.elapsed());
+
+    let oracle = AccuracyOracle::new(Space::Nb201, 0);
+    let row = |label: &str, constraint: f32, f: &mut dyn FnMut(&nasflat::space::Arch) -> f32| {
+        let t = Instant::now();
+        let result =
+            constrained_search(Space::Nb201, &oracle, |a| f(a), constraint, &SearchConfig::quick());
+        let true_lat = latency_ms(&device, &result.arch) as f32;
+        println!(
+            "{label:<14} constraint {constraint:>6.1}ms -> acc {:>5.2}%  true {true_lat:>6.1}ms  \
+             (predicted {:>6.1}ms, {} queries, {:.2?})",
+            result.accuracy,
+            result.predicted_latency_ms,
+            result.predictor_queries,
+            t.elapsed()
+        );
+    };
+
+    // Constraints from the device's latency distribution.
+    let mut sorted: Vec<f32> = table.device_row(&target).unwrap().to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for q in [0.3, 0.5, 0.7] {
+        let constraint = sorted[((sorted.len() - 1) as f64 * q) as usize];
+        row("NASFLAT", constraint, &mut |a| cal.to_ms(scorer.score(a)));
+    }
+    println!();
+    // FLOPs-proxy comparison: calibrate FLOPs to ms the same way.
+    let flops_scores: Vec<f32> =
+        cal_idx.iter().map(|&i| pool[i].cost_profile().total_flops as f32).collect();
+    let flops_cal = Calibration::fit(&flops_scores, &lats);
+    for q in [0.3, 0.5, 0.7] {
+        let constraint = sorted[((sorted.len() - 1) as f64 * q) as usize];
+        row("FLOPs proxy", constraint, &mut |a| {
+            flops_cal.to_ms(a.cost_profile().total_flops as f32)
+        });
+    }
+    println!("\nNote: 'true' latency comes from the device simulator; the FLOPs rows");
+    println!("typically violate the constraint on overhead-bound devices.");
+}

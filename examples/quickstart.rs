@@ -1,0 +1,35 @@
+//! Quickstart: few-shot latency prediction on paper task N1.
+//!
+//! Pre-trains the NASFLAT predictor on N1's source devices (accelerators and
+//! a phone), then transfers it to each unseen target GPU with 20 measured
+//! samples, printing per-device Spearman rank correlation.
+//!
+//! Run with: `cargo run --release --example quickstart [TASK]`
+
+use nasflat::Pipeline;
+
+fn main() {
+    let task = std::env::args().nth(1).unwrap_or_else(|| "N1".to_string());
+    println!("NASFLAT quickstart — few-shot transfer on task {task}");
+    println!("(reduced-budget profile; see PredictorConfig::paper() for Table-20 settings)\n");
+
+    let report = match Pipeline::new(&task).pool_size(400).run(0) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("valid tasks: ND NA N1 N2 N3 N4 FD FA F1 F2 F3 F4");
+            std::process::exit(1);
+        }
+    };
+
+    println!("{:<34} {:>9}  {}", "target device", "Spearman", "hw-embedding seeded from");
+    for d in &report.devices {
+        println!(
+            "{:<34} {:>9.3}  {}",
+            d.device,
+            d.spearman,
+            d.hw_init_source.as_deref().unwrap_or("-")
+        );
+    }
+    println!("\nmean Spearman over targets: {:.3}", report.mean_spearman());
+}

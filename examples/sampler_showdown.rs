@@ -1,0 +1,65 @@
+//! Sampler showdown: how much does the choice of the few transfer samples
+//! matter? (paper §4, Table 3)
+//!
+//! Pre-trains once on task N3, then transfers to each target with every
+//! sampler — random, parameter-spread, the latency oracle, and the
+//! encoding-based cosine samplers — using only 5 samples to stress the
+//! few-shot regime.
+//!
+//! Run with: `cargo run --release --example sampler_showdown [TASK] [SAMPLES]`
+
+use nasflat::core::{FewShotConfig, PretrainedTask};
+use nasflat::encode::{EncodingSuite, SuiteConfig};
+use nasflat::hw::{DeviceRegistry, LatencyTable};
+use nasflat::metrics::mean;
+use nasflat::sample::Sampler;
+use nasflat::tasks::{paper_task, probe_pool};
+
+fn main() {
+    let task_name = std::env::args().nth(1).unwrap_or_else(|| "N3".to_string());
+    let samples: usize =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let task = match paper_task(&task_name) {
+        Some(t) => t,
+        None => {
+            eprintln!("unknown task {task_name}; valid: ND NA N1..N4 FD FA F1..F4");
+            std::process::exit(1);
+        }
+    };
+    println!("== sampler showdown on {task_name} with {samples} transfer samples ==\n");
+
+    let pool = probe_pool(task.space, 400, 0);
+    let registry = DeviceRegistry::for_space(task.space);
+    let table = LatencyTable::build(registry.devices(), &pool);
+    let suite = EncodingSuite::build(&pool, &SuiteConfig::quick().with_seed(5));
+
+    let mut cfg = FewShotConfig::quick();
+    cfg.transfer_samples = samples;
+    cfg.predictor.supplement = None;
+    if task.space == nasflat::space::Space::Fbnet {
+        cfg.predictor = cfg.predictor.for_fbnet();
+    }
+    let mut pre = PretrainedTask::build(&task, &pool, &table, Some(&suite), cfg);
+
+    println!("{:<18} {:>8}   per-device", "sampler", "mean rho");
+    for sampler in Sampler::table3_roster() {
+        let mut rhos = Vec::new();
+        let mut failed = false;
+        for (d, target) in task.test.iter().enumerate() {
+            match pre.transfer_to(target, &sampler, 0xF00D ^ (d as u64)) {
+                Ok(out) => rhos.push(out.spearman),
+                Err(e) => {
+                    println!("{:<18} {:>8}   <{e}>", sampler.label(), "NaN");
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if !failed {
+            let detail = rhos.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>().join(" ");
+            println!("{:<18} {:>8.3}   [{detail}]", sampler.label(), mean(&rhos));
+        }
+    }
+    println!("\n(Latency (Oracle) needs target-device measurements of the whole pool —");
+    println!(" it is the upper bound a practical sampler cannot use.)");
+}

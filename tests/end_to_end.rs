@@ -1,0 +1,115 @@
+//! End-to-end integration tests spanning the full stack: devices →
+//! encodings → sampler → pretrain → transfer → evaluation, plus the NAS
+//! loop with a transferred predictor.
+
+use nasflat::core::{FewShotConfig, PretrainedTask};
+use nasflat::hw::{latency_ms, DeviceRegistry, LatencyTable};
+use nasflat::metrics::spearman_rho;
+use nasflat::nas::{constrained_search, AccuracyOracle, Calibration, SearchConfig};
+use nasflat::sample::Sampler;
+use nasflat::space::Space;
+use nasflat::tasks::{paper_task, probe_pool};
+
+fn tiny_cfg() -> FewShotConfig {
+    let mut f = FewShotConfig::quick();
+    f.predictor.op_dim = 8;
+    f.predictor.hw_dim = 8;
+    f.predictor.node_dim = 8;
+    f.predictor.ophw_gnn_dims = vec![12];
+    f.predictor.ophw_mlp_dims = vec![12];
+    f.predictor.gnn_dims = vec![12];
+    f.predictor.head_dims = vec![16];
+    f.predictor.epochs = 10;
+    f.predictor.transfer_epochs = 10;
+    f.pretrain_per_device = 24;
+    f.transfer_samples = 15;
+    f.eval_samples = 60;
+    f
+}
+
+#[test]
+fn transfer_beats_untrained_predictor_on_easy_task() {
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 150, 0);
+    let reg = DeviceRegistry::nb201();
+    let table = LatencyTable::build(reg.devices(), &pool);
+
+    // Untrained reference: predictor with zero pretraining/transfer epochs.
+    let mut untrained_cfg = tiny_cfg();
+    untrained_cfg.predictor.epochs = 0;
+    untrained_cfg.predictor.transfer_epochs = 0;
+    untrained_cfg.predictor.hw_init = false;
+    let mut untrained = PretrainedTask::build(&task, &pool, &table, None, untrained_cfg);
+    let base = untrained.transfer_to("raspi4", &Sampler::Random, 3).unwrap();
+
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
+    let out = pre.transfer_to("raspi4", &Sampler::Random, 3).unwrap();
+    assert!(
+        out.spearman > base.spearman.max(0.5),
+        "trained {} should beat untrained {}",
+        out.spearman,
+        base.spearman
+    );
+}
+
+#[test]
+fn transferred_scorer_drives_constrained_nas() {
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 150, 1);
+    let reg = DeviceRegistry::nb201();
+    let table = LatencyTable::build(reg.devices(), &pool);
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
+    let scorer = pre.transfer_scorer("pixel2", &Sampler::Random, 5, 15).unwrap();
+    assert_eq!(scorer.target(), "pixel2");
+
+    // Calibrate score -> ms on a strided subset.
+    let device = reg.get("pixel2").unwrap();
+    let cal_idx: Vec<usize> = (0..15).map(|i| i * 9 % pool.len()).collect();
+    let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
+    let lats: Vec<f32> = cal_idx.iter().map(|&i| latency_ms(device, &pool[i]) as f32).collect();
+    let cal = Calibration::fit(&scores, &lats);
+
+    let oracle = AccuracyOracle::new(Space::Nb201, 0);
+    let constraint = 25.0f32;
+    let result = constrained_search(
+        Space::Nb201,
+        &oracle,
+        |a| cal.to_ms(scorer.score(a)),
+        constraint,
+        &SearchConfig::quick(),
+    );
+    // The search respects its *predicted* constraint; the true latency
+    // should land in the same ballpark (within 2x, given a tiny predictor).
+    assert!(result.predicted_latency_ms <= constraint);
+    let true_lat = latency_ms(device, &result.arch) as f32;
+    assert!(
+        true_lat < constraint * 2.0,
+        "true latency {true_lat} wildly exceeds the predicted constraint {constraint}"
+    );
+    assert!(result.accuracy > 50.0, "found cell accuracy {}", result.accuracy);
+}
+
+#[test]
+fn predictor_beats_flops_proxy_on_batch1_gpu() {
+    // The motivating claim: end-to-end predictors capture dispatch-overhead
+    // effects that FLOPs cannot (paper §2.1). Batch-1 GPUs rank by op count,
+    // not compute.
+    use nasflat::baselines::FlopsProxy;
+    let task = paper_task("N1").unwrap(); // targets are batch-1/32 GPUs
+    let pool = probe_pool(Space::Nb201, 150, 2);
+    let reg = DeviceRegistry::nb201();
+    let table = LatencyTable::build(reg.devices(), &pool);
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
+    let out = pre.transfer_to("1080ti_1", &Sampler::Random, 7).unwrap();
+
+    let row = table.device_row("1080ti_1").unwrap();
+    let eval_idx: Vec<usize> = (0..100).map(|i| (i * 3 + 1) % pool.len()).collect();
+    let flops = FlopsProxy::new().score_indices(&pool, &eval_idx);
+    let truth: Vec<f32> = eval_idx.iter().map(|&i| row[i]).collect();
+    let flops_rho = spearman_rho(&flops, &truth).unwrap_or(0.0);
+    assert!(
+        out.spearman > flops_rho,
+        "few-shot predictor ({}) should beat FLOPs proxy ({flops_rho}) on a batch-1 GPU",
+        out.spearman
+    );
+}

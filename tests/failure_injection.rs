@@ -1,0 +1,144 @@
+//! Failure-injection tests (DESIGN.md §7): degenerate inputs must fail
+//! loudly and precisely — or degrade gracefully where the paper's protocol
+//! expects it (k-means NaN cells, tied ranking targets).
+
+use nasflat::core::{DeviceSamples, FewShotConfig, LatencyNorm, PretrainedTask, PredictorConfig};
+use nasflat::encode::EncodingKind;
+use nasflat::hw::{DeviceRegistry, LatencyTable};
+use nasflat::metrics::MetricError;
+use nasflat::sample::{kmeans_select, SelectError, Sampler, SelectionMethod};
+use nasflat::space::Space;
+use nasflat::tasks::{paper_task, probe_pool, CorrelationMatrix, partition_devices};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg() -> FewShotConfig {
+    let mut f = FewShotConfig::quick();
+    f.predictor.op_dim = 8;
+    f.predictor.hw_dim = 8;
+    f.predictor.node_dim = 8;
+    f.predictor.ophw_gnn_dims = vec![10];
+    f.predictor.ophw_mlp_dims = vec![10];
+    f.predictor.gnn_dims = vec![10];
+    f.predictor.head_dims = vec![12];
+    f.predictor.epochs = 3;
+    f.predictor.transfer_epochs = 3;
+    f.pretrain_per_device = 10;
+    f.transfer_samples = 8;
+    f.eval_samples = 30;
+    f
+}
+
+#[test]
+fn kmeans_degenerates_with_explanatory_error() {
+    // All-identical encodings: the paper's Table 9 NaN case.
+    let rows = vec![vec![0.5f32; 8]; 20];
+    let mut rng = StdRng::seed_from_u64(0);
+    let err = kmeans_select(&rows, 4, &mut rng).unwrap_err();
+    match err {
+        SelectError::DegenerateClusters { nonempty, requested } => {
+            assert!(nonempty < requested);
+            assert!(err.to_string().contains("non-empty"));
+        }
+        other => panic!("expected DegenerateClusters, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_transfer_budget_fails_cleanly_through_the_stack() {
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 30, 0);
+    let reg = DeviceRegistry::nb201();
+    let table = LatencyTable::build(reg.devices(), &pool);
+    let mut cfg = tiny_cfg();
+    cfg.transfer_samples = 31; // more than the pool holds
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, cfg);
+    let err = pre.transfer_to("fpga", &Sampler::Random, 0).unwrap_err();
+    assert!(matches!(err, SelectError::PoolTooSmall { requested: 31, available: 30 }));
+}
+
+#[test]
+fn metrics_reject_pathological_inputs_precisely() {
+    use nasflat::metrics::spearman_rho;
+    assert!(matches!(
+        spearman_rho(&[1.0, 2.0], &[1.0, 2.0, 3.0]),
+        Err(MetricError::LengthMismatch { left: 2, right: 3 })
+    ));
+    assert!(matches!(spearman_rho(&[], &[]), Err(MetricError::TooShort)));
+    assert!(matches!(
+        spearman_rho(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]),
+        Err(MetricError::ConstantInput)
+    ));
+}
+
+#[test]
+fn constant_latency_device_does_not_poison_training() {
+    // A (hypothetical) device returning the same latency for every probe:
+    // normalization stays finite and the hinge loss skips tied batches
+    // instead of emitting NaNs.
+    let norm = LatencyNorm::fit(&[7.0; 12]);
+    assert!(norm.apply(7.0).is_finite());
+
+    let samples = DeviceSamples::new(0, &[(0, 7.0), (1, 7.0), (2, 7.0)]);
+    let pool = probe_pool(Space::Nb201, 10, 0);
+    let ctx = nasflat::core::TrainContext::new(&pool);
+    let mut pred = nasflat::core::LatencyPredictor::new(
+        Space::Nb201,
+        vec!["const_dev".into()],
+        0,
+        tiny_cfg().predictor,
+    );
+    nasflat::core::fine_tune(&mut pred, &ctx, 0, &samples);
+    assert!(pred.predict(&pool[0], 0, None).is_finite());
+}
+
+#[test]
+fn partitioner_rejects_impossible_requests() {
+    let corr = CorrelationMatrix::for_space(Space::Nb201, 40, 0);
+    let err = partition_devices(&corr, 30, 30, 0).unwrap_err();
+    assert_eq!(err.requested, (30, 30));
+    assert!(err.to_string().contains("exceed"));
+}
+
+#[test]
+#[should_panic(expected = "config sets a supplement but context has no suite")]
+fn supplement_without_suite_panics_with_clear_message() {
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 40, 0);
+    let reg = DeviceRegistry::nb201();
+    let table = LatencyTable::build(reg.devices(), &pool);
+    let mut cfg = tiny_cfg();
+    cfg.predictor.supplement = Some(EncodingKind::Zcp);
+    // no suite passed although the config demands a supplement
+    let _ = PretrainedTask::build(&task, &pool, &table, None, cfg);
+}
+
+#[test]
+fn kmeans_sampler_failure_surfaces_as_nan_cell_not_crash() {
+    // Run the real sampler path with a pool small enough that k-means with
+    // near-duplicate encodings can fail, and confirm the error is the
+    // recoverable kind the benches print as NaN.
+    let pool: Vec<nasflat::space::Arch> =
+        vec![nasflat::space::Arch::nb201_from_index(77); 12];
+    let suite = nasflat::encode::EncodingSuite::build(
+        &pool,
+        &nasflat::encode::SuiteConfig::quick(),
+    );
+    let ctx = nasflat::sample::SamplerContext::new(&pool).with_encodings(&suite);
+    let sampler = Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::KMeans };
+    let mut rng = StdRng::seed_from_u64(1);
+    match sampler.select(4, &ctx, &mut rng) {
+        Err(SelectError::DegenerateClusters { .. }) => {} // the expected NaN path
+        Ok(picked) => panic!("identical encodings should not yield {picked:?}"),
+        Err(other) => panic!("unexpected error kind: {other:?}"),
+    }
+}
+
+#[test]
+fn predictor_config_rejects_inconsistent_supplement_width() {
+    let cfg = PredictorConfig::quick().with_supplement(Some(EncodingKind::Zcp));
+    let result = std::panic::catch_unwind(|| {
+        nasflat::core::LatencyPredictor::new(Space::Nb201, vec!["d".into()], 0, cfg)
+    });
+    assert!(result.is_err(), "supp_dim 0 with a supplement must panic");
+}

@@ -1,0 +1,64 @@
+//! Smoke tests: the high-level [`Pipeline`] wires every crate together and
+//! produces sane reports on small budgets.
+
+use nasflat::sample::Sampler;
+use nasflat::{Pipeline, PipelineError};
+
+fn tiny(p: Pipeline) -> Pipeline {
+    let mut p = p.pool_size(120).transfer_samples(10);
+    {
+        let cfg = p.config_mut();
+        cfg.predictor.op_dim = 8;
+        cfg.predictor.hw_dim = 8;
+        cfg.predictor.node_dim = 8;
+        cfg.predictor.ophw_gnn_dims = vec![12];
+        cfg.predictor.ophw_mlp_dims = vec![12];
+        cfg.predictor.gnn_dims = vec![12];
+        cfg.predictor.head_dims = vec![16];
+        cfg.predictor.epochs = 6;
+        cfg.predictor.transfer_epochs = 6;
+        cfg.pretrain_per_device = 16;
+        cfg.eval_samples = 50;
+    }
+    p
+}
+
+#[test]
+fn pipeline_runs_nb201_task() {
+    let report = tiny(Pipeline::new("N1")).run(0).expect("N1 should run");
+    assert_eq!(report.task, "N1");
+    assert_eq!(report.devices.len(), 5, "N1 has five targets");
+    for d in &report.devices {
+        assert!(d.spearman.is_finite(), "{}: non-finite rho", d.device);
+        assert!(d.hw_init_source.is_some(), "HWInit on by default");
+    }
+    assert!(report.mean_spearman().is_finite());
+}
+
+#[test]
+fn pipeline_runs_fbnet_task() {
+    let report = tiny(Pipeline::new("FD")).run(1).expect("FD should run");
+    assert_eq!(report.devices.len(), 3);
+    // the easy high-correlation FBNet split should transfer meaningfully
+    assert!(
+        report.mean_spearman() > 0.2,
+        "FD mean rho too low: {}",
+        report.mean_spearman()
+    );
+}
+
+#[test]
+fn pipeline_rejects_unknown_task() {
+    let err = Pipeline::new("Q7").pool_size(50).run(0).unwrap_err();
+    assert!(matches!(err, PipelineError::UnknownTask(_)));
+}
+
+#[test]
+fn pipeline_sampler_override_applies() {
+    let report = tiny(Pipeline::new("N1"))
+        .sampler(Sampler::Params)
+        .supplement(None)
+        .run(2)
+        .expect("params sampler run");
+    assert_eq!(report.devices.len(), 5);
+}
