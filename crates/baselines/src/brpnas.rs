@@ -33,14 +33,26 @@ pub struct BrpNasConfig {
 
 impl Default for BrpNasConfig {
     fn default() -> Self {
-        BrpNasConfig { hidden: 64, layers: 3, epochs: 60, lr: 2e-3, batch: 16, seed: 0 }
+        BrpNasConfig {
+            hidden: 64,
+            layers: 3,
+            epochs: 60,
+            lr: 2e-3,
+            batch: 16,
+            seed: 0,
+        }
     }
 }
 
 impl BrpNasConfig {
     /// Reduced-budget profile for CPU-only runs.
     pub fn quick() -> Self {
-        BrpNasConfig { hidden: 24, layers: 2, epochs: 20, ..Self::default() }
+        BrpNasConfig {
+            hidden: 24,
+            layers: 2,
+            epochs: 20,
+            ..Self::default()
+        }
     }
 }
 
@@ -61,9 +73,23 @@ impl BrpNas {
     pub fn new(space: Space, cfg: BrpNasConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let embed = Linear::new(&mut store, "brp.embed", space.vocab_size(), cfg.hidden, &mut rng);
+        let embed = Linear::new(
+            &mut store,
+            "brp.embed",
+            space.vocab_size(),
+            cfg.hidden,
+            &mut rng,
+        );
         let gcn = (0..cfg.layers)
-            .map(|i| Linear::new(&mut store, &format!("brp.gcn{i}"), cfg.hidden, cfg.hidden, &mut rng))
+            .map(|i| {
+                Linear::new(
+                    &mut store,
+                    &format!("brp.gcn{i}"),
+                    cfg.hidden,
+                    cfg.hidden,
+                    &mut rng,
+                )
+            })
             .collect();
         let head = Mlp::new(
             &mut store,
@@ -72,7 +98,15 @@ impl BrpNas {
             Activation::Relu,
             &mut rng,
         );
-        BrpNas { space, cfg, store, embed, gcn, head, trained: false }
+        BrpNas {
+            space,
+            cfg,
+            store,
+            embed,
+            gcn,
+            head,
+            trained: false,
+        }
     }
 
     /// Whether [`BrpNas::train`] has run.
@@ -81,7 +115,11 @@ impl BrpNas {
     }
 
     fn forward(&self, g: &mut Graph, arch: &Arch) -> Var {
-        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        assert_eq!(
+            arch.space(),
+            self.space,
+            "architecture from a different space"
+        );
         let graph = arch.to_graph();
         let n = graph.num_nodes();
         let vocab = self.space.vocab_size();
@@ -155,7 +193,9 @@ mod tests {
 
     #[test]
     fn trains_to_rank_a_device_with_many_samples() {
-        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 127)).collect();
+        let pool: Vec<Arch> = (0..120u64)
+            .map(|i| Arch::nb201_from_index(i * 127))
+            .collect();
         let reg = DeviceRegistry::nb201();
         let dev = reg.get("fpga").unwrap();
         let lats = measure_all(dev, &pool);
@@ -169,12 +209,17 @@ mod tests {
         let preds = brp.score_indices(&pool, &eval_idx);
         let truth: Vec<f32> = eval_idx.iter().map(|&i| lats[i]).collect();
         let rho = spearman_rho(&preds, &truth).unwrap();
-        assert!(rho > 0.5, "BRP-NAS with 90 samples should rank decently, got {rho}");
+        assert!(
+            rho > 0.5,
+            "BRP-NAS with 90 samples should rank decently, got {rho}"
+        );
     }
 
     #[test]
     fn untrained_predictor_is_weak() {
-        let pool: Vec<Arch> = (0..60u64).map(|i| Arch::nb201_from_index(i * 260)).collect();
+        let pool: Vec<Arch> = (0..60u64)
+            .map(|i| Arch::nb201_from_index(i * 260))
+            .collect();
         let reg = DeviceRegistry::nb201();
         let dev = reg.get("fpga").unwrap();
         let lats = measure_all(dev, &pool);

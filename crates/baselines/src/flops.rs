@@ -57,12 +57,17 @@ mod tests {
     #[test]
     fn flops_correlates_with_compute_bound_device_but_not_perfectly() {
         use nasflat_hw::{measure_all, DeviceRegistry};
-        let pool: Vec<Arch> = (0..150u64).map(|i| Arch::nb201_from_index(i * 104)).collect();
+        let pool: Vec<Arch> = (0..150u64)
+            .map(|i| Arch::nb201_from_index(i * 104))
+            .collect();
         let reg = DeviceRegistry::nb201();
         let raspi = measure_all(reg.get("raspi4").unwrap(), &pool);
         let flops: Vec<f32> = pool.iter().map(|a| FlopsProxy::new().score(a)).collect();
         let rho = spearman_rho(&flops, &raspi).unwrap();
-        assert!(rho > 0.7, "flops should track a compute-bound eCPU, got {rho}");
+        assert!(
+            rho > 0.7,
+            "flops should track a compute-bound eCPU, got {rho}"
+        );
         // but on a batch-1 GPU the overhead term dominates and flops is weaker
         let gpu = measure_all(reg.get("1080ti_1").unwrap(), &pool);
         let rho_gpu = spearman_rho(&flops, &gpu).unwrap();

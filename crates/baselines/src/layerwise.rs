@@ -57,7 +57,12 @@ impl LayerwiseLut {
                 measurements += 1;
             }
         }
-        LayerwiseLut { space, lut, base, measurements }
+        LayerwiseLut {
+            space,
+            lut,
+            base,
+            measurements,
+        }
     }
 
     /// Predicted latency: base + sum of per-position entries.
@@ -65,7 +70,11 @@ impl LayerwiseLut {
     /// # Panics
     /// Panics if `arch` belongs to a different space.
     pub fn predict(&self, arch: &Arch) -> f32 {
-        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        assert_eq!(
+            arch.space(),
+            self.space,
+            "architecture from a different space"
+        );
         let mut total = self.base;
         for (pos, &op) in arch.genotype().iter().enumerate() {
             total += self.lut[pos][op as usize];
@@ -109,7 +118,9 @@ mod tests {
         let reg = DeviceRegistry::nb201();
         let dev = reg.get("raspi4").unwrap();
         let lut = LayerwiseLut::profile(Space::Nb201, dev);
-        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 130)).collect();
+        let pool: Vec<Arch> = (0..120u64)
+            .map(|i| Arch::nb201_from_index(i * 130))
+            .collect();
         let preds: Vec<f32> = pool.iter().map(|a| lut.predict(a)).collect();
         let truth = nasflat_hw::measure_all(dev, &pool);
         let rho = spearman_rho(&preds, &truth).unwrap();
@@ -121,7 +132,9 @@ mod tests {
         // Branch parallelism and fusion break additivity — the paper's
         // argument against layer-wise prediction.
         let reg = DeviceRegistry::nb201();
-        let pool: Vec<Arch> = (0..120u64).map(|i| Arch::nb201_from_index(i * 111 + 7)).collect();
+        let pool: Vec<Arch> = (0..120u64)
+            .map(|i| Arch::nb201_from_index(i * 111 + 7))
+            .collect();
         let rho_of = |name: &str| {
             let dev = reg.get(name).unwrap();
             let lut = LayerwiseLut::profile(Space::Nb201, dev);

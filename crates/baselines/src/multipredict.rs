@@ -86,7 +86,12 @@ impl MultiPredict {
     /// Builds the predictor. `devices` lists source devices first, then
     /// target devices (index = embedding row). Encodings are computed over
     /// `pool` once and z-scored.
-    pub fn new(_space: Space, pool: &[Arch], devices: Vec<String>, cfg: MultiPredictConfig) -> Self {
+    pub fn new(
+        _space: Space,
+        pool: &[Arch],
+        devices: Vec<String>,
+        cfg: MultiPredictConfig,
+    ) -> Self {
         assert!(!devices.is_empty(), "needs at least one device");
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
@@ -101,7 +106,14 @@ impl MultiPredict {
             Activation::Relu,
             &mut rng,
         );
-        MultiPredict { cfg, store, hw_emb, mlp, devices, encodings }
+        MultiPredict {
+            cfg,
+            store,
+            hw_emb,
+            mlp,
+            devices,
+            encodings,
+        }
     }
 
     /// Index of a device name.
@@ -159,7 +171,12 @@ impl MultiPredict {
     /// Fine-tunes on the target device's few samples with a re-initialized
     /// learning schedule, after seeding its hardware embedding with the mean
     /// of the source embeddings.
-    pub fn transfer(&mut self, target_device: usize, source_devices: &[usize], samples: &[(usize, f32)]) {
+    pub fn transfer(
+        &mut self,
+        target_device: usize,
+        source_devices: &[usize],
+        samples: &[(usize, f32)],
+    ) {
         // mean-of-sources initialization for the unseen device
         if !source_devices.is_empty() {
             let table = self.hw_emb.table_id();
@@ -170,7 +187,10 @@ impl MultiPredict {
                     *m += v / source_devices.len() as f32;
                 }
             }
-            self.store.value_mut(table).row_mut(target_device).copy_from_slice(&mean);
+            self.store
+                .value_mut(table)
+                .row_mut(target_device)
+                .copy_from_slice(&mean);
         }
         self.store.reset_optimizer_state();
         let cfg = self.cfg.clone();
@@ -209,15 +229,18 @@ mod tests {
     use nasflat_metrics::spearman_rho;
 
     fn pool(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index(i * 97 % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index(i * 97 % 15625))
+            .collect()
     }
 
     #[test]
     fn pretrain_transfer_ranks_correlated_target() {
         let pool = pool(100);
         let reg = DeviceRegistry::nb201();
-        let devices: Vec<String> =
-            ["samsung_a50", "pixel3", "silver_4114", "pixel2"].map(String::from).to_vec();
+        let devices: Vec<String> = ["samsung_a50", "pixel3", "silver_4114", "pixel2"]
+            .map(String::from)
+            .to_vec();
         let rows: Vec<(usize, Vec<f32>)> = devices[..3]
             .iter()
             .enumerate()
@@ -232,7 +255,10 @@ mod tests {
         let preds = mp.score_indices(&eval_idx, 3);
         let truth: Vec<f32> = eval_idx.iter().map(|&i| target[i]).collect();
         let rho = spearman_rho(&preds, &truth).unwrap();
-        assert!(rho > 0.4, "MultiPredict should transfer to pixel2, got {rho}");
+        assert!(
+            rho > 0.4,
+            "MultiPredict should transfer to pixel2, got {rho}"
+        );
     }
 
     #[test]

@@ -64,9 +64,16 @@ fn main() {
             all_node_encoding: false,
             unrolled: None,
         };
-        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", kdt_of(opts, &train, &eval, epochs)),
+        ]);
     }
-    print_table("Tables 12–15 — backward module ablation (KDT)", &["variant", "KDT"], &rows);
+    print_table(
+        "Tables 12–15 — backward module ablation (KDT)",
+        &["variant", "KDT"],
+        &rows,
+    );
 
     // Detachment-mode ablation (Tables 16–19 condensed).
     let mut rows = Vec::new();
@@ -75,10 +82,20 @@ fn main() {
         ("all", DetachMode::All),
         ("none", DetachMode::None),
     ] {
-        let opts = RefineOptions { detach, ..RefineOptions::default() };
-        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+        let opts = RefineOptions {
+            detach,
+            ..RefineOptions::default()
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", kdt_of(opts, &train, &eval, epochs)),
+        ]);
     }
-    print_table("Tables 16–19 — detachment mode (KDT)", &["mode", "KDT"], &rows);
+    print_table(
+        "Tables 16–19 — detachment mode (KDT)",
+        &["mode", "KDT"],
+        &rows,
+    );
 
     // Unrolled variants (Table 11).
     let mut rows = Vec::new();
@@ -87,21 +104,35 @@ fn main() {
         ("DOpEmbUnrolled BMLP", Some(UnrolledKind::Bmlp)),
         ("DOpEmbUnrolled GCN", Some(UnrolledKind::Bgcn)),
     ] {
-        let opts = RefineOptions { unrolled, ..RefineOptions::default() };
-        rows.push(vec![label.to_string(), format!("{:.3}", kdt_of(opts, &train, &eval, epochs))]);
+        let opts = RefineOptions {
+            unrolled,
+            ..RefineOptions::default()
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", kdt_of(opts, &train, &eval, epochs)),
+        ]);
     }
-    print_table("Table 11 — unrolled computation (KDT)", &["variant", "KDT"], &rows);
+    print_table(
+        "Table 11 — unrolled computation (KDT)",
+        &["variant", "KDT"],
+        &rows,
+    );
 
     // Latency-side extras: loss type and hardware-embedding width on N1.
     let wb = Workbench::new("N1", &budget, false);
     let mut rows = Vec::new();
-    for (label, loss) in
-        [("pairwise hinge", LossKind::PairwiseHinge), ("MSE", LossKind::Mse)]
-    {
+    for (label, loss) in [
+        ("pairwise hinge", LossKind::PairwiseHinge),
+        ("MSE", LossKind::Mse),
+    ] {
         let mut cfg = budget.fewshot(wb.task.space);
         cfg.predictor.loss = loss;
         cfg.predictor.supplement = None;
-        rows.push(vec![label.to_string(), fmt_cell(&wb.cell(&cfg, budget.trials))]);
+        rows.push(vec![
+            label.to_string(),
+            fmt_cell(&wb.cell(&cfg, budget.trials)),
+        ]);
     }
     print_table("Extra — loss function on N1", &["loss", "Spearman"], &rows);
 
@@ -110,7 +141,14 @@ fn main() {
         let mut cfg = budget.fewshot(wb.task.space);
         cfg.predictor.hw_dim = hw_dim;
         cfg.predictor.supplement = None;
-        rows.push(vec![hw_dim.to_string(), fmt_cell(&wb.cell(&cfg, budget.trials))]);
+        rows.push(vec![
+            hw_dim.to_string(),
+            fmt_cell(&wb.cell(&cfg, budget.trials)),
+        ]);
     }
-    print_table("Extra — hardware-embedding width on N1", &["hw_dim", "Spearman"], &rows);
+    print_table(
+        "Extra — hardware-embedding width on N1",
+        &["hw_dim", "Spearman"],
+        &rows,
+    );
 }

@@ -19,11 +19,17 @@ fn main() {
         ("Params".into(), Sampler::Params),
         (
             "ZCP".into(),
-            Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::Cosine },
+            Sampler::Encoding {
+                kind: EncodingKind::Zcp,
+                method: SelectionMethod::Cosine,
+            },
         ),
         (
             "CAZ".into(),
-            Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine },
+            Sampler::Encoding {
+                kind: EncodingKind::Caz,
+                method: SelectionMethod::Cosine,
+            },
         ),
     ];
     let sizes = [5usize, 10, 15, 20, 25, 30];

@@ -45,7 +45,10 @@ fn main() {
                     let c = latency_quantile(&wb, target, q);
                     let (res, true_lat, _) =
                         run_nas(est, wb.task.space, &oracle, target, c, &search);
-                    Point { latency_ms: true_lat, accuracy: res.accuracy }
+                    Point {
+                        latency_ms: true_lat,
+                        accuracy: res.accuracy,
+                    }
                 })
                 .collect()
         };
@@ -62,7 +65,11 @@ fn main() {
             collect("HELP (S: 20)".to_string(), pts, &mut series);
         }
         {
-            let brp_samples = if budget.profile == Profile::Paper { 900 } else { 300 };
+            let brp_samples = if budget.profile == Profile::Paper {
+                900
+            } else {
+                300
+            };
             let mut est = brpnas_estimator(&wb, &budget, target, brp_samples, 21);
             let pts = sweep(&mut est);
             collect(format!("BRPNAS (S: {brp_samples})"), pts, &mut series);

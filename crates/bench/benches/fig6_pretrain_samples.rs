@@ -30,8 +30,7 @@ fn main() {
             // CPU adaptation: hold the total gradient-step budget roughly
             // constant across the sweep so the 512-sample column stays
             // tractable (the paper fixes epochs on GPU hardware).
-            base.predictor.epochs =
-                (base.predictor.epochs * 64 / per_device.max(64)).max(6);
+            base.predictor.epochs = (base.predictor.epochs * 64 / per_device.max(64)).max(6);
 
             for sampler in [Sampler::Random, Sampler::Params] {
                 let cfg = base.clone().with_sampler(sampler);

@@ -45,7 +45,10 @@ fn main() {
         for &t in &timesteps {
             let mut per_trial = Vec::new();
             for trial in 0..budget.trials.min(2) as u64 {
-                let opts = RefineOptions { timesteps: t, ..RefineOptions::default() };
+                let opts = RefineOptions {
+                    timesteps: t,
+                    ..RefineOptions::default()
+                };
                 let mut p = RefinedPredictor::new(Space::Nb201, opts, dim, hidden, trial);
                 p.train(&train, epochs, 3e-3, 16, trial);
                 per_trial.push(p.kendall(&eval));

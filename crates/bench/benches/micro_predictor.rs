@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use nasflat_core::{
-    train_step, LatencyPredictor, PredictorConfig, TrainContext,
-};
+use nasflat_core::{train_step, LatencyPredictor, PredictorConfig, TrainContext};
 use nasflat_encode::zcp_features;
 use nasflat_hw::{latency_ms, DeviceRegistry};
 use nasflat_metrics::spearman_rho;
@@ -31,12 +29,21 @@ fn bench_forward(c: &mut Criterion) {
 }
 
 fn bench_train_step(c: &mut Criterion) {
-    let pool: Vec<Arch> = (0..64u64).map(|i| Arch::nb201_from_index(i * 244)).collect();
+    let pool: Vec<Arch> = (0..64u64)
+        .map(|i| Arch::nb201_from_index(i * 244))
+        .collect();
     let batch: Vec<(usize, f32)> = (0..16).map(|i| (i, i as f32)).collect();
     let adam = AdamConfig::default();
     c.bench_function("train_step_batch16", |b| {
         b.iter_batched(
-            || LatencyPredictor::new(Space::Nb201, vec!["dev".into()], 0, PredictorConfig::quick()),
+            || {
+                LatencyPredictor::new(
+                    Space::Nb201,
+                    vec!["dev".into()],
+                    0,
+                    PredictorConfig::quick(),
+                )
+            },
             |mut pred| {
                 let ctx = TrainContext::new(&pool);
                 black_box(train_step(&mut pred, &ctx, 0, &batch, &adam))
@@ -63,5 +70,10 @@ fn bench_simulator_and_encodings(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_forward, bench_train_step, bench_simulator_and_encodings);
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_train_step,
+    bench_simulator_and_encodings
+);
 criterion_main!(benches);

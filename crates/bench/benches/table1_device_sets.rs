@@ -33,7 +33,14 @@ fn main() {
     }
     print_table(
         "Table 1 — paper device sets (train-test correlation under the simulator)",
-        &["task", "space", "#train", "#test", "train-test rho", "within-train rho"],
+        &[
+            "task",
+            "space",
+            "#train",
+            "#test",
+            "train-test rho",
+            "within-train rho",
+        ],
         &rows,
     );
 
@@ -64,7 +71,13 @@ fn main() {
     }
     print_table(
         "Table 1 (generated) — Algorithm 1 partitions, 4 seeds per space",
-        &["task", "space", "train devices", "test devices", "train-test rho"],
+        &[
+            "task",
+            "space",
+            "train devices",
+            "test devices",
+            "train-test rho",
+        ],
         &gen_rows,
     );
 }

@@ -9,14 +9,8 @@ use nasflat_bench::{fmt_cell, print_table, rosters, Budget, Workbench};
 
 fn main() {
     let budget = Budget::from_env();
-    let mut ophw_rows = vec![
-        vec!["✗".to_string()],
-        vec!["✓".to_string()],
-    ];
-    let mut init_rows = vec![
-        vec!["✗".to_string()],
-        vec!["✓".to_string()],
-    ];
+    let mut ophw_rows = vec![vec!["✗".to_string()], vec!["✓".to_string()]];
+    let mut init_rows = vec![vec!["✗".to_string()], vec!["✓".to_string()]];
 
     for name in rosters::ALL {
         let wb = Workbench::new(name, &budget, false);
@@ -39,7 +33,15 @@ fn main() {
 
     let mut header = vec!["OPHW"];
     header.extend(rosters::ALL);
-    print_table("Table 2 (top) — operation-wise hardware embedding", &header, &ophw_rows);
+    print_table(
+        "Table 2 (top) — operation-wise hardware embedding",
+        &header,
+        &ophw_rows,
+    );
     header[0] = "INIT";
-    print_table("Table 2 (bottom) — hardware-embedding initialization", &header, &init_rows);
+    print_table(
+        "Table 2 (bottom) — hardware-embedding initialization",
+        &header,
+        &init_rows,
+    );
 }

@@ -10,10 +10,11 @@ use nasflat_sample::Sampler;
 
 fn main() {
     let budget = Budget::from_env();
-    let samplers: Vec<(String, Sampler)> =
-        Sampler::table3_roster().into_iter().map(|s| (s.label(), s)).collect();
-    let mut rows: Vec<Vec<String>> =
-        samplers.iter().map(|(l, _)| vec![l.clone()]).collect();
+    let samplers: Vec<(String, Sampler)> = Sampler::table3_roster()
+        .into_iter()
+        .map(|s| (s.label(), s))
+        .collect();
+    let mut rows: Vec<Vec<String>> = samplers.iter().map(|(l, _)| vec![l.clone()]).collect();
 
     for name in rosters::ALL {
         let wb = Workbench::new(name, &budget, true);
@@ -35,5 +36,9 @@ fn main() {
 
     let mut header = vec!["Sampler"];
     header.extend(rosters::ALL);
-    print_table("Table 3 — sampler comparison (5 transfer samples)", &header, &rows);
+    print_table(
+        "Table 3 — sampler comparison (5 transfer samples)",
+        &header,
+        &rows,
+    );
 }

@@ -16,15 +16,16 @@ fn main() {
         ("(+ ZCP)", Some(EncodingKind::Zcp)),
         ("(+ CAZ)", Some(EncodingKind::Caz)),
     ];
-    let mut rows: Vec<Vec<String>> =
-        variants.iter().map(|(l, _)| vec![l.to_string()]).collect();
+    let mut rows: Vec<Vec<String>> = variants.iter().map(|(l, _)| vec![l.to_string()]).collect();
 
     for name in rosters::ALL {
         let wb = Workbench::new(name, &budget, true);
         for ((_, supp), row) in variants.iter().zip(rows.iter_mut()) {
             let mut cfg = budget.fewshot(wb.task.space);
-            cfg.sampler =
-                Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::KMeans };
+            cfg.sampler = Sampler::Encoding {
+                kind: EncodingKind::Caz,
+                method: SelectionMethod::KMeans,
+            };
             cfg.predictor.supplement = *supp;
             row.push(fmt_cell(&wb.cell(&cfg, budget.trials)));
         }

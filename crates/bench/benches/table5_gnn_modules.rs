@@ -8,10 +8,15 @@ use nasflat_core::GnnModuleKind;
 
 fn main() {
     let budget = Budget::from_env();
-    let modules =
-        [GnnModuleKind::Dgf, GnnModuleKind::Gat, GnnModuleKind::Ensemble];
-    let mut rows: Vec<Vec<String>> =
-        modules.iter().map(|m| vec![m.label().to_string()]).collect();
+    let modules = [
+        GnnModuleKind::Dgf,
+        GnnModuleKind::Gat,
+        GnnModuleKind::Ensemble,
+    ];
+    let mut rows: Vec<Vec<String>> = modules
+        .iter()
+        .map(|m| vec![m.label().to_string()])
+        .collect();
 
     for name in rosters::GNN {
         let wb = Workbench::new(name, &budget, false);
@@ -26,5 +31,9 @@ fn main() {
 
     let mut header = vec!["GNN Module"];
     header.extend(rosters::GNN);
-    print_table("Table 5 — GNN module comparison (20 samples, random sampler)", &header, &rows);
+    print_table(
+        "Table 5 — GNN module comparison (20 samples, random sampler)",
+        &header,
+        &rows,
+    );
 }

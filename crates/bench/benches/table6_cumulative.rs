@@ -25,12 +25,14 @@ fn configure(row: usize, base: &FewShotConfig, space: Space) -> FewShotConfig {
     }
     if row >= 3 {
         cfg.sampler = match space {
-            Space::Nb201 => {
-                Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine }
-            }
-            Space::Fbnet => {
-                Sampler::Encoding { kind: EncodingKind::Cate, method: SelectionMethod::Cosine }
-            }
+            Space::Nb201 => Sampler::Encoding {
+                kind: EncodingKind::Caz,
+                method: SelectionMethod::Cosine,
+            },
+            Space::Fbnet => Sampler::Encoding {
+                kind: EncodingKind::Cate,
+                method: SelectionMethod::Cosine,
+            },
         };
     }
     if row >= 4 {
@@ -65,5 +67,9 @@ fn main() {
 
     let mut header = vec!["Configuration"];
     header.extend(rosters::CUMULATIVE);
-    print_table("Table 6 — cumulative design-choice ablation (20 samples)", &header, &rows);
+    print_table(
+        "Table 6 — cumulative design-choice ablation (20 samples)",
+        &header,
+        &rows,
+    );
 }

@@ -41,7 +41,12 @@ fn run_help(wb: &Workbench, budget: &Budget, trials: usize) -> MeanStd {
             .task
             .train
             .iter()
-            .map(|n| (n.clone(), wb.table.device_row(n).expect("source row").to_vec()))
+            .map(|n| {
+                (
+                    n.clone(),
+                    wb.table.device_row(n).expect("source row").to_vec(),
+                )
+            })
             .collect();
         let mut help = Help::new(wb.task.space, wb.pool.len(), cfg);
         help.meta_train(&wb.pool, &sources);
@@ -113,14 +118,18 @@ fn run_nasflat(wb: &Workbench, budget: &Budget, trials: usize) -> MeanStd {
     // Sanity: the sampler must be resolvable on this workbench.
     let _ = SamplerContext::new(&wb.pool);
     let _ = Sampler::Random;
-    wb.cell(&cfg, trials).map(|ms| ms).unwrap_or(MeanStd { mean: f32::NAN, std: f32::NAN })
+    wb.cell(&cfg, trials).unwrap_or(MeanStd {
+        mean: f32::NAN,
+        std: f32::NAN,
+    })
 }
 
 fn main() {
     let budget = Budget::from_env();
-    for (space_label, roster) in
-        [("NASBench-201", &rosters::END_TO_END_NB), ("FBNet", &rosters::END_TO_END_FB)]
-    {
+    for (space_label, roster) in [
+        ("NASBench-201", &rosters::END_TO_END_NB),
+        ("FBNet", &rosters::END_TO_END_FB),
+    ] {
         let mut rows: Vec<Vec<String>> = vec![
             vec!["HELP".to_string()],
             vec!["MultiPredict".to_string()],

@@ -33,15 +33,14 @@ fn main() {
         let wb = Workbench::new(task_name, &budget, true);
         let oracle = AccuracyOracle::new(wb.task.space, 0);
         let cfg = nasflat_config(&budget, wb.task.space);
-        let mut pre =
-            PretrainedTask::build(&wb.task, &wb.pool, &wb.table, wb.suite.as_ref(), cfg);
+        let mut pre = PretrainedTask::build(&wb.task, &wb.pool, &wb.table, wb.suite.as_ref(), cfg);
 
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut help_cost: Option<NasCost> = None;
         for q in [0.3, 0.5, 0.7] {
             let constraint = latency_quantile(&wb, target, q);
             // Build all four estimators fresh per constraint row.
-            let mut estimators = vec![
+            let mut estimators = [
                 layerwise_estimator(&wb, target),
                 brpnas_estimator(&wb, &budget, target, brp_samples, 8),
                 help_estimator(&wb, &budget, target, 8),
@@ -62,8 +61,8 @@ fn main() {
                 .expect("HELP row present");
             help_cost.get_or_insert(help_row_cost);
             for (label, result, true_lat, cost) in row_data {
-                let speedup = help_row_cost.total().as_secs_f32()
-                    / cost.total().as_secs_f32().max(1e-9);
+                let speedup =
+                    help_row_cost.total().as_secs_f32() / cost.total().as_secs_f32().max(1e-9);
                 rows.push(vec![
                     label,
                     format!("{constraint:.1}"),

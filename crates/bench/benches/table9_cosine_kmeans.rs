@@ -17,9 +17,7 @@ fn main() {
             for method in [SelectionMethod::Cosine, SelectionMethod::KMeans] {
                 let variants: Vec<(String, Sampler)> = EncodingKind::samplers()
                     .into_iter()
-                    .map(|kind| {
-                        (kind.label().to_string(), Sampler::Encoding { kind, method })
-                    })
+                    .map(|kind| (kind.label().to_string(), Sampler::Encoding { kind, method }))
                     .collect();
                 let mut cfg = budget.fewshot(wb.task.space);
                 cfg.transfer_samples = samples;
@@ -35,7 +33,11 @@ fn main() {
                 rows.push(row);
             }
             let header: Vec<String> = std::iter::once("method".to_string())
-                .chain(EncodingKind::samplers().into_iter().map(|k| k.label().to_string()))
+                .chain(
+                    EncodingKind::samplers()
+                        .into_iter()
+                        .map(|k| k.label().to_string()),
+                )
                 .collect();
             let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
             print_table(

@@ -76,7 +76,12 @@ impl Budget {
             Profile::Quick => (600, 600),
             Profile::Paper => (2000, 2000),
         };
-        Budget { profile, trials, pool_nb201, pool_fbnet }
+        Budget {
+            profile,
+            trials,
+            pool_nb201,
+            pool_fbnet,
+        }
     }
 
     /// Pool size for a space.
@@ -137,13 +142,17 @@ pub fn nasflat_config(budget: &Budget, space: Space) -> FewShotConfig {
     let mut cfg = budget.fewshot(space);
     match space {
         Space::Nb201 => {
-            cfg.sampler =
-                Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine };
+            cfg.sampler = Sampler::Encoding {
+                kind: EncodingKind::Caz,
+                method: SelectionMethod::Cosine,
+            };
             cfg.predictor.supplement = Some(EncodingKind::Zcp);
         }
         Space::Fbnet => {
-            cfg.sampler =
-                Sampler::Encoding { kind: EncodingKind::Cate, method: SelectionMethod::Cosine };
+            cfg.sampler = Sampler::Encoding {
+                kind: EncodingKind::Cate,
+                method: SelectionMethod::Cosine,
+            };
             cfg.predictor.supplement = Some(EncodingKind::Arch2Vec);
         }
     }
@@ -168,14 +177,18 @@ impl Workbench {
     /// # Panics
     /// Panics on an unknown task name.
     pub fn new(task_name: &str, budget: &Budget, with_suite: bool) -> Self {
-        let task = paper_task(task_name)
-            .unwrap_or_else(|| panic!("unknown paper task '{task_name}'"));
+        let task =
+            paper_task(task_name).unwrap_or_else(|| panic!("unknown paper task '{task_name}'"));
         let pool = probe_pool(task.space, budget.pool_size(task.space), 0);
         let registry = DeviceRegistry::for_space(task.space);
         let table = LatencyTable::build(registry.devices(), &pool);
-        let suite =
-            with_suite.then(|| EncodingSuite::build(&pool, &budget.suite().with_seed(17)));
-        Workbench { task, pool, table, suite }
+        let suite = with_suite.then(|| EncodingSuite::build(&pool, &budget.suite().with_seed(17)));
+        Workbench {
+            task,
+            pool,
+            table,
+            suite,
+        }
     }
 
     /// One `mean ± std` cell: `trials` independent pretrain+transfer runs.
@@ -183,7 +196,14 @@ impl Workbench {
     /// # Errors
     /// Propagates sampler failures (rendered as NaN by the tables).
     pub fn cell(&self, cfg: &FewShotConfig, trials: usize) -> Result<MeanStd, SelectError> {
-        nasflat_core::run_trials(&self.task, &self.pool, &self.table, self.suite.as_ref(), cfg, trials)
+        nasflat_core::run_trials(
+            &self.task,
+            &self.pool,
+            &self.table,
+            self.suite.as_ref(),
+            cfg,
+            trials,
+        )
     }
 
     /// Rows that share pre-training: pre-trains once per trial, then runs
@@ -198,8 +218,10 @@ impl Workbench {
         samplers: &[(String, Sampler)],
         trials: usize,
     ) -> Vec<(String, Result<Vec<f32>, SelectError>)> {
-        let mut results: Vec<(String, Result<Vec<f32>, SelectError>)> =
-            samplers.iter().map(|(l, _)| (l.clone(), Ok(Vec::new()))).collect();
+        let mut results: Vec<(String, Result<Vec<f32>, SelectError>)> = samplers
+            .iter()
+            .map(|(l, _)| (l.clone(), Ok(Vec::new())))
+            .collect();
         for t in 0..trials {
             let mut trial_cfg = cfg.clone();
             trial_cfg.predictor.seed = cfg.predictor.seed.wrapping_add(t as u64 * 7919);
@@ -265,8 +287,18 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -275,8 +307,9 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// The paper's task rosters per table.
 pub mod rosters {
     /// The 12 Table 2/3/4 tasks in paper column order.
-    pub const ALL: [&str; 12] =
-        ["ND", "N1", "N2", "N3", "N4", "NA", "FD", "F1", "F2", "F3", "F4", "FA"];
+    pub const ALL: [&str; 12] = [
+        "ND", "N1", "N2", "N3", "N4", "NA", "FD", "F1", "F2", "F3", "F4", "FA",
+    ];
     /// Table 5's eight tasks.
     pub const GNN: [&str; 8] = ["ND", "N1", "N2", "N3", "FD", "F1", "F2", "F3"];
     /// Table 6's eight tasks.
@@ -311,10 +344,15 @@ mod tests {
 
     #[test]
     fn fmt_cell_renders_nan_for_errors() {
-        let ok: Result<MeanStd, SelectError> = Ok(MeanStd { mean: 0.5, std: 0.1 });
+        let ok: Result<MeanStd, SelectError> = Ok(MeanStd {
+            mean: 0.5,
+            std: 0.1,
+        });
         assert_eq!(fmt_cell(&ok), "0.500±0.100");
-        let err: Result<MeanStd, SelectError> =
-            Err(SelectError::DegenerateClusters { nonempty: 1, requested: 3 });
+        let err: Result<MeanStd, SelectError> = Err(SelectError::DegenerateClusters {
+            nonempty: 1,
+            requested: 3,
+        });
         assert_eq!(fmt_cell(&err), "NaN");
     }
 

@@ -62,14 +62,20 @@ pub fn nasflat_estimator<'a>(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xCA11);
     let cal_idx = random_indices(pool.len(), samples, &mut rng);
     let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
-    let lats: Vec<f32> =
-        cal_idx.iter().map(|&i| latency_ms(&device, &pool[i]) as f32).collect();
+    let lats: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| latency_ms(&device, &pool[i]) as f32)
+        .collect();
     let cal = Calibration::fit(&scores, &lats);
     let build = t0.elapsed();
     NasEstimator {
         label: format!("MetaD2A + NASFLAT (S: {samples})"),
         latency_ms: Box::new(move |a| cal.to_ms(scorer.score(a))),
-        cost: NasCost { target_samples: samples, build_time: build, query_time: Duration::ZERO },
+        cost: NasCost {
+            target_samples: samples,
+            build_time: build,
+            query_time: Duration::ZERO,
+        },
     }
 }
 
@@ -91,7 +97,12 @@ pub fn help_estimator<'a>(
         .task
         .train
         .iter()
-        .map(|n| (n.clone(), wb.table.device_row(n).expect("source row").to_vec()))
+        .map(|n| {
+            (
+                n.clone(),
+                wb.table.device_row(n).expect("source row").to_vec(),
+            )
+        })
         .collect();
     let mut help = Help::new(wb.task.space, wb.pool.len(), cfg);
     help.meta_train(&wb.pool, &sources);
@@ -99,8 +110,10 @@ pub fn help_estimator<'a>(
     let t0 = Instant::now();
     let device = target_device(wb.task.space, target);
     let anchors: Vec<usize> = help.anchors().to_vec();
-    let anchor_lat: Vec<f32> =
-        anchors.iter().map(|&i| latency_ms(&device, &wb.pool[i]) as f32).collect();
+    let anchor_lat: Vec<f32> = anchors
+        .iter()
+        .map(|&i| latency_ms(&device, &wb.pool[i]) as f32)
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4E1F);
     let extra = random_indices(wb.pool.len(), 10, &mut rng);
     let samples: Vec<(usize, f32)> = anchors
@@ -109,14 +122,21 @@ pub fn help_estimator<'a>(
         .map(|&i| (i, latency_ms(&device, &wb.pool[i]) as f32))
         .collect();
     help.adapt(&wb.pool, &anchor_lat, &samples);
-    let scores: Vec<f32> = samples.iter().map(|&(i, _)| help.predict(&wb.pool, i)).collect();
+    let scores: Vec<f32> = samples
+        .iter()
+        .map(|&(i, _)| help.predict(&wb.pool, i))
+        .collect();
     let lats: Vec<f32> = samples.iter().map(|&(_, l)| l).collect();
     let cal = Calibration::fit(&scores, &lats);
     let build = t0.elapsed();
     NasEstimator {
         label: "MetaD2A + HELP (S: 20)".to_string(),
         latency_ms: Box::new(move |a| cal.to_ms(help.predict_arch(a))),
-        cost: NasCost { target_samples: 20, build_time: build, query_time: Duration::ZERO },
+        cost: NasCost {
+            target_samples: 20,
+            build_time: build,
+            query_time: Duration::ZERO,
+        },
     }
 }
 
@@ -138,8 +158,10 @@ pub fn brpnas_estimator<'a>(
     let device = target_device(wb.task.space, target);
     let mut rng = StdRng::seed_from_u64(seed);
     let picked = random_indices(wb.pool.len(), samples.min(wb.pool.len()), &mut rng);
-    let train: Vec<(usize, f32)> =
-        picked.iter().map(|&i| (i, latency_ms(&device, &wb.pool[i]) as f32)).collect();
+    let train: Vec<(usize, f32)> = picked
+        .iter()
+        .map(|&i| (i, latency_ms(&device, &wb.pool[i]) as f32))
+        .collect();
     let mut brp = BrpNas::new(wb.task.space, cfg);
     brp.train(&wb.pool, &train);
     let scores: Vec<f32> = picked.iter().map(|&i| brp.predict(&wb.pool[i])).collect();
@@ -149,7 +171,11 @@ pub fn brpnas_estimator<'a>(
     NasEstimator {
         label: format!("MetaD2A + BRP-NAS (S: {samples})"),
         latency_ms: Box::new(move |a| cal.to_ms(brp.predict(a))),
-        cost: NasCost { target_samples: samples, build_time: build, query_time: Duration::ZERO },
+        cost: NasCost {
+            target_samples: samples,
+            build_time: build,
+            query_time: Duration::ZERO,
+        },
     }
 }
 
@@ -200,7 +226,10 @@ pub fn run_nas(
         search,
     );
     let true_latency = latency_ms(&device, &result.arch) as f32;
-    let cost = NasCost { query_time: query_time.get(), ..estimator.cost };
+    let cost = NasCost {
+        query_time: query_time.get(),
+        ..estimator.cost
+    };
     (result, true_latency, cost)
 }
 
@@ -219,7 +248,12 @@ mod tests {
     use super::*;
 
     fn tiny_budget() -> Budget {
-        Budget { profile: Profile::Fast, trials: 1, pool_nb201: 60, pool_fbnet: 60 }
+        Budget {
+            profile: Profile::Fast,
+            trials: 1,
+            pool_nb201: 60,
+            pool_fbnet: 60,
+        }
     }
 
     #[test]
@@ -243,11 +277,20 @@ mod tests {
         let mut search = SearchConfig::quick();
         search.cycles = 20;
         search.population = 10;
-        let (result, true_lat, cost) =
-            run_nas(&mut est, wb.task.space, &oracle, "fpga", constraint, &search);
+        let (result, true_lat, cost) = run_nas(
+            &mut est,
+            wb.task.space,
+            &oracle,
+            "fpga",
+            constraint,
+            &search,
+        );
         assert!(result.predicted_latency_ms > 0.0);
         assert!(true_lat > 0.0);
-        assert!(cost.query_time > Duration::ZERO, "query time must be measured");
+        assert!(
+            cost.query_time > Duration::ZERO,
+            "query time must be measured"
+        );
         assert_eq!(cost.target_samples, 25);
     }
 

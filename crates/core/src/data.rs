@@ -24,12 +24,21 @@ impl LatencyNorm {
     /// # Panics
     /// Panics if `latencies` is empty or any value is non-positive.
     pub fn fit(latencies: &[f32]) -> Self {
-        assert!(!latencies.is_empty(), "cannot normalize an empty sample set");
-        assert!(latencies.iter().all(|&l| l > 0.0), "latencies must be positive");
+        assert!(
+            !latencies.is_empty(),
+            "cannot normalize an empty sample set"
+        );
+        assert!(
+            latencies.iter().all(|&l| l > 0.0),
+            "latencies must be positive"
+        );
         let logs: Vec<f32> = latencies.iter().map(|&l| l.ln()).collect();
         let mean = logs.iter().sum::<f32>() / logs.len() as f32;
         let var = logs.iter().map(|&l| (l - mean) * (l - mean)).sum::<f32>() / logs.len() as f32;
-        LatencyNorm { mean, std: var.sqrt().max(1e-6) }
+        LatencyNorm {
+            mean,
+            std: var.sqrt().max(1e-6),
+        }
     }
 
     /// Normalizes one raw latency.
@@ -60,7 +69,11 @@ impl DeviceSamples {
         let lats: Vec<f32> = raw.iter().map(|&(_, l)| l).collect();
         let norm = LatencyNorm::fit(&lats);
         let samples = raw.iter().map(|&(i, l)| (i, norm.apply(l))).collect();
-        DeviceSamples { device, samples, norm }
+        DeviceSamples {
+            device,
+            samples,
+            norm,
+        }
     }
 
     /// Number of samples.
@@ -173,6 +186,9 @@ mod tests {
         let data = PretrainData::from_task(&task, &table, 10, 3);
         let first: Vec<usize> = data.devices.iter().map(|d| d.samples[0].0).collect();
         let distinct: std::collections::HashSet<_> = first.iter().collect();
-        assert!(distinct.len() > 1, "devices should sample different strides: {first:?}");
+        assert!(
+            distinct.len() > 1,
+            "devices should sample different strides: {first:?}"
+        );
     }
 }

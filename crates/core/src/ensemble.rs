@@ -16,7 +16,10 @@ use nasflat_metrics::rank_average;
 /// # Panics
 /// Panics if `member_scores` is empty or members disagree in length.
 pub fn rank_ensemble(member_scores: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!member_scores.is_empty(), "ensemble needs at least one member");
+    assert!(
+        !member_scores.is_empty(),
+        "ensemble needs at least one member"
+    );
     let n = member_scores[0].len();
     let mut acc = vec![0.0f32; n];
     for scores in member_scores {
@@ -75,7 +78,10 @@ mod tests {
         // two members agree with the truth, one is anti-correlated
         let truth: Vec<f32> = (0..20).map(|i| i as f32).collect();
         let good: Vec<f32> = truth.clone();
-        let noisy: Vec<f32> = truth.iter().map(|&v| v + ((v as i32 * 13) % 7) as f32).collect();
+        let noisy: Vec<f32> = truth
+            .iter()
+            .map(|&v| v + ((v as i32 * 13) % 7) as f32)
+            .collect();
         let bad: Vec<f32> = truth.iter().rev().cloned().collect();
         let ens = rank_ensemble(&[good, noisy, bad]);
         let rho = spearman_rho(&ens, &truth).unwrap();

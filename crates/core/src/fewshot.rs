@@ -119,7 +119,11 @@ impl<'a> PretrainedTask<'a> {
         suite: Option<&'a EncodingSuite>,
         cfg: FewShotConfig,
     ) -> Self {
-        assert_eq!(pool.len(), table.num_archs(), "pool and latency table disagree");
+        assert_eq!(
+            pool.len(),
+            table.num_archs(),
+            "pool and latency table disagree"
+        );
         let ctx = match suite {
             Some(s) => TrainContext::with_suite(pool, s),
             None => TrainContext::new(pool),
@@ -129,10 +133,19 @@ impl<'a> PretrainedTask<'a> {
         devices.extend(task.test.clone());
         let mut predictor =
             LatencyPredictor::new(task.space, devices, supp_dim, cfg.predictor.clone());
-        let data = PretrainData::from_task(task, table, cfg.pretrain_per_device, cfg.predictor.seed);
+        let data =
+            PretrainData::from_task(task, table, cfg.pretrain_per_device, cfg.predictor.seed);
         pretrain(&mut predictor, &ctx, &data);
         let snapshot = predictor.snapshot();
-        PretrainedTask { task, table, pool, suite, cfg, predictor, snapshot }
+        PretrainedTask {
+            task,
+            table,
+            pool,
+            suite,
+            cfg,
+            predictor,
+            snapshot,
+        }
     }
 
     /// The experiment configuration.
@@ -216,13 +229,19 @@ impl<'a> PretrainedTask<'a> {
         seed: u64,
     ) -> Result<DeviceOutcome, SelectError> {
         let k = self.cfg.transfer_samples;
-        let (device_idx, picked, hw_init_source) =
-            self.transfer_core(target, sampler, seed, k)?;
-        let row = self.table.device_row(target).expect("validated by transfer_core");
+        let (device_idx, picked, hw_init_source) = self.transfer_core(target, sampler, seed, k)?;
+        let row = self
+            .table
+            .device_row(target)
+            .expect("validated by transfer_core");
         let eval = eval_set(self.pool.len(), &picked, self.cfg.eval_samples, row);
         let ctx = self.ctx();
         let spearman = evaluate_spearman(&self.predictor, &ctx, device_idx, &eval);
-        Ok(DeviceOutcome { device: target.to_string(), spearman, hw_init_source })
+        Ok(DeviceOutcome {
+            device: target.to_string(),
+            spearman,
+            hw_init_source,
+        })
     }
 
     /// Transfers to `target` with an explicit sample budget and returns a
@@ -260,7 +279,10 @@ impl<'a> PretrainedTask<'a> {
         for (t, target) in targets.iter().enumerate() {
             devices.push(self.transfer_to(target, &sampler, seed.wrapping_add(t as u64 * 101))?);
         }
-        Ok(TaskOutcome { task: self.task.name.clone(), devices })
+        Ok(TaskOutcome {
+            task: self.task.name.clone(),
+            devices,
+        })
     }
 }
 
@@ -388,7 +410,10 @@ mod tests {
         let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny());
         let a = pre.transfer_to("fpga", &Sampler::Random, 9).unwrap();
         let b = pre.transfer_to("fpga", &Sampler::Random, 9).unwrap();
-        assert_eq!(a.spearman, b.spearman, "restore must make transfers independent");
+        assert_eq!(
+            a.spearman, b.spearman,
+            "restore must make transfers independent"
+        );
     }
 
     #[test]

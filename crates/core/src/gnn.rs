@@ -84,7 +84,7 @@ impl GatLayer {
     /// only to itself and its in-neighbours.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, prop: Var, x: Var, ops: Var) -> Var {
         let h = self.wp.forward(g, store, x); // n×out
-        // Pairwise interaction logits: (a(H) · Hᵀ), LeakyReLU, masked softmax.
+                                              // Pairwise interaction logits: (a(H) · Hᵀ), LeakyReLU, masked softmax.
         let ah = self.attn.forward(g, store, h);
         let ht = g.transpose(h);
         let logits = g.matmul(ah, ht); // n×n
@@ -151,7 +151,10 @@ impl GnnStack {
             layers.push(layer);
             d_in = d_out;
         }
-        GnnStack { layers, out_dim: d_in }
+        GnnStack {
+            layers,
+            out_dim: d_in,
+        }
     }
 
     /// Output feature width.
@@ -218,7 +221,11 @@ mod tests {
 
     #[test]
     fn all_kinds_produce_finite_outputs_of_right_shape() {
-        for kind in [GnnModuleKind::Dgf, GnnModuleKind::Gat, GnnModuleKind::Ensemble] {
+        for kind in [
+            GnnModuleKind::Dgf,
+            GnnModuleKind::Gat,
+            GnnModuleKind::Ensemble,
+        ] {
             let (store, stack) = setup(kind);
             let mut g = Graph::new();
             let (prop, x, ops) = arch_inputs(&mut g);
@@ -232,7 +239,11 @@ mod tests {
 
     #[test]
     fn gradients_flow_to_every_parameter() {
-        for kind in [GnnModuleKind::Dgf, GnnModuleKind::Gat, GnnModuleKind::Ensemble] {
+        for kind in [
+            GnnModuleKind::Dgf,
+            GnnModuleKind::Gat,
+            GnnModuleKind::Ensemble,
+        ] {
             let (mut store, stack) = setup(kind);
             store.zero_grads();
             let mut g = Graph::new();
@@ -251,7 +262,10 @@ mod tests {
                     nonzero += 1;
                 }
             }
-            assert!(nonzero * 2 >= total, "{kind:?}: {nonzero}/{total} params got grads");
+            assert!(
+                nonzero * 2 >= total,
+                "{kind:?}: {nonzero}/{total} params got grads"
+            );
         }
     }
 

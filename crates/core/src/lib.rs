@@ -47,8 +47,8 @@ mod refine;
 mod trainer;
 
 pub use config::{GnnModuleKind, LossKind, PredictorConfig};
-pub use ensemble::{ensemble_disagreement, rank_ensemble};
 pub use data::{DeviceSamples, LatencyNorm, PretrainData};
+pub use ensemble::{ensemble_disagreement, rank_ensemble};
 pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };
@@ -56,6 +56,6 @@ pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
 pub use predictor::LatencyPredictor;
 pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
 pub use trainer::{
-    evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain,
-    train_step, TrainContext,
+    evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain, train_step,
+    TrainContext,
 };

@@ -52,7 +52,10 @@ impl LatencyPredictor {
         if cfg.supplement.is_some() {
             assert!(supp_dim > 0, "supplement configured but supp_dim is 0");
         } else {
-            assert_eq!(supp_dim, 0, "supp_dim nonzero without a configured supplement");
+            assert_eq!(
+                supp_dim, 0,
+                "supp_dim nonzero without a configured supplement"
+            );
         }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
@@ -75,7 +78,13 @@ impl LatencyPredictor {
         let mut mlp_dims = vec![ophw_gnn.out_dim()];
         mlp_dims.extend_from_slice(&cfg.ophw_mlp_dims);
         mlp_dims.push(joint_in); // map back to the original joint width
-        let ophw_mlp = Mlp::new(&mut store, "ophw_mlp", &mlp_dims, Activation::Relu, &mut rng);
+        let ophw_mlp = Mlp::new(
+            &mut store,
+            "ophw_mlp",
+            &mlp_dims,
+            Activation::Relu,
+            &mut rng,
+        );
         let main_gnn = GnnStack::new(
             &mut store,
             "main_gnn",
@@ -142,15 +151,16 @@ impl LatencyPredictor {
     /// # Panics
     /// Panics on space mismatch, out-of-range device index, or a
     /// supplementary vector of the wrong width.
-    pub fn forward(
-        &self,
-        g: &mut Graph,
-        arch: &Arch,
-        device: usize,
-        supp: Option<&[f32]>,
-    ) -> Var {
-        assert_eq!(arch.space(), self.space, "architecture from a different space");
-        assert!(device < self.devices.len(), "device index {device} out of range");
+    pub fn forward(&self, g: &mut Graph, arch: &Arch, device: usize, supp: Option<&[f32]>) -> Var {
+        assert_eq!(
+            arch.space(),
+            self.space,
+            "architecture from a different space"
+        );
+        assert!(
+            device < self.devices.len(),
+            "device index {device} out of range"
+        );
         match (self.supp_dim, supp) {
             (0, None) => {}
             (d, Some(v)) => assert_eq!(v.len(), d, "supplementary width mismatch"),
@@ -209,15 +219,24 @@ impl LatencyPredictor {
     /// # Panics
     /// Panics if either index is out of range.
     pub fn copy_hw_embedding(&mut self, target: usize, source: usize) {
-        assert!(target < self.devices.len() && source < self.devices.len(), "index out of range");
+        assert!(
+            target < self.devices.len() && source < self.devices.len(),
+            "index out of range"
+        );
         let table = self.hw_emb.table_id();
         let src_row: Vec<f32> = self.store.value(table).row(source).to_vec();
-        self.store.value_mut(table).row_mut(target).copy_from_slice(&src_row);
+        self.store
+            .value_mut(table)
+            .row_mut(target)
+            .copy_from_slice(&src_row);
     }
 
     /// Read-only view of a device's hardware-embedding row (diagnostics).
     pub fn hw_embedding_row(&self, device: usize) -> Vec<f32> {
-        self.store.value(self.hw_emb.table_id()).row(device).to_vec()
+        self.store
+            .value(self.hw_emb.table_id())
+            .row(device)
+            .to_vec()
     }
 
     /// Snapshot of all parameters (used to reuse one pre-training across
@@ -234,7 +253,7 @@ impl LatencyPredictor {
     /// Serializes all weights into a self-describing binary blob — the
     /// artifact to ship after pre-training (transfer re-initializes the
     /// optimizer, so only values are stored).
-    pub fn save_weights(&self) -> bytes::Bytes {
+    pub fn save_weights(&self) -> Vec<u8> {
         self.store.save_weights()
     }
 
@@ -349,20 +368,14 @@ mod tests {
         let src = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
         let blob = src.save_weights();
         // a fresh predictor with a different seed has different weights...
-        let mut dst =
-            LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg().with_seed(99));
+        let mut dst = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg().with_seed(99));
         let arch = Arch::nb201_from_index(2024);
         assert_ne!(src.predict(&arch, 0, None), dst.predict(&arch, 0, None));
         // ...until the blob is loaded
         dst.load_weights(&blob).expect("same layout");
         assert_eq!(src.predict(&arch, 0, None), dst.predict(&arch, 0, None));
         // layout mismatches are rejected
-        let mut other = LatencyPredictor::new(
-            Space::Nb201,
-            vec!["only_one".into()],
-            0,
-            tiny_cfg(),
-        );
+        let mut other = LatencyPredictor::new(Space::Nb201, vec!["only_one".into()], 0, tiny_cfg());
         assert!(other.load_weights(&blob).is_err());
     }
 

@@ -144,8 +144,13 @@ impl RefinedPredictor {
             dim,
             &mut rng,
         );
-        let back_mlp =
-            Mlp::new(&mut store, "ref.bmlp", &[hidden, hidden, hidden], Activation::Relu, &mut rng);
+        let back_mlp = Mlp::new(
+            &mut store,
+            "ref.bmlp",
+            &[hidden, hidden, hidden],
+            Activation::Relu,
+            &mut rng,
+        );
         // Update MLP input: optional BYI (hidden) + optional BOpE (dim); at
         // least the forward summary (hidden) when both are disabled.
         let upd_in = {
@@ -161,10 +166,32 @@ impl RefinedPredictor {
             }
             w
         };
-        let update_mlp =
-            Mlp::new(&mut store, "ref.upd", &[upd_in, hidden, dim], Activation::Relu, &mut rng);
-        let head = Mlp::new(&mut store, "ref.head", &[hidden, hidden, 1], Activation::Relu, &mut rng);
-        RefinedPredictor { space, opts, hidden, store, op_emb, fwd_gnn, back_gcn, back_mlp, update_mlp, head }
+        let update_mlp = Mlp::new(
+            &mut store,
+            "ref.upd",
+            &[upd_in, hidden, dim],
+            Activation::Relu,
+            &mut rng,
+        );
+        let head = Mlp::new(
+            &mut store,
+            "ref.head",
+            &[hidden, hidden, 1],
+            Activation::Relu,
+            &mut rng,
+        );
+        RefinedPredictor {
+            space,
+            opts,
+            hidden,
+            store,
+            op_emb,
+            fwd_gnn,
+            back_gcn,
+            back_mlp,
+            update_mlp,
+            head,
+        }
     }
 
     /// The ablation options in effect.
@@ -179,7 +206,11 @@ impl RefinedPredictor {
 
     /// Forward pass on an existing tape.
     pub fn forward(&self, g: &mut Graph, arch: &Arch) -> Var {
-        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        assert_eq!(
+            arch.space(),
+            self.space,
+            "architecture from a different space"
+        );
         let graph = arch.to_graph();
         let n = graph.num_nodes();
         let prop = propagation_constant(g, &graph);
@@ -207,7 +238,9 @@ impl RefinedPredictor {
                     self.update_of(g, joined)
                 }
             };
-            let h2 = self.fwd_gnn.forward(g, &self.store, prop, combined, combined);
+            let h2 = self
+                .fwd_gnn
+                .forward(g, &self.store, prop, combined, combined);
             let readout = g.slice_rows(h2, n - 1, 1);
             return self.head.forward(g, &self.store, readout);
         }
@@ -354,7 +387,10 @@ mod tests {
     fn unrolled_variants_forward_finite() {
         let arch = Arch::nb201_from_index(200);
         for kind in [UnrolledKind::Bmlp, UnrolledKind::Bgcn] {
-            let opts = RefineOptions { unrolled: Some(kind), ..RefineOptions::default() };
+            let opts = RefineOptions {
+                unrolled: Some(kind),
+                ..RefineOptions::default()
+            };
             let p = RefinedPredictor::new(Space::Nb201, opts, 8, 12, 1);
             assert!(p.predict(&arch).is_finite(), "{kind:?}");
         }
@@ -367,12 +403,18 @@ mod tests {
         let before = p.kendall(&data);
         p.train(&data, 15, 3e-3, 8, 3);
         let after = p.kendall(&data);
-        assert!(after > before.max(0.3), "kendall should improve: {before} -> {after}");
+        assert!(
+            after > before.max(0.3),
+            "kendall should improve: {before} -> {after}"
+        );
     }
 
     #[test]
     fn one_timestep_skips_refinement() {
-        let opts = RefineOptions { timesteps: 1, ..RefineOptions::default() };
+        let opts = RefineOptions {
+            timesteps: 1,
+            ..RefineOptions::default()
+        };
         let p = RefinedPredictor::new(Space::Nb201, opts, 8, 12, 4);
         assert!(p.predict(&Arch::nb201_from_index(3)).is_finite());
     }
@@ -380,7 +422,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one timestep")]
     fn zero_timesteps_rejected() {
-        let opts = RefineOptions { timesteps: 0, ..RefineOptions::default() };
+        let opts = RefineOptions {
+            timesteps: 0,
+            ..RefineOptions::default()
+        };
         let _ = RefinedPredictor::new(Space::Nb201, opts, 8, 12, 0);
     }
 }

@@ -33,7 +33,10 @@ impl<'a> TrainContext<'a> {
 
     /// Context with an encoding suite.
     pub fn with_suite(pool: &'a [Arch], suite: &'a EncodingSuite) -> Self {
-        TrainContext { pool, suite: Some(suite) }
+        TrainContext {
+            pool,
+            suite: Some(suite),
+        }
     }
 
     /// The supplementary vector for a pool architecture, per config.
@@ -42,7 +45,9 @@ impl<'a> TrainContext<'a> {
     /// Panics if the config requires a supplement but no suite is attached.
     pub fn supplement(&self, cfg: &PredictorConfig, arch_idx: usize) -> Option<Vec<f32>> {
         cfg.supplement.map(|kind| {
-            let suite = self.suite.expect("config sets a supplement but context has no suite");
+            let suite = self
+                .suite
+                .expect("config sets a supplement but context has no suite");
             suite.rows(kind)[arch_idx].clone()
         })
     }
@@ -50,9 +55,10 @@ impl<'a> TrainContext<'a> {
     /// Width the predictor's head must reserve for the supplement.
     pub fn supp_dim(&self, cfg: &PredictorConfig) -> usize {
         match cfg.supplement {
-            Some(kind) => {
-                self.suite.expect("config sets a supplement but context has no suite").dim(kind)
-            }
+            Some(kind) => self
+                .suite
+                .expect("config sets a supplement but context has no suite")
+                .dim(kind),
             None => 0,
         }
     }
@@ -83,7 +89,9 @@ pub fn train_step(
         targets.push(t);
     }
     let loss = match cfg.loss {
-        LossKind::PairwiseHinge => pairwise_hinge_loss(&mut g, &scores, &targets, cfg.hinge_margin)?,
+        LossKind::PairwiseHinge => {
+            pairwise_hinge_loss(&mut g, &scores, &targets, cfg.hinge_margin)?
+        }
         LossKind::Mse => mse_loss(&mut g, &scores, &targets),
     };
     let value = g.value(loss).item();
@@ -162,7 +170,7 @@ pub fn hw_init_from_correlation(
         let row = table.device_row(name)?;
         let src_lat: Vec<f32> = transfer_raw.iter().map(|&(i, _)| row[i]).collect();
         if let Ok(rho) = spearman_rho(&target_lat, &src_lat) {
-            if best.map_or(true, |(_, b)| rho > b) {
+            if best.is_none_or(|(_, b)| rho > b) {
                 best = Some((s, rho));
             }
         }
@@ -237,10 +245,11 @@ mod tests {
         let samples = DeviceSamples::new(0, &raw);
         let ctx = TrainContext::new(&pool);
 
-        let mut pred =
-            LatencyPredictor::new(Space::Nb201, vec!["raspi4".into()], 0, tiny_cfg());
+        let mut pred = LatencyPredictor::new(Space::Nb201, vec!["raspi4".into()], 0, tiny_cfg());
         let before = evaluate_spearman(&pred, &ctx, 0, &eval);
-        let data = PretrainData { devices: vec![samples] };
+        let data = PretrainData {
+            devices: vec![samples],
+        };
         pretrain(&mut pred, &ctx, &data);
         let after = evaluate_spearman(&pred, &ctx, 0, &eval);
         assert!(
@@ -281,7 +290,10 @@ mod tests {
             cpu_like.contains(&chosen_name.as_str()),
             "expected a CPU-like source for pixel2, got {chosen_name}"
         );
-        assert_eq!(pred.hw_embedding_row(target_idx), pred.hw_embedding_row(chosen));
+        assert_eq!(
+            pred.hw_embedding_row(target_idx),
+            pred.hw_embedding_row(chosen)
+        );
     }
 
     #[test]

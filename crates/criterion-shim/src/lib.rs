@@ -1,0 +1,168 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this workspace-local
+//! crate implements the subset of the criterion 0.5 API that the workspace's
+//! micro-benchmarks use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical analysis it
+//! runs a short warm-up, then times a fixed measurement window and prints
+//! mean time per iteration — enough to eyeball hot-path regressions while
+//! keeping `cargo bench` runnable offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's setup output is sized. Accepted for API
+/// compatibility; the shim treats all variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measure_window: Duration,
+}
+
+impl Bencher {
+    fn new(measure_window: Duration) -> Self {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measure_window,
+        }
+    }
+
+    /// Time `routine` repeatedly until the measurement window is filled.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: a few untimed calls so lazy initialization and cache
+        // effects don't land in the measurement.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measure_window {
+            std::hint::black_box(routine());
+            self.iters_done += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let deadline = Instant::now() + self.measure_window;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+/// Benchmark registry and runner, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let millis = std::env::var("CRITERION_SHIM_WINDOW_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            measure_window: Duration::from_millis(millis),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark and print its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measure_window);
+        f(&mut b);
+        if b.iters_done == 0 {
+            println!("{id:<40} (no timed iterations)");
+        } else {
+            let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!(
+                "{id:<40} {:>12} iters  {per_iter:>14.1} ns/iter",
+                b.iters_done
+            );
+        }
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generate `main` from one or more groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion {
+            measure_window: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.iters_done > 0);
+    }
+}

@@ -33,14 +33,27 @@ pub struct Arch2VecConfig {
 
 impl Default for Arch2VecConfig {
     fn default() -> Self {
-        Arch2VecConfig { latent_dim: 32, hidden_dim: 32, epochs: 30, batch_size: 32, lr: 3e-3, seed: 0 }
+        Arch2VecConfig {
+            latent_dim: 32,
+            hidden_dim: 32,
+            epochs: 30,
+            batch_size: 32,
+            lr: 3e-3,
+            seed: 0,
+        }
     }
 }
 
 impl Arch2VecConfig {
     /// A fast low-budget config for tests and smoke runs.
     pub fn quick() -> Self {
-        Arch2VecConfig { latent_dim: 16, hidden_dim: 16, epochs: 6, batch_size: 32, ..Self::default() }
+        Arch2VecConfig {
+            latent_dim: 16,
+            hidden_dim: 16,
+            epochs: 6,
+            batch_size: 32,
+            ..Self::default()
+        }
     }
 }
 
@@ -73,8 +86,20 @@ impl Arch2Vec {
 
         let mut store = ParamStore::new();
         let enc1 = Linear::new(&mut store, "a2v.enc1", vocab, cfg.hidden_dim, &mut rng);
-        let enc2 = Linear::new(&mut store, "a2v.enc2", cfg.hidden_dim, cfg.hidden_dim, &mut rng);
-        let to_latent = Linear::new(&mut store, "a2v.latent", cfg.hidden_dim, cfg.latent_dim, &mut rng);
+        let enc2 = Linear::new(
+            &mut store,
+            "a2v.enc2",
+            cfg.hidden_dim,
+            cfg.hidden_dim,
+            &mut rng,
+        );
+        let to_latent = Linear::new(
+            &mut store,
+            "a2v.latent",
+            cfg.hidden_dim,
+            cfg.latent_dim,
+            &mut rng,
+        );
         let decoder = Mlp::new(
             &mut store,
             "a2v.dec",
@@ -82,8 +107,15 @@ impl Arch2Vec {
             Activation::Relu,
             &mut rng,
         );
-        let mut model =
-            Arch2Vec { space, store, enc1, enc2, to_latent, decoder, latent_dim: cfg.latent_dim };
+        let mut model = Arch2Vec {
+            space,
+            store,
+            enc1,
+            enc2,
+            to_latent,
+            decoder,
+            latent_dim: cfg.latent_dim,
+        };
 
         let adam = AdamConfig::default().with_lr(cfg.lr);
         let mut order: Vec<usize> = (0..pool.len()).collect();
@@ -166,7 +198,11 @@ impl Arch2Vec {
         let recon = g.sigmoid(recon);
         let target = arch.adjop_encoding();
         let out = g.value(recon).row(0).to_vec();
-        out.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / target.len() as f32
+        out.iter()
+            .zip(&target)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / target.len() as f32
     }
 }
 
@@ -175,7 +211,9 @@ mod tests {
     use super::*;
 
     fn small_pool(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index(i * 97 % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index(i * 97 % 15625))
+            .collect()
     }
 
     #[test]

@@ -58,7 +58,12 @@ impl Default for CateConfig {
 impl CateConfig {
     /// A fast low-budget config for tests and smoke runs.
     pub fn quick() -> Self {
-        CateConfig { model_dim: 16, ffn_dim: 32, epochs: 4, ..Self::default() }
+        CateConfig {
+            model_dim: 16,
+            ffn_dim: 32,
+            epochs: 4,
+            ..Self::default()
+        }
     }
 }
 
@@ -106,7 +111,13 @@ impl Cate {
         let wv = Linear::new(&mut store, "cate.wv", d, d, &mut rng);
         let wo = Linear::new(&mut store, "cate.wo", d, d, &mut rng);
         let ln1 = LayerNorm::new(&mut store, "cate.ln1", d);
-        let ffn = Mlp::new(&mut store, "cate.ffn", &[d, cfg.ffn_dim, d], Activation::Relu, &mut rng);
+        let ffn = Mlp::new(
+            &mut store,
+            "cate.ffn",
+            &[d, cfg.ffn_dim, d],
+            Activation::Relu,
+            &mut rng,
+        );
         let ln2 = LayerNorm::new(&mut store, "cate.ln2", d);
         let head = Linear::new(&mut store, "cate.head", d, vocab, &mut rng);
         let mut model = Cate {
@@ -136,9 +147,13 @@ impl Cate {
                 let mut g = Graph::new();
                 let mut losses = Vec::new();
                 for &i in chunk {
-                    if let Some(loss) =
-                        model.masked_loss(&mut g, &pool[i], &pool[partners[i]], cfg.mask_prob, &mut rng)
-                    {
+                    if let Some(loss) = model.masked_loss(
+                        &mut g,
+                        &pool[i],
+                        &pool[partners[i]],
+                        cfg.mask_prob,
+                        &mut rng,
+                    ) {
                         losses.push(loss);
                     }
                 }
@@ -309,7 +324,11 @@ pub fn flops_partners(pool: &[Arch]) -> Vec<usize> {
     assert!(pool.len() >= 2, "need at least two architectures to pair");
     let flops: Vec<f64> = pool.iter().map(|a| a.cost_profile().total_flops).collect();
     let mut order: Vec<usize> = (0..pool.len()).collect();
-    order.sort_by(|&a, &b| flops[a].partial_cmp(&flops[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        flops[a]
+            .partial_cmp(&flops[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut partner = vec![0usize; pool.len()];
     for (rank, &idx) in order.iter().enumerate() {
         let neighbor = if rank == 0 {
@@ -336,7 +355,9 @@ mod tests {
     use super::*;
 
     fn small_pool(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index((i * 211 + 3) % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index((i * 211 + 3) % 15625))
+            .collect()
     }
 
     #[test]
@@ -386,6 +407,9 @@ mod tests {
         let far = model.encode(&Arch::new(Space::Nb201, vec![1; 6]));
         let sim_near = cosine_similarity(&heavy, &near);
         let sim_far = cosine_similarity(&heavy, &far);
-        assert!(sim_near > sim_far, "near {sim_near} should beat far {sim_far}");
+        assert!(
+            sim_near > sim_far,
+            "near {sim_near} should beat far {sim_far}"
+        );
     }
 }

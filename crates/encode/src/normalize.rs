@@ -38,7 +38,10 @@ impl ColumnStats {
             }
         }
         let stds = vars.iter().map(|&v| ((v / n).sqrt()) as f32).collect();
-        ColumnStats { means: means.iter().map(|&m| m as f32).collect(), stds }
+        ColumnStats {
+            means: means.iter().map(|&m| m as f32).collect(),
+            stds,
+        }
     }
 
     /// Encoding width.

@@ -42,7 +42,12 @@ impl EncodingKind {
     /// All vector encodings usable by samplers and supplements (excludes
     /// `AdjOp`, which is the predictor's base representation).
     pub fn samplers() -> [EncodingKind; 4] {
-        [EncodingKind::Zcp, EncodingKind::Arch2Vec, EncodingKind::Cate, EncodingKind::Caz]
+        [
+            EncodingKind::Zcp,
+            EncodingKind::Arch2Vec,
+            EncodingKind::Cate,
+            EncodingKind::Caz,
+        ]
     }
 }
 
@@ -109,7 +114,10 @@ impl EncodingSuite {
     /// # Panics
     /// Panics if `pool.len() < 2`.
     pub fn build(pool: &[Arch], cfg: &SuiteConfig) -> Self {
-        assert!(pool.len() >= 2, "encoding suite needs at least two architectures");
+        assert!(
+            pool.len() >= 2,
+            "encoding suite needs at least two architectures"
+        );
         let stride = (pool.len() / cfg.train_subset.max(1)).max(1);
         let train: Vec<Arch> = pool.iter().step_by(stride).cloned().collect();
         let a2v_model = Arch2Vec::train(&train, &cfg.arch2vec);
@@ -202,7 +210,9 @@ mod tests {
     use super::*;
 
     fn pool(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index(i * 307 % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index(i * 307 % 15625))
+            .collect()
     }
 
     #[test]

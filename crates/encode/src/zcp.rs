@@ -116,7 +116,11 @@ pub fn zcp_features(arch: &Arch) -> Vec<f32> {
         width,
         graph.num_edges() as f32 / (n * (n - 1) / 2).max(1) as f32,
         entropy,
-        if flops > 0.0 { (conv_flops / flops) as f32 } else { 0.0 },
+        if flops > 0.0 {
+            (conv_flops / flops) as f32
+        } else {
+            0.0
+        },
         skip_count as f32 / slots,
         pool_count as f32 / slots,
         (flops / (1.0 + mem)) as f32,

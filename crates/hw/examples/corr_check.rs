@@ -1,16 +1,42 @@
 use nasflat_hw::*;
-use nasflat_space::{Arch, Space};
 use nasflat_metrics::spearman_rho;
+use nasflat_space::{Arch, Space};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let reg = DeviceRegistry::nb201();
     let mut rng = StdRng::seed_from_u64(1);
-    let archs: Vec<Arch> = (0..400).map(|_| Arch::random(Space::Nb201, &mut rng)).collect();
-    let names = ["1080ti_1","1080ti_32","1080ti_256","titanxp_1","gold_6226","silver_4114","samsung_a50","pixel3","pixel2","raspi4","fpga","eyeriss","edge_tpu_int8","jetson_nano_fp16","snapdragon_855_adreno_640_int8","snapdragon_675_hexagon_685_int8","snapdragon_855_kryo_485_int8","core_i7_7820x_fp32"];
-    let lats: Vec<Vec<f32>> = names.iter().map(|n| measure_all(reg.get(n).unwrap(), &archs)).collect();
+    let archs: Vec<Arch> = (0..400)
+        .map(|_| Arch::random(Space::Nb201, &mut rng))
+        .collect();
+    let names = [
+        "1080ti_1",
+        "1080ti_32",
+        "1080ti_256",
+        "titanxp_1",
+        "gold_6226",
+        "silver_4114",
+        "samsung_a50",
+        "pixel3",
+        "pixel2",
+        "raspi4",
+        "fpga",
+        "eyeriss",
+        "edge_tpu_int8",
+        "jetson_nano_fp16",
+        "snapdragon_855_adreno_640_int8",
+        "snapdragon_675_hexagon_685_int8",
+        "snapdragon_855_kryo_485_int8",
+        "core_i7_7820x_fp32",
+    ];
+    let lats: Vec<Vec<f32>> = names
+        .iter()
+        .map(|n| measure_all(reg.get(n).unwrap(), &archs))
+        .collect();
     print!("{:32}", "");
-    for n in &names { print!("{:>8}", &n[..n.len().min(7)]); }
+    for n in &names {
+        print!("{:>8}", &n[..n.len().min(7)]);
+    }
     println!();
     for (i, n) in names.iter().enumerate() {
         print!("{:32}", n);
@@ -23,11 +49,28 @@ fn main() {
     // FBNet too
     let regf = DeviceRegistry::fbnet();
     let pool = nasflat_space::fbnet_pool(99, 300);
-    let fnames = ["1080ti_1","1080ti_64","2080ti_1","titan_rtx_32","gold_6226","pixel2","pixel3","raspi4","eyeriss","fpga","essential_ph_1"];
-    let flats: Vec<Vec<f32>> = fnames.iter().map(|n| measure_all(regf.get(n).unwrap(), &pool)).collect();
+    let fnames = [
+        "1080ti_1",
+        "1080ti_64",
+        "2080ti_1",
+        "titan_rtx_32",
+        "gold_6226",
+        "pixel2",
+        "pixel3",
+        "raspi4",
+        "eyeriss",
+        "fpga",
+        "essential_ph_1",
+    ];
+    let flats: Vec<Vec<f32>> = fnames
+        .iter()
+        .map(|n| measure_all(regf.get(n).unwrap(), &pool))
+        .collect();
     println!("\nFBNet:");
     print!("{:16}", "");
-    for n in &fnames { print!("{:>8}", &n[..n.len().min(7)]); }
+    for n in &fnames {
+        print!("{:>8}", &n[..n.len().min(7)]);
+    }
     println!();
     for (i, n) in fnames.iter().enumerate() {
         print!("{:16}", n);

@@ -294,7 +294,14 @@ impl Device {
         if precision == Precision::Fp16 {
             profile.eff *= 1.6;
         }
-        Device { name: name.to_string(), class, precision, batch, profile, seed }
+        Device {
+            name: name.to_string(),
+            class,
+            precision,
+            batch,
+            profile,
+            seed,
+        }
     }
 
     /// Device name as used in the paper's tables.
@@ -349,7 +356,12 @@ fn helps_devices(gpu_batches: &[u32]) -> Vec<Device> {
             v.push(gpu(&format!("{card}_{b}"), b));
         }
     }
-    v.extend([cpu("gold_6240"), cpu("silver_4114"), cpu("silver_4210r"), cpu("gold_6226")]);
+    v.extend([
+        cpu("gold_6240"),
+        cpu("silver_4114"),
+        cpu("silver_4210r"),
+        cpu("gold_6226"),
+    ]);
     v.extend([
         mcpu("samsung_a50"),
         mcpu("pixel3"),
@@ -359,7 +371,12 @@ fn helps_devices(gpu_batches: &[u32]) -> Vec<Device> {
     ]);
     v.push(Device::new("fpga", DeviceClass::Fpga, Precision::Fp16, 1));
     v.push(Device::new("raspi4", DeviceClass::ECpu, Precision::Fp32, 1));
-    v.push(Device::new("eyeriss", DeviceClass::Asic, Precision::Int8, 1));
+    v.push(Device::new(
+        "eyeriss",
+        DeviceClass::Asic,
+        Precision::Int8,
+        1,
+    ));
     v
 }
 
@@ -367,18 +384,58 @@ fn helps_devices(gpu_batches: &[u32]) -> Vec<Device> {
 fn eagle_devices() -> Vec<Device> {
     vec![
         Device::new("core_i7_7820x_fp32", DeviceClass::Cpu, Precision::Fp32, 1),
-        Device::new("snapdragon_675_kryo_460_int8", DeviceClass::MCpu, Precision::Int8, 1),
-        Device::new("snapdragon_855_kryo_485_int8", DeviceClass::MCpu, Precision::Int8, 1),
-        Device::new("snapdragon_450_cortex_a53_int8", DeviceClass::MCpu, Precision::Int8, 1),
+        Device::new(
+            "snapdragon_675_kryo_460_int8",
+            DeviceClass::MCpu,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_855_kryo_485_int8",
+            DeviceClass::MCpu,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_450_cortex_a53_int8",
+            DeviceClass::MCpu,
+            Precision::Int8,
+            1,
+        ),
         Device::new("edge_tpu_int8", DeviceClass::ETpu, Precision::Int8, 1),
         Device::new("gtx_1080ti_fp32", DeviceClass::Gpu, Precision::Fp32, 1),
         Device::new("jetson_nano_fp16", DeviceClass::EGpu, Precision::Fp16, 1),
         Device::new("jetson_nano_fp32", DeviceClass::EGpu, Precision::Fp32, 1),
-        Device::new("snapdragon_855_adreno_640_int8", DeviceClass::MGpu, Precision::Int8, 1),
-        Device::new("snapdragon_450_adreno_506_int8", DeviceClass::MGpu, Precision::Int8, 1),
-        Device::new("snapdragon_675_adreno_612_int8", DeviceClass::MGpu, Precision::Int8, 1),
-        Device::new("snapdragon_675_hexagon_685_int8", DeviceClass::MDsp, Precision::Int8, 1),
-        Device::new("snapdragon_855_hexagon_690_int8", DeviceClass::MDsp, Precision::Int8, 1),
+        Device::new(
+            "snapdragon_855_adreno_640_int8",
+            DeviceClass::MGpu,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_450_adreno_506_int8",
+            DeviceClass::MGpu,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_675_adreno_612_int8",
+            DeviceClass::MGpu,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_675_hexagon_685_int8",
+            DeviceClass::MDsp,
+            Precision::Int8,
+            1,
+        ),
+        Device::new(
+            "snapdragon_855_hexagon_690_int8",
+            DeviceClass::MDsp,
+            Precision::Int8,
+            1,
+        ),
     ]
 }
 
@@ -394,12 +451,18 @@ impl DeviceRegistry {
     pub fn nb201() -> Self {
         let mut devices = helps_devices(&[1, 32, 256]);
         devices.extend(eagle_devices());
-        DeviceRegistry { space: Space::Nb201, devices }
+        DeviceRegistry {
+            space: Space::Nb201,
+            devices,
+        }
     }
 
     /// The 27-device FBNet roster (HELP + HW-NAS-Bench).
     pub fn fbnet() -> Self {
-        DeviceRegistry { space: Space::Fbnet, devices: helps_devices(&[1, 32, 64]) }
+        DeviceRegistry {
+            space: Space::Fbnet,
+            devices: helps_devices(&[1, 32, 64]),
+        }
     }
 
     /// Roster for a space.
@@ -482,7 +545,12 @@ mod tests {
     #[test]
     fn int8_speeds_up_compute() {
         let base = Profile::class_base(DeviceClass::MCpu);
-        let dev = Device::new("snapdragon_855_kryo_485_int8", DeviceClass::MCpu, Precision::Int8, 1);
+        let dev = Device::new(
+            "snapdragon_855_kryo_485_int8",
+            DeviceClass::MCpu,
+            Precision::Int8,
+            1,
+        );
         // jitter is ±~20%, int8 multiplies by 2.5; so this is robustly larger
         assert!(dev.profile().eff > 1.5 * base.eff);
     }

@@ -42,7 +42,8 @@ fn class_power(class: DeviceClass) -> (f64, f64, f64) {
 pub fn energy_clean_mj(device: &Device, arch: &Arch) -> f64 {
     let (static_w, pj_mac, pj_mem) = class_power(device.class());
     // per-device jitter, keyed separately from the latency profile
-    let jitter = |idx: u64, sigma: f64| lognormal_jitter(combine(device.seed(), 0xE6E6 ^ idx), sigma);
+    let jitter =
+        |idx: u64, sigma: f64| lognormal_jitter(combine(device.seed(), 0xE6E6 ^ idx), sigma);
     let static_w = static_w * jitter(1, 0.10);
     let pj_mac = pj_mac * jitter(2, 0.10);
     let pj_mem = pj_mem * jitter(3, 0.08);
@@ -79,7 +80,9 @@ mod tests {
     use nasflat_space::Space;
 
     fn archs(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index(i * 521 % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index(i * 521 % 15625))
+            .collect()
     }
 
     #[test]
@@ -130,15 +133,24 @@ mod tests {
         let pool = archs(100);
         let mut differs = false;
         for dev in reg.devices().iter().step_by(3) {
-            let lat: Vec<f32> = pool.iter().map(|a| latency_clean_ms(dev, a) as f32).collect();
-            let en: Vec<f32> = pool.iter().map(|a| energy_clean_mj(dev, a) as f32).collect();
+            let lat: Vec<f32> = pool
+                .iter()
+                .map(|a| latency_clean_ms(dev, a) as f32)
+                .collect();
+            let en: Vec<f32> = pool
+                .iter()
+                .map(|a| energy_clean_mj(dev, a) as f32)
+                .collect();
             if let Ok(rho) = spearman_rho(&lat, &en) {
                 if rho < 0.995 {
                     differs = true;
                 }
             }
         }
-        assert!(differs, "energy should not be a pure re-ranking of latency everywhere");
+        assert!(
+            differs,
+            "energy should not be a pure re-ranking of latency everywhere"
+        );
     }
 
     #[test]

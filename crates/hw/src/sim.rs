@@ -53,13 +53,13 @@ pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
 
     // Per-node time.
     let mut t = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, ti) in t.iter_mut().enumerate() {
         let vocab_id = graph.ops()[i];
         let desc = space.op_desc(vocab_id);
         let c = prof.node_costs[i];
         let mem_time = c.mem * b / p.mem_bw;
         let quirk = op_quirk(device, vocab_id);
-        t[i] = match desc.kind {
+        *ti = match desc.kind {
             OpKind::Input | OpKind::Output | OpKind::None => 0.0,
             OpKind::Skip => p.overhead * p.skip_affinity * quirk + mem_time,
             OpKind::Pool => {
@@ -86,7 +86,7 @@ pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
 
     // Operator fusion: a node whose single predecessor feeds only it can be
     // fused by the compiler, recovering part of its dispatch overhead.
-    for j in 0..n {
+    for (j, tj) in t.iter_mut().enumerate() {
         let preds = graph.preds(j);
         if preds.len() != 1 {
             continue;
@@ -97,9 +97,14 @@ pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
         }
         let ku = space.op_desc(graph.ops()[u]).kind;
         let kj = space.op_desc(graph.ops()[j]).kind;
-        let fusable = |k: OpKind| matches!(k, OpKind::Conv | OpKind::Block | OpKind::Pool | OpKind::Skip);
+        let fusable = |k: OpKind| {
+            matches!(
+                k,
+                OpKind::Conv | OpKind::Block | OpKind::Pool | OpKind::Skip
+            )
+        };
         if fusable(ku) && fusable(kj) {
-            t[j] = (t[j] - p.fusion_discount * p.overhead).max(0.0);
+            *tj = (*tj - p.fusion_discount * p.overhead).max(0.0);
         }
     }
 
@@ -107,7 +112,11 @@ pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
     let serial: f64 = t.iter().sum();
     let mut dist = vec![0.0f64; n];
     for j in 0..n {
-        let best = graph.preds(j).iter().map(|&i| dist[i]).fold(0.0f64, f64::max);
+        let best = graph
+            .preds(j)
+            .iter()
+            .map(|&i| dist[i])
+            .fold(0.0f64, f64::max);
         dist[j] = best + t[j];
     }
     let critical = dist[n - 1];
@@ -124,7 +133,10 @@ pub fn latency_clean_ms(device: &Device, arch: &Arch) -> f64 {
 /// lognormal measurement noise (same (device, arch) → same value).
 pub fn latency_ms(device: &Device, arch: &Arch) -> f64 {
     let clean = latency_clean_ms(device, arch);
-    let noise = lognormal_jitter(combine(device.seed(), arch_hash(arch)), device.profile().noise_sigma);
+    let noise = lognormal_jitter(
+        combine(device.seed(), arch_hash(arch)),
+        device.profile().noise_sigma,
+    );
     clean * noise
 }
 
@@ -187,7 +199,9 @@ mod tests {
 
     fn sample_archs(n: usize, seed: u64) -> Vec<Arch> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Arch::random(Space::Nb201, &mut rng)).collect()
+        (0..n)
+            .map(|_| Arch::random(Space::Nb201, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -231,8 +245,14 @@ mod tests {
         let intra = spearman_rho(&a50, &pixel3).unwrap();
         let cross = spearman_rho(&a50, &etpu).unwrap();
         assert!(intra > cross, "intra {intra} <= cross {cross}");
-        assert!(intra > 0.85, "mobile CPUs should correlate highly, got {intra}");
-        assert!(cross < 0.75, "mCPU vs eTPU should correlate weakly, got {cross}");
+        assert!(
+            intra > 0.85,
+            "mobile CPUs should correlate highly, got {intra}"
+        );
+        assert!(
+            cross < 0.75,
+            "mCPU vs eTPU should correlate weakly, got {cross}"
+        );
     }
 
     #[test]

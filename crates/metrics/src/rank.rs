@@ -13,7 +13,11 @@ use crate::MetricError;
 pub fn rank_average(xs: &[f32]) -> Vec<f32> {
     let n = xs.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(core::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0f32; n];
     let mut i = 0;
     while i < n {
@@ -33,7 +37,10 @@ pub fn rank_average(xs: &[f32]) -> Vec<f32> {
 
 fn validate(xs: &[f32], ys: &[f32]) -> Result<(), MetricError> {
     if xs.len() != ys.len() {
-        return Err(MetricError::LengthMismatch { left: xs.len(), right: ys.len() });
+        return Err(MetricError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
     }
     if xs.len() < 2 {
         return Err(MetricError::TooShort);
@@ -108,7 +115,9 @@ pub fn kendall_tau(xs: &[f32], ys: &[f32]) -> Result<f32, MetricError> {
         }
     }
     let n0 = (n * (n - 1) / 2) as f64;
-    let denom = ((n0 - ties_x as f64 - count_joint_ties(xs)) * (n0 - ties_y as f64 - count_joint_ties(ys))).sqrt();
+    let denom = ((n0 - ties_x as f64 - count_joint_ties(xs))
+        * (n0 - ties_y as f64 - count_joint_ties(ys)))
+    .sqrt();
     if denom == 0.0 {
         return Err(MetricError::ConstantInput);
     }
@@ -136,7 +145,10 @@ mod tests {
     #[test]
     fn ranks_with_ties() {
         assert_eq!(rank_average(&[1.0, 1.0, 1.0]), vec![2.0, 2.0, 2.0]);
-        assert_eq!(rank_average(&[5.0, 5.0, 1.0, 7.0]), vec![2.5, 2.5, 1.0, 4.0]);
+        assert_eq!(
+            rank_average(&[5.0, 5.0, 1.0, 7.0]),
+            vec![2.5, 2.5, 1.0, 4.0]
+        );
     }
 
     #[test]
@@ -188,7 +200,10 @@ mod tests {
             spearman_rho(&[1.0], &[1.0, 2.0]),
             Err(MetricError::LengthMismatch { .. })
         ));
-        assert!(matches!(spearman_rho(&[1.0], &[1.0]), Err(MetricError::TooShort)));
+        assert!(matches!(
+            spearman_rho(&[1.0], &[1.0]),
+            Err(MetricError::TooShort)
+        ));
         assert!(matches!(
             spearman_rho(&[1.0, 1.0], &[1.0, 2.0]),
             Err(MetricError::ConstantInput)

@@ -42,7 +42,10 @@ pub struct MeanStd {
 impl MeanStd {
     /// Summarizes a slice of per-trial values.
     pub fn from_slice(xs: &[f32]) -> Self {
-        MeanStd { mean: mean(xs), std: std_dev(xs) }
+        MeanStd {
+            mean: mean(xs),
+            std: std_dev(xs),
+        }
     }
 }
 

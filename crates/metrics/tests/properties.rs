@@ -9,10 +9,10 @@ use nasflat_metrics::{
 
 /// A vector with at least two distinct values (correlations defined).
 fn varied_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-100.0f32..100.0, 2..max_len).prop_filter(
-        "needs two distinct values",
-        |v| v.iter().any(|&x| x != v[0]),
-    )
+    proptest::collection::vec(-100.0f32..100.0, 2..max_len)
+        .prop_filter("needs two distinct values", |v| {
+            v.iter().any(|&x| x != v[0])
+        })
 }
 
 proptest! {

@@ -23,7 +23,10 @@ impl Calibration {
     pub fn fit(scores: &[f32], latencies_ms: &[f32]) -> Self {
         assert_eq!(scores.len(), latencies_ms.len(), "length mismatch");
         assert!(scores.len() >= 2, "need at least two calibration points");
-        assert!(latencies_ms.iter().all(|&l| l > 0.0), "latencies must be positive");
+        assert!(
+            latencies_ms.iter().all(|&l| l > 0.0),
+            "latencies must be positive"
+        );
         let n = scores.len() as f64;
         let logs: Vec<f64> = latencies_ms.iter().map(|&l| (l as f64).ln()).collect();
         let mx = scores.iter().map(|&s| s as f64).sum::<f64>() / n;
@@ -65,7 +68,10 @@ mod tests {
     fn constant_scores_fall_back_to_geomean() {
         let cal = Calibration::fit(&[1.0, 1.0, 1.0], &[2.0, 4.0, 8.0]);
         let p = cal.to_ms(1.0);
-        assert!((p - 4.0).abs() < 1e-3, "geometric mean of 2,4,8 is 4, got {p}");
+        assert!(
+            (p - 4.0).abs() < 1e-3,
+            "geometric mean of 2,4,8 is 4, got {p}"
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl AccuracyOracle {
     /// # Panics
     /// Panics if `arch` belongs to a different space.
     pub fn accuracy(&self, arch: &Arch) -> f32 {
-        assert_eq!(arch.space(), self.space, "architecture from a different space");
+        assert_eq!(
+            arch.space(),
+            self.space,
+            "architecture from a different space"
+        );
         let graph = arch.to_graph();
         let profile = arch.cost_profile();
 
@@ -131,9 +135,14 @@ mod tests {
     fn accuracy_correlates_with_compute_but_not_perfectly() {
         use nasflat_metrics::spearman_rho;
         let oracle = AccuracyOracle::new(Space::Nb201, 1);
-        let pool: Vec<Arch> = (0..200u64).map(|i| Arch::nb201_from_index(i * 78 + 5)).collect();
+        let pool: Vec<Arch> = (0..200u64)
+            .map(|i| Arch::nb201_from_index(i * 78 + 5))
+            .collect();
         let acc: Vec<f32> = pool.iter().map(|a| oracle.accuracy(a)).collect();
-        let flops: Vec<f32> = pool.iter().map(|a| a.cost_profile().total_flops as f32).collect();
+        let flops: Vec<f32> = pool
+            .iter()
+            .map(|a| a.cost_profile().total_flops as f32)
+            .collect();
         let rho = spearman_rho(&acc, &flops).unwrap();
         assert!(rho > 0.4, "accuracy should track compute, got {rho}");
         assert!(rho < 0.99, "but not be identical to it, got {rho}");
@@ -144,6 +153,9 @@ mod tests {
         let oracle = AccuracyOracle::new(Space::Fbnet, 0);
         let big = oracle.accuracy(&Arch::new(Space::Fbnet, vec![3; 22]));
         let small = oracle.accuracy(&Arch::new(Space::Fbnet, vec![8; 22]));
-        assert!(big > small, "high-expansion FBNet {big} should beat all-skip {small}");
+        assert!(
+            big > small,
+            "high-expansion FBNet {big} should beat all-skip {small}"
+        );
     }
 }

@@ -18,7 +18,11 @@ pub fn pareto_front(points: &[Point]) -> Vec<Point> {
         a.latency_ms
             .partial_cmp(&b.latency_ms)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(b.accuracy.partial_cmp(&a.accuracy).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                b.accuracy
+                    .partial_cmp(&a.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     });
     let mut front: Vec<Point> = Vec::new();
     let mut best_acc = f32::NEG_INFINITY;
@@ -35,7 +39,8 @@ pub fn pareto_front(points: &[Point]) -> Vec<Point> {
 /// there is a point of `a` that is at least as fast and at least as accurate.
 pub fn dominates(a: &[Point], b: &[Point]) -> bool {
     b.iter().all(|q| {
-        a.iter().any(|p| p.latency_ms <= q.latency_ms && p.accuracy >= q.accuracy)
+        a.iter()
+            .any(|p| p.latency_ms <= q.latency_ms && p.accuracy >= q.accuracy)
     })
 }
 
@@ -69,7 +74,10 @@ mod tests {
     use super::*;
 
     fn p(l: f32, a: f32) -> Point {
-        Point { latency_ms: l, accuracy: a }
+        Point {
+            latency_ms: l,
+            accuracy: a,
+        }
     }
 
     #[test]

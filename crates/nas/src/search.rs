@@ -30,14 +30,23 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { population: 40, cycles: 300, tournament: 8, seed: 0 }
+        SearchConfig {
+            population: 40,
+            cycles: 300,
+            tournament: 8,
+            seed: 0,
+        }
     }
 }
 
 impl SearchConfig {
     /// Reduced-budget profile for CPU-only runs.
     pub fn quick() -> Self {
-        SearchConfig { population: 20, cycles: 80, ..Self::default() }
+        SearchConfig {
+            population: 20,
+            cycles: 80,
+            ..Self::default()
+        }
     }
 }
 
@@ -101,7 +110,7 @@ where
         .collect();
     let mut best: Option<Member> = None;
     let consider = |m: &Member, best: &mut Option<Member>| {
-        if m.lat <= constraint_ms && best.as_ref().map_or(true, |b| m.acc > b.acc) {
+        if m.lat <= constraint_ms && best.as_ref().is_none_or(|b| m.acc > b.acc) {
             *best = Some(m.clone());
         }
     };
@@ -138,7 +147,11 @@ where
         // No feasible member was ever seen: return the least-violating one.
         population
             .into_iter()
-            .min_by(|a, b| a.lat.partial_cmp(&b.lat).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.lat
+                    .partial_cmp(&b.lat)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("population is non-empty")
     });
     SearchResult {

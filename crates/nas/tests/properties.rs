@@ -12,8 +12,10 @@ fn nb201_genotype() -> impl Strategy<Value = Vec<u8>> {
 
 fn points() -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec(
-        (1.0f32..100.0, 10.0f32..75.0)
-            .prop_map(|(l, a)| Point { latency_ms: l, accuracy: a }),
+        (1.0f32..100.0, 10.0f32..75.0).prop_map(|(l, a)| Point {
+            latency_ms: l,
+            accuracy: a,
+        }),
         1..30,
     )
 }

@@ -1,0 +1,503 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace-local
+//! crate implements the subset of the proptest 1.x API that the workspace's
+//! property suites use:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `pattern in strategy` parameters,
+//! - [`Strategy`] with [`Strategy::prop_map`] and [`Strategy::prop_filter`],
+//! - range strategies (`0u8..5`, `-1.0f32..1.0`), tuple strategies,
+//!   [`Just`], [`any`], [`collection::vec`], and [`prop_oneof!`],
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics
+//! with the case number and message. Generation is seeded per test from a
+//! fixed constant, so runs are deterministic.
+
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// The generator handed to strategies. A thin alias over the workspace's
+/// deterministic [`StdRng`].
+pub type TestRng = StdRng;
+
+/// How many cases each property runs, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the case is skipped, not a failure.
+    Reject(String),
+    /// A `prop_assert*!` failed: the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from any message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection from any message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A generator of values, mirroring `proptest::strategy::Strategy` without
+/// shrinking support.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `pred` holds. Sampling retries up to a
+    /// fixed bound and panics (citing `reason`) if nothing passes — real
+    /// proptest would reject the case instead.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+    }
+}
+
+/// Always-this-value strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary` in spirit.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over all values of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from pre-boxed alternatives. Panics on an empty list.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Box a strategy for use in heterogeneous [`Union`] arms.
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+    use rand::Rng;
+
+    /// Lengths accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    pub trait IntoLenRange {
+        /// Resolve to a concrete length for one sample.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoLenRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S, L> Strategy for VecStrategy<S, L>
+    where
+        S: Strategy,
+        L: IntoLenRange,
+    {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vector strategy, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Everything a property suite imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Run one deterministic property: sample `cases` times, treat
+/// [`TestCaseError::Reject`] as a skip and [`TestCaseError::Fail`] as a
+/// panic. Backs the [`proptest!`] macro; not part of the public proptest
+/// API surface.
+pub fn run_property<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for i in 0..cfg.cases {
+        // Deterministic per-case seed; decorrelated across case index.
+        let mut rng = TestRng::seed_from_u64(0x5EED_0000_u64 ^ (u64::from(i) << 16));
+        match case(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property '{name}' falsified at case {i}/{}: {msg}",
+                    cfg.cases
+                );
+            }
+        }
+    }
+}
+
+/// Property-test entry macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])+
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])+
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&cfg, stringify!($name), |rng| {
+                $(let $pat = $crate::Strategy::sample(&($strat), rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies, mirroring `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Fallible assertion inside a property, mirroring `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion, mirroring `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fallible inequality assertion, mirroring `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case when its inputs are unsuitable, mirroring
+/// `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        crate::run_property(&ProptestConfig::with_cases(10), "always_false", |_rng| {
+            prop_assert!(false);
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u8..5, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn map_filter_oneof_compose(
+            v in crate::collection::vec(-10.0f32..10.0, 3)
+                .prop_filter("nonzero", |v| v.iter().any(|&x| x != 0.0)),
+            c in prop_oneof![Just(1u8), Just(2u8)],
+            (a, b) in (0u64..5, 10u64..15),
+        ) {
+            prop_assert!(v.len() == 3);
+            prop_assert!(c == 1 || c == 2);
+            prop_assert!(a < 5 && (10..15).contains(&b));
+            let doubled = Just(21u32).prop_map(|x| x * 2);
+            let mut rng = crate::TestRng::seed_from_u64(0);
+            prop_assert_eq!(Strategy::sample(&doubled, &mut rng), 42);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -22,9 +22,17 @@ pub fn random_indices<R: Rng>(pool_len: usize, k: usize, rng: &mut R) -> Vec<usi
 /// # Panics
 /// Panics if `k > keys.len()`.
 pub fn spread_by_key<R: Rng>(keys: &[f64], k: usize, rng: &mut R) -> Vec<usize> {
-    assert!(k <= keys.len(), "cannot sample {k} from a pool of {}", keys.len());
+    assert!(
+        k <= keys.len(),
+        "cannot sample {k} from a pool of {}",
+        keys.len()
+    );
     let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut picked = Vec::with_capacity(k);
     let n = order.len();
     for bin in 0..k {
@@ -97,11 +105,19 @@ mod tests {
     #[test]
     fn params_spread_spans_sizes() {
         use nasflat_space::Space;
-        let pool: Vec<Arch> = (0..64u64).map(|i| Arch::nb201_from_index(i * 241)).collect();
+        let pool: Vec<Arch> = (0..64u64)
+            .map(|i| Arch::nb201_from_index(i * 241))
+            .collect();
         let mut rng = StdRng::seed_from_u64(4);
         let idx = params_spread(&pool, 8, &mut rng);
-        let params: Vec<f64> = idx.iter().map(|&i| pool[i].cost_profile().total_params).collect();
-        assert!(params.windows(2).all(|w| w[0] <= w[1]), "bins are ordered: {params:?}");
+        let params: Vec<f64> = idx
+            .iter()
+            .map(|&i| pool[i].cost_profile().total_params)
+            .collect();
+        assert!(
+            params.windows(2).all(|w| w[0] <= w[1]),
+            "bins are ordered: {params:?}"
+        );
         let _ = Space::Nb201;
     }
 }

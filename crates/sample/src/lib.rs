@@ -102,7 +102,10 @@ impl Sampler {
     pub fn table3_roster() -> Vec<Sampler> {
         let mut v = vec![Sampler::LatencyOracle, Sampler::Random, Sampler::Params];
         for kind in EncodingKind::samplers() {
-            v.push(Sampler::Encoding { kind, method: SelectionMethod::Cosine });
+            v.push(Sampler::Encoding {
+                kind,
+                method: SelectionMethod::Cosine,
+            });
         }
         v
     }
@@ -125,7 +128,10 @@ impl Sampler {
     ) -> Result<Vec<usize>, SelectError> {
         let n = ctx.pool.len();
         if k > n {
-            return Err(SelectError::PoolTooSmall { requested: k, available: n });
+            return Err(SelectError::PoolTooSmall {
+                requested: k,
+                available: n,
+            });
         }
         match self {
             Sampler::Random => Ok(random_indices(n, k, rng)),
@@ -138,8 +144,9 @@ impl Sampler {
                 Ok(latency_spread(lat, k, rng))
             }
             Sampler::Encoding { kind, method } => {
-                let suite =
-                    ctx.encodings.expect("Encoding sampler needs an EncodingSuite in the context");
+                let suite = ctx
+                    .encodings
+                    .expect("Encoding sampler needs an EncodingSuite in the context");
                 assert_eq!(suite.pool_len(), n, "encoding suite must cover the pool");
                 let rows = suite.rows(*kind);
                 match method {
@@ -166,7 +173,11 @@ pub struct SamplerContext<'a> {
 impl<'a> SamplerContext<'a> {
     /// Context with just the pool.
     pub fn new(pool: &'a [Arch]) -> Self {
-        SamplerContext { pool, encodings: None, target_latencies: None }
+        SamplerContext {
+            pool,
+            encodings: None,
+            target_latencies: None,
+        }
     }
 
     /// Attaches an encoding suite.
@@ -190,7 +201,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn pool(n: usize) -> Vec<Arch> {
-        (0..n as u64).map(|i| Arch::nb201_from_index(i * 389 % 15625)).collect()
+        (0..n as u64)
+            .map(|i| Arch::nb201_from_index(i * 389 % 15625))
+            .collect()
     }
 
     #[test]
@@ -198,7 +211,9 @@ mod tests {
         let p = pool(40);
         let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
         let lat: Vec<f32> = (0..40).map(|i| i as f32).collect();
-        let ctx = SamplerContext::new(&p).with_encodings(&suite).with_target_latencies(&lat);
+        let ctx = SamplerContext::new(&p)
+            .with_encodings(&suite)
+            .with_target_latencies(&lat);
         let mut rng = StdRng::seed_from_u64(0);
         for sampler in Sampler::table3_roster() {
             let picked = sampler.select(10, &ctx, &mut rng).unwrap();
@@ -211,8 +226,10 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         assert_eq!(Sampler::LatencyOracle.label(), "Latency (Oracle)");
-        let caz =
-            Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::KMeans };
+        let caz = Sampler::Encoding {
+            kind: EncodingKind::Caz,
+            method: SelectionMethod::KMeans,
+        };
         assert_eq!(caz.label(), "CAZ+kmeans");
     }
 
@@ -233,7 +250,10 @@ mod tests {
         let p = pool(5);
         let ctx = SamplerContext::new(&p);
         let mut rng = StdRng::seed_from_u64(2);
-        let s = Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::Cosine };
+        let s = Sampler::Encoding {
+            kind: EncodingKind::Zcp,
+            method: SelectionMethod::Cosine,
+        };
         let _ = s.select(2, &ctx, &mut rng);
     }
 }

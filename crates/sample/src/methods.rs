@@ -28,11 +28,23 @@ pub enum SelectError {
 impl core::fmt::Display for SelectError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            SelectError::PoolTooSmall { requested, available } => {
-                write!(f, "requested {requested} samples from a pool of {available}")
+            SelectError::PoolTooSmall {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} samples from a pool of {available}"
+                )
             }
-            SelectError::DegenerateClusters { nonempty, requested } => {
-                write!(f, "k-means produced {nonempty}/{requested} non-empty clusters")
+            SelectError::DegenerateClusters {
+                nonempty,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "k-means produced {nonempty}/{requested} non-empty clusters"
+                )
             }
         }
     }
@@ -53,7 +65,10 @@ pub fn cosine_select<R: Rng>(
     rng: &mut R,
 ) -> Result<Vec<usize>, SelectError> {
     if k > rows.len() {
-        return Err(SelectError::PoolTooSmall { requested: k, available: rows.len() });
+        return Err(SelectError::PoolTooSmall {
+            requested: k,
+            available: rows.len(),
+        });
     }
     let mut picked: Vec<usize> = Vec::with_capacity(k);
     if k == 0 {
@@ -61,7 +76,10 @@ pub fn cosine_select<R: Rng>(
     }
     picked.push(rng.random_range(0..rows.len()));
     // max similarity to the picked set, per candidate
-    let mut max_sim: Vec<f32> = rows.iter().map(|r| cosine_similarity(r, &rows[picked[0]])).collect();
+    let mut max_sim: Vec<f32> = rows
+        .iter()
+        .map(|r| cosine_similarity(r, &rows[picked[0]]))
+        .collect();
     while picked.len() < k {
         let mut best = None;
         let mut best_sim = f32::INFINITY;
@@ -87,7 +105,10 @@ pub fn cosine_select<R: Rng>(
 }
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum()
 }
 
 /// k-means medoid selection: clusters the encodings with Lloyd's algorithm
@@ -105,7 +126,10 @@ pub fn kmeans_select<R: Rng>(
     rng: &mut R,
 ) -> Result<Vec<usize>, SelectError> {
     if k > rows.len() {
-        return Err(SelectError::PoolTooSmall { requested: k, available: rows.len() });
+        return Err(SelectError::PoolTooSmall {
+            requested: k,
+            available: rows.len(),
+        });
     }
     if k == 0 {
         return Ok(Vec::new());
@@ -121,7 +145,10 @@ pub fn kmeans_select<R: Rng>(
         if total <= f64::EPSILON {
             // All remaining mass is on already-chosen points: the encoding
             // space has < k distinct points.
-            return Err(SelectError::DegenerateClusters { nonempty: centroids.len(), requested: k });
+            return Err(SelectError::DegenerateClusters {
+                nonempty: centroids.len(),
+                requested: k,
+            });
         }
         let mut target = rng.random_range(0.0..total);
         let mut chosen = n - 1;
@@ -166,9 +193,12 @@ pub fn kmeans_select<R: Rng>(
                 *s += v as f64;
             }
         }
-        if counts.iter().any(|&c| c == 0) {
+        if counts.contains(&0) {
             let nonempty = counts.iter().filter(|&&c| c > 0).count();
-            return Err(SelectError::DegenerateClusters { nonempty, requested: k });
+            return Err(SelectError::DegenerateClusters {
+                nonempty,
+                requested: k,
+            });
         }
         for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
             for (cv, &s) in c.iter_mut().zip(sum) {
@@ -191,16 +221,22 @@ pub fn kmeans_select<R: Rng>(
             medoids[c] = i;
         }
     }
-    if medoids.iter().any(|&m| m == usize::MAX) {
+    if medoids.contains(&usize::MAX) {
         let nonempty = medoids.iter().filter(|&&m| m != usize::MAX).count();
-        return Err(SelectError::DegenerateClusters { nonempty, requested: k });
+        return Err(SelectError::DegenerateClusters {
+            nonempty,
+            requested: k,
+        });
     }
     // Medoids can coincide when clusters share a closest point after ties;
     // deduplicate defensively and fail loudly if coverage was lost.
     let mut seen = std::collections::HashSet::new();
     for &m in &medoids {
         if !seen.insert(m) {
-            return Err(SelectError::DegenerateClusters { nonempty: seen.len(), requested: k });
+            return Err(SelectError::DegenerateClusters {
+                nonempty: seen.len(),
+                requested: k,
+            });
         }
     }
     Ok(medoids)
@@ -254,7 +290,10 @@ mod tests {
         let rows = vec![vec![1.0, 1.0]; 10];
         let mut rng = StdRng::seed_from_u64(1);
         let err = kmeans_select(&rows, 3, &mut rng).unwrap_err();
-        assert!(matches!(err, SelectError::DegenerateClusters { .. }), "{err}");
+        assert!(
+            matches!(err, SelectError::DegenerateClusters { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -288,7 +327,10 @@ mod tests {
         }
         let cm: f32 = cos_sims.iter().sum::<f32>() / cos_sims.len() as f32;
         let rm: f32 = rand_sims.iter().sum::<f32>() / rand_sims.len() as f32;
-        assert!(cm < rm, "cosine {cm} should be more diverse than random {rm}");
+        assert!(
+            cm < rm,
+            "cosine {cm} should be more diverse than random {rm}"
+        );
     }
 
     #[test]

@@ -84,7 +84,11 @@ impl Arch {
     /// Panics if the genotype length or any op id is out of range for the
     /// space.
     pub fn new(space: Space, genotype: Vec<u8>) -> Self {
-        assert_eq!(genotype.len(), space.genotype_len(), "genotype length mismatch");
+        assert_eq!(
+            genotype.len(),
+            space.genotype_len(),
+            "genotype length mismatch"
+        );
         let num_ops = space.num_ops() as u8;
         assert!(
             genotype.iter().all(|&g| g < num_ops),
@@ -106,7 +110,10 @@ impl Arch {
             *slot = (rest % 5) as u8;
             rest /= 5;
         }
-        Arch { space: Space::Nb201, genotype }
+        Arch {
+            space: Space::Nb201,
+            genotype,
+        }
     }
 
     /// The NB201 index of this architecture (inverse of
@@ -116,13 +123,17 @@ impl Arch {
     /// Panics when called on an FBNet architecture.
     pub fn nb201_index(&self) -> u64 {
         assert_eq!(self.space, Space::Nb201, "nb201_index on non-NB201 arch");
-        self.genotype.iter().rev().fold(0u64, |acc, &g| acc * 5 + g as u64)
+        self.genotype
+            .iter()
+            .rev()
+            .fold(0u64, |acc, &g| acc * 5 + g as u64)
     }
 
     /// Uniform random architecture.
     pub fn random<R: Rng>(space: Space, rng: &mut R) -> Self {
-        let genotype =
-            (0..space.genotype_len()).map(|_| rng.random_range(0..space.num_ops()) as u8).collect();
+        let genotype = (0..space.genotype_len())
+            .map(|_| rng.random_range(0..space.num_ops()) as u8)
+            .collect();
         Arch { space, genotype }
     }
 

@@ -18,20 +18,32 @@ pub struct OpCost {
 
 impl OpCost {
     /// The zero cost (identity/zeroize-style ops).
-    pub const ZERO: OpCost = OpCost { flops: 0.0, params: 0.0, mem: 0.0 };
+    pub const ZERO: OpCost = OpCost {
+        flops: 0.0,
+        params: 0.0,
+        mem: 0.0,
+    };
+
+    /// Scales all components (used for cell repetitions across stages).
+    pub fn scale(self, k: f64) -> OpCost {
+        OpCost {
+            flops: self.flops * k,
+            params: self.params * k,
+            mem: self.mem * k,
+        }
+    }
+}
+
+impl core::ops::Add for OpCost {
+    type Output = OpCost;
 
     /// Element-wise sum.
-    pub fn add(self, other: OpCost) -> OpCost {
+    fn add(self, other: OpCost) -> OpCost {
         OpCost {
             flops: self.flops + other.flops,
             params: self.params + other.params,
             mem: self.mem + other.mem,
         }
-    }
-
-    /// Scales all components (used for cell repetitions across stages).
-    pub fn scale(self, k: f64) -> OpCost {
-        OpCost { flops: self.flops * k, params: self.params * k, mem: self.mem * k }
     }
 }
 
@@ -57,7 +69,12 @@ impl CostProfile {
         let total_flops = node_costs.iter().map(|c| c.flops).sum();
         let total_params = node_costs.iter().map(|c| c.params).sum();
         let total_mem = node_costs.iter().map(|c| c.mem).sum();
-        CostProfile { total_flops, total_params, total_mem, node_costs }
+        CostProfile {
+            total_flops,
+            total_params,
+            total_mem,
+            node_costs,
+        }
     }
 }
 
@@ -69,8 +86,16 @@ mod tests {
     fn totals_sum_nodes() {
         let p = CostProfile::from_nodes(vec![
             OpCost::ZERO,
-            OpCost { flops: 10.0, params: 2.0, mem: 4.0 },
-            OpCost { flops: 5.0, params: 1.0, mem: 2.0 },
+            OpCost {
+                flops: 10.0,
+                params: 2.0,
+                mem: 4.0,
+            },
+            OpCost {
+                flops: 5.0,
+                params: 1.0,
+                mem: 2.0,
+            },
         ]);
         assert_eq!(p.total_flops, 15.0);
         assert_eq!(p.total_params, 3.0);
@@ -79,9 +104,18 @@ mod tests {
 
     #[test]
     fn scale_and_add() {
-        let c = OpCost { flops: 1.0, params: 2.0, mem: 3.0 }.scale(2.0);
+        let c = OpCost {
+            flops: 1.0,
+            params: 2.0,
+            mem: 3.0,
+        }
+        .scale(2.0);
         assert_eq!(c.flops, 2.0);
-        let s = c.add(OpCost { flops: 1.0, params: 1.0, mem: 1.0 });
+        let s = c + OpCost {
+            flops: 1.0,
+            params: 1.0,
+            mem: 1.0,
+        };
         assert_eq!(s.params, 5.0);
     }
 }

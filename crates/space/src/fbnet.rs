@@ -35,13 +35,41 @@ pub struct FbnetStage {
 /// The macro skeleton: 22 searchable positions across 7 stages
 /// (channel progression follows the FBNet paper).
 pub const FBNET_STAGES: &[FbnetStage] = &[
-    FbnetStage { blocks: 1, channels: 16.0, stride: 1 },
-    FbnetStage { blocks: 4, channels: 24.0, stride: 2 },
-    FbnetStage { blocks: 4, channels: 32.0, stride: 2 },
-    FbnetStage { blocks: 4, channels: 64.0, stride: 2 },
-    FbnetStage { blocks: 4, channels: 112.0, stride: 1 },
-    FbnetStage { blocks: 4, channels: 184.0, stride: 2 },
-    FbnetStage { blocks: 1, channels: 352.0, stride: 1 },
+    FbnetStage {
+        blocks: 1,
+        channels: 16.0,
+        stride: 1,
+    },
+    FbnetStage {
+        blocks: 4,
+        channels: 24.0,
+        stride: 2,
+    },
+    FbnetStage {
+        blocks: 4,
+        channels: 32.0,
+        stride: 2,
+    },
+    FbnetStage {
+        blocks: 4,
+        channels: 64.0,
+        stride: 2,
+    },
+    FbnetStage {
+        blocks: 4,
+        channels: 112.0,
+        stride: 1,
+    },
+    FbnetStage {
+        blocks: 4,
+        channels: 184.0,
+        stride: 2,
+    },
+    FbnetStage {
+        blocks: 1,
+        channels: 352.0,
+        stride: 1,
+    },
 ];
 
 /// Input spatial resolution at the first searchable block.
@@ -100,12 +128,20 @@ pub fn to_graph(genotype: &[u8]) -> ArchGraph {
 /// Cost of one block at a position config.
 fn block_cost(block: u8, c_in: f64, c_out: f64, stride: usize, spatial_in: f64) -> OpCost {
     let (k, e, g, is_skip) = block_params(block);
-    let s_out = if stride == 2 { spatial_in / 2.0 } else { spatial_in };
+    let s_out = if stride == 2 {
+        spatial_in / 2.0
+    } else {
+        spatial_in
+    };
     let hw_in = spatial_in * spatial_in;
     let hw_out = s_out * s_out;
     if is_skip {
         if c_in == c_out && stride == 1 {
-            return OpCost { flops: 0.0, params: 0.0, mem: c_in * hw_in };
+            return OpCost {
+                flops: 0.0,
+                params: 0.0,
+                mem: c_in * hw_in,
+            };
         }
         // Shape-changing skip needs a 1x1 projection.
         return OpCost {
@@ -130,7 +166,11 @@ fn block_cost(block: u8, c_in: f64, c_out: f64, stride: usize, spatial_in: f64) 
     params += c_mid * c_out / g;
     // batch norms
     params += 2.0 * (c_mid + c_out);
-    OpCost { flops, params, mem: c_in * hw_in + c_mid * hw_out + c_out * hw_out }
+    OpCost {
+        flops,
+        params,
+        mem: c_in * hw_in + c_mid * hw_out + c_out * hw_out,
+    }
 }
 
 /// Per-node cost profile over the 24-node chain graph.
@@ -154,8 +194,9 @@ pub fn fbnet_pool(seed: u64, n: usize) -> Vec<Arch> {
     let mut seen: HashSet<Vec<u8>> = HashSet::with_capacity(n);
     let mut pool = Vec::with_capacity(n);
     while pool.len() < n {
-        let geno: Vec<u8> =
-            (0..FBNET_POSITIONS).map(|_| rng.random_range(0..FBNET_BLOCKS.len()) as u8).collect();
+        let geno: Vec<u8> = (0..FBNET_POSITIONS)
+            .map(|_| rng.random_range(0..FBNET_BLOCKS.len()) as u8)
+            .collect();
         if seen.insert(geno.clone()) {
             pool.push(Arch::new(Space::Fbnet, geno));
         }

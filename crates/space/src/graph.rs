@@ -34,10 +34,17 @@ impl ArchGraph {
         let mut adj = vec![0.0f32; num_nodes * num_nodes];
         for &(u, v) in edges {
             assert!(u < num_nodes && v < num_nodes, "edge endpoint out of range");
-            assert!(u < v, "edges must be topologically forward (got {u} -> {v})");
+            assert!(
+                u < v,
+                "edges must be topologically forward (got {u} -> {v})"
+            );
             adj[u * num_nodes + v] = 1.0;
         }
-        ArchGraph { num_nodes, adj, ops }
+        ArchGraph {
+            num_nodes,
+            adj,
+            ops,
+        }
     }
 
     /// Number of nodes.
@@ -62,12 +69,16 @@ impl ArchGraph {
 
     /// Predecessors of node `j` in index order.
     pub fn preds(&self, j: usize) -> Vec<usize> {
-        (0..self.num_nodes).filter(|&i| self.adj(i, j) != 0.0).collect()
+        (0..self.num_nodes)
+            .filter(|&i| self.adj(i, j) != 0.0)
+            .collect()
     }
 
     /// Successors of node `i` in index order.
     pub fn succs(&self, i: usize) -> Vec<usize> {
-        (0..self.num_nodes).filter(|&j| self.adj(i, j) != 0.0).collect()
+        (0..self.num_nodes)
+            .filter(|&j| self.adj(i, j) != 0.0)
+            .collect()
     }
 
     /// Length (in op nodes) of the longest INPUT→OUTPUT path; a depth
@@ -183,7 +194,7 @@ mod tests {
             assert_eq!(p[i * 3 + i], 1.0, "self-loop at {i}");
         }
         // node 1's row has a one at its predecessor 0
-        assert_eq!(p[1 * 3], 1.0);
+        assert_eq!(p[3], 1.0);
         // node 0 (INPUT) has no predecessors besides itself
         assert_eq!(p[1], 0.0);
         assert_eq!(p[2], 0.0);

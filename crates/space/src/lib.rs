@@ -25,8 +25,8 @@ mod nb201;
 mod opdesc;
 
 pub use arch::{Arch, Space};
-pub use opdesc::{OpDesc, OpKind};
 pub use cost::{CostProfile, OpCost};
 pub use fbnet::{fbnet_pool, FbnetStage, FBNET_BLOCKS, FBNET_POSITIONS, FBNET_STAGES};
 pub use graph::ArchGraph;
 pub use nb201::{NB201_EDGES, NB201_NUM_ARCHS, NB201_OPS};
+pub use opdesc::{OpDesc, OpKind};

@@ -9,8 +9,13 @@ use crate::cost::{CostProfile, OpCost};
 use crate::graph::{ArchGraph, OP_BASE, OP_INPUT, OP_OUTPUT};
 
 /// The five NB201 edge operations, indexed by genotype value.
-pub const NB201_OPS: &[&str] =
-    &["none", "skip_connect", "nor_conv_1x1", "nor_conv_3x3", "avg_pool_3x3"];
+pub const NB201_OPS: &[&str] = &[
+    "none",
+    "skip_connect",
+    "nor_conv_1x1",
+    "nor_conv_3x3",
+    "avg_pool_3x3",
+];
 
 /// Cell edges `(tail, head)` in canonical NB201 order.
 pub const NB201_EDGES: &[(usize, usize)] = &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)];
@@ -62,7 +67,11 @@ fn edge_cost(op: u8, c: f64, s: f64) -> OpCost {
     let hw = s * s;
     match op {
         OP_NONE => OpCost::ZERO,
-        OP_SKIP => OpCost { flops: 0.0, params: 0.0, mem: c * hw },
+        OP_SKIP => OpCost {
+            flops: 0.0,
+            params: 0.0,
+            mem: c * hw,
+        },
         OP_CONV1X1 => OpCost {
             flops: c * c * hw,
             params: c * c + 2.0 * c,
@@ -73,7 +82,11 @@ fn edge_cost(op: u8, c: f64, s: f64) -> OpCost {
             params: 9.0 * c * c + 2.0 * c,
             mem: 2.0 * c * hw,
         },
-        OP_AVGPOOL => OpCost { flops: 9.0 * c * hw, params: 0.0, mem: 2.0 * c * hw },
+        OP_AVGPOOL => OpCost {
+            flops: 9.0 * c * hw,
+            params: 0.0,
+            mem: 2.0 * c * hw,
+        },
         _ => unreachable!("invalid NB201 op id {op}"),
     }
 }
@@ -86,7 +99,7 @@ pub fn cost_profile(genotype: &[u8]) -> CostProfile {
     for (i, &op) in genotype.iter().enumerate() {
         let mut total = OpCost::ZERO;
         for &(c, s, reps) in STAGES {
-            total = total.add(edge_cost(op, c, s).scale(reps));
+            total = total + edge_cost(op, c, s).scale(reps);
         }
         node_costs[i + 1] = total;
     }
@@ -125,14 +138,14 @@ mod tests {
 
     #[test]
     fn conv3x3_is_nine_times_conv1x1_flops() {
-        let p1 = cost_profile(&[OP_CONV1X1 as u8, 0, 0, 0, 0, 0]);
-        let p3 = cost_profile(&[OP_CONV3X3 as u8, 0, 0, 0, 0, 0]);
+        let p1 = cost_profile(&[OP_CONV1X1, 0, 0, 0, 0, 0]);
+        let p3 = cost_profile(&[OP_CONV3X3, 0, 0, 0, 0, 0]);
         assert!((p3.total_flops / p1.total_flops - 9.0).abs() < 1e-9);
     }
 
     #[test]
     fn pool_has_no_params() {
-        let p = cost_profile(&[OP_AVGPOOL as u8; 6]);
+        let p = cost_profile(&[OP_AVGPOOL; 6]);
         assert_eq!(p.total_params, 0.0);
         assert!(p.total_flops > 0.0);
     }

@@ -43,7 +43,13 @@ pub struct OpDesc {
 
 impl OpDesc {
     const fn simple(kind: OpKind) -> OpDesc {
-        OpDesc { kind, kernel: 0, expansion: 1, groups: 1, dw_fraction: 0.0 }
+        OpDesc {
+            kind,
+            kernel: 0,
+            expansion: 1,
+            groups: 1,
+            dw_fraction: 0.0,
+        }
     }
 }
 
@@ -53,7 +59,11 @@ impl OpDesc {
 fn block_dw_fraction(kernel: f64, expansion: f64, groups: f64) -> f32 {
     let c = 64.0;
     let dw = kernel * kernel;
-    let pointwise = if expansion > 1.0 { 2.0 * c / groups } else { c / groups };
+    let pointwise = if expansion > 1.0 {
+        2.0 * c / groups
+    } else {
+        c / groups
+    };
     (dw / (dw + pointwise)) as f32
 }
 
@@ -63,7 +73,10 @@ impl Space {
     /// # Panics
     /// Panics if `vocab_id >= self.vocab_size()`.
     pub fn op_desc(self, vocab_id: usize) -> OpDesc {
-        assert!(vocab_id < self.vocab_size(), "vocab id {vocab_id} out of range");
+        assert!(
+            vocab_id < self.vocab_size(),
+            "vocab id {vocab_id} out of range"
+        );
         match vocab_id {
             0 => OpDesc::simple(OpKind::Input),
             1 => OpDesc::simple(OpKind::Output),
@@ -76,9 +89,27 @@ impl Space {
             Space::Nb201 => match op {
                 0 => OpDesc::simple(OpKind::None),
                 1 => OpDesc::simple(OpKind::Skip),
-                2 => OpDesc { kind: OpKind::Conv, kernel: 1, expansion: 1, groups: 1, dw_fraction: 0.0 },
-                3 => OpDesc { kind: OpKind::Conv, kernel: 3, expansion: 1, groups: 1, dw_fraction: 0.0 },
-                4 => OpDesc { kind: OpKind::Pool, kernel: 3, expansion: 1, groups: 1, dw_fraction: 0.0 },
+                2 => OpDesc {
+                    kind: OpKind::Conv,
+                    kernel: 1,
+                    expansion: 1,
+                    groups: 1,
+                    dw_fraction: 0.0,
+                },
+                3 => OpDesc {
+                    kind: OpKind::Conv,
+                    kernel: 3,
+                    expansion: 1,
+                    groups: 1,
+                    dw_fraction: 0.0,
+                },
+                4 => OpDesc {
+                    kind: OpKind::Pool,
+                    kernel: 3,
+                    expansion: 1,
+                    groups: 1,
+                    dw_fraction: 0.0,
+                },
                 _ => unreachable!("invalid NB201 op {op}"),
             },
             Space::Fbnet => {
@@ -128,7 +159,10 @@ mod tests {
     #[test]
     fn fbnet_descriptors() {
         let b = Space::Fbnet.op_desc(2); // k3_e1
-        assert_eq!((b.kind, b.kernel, b.expansion, b.groups), (OpKind::Block, 3, 1, 1));
+        assert_eq!(
+            (b.kind, b.kernel, b.expansion, b.groups),
+            (OpKind::Block, 3, 1, 1)
+        );
         let g = Space::Fbnet.op_desc(3); // k3_e1_g2
         assert_eq!(g.groups, 2);
         let k5e6 = Space::Fbnet.op_desc(9); // k5_e6

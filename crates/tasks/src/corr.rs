@@ -93,9 +93,13 @@ impl CorrelationMatrix {
         let mut total = 0.0f64;
         let mut count = 0usize;
         for x in a {
-            let i = self.index_of(x).unwrap_or_else(|| panic!("unknown device '{x}'"));
+            let i = self
+                .index_of(x)
+                .unwrap_or_else(|| panic!("unknown device '{x}'"));
             for y in b {
-                let j = self.index_of(y).unwrap_or_else(|| panic!("unknown device '{y}'"));
+                let j = self
+                    .index_of(y)
+                    .unwrap_or_else(|| panic!("unknown device '{y}'"));
                 if i == j {
                     continue;
                 }
@@ -128,7 +132,9 @@ pub fn probe_pool(space: Space, n: usize, seed: u64) -> Vec<Arch> {
         Space::Nb201 => {
             let total = 15_625u64;
             let stride = (total / n as u64).max(1);
-            (0..n as u64).map(|i| Arch::nb201_from_index((i * stride + seed) % total)).collect()
+            (0..n as u64)
+                .map(|i| Arch::nb201_from_index((i * stride + seed) % total))
+                .collect()
         }
         Space::Fbnet => fbnet_pool(seed, n),
     }

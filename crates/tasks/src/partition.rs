@@ -66,7 +66,7 @@ pub fn kernighan_lin(corr: &CorrelationMatrix, seed: u64) -> (Vec<usize>, Vec<us
                         continue;
                     }
                     let g = d[a] + d[b] - 2.0 * w(a, b);
-                    if best.map_or(true, |(_, _, bg)| g > bg) {
+                    if best.is_none_or(|(_, _, bg)| g > bg) {
                         best = Some((a, b, g));
                     }
                 }
@@ -211,7 +211,12 @@ pub fn generate_task(
         Space::Nb201 => "NG",
         Space::Fbnet => "FG",
     };
-    Ok(Task::new(&format!("{prefix}{seed}"), space, &train_refs, &test_refs))
+    Ok(Task::new(
+        &format!("{prefix}{seed}"),
+        space,
+        &train_refs,
+        &test_refs,
+    ))
 }
 
 #[cfg(test)]
@@ -242,11 +247,9 @@ mod tests {
         // minimal intra-group correlation").
         let m = nb201_matrix();
         let (a, b) = kernighan_lin(&m, 2);
-        let names = |idx: &[usize]| -> Vec<String> {
-            idx.iter().map(|&i| m.names()[i].clone()).collect()
-        };
-        let kl_within =
-            (m.mean_within(&names(&a)) + m.mean_within(&names(&b))) / 2.0;
+        let names =
+            |idx: &[usize]| -> Vec<String> { idx.iter().map(|&i| m.names()[i].clone()).collect() };
+        let kl_within = (m.mean_within(&names(&a)) + m.mean_within(&names(&b))) / 2.0;
         let mut rand_within = 0.0f32;
         let mut count = 0;
         for seed in 10..15u64 {
@@ -270,9 +273,8 @@ mod tests {
         let m = nb201_matrix();
         let (train, test) = partition_devices(&m, 5, 5, 2).unwrap();
         let algo = m.mean_cross(&train, &test);
-        let names = |idx: &[usize]| -> Vec<String> {
-            idx.iter().map(|&i| m.names()[i].clone()).collect()
-        };
+        let names =
+            |idx: &[usize]| -> Vec<String> { idx.iter().map(|&i| m.names()[i].clone()).collect() };
         let mut rand_cross = 0.0f32;
         let mut count = 0;
         for seed in 20..26u64 {

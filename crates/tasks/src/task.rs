@@ -29,7 +29,10 @@ impl Task {
     /// Panics if a device name is unknown, appears on both sides, or either
     /// side is empty.
     pub fn new(name: &str, space: Space, train: &[&str], test: &[&str]) -> Self {
-        assert!(!train.is_empty() && !test.is_empty(), "task {name} has an empty side");
+        assert!(
+            !train.is_empty() && !test.is_empty(),
+            "task {name} has an empty side"
+        );
         let registry = DeviceRegistry::for_space(space);
         for dev in train.iter().chain(test) {
             assert!(
@@ -38,7 +41,10 @@ impl Task {
             );
         }
         for dev in train {
-            assert!(!test.contains(dev), "task {name}: device '{dev}' on both sides");
+            assert!(
+                !test.contains(dev),
+                "task {name}: device '{dev}' on both sides"
+            );
         }
         Task {
             name: name.to_string(),
@@ -96,7 +102,14 @@ pub fn nb201_tasks() -> Vec<Task> {
             "essential_ph_1",
             "samsung_s7",
         ],
-        &["titan_rtx_256", "gold_6226", "fpga", "pixel2", "raspi4", "eyeriss"],
+        &[
+            "titan_rtx_256",
+            "gold_6226",
+            "fpga",
+            "pixel2",
+            "raspi4",
+            "eyeriss",
+        ],
     );
     let na_train: Vec<String> = gpu_names(&[1, 32])
         .into_iter()
@@ -114,8 +127,12 @@ pub fn nb201_tasks() -> Vec<Task> {
         )
         .collect();
     let na_train_refs: Vec<&str> = na_train.iter().map(String::as_str).collect();
-    let na =
-        Task::new("NA", s, &na_train_refs, &["eyeriss", "gtx_1080ti_fp32", "edge_tpu_int8"]);
+    let na = Task::new(
+        "NA",
+        s,
+        &na_train_refs,
+        &["eyeriss", "gtx_1080ti_fp32", "edge_tpu_int8"],
+    );
     let n1 = Task::new(
         "N1",
         s,
@@ -126,12 +143,24 @@ pub fn nb201_tasks() -> Vec<Task> {
             "snapdragon_855_adreno_640_int8",
             "pixel3",
         ],
-        &["1080ti_1", "titan_rtx_32", "titanxp_1", "2080ti_32", "titan_rtx_1"],
+        &[
+            "1080ti_1",
+            "titan_rtx_32",
+            "titanxp_1",
+            "2080ti_32",
+            "titan_rtx_1",
+        ],
     );
     let n2 = Task::new(
         "N2",
         s,
-        &["1080ti_1", "1080ti_32", "titanx_32", "titanxp_1", "titanxp_32"],
+        &[
+            "1080ti_1",
+            "1080ti_32",
+            "titanx_32",
+            "titanxp_1",
+            "titanxp_32",
+        ],
         &[
             "jetson_nano_fp16",
             "edge_tpu_int8",
@@ -150,7 +179,13 @@ pub fn nb201_tasks() -> Vec<Task> {
             "snapdragon_675_hexagon_685_int8",
             "snapdragon_855_adreno_640_int8",
         ],
-        &["1080ti_1", "2080ti_1", "titanxp_1", "2080ti_32", "titanxp_32"],
+        &[
+            "1080ti_1",
+            "2080ti_1",
+            "titanxp_1",
+            "2080ti_32",
+            "titanxp_32",
+        ],
     );
     let n4 = Task::new(
         "N4",
@@ -202,20 +237,44 @@ pub fn fbnet_tasks() -> Vec<Task> {
     let f1 = Task::new(
         "F1",
         s,
-        &["2080ti_1", "essential_ph_1", "silver_4114", "titan_rtx_1", "titan_rtx_32"],
+        &[
+            "2080ti_1",
+            "essential_ph_1",
+            "silver_4114",
+            "titan_rtx_1",
+            "titan_rtx_32",
+        ],
         &["eyeriss", "fpga", "raspi4", "samsung_a50", "samsung_s7"],
     );
     let f2 = Task::new(
         "F2",
         s,
-        &["essential_ph_1", "gold_6226", "gold_6240", "pixel3", "raspi4"],
-        &["1080ti_1", "1080ti_32", "2080ti_32", "titan_rtx_1", "titanxp_1"],
+        &[
+            "essential_ph_1",
+            "gold_6226",
+            "gold_6240",
+            "pixel3",
+            "raspi4",
+        ],
+        &[
+            "1080ti_1",
+            "1080ti_32",
+            "2080ti_32",
+            "titan_rtx_1",
+            "titanxp_1",
+        ],
     );
     let f3 = Task::new(
         "F3",
         s,
         &["essential_ph_1", "pixel2", "pixel3", "raspi4", "samsung_s7"],
-        &["1080ti_1", "1080ti_32", "2080ti_1", "titan_rtx_1", "titan_rtx_32"],
+        &[
+            "1080ti_1",
+            "1080ti_32",
+            "2080ti_1",
+            "titan_rtx_1",
+            "titan_rtx_32",
+        ],
     );
     let f4 = Task::new(
         "F4",
@@ -251,7 +310,10 @@ mod tests {
         let tasks = paper_tasks();
         assert_eq!(tasks.len(), 12);
         let names: Vec<&str> = tasks.iter().map(|t| t.name.as_str()).collect();
-        assert_eq!(names, ["ND", "NA", "N1", "N2", "N3", "N4", "FD", "FA", "F1", "F2", "F3", "F4"]);
+        assert_eq!(
+            names,
+            ["ND", "NA", "N1", "N2", "N3", "N4", "FD", "FA", "F1", "F2", "F3", "F4"]
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(256) }
+        Graph {
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     /// Number of nodes currently on the tape.
@@ -85,7 +87,14 @@ impl Graph {
 
     fn push_aux(&mut self, value: Tensor, op: Op, requires_grad: bool, aux: Vec<Tensor>) -> Var {
         let grad = Tensor::zeros(value.rows(), value.cols());
-        self.nodes.push(Node { value, grad, op, requires_grad, param: None, aux });
+        self.nodes.push(Node {
+            value,
+            grad,
+            op,
+            requires_grad,
+            param: None,
+            aux,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -155,7 +164,12 @@ impl Graph {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(&x, &y)| x * y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(&x, &y)| x * y)
+            .collect();
         let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MulElem(a, b), rg)
@@ -230,7 +244,9 @@ impl Graph {
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         let rg = self.rg(a);
         self.push(v, Op::LeakyRelu(a, slope), rg)
     }
@@ -244,7 +260,7 @@ impl Graph {
         }
         let mut v = Tensor::zeros(ta.rows(), ta.cols());
         for r in 0..ta.rows() {
-            let allowed = |c: usize| mask.as_ref().map_or(true, |m| m.get(r, c) != 0.0);
+            let allowed = |c: usize| mask.as_ref().is_none_or(|m| m.get(r, c) != 0.0);
             let mut maxv = f32::NEG_INFINITY;
             for c in 0..ta.cols() {
                 if allowed(c) {
@@ -291,14 +307,19 @@ impl Graph {
             let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / c as f32;
             let is = 1.0 / (var + EPS).sqrt();
             inv_std.set(i, 0, is);
-            for j in 0..c {
-                let xh = (row[j] - mu) * is;
+            for (j, &rv) in row.iter().enumerate() {
+                let xh = (rv - mu) * is;
                 xhat.set(i, j, xh);
                 out.set(i, j, xh * tg.get(0, j) + tb.get(0, j));
             }
         }
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
-        self.push_aux(out, Op::LayerNormRows { x, gamma, beta }, rg, vec![xhat, inv_std])
+        self.push_aux(
+            out,
+            Op::LayerNormRows { x, gamma, beta },
+            rg,
+            vec![xhat, inv_std],
+        )
     }
 
     /// Horizontal concatenation `[a | b]`. Row counts must match.
@@ -340,7 +361,11 @@ impl Graph {
         let ta = &self.nodes[a.0].value;
         let mut v = Tensor::zeros(indices.len(), ta.cols());
         for (i, &ix) in indices.iter().enumerate() {
-            assert!(ix < ta.rows(), "gather index {ix} out of range ({} rows)", ta.rows());
+            assert!(
+                ix < ta.rows(),
+                "gather index {ix} out of range ({} rows)",
+                ta.rows()
+            );
             v.row_mut(i).copy_from_slice(ta.row(ix));
         }
         let rg = self.rg(a);
@@ -391,7 +416,11 @@ impl Graph {
         let mut v = Tensor::zeros(shape.0, shape.1);
         let mut rg = false;
         for &x in vars {
-            assert_eq!(self.nodes[x.0].value.shape(), shape, "sum_vars shape mismatch");
+            assert_eq!(
+                self.nodes[x.0].value.shape(),
+                shape,
+                "sum_vars shape mismatch"
+            );
             v.axpy(1.0, &self.nodes[x.0].value);
             rg |= self.rg(x);
         }
@@ -548,7 +577,11 @@ impl Graph {
                 let mut dbeta = Tensor::zeros(1, c);
                 for row in 0..r {
                     for col in 0..c {
-                        dgamma.set(0, col, dgamma.get(0, col) + g.get(row, col) * xhat.get(row, col));
+                        dgamma.set(
+                            0,
+                            col,
+                            dgamma.get(0, col) + g.get(row, col) * xhat.get(row, col),
+                        );
                         dbeta.set(0, col, dbeta.get(0, col) + g.get(row, col));
                     }
                 }
@@ -649,7 +682,12 @@ impl Graph {
 
 fn elem_mul(a: &Tensor, b: &Tensor) -> Tensor {
     debug_assert_eq!(a.shape(), b.shape());
-    let data = a.data().iter().zip(b.data()).map(|(&x, &y)| x * y).collect();
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| x * y)
+        .collect();
     Tensor::from_vec(a.rows(), a.cols(), data)
 }
 

@@ -56,9 +56,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), Tensor::xavier_uniform(in_dim, out_dim, rng));
+        let w = store.add(
+            format!("{name}.w"),
+            Tensor::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = store.add(format!("{name}.b"), Tensor::zeros(1, out_dim));
-        Linear { w, b, in_dim, out_dim }
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input width.
@@ -249,7 +257,11 @@ mod tests {
         let mut g = Graph::new();
         let x = g.constant(Tensor::scalar(0.75));
         let y = mlp.forward(&mut g, &store, x);
-        assert!((g.value(y).item() - 1.5).abs() < 0.15, "got {}", g.value(y).item());
+        assert!(
+            (g.value(y).item() - 1.5).abs() < 0.15,
+            "got {}",
+            g.value(y).item()
+        );
     }
 
     #[test]

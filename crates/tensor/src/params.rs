@@ -36,11 +36,13 @@ impl core::fmt::Debug for ParamStore {
     }
 }
 
-
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        ParamStore { entries: Vec::new(), step: 0 }
+        ParamStore {
+            entries: Vec::new(),
+            step: 0,
+        }
     }
 
     /// Registers a parameter, returning its id.
@@ -139,9 +141,18 @@ impl ParamStore {
     /// # Panics
     /// Panics if the snapshot length or any shape differs.
     pub fn restore(&mut self, snapshot: &[Tensor]) {
-        assert_eq!(snapshot.len(), self.entries.len(), "snapshot layout mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.entries.len(),
+            "snapshot layout mismatch"
+        );
         for (e, s) in self.entries.iter_mut().zip(snapshot) {
-            assert_eq!(e.value.shape(), s.shape(), "snapshot shape mismatch for {}", e.name);
+            assert_eq!(
+                e.value.shape(),
+                s.shape(),
+                "snapshot shape mismatch for {}",
+                e.name
+            );
             e.value = s.clone();
         }
     }
@@ -223,7 +234,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 1e-5 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 1e-5,
+        }
     }
 }
 
@@ -244,7 +261,11 @@ mod tests {
         // minimize (w - 3)^2 from w = 0
         let mut store = ParamStore::new();
         let w = store.add("w", Tensor::scalar(0.0));
-        let cfg = AdamConfig { lr: 0.1, ..AdamConfig::default() }.with_lr(0.1);
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        }
+        .with_lr(0.1);
         for _ in 0..300 {
             store.zero_grads();
             let mut g = Graph::new();
@@ -299,7 +320,10 @@ mod tests {
         // (other than weight decay on near-zero value).
         let before = store.value(w).item();
         store.zero_grads();
-        store.adam_step(&AdamConfig { weight_decay: 0.0, ..AdamConfig::default() });
+        store.adam_step(&AdamConfig {
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        });
         assert!((store.value(w).item() - before).abs() < 1e-7);
     }
 

@@ -16,8 +16,6 @@
 //!   u32 name len | name bytes | u32 rows | u32 cols | rows*cols f32 values
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::params::ParamStore;
 
 /// Magic prefix of the weight format ("NasFlat Weights v1").
@@ -58,7 +56,10 @@ impl core::fmt::Display for LoadError {
                 write!(f, "blob has {found} parameters, store expects {expected}")
             }
             LoadError::LayoutMismatch { index, detail } => {
-                write!(f, "parameter {index} does not match the store layout: {detail}")
+                write!(
+                    f,
+                    "parameter {index} does not match the store layout: {detail}"
+                )
             }
         }
     }
@@ -66,24 +67,56 @@ impl core::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
+/// Little-endian cursor over a byte slice. Minimal local replacement for
+/// the `bytes::Buf` reads this module needs (no crates.io access).
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn peek(&self, n: usize) -> &'a [u8] {
+        &self.buf[..n]
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.buf = &self.buf[n..];
+    }
+
+    /// Caller must have checked `remaining() >= 4`.
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[..4].try_into().expect("length checked"));
+        self.advance(4);
+        v
+    }
+
+    /// Caller must have checked `remaining() >= 4`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
 impl ParamStore {
     /// Serializes all parameter values (not gradients or optimizer state).
-    pub fn save_weights(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.num_scalars() * 4);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(self.len() as u32);
+    pub fn save_weights(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.num_scalars() * 4);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
         for id in self.ids() {
             let name = self.name(id).as_bytes();
-            buf.put_u32_le(name.len() as u32);
-            buf.put_slice(name);
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name);
             let value = self.value(id);
-            buf.put_u32_le(value.rows() as u32);
-            buf.put_u32_le(value.cols() as u32);
+            buf.extend_from_slice(&(value.rows() as u32).to_le_bytes());
+            buf.extend_from_slice(&(value.cols() as u32).to_le_bytes());
             for &v in value.data() {
-                buf.put_f32_le(v);
+                buf.extend_from_slice(&v.to_le_bytes());
             }
         }
-        buf.freeze()
+        buf
     }
 
     /// Restores parameter values from a blob produced by
@@ -94,8 +127,8 @@ impl ParamStore {
     /// shapes) is rejected before any value is written, so a failed load
     /// leaves the store unchanged.
     pub fn load_weights(&mut self, blob: &[u8]) -> Result<(), LoadError> {
-        let mut cur = blob;
-        if cur.remaining() < 4 || &cur[..4] != MAGIC {
+        let mut cur = Reader { buf: blob };
+        if cur.remaining() < 4 || cur.peek(4) != MAGIC {
             return Err(LoadError::BadMagic);
         }
         cur.advance(4);
@@ -104,7 +137,10 @@ impl ParamStore {
         }
         let count = cur.get_u32_le() as usize;
         if count != self.len() {
-            return Err(LoadError::CountMismatch { found: count, expected: self.len() });
+            return Err(LoadError::CountMismatch {
+                found: count,
+                expected: self.len(),
+            });
         }
         // First pass: validate layout and collect values.
         let mut values: Vec<Vec<f32>> = Vec::with_capacity(count);
@@ -116,7 +152,7 @@ impl ParamStore {
             if cur.remaining() < name_len {
                 return Err(LoadError::Truncated);
             }
-            let name = std::str::from_utf8(&cur[..name_len]).map_err(|_| LoadError::BadName)?;
+            let name = std::str::from_utf8(cur.peek(name_len)).map_err(|_| LoadError::BadName)?;
             if name != self.name(id) {
                 return Err(LoadError::LayoutMismatch {
                     index,
@@ -160,7 +196,10 @@ mod tests {
 
     fn sample_store() -> ParamStore {
         let mut s = ParamStore::new();
-        s.add("w1", Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        s.add(
+            "w1",
+            Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
         s.add("b1", Tensor::row_vector(vec![-0.5, 0.5]));
         s
     }
@@ -207,20 +246,29 @@ mod tests {
         other.add("different_name", Tensor::zeros(2, 3));
         other.add("b1", Tensor::zeros(1, 2));
         let err = other.load_weights(&blob).unwrap_err();
-        assert!(matches!(err, LoadError::LayoutMismatch { index: 0, .. }), "{err}");
+        assert!(
+            matches!(err, LoadError::LayoutMismatch { index: 0, .. }),
+            "{err}"
+        );
 
         let mut fewer = ParamStore::new();
         fewer.add("w1", Tensor::zeros(2, 3));
         assert!(matches!(
             fewer.load_weights(&blob),
-            Err(LoadError::CountMismatch { found: 2, expected: 1 })
+            Err(LoadError::CountMismatch {
+                found: 2,
+                expected: 1
+            })
         ));
     }
 
     #[test]
     fn error_messages_are_informative() {
         assert!(LoadError::BadMagic.to_string().contains("NFW1"));
-        let e = LoadError::CountMismatch { found: 3, expected: 5 };
+        let e = LoadError::CountMismatch {
+            found: 3,
+            expected: 5,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
     }
 }

@@ -17,12 +17,20 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -30,19 +38,32 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length {} != {rows}x{cols}", data.len());
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} != {rows}x{cols}",
+            data.len()
+        );
         Tensor { rows, cols, data }
     }
 
     /// Creates a `1×n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Tensor { rows: 1, cols, data }
+        Tensor {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Creates a `1×1` scalar matrix.
     pub fn scalar(v: f32) -> Self {
-        Tensor { rows: 1, cols: 1, data: vec![v] }
+        Tensor {
+            rows: 1,
+            cols: 1,
+            data: vec![v],
+        }
     }
 
     /// Xavier/Glorot-uniform initialized matrix: `U(-a, a)` with
@@ -133,7 +154,8 @@ impl Tensor {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()

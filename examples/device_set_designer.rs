@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example device_set_designer [nb201|fbnet] [train] [test] [seed]`
 
 use nasflat::space::Space;
-use nasflat::tasks::{partition_devices, paper_tasks, CorrelationMatrix};
+use nasflat::tasks::{paper_tasks, partition_devices, CorrelationMatrix};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,7 +21,10 @@ fn main() {
     let n: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
     let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
 
-    println!("building {} correlation matrix (300 probe architectures)...", space.short_name());
+    println!(
+        "building {} correlation matrix (300 probe architectures)...",
+        space.short_name()
+    );
     let corr = CorrelationMatrix::for_space(space, 300, 0);
 
     match partition_devices(&corr, m, n, seed) {
@@ -34,13 +37,26 @@ fn main() {
             for d in &test {
                 println!("  {d}");
             }
-            println!("\ntrain-test mean correlation: {:.3}", corr.mean_cross(&train, &test));
-            println!("within-train mean correlation: {:.3}", corr.mean_within(&train));
+            println!(
+                "\ntrain-test mean correlation: {:.3}",
+                corr.mean_cross(&train, &test)
+            );
+            println!(
+                "within-train mean correlation: {:.3}",
+                corr.mean_within(&train)
+            );
 
             // Compare against the paper's hand-listed sets for this space.
-            println!("\nfor reference, the paper's tasks on {}:", space.short_name());
+            println!(
+                "\nfor reference, the paper's tasks on {}:",
+                space.short_name()
+            );
             for t in paper_tasks().iter().filter(|t| t.space == space) {
-                println!("  {:<3} train-test corr {:.3}", t.name, corr.task_train_test(t));
+                println!(
+                    "  {:<3} train-test corr {:.3}",
+                    t.name,
+                    corr.task_train_test(t)
+                );
             }
         }
         Err(e) => {

@@ -17,14 +17,22 @@ use nasflat::space::Space;
 use nasflat::tasks::probe_pool;
 
 fn main() {
-    let device_name = std::env::args().nth(1).unwrap_or_else(|| "titan_rtx_1".to_string());
+    let device_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "titan_rtx_1".to_string());
     let registry = DeviceRegistry::nb201();
     let Some(device) = registry.get(&device_name) else {
-        eprintln!("unknown device '{device_name}'; try one of: {:?}", &registry.names()[..8]);
+        eprintln!(
+            "unknown device '{device_name}'; try one of: {:?}",
+            &registry.names()[..8]
+        );
         std::process::exit(1);
     };
 
-    println!("== energy/latency frontiers on {device_name} ({}) ==\n", device.class().label());
+    println!(
+        "== energy/latency frontiers on {device_name} ({}) ==\n",
+        device.class().label()
+    );
     let pool = probe_pool(Space::Nb201, 800, 0);
     let oracle = AccuracyOracle::new(Space::Nb201, 0);
 
@@ -33,17 +41,26 @@ fn main() {
     let acc: Vec<f32> = pool.iter().map(|a| oracle.accuracy(a)).collect();
 
     let rho = spearman_rho(&lat, &energy).unwrap_or(0.0);
-    println!("latency-energy rank correlation over {} cells: {rho:.3}", pool.len());
+    println!(
+        "latency-energy rank correlation over {} cells: {rho:.3}",
+        pool.len()
+    );
 
     let lat_points: Vec<Point> = lat
         .iter()
         .zip(&acc)
-        .map(|(&l, &a)| Point { latency_ms: l, accuracy: a })
+        .map(|(&l, &a)| Point {
+            latency_ms: l,
+            accuracy: a,
+        })
         .collect();
     let energy_points: Vec<Point> = energy
         .iter()
         .zip(&acc)
-        .map(|(&e, &a)| Point { latency_ms: e, accuracy: a }) // x-axis = mJ
+        .map(|(&e, &a)| Point {
+            latency_ms: e,
+            accuracy: a,
+        }) // x-axis = mJ
         .collect();
 
     let lat_front = pareto_front(&lat_points);

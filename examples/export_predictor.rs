@@ -33,7 +33,11 @@ fn main() {
     let blob = pre_export(&task, &pool, &table, predictor_cfg.clone());
     let path = std::env::temp_dir().join("nasflat_nd_predictor.nfw1");
     std::fs::write(&path, &blob).expect("write weights");
-    println!("exported {} KiB of weights to {}", blob.len() / 1024, path.display());
+    println!(
+        "exported {} KiB of weights to {}",
+        blob.len() / 1024,
+        path.display()
+    );
 
     // Import into a freshly constructed predictor (same space/devices/config).
     let mut devices = task.train.clone();
@@ -52,7 +56,10 @@ fn main() {
     let probe = &pool[7];
     let a = fresh.predict(probe, 0, None);
     println!("prediction from reloaded predictor: {a:.6}");
-    println!("transferred scorer (fpga) on same arch: {:.6}", scorer.score(probe));
+    println!(
+        "transferred scorer (fpga) on same arch: {:.6}",
+        scorer.score(probe)
+    );
     println!("\nworkflow: pre-train on a build server, ship the .nfw1 blob,");
     println!("transfer on-device with 20 measurements in seconds.");
 }

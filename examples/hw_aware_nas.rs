@@ -22,7 +22,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "pixel2".to_string());
+    let target = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pixel2".to_string());
     let task = paper_task("ND").unwrap();
     assert!(
         task.test.contains(&target),
@@ -42,11 +44,18 @@ fn main() {
 
     // Few-shot predictor: pretrain on ND sources, transfer with 20 samples.
     let mut cfg = FewShotConfig::quick();
-    cfg.sampler = Sampler::Encoding { kind: EncodingKind::Caz, method: SelectionMethod::Cosine };
+    cfg.sampler = Sampler::Encoding {
+        kind: EncodingKind::Caz,
+        method: SelectionMethod::Cosine,
+    };
     cfg.predictor.supplement = Some(EncodingKind::Zcp);
     let t0 = Instant::now();
     let mut pre = PretrainedTask::build(&task, &pool, &table, Some(&suite), cfg);
-    println!("pre-training on {} source devices: {:.2?}", task.num_train(), t0.elapsed());
+    println!(
+        "pre-training on {} source devices: {:.2?}",
+        task.num_train(),
+        t0.elapsed()
+    );
 
     let t1 = Instant::now();
     let scorer = pre
@@ -56,15 +65,26 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let cal_idx = random_indices(pool.len(), 20, &mut rng);
     let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
-    let lats: Vec<f32> = cal_idx.iter().map(|&i| latency_ms(&device, &pool[i]) as f32).collect();
+    let lats: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| latency_ms(&device, &pool[i]) as f32)
+        .collect();
     let cal = Calibration::fit(&scores, &lats);
-    println!("transfer (20 samples) + calibration: {:.2?}\n", t1.elapsed());
+    println!(
+        "transfer (20 samples) + calibration: {:.2?}\n",
+        t1.elapsed()
+    );
 
     let oracle = AccuracyOracle::new(Space::Nb201, 0);
     let row = |label: &str, constraint: f32, f: &mut dyn FnMut(&nasflat::space::Arch) -> f32| {
         let t = Instant::now();
-        let result =
-            constrained_search(Space::Nb201, &oracle, |a| f(a), constraint, &SearchConfig::quick());
+        let result = constrained_search(
+            Space::Nb201,
+            &oracle,
+            |a| f(a),
+            constraint,
+            &SearchConfig::quick(),
+        );
         let true_lat = latency_ms(&device, &result.arch) as f32;
         println!(
             "{label:<14} constraint {constraint:>6.1}ms -> acc {:>5.2}%  true {true_lat:>6.1}ms  \
@@ -85,8 +105,10 @@ fn main() {
     }
     println!();
     // FLOPs-proxy comparison: calibrate FLOPs to ms the same way.
-    let flops_scores: Vec<f32> =
-        cal_idx.iter().map(|&i| pool[i].cost_profile().total_flops as f32).collect();
+    let flops_scores: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| pool[i].cost_profile().total_flops as f32)
+        .collect();
     let flops_cal = Calibration::fit(&flops_scores, &lats);
     for q in [0.3, 0.5, 0.7] {
         let constraint = sorted[((sorted.len() - 1) as f64 * q) as usize];

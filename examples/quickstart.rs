@@ -22,7 +22,10 @@ fn main() {
         }
     };
 
-    println!("{:<34} {:>9}  {}", "target device", "Spearman", "hw-embedding seeded from");
+    println!(
+        "{:<34} {:>9}  hw-embedding seeded from",
+        "target device", "Spearman"
+    );
     for d in &report.devices {
         println!(
             "{:<34} {:>9.3}  {}",
@@ -31,5 +34,8 @@ fn main() {
             d.hw_init_source.as_deref().unwrap_or("-")
         );
     }
-    println!("\nmean Spearman over targets: {:.3}", report.mean_spearman());
+    println!(
+        "\nmean Spearman over targets: {:.3}",
+        report.mean_spearman()
+    );
 }

@@ -17,8 +17,10 @@ use nasflat::tasks::{paper_task, probe_pool};
 
 fn main() {
     let task_name = std::env::args().nth(1).unwrap_or_else(|| "N3".to_string());
-    let samples: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let samples: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     let task = match paper_task(&task_name) {
         Some(t) => t,
         None => {
@@ -56,7 +58,11 @@ fn main() {
             }
         }
         if !failed {
-            let detail = rhos.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>().join(" ");
+            let detail = rhos
+                .iter()
+                .map(|r| format!("{r:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ");
             println!("{:<18} {:>8.3}   [{detail}]", sampler.label(), mean(&rhos));
         }
     }

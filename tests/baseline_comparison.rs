@@ -43,7 +43,10 @@ fn all_methods_produce_finite_rank_correlations() {
 
     // NASFLAT
     let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
-    let nasflat_rho = pre.transfer_to(target, &Sampler::Random, 1).unwrap().spearman;
+    let nasflat_rho = pre
+        .transfer_to(target, &Sampler::Random, 1)
+        .unwrap()
+        .spearman;
 
     // HELP
     let mut help_cfg = HelpConfig::quick();
@@ -57,11 +60,13 @@ fn all_methods_produce_finite_rank_correlations() {
     help.meta_train(&pool, &sources);
     let anchors: Vec<usize> = help.anchors().to_vec();
     let anchor_lat: Vec<f32> = anchors.iter().map(|&i| row[i]).collect();
-    let samples: Vec<(usize, f32)> =
-        anchors.iter().map(|&i| (i, row[i])).chain((0..10).map(|i| (i * 5, row[i * 5]))).collect();
+    let samples: Vec<(usize, f32)> = anchors
+        .iter()
+        .map(|&i| (i, row[i]))
+        .chain((0..10).map(|i| (i * 5, row[i * 5])))
+        .collect();
     help.adapt(&pool, &anchor_lat, &samples);
-    let help_rho =
-        spearman_rho(&help.score_indices(&pool, &eval), &truth).unwrap_or(0.0);
+    let help_rho = spearman_rho(&help.score_indices(&pool, &eval), &truth).unwrap_or(0.0);
 
     // MultiPredict
     let mut devices = task.train.clone();
@@ -92,7 +97,10 @@ fn all_methods_produce_finite_rank_correlations() {
         ("Layer-wise", lut_rho),
     ] {
         assert!(rho.is_finite(), "{name} produced non-finite rho");
-        assert!(rho > -0.5, "{name} is pathologically anti-correlated: {rho}");
+        assert!(
+            rho > -0.5,
+            "{name} is pathologically anti-correlated: {rho}"
+        );
     }
     // On the high-correlation ND task every learning method should work.
     assert!(nasflat_rho > 0.4, "NASFLAT too weak on ND: {nasflat_rho}");
@@ -113,12 +121,12 @@ fn nasflat_handles_low_correlation_task_better_than_flops() {
     let truth: Vec<f32> = eval.iter().map(|&i| row[i]).collect();
 
     let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
-    let nasflat_rho = pre.transfer_to(target, &Sampler::Random, 2).unwrap().spearman;
-    let flops_rho = spearman_rho(
-        &FlopsProxy::new().score_indices(&pool, &eval),
-        &truth,
-    )
-    .unwrap_or(0.0);
+    let nasflat_rho = pre
+        .transfer_to(target, &Sampler::Random, 2)
+        .unwrap()
+        .spearman;
+    let flops_rho =
+        spearman_rho(&FlopsProxy::new().score_indices(&pool, &eval), &truth).unwrap_or(0.0);
     assert!(
         nasflat_rho > flops_rho,
         "NASFLAT ({nasflat_rho}) should beat FLOPs ({flops_rho}) on an eTPU target"

@@ -40,7 +40,9 @@ fn transfer_beats_untrained_predictor_on_easy_task() {
     untrained_cfg.predictor.transfer_epochs = 0;
     untrained_cfg.predictor.hw_init = false;
     let mut untrained = PretrainedTask::build(&task, &pool, &table, None, untrained_cfg);
-    let base = untrained.transfer_to("raspi4", &Sampler::Random, 3).unwrap();
+    let base = untrained
+        .transfer_to("raspi4", &Sampler::Random, 3)
+        .unwrap();
 
     let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
     let out = pre.transfer_to("raspi4", &Sampler::Random, 3).unwrap();
@@ -59,14 +61,19 @@ fn transferred_scorer_drives_constrained_nas() {
     let reg = DeviceRegistry::nb201();
     let table = LatencyTable::build(reg.devices(), &pool);
     let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
-    let scorer = pre.transfer_scorer("pixel2", &Sampler::Random, 5, 15).unwrap();
+    let scorer = pre
+        .transfer_scorer("pixel2", &Sampler::Random, 5, 15)
+        .unwrap();
     assert_eq!(scorer.target(), "pixel2");
 
     // Calibrate score -> ms on a strided subset.
     let device = reg.get("pixel2").unwrap();
     let cal_idx: Vec<usize> = (0..15).map(|i| i * 9 % pool.len()).collect();
     let scores: Vec<f32> = cal_idx.iter().map(|&i| scorer.score(&pool[i])).collect();
-    let lats: Vec<f32> = cal_idx.iter().map(|&i| latency_ms(device, &pool[i]) as f32).collect();
+    let lats: Vec<f32> = cal_idx
+        .iter()
+        .map(|&i| latency_ms(device, &pool[i]) as f32)
+        .collect();
     let cal = Calibration::fit(&scores, &lats);
 
     let oracle = AccuracyOracle::new(Space::Nb201, 0);
@@ -86,7 +93,11 @@ fn transferred_scorer_drives_constrained_nas() {
         true_lat < constraint * 2.0,
         "true latency {true_lat} wildly exceeds the predicted constraint {constraint}"
     );
-    assert!(result.accuracy > 50.0, "found cell accuracy {}", result.accuracy);
+    assert!(
+        result.accuracy > 50.0,
+        "found cell accuracy {}",
+        result.accuracy
+    );
 }
 
 #[test]
@@ -99,8 +110,21 @@ fn predictor_beats_flops_proxy_on_batch1_gpu() {
     let pool = probe_pool(Space::Nb201, 150, 2);
     let reg = DeviceRegistry::nb201();
     let table = LatencyTable::build(reg.devices(), &pool);
-    let mut pre = PretrainedTask::build(&task, &pool, &table, None, tiny_cfg());
-    let out = pre.transfer_to("1080ti_1", &Sampler::Random, 7).unwrap();
+    // Needs the full quick() budget: the tiny_cfg() used elsewhere in this
+    // suite is too small to consistently out-rank a strong analytic proxy.
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, FewShotConfig::quick());
+    // A single transfer is noisy at this budget, so compare the mean over a
+    // few transfer seeds against the (deterministic) proxy.
+    let seeds = [7u64, 19, 41];
+    let mean_rho = seeds
+        .iter()
+        .map(|&s| {
+            pre.transfer_to("1080ti_1", &Sampler::Random, s)
+                .unwrap()
+                .spearman
+        })
+        .sum::<f32>()
+        / seeds.len() as f32;
 
     let row = table.device_row("1080ti_1").unwrap();
     let eval_idx: Vec<usize> = (0..100).map(|i| (i * 3 + 1) % pool.len()).collect();
@@ -108,8 +132,8 @@ fn predictor_beats_flops_proxy_on_batch1_gpu() {
     let truth: Vec<f32> = eval_idx.iter().map(|&i| row[i]).collect();
     let flops_rho = spearman_rho(&flops, &truth).unwrap_or(0.0);
     assert!(
-        out.spearman > flops_rho,
-        "few-shot predictor ({}) should beat FLOPs proxy ({flops_rho}) on a batch-1 GPU",
-        out.spearman
+        mean_rho > flops_rho,
+        "few-shot predictor (mean {mean_rho} over seeds {seeds:?}) should beat \
+         FLOPs proxy ({flops_rho}) on a batch-1 GPU"
     );
 }

@@ -2,13 +2,13 @@
 //! loudly and precisely — or degrade gracefully where the paper's protocol
 //! expects it (k-means NaN cells, tied ranking targets).
 
-use nasflat::core::{DeviceSamples, FewShotConfig, LatencyNorm, PretrainedTask, PredictorConfig};
+use nasflat::core::{DeviceSamples, FewShotConfig, LatencyNorm, PredictorConfig, PretrainedTask};
 use nasflat::encode::EncodingKind;
 use nasflat::hw::{DeviceRegistry, LatencyTable};
 use nasflat::metrics::MetricError;
-use nasflat::sample::{kmeans_select, SelectError, Sampler, SelectionMethod};
+use nasflat::sample::{kmeans_select, Sampler, SelectError, SelectionMethod};
 use nasflat::space::Space;
-use nasflat::tasks::{paper_task, probe_pool, CorrelationMatrix, partition_devices};
+use nasflat::tasks::{paper_task, partition_devices, probe_pool, CorrelationMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,7 +36,10 @@ fn kmeans_degenerates_with_explanatory_error() {
     let mut rng = StdRng::seed_from_u64(0);
     let err = kmeans_select(&rows, 4, &mut rng).unwrap_err();
     match err {
-        SelectError::DegenerateClusters { nonempty, requested } => {
+        SelectError::DegenerateClusters {
+            nonempty,
+            requested,
+        } => {
             assert!(nonempty < requested);
             assert!(err.to_string().contains("non-empty"));
         }
@@ -54,7 +57,13 @@ fn oversized_transfer_budget_fails_cleanly_through_the_stack() {
     cfg.transfer_samples = 31; // more than the pool holds
     let mut pre = PretrainedTask::build(&task, &pool, &table, None, cfg);
     let err = pre.transfer_to("fpga", &Sampler::Random, 0).unwrap_err();
-    assert!(matches!(err, SelectError::PoolTooSmall { requested: 31, available: 30 }));
+    assert!(matches!(
+        err,
+        SelectError::PoolTooSmall {
+            requested: 31,
+            available: 30
+        }
+    ));
 }
 
 #[test]
@@ -118,14 +127,14 @@ fn kmeans_sampler_failure_surfaces_as_nan_cell_not_crash() {
     // Run the real sampler path with a pool small enough that k-means with
     // near-duplicate encodings can fail, and confirm the error is the
     // recoverable kind the benches print as NaN.
-    let pool: Vec<nasflat::space::Arch> =
-        vec![nasflat::space::Arch::nb201_from_index(77); 12];
-    let suite = nasflat::encode::EncodingSuite::build(
-        &pool,
-        &nasflat::encode::SuiteConfig::quick(),
-    );
+    let pool: Vec<nasflat::space::Arch> = vec![nasflat::space::Arch::nb201_from_index(77); 12];
+    let suite =
+        nasflat::encode::EncodingSuite::build(&pool, &nasflat::encode::SuiteConfig::quick());
     let ctx = nasflat::sample::SamplerContext::new(&pool).with_encodings(&suite);
-    let sampler = Sampler::Encoding { kind: EncodingKind::Zcp, method: SelectionMethod::KMeans };
+    let sampler = Sampler::Encoding {
+        kind: EncodingKind::Zcp,
+        method: SelectionMethod::KMeans,
+    };
     let mut rng = StdRng::seed_from_u64(1);
     match sampler.select(4, &ctx, &mut rng) {
         Err(SelectError::DegenerateClusters { .. }) => {} // the expected NaN path

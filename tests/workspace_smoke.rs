@@ -1,0 +1,78 @@
+//! Workspace-level smoke test: every crate's public entry point is
+//! reachable through the `nasflat` umbrella crate. This catches manifest
+//! regressions (a crate dropped from the dependency graph, a broken
+//! re-export) via `cargo test` rather than only via the benches.
+
+use nasflat::core::{FewShotConfig, PretrainedTask};
+use nasflat::encode::{EncodingKind, EncodingSuite, SuiteConfig};
+use nasflat::hw::{latency_ms, DeviceRegistry, LatencyTable};
+use nasflat::metrics::spearman_rho;
+use nasflat::sample::Sampler;
+use nasflat::space::{Arch, Space};
+use nasflat::tasks::{paper_task, probe_pool};
+
+#[test]
+fn every_crate_entry_point_is_reachable() {
+    // space: build a pool of architectures.
+    let pool: Vec<Arch> = (0..48).map(|i| Arch::nb201_from_index(i * 313)).collect();
+    assert_eq!(pool.len(), 48);
+
+    // hw: device registry + latency simulator + full table.
+    let reg = DeviceRegistry::nb201();
+    let dev = reg.devices()[0].clone();
+    assert!(latency_ms(&dev, &pool[0]) > 0.0);
+    let table = LatencyTable::build(reg.devices(), &pool);
+
+    // metrics: rank correlation on a known monotone pair.
+    let xs: Vec<f32> = (0..16).map(|i| i as f32).collect();
+    let ys: Vec<f32> = (0..16).map(|i| (i * 2) as f32).collect();
+    let rho = spearman_rho(&xs, &ys).expect("well-formed inputs");
+    assert!((rho - 1.0).abs() < 1e-6);
+
+    // encode: the full encoding suite over the pool.
+    let suite = EncodingSuite::build(&pool, &SuiteConfig::quick());
+    assert_eq!(suite.rows(EncodingKind::Caz).len(), pool.len());
+
+    // tasks: a paper task resolves.
+    let task = paper_task("N1").expect("N1 is a paper task");
+    let probe = probe_pool(Space::Nb201, 32, 0);
+    assert_eq!(probe.len(), 32);
+
+    // core: one FewShotConfig::quick() pretrain + transfer step.
+    let mut pre = PretrainedTask::build(&task, &pool, &table, None, FewShotConfig::quick());
+    let target = task.test.first().expect("task has targets").clone();
+    let outcome = pre
+        .transfer_to(&target, &Sampler::Random, 0)
+        .expect("transfer on a quick config succeeds");
+    assert!(outcome.spearman.is_finite());
+}
+
+#[test]
+fn baselines_and_nas_entry_points_are_reachable() {
+    use nasflat::baselines::FlopsProxy;
+    use nasflat::nas::{pareto_front, Point};
+    use nasflat::tensor::AdamConfig;
+
+    // tensor: config type constructs.
+    let _ = AdamConfig::default();
+
+    // baselines: analytic proxy scores a pool.
+    let pool: Vec<Arch> = (0..8).map(|i| Arch::nb201_from_index(i * 777)).collect();
+    let proxy = FlopsProxy;
+    let indices: Vec<usize> = (0..pool.len()).collect();
+    let scores = proxy.score_indices(&pool, &indices);
+    assert_eq!(scores.len(), pool.len());
+
+    // nas: Pareto front of a two-point set keeps the non-dominated point.
+    let points = vec![
+        Point {
+            latency_ms: 1.0,
+            accuracy: 0.9,
+        },
+        Point {
+            latency_ms: 2.0,
+            accuracy: 0.8,
+        },
+    ];
+    assert_eq!(pareto_front(&points).len(), 1);
+}
