@@ -1,0 +1,57 @@
+//! Parallel execution layer: quick-mode wall-clock + determinism gate.
+//!
+//! Runs the representative workloads (ensemble training, batch prediction,
+//! sampler pool evaluation, NAS population scoring) pinned to 1 thread and
+//! to `NASFLAT_THREADS` threads, prints the comparison, writes
+//! `BENCH_parallel.json` at the workspace root (override the path with
+//! `NASFLAT_BENCH_PARALLEL_OUT`), and **exits non-zero if any workload's
+//! parallel output diverges bitwise from the single-threaded output** — the
+//! contract the CI `bench-quick` job enforces.
+
+use nasflat_bench::parallel_harness::run_parallel_bench;
+use nasflat_bench::print_table;
+
+fn main() {
+    // Exercise the parallel code path even on single-core hosts: the
+    // determinism gate needs real multi-threaded execution to be meaningful.
+    let threads = nasflat_parallel::max_threads().max(2);
+    let report = run_parallel_bench(threads);
+
+    let rows: Vec<Vec<String>> = report
+        .targets
+        .iter()
+        .map(|t| {
+            vec![
+                t.name.clone(),
+                format!("{:.1}", t.wall_ms_single),
+                format!("{:.1}", t.wall_ms_parallel),
+                format!("{:.2}x", t.speedup()),
+                if t.outputs_match { "yes" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Parallel layer quick bench (1 vs {} threads, host parallelism {})",
+            report.threads, report.host_parallelism
+        ),
+        &[
+            "target",
+            "1-thread ms",
+            "N-thread ms",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows,
+    );
+
+    let out_path = std::env::var("NASFLAT_BENCH_PARALLEL_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_parallel.json");
+    println!("\nwrote {out_path}");
+
+    if !report.all_match() {
+        eprintln!("FAIL: parallel output diverged from the single-threaded output");
+        std::process::exit(1);
+    }
+}

@@ -13,10 +13,16 @@
 //! | `NASFLAT_BENCH_FAST=1` | smaller pools, fewer trials/epochs |
 //! | `NASFLAT_BENCH_PAPER=1` | the paper's Table-20 widths/epochs (slow on CPU) |
 //! | `NASFLAT_BENCH_TRIALS=n` | override trial count |
+//! | `NASFLAT_THREADS=n` | thread budget of the parallel execution layer |
+//!
+//! The [`parallel_harness`] module additionally provides the quick-mode
+//! 1-vs-N-thread comparison behind `BENCH_parallel.json` and the CI
+//! `bench-quick` gate.
 
 #![warn(missing_docs)]
 
 pub mod nas_support;
+pub mod parallel_harness;
 
 use nasflat_core::{FewShotConfig, PredictorConfig, PretrainedTask};
 use nasflat_encode::{EncodingKind, EncodingSuite, SuiteConfig};

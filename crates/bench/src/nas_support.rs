@@ -3,8 +3,7 @@
 //! milliseconds, and runs the latency-constrained search with wall-clock
 //! accounting.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use nasflat_baselines::{BrpNas, BrpNasConfig, Help, HelpConfig, LayerwiseLut};
@@ -21,11 +20,14 @@ use rand::SeedableRng;
 use crate::{Budget, Profile, Workbench};
 
 /// A calibrated latency estimator ready for NAS, with its cost ledger.
+///
+/// The score→ms function is `Fn + Sync` so [`constrained_search`] can fan
+/// population scoring out across threads.
 pub struct NasEstimator<'a> {
     /// Display label ("MetaD2A + NASFLAT" etc.).
     pub label: String,
     /// Score → ms function.
-    pub latency_ms: Box<dyn FnMut(&Arch) -> f32 + 'a>,
+    pub latency_ms: Box<dyn Fn(&Arch) -> f32 + Sync + 'a>,
     /// Target-device samples + build wall-clock.
     pub cost: NasCost,
 }
@@ -201,8 +203,14 @@ pub fn layerwise_estimator<'a>(wb: &Workbench, target: &str) -> NasEstimator<'a>
 /// Runs the constrained search with an estimator, returning the search
 /// result, the *true* (simulator) latency of the found architecture, and
 /// the completed cost ledger (query time filled in).
+///
+/// `query_time` sums per-query durations across threads — it is the
+/// *aggregate predictor compute*, which can exceed wall-clock when
+/// `constrained_search` scores the seed population in parallel
+/// (`NASFLAT_THREADS > 1`). Every estimator in a table is measured the same
+/// way, so relative query-cost comparisons are unaffected.
 pub fn run_nas(
-    estimator: &mut NasEstimator<'_>,
+    estimator: &NasEstimator<'_>,
     space: Space,
     oracle: &AccuracyOracle,
     target: &str,
@@ -210,16 +218,17 @@ pub fn run_nas(
     search: &SearchConfig,
 ) -> (SearchResult, f32, NasCost) {
     let device = target_device(space, target);
-    let query_time = Rc::new(Cell::new(Duration::ZERO));
-    let qt = Rc::clone(&query_time);
-    let f = &mut estimator.latency_ms;
+    // Atomic accumulator: queries may run concurrently during population
+    // scoring, so the ledger sums nanoseconds across threads.
+    let query_nanos = AtomicU64::new(0);
+    let f = &estimator.latency_ms;
     let result = constrained_search(
         space,
         oracle,
         |a| {
             let t = Instant::now();
             let v = f(a);
-            qt.set(qt.get() + t.elapsed());
+            query_nanos.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
             v
         },
         constraint_ms,
@@ -227,7 +236,7 @@ pub fn run_nas(
     );
     let true_latency = latency_ms(&device, &result.arch) as f32;
     let cost = NasCost {
-        query_time: query_time.get(),
+        query_time: Duration::from_nanos(query_nanos.load(Ordering::Relaxed)),
         ..estimator.cost
     };
     (result, true_latency, cost)
@@ -270,21 +279,15 @@ mod tests {
     fn layerwise_estimator_completes_a_search_with_cost_ledger() {
         let wb = Workbench::new("ND", &tiny_budget(), false);
         let oracle = AccuracyOracle::new(wb.task.space, 0);
-        let mut est = layerwise_estimator(&wb, "fpga");
+        let est = layerwise_estimator(&wb, "fpga");
         // NB201 LUT: 6 positions x 4 non-filler ops + 1 base probe
         assert_eq!(est.cost.target_samples, 25);
         let constraint = latency_quantile(&wb, "fpga", 0.6);
         let mut search = SearchConfig::quick();
         search.cycles = 20;
         search.population = 10;
-        let (result, true_lat, cost) = run_nas(
-            &mut est,
-            wb.task.space,
-            &oracle,
-            "fpga",
-            constraint,
-            &search,
-        );
+        let (result, true_lat, cost) =
+            run_nas(&est, wb.task.space, &oracle, "fpga", constraint, &search);
         assert!(result.predicted_latency_ms > 0.0);
         assert!(true_lat > 0.0);
         assert!(
@@ -297,7 +300,7 @@ mod tests {
     #[test]
     fn brpnas_estimator_trains_and_calibrates() {
         let wb = Workbench::new("ND", &tiny_budget(), false);
-        let mut est = brpnas_estimator(&wb, &tiny_budget(), "raspi4", 40, 0);
+        let est = brpnas_estimator(&wb, &tiny_budget(), "raspi4", 40, 0);
         assert!(est.label.contains("BRP-NAS"));
         let ms = (est.latency_ms)(&wb.pool[0]);
         assert!(ms.is_finite() && ms > 0.0, "calibrated prediction {ms}");

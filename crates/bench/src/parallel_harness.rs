@@ -1,0 +1,304 @@
+//! Quick-mode wall-clock harness for the parallel execution layer.
+//!
+//! Each target runs one representative workload twice inside a single
+//! process — pinned to 1 thread, then to N threads via
+//! [`nasflat_parallel::with_threads`] — and compares the outputs **bitwise**
+//! (every `f32` via `to_bits`). A divergence means the parallel layer broke
+//! determinism and is reported as a failure; the wall-clock ratio is the
+//! speedup the CI `bench-quick` job tracks over time.
+//!
+//! The report serializes to `BENCH_parallel.json` with schema
+//! [`PARALLEL_SCHEMA`]:
+//!
+//! ```json
+//! {
+//!   "schema": "nasflat-bench-parallel/v1",
+//!   "threads_single": 1,
+//!   "threads_parallel": 4,
+//!   "host_parallelism": 4,
+//!   "profile": "fast",
+//!   "targets": [
+//!     { "name": "ensemble_train_transfer", "wall_ms_single": 4821.3,
+//!       "wall_ms_parallel": 1310.9, "speedup": 3.68, "outputs_match": true }
+//!   ]
+//! }
+//! ```
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use nasflat_core::{build_ensemble, ensemble_transfer_scores, FewShotConfig, PretrainedTask};
+use nasflat_nas::{constrained_search, AccuracyOracle, SearchConfig};
+use nasflat_sample::{cosine_select, kmeans_select};
+use nasflat_space::{Arch, Space};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Budget, Profile, Workbench};
+
+/// Schema identifier embedded in `BENCH_parallel.json`.
+pub const PARALLEL_SCHEMA: &str = "nasflat-bench-parallel/v1";
+
+/// One workload's single- vs multi-thread comparison.
+#[derive(Debug, Clone)]
+pub struct ParallelTarget {
+    /// Workload name.
+    pub name: String,
+    /// Wall-clock at 1 thread, milliseconds.
+    pub wall_ms_single: f64,
+    /// Wall-clock at N threads, milliseconds.
+    pub wall_ms_parallel: f64,
+    /// Whether the two runs produced bit-identical outputs.
+    pub outputs_match: bool,
+}
+
+impl ParallelTarget {
+    /// Single-thread time over parallel time (> 1 means the parallel run
+    /// was faster).
+    pub fn speedup(&self) -> f64 {
+        self.wall_ms_single / self.wall_ms_parallel.max(1e-9)
+    }
+}
+
+/// The full quick-mode parallel bench report.
+#[derive(Debug, Clone)]
+pub struct ParallelReport {
+    /// Thread count of the parallel runs.
+    pub threads: usize,
+    /// What the host reports as available parallelism.
+    pub host_parallelism: usize,
+    /// Budget profile the workloads were sized by.
+    pub profile: Profile,
+    /// Per-workload comparisons.
+    pub targets: Vec<ParallelTarget>,
+}
+
+impl ParallelReport {
+    /// True iff every target produced bit-identical outputs at both thread
+    /// counts — the correctness gate for the CI `bench-quick` job.
+    pub fn all_match(&self) -> bool {
+        self.targets.iter().all(|t| t.outputs_match)
+    }
+
+    /// Serializes the report as `BENCH_parallel.json` content.
+    pub fn to_json(&self) -> String {
+        let profile = match self.profile {
+            Profile::Fast => "fast",
+            Profile::Quick => "quick",
+            Profile::Paper => "paper",
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{PARALLEL_SCHEMA}\",\n"));
+        out.push_str("  \"threads_single\": 1,\n");
+        out.push_str(&format!("  \"threads_parallel\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+        out.push_str("  \"targets\": [\n");
+        for (i, t) in self.targets.iter().enumerate() {
+            let comma = if i + 1 < self.targets.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"wall_ms_single\": {:.1}, \"wall_ms_parallel\": {:.1}, \
+                 \"speedup\": {:.2}, \"outputs_match\": {} }}{comma}\n",
+                t.name,
+                t.wall_ms_single,
+                t.wall_ms_parallel,
+                t.speedup(),
+                t.outputs_match
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Bit-stable digest of an `f32` sequence.
+fn digest_f32(acc: &mut Vec<u64>, values: &[f32]) {
+    acc.extend(values.iter().map(|v| v.to_bits() as u64));
+}
+
+/// Times `workload` at 1 thread and at `threads` threads and compares the
+/// output digests bitwise. The workload must be pure given the pinned
+/// thread count (all NASFLAT parallel paths are).
+fn measure(name: &str, threads: usize, mut workload: impl FnMut() -> Vec<u64>) -> ParallelTarget {
+    let t0 = Instant::now();
+    let single = nasflat_parallel::with_threads(1, &mut workload);
+    let wall_single = t0.elapsed();
+    let t1 = Instant::now();
+    let parallel = nasflat_parallel::with_threads(threads, &mut workload);
+    let wall_parallel = t1.elapsed();
+    ParallelTarget {
+        name: name.to_string(),
+        wall_ms_single: wall_single.as_secs_f64() * 1e3,
+        wall_ms_parallel: wall_parallel.as_secs_f64() * 1e3,
+        outputs_match: single == parallel,
+    }
+}
+
+/// The reduced predictor the parallel workloads share: real architecture,
+/// small widths — sized so quick mode finishes in seconds while leaving
+/// enough per-item work for parallelism to show.
+fn harness_config(budget: &Budget) -> FewShotConfig {
+    let mut cfg = FewShotConfig::quick();
+    cfg.predictor.op_dim = 8;
+    cfg.predictor.hw_dim = 8;
+    cfg.predictor.node_dim = 8;
+    cfg.predictor.ophw_gnn_dims = vec![12];
+    cfg.predictor.ophw_mlp_dims = vec![12];
+    cfg.predictor.gnn_dims = vec![12];
+    cfg.predictor.head_dims = vec![16];
+    let (epochs, pretrain) = match budget.profile {
+        Profile::Fast => (5, 16),
+        _ => (8, 24),
+    };
+    cfg.predictor.epochs = epochs;
+    cfg.predictor.transfer_epochs = epochs;
+    cfg.pretrain_per_device = pretrain;
+    cfg.transfer_samples = 10;
+    cfg.eval_samples = 40;
+    cfg
+}
+
+/// Runs every parallel-layer workload at 1 and `threads` threads and
+/// collects the report. Workload sizes follow the `NASFLAT_BENCH_*` budget
+/// (pass `NASFLAT_BENCH_FAST=1` for the CI quick mode).
+pub fn run_parallel_bench(threads: usize) -> ParallelReport {
+    let budget = Budget::from_env();
+    let pool_n = match budget.profile {
+        Profile::Fast => 100,
+        _ => 200,
+    };
+    let cfg = harness_config(&budget);
+    let wb = Workbench::new("ND", &budget, true);
+    let task = &wb.task;
+    let eval_indices: Vec<usize> = (0..60.min(pool_n)).collect();
+
+    let mut targets = Vec::new();
+
+    // 1. Ensemble training + transfer: K members pre-trained and adapted
+    //    concurrently — the paper's variability remedy made multi-core.
+    {
+        let members = 4;
+        let pool = &wb.pool[..pool_n.min(wb.pool.len())];
+        let table = nasflat_hw::LatencyTable::build(
+            nasflat_hw::DeviceRegistry::for_space(task.space).devices(),
+            pool,
+        );
+        targets.push(measure("ensemble_train_transfer", threads, || {
+            let mut ens = build_ensemble(task, pool, &table, None, &cfg, members);
+            let out = ensemble_transfer_scores(&mut ens, &task.test[0], 7, &eval_indices)
+                .expect("random-free transfer cannot fail on this pool");
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &out.scores);
+            for m in &out.member_scores {
+                digest_f32(&mut digest, m);
+            }
+            digest
+        }));
+    }
+
+    // 2. Batch prediction: a transferred predictor scoring the full pool.
+    //    Transfer happens outside the timed region — this isolates the
+    //    embarrassingly parallel per-architecture forward passes.
+    {
+        let pool = &wb.pool[..pool_n.min(wb.pool.len())];
+        let table = nasflat_hw::LatencyTable::build(
+            nasflat_hw::DeviceRegistry::for_space(task.space).devices(),
+            pool,
+        );
+        let mut pre = PretrainedTask::build(task, pool, &table, None, cfg.clone());
+        let scorer = pre
+            .transfer_scorer(&task.test[0], &cfg.sampler, 3, cfg.transfer_samples)
+            .expect("random sampler cannot fail");
+        let all: Vec<usize> = (0..wb.pool.len()).collect();
+        let full_pool = &wb.pool;
+        targets.push(measure("batch_predict", threads, move || {
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+            digest
+        }));
+    }
+
+    // 3. Sampler pool evaluation: cosine + k-means over the encoding rows.
+    {
+        let rows = wb
+            .suite
+            .as_ref()
+            .expect("workbench built with suite")
+            .rows(nasflat_encode::EncodingKind::Caz);
+        targets.push(measure("sampler_pool_eval", threads, || {
+            let mut digest = Vec::new();
+            let mut rng = StdRng::seed_from_u64(11);
+            let cos = cosine_select(rows, 24.min(rows.len()), &mut rng).expect("pool big enough");
+            digest.extend(cos.iter().map(|&i| i as u64));
+            let mut rng = StdRng::seed_from_u64(13);
+            match kmeans_select(rows, 24.min(rows.len()), &mut rng) {
+                Ok(km) => digest.extend(km.iter().map(|&i| i as u64)),
+                Err(_) => digest.push(u64::MAX), // degenerate — still must agree
+            }
+            digest
+        }));
+    }
+
+    // 4. NAS population scoring: regularized evolution under a latency
+    //    constraint, seed population scored in parallel.
+    {
+        let oracle = AccuracyOracle::new(Space::Nb201, 0);
+        let mut search = SearchConfig::quick();
+        if budget.profile == Profile::Fast {
+            search.cycles = 40;
+        }
+        targets.push(measure("nas_population_scoring", threads, move || {
+            let result = constrained_search(
+                Space::Nb201,
+                &oracle,
+                |a: &Arch| a.cost_profile().total_flops as f32 / 1e7 + 1.0,
+                50.0,
+                &search,
+            );
+            let mut digest: Vec<u64> = result.arch.genotype().iter().map(|&g| g as u64).collect();
+            digest.push(result.accuracy.to_bits() as u64);
+            digest.push(result.predictor_queries as u64);
+            digest
+        }));
+    }
+
+    ParallelReport {
+        threads,
+        host_parallelism: std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
+        profile: budget.profile,
+        targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_well_formed_and_gates_on_divergence() {
+        let mut report = ParallelReport {
+            threads: 4,
+            host_parallelism: 8,
+            profile: Profile::Fast,
+            targets: vec![ParallelTarget {
+                name: "demo".into(),
+                wall_ms_single: 100.0,
+                wall_ms_parallel: 25.0,
+                outputs_match: true,
+            }],
+        };
+        assert!(report.all_match());
+        assert!((report.targets[0].speedup() - 4.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains(PARALLEL_SCHEMA));
+        assert!(json.contains("\"threads_parallel\": 4"));
+        assert!(json.contains("\"speedup\": 4.00"));
+        report.targets[0].outputs_match = false;
+        assert!(!report.all_match());
+    }
+}

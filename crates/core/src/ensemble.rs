@@ -5,9 +5,22 @@
 //! Beyond better samplers, the classical remedy is ensembling: train `K`
 //! predictors from different seeds and average their **rank** scores —
 //! raw scores are not comparable across members, ranks are. This module
-//! provides that aggregation for any set of per-member score vectors.
+//! provides the aggregation ([`rank_ensemble`]) plus the parallel member
+//! pipeline: [`build_ensemble`] pre-trains the `K` members concurrently
+//! (one thread each, bounded by `NASFLAT_THREADS`) and
+//! [`ensemble_transfer_scores`] transfers + batch-predicts them
+//! concurrently. Every member is seeded deterministically from the base
+//! config, so the ensemble is bit-identical at any thread count.
 
+use nasflat_encode::EncodingSuite;
+use nasflat_hw::LatencyTable;
 use nasflat_metrics::rank_average;
+use nasflat_parallel::{par_map, par_map_mut};
+use nasflat_sample::SelectError;
+use nasflat_space::Arch;
+use nasflat_tasks::Task;
+
+use crate::fewshot::{FewShotConfig, PretrainedTask};
 
 /// Rank-averaged ensemble scores: each member's scores are converted to
 /// fractional ranks and the ranks averaged, so members with different score
@@ -61,6 +74,87 @@ pub fn ensemble_disagreement(member_scores: &[Vec<f32>]) -> f32 {
     ((total / count as f64) / (n as f64 / 2.0)) as f32
 }
 
+/// Deterministic member seeds: the base predictor seed advanced by a
+/// golden-ratio stride per member (distinct from the trial stride used by
+/// [`crate::run_trials`], so trials and members never collide).
+fn member_seeds(base: u64, members: usize) -> Vec<u64> {
+    (0..members as u64)
+        .map(|m| base.wrapping_add(m.wrapping_mul(0x9E37_79B9)))
+        .collect()
+}
+
+/// Pre-trains `members` independent predictors for `task` — one per seed —
+/// in parallel. Member `m` uses `cfg` with its predictor seed advanced
+/// deterministically, so the returned ensemble does not depend on the
+/// thread count (each pre-training is single-threaded and pure given its
+/// seed).
+///
+/// # Panics
+/// Panics if `members` is 0, or on the same conditions as
+/// [`PretrainedTask::build`].
+pub fn build_ensemble<'a>(
+    task: &'a Task,
+    pool: &'a [Arch],
+    table: &'a LatencyTable,
+    suite: Option<&'a EncodingSuite>,
+    cfg: &FewShotConfig,
+    members: usize,
+) -> Vec<PretrainedTask<'a>> {
+    assert!(members > 0, "ensemble needs at least one member");
+    let seeds = member_seeds(cfg.predictor.seed, members);
+    par_map(&seeds, |&seed| {
+        let mut member_cfg = cfg.clone();
+        member_cfg.predictor.seed = seed;
+        PretrainedTask::build(task, pool, table, suite, member_cfg)
+    })
+}
+
+/// Output of an ensemble transfer: the rank-averaged scores plus the raw
+/// per-member score vectors and the disagreement diagnostic.
+#[derive(Debug, Clone)]
+pub struct EnsembleScores {
+    /// Rank-averaged ensemble scores over the requested indices.
+    pub scores: Vec<f32>,
+    /// Raw per-member score vectors (members × indices).
+    pub member_scores: Vec<Vec<f32>>,
+    /// [`ensemble_disagreement`] of the member ranks in `[0, 1]`.
+    pub disagreement: f32,
+}
+
+/// Transfers every ensemble member to `target` (in parallel, one thread per
+/// member) and rank-averages their batch predictions over `indices` of the
+/// pool. Each member uses its own configured sampler and the shared transfer
+/// `seed`, so the result is bit-identical at any thread count.
+///
+/// # Errors
+/// Propagates the first (in member order) sampler failure.
+///
+/// # Panics
+/// Panics if `members` is empty.
+pub fn ensemble_transfer_scores(
+    members: &mut [PretrainedTask<'_>],
+    target: &str,
+    seed: u64,
+    indices: &[usize],
+) -> Result<EnsembleScores, SelectError> {
+    assert!(!members.is_empty(), "ensemble needs at least one member");
+    let results = par_map_mut(members, |member| {
+        let sampler = member.config().sampler;
+        member.transfer_predict(target, &sampler, seed, indices)
+    });
+    let mut member_scores = Vec::with_capacity(results.len());
+    for r in results {
+        member_scores.push(r?);
+    }
+    let scores = rank_ensemble(&member_scores);
+    let disagreement = ensemble_disagreement(&member_scores);
+    Ok(EnsembleScores {
+        scores,
+        member_scores,
+        disagreement,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +204,40 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
         let _ = rank_ensemble(&[]);
+    }
+
+    #[test]
+    fn trained_ensemble_transfers_and_aggregates() {
+        use nasflat_hw::DeviceRegistry;
+        use nasflat_space::Space;
+        use nasflat_tasks::{paper_task, probe_pool};
+
+        let mut cfg = FewShotConfig::quick();
+        cfg.predictor.op_dim = 8;
+        cfg.predictor.hw_dim = 8;
+        cfg.predictor.node_dim = 8;
+        cfg.predictor.ophw_gnn_dims = vec![12];
+        cfg.predictor.ophw_mlp_dims = vec![12];
+        cfg.predictor.gnn_dims = vec![12];
+        cfg.predictor.head_dims = vec![16];
+        cfg.predictor.epochs = 4;
+        cfg.predictor.transfer_epochs = 4;
+        cfg.pretrain_per_device = 12;
+        cfg.transfer_samples = 8;
+
+        let task = paper_task("ND").unwrap();
+        let pool = probe_pool(Space::Nb201, 60, 3);
+        let table = LatencyTable::build(DeviceRegistry::nb201().devices(), &pool);
+        let mut members = build_ensemble(&task, &pool, &table, None, &cfg, 3);
+        assert_eq!(members.len(), 3);
+        // Members differ: distinct seeds give distinct predictors.
+        let indices: Vec<usize> = (0..20).collect();
+        let out = ensemble_transfer_scores(&mut members, "raspi4", 5, &indices).unwrap();
+        assert_eq!(out.scores.len(), indices.len());
+        assert_eq!(out.member_scores.len(), 3);
+        assert!(out.member_scores[0] != out.member_scores[1]);
+        assert!((0.0..=1.0).contains(&out.disagreement));
+        // The aggregate is the rank average of the members.
+        assert_eq!(out.scores, rank_ensemble(&out.member_scores));
     }
 }

@@ -153,6 +153,27 @@ impl<'a> PretrainedTask<'a> {
         &self.cfg
     }
 
+    /// The architecture pool this task was pre-trained over.
+    pub fn pool(&self) -> &'a [Arch] {
+        self.pool
+    }
+
+    /// An independent copy sharing the same borrowed pool/table/suite: the
+    /// pre-trained snapshot is cloned, so transfers on the copy cannot
+    /// disturb `self`. This is what lets [`PretrainedTask::transfer_all`]
+    /// fan targets out across threads.
+    fn fork(&self) -> PretrainedTask<'a> {
+        PretrainedTask {
+            task: self.task,
+            table: self.table,
+            pool: self.pool,
+            suite: self.suite,
+            cfg: self.cfg.clone(),
+            predictor: self.predictor.clone(),
+            snapshot: self.snapshot.clone(),
+        }
+    }
+
     fn ctx(&self) -> TrainContext<'a> {
         match self.suite {
             Some(s) => TrainContext::with_suite(self.pool, s),
@@ -268,16 +289,49 @@ impl<'a> PretrainedTask<'a> {
         })
     }
 
-    /// Transfers to every test device of the task.
+    /// Transfers to `target` and predicts scores for `indices` of the pool
+    /// with the adapted predictor (pre-trained weights are restored first,
+    /// so calls are independent). Predictions run in parallel.
     ///
     /// # Errors
-    /// Propagates the first sampler failure.
+    /// Propagates sampler failures.
+    pub fn transfer_predict(
+        &mut self,
+        target: &str,
+        sampler: &Sampler,
+        seed: u64,
+        indices: &[usize],
+    ) -> Result<Vec<f32>, SelectError> {
+        let k = self.cfg.transfer_samples;
+        let (device_idx, _picked, _) = self.transfer_core(target, sampler, seed, k)?;
+        let ctx = self.ctx();
+        Ok(crate::trainer::predict_indices(
+            &self.predictor,
+            &ctx,
+            device_idx,
+            indices,
+        ))
+    }
+
+    /// Transfers to every test device of the task, fanning the targets out
+    /// across threads (each gets an independent copy of the pre-trained
+    /// weights). Because every transfer restores the snapshot first, the
+    /// outcome is bit-identical to transferring sequentially.
+    ///
+    /// # Errors
+    /// Propagates the first (in device order) sampler failure.
     pub fn transfer_all(&mut self, seed: u64) -> Result<TaskOutcome, SelectError> {
         let sampler = self.cfg.sampler;
-        let targets = self.task.test.clone();
-        let mut devices = Vec::with_capacity(targets.len());
-        for (t, target) in targets.iter().enumerate() {
-            devices.push(self.transfer_to(target, &sampler, seed.wrapping_add(t as u64 * 101))?);
+        let this = &*self;
+        let jobs: Vec<(usize, String)> = this.task.test.iter().cloned().enumerate().collect();
+        let results = nasflat_parallel::par_map(&jobs, |job| {
+            let (t, target) = job;
+            let mut fork = this.fork();
+            fork.transfer_to(target, &sampler, seed.wrapping_add(*t as u64 * 101))
+        });
+        let mut devices = Vec::with_capacity(results.len());
+        for outcome in results {
+            devices.push(outcome?);
         }
         Ok(TaskOutcome {
             task: self.task.name.clone(),
@@ -316,9 +370,15 @@ impl TransferredPredictor<'_> {
         self.predictor.predict(arch, self.device, supp.as_deref())
     }
 
-    /// Scores for pool architectures by index.
+    /// Scores for pool architectures by index, evaluated in parallel
+    /// (bit-identical to a sequential loop at any thread count).
     pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
-        indices.iter().map(|&i| self.score(&pool[i])).collect()
+        nasflat_parallel::par_map(indices, |&i| self.score(&pool[i]))
+    }
+
+    /// Scores for a batch of arbitrary architectures, evaluated in parallel.
+    pub fn score_batch(&self, archs: &[Arch]) -> Vec<f32> {
+        nasflat_parallel::par_map(archs, |a| self.score(a))
     }
 }
 
@@ -341,8 +401,14 @@ fn eval_set(pool_len: usize, exclude: &[usize], n: usize, row: &[f32]) -> Vec<(u
 /// Runs a full few-shot experiment over `trials` seeds, aggregating the
 /// per-task mean Spearman into a `mean ± std` cell (the paper's table entry).
 ///
+/// Trials are independent (each seeds its own pre-training), so they run in
+/// parallel; the aggregate is bit-identical at any thread count.
+///
 /// # Errors
-/// Propagates the first sampler failure (the paper reports these as NaN).
+/// Propagates the first (in trial order) sampler failure (the paper reports
+/// these as NaN). Unlike the old sequential loop, concurrently running
+/// trials finish before the error is returned — the cost of parallel trial
+/// execution on the (rare, deterministic-per-config) failure path.
 pub fn run_trials(
     task: &Task,
     pool: &[Arch],
@@ -351,13 +417,17 @@ pub fn run_trials(
     cfg: &FewShotConfig,
     trials: usize,
 ) -> Result<MeanStd, SelectError> {
-    let mut per_trial = Vec::with_capacity(trials);
-    for t in 0..trials {
+    let trial_ids: Vec<usize> = (0..trials).collect();
+    let results = nasflat_parallel::par_map(&trial_ids, |&t| {
         let mut trial_cfg = cfg.clone();
         trial_cfg.predictor.seed = cfg.predictor.seed.wrapping_add(t as u64 * 7919);
         let mut pre = PretrainedTask::build(task, pool, table, suite, trial_cfg);
-        let outcome = pre.transfer_all(0xBEEF ^ (t as u64))?;
-        per_trial.push(outcome.mean_spearman());
+        pre.transfer_all(0xBEEF ^ (t as u64))
+            .map(|outcome| outcome.mean_spearman())
+    });
+    let mut per_trial = Vec::with_capacity(trials);
+    for r in results {
+        per_trial.push(r?);
     }
     Ok(MeanStd::from_slice(&per_trial))
 }

@@ -48,7 +48,9 @@ mod trainer;
 
 pub use config::{GnnModuleKind, LossKind, PredictorConfig};
 pub use data::{DeviceSamples, LatencyNorm, PretrainData};
-pub use ensemble::{ensemble_disagreement, rank_ensemble};
+pub use ensemble::{
+    build_ensemble, ensemble_disagreement, ensemble_transfer_scores, rank_ensemble, EnsembleScores,
+};
 pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };

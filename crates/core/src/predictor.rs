@@ -213,6 +213,35 @@ impl LatencyPredictor {
         g.value(y).item()
     }
 
+    /// Predicts latency scores for a batch of architectures, evaluating them
+    /// in parallel (bounded by `NASFLAT_THREADS`). Each forward pass runs on
+    /// its own tape, so the result is bit-identical to calling
+    /// [`LatencyPredictor::predict`] in a loop, at any thread count.
+    ///
+    /// `supp` carries one supplementary row per architecture when the config
+    /// sets a supplement.
+    ///
+    /// # Panics
+    /// Panics if `supp` is present but its length differs from `archs`, or
+    /// on the same conditions as [`LatencyPredictor::forward`].
+    pub fn predict_batch(
+        &self,
+        archs: &[Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
+        if let Some(rows) = supp {
+            assert_eq!(
+                rows.len(),
+                archs.len(),
+                "one supplementary row per architecture"
+            );
+        }
+        nasflat_parallel::par_map_range(archs.len(), |i| {
+            self.predict(&archs[i], device, supp.map(|rows| rows[i].as_slice()))
+        })
+    }
+
     /// Copies the hardware-embedding row of `source` into `target` —
     /// the paper's hardware-embedding initialization (§5.2).
     ///

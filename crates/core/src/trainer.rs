@@ -181,6 +181,10 @@ pub fn hw_init_from_correlation(
 }
 
 /// Predicts latency scores for pool architectures by index.
+///
+/// Predictions run in parallel over the `nasflat-parallel` layer (bounded by
+/// `NASFLAT_THREADS`); each forward pass is pure, so the output is
+/// bit-identical at any thread count.
 pub fn predict_indices(
     pred: &LatencyPredictor,
     ctx: &TrainContext<'_>,
@@ -188,13 +192,10 @@ pub fn predict_indices(
     indices: &[usize],
 ) -> Vec<f32> {
     let cfg = pred.config();
-    indices
-        .iter()
-        .map(|&i| {
-            let supp = ctx.supplement(cfg, i);
-            pred.predict(&ctx.pool[i], device, supp.as_deref())
-        })
-        .collect()
+    nasflat_parallel::par_map(indices, |&i| {
+        let supp = ctx.supplement(cfg, i);
+        pred.predict(&ctx.pool[i], device, supp.as_deref())
+    })
 }
 
 /// Spearman rank correlation of predicted scores against ground-truth

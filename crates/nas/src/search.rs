@@ -69,15 +69,21 @@ pub struct SearchResult {
 ///
 /// Infeasible candidates are admitted with a penalty proportional to their
 /// constraint violation, so the search can traverse the boundary.
+///
+/// The latency predictor must be `Fn + Sync`: the initial population is
+/// scored in parallel (one thread per slice of candidates, bounded by
+/// `NASFLAT_THREADS`). Candidate *generation* stays on a single sequential
+/// RNG stream and scoring is elementwise, so the search trajectory — and the
+/// returned result — is bit-identical at any thread count.
 pub fn constrained_search<F>(
     space: Space,
     oracle: &AccuracyOracle,
-    mut latency_ms: F,
+    latency_ms: F,
     constraint_ms: f32,
     cfg: &SearchConfig,
 ) -> SearchResult
 where
-    F: FnMut(&Arch) -> f32,
+    F: Fn(&Arch) -> f32 + Sync,
 {
     assert!(constraint_ms > 0.0, "constraint must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -98,15 +104,17 @@ where
         }
     };
 
-    let mut eval = |arch: Arch, rng_queries: &mut usize| -> Member {
-        *rng_queries += 1;
-        let acc = oracle.accuracy(&arch);
-        let lat = latency_ms(&arch);
-        Member { arch, acc, lat }
-    };
-
-    let mut population: Vec<Member> = (0..cfg.population)
-        .map(|_| eval(Arch::random(space, &mut rng), &mut queries))
+    // Seed population: generate sequentially (one RNG stream), score in
+    // parallel — oracle and predictor queries dominate the wall clock.
+    let init: Vec<Arch> = (0..cfg.population)
+        .map(|_| Arch::random(space, &mut rng))
+        .collect();
+    queries += init.len();
+    let scored = nasflat_parallel::par_map(&init, |a| (oracle.accuracy(a), latency_ms(a)));
+    let mut population: Vec<Member> = init
+        .into_iter()
+        .zip(scored)
+        .map(|(arch, (acc, lat))| Member { arch, acc, lat })
         .collect();
     let mut best: Option<Member> = None;
     let consider = |m: &Member, best: &mut Option<Member>| {
@@ -136,7 +144,13 @@ where
             new_op = rng.random_range(0..space.num_ops()) as u8;
         }
         geno[slot] = new_op;
-        let child = eval(Arch::new(space, geno), &mut queries);
+        let child_arch = Arch::new(space, geno);
+        queries += 1;
+        let child = Member {
+            acc: oracle.accuracy(&child_arch),
+            lat: latency_ms(&child_arch),
+            arch: child_arch,
+        };
         consider(&child, &mut best);
         // Regularized evolution: the oldest member dies.
         population.remove(0);

@@ -1,0 +1,528 @@
+//! `nasflat-parallel`: a deterministic, rayon-flavored parallel execution
+//! layer built on [`std::thread::scope`].
+//!
+//! The build environment has no crates.io access, so — like
+//! `crates/rand-shim` and `crates/criterion-shim` — this workspace-local
+//! crate implements the small API subset the reproduction needs instead of
+//! pulling in [rayon](https://crates.io/crates/rayon):
+//!
+//! - [`par_map`] / [`par_map_mut`] / [`par_map_range`]: parallel map with
+//!   results **always in input order**,
+//! - [`par_for_each`]: parallel side-effecting iteration,
+//! - [`par_chunks`]: parallel map over fixed-size chunks,
+//! - [`join`]: run two closures concurrently,
+//! - [`par_map_reduce`]: parallel map + **sequential in-order fold**,
+//! - [`ThreadPool`]: a bounded concurrency policy, sized by the
+//!   `NASFLAT_THREADS` environment variable (default:
+//!   [`std::thread::available_parallelism`]).
+//!
+//! # Determinism
+//!
+//! Every combinator is **bit-deterministic at any thread count**: callers
+//! pass pure per-item closures, items are partitioned into contiguous chunks,
+//! and results are reassembled in input order. Reductions never combine
+//! partial per-thread accumulators (which would make float sums depend on
+//! chunk boundaries); [`par_map_reduce`] folds the mapped results
+//! sequentially in input order instead. Consequently a workload run under
+//! [`with_threads`]`(1, …)` and `with_threads(64, …)` produces identical
+//! bytes — the property the determinism suite and the `bench-quick` CI gate
+//! assert.
+//!
+//! # Thread-count resolution
+//!
+//! [`current_threads`] resolves, in priority order:
+//!
+//! 1. `1` inside a worker spawned by this crate (nested parallel calls run
+//!    sequentially instead of oversubscribing the machine),
+//! 2. the innermost [`with_threads`] override on this thread,
+//! 3. `NASFLAT_THREADS` from the environment (read once per process),
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! # Execution model
+//!
+//! Workers are *scoped*: each combinator spawns at most `current_threads()`
+//! OS threads for its own duration via [`std::thread::scope`], so borrowed
+//! (non-`'static`) data flows into workers without `Arc`. Spawn cost is a
+//! few microseconds per worker — negligible against the millisecond-scale
+//! items (predictor forwards, training epochs) this workspace parallelizes.
+//! [`ThreadPool`] bounds concurrency; it does not keep idle threads alive.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The process-wide default thread count: `NASFLAT_THREADS` if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 where that is unavailable). Read once per process.
+pub fn max_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("NASFLAT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The thread count parallel combinators on *this* thread will use right
+/// now: 1 inside a worker, else the innermost [`with_threads`] override,
+/// else [`max_threads`].
+pub fn current_threads() -> usize {
+    if IN_WORKER.get() {
+        return 1;
+    }
+    THREAD_OVERRIDE.get().unwrap_or_else(max_threads)
+}
+
+/// Runs `f` with the calling thread's parallelism pinned to `threads`
+/// (clamped to at least 1), restoring the previous setting afterwards —
+/// the programmatic equivalent of launching the process under
+/// `NASFLAT_THREADS=<threads>`. Overrides nest; the innermost wins.
+///
+/// This is how the bench harness times the same workload at 1 and N threads
+/// within one process, and how the determinism suite pins thread counts.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.set(self.0);
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.replace(Some(threads.max(1))));
+    f()
+}
+
+/// How many workers to actually spawn for `len` items under `threads`.
+/// Inside a worker this always collapses to 1, so the nested-serialization
+/// invariant holds on every entry point — including explicit-budget calls
+/// like [`par_map_with`] and [`ThreadPool::par_map`].
+fn plan(threads: usize, len: usize) -> usize {
+    if IN_WORKER.get() {
+        return 1;
+    }
+    threads.max(1).min(len)
+}
+
+/// Parallel map over a slice with an explicit thread budget; results are in
+/// input order. Prefer [`par_map`] (which respects [`current_threads`])
+/// unless you hold a [`ThreadPool`].
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = plan(threads, n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let fref = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    c.iter().map(fref).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel map over a slice; results are in input order regardless of the
+/// thread count. Sequential when [`current_threads`] is 1 (or inside a
+/// worker), bit-identical either way for pure `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(current_threads(), items, f)
+}
+
+/// Parallel map with mutable access: the slice is split into disjoint
+/// contiguous chunks, so each worker holds exclusive `&mut` access to its
+/// items. Results are in input order.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = plan(current_threads(), n);
+    if workers <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let fref = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    c.iter_mut().map(fref).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel map over the index range `0..n`; results are in index order.
+/// Convenient when the items live in several parallel arrays.
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = plan(current_threads(), n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let fref = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n.div_ceil(chunk))
+            .map(|w| {
+                let start = w * chunk;
+                let end = (start + chunk).min(n);
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    (start..end).map(fref).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    out
+}
+
+/// Parallel side-effecting iteration. `f` must be safe to run concurrently
+/// on distinct items (it only gets `&T`); completion of this call is a
+/// barrier — every item has been visited when it returns.
+pub fn par_for_each<T, F>(items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Sync,
+{
+    let _: Vec<()> = par_map(items, |t| f(t));
+}
+
+/// Parallel map over fixed-size chunks of `items` (the last chunk may be
+/// shorter). Chunk boundaries are set by `chunk_size` — *not* by the thread
+/// count — so outputs are identical at any parallelism.
+///
+/// # Panics
+/// Panics if `chunk_size` is 0.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    par_map(&chunks, |c| f(c))
+}
+
+/// Runs `a` and `b` concurrently (when more than one thread is available)
+/// and returns `(a(), b())` — the tuple order never depends on which
+/// finishes first. `b` runs on the calling thread.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if current_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let ha = s.spawn(move || {
+            IN_WORKER.set(true);
+            a()
+        });
+        let rb = b();
+        match ha.join() {
+            Ok(ra) => (ra, rb),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
+}
+
+/// Parallel map followed by a **sequential fold in input order**. The fold
+/// never sees thread-dependent partial sums, so non-associative operations
+/// (notably float addition) give bit-identical results at any thread count.
+pub fn par_map_reduce<T, R, A, M, F>(items: &[T], map: M, init: A, mut fold: F) -> A
+where
+    T: Sync,
+    R: Send,
+    M: Fn(&T) -> R + Sync,
+    F: FnMut(A, R) -> A,
+{
+    par_map(items, map).into_iter().fold(init, &mut fold)
+}
+
+/// A bounded concurrency policy: combinators invoked through it (or inside
+/// [`ThreadPool::install`]) spawn at most [`ThreadPool::threads`] workers.
+///
+/// Workers are scoped per call — the pool stores no threads, only the bound —
+/// so a `ThreadPool` is `Copy` and costs nothing to keep around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool bounded to `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-default pool, sized by `NASFLAT_THREADS` /
+    /// [`std::thread::available_parallelism`] (see [`max_threads`]).
+    pub fn global() -> Self {
+        ThreadPool::new(max_threads())
+    }
+
+    /// The concurrency bound.
+    pub fn threads(self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` with this pool's bound as the calling thread's parallelism
+    /// (like rayon's `install`): every `par_*` call inside `f` uses at most
+    /// [`ThreadPool::threads`] workers.
+    pub fn install<R>(self, f: impl FnOnce() -> R) -> R {
+        with_threads(self.threads, f)
+    }
+
+    /// [`par_map`] bounded by this pool.
+    pub fn par_map<T, R, F>(self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        par_map_with(self.threads, items, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = with_threads(threads, || par_map(&items, |&i| i * 2));
+            assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_is_bit_identical_across_thread_counts() {
+        // Per-item float work is pure, so any thread count must agree bitwise.
+        let items: Vec<f32> = (0..513).map(|i| i as f32 * 0.37 + 0.1).collect();
+        let f = |&x: &f32| (x.sin() * 1e6).fract() + x.sqrt();
+        let seq = with_threads(1, || par_map(&items, f));
+        for threads in [2, 5, 16] {
+            let par = with_threads(threads, || par_map(&items, f));
+            let same = seq
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "outputs diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_fold_order_is_sequential() {
+        // Division is non-associative and non-commutative: only a strict
+        // in-input-order fold gives the same bits at every thread count.
+        let items: Vec<f64> = (1..200).map(|i| i as f64).collect();
+        let run = |threads| {
+            with_threads(threads, || {
+                par_map_reduce(&items, |&x| x.sqrt(), 1.0f64, |acc, x| acc / 2.0 + x)
+            })
+        };
+        let seq = run(1);
+        for threads in [2, 7, 32] {
+            assert_eq!(seq.to_bits(), run(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn par_map_mut_gives_each_item_exclusive_access() {
+        let mut items: Vec<u64> = (0..100).collect();
+        let out = with_threads(8, || {
+            par_map_mut(&mut items, |x| {
+                *x += 1;
+                *x * 10
+            })
+        });
+        assert_eq!(items, (1..=100).collect::<Vec<u64>>());
+        assert_eq!(out, (1..=100).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        for threads in [1, 3, 8] {
+            let out = with_threads(threads, || par_map_range(37, |i| i * i));
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(par_map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn par_for_each_visits_every_item_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(8, || {
+            par_for_each(&counters, |c| {
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_boundaries_follow_chunk_size_not_threads() {
+        let items: Vec<u32> = (0..103).collect();
+        let expect: Vec<u32> = items.chunks(10).map(|c| c.iter().sum()).collect();
+        for threads in [1, 4, 16] {
+            let out = with_threads(threads, || {
+                par_chunks(&items, 10, |c| c.iter().sum::<u32>())
+            });
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn join_returns_results_in_closure_order() {
+        for threads in [1, 4] {
+            let (a, b) = with_threads(threads, || join(|| "left", || "right"));
+            assert_eq!((a, b), ("left", "right"));
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_runs_sequentially_in_workers() {
+        let outer: Vec<usize> = (0..4).collect();
+        let seen: Vec<usize> = with_threads(4, || {
+            par_map(&outer, |_| {
+                // Inside a worker the effective parallelism must collapse
+                // to 1 so nested calls don't oversubscribe.
+                current_threads()
+            })
+        });
+        assert!(seen.iter().all(|&t| t == 1), "nested threads: {seen:?}");
+    }
+
+    #[test]
+    fn with_threads_overrides_nest_and_restore() {
+        let base = current_threads();
+        with_threads(5, || {
+            assert_eq!(current_threads(), 5);
+            with_threads(2, || assert_eq!(current_threads(), 2));
+            assert_eq!(current_threads(), 5);
+        });
+        assert_eq!(current_threads(), base);
+        // Zero is clamped rather than accepted.
+        with_threads(0, || assert_eq!(current_threads(), 1));
+    }
+
+    #[test]
+    fn thread_pool_bounds_and_installs() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+        assert!(ThreadPool::global().threads() >= 1);
+        let inside = pool.install(current_threads);
+        assert_eq!(inside, 3);
+        let out = pool.par_map(&[1, 2, 3], |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn explicit_pool_calls_also_serialize_inside_workers() {
+        // ThreadPool::par_map / par_map_with take an explicit budget, but
+        // the nested-serialization invariant must still hold inside workers.
+        let outer: Vec<usize> = (0..4).collect();
+        let nested_lens: Vec<usize> = with_threads(4, || {
+            par_map(&outer, |_| {
+                let inner = ThreadPool::new(8).par_map(&[1, 2, 3], |&x| x);
+                assert_eq!(inner, vec![1, 2, 3]);
+                // Observable proxy for "no extra workers": plan() collapses.
+                super::plan(8, 3)
+            })
+        });
+        assert!(nested_lens.iter().all(|&w| w == 1), "{nested_lens:?}");
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&i| {
+                    assert!(i != 9, "boom");
+                    i
+                })
+            })
+        });
+        assert!(result.is_err(), "worker panic must not be swallowed");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(with_threads(8, || par_map(&empty, |&x| x)).is_empty());
+        assert_eq!(with_threads(8, || par_map(&[7u8], |&x| x)), vec![7]);
+    }
+}

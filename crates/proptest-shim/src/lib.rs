@@ -270,7 +270,7 @@ pub mod collection {
     use core::ops::Range;
     use rand::Rng;
 
-    /// Lengths accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Lengths accepted by [`vec()`]: an exact `usize` or a `Range<usize>`.
     pub trait IntoLenRange {
         /// Resolve to a concrete length for one sample.
         fn sample_len(&self, rng: &mut TestRng) -> usize;

@@ -1,9 +1,35 @@
 //! Encoding-space selection methods: cosine farthest-point and k-means
 //! medoids (paper §4.2, Table 9).
+//!
+//! The hot loops — per-candidate similarity/distance evaluation over the
+//! whole pool — run in parallel via `nasflat-parallel` once a scan is big
+//! enough to amortize worker spawns ([`pool_scan`]); small quick-mode pools
+//! stay sequential. Selections stay deterministic at any thread count
+//! either way: both paths are the same pure elementwise map in input order,
+//! and every reduction (arg-min scans, centroid accumulation) stays
+//! sequential.
 
 use rand::Rng;
 
 use nasflat_encode::cosine_similarity;
+use nasflat_parallel::par_map;
+
+/// Minimum `rows × dim` scalar work before a pool scan fans out: below
+/// this, per-worker thread-spawn cost (~tens of µs) exceeds the scan
+/// itself. Both branches compute identical bits, so the threshold affects
+/// wall-clock only, never results.
+const MIN_PAR_SCAN_SCALARS: usize = 1 << 15;
+
+/// Elementwise map over encoding rows: parallel for large scans, sequential
+/// for small ones (same output either way).
+fn pool_scan<R: Send>(rows: &[Vec<f32>], f: impl Fn(&Vec<f32>) -> R + Sync) -> Vec<R> {
+    let work = rows.len() * rows.first().map_or(0, Vec::len);
+    if work >= MIN_PAR_SCAN_SCALARS {
+        par_map(rows, f)
+    } else {
+        rows.iter().map(f).collect()
+    }
+}
 
 /// Why a selection method could not produce `k` architectures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,11 +101,8 @@ pub fn cosine_select<R: Rng>(
         return Ok(picked);
     }
     picked.push(rng.random_range(0..rows.len()));
-    // max similarity to the picked set, per candidate
-    let mut max_sim: Vec<f32> = rows
-        .iter()
-        .map(|r| cosine_similarity(r, &rows[picked[0]]))
-        .collect();
+    // max similarity to the picked set, per candidate (parallel pool scan)
+    let mut max_sim: Vec<f32> = pool_scan(rows, |r| cosine_similarity(r, &rows[picked[0]]));
     while picked.len() < k {
         let mut best = None;
         let mut best_sim = f32::INFINITY;
@@ -94,8 +117,8 @@ pub fn cosine_select<R: Rng>(
         }
         let chosen = best.expect("pool larger than k ensures a candidate");
         picked.push(chosen);
-        for (i, s) in max_sim.iter_mut().enumerate() {
-            let sim = cosine_similarity(&rows[i], &rows[chosen]);
+        let sims = pool_scan(rows, |r| cosine_similarity(r, &rows[chosen]));
+        for (s, sim) in max_sim.iter_mut().zip(sims) {
             if sim > *s {
                 *s = sim;
             }
@@ -139,7 +162,7 @@ pub fn kmeans_select<R: Rng>(
     // k-means++ initialization.
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
     centroids.push(rows[rng.random_range(0..n)].clone());
-    let mut d2: Vec<f64> = rows.iter().map(|r| sq_dist(r, &centroids[0])).collect();
+    let mut d2: Vec<f64> = pool_scan(rows, |r| sq_dist(r, &centroids[0]));
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         if total <= f64::EPSILON {
@@ -160,8 +183,9 @@ pub fn kmeans_select<R: Rng>(
             target -= d;
         }
         centroids.push(rows[chosen].clone());
-        for (i, d) in d2.iter_mut().enumerate() {
-            let nd = sq_dist(&rows[i], centroids.last().expect("just pushed"));
+        let latest = centroids.last().expect("just pushed");
+        let nd = pool_scan(rows, |r| sq_dist(r, latest));
+        for (d, nd) in d2.iter_mut().zip(nd) {
             if nd < *d {
                 *d = nd;
             }
@@ -171,17 +195,22 @@ pub fn kmeans_select<R: Rng>(
     let dim = rows[0].len();
     let mut assign = vec![0usize; n];
     for _ in 0..25 {
-        let mut moved = false;
-        for (i, row) in rows.iter().enumerate() {
-            let best = (0..k)
+        // Assignment — the O(n·k·dim) hot loop — is an elementwise arg-min,
+        // safe to fan out; the centroid update below stays sequential so
+        // float accumulation order never depends on the thread count.
+        let new_assign: Vec<usize> = pool_scan(rows, |row| {
+            (0..k)
                 .min_by(|&a, &b| {
                     sq_dist(row, &centroids[a])
                         .partial_cmp(&sq_dist(row, &centroids[b]))
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
-                .expect("k > 0");
-            if assign[i] != best {
-                assign[i] = best;
+                .expect("k > 0")
+        });
+        let mut moved = false;
+        for (a, na) in assign.iter_mut().zip(new_assign) {
+            if *a != na {
+                *a = na;
                 moved = true;
             }
         }

@@ -76,7 +76,7 @@ fn main() {
     );
 
     let oracle = AccuracyOracle::new(Space::Nb201, 0);
-    let row = |label: &str, constraint: f32, f: &mut dyn FnMut(&nasflat::space::Arch) -> f32| {
+    let row = |label: &str, constraint: f32, f: &(dyn Fn(&nasflat::space::Arch) -> f32 + Sync)| {
         let t = Instant::now();
         let result = constrained_search(
             Space::Nb201,
@@ -101,7 +101,7 @@ fn main() {
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     for q in [0.3, 0.5, 0.7] {
         let constraint = sorted[((sorted.len() - 1) as f64 * q) as usize];
-        row("NASFLAT", constraint, &mut |a| cal.to_ms(scorer.score(a)));
+        row("NASFLAT", constraint, &|a| cal.to_ms(scorer.score(a)));
     }
     println!();
     // FLOPs-proxy comparison: calibrate FLOPs to ms the same way.
@@ -112,7 +112,7 @@ fn main() {
     let flops_cal = Calibration::fit(&flops_scores, &lats);
     for q in [0.3, 0.5, 0.7] {
         let constraint = sorted[((sorted.len() - 1) as f64 * q) as usize];
-        row("FLOPs proxy", constraint, &mut |a| {
+        row("FLOPs proxy", constraint, &|a| {
             flops_cal.to_ms(a.cost_profile().total_flops as f32)
         });
     }
