@@ -1,14 +1,20 @@
-//! Parallel execution layer: quick-mode wall-clock + determinism gate.
+//! Parallel execution layer + kernel/batching quick bench and determinism
+//! gate.
 //!
-//! Runs the representative workloads (ensemble training, batch prediction,
-//! sampler pool evaluation, NAS population scoring) pinned to 1 thread and
-//! to `NASFLAT_THREADS` threads, prints the comparison, writes
-//! `BENCH_parallel.json` at the workspace root (override the path with
-//! `NASFLAT_BENCH_PARALLEL_OUT`), and **exits non-zero if any workload's
-//! parallel output diverges bitwise from the single-threaded output** — the
-//! contract the CI `bench-quick` job enforces.
+//! Runs the representative workloads — thread-scaling comparisons (ensemble
+//! training, batch prediction, sampler pool evaluation, NAS population
+//! scoring) and baseline-vs-optimized comparisons (`kernel_matmul`,
+//! `batch_forward`) — prints the table, writes `BENCH_parallel.json` and the
+//! kernel micro-bench table `BENCH_kernels.md` at the workspace root
+//! (override the paths with `NASFLAT_BENCH_PARALLEL_OUT` /
+//! `NASFLAT_BENCH_KERNELS_OUT`), and **exits non-zero if any comparison's
+//! outputs diverge bitwise** — the contract the CI `bench-quick` job
+//! enforces (which additionally fails the build when `batch_forward` is
+//! slower than the per-architecture baseline).
 
-use nasflat_bench::parallel_harness::run_parallel_bench;
+use nasflat_bench::parallel_harness::{
+    kernel_microbench, kernel_table_markdown, run_parallel_bench,
+};
 use nasflat_bench::print_table;
 
 fn main() {
@@ -23,6 +29,7 @@ fn main() {
         .map(|t| {
             vec![
                 t.name.clone(),
+                t.kind.label().to_string(),
                 format!("{:.1}", t.wall_ms_single),
                 format!("{:.1}", t.wall_ms_parallel),
                 format!("{:.2}x", t.speedup()),
@@ -32,17 +39,46 @@ fn main() {
         .collect();
     print_table(
         &format!(
-            "Parallel layer quick bench (1 vs {} threads, host parallelism {})",
-            report.threads, report.host_parallelism
+            "Parallel/kernel quick bench (threads: 1 vs {}; baseline kind: old vs new impl at {} \
+             threads; host parallelism {})",
+            report.threads, report.threads, report.host_parallelism
         ),
         &[
             "target",
-            "1-thread ms",
-            "N-thread ms",
+            "kind",
+            "base/1-thread ms",
+            "opt/N-thread ms",
             "speedup",
             "bit-identical",
         ],
         &rows,
+    );
+
+    let kernel_rows = kernel_microbench();
+    let kernel_table: Vec<Vec<String>> = kernel_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.to_string(),
+                r.shape.clone(),
+                format!("{:.2}", r.scalar_ms),
+                format!("{:.2}", r.kernel_ms),
+                format!("{:.2}x", r.speedup()),
+                if r.outputs_match { "yes" } else { "DIVERGED" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Kernel micro-bench (scalar reference vs vectorized kernels)",
+        &[
+            "op",
+            "shape",
+            "scalar ms",
+            "kernel ms",
+            "speedup",
+            "bit-identical",
+        ],
+        &kernel_table,
     );
 
     let out_path = std::env::var("NASFLAT_BENCH_PARALLEL_OUT")
@@ -50,8 +86,15 @@ fn main() {
     std::fs::write(&out_path, report.to_json()).expect("write BENCH_parallel.json");
     println!("\nwrote {out_path}");
 
-    if !report.all_match() {
-        eprintln!("FAIL: parallel output diverged from the single-threaded output");
+    let kernels_path = std::env::var("NASFLAT_BENCH_KERNELS_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_kernels.md", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&kernels_path, kernel_table_markdown(&kernel_rows))
+        .expect("write BENCH_kernels.md");
+    println!("wrote {kernels_path}");
+
+    let kernels_diverged = kernel_rows.iter().any(|r| !r.outputs_match);
+    if !report.all_match() || kernels_diverged {
+        eprintln!("FAIL: an optimized/parallel output diverged bitwise from its reference");
         std::process::exit(1);
     }
 }

@@ -1,28 +1,46 @@
-//! Quick-mode wall-clock harness for the parallel execution layer.
+//! Quick-mode wall-clock harness for the parallel execution layer and the
+//! vectorized kernel / batched-forward paths.
 //!
-//! Each target runs one representative workload twice inside a single
-//! process — pinned to 1 thread, then to N threads via
-//! [`nasflat_parallel::with_threads`] — and compares the outputs **bitwise**
-//! (every `f32` via `to_bits`). A divergence means the parallel layer broke
-//! determinism and is reported as a failure; the wall-clock ratio is the
-//! speedup the CI `bench-quick` job tracks over time.
+//! Two comparison kinds share the report:
+//!
+//! - [`ComparisonKind::Threads`]: the same workload pinned to 1 thread and
+//!   to N threads via [`nasflat_parallel::with_threads`] — the PR-2 scaling
+//!   gate;
+//! - [`ComparisonKind::Baseline`]: a *baseline* implementation vs the
+//!   *optimized* one at the **same** thread count (scalar reference matmul
+//!   vs the kernel layer; per-architecture fresh tapes vs `BatchSession`) —
+//!   the PR-3 batching/kernels gate.
+//!
+//! Either way the two runs' outputs are compared **bitwise** (every `f32`
+//! via `to_bits`); a divergence is reported as a failure, and the wall-clock
+//! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
+//! the build when `batch_forward` regresses below 1×).
 //!
 //! The report serializes to `BENCH_parallel.json` with schema
 //! [`PARALLEL_SCHEMA`]:
 //!
 //! ```json
 //! {
-//!   "schema": "nasflat-bench-parallel/v1",
+//!   "schema": "nasflat-bench-parallel/v2",
 //!   "threads_single": 1,
 //!   "threads_parallel": 4,
 //!   "host_parallelism": 4,
 //!   "profile": "fast",
 //!   "targets": [
-//!     { "name": "ensemble_train_transfer", "wall_ms_single": 4821.3,
-//!       "wall_ms_parallel": 1310.9, "speedup": 3.68, "outputs_match": true }
+//!     { "name": "ensemble_train_transfer", "kind": "threads",
+//!       "wall_ms_single": 4821.3, "wall_ms_parallel": 1310.9,
+//!       "speedup": 3.68, "outputs_match": true },
+//!     { "name": "batch_forward", "kind": "baseline",
+//!       "wall_ms_single": 310.2, "wall_ms_parallel": 141.0,
+//!       "speedup": 2.20, "outputs_match": true }
 //!   ]
 //! }
 //! ```
+//!
+//! For `"kind": "baseline"` entries, `wall_ms_single` is the **baseline**
+//! implementation and `wall_ms_parallel` the **optimized** one (both at the
+//! parallel thread count); the field names are kept stable for the trend
+//! tooling.
 
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -31,30 +49,55 @@ use nasflat_core::{build_ensemble, ensemble_transfer_scores, FewShotConfig, Pret
 use nasflat_nas::{constrained_search, AccuracyOracle, SearchConfig};
 use nasflat_sample::{cosine_select, kmeans_select};
 use nasflat_space::{Arch, Space};
+use nasflat_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::{Budget, Profile, Workbench};
 
 /// Schema identifier embedded in `BENCH_parallel.json`.
-pub const PARALLEL_SCHEMA: &str = "nasflat-bench-parallel/v1";
+pub const PARALLEL_SCHEMA: &str = "nasflat-bench-parallel/v2";
 
-/// One workload's single- vs multi-thread comparison.
+/// What a [`ParallelTarget`]'s two timed runs are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonKind {
+    /// 1 thread vs N threads, same implementation.
+    Threads,
+    /// Baseline implementation vs optimized implementation, same thread
+    /// count.
+    Baseline,
+}
+
+impl ComparisonKind {
+    /// JSON/table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComparisonKind::Threads => "threads",
+            ComparisonKind::Baseline => "baseline",
+        }
+    }
+}
+
+/// One workload's two-run comparison (see [`ComparisonKind`]).
 #[derive(Debug, Clone)]
 pub struct ParallelTarget {
     /// Workload name.
     pub name: String,
-    /// Wall-clock at 1 thread, milliseconds.
+    /// What the two runs compare.
+    pub kind: ComparisonKind,
+    /// Wall-clock of the first run (1 thread, or the baseline
+    /// implementation), milliseconds.
     pub wall_ms_single: f64,
-    /// Wall-clock at N threads, milliseconds.
+    /// Wall-clock of the second run (N threads, or the optimized
+    /// implementation), milliseconds.
     pub wall_ms_parallel: f64,
     /// Whether the two runs produced bit-identical outputs.
     pub outputs_match: bool,
 }
 
 impl ParallelTarget {
-    /// Single-thread time over parallel time (> 1 means the parallel run
-    /// was faster).
+    /// First-run time over second-run time (> 1 means the parallel /
+    /// optimized run was faster).
     pub fn speedup(&self) -> f64 {
         self.wall_ms_single / self.wall_ms_parallel.max(1e-9)
     }
@@ -100,9 +143,10 @@ impl ParallelReport {
         for (i, t) in self.targets.iter().enumerate() {
             let comma = if i + 1 < self.targets.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{ \"name\": \"{}\", \"wall_ms_single\": {:.1}, \"wall_ms_parallel\": {:.1}, \
-                 \"speedup\": {:.2}, \"outputs_match\": {} }}{comma}\n",
+                "    {{ \"name\": \"{}\", \"kind\": \"{}\", \"wall_ms_single\": {:.1}, \
+                 \"wall_ms_parallel\": {:.1}, \"speedup\": {:.2}, \"outputs_match\": {} }}{comma}\n",
                 t.name,
+                t.kind.label(),
                 t.wall_ms_single,
                 t.wall_ms_parallel,
                 t.speedup(),
@@ -131,10 +175,177 @@ fn measure(name: &str, threads: usize, mut workload: impl FnMut() -> Vec<u64>) -
     let wall_parallel = t1.elapsed();
     ParallelTarget {
         name: name.to_string(),
+        kind: ComparisonKind::Threads,
         wall_ms_single: wall_single.as_secs_f64() * 1e3,
         wall_ms_parallel: wall_parallel.as_secs_f64() * 1e3,
         outputs_match: single == parallel,
     }
+}
+
+/// Times `baseline` and `optimized` at the **same** thread count and
+/// compares their digests bitwise — the gate for same-semantics
+/// optimizations (kernels, batched tapes).
+fn measure_pair(
+    name: &str,
+    threads: usize,
+    mut baseline: impl FnMut() -> Vec<u64>,
+    mut optimized: impl FnMut() -> Vec<u64>,
+) -> ParallelTarget {
+    let t0 = Instant::now();
+    let base = nasflat_parallel::with_threads(threads, &mut baseline);
+    let wall_base = t0.elapsed();
+    let t1 = Instant::now();
+    let opt = nasflat_parallel::with_threads(threads, &mut optimized);
+    let wall_opt = t1.elapsed();
+    ParallelTarget {
+        name: name.to_string(),
+        kind: ComparisonKind::Baseline,
+        wall_ms_single: wall_base.as_secs_f64() * 1e3,
+        wall_ms_parallel: wall_opt.as_secs_f64() * 1e3,
+        outputs_match: base == opt,
+    }
+}
+
+// ---- kernel micro-bench ---------------------------------------------------
+
+/// The pre-kernel scalar triple loop (sparse skip included): the baseline
+/// the kernel layer is gated against.
+fn matmul_scalar_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a.get(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic operand with a sprinkling of exact zeros (exercises the
+/// sparse skip the way GNN propagation matrices do).
+fn bench_operand(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tensor::uniform(rows, cols, -1.5, 1.5, &mut rng);
+    for i in (0..t.len()).step_by(7) {
+        let (r, c) = (i / cols, i % cols);
+        t.set(r, c, 0.0);
+    }
+    t
+}
+
+/// `(m, k, n)` shapes spanning the predictor's working set: tiny GNN-layer
+/// products up to head-sized blocks.
+const KERNEL_SHAPES: [(usize, usize, usize); 4] =
+    [(8, 8, 12), (24, 64, 64), (64, 64, 64), (96, 128, 64)];
+
+/// One row of the kernel micro-bench table (scalar reference vs kernel
+/// layer, same operands, bitwise-compared outputs).
+#[derive(Debug, Clone)]
+pub struct KernelBenchRow {
+    /// Which product variant ("matmul", "matmul_nt", "matmul_tn").
+    pub op: &'static str,
+    /// `m×k·k×n` shape label.
+    pub shape: String,
+    /// Scalar reference wall-clock, milliseconds.
+    pub scalar_ms: f64,
+    /// Kernel-layer wall-clock, milliseconds.
+    pub kernel_ms: f64,
+    /// Whether both paths produced bit-identical outputs.
+    pub outputs_match: bool,
+}
+
+impl KernelBenchRow {
+    /// Scalar time over kernel time.
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ms / self.kernel_ms.max(1e-9)
+    }
+}
+
+/// Runs `f` `reps` times, returning wall-clock ms and the last output's
+/// bits.
+fn timed_product(reps: usize, f: &dyn Fn() -> Tensor) -> (f64, Vec<u32>) {
+    let t0 = Instant::now();
+    let mut last = Tensor::zeros(0, 0);
+    for _ in 0..reps {
+        last = f();
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    (ms, last.data().iter().map(|v| v.to_bits()).collect())
+}
+
+/// Times the scalar reference against the kernel layer per shape and product
+/// variant (`A·B`, `A·Bᵀ`, `Aᵀ·B` — the transposed variants' baselines
+/// materialize the transpose first, exactly like the pre-kernel backward
+/// pass). Repetitions follow the `NASFLAT_BENCH_*` budget.
+pub fn kernel_microbench() -> Vec<KernelBenchRow> {
+    let reps = match Budget::from_env().profile {
+        Profile::Fast => 40,
+        _ => 80,
+    };
+    let mut rows = Vec::new();
+    for &(m, k, n) in &KERNEL_SHAPES {
+        let shape = format!("{m}x{k}·{k}x{n}");
+        let a = bench_operand(m, k, 11 + m as u64);
+        let b = bench_operand(k, n, 23 + n as u64);
+        let bt = bench_operand(n, k, 23 + n as u64); // B stored transposed
+        let at = bench_operand(k, m, 11 + m as u64); // A stored transposed
+
+        type ProductFn<'a> = &'a dyn Fn() -> Tensor;
+        let variants: [(&'static str, ProductFn<'_>, ProductFn<'_>); 3] = [
+            ("matmul", &|| matmul_scalar_reference(&a, &b), &|| {
+                a.matmul(&b)
+            }),
+            (
+                "matmul_nt",
+                &|| matmul_scalar_reference(&a, &bt.transpose()),
+                &|| a.matmul_nt(&bt),
+            ),
+            (
+                "matmul_tn",
+                &|| matmul_scalar_reference(&at.transpose(), &b),
+                &|| at.matmul_tn(&b),
+            ),
+        ];
+        for (op, slow, fast) in variants {
+            let (scalar_ms, slow_bits) = timed_product(reps, slow);
+            let (kernel_ms, fast_bits) = timed_product(reps, fast);
+            rows.push(KernelBenchRow {
+                op,
+                shape: shape.clone(),
+                scalar_ms,
+                kernel_ms,
+                outputs_match: slow_bits == fast_bits,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the micro-bench rows as the markdown table uploaded by the CI
+/// `bench-quick` job (`BENCH_kernels.md`).
+pub fn kernel_table_markdown(rows: &[KernelBenchRow]) -> String {
+    let mut out = String::from(
+        "# Kernel micro-bench (scalar reference vs vectorized kernels)\n\n\
+         | op | shape | scalar ms | kernel ms | speedup | bit-identical |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2}x | {} |\n",
+            r.op,
+            r.shape,
+            r.scalar_ms,
+            r.kernel_ms,
+            r.speedup(),
+            if r.outputs_match { "yes" } else { "NO" }
+        ));
+    }
+    out
 }
 
 /// The reduced predictor the parallel workloads share: real architecture,
@@ -201,7 +412,10 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
 
     // 2. Batch prediction: a transferred predictor scoring the full pool.
     //    Transfer happens outside the timed region — this isolates the
-    //    embarrassingly parallel per-architecture forward passes.
+    //    per-architecture forward passes. Two gates share the scorer:
+    //    `batch_predict` (1 vs N threads on the batched path) and
+    //    `batch_forward` (per-arch fresh tapes vs `BatchSession` reuse at
+    //    the same N threads — the PR-3 acceptance comparison).
     {
         let pool = &wb.pool[..pool_n.min(wb.pool.len())];
         let table = nasflat_hw::LatencyTable::build(
@@ -214,11 +428,67 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
             .expect("random sampler cannot fail");
         let all: Vec<usize> = (0..wb.pool.len()).collect();
         let full_pool = &wb.pool;
-        targets.push(measure("batch_predict", threads, move || {
+        targets.push(measure("batch_predict", threads, || {
             let mut digest = Vec::new();
             digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
             digest
         }));
+        targets.push(measure_pair(
+            "batch_forward",
+            threads,
+            || {
+                // Baseline: the PR-2 path — one fresh autograd tape per
+                // architecture, parallel map over the pool.
+                let mut digest = Vec::new();
+                let scores = nasflat_parallel::par_map(&all, |&i| scorer.score(&full_pool[i]));
+                digest_f32(&mut digest, &scores);
+                digest
+            },
+            || {
+                // Optimized: chunked BatchSession tapes (graph built once
+                // per worker, buffers recycled per query).
+                let mut digest = Vec::new();
+                digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+                digest
+            },
+        ));
+    }
+
+    // 2b. Kernel layer: scalar reference matmul vs the cache-blocked
+    //     unrolled kernels over predictor-shaped operands (single-threaded
+    //     compute on both sides; the comparison is implementation, not
+    //     scaling).
+    {
+        let reps = match budget.profile {
+            Profile::Fast => 60,
+            _ => 120,
+        };
+        let operands: Vec<(Tensor, Tensor)> = KERNEL_SHAPES
+            .iter()
+            .map(|&(m, k, n)| {
+                (
+                    bench_operand(m, k, 31 + m as u64),
+                    bench_operand(k, n, 47 + n as u64),
+                )
+            })
+            .collect();
+        let digest_products = |f: &dyn Fn(&Tensor, &Tensor) -> Tensor| -> Vec<u64> {
+            let mut digest = Vec::new();
+            for (a, b) in &operands {
+                let mut last = Tensor::zeros(0, 0);
+                for _ in 0..reps {
+                    last = f(a, b);
+                }
+                digest_f32(&mut digest, last.data());
+            }
+            digest
+        };
+        targets.push(measure_pair(
+            "kernel_matmul",
+            threads,
+            || digest_products(&matmul_scalar_reference),
+            || digest_products(&|a, b| a.matmul(b)),
+        ));
     }
 
     // 3. Sampler pool evaluation: cosine + k-means over the encoding rows.
@@ -285,12 +555,22 @@ mod tests {
             threads: 4,
             host_parallelism: 8,
             profile: Profile::Fast,
-            targets: vec![ParallelTarget {
-                name: "demo".into(),
-                wall_ms_single: 100.0,
-                wall_ms_parallel: 25.0,
-                outputs_match: true,
-            }],
+            targets: vec![
+                ParallelTarget {
+                    name: "demo".into(),
+                    kind: ComparisonKind::Threads,
+                    wall_ms_single: 100.0,
+                    wall_ms_parallel: 25.0,
+                    outputs_match: true,
+                },
+                ParallelTarget {
+                    name: "batch_forward".into(),
+                    kind: ComparisonKind::Baseline,
+                    wall_ms_single: 50.0,
+                    wall_ms_parallel: 20.0,
+                    outputs_match: true,
+                },
+            ],
         };
         assert!(report.all_match());
         assert!((report.targets[0].speedup() - 4.0).abs() < 1e-9);
@@ -298,7 +578,24 @@ mod tests {
         assert!(json.contains(PARALLEL_SCHEMA));
         assert!(json.contains("\"threads_parallel\": 4"));
         assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.contains("\"kind\": \"threads\""));
+        assert!(json.contains("\"kind\": \"baseline\""));
         report.targets[0].outputs_match = false;
         assert!(!report.all_match());
+    }
+
+    #[test]
+    fn kernel_microbench_is_bit_exact_and_renders() {
+        let rows = kernel_microbench();
+        assert_eq!(rows.len(), KERNEL_SHAPES.len() * 3);
+        assert!(
+            rows.iter().all(|r| r.outputs_match),
+            "kernel diverged from the scalar reference: {rows:?}"
+        );
+        let md = kernel_table_markdown(&rows);
+        assert!(md.contains("| matmul |"));
+        assert!(md.contains("| matmul_nt |"));
+        assert!(md.contains("| matmul_tn |"));
+        assert!(!md.contains("| NO |"), "table reports a divergence:\n{md}");
     }
 }

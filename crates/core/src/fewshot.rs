@@ -362,23 +362,51 @@ impl TransferredPredictor<'_> {
     /// Panics if a supplement is configured but the pre-training ran without
     /// an encoding suite.
     pub fn score(&self, arch: &Arch) -> f32 {
-        let supp = self.predictor.config().supplement.map(|kind| {
+        self.predictor
+            .predict(arch, self.device, self.supp_for(arch).as_deref())
+    }
+
+    /// The supplementary encoding for an (arbitrary) architecture, per the
+    /// predictor config.
+    fn supp_for(&self, arch: &Arch) -> Option<Vec<f32>> {
+        self.predictor.config().supplement.map(|kind| {
             self.suite
                 .expect("supplement configured but no encoding suite attached")
                 .encode(kind, arch)
-        });
-        self.predictor.predict(arch, self.device, supp.as_deref())
+        })
     }
 
-    /// Scores for pool architectures by index, evaluated in parallel
-    /// (bit-identical to a sequential loop at any thread count).
+    /// [`TransferredPredictor::score`] on a reusable
+    /// [`BatchSession`](crate::BatchSession) tape (bit-identical, amortizes
+    /// tape storage across queries).
+    ///
+    /// # Panics
+    /// Panics if `session` was opened on a different predictor — scoring
+    /// would otherwise silently mix that predictor's weights with this
+    /// scorer's supplement configuration.
+    pub fn score_in(&self, session: &mut crate::BatchSession<'_>, arch: &Arch) -> f32 {
+        assert!(
+            std::ptr::eq(session.predictor(), &self.predictor),
+            "session belongs to a different predictor"
+        );
+        session.predict(arch, self.device, self.supp_for(arch).as_deref())
+    }
+
+    /// Scores for pool architectures by index, evaluated in parallel with
+    /// one [`BatchSession`](crate::BatchSession) tape per worker
+    /// (bit-identical to a sequential fresh-tape loop at any thread count).
     pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
-        nasflat_parallel::par_map(indices, |&i| self.score(&pool[i]))
+        self.predictor
+            .par_with_sessions(indices.len(), |session, j| {
+                self.score_in(session, &pool[indices[j]])
+            })
     }
 
-    /// Scores for a batch of arbitrary architectures, evaluated in parallel.
+    /// Scores for a batch of arbitrary architectures, evaluated in parallel
+    /// with one [`BatchSession`](crate::BatchSession) tape per worker.
     pub fn score_batch(&self, archs: &[Arch]) -> Vec<f32> {
-        nasflat_parallel::par_map(archs, |a| self.score(a))
+        self.predictor
+            .par_with_sessions(archs.len(), |session, i| self.score_in(session, &archs[i]))
     }
 }
 

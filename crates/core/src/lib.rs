@@ -55,9 +55,9 @@ pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };
 pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
-pub use predictor::LatencyPredictor;
+pub use predictor::{BatchSession, LatencyPredictor};
 pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
 pub use trainer::{
     evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain, train_step,
-    TrainContext,
+    train_step_on, TrainContext,
 };

@@ -152,6 +152,21 @@ impl LatencyPredictor {
     /// Panics on space mismatch, out-of-range device index, or a
     /// supplementary vector of the wrong width.
     pub fn forward(&self, g: &mut Graph, arch: &Arch, device: usize, supp: Option<&[f32]>) -> Var {
+        let mut node_ids = Vec::new();
+        self.forward_with_scratch(g, &mut node_ids, arch, device, supp)
+    }
+
+    /// [`LatencyPredictor::forward`] with a caller-owned node-id scratch
+    /// vector, so batched sessions rebuild the shared `0..n` gather list
+    /// once per topology instead of once per query.
+    fn forward_with_scratch(
+        &self,
+        g: &mut Graph,
+        node_ids: &mut Vec<usize>,
+        arch: &Arch,
+        device: usize,
+        supp: Option<&[f32]>,
+    ) -> Var {
         assert_eq!(
             arch.space(),
             self.space,
@@ -182,9 +197,14 @@ impl LatencyPredictor {
         let refined = self.ophw_gnn.forward(g, &self.store, prop, joint0, joint0);
         let joint = self.ophw_mlp.forward(g, &self.store, refined);
 
-        // Main GNN over node embeddings, gated by the joint embedding.
-        let node_ids: Vec<usize> = (0..n).collect();
-        let node_e = self.node_emb.forward(g, &self.store, &node_ids);
+        // Main GNN over node embeddings, gated by the joint embedding. The
+        // gather list is the shared per-space topology (`0..n`), cached in
+        // the scratch vector across session queries.
+        if node_ids.len() != n {
+            node_ids.clear();
+            node_ids.extend(0..n);
+        }
+        let node_e = self.node_emb.forward(g, &self.store, node_ids);
         let h = self.main_gnn.forward(g, &self.store, prop, node_e, joint);
         // Readout: output-node row ‖ mean over nodes. A GNN stack of depth L
         // only propagates information L hops toward the output node; on
@@ -213,9 +233,37 @@ impl LatencyPredictor {
         g.value(y).item()
     }
 
+    /// Opens a [`BatchSession`] over this predictor: one reusable tape whose
+    /// arenas amortize graph construction across many queries.
+    pub fn session(&self) -> BatchSession<'_> {
+        BatchSession::new(self)
+    }
+
+    /// Maps `f` over `0..n` in parallel with one [`BatchSession`] per
+    /// worker's contiguous chunk (results in index order) — the shared
+    /// chunking behind every batch-scoring path. Bit-identical at any
+    /// thread count for pure `f`.
+    pub(crate) fn par_with_sessions<R: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(&mut BatchSession<'_>, usize) -> R + Sync,
+    ) -> Vec<R> {
+        let indices: Vec<usize> = (0..n).collect();
+        let chunk = n.div_ceil(nasflat_parallel::current_threads()).max(1);
+        nasflat_parallel::par_chunks(&indices, chunk, |c| {
+            let mut session = self.session();
+            c.iter().map(|&i| f(&mut session, i)).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Predicts latency scores for a batch of architectures, evaluating them
-    /// in parallel (bounded by `NASFLAT_THREADS`). Each forward pass runs on
-    /// its own tape, so the result is bit-identical to calling
+    /// in parallel (bounded by `NASFLAT_THREADS`). Each worker runs one
+    /// [`BatchSession`] over its contiguous chunk, so the tape is built once
+    /// per worker instead of once per architecture; a cleared session tape
+    /// is bit-identical to a fresh one, so the result equals calling
     /// [`LatencyPredictor::predict`] in a loop, at any thread count.
     ///
     /// `supp` carries one supplementary row per architecture when the config
@@ -237,8 +285,8 @@ impl LatencyPredictor {
                 "one supplementary row per architecture"
             );
         }
-        nasflat_parallel::par_map_range(archs.len(), |i| {
-            self.predict(&archs[i], device, supp.map(|rows| rows[i].as_slice()))
+        self.par_with_sessions(archs.len(), |session, i| {
+            session.predict(&archs[i], device, supp.map(|rows| rows[i].as_slice()))
         })
     }
 
@@ -297,6 +345,59 @@ impl LatencyPredictor {
     }
 }
 
+/// A reusable forward-pass session for batched prediction.
+///
+/// Earlier batch paths built one autograd tape per architecture; a session
+/// instead holds **one** [`Graph`] whose node vector and `f32` buffers are
+/// recycled via [`Graph::clear`] between queries, plus a cached node-id
+/// scratch vector the gather op shares across same-topology architectures.
+/// What this amortizes is tape *storage*: steady-state queries stop hitting
+/// the allocator for node, value, gradient, and parameter-leaf buffers.
+/// Parameter *values* are still copied onto the tape per query (into pooled
+/// buffers), as every forward must read the current weights.
+///
+/// Determinism: a cleared tape re-zeroes every recycled buffer, so a session
+/// query is **bit-identical** to [`LatencyPredictor::predict`] on a fresh
+/// tape — the determinism suite pins this at 1/2/8 threads.
+///
+/// Sessions are cheap to create (one per worker thread in the batch paths)
+/// and borrow the predictor immutably, so many sessions can run
+/// concurrently.
+pub struct BatchSession<'p> {
+    pred: &'p LatencyPredictor,
+    graph: Graph,
+    node_ids: Vec<usize>,
+}
+
+impl<'p> BatchSession<'p> {
+    /// Opens a session over `pred` with an empty tape.
+    pub fn new(pred: &'p LatencyPredictor) -> Self {
+        BatchSession {
+            pred,
+            graph: Graph::new(),
+            node_ids: Vec::new(),
+        }
+    }
+
+    /// The predictor this session runs on.
+    pub fn predictor(&self) -> &'p LatencyPredictor {
+        self.pred
+    }
+
+    /// Predicts the latency score of one architecture on the session tape
+    /// (bit-identical to [`LatencyPredictor::predict`]).
+    ///
+    /// # Panics
+    /// Panics on the same conditions as [`LatencyPredictor::forward`].
+    pub fn predict(&mut self, arch: &Arch, device: usize, supp: Option<&[f32]>) -> f32 {
+        self.graph.clear();
+        let y =
+            self.pred
+                .forward_with_scratch(&mut self.graph, &mut self.node_ids, arch, device, supp);
+        self.graph.value(y).item()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +427,28 @@ mod tests {
         let y2 = p.predict(&arch, 0, None);
         assert_eq!(y1, y2);
         assert!(y1.is_finite());
+    }
+
+    #[test]
+    fn batch_session_matches_fresh_tapes_bitwise() {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let archs: Vec<Arch> = (0..12u64)
+            .map(|i| Arch::nb201_from_index(i * 977))
+            .collect();
+        let mut session = p.session();
+        for (i, arch) in archs.iter().enumerate() {
+            let dev = i % 3;
+            let fresh = p.predict(arch, dev, None);
+            let pooled = session.predict(arch, dev, None);
+            assert_eq!(fresh.to_bits(), pooled.to_bits(), "arch {i} diverged");
+        }
+        // predict_batch (chunked sessions) agrees with the per-arch loop.
+        let batch = p.predict_batch(&archs, 1, None);
+        let loop_scores: Vec<f32> = archs.iter().map(|a| p.predict(a, 1, None)).collect();
+        assert_eq!(
+            batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            loop_scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -67,6 +67,9 @@ impl<'a> TrainContext<'a> {
 /// One gradient step on a batch of `(arch index, normalized target)` pairs
 /// for a single device. Returns the batch loss (`None` when the ranking loss
 /// had no comparable pairs and the step was skipped).
+///
+/// Builds each step on a fresh tape; the epoch loops ([`pretrain`],
+/// [`fine_tune`]) use [`train_step_on`] with one reused tape instead.
 pub fn train_step(
     pred: &mut LatencyPredictor,
     ctx: &TrainContext<'_>,
@@ -74,25 +77,39 @@ pub fn train_step(
     batch: &[(usize, f32)],
     adam: &AdamConfig,
 ) -> Option<f32> {
+    let mut g = Graph::new();
+    train_step_on(pred, ctx, device, batch, adam, &mut g)
+}
+
+/// [`train_step`] on a caller-owned tape: the tape is cleared (arenas
+/// retained) before the forward pass, so per-step graph construction stops
+/// allocating once the first step has sized the buffers. Bit-identical to
+/// building every step on a fresh tape.
+pub fn train_step_on(
+    pred: &mut LatencyPredictor,
+    ctx: &TrainContext<'_>,
+    device: usize,
+    batch: &[(usize, f32)],
+    adam: &AdamConfig,
+    g: &mut Graph,
+) -> Option<f32> {
     if batch.is_empty() {
         return None;
     }
     let cfg = pred.config().clone();
     pred.store.zero_grads();
-    let mut g = Graph::new();
+    g.clear();
     let mut scores = Vec::with_capacity(batch.len());
     let mut targets = Vec::with_capacity(batch.len());
     for &(idx, t) in batch {
         let supp = ctx.supplement(&cfg, idx);
-        let y = pred.forward(&mut g, &ctx.pool[idx], device, supp.as_deref());
+        let y = pred.forward(g, &ctx.pool[idx], device, supp.as_deref());
         scores.push(y);
         targets.push(t);
     }
     let loss = match cfg.loss {
-        LossKind::PairwiseHinge => {
-            pairwise_hinge_loss(&mut g, &scores, &targets, cfg.hinge_margin)?
-        }
-        LossKind::Mse => mse_loss(&mut g, &scores, &targets),
+        LossKind::PairwiseHinge => pairwise_hinge_loss(g, &scores, &targets, cfg.hinge_margin)?,
+        LossKind::Mse => mse_loss(g, &scores, &targets),
     };
     let value = g.value(loss).item();
     g.backward(loss);
@@ -112,6 +129,7 @@ pub fn pretrain(pred: &mut LatencyPredictor, ctx: &TrainContext<'_>, data: &Pret
         ..AdamConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ED_1234);
+    let mut g = Graph::new(); // one tape for the whole pre-training
     for _ in 0..cfg.epochs {
         let mut device_order: Vec<usize> = (0..data.devices.len()).collect();
         device_order.shuffle(&mut rng);
@@ -120,7 +138,7 @@ pub fn pretrain(pred: &mut LatencyPredictor, ctx: &TrainContext<'_>, data: &Pret
             let mut samples = ds.samples.clone();
             samples.shuffle(&mut rng);
             for batch in samples.chunks(cfg.batch_size) {
-                train_step(pred, ctx, ds.device, batch, &adam);
+                train_step_on(pred, ctx, ds.device, batch, &adam, &mut g);
             }
         }
     }
@@ -142,11 +160,12 @@ pub fn fine_tune(
         ..AdamConfig::default()
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17E_704E ^ device as u64);
+    let mut g = Graph::new(); // one tape for the whole fine-tuning
     for _ in 0..cfg.transfer_epochs {
         let mut order = samples.samples.clone();
         order.shuffle(&mut rng);
         for batch in order.chunks(cfg.batch_size) {
-            train_step(pred, ctx, device, batch, &adam);
+            train_step_on(pred, ctx, device, batch, &adam, &mut g);
         }
     }
 }
@@ -183,8 +202,10 @@ pub fn hw_init_from_correlation(
 /// Predicts latency scores for pool architectures by index.
 ///
 /// Predictions run in parallel over the `nasflat-parallel` layer (bounded by
-/// `NASFLAT_THREADS`); each forward pass is pure, so the output is
-/// bit-identical at any thread count.
+/// `NASFLAT_THREADS`); each worker reuses one
+/// [`BatchSession`](crate::BatchSession) tape over its contiguous chunk.
+/// Session tapes are bit-identical to fresh tapes and each forward pass is
+/// pure, so the output is bit-identical at any thread count.
 pub fn predict_indices(
     pred: &LatencyPredictor,
     ctx: &TrainContext<'_>,
@@ -192,9 +213,10 @@ pub fn predict_indices(
     indices: &[usize],
 ) -> Vec<f32> {
     let cfg = pred.config();
-    nasflat_parallel::par_map(indices, |&i| {
+    pred.par_with_sessions(indices.len(), |session, j| {
+        let i = indices[j];
         let supp = ctx.supplement(cfg, i);
-        pred.predict(&ctx.pool[i], device, supp.as_deref())
+        session.predict(&ctx.pool[i], device, supp.as_deref())
     })
 }
 

@@ -60,6 +60,38 @@ fn batch_prediction_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn batch_session_is_bit_identical_to_per_arch_tapes_across_thread_counts() {
+    let pool = probe_pool(Space::Nb201, 64, 7);
+    let pred = LatencyPredictor::new(
+        Space::Nb201,
+        vec!["a".into(), "b".into()],
+        0,
+        tiny().predictor,
+    );
+    // Ground truth: one fresh tape per architecture, sequential — the PR-2
+    // per-arch path.
+    let per_arch: Vec<u32> = pool
+        .iter()
+        .map(|a| pred.predict(a, 0, None).to_bits())
+        .collect();
+
+    // A single session sweeping the whole pool on one reused tape.
+    let mut session = pred.session();
+    let swept: Vec<u32> = pool
+        .iter()
+        .map(|a| session.predict(a, 0, None).to_bits())
+        .collect();
+    assert_eq!(per_arch, swept, "session tape diverged from fresh tapes");
+
+    // The chunked-session batch path at 1/2/8 threads (chunk boundaries —
+    // and therefore which queries share a tape — differ per thread count).
+    for &t in &THREAD_COUNTS {
+        let batched = with_threads(t, || bits(&pred.predict_batch(&pool, 0, None)));
+        assert_eq!(per_arch, batched, "predict_batch diverged at {t} threads");
+    }
+}
+
+#[test]
 fn ensemble_training_and_scoring_are_bit_identical_across_thread_counts() {
     let task = paper_task("ND").unwrap();
     let pool = probe_pool(Space::Nb201, 60, 1);

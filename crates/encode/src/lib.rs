@@ -35,6 +35,6 @@ mod zcp;
 
 pub use arch2vec::{Arch2Vec, Arch2VecConfig};
 pub use cate::{flops_partners, Cate, CateConfig};
-pub use normalize::{cosine_similarity, zscore_pool, ColumnStats};
+pub use normalize::{cosine_similarity, row_norms, zscore_pool, ColumnStats};
 pub use suite::{EncodingKind, EncodingSuite, SuiteConfig};
 pub use zcp::{zcp_features, ZCP_DIM, ZCP_NAMES};

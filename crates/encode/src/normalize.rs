@@ -72,6 +72,16 @@ pub fn zscore_pool(rows: &mut [Vec<f32>]) -> ColumnStats {
     stats
 }
 
+/// Euclidean norms of each row, accumulated in `f64` (the exact values
+/// [`cosine_similarity`] derives internally, precomputed once per pool so
+/// similarity scans stop re-deriving them — see
+/// `nasflat_sample::EncodingCache`).
+pub fn row_norms(rows: &[Vec<f32>]) -> Vec<f64> {
+    rows.iter()
+        .map(|r| r.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt())
+        .collect()
+}
+
 /// Cosine similarity between two equal-length vectors; 0.0 when either is a
 /// zero vector.
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {

@@ -9,7 +9,7 @@ use nasflat_space::Arch;
 
 use crate::arch2vec::{Arch2Vec, Arch2VecConfig};
 use crate::cate::{Cate, CateConfig};
-use crate::normalize::{zscore_pool, ColumnStats};
+use crate::normalize::{row_norms, zscore_pool, ColumnStats};
 use crate::zcp::zcp_features;
 
 /// Which architecture encoding to use.
@@ -100,6 +100,10 @@ pub struct EncodingSuite {
     arch2vec: Vec<Vec<f32>>,
     cate: Vec<Vec<f32>>,
     caz: Vec<Vec<f32>>,
+    zcp_norms: Vec<f64>,
+    a2v_norms: Vec<f64>,
+    cate_norms: Vec<f64>,
+    caz_norms: Vec<f64>,
     zcp_stats: ColumnStats,
     a2v_stats: ColumnStats,
     cate_stats: ColumnStats,
@@ -129,7 +133,7 @@ impl EncodingSuite {
         let zcp_stats = zscore_pool(&mut zcp);
         let a2v_stats = zscore_pool(&mut arch2vec);
         let cate_stats = zscore_pool(&mut cate);
-        let caz = (0..pool.len())
+        let caz: Vec<Vec<f32>> = (0..pool.len())
             .map(|i| {
                 let mut row = cate[i].clone();
                 row.extend_from_slice(&arch2vec[i]);
@@ -137,11 +141,22 @@ impl EncodingSuite {
                 row
             })
             .collect();
+        // Row norms are fixed once the tables are z-scored; precomputing
+        // them here lets every cosine-similarity scan across samplers,
+        // trials, and bench tables reuse them instead of re-deriving.
+        let zcp_norms = row_norms(&zcp);
+        let a2v_norms = row_norms(&arch2vec);
+        let cate_norms = row_norms(&cate);
+        let caz_norms = row_norms(&caz);
         EncodingSuite {
             zcp,
             arch2vec,
             cate,
             caz,
+            zcp_norms,
+            a2v_norms,
+            cate_norms,
+            caz_norms,
             zcp_stats,
             a2v_stats,
             cate_stats,
@@ -173,6 +188,22 @@ impl EncodingSuite {
     /// Width of a vector encoding.
     pub fn dim(&self, kind: EncodingKind) -> usize {
         self.rows(kind)[0].len()
+    }
+
+    /// Precomputed per-row Euclidean norms of a vector encoding table
+    /// (matching [`row_norms`] over [`EncodingSuite::rows`]); cosine
+    /// similarity scans reuse these instead of re-deriving them per query.
+    ///
+    /// # Panics
+    /// Panics for [`EncodingKind::AdjOp`] (not a pooled vector encoding).
+    pub fn norms(&self, kind: EncodingKind) -> &[f64] {
+        match kind {
+            EncodingKind::Zcp => &self.zcp_norms,
+            EncodingKind::Arch2Vec => &self.a2v_norms,
+            EncodingKind::Cate => &self.cate_norms,
+            EncodingKind::Caz => &self.caz_norms,
+            EncodingKind::AdjOp => panic!("AdjOp is not a pooled vector encoding"),
+        }
     }
 
     /// Encodes an architecture outside the pool with the same trained
@@ -241,6 +272,20 @@ mod tests {
             let stored = &suite.rows(kind)[5];
             for (a, b) in fresh.iter().zip(stored) {
                 assert!((a - b).abs() < 1e-5, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn norms_match_recomputation() {
+        let p = pool(24);
+        let suite = EncodingSuite::build(&p, &SuiteConfig::quick());
+        for kind in EncodingKind::samplers() {
+            let expect = crate::normalize::row_norms(suite.rows(kind));
+            let got = suite.norms(kind);
+            assert_eq!(got.len(), 24);
+            for (a, b) in expect.iter().zip(got) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kind:?}");
             }
         }
     }

@@ -45,4 +45,6 @@ pub use calibrate::Calibration;
 pub use cost::NasCost;
 pub use oracle::AccuracyOracle;
 pub use pareto::{dominates, hypervolume, pareto_front, Point};
-pub use search::{constrained_search, SearchConfig, SearchResult};
+pub use search::{
+    constrained_search, BatchedLatency, LatencyEstimator, SearchConfig, SearchResult,
+};

@@ -15,6 +15,59 @@ use nasflat_space::{Arch, Space};
 
 use crate::oracle::AccuracyOracle;
 
+/// A latency estimator the search can query one architecture at a time or —
+/// where the implementation can amortize work (shared autograd tapes,
+/// batched forwards) — a whole population at once.
+///
+/// Plain `Fn(&Arch) -> f32 + Sync` closures implement this trait via the
+/// blanket impl, so simple estimators keep working unchanged; estimators
+/// with a cheaper batched path (e.g. NASFLAT scoring over `BatchSession`
+/// tapes) provide it through [`BatchedLatency`] or a manual impl.
+pub trait LatencyEstimator: Sync {
+    /// Latency estimate (ms or calibrated score) of one architecture.
+    fn latency_ms(&self, arch: &Arch) -> f32;
+
+    /// Latency estimates for a population, in input order. The default maps
+    /// [`LatencyEstimator::latency_ms`] in parallel; either path is
+    /// bit-identical to a sequential loop at any thread count.
+    fn latency_batch(&self, archs: &[Arch]) -> Vec<f32> {
+        nasflat_parallel::par_map(archs, |a| self.latency_ms(a))
+    }
+}
+
+impl<F> LatencyEstimator for F
+where
+    F: Fn(&Arch) -> f32 + Sync,
+{
+    fn latency_ms(&self, arch: &Arch) -> f32 {
+        self(arch)
+    }
+}
+
+/// Pairs a single-query closure with an explicit batched closure, turning
+/// them into a [`LatencyEstimator`] (the glue `run_nas`-style harnesses use
+/// to expose a predictor's batched forward path to the search).
+pub struct BatchedLatency<F, B> {
+    /// Single-architecture estimate.
+    pub single: F,
+    /// Population estimate, in input order.
+    pub batch: B,
+}
+
+impl<F, B> LatencyEstimator for BatchedLatency<F, B>
+where
+    F: Fn(&Arch) -> f32 + Sync,
+    B: Fn(&[Arch]) -> Vec<f32> + Sync,
+{
+    fn latency_ms(&self, arch: &Arch) -> f32 {
+        (self.single)(arch)
+    }
+
+    fn latency_batch(&self, archs: &[Arch]) -> Vec<f32> {
+        (self.batch)(archs)
+    }
+}
+
 /// Evolutionary-search hyperparameters.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -70,20 +123,23 @@ pub struct SearchResult {
 /// Infeasible candidates are admitted with a penalty proportional to their
 /// constraint violation, so the search can traverse the boundary.
 ///
-/// The latency predictor must be `Fn + Sync`: the initial population is
-/// scored in parallel (one thread per slice of candidates, bounded by
-/// `NASFLAT_THREADS`). Candidate *generation* stays on a single sequential
-/// RNG stream and scoring is elementwise, so the search trajectory — and the
-/// returned result — is bit-identical at any thread count.
-pub fn constrained_search<F>(
+/// The latency predictor is any [`LatencyEstimator`] (plain `Fn + Sync`
+/// closures qualify): the seed population is scored through its batched
+/// path, which amortizes tape construction when the estimator supports it
+/// and falls back to a parallel per-candidate map otherwise (bounded by
+/// `NASFLAT_THREADS` either way). Candidate *generation* stays on a single
+/// sequential RNG stream and scoring is elementwise, so the search
+/// trajectory — and the returned result — is bit-identical at any thread
+/// count.
+pub fn constrained_search<E>(
     space: Space,
     oracle: &AccuracyOracle,
-    latency_ms: F,
+    latency_ms: E,
     constraint_ms: f32,
     cfg: &SearchConfig,
 ) -> SearchResult
 where
-    F: Fn(&Arch) -> f32 + Sync,
+    E: LatencyEstimator,
 {
     assert!(constraint_ms > 0.0, "constraint must be positive");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -104,16 +160,19 @@ where
         }
     };
 
-    // Seed population: generate sequentially (one RNG stream), score in
-    // parallel — oracle and predictor queries dominate the wall clock.
+    // Seed population: generate sequentially (one RNG stream), score through
+    // the estimator's batched path — oracle and predictor queries dominate
+    // the wall clock.
     let init: Vec<Arch> = (0..cfg.population)
         .map(|_| Arch::random(space, &mut rng))
         .collect();
     queries += init.len();
-    let scored = nasflat_parallel::par_map(&init, |a| (oracle.accuracy(a), latency_ms(a)));
+    let accs = nasflat_parallel::par_map(&init, |a| oracle.accuracy(a));
+    let lats = latency_ms.latency_batch(&init);
+    assert_eq!(lats.len(), init.len(), "estimator batch length mismatch");
     let mut population: Vec<Member> = init
         .into_iter()
-        .zip(scored)
+        .zip(accs.into_iter().zip(lats))
         .map(|(arch, (acc, lat))| Member { arch, acc, lat })
         .collect();
     let mut best: Option<Member> = None;
@@ -148,7 +207,7 @@ where
         queries += 1;
         let child = Member {
             acc: oracle.accuracy(&child_arch),
-            lat: latency_ms(&child_arch),
+            lat: latency_ms.latency_ms(&child_arch),
             arch: child_arch,
         };
         consider(&child, &mut best);
@@ -190,7 +249,7 @@ mod tests {
         let result = constrained_search(
             Space::Nb201,
             &oracle,
-            |a| latency_ms(&dev, a) as f32,
+            |a: &Arch| latency_ms(&dev, a) as f32,
             20.0,
             &SearchConfig::quick(),
         );
@@ -209,14 +268,14 @@ mod tests {
         let loose = constrained_search(
             Space::Nb201,
             &oracle,
-            |a| latency_ms(&dev, a) as f32,
+            |a: &Arch| latency_ms(&dev, a) as f32,
             30.0,
             &cfg,
         );
         let tight = constrained_search(
             Space::Nb201,
             &oracle,
-            |a| latency_ms(&dev, a) as f32,
+            |a: &Arch| latency_ms(&dev, a) as f32,
             8.0,
             &cfg,
         );

@@ -39,7 +39,10 @@ mod basic;
 mod methods;
 
 pub use basic::{latency_spread, params_spread, random_indices, spread_by_key};
-pub use methods::{cosine_select, kmeans_select, mean_pairwise_similarity, SelectError};
+pub use methods::{
+    cosine_select, cosine_select_cached, kmeans_select, mean_pairwise_similarity, EncodingCache,
+    SelectError,
+};
 
 use nasflat_encode::{EncodingKind, EncodingSuite};
 use nasflat_space::Arch;
@@ -150,7 +153,13 @@ impl Sampler {
                 assert_eq!(suite.pool_len(), n, "encoding suite must cover the pool");
                 let rows = suite.rows(*kind);
                 match method {
-                    SelectionMethod::Cosine => cosine_select(rows, k, rng),
+                    // Reuse the suite's precomputed row norms: selections
+                    // across samplers/trials never re-derive them.
+                    SelectionMethod::Cosine => cosine_select_cached(
+                        &EncodingCache::with_norms(rows, suite.norms(*kind)),
+                        k,
+                        rng,
+                    ),
                     SelectionMethod::KMeans => kmeans_select(rows, k, rng),
                 }
             }

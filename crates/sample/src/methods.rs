@@ -8,11 +8,20 @@
 //! either way: both paths are the same pure elementwise map in input order,
 //! and every reduction (arg-min scans, centroid accumulation) stays
 //! sequential.
+//!
+//! Cosine scans run over an [`EncodingCache`]: the normalized encoding
+//! matrix plus its precomputed row norms. Building the cache from an
+//! [`EncodingSuite`](nasflat_encode::EncodingSuite)'s stored norms (as
+//! [`Sampler::select`](crate::Sampler::select) does) means the norms are
+//! derived **once per pool** and reused across samplers, trials, and bench
+//! tables instead of being recomputed inside every similarity call.
+
+use std::borrow::Cow;
 
 use rand::Rng;
 
-use nasflat_encode::cosine_similarity;
-use nasflat_parallel::par_map;
+use nasflat_encode::{cosine_similarity, row_norms};
+use nasflat_parallel::{par_map, par_map_range};
 
 /// Minimum `rows × dim` scalar work before a pool scan fans out: below
 /// this, per-worker thread-spawn cost (~tens of µs) exceeds the scan
@@ -28,6 +37,83 @@ fn pool_scan<R: Send>(rows: &[Vec<f32>], f: impl Fn(&Vec<f32>) -> R + Sync) -> V
         par_map(rows, f)
     } else {
         rows.iter().map(f).collect()
+    }
+}
+
+/// Index-based [`pool_scan`] twin for cache-backed scans.
+fn pool_scan_idx<R: Send>(n: usize, dim: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if n * dim >= MIN_PAR_SCAN_SCALARS {
+        par_map_range(n, f)
+    } else {
+        (0..n).map(f).collect()
+    }
+}
+
+/// A normalized encoding matrix bundled with its per-row Euclidean norms,
+/// the unit of reuse for cosine pool scans.
+///
+/// [`EncodingCache::new`] derives the norms once from the rows;
+/// [`EncodingCache::with_norms`] borrows norms something longer-lived (an
+/// `EncodingSuite`) already holds, so repeated selections over one pool
+/// never re-derive them. Either way [`EncodingCache::cosine`] is
+/// bit-identical to [`cosine_similarity`] on the same rows: the dot product
+/// accumulates in the same `f64` index order and the denominator multiplies
+/// the same `f64` square-rooted norms.
+pub struct EncodingCache<'a> {
+    rows: &'a [Vec<f32>],
+    norms: Cow<'a, [f64]>,
+}
+
+impl<'a> EncodingCache<'a> {
+    /// Builds a cache, deriving the row norms.
+    pub fn new(rows: &'a [Vec<f32>]) -> Self {
+        EncodingCache {
+            rows,
+            norms: Cow::Owned(row_norms(rows)),
+        }
+    }
+
+    /// Builds a cache around norms precomputed elsewhere (they must be
+    /// [`row_norms`] of `rows`).
+    ///
+    /// # Panics
+    /// Panics if `norms` and `rows` disagree in length.
+    pub fn with_norms(rows: &'a [Vec<f32>], norms: &'a [f64]) -> Self {
+        assert_eq!(rows.len(), norms.len(), "one norm per encoding row");
+        EncodingCache {
+            rows,
+            norms: Cow::Borrowed(norms),
+        }
+    }
+
+    /// Number of encoded architectures.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The encoding rows.
+    pub fn rows(&self) -> &'a [Vec<f32>] {
+        self.rows
+    }
+
+    /// Cosine similarity of rows `i` and `j`, reusing the cached norms
+    /// (bit-identical to [`cosine_similarity`]; 0.0 when either row is a
+    /// zero vector).
+    pub fn cosine(&self, i: usize, j: usize) -> f32 {
+        let (na, nb) = (self.norms[i], self.norms[j]);
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let mut dot = 0.0f64;
+        for (&x, &y) in self.rows[i].iter().zip(&self.rows[j]) {
+            dot += x as f64 * y as f64;
+        }
+        (dot / (na * nb)) as f32
     }
 }
 
@@ -83,6 +169,10 @@ impl std::error::Error for SelectError {}
 /// point. Low average pairwise similarity ⇒ wide design-space coverage
 /// (paper §4.2, "Cosine Similarity").
 ///
+/// Derives an [`EncodingCache`] internally; callers selecting repeatedly
+/// over one pool should build the cache once and use
+/// [`cosine_select_cached`].
+///
 /// # Errors
 /// Returns [`SelectError::PoolTooSmall`] when `k > rows.len()`.
 pub fn cosine_select<R: Rng>(
@@ -90,19 +180,35 @@ pub fn cosine_select<R: Rng>(
     k: usize,
     rng: &mut R,
 ) -> Result<Vec<usize>, SelectError> {
-    if k > rows.len() {
+    cosine_select_cached(&EncodingCache::new(rows), k, rng)
+}
+
+/// [`cosine_select`] over a prebuilt [`EncodingCache`], so the row norms are
+/// computed (or borrowed from an encoding suite) once per pool instead of
+/// once per similarity call. Bit-identical to [`cosine_select`].
+///
+/// # Errors
+/// Returns [`SelectError::PoolTooSmall`] when `k > cache.len()`.
+pub fn cosine_select_cached<R: Rng>(
+    cache: &EncodingCache<'_>,
+    k: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, SelectError> {
+    let n = cache.len();
+    if k > n {
         return Err(SelectError::PoolTooSmall {
             requested: k,
-            available: rows.len(),
+            available: n,
         });
     }
     let mut picked: Vec<usize> = Vec::with_capacity(k);
     if k == 0 {
         return Ok(picked);
     }
-    picked.push(rng.random_range(0..rows.len()));
+    let dim = cache.rows().first().map_or(0, Vec::len);
+    picked.push(rng.random_range(0..n));
     // max similarity to the picked set, per candidate (parallel pool scan)
-    let mut max_sim: Vec<f32> = pool_scan(rows, |r| cosine_similarity(r, &rows[picked[0]]));
+    let mut max_sim: Vec<f32> = pool_scan_idx(n, dim, |i| cache.cosine(i, picked[0]));
     while picked.len() < k {
         let mut best = None;
         let mut best_sim = f32::INFINITY;
@@ -117,7 +223,7 @@ pub fn cosine_select<R: Rng>(
         }
         let chosen = best.expect("pool larger than k ensures a candidate");
         picked.push(chosen);
-        let sims = pool_scan(rows, |r| cosine_similarity(r, &rows[chosen]));
+        let sims = pool_scan_idx(n, dim, |i| cache.cosine(i, chosen));
         for (s, sim) in max_sim.iter_mut().zip(sims) {
             if sim > *s {
                 *s = sim;
@@ -360,6 +466,47 @@ mod tests {
             cm < rm,
             "cosine {cm} should be more diverse than random {rm}"
         );
+    }
+
+    #[test]
+    fn cached_cosine_matches_cosine_similarity_bitwise() {
+        let rows = blob_rows();
+        let cache = EncodingCache::new(&rows);
+        let norms = nasflat_encode::row_norms(&rows);
+        let borrowed = EncodingCache::with_norms(&rows, &norms);
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                let direct = cosine_similarity(&rows[i], &rows[j]);
+                assert_eq!(direct.to_bits(), cache.cosine(i, j).to_bits());
+                assert_eq!(direct.to_bits(), borrowed.cosine(i, j).to_bits());
+            }
+        }
+        // zero rows short-circuit to 0.0 exactly like cosine_similarity
+        let with_zero = vec![vec![0.0f32, 0.0], vec![1.0, 2.0]];
+        let zc = EncodingCache::new(&with_zero);
+        assert_eq!(zc.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cached_selection_matches_uncached_selection() {
+        let rows = blob_rows();
+        let norms = nasflat_encode::row_norms(&rows);
+        for seed in 0..10 {
+            let mut r1 = StdRng::seed_from_u64(seed);
+            let plain = cosine_select(&rows, 5, &mut r1).unwrap();
+            let mut r2 = StdRng::seed_from_u64(seed);
+            let cached =
+                cosine_select_cached(&EncodingCache::with_norms(&rows, &norms), 5, &mut r2)
+                    .unwrap();
+            assert_eq!(plain, cached);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one norm per encoding row")]
+    fn mismatched_norms_are_rejected() {
+        let rows = blob_rows();
+        let _ = EncodingCache::with_norms(&rows, &[1.0]);
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! Tape-based reverse-mode automatic differentiation.
 //!
-//! A [`Graph`] is rebuilt for every forward pass (per training batch). Ops
-//! append nodes to the tape; [`Graph::backward`] walks the tape in reverse,
-//! accumulating gradients. Parameters live outside the graph in a
+//! A [`Graph`] is a reusable tape: ops append nodes, [`Graph::backward`]
+//! walks the tape in reverse accumulating gradients, and [`Graph::clear`]
+//! resets it for the next forward pass while **retaining its arenas** — the
+//! node vector's capacity and every node's `f32` buffer go back into a free
+//! pool that subsequent passes draw from, so steady-state forward passes
+//! allocate nothing. Parameters live outside the graph in a
 //! [`ParamStore`](crate::ParamStore) and are inserted as leaves that remember
 //! their [`ParamId`](crate::ParamId) so gradients can be written back.
 //!
 //! The op set is exactly what the NASFLAT predictor needs: matrix products,
 //! element-wise arithmetic and activations, adjacency-masked softmax (for
 //! graph attention), LayerNorm, row gather/scatter (embedding lookup), and a
-//! few reductions.
+//! few reductions. All dense inner loops run on the unrolled
+//! [`kernels`](crate::kernels); `MatMul` backward uses the transposed fast
+//! paths (`A·Bᵀ`, `Aᵀ·B`) instead of materializing `transpose()` copies.
 
+use crate::kernels;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -57,10 +63,13 @@ struct Node {
     aux: Vec<Tensor>,
 }
 
-/// A reverse-mode autodiff tape.
+/// A reverse-mode autodiff tape with a reusable buffer arena.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Recycled `f32` buffers from cleared passes; [`Graph::clear`] refills
+    /// it, the private allocators below drain it.
+    free: Vec<Vec<f32>>,
 }
 
 impl Graph {
@@ -68,6 +77,7 @@ impl Graph {
     pub fn new() -> Self {
         Graph {
             nodes: Vec::with_capacity(256),
+            free: Vec::new(),
         }
     }
 
@@ -81,12 +91,63 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Resets the tape for the next forward pass while retaining capacity:
+    /// the node vector keeps its allocation and every node's value, gradient,
+    /// aux, and mask buffer is recycled into the arena, so a cleared graph
+    /// re-runs a same-shaped forward pass with (at most) a bounded handful
+    /// of fresh allocations — pooled ops, gradients, and parameter leaves
+    /// all draw from the arena.
+    ///
+    /// The arena is capped relative to the pass that was just cleared: a
+    /// pass also *donates* buffers it allocated outside the pool (constants
+    /// such as propagation matrices, attention-mask clones), and without a
+    /// cap those would accumulate across thousands of session queries.
+    /// Surplus buffers are dropped here instead.
+    ///
+    /// A cleared graph is indistinguishable from a fresh one — recycled
+    /// buffers are re-zeroed on reuse, so outputs are bit-identical to
+    /// building each pass on `Graph::new()`.
+    pub fn clear(&mut self) {
+        let nodes = self.nodes.len();
+        for node in self.nodes.drain(..) {
+            self.free.push(node.value.into_vec());
+            self.free.push(node.grad.into_vec());
+            for aux in node.aux {
+                self.free.push(aux.into_vec());
+            }
+            if let Op::SoftmaxRowsMasked(_, Some(mask)) = node.op {
+                self.free.push(mask.into_vec());
+            }
+        }
+        // One pass pops at most value + grad + aux buffers per node
+        // (< 4 per node); anything beyond that bound can never be reused.
+        self.free.truncate(4 * nodes + 16);
+    }
+
+    /// A zero-filled buffer of `len`, recycled from the arena when possible.
+    fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// A pooled zeros tensor.
+    fn zeros(&mut self, rows: usize, cols: usize) -> Tensor {
+        let buf = self.take_buf(rows * cols);
+        Tensor::from_vec(rows, cols, buf)
+    }
+
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
         self.push_aux(value, op, requires_grad, Vec::new())
     }
 
     fn push_aux(&mut self, value: Tensor, op: Op, requires_grad: bool, aux: Vec<Tensor>) -> Var {
-        let grad = Tensor::zeros(value.rows(), value.cols());
+        let grad = self.zeros(value.rows(), value.cols());
         self.nodes.push(Node {
             value,
             grad,
@@ -114,9 +175,19 @@ impl Graph {
     }
 
     /// Inserts a parameter from `store`, remembering its id for
-    /// [`Graph::write_grads`].
+    /// [`Graph::write_grads`]. The on-tape copy uses a pooled buffer.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        let v = self.push(store.value(id).clone(), Op::Leaf, true);
+        let src = store.value(id);
+        let (rows, cols) = src.shape();
+        let mut buf = match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(rows * cols),
+        };
+        buf.extend_from_slice(src.data());
+        let v = self.push(Tensor::from_vec(rows, cols, buf), Op::Leaf, true);
         self.nodes[v.0].param = Some(id);
         v
     }
@@ -135,56 +206,83 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let (m, ka) = self.nodes[a.0].value.shape();
+        let (kb, n) = self.nodes[b.0].value.shape();
+        assert_eq!(
+            ka,
+            kb,
+            "matmul shape mismatch: {:?} x {:?}",
+            (m, ka),
+            (kb, n)
+        );
+        let mut v = self.zeros(m, n);
+        kernels::matmul(
+            m,
+            ka,
+            n,
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            v.data_mut(),
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MatMul(a, b), rg)
     }
 
     /// Element-wise sum. Shapes must match.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
-        let mut v = ta.clone();
-        v.axpy(1.0, tb);
+        let (sa, sb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        assert_eq!(sa, sb, "add shape mismatch");
+        let mut v = self.zeros(sa.0, sa.1);
+        kernels::add(
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            v.data_mut(),
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Add(a, b), rg)
     }
 
     /// Element-wise difference `a - b`. Shapes must match.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
-        let mut v = ta.clone();
-        v.axpy(-1.0, tb);
+        let (sa, sb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        assert_eq!(sa, sb, "sub shape mismatch");
+        let mut v = self.zeros(sa.0, sa.1);
+        kernels::sub(
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            v.data_mut(),
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::Sub(a, b), rg)
     }
 
     /// Hadamard (element-wise) product. Shapes must match.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta
-            .data()
-            .iter()
-            .zip(tb.data())
-            .map(|(&x, &y)| x * y)
-            .collect();
-        let v = Tensor::from_vec(ta.rows(), ta.cols(), data);
+        let (sa, sb) = (self.nodes[a.0].value.shape(), self.nodes[b.0].value.shape());
+        assert_eq!(sa, sb, "mul shape mismatch");
+        let mut v = self.zeros(sa.0, sa.1);
+        kernels::mul(
+            self.nodes[a.0].value.data(),
+            self.nodes[b.0].value.data(),
+            v.data_mut(),
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MulElem(a, b), rg)
     }
 
     /// Adds a `1×c` row vector to every row of an `r×c` matrix.
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
-        assert_eq!(ta.cols(), tb.cols(), "broadcast col mismatch");
-        let mut v = ta.clone();
-        for r in 0..v.rows() {
-            for c in 0..v.cols() {
-                let x = v.get(r, c) + tb.get(0, c);
-                v.set(r, c, x);
+        let (r, c) = self.nodes[a.0].value.shape();
+        {
+            let tb = &self.nodes[b.0].value;
+            assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
+            assert_eq!(c, tb.cols(), "broadcast col mismatch");
+        }
+        let mut v = self.zeros(r, c);
+        {
+            let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for i in 0..r {
+                kernels::add(ta.row(i), tb.row(0), v.row_mut(i));
             }
         }
         let rg = self.rg(a) || self.rg(b);
@@ -193,14 +291,17 @@ impl Graph {
 
     /// Multiplies every row of an `r×c` matrix by a `1×c` row vector.
     pub fn mul_row_broadcast(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
-        assert_eq!(ta.cols(), tb.cols(), "broadcast col mismatch");
-        let mut v = ta.clone();
-        for r in 0..v.rows() {
-            for c in 0..v.cols() {
-                let x = v.get(r, c) * tb.get(0, c);
-                v.set(r, c, x);
+        let (r, c) = self.nodes[a.0].value.shape();
+        {
+            let tb = &self.nodes[b.0].value;
+            assert_eq!(tb.rows(), 1, "broadcast rhs must be a row vector");
+            assert_eq!(c, tb.cols(), "broadcast col mismatch");
+        }
+        let mut v = self.zeros(r, c);
+        {
+            let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for i in 0..r {
+                kernels::mul(ta.row(i), tb.row(0), v.row_mut(i));
             }
         }
         let rg = self.rg(a) || self.rg(b);
@@ -209,44 +310,54 @@ impl Graph {
 
     /// Scalar multiple `s * a`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x * s);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::scale(s, self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::Scale(a, s), rg)
     }
 
     /// Adds a scalar constant to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::add_scalar(s, self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::AddScalar(a, s), rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::sigmoid(self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::Sigmoid(a), rg)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f32::tanh);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::tanh(self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::Tanh(a), rg)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::relu(self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::Relu(a), rg)
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { slope * x });
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(r, c);
+        kernels::leaky_relu(slope, self.nodes[a.0].value.data(), v.data_mut());
         let rg = self.rg(a);
         self.push(v, Op::LeakyRelu(a, slope), rg)
     }
@@ -254,33 +365,36 @@ impl Graph {
     /// Row-wise softmax. With `mask`, entries where `mask == 0` receive zero
     /// probability; an all-masked row becomes all zeros (no NaNs).
     pub fn softmax_rows_masked(&mut self, a: Var, mask: Option<Tensor>) -> Var {
-        let ta = &self.nodes[a.0].value;
+        let (r, c) = self.nodes[a.0].value.shape();
         if let Some(m) = &mask {
-            assert_eq!(m.shape(), ta.shape(), "softmax mask shape mismatch");
+            assert_eq!(m.shape(), (r, c), "softmax mask shape mismatch");
         }
-        let mut v = Tensor::zeros(ta.rows(), ta.cols());
-        for r in 0..ta.rows() {
-            let allowed = |c: usize| mask.as_ref().is_none_or(|m| m.get(r, c) != 0.0);
-            let mut maxv = f32::NEG_INFINITY;
-            for c in 0..ta.cols() {
-                if allowed(c) {
-                    maxv = maxv.max(ta.get(r, c));
+        let mut v = self.zeros(r, c);
+        {
+            let ta = &self.nodes[a.0].value;
+            for row in 0..r {
+                let allowed = |col: usize| mask.as_ref().is_none_or(|m| m.get(row, col) != 0.0);
+                let mut maxv = f32::NEG_INFINITY;
+                for col in 0..c {
+                    if allowed(col) {
+                        maxv = maxv.max(ta.get(row, col));
+                    }
                 }
-            }
-            if !maxv.is_finite() {
-                continue; // fully masked row stays zero
-            }
-            let mut sum = 0.0;
-            for c in 0..ta.cols() {
-                if allowed(c) {
-                    let e = (ta.get(r, c) - maxv).exp();
-                    v.set(r, c, e);
-                    sum += e;
+                if !maxv.is_finite() {
+                    continue; // fully masked row stays zero
                 }
-            }
-            if sum > 0.0 {
-                for c in 0..ta.cols() {
-                    v.set(r, c, v.get(r, c) / sum);
+                let mut sum = 0.0;
+                for col in 0..c {
+                    if allowed(col) {
+                        let e = (ta.get(row, col) - maxv).exp();
+                        v.set(row, col, e);
+                        sum += e;
+                    }
+                }
+                if sum > 0.0 {
+                    for col in 0..c {
+                        v.set(row, col, v.get(row, col) / sum);
+                    }
                 }
             }
         }
@@ -292,25 +406,31 @@ impl Graph {
     /// (`gamma`, `beta` are `1×c`).
     pub fn layer_norm_rows(&mut self, x: Var, gamma: Var, beta: Var) -> Var {
         const EPS: f32 = 1e-5;
-        let tx = &self.nodes[x.0].value;
-        let tg = &self.nodes[gamma.0].value;
-        let tb = &self.nodes[beta.0].value;
-        assert_eq!(tg.shape(), (1, tx.cols()), "gamma must be 1xC");
-        assert_eq!(tb.shape(), (1, tx.cols()), "beta must be 1xC");
-        let (r, c) = tx.shape();
-        let mut xhat = Tensor::zeros(r, c);
-        let mut inv_std = Tensor::zeros(r, 1);
-        let mut out = Tensor::zeros(r, c);
-        for i in 0..r {
-            let row = tx.row(i);
-            let mu = row.iter().sum::<f32>() / c as f32;
-            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / c as f32;
-            let is = 1.0 / (var + EPS).sqrt();
-            inv_std.set(i, 0, is);
-            for (j, &rv) in row.iter().enumerate() {
-                let xh = (rv - mu) * is;
-                xhat.set(i, j, xh);
-                out.set(i, j, xh * tg.get(0, j) + tb.get(0, j));
+        let (r, c) = self.nodes[x.0].value.shape();
+        assert_eq!(
+            self.nodes[gamma.0].value.shape(),
+            (1, c),
+            "gamma must be 1xC"
+        );
+        assert_eq!(self.nodes[beta.0].value.shape(), (1, c), "beta must be 1xC");
+        let mut xhat = self.zeros(r, c);
+        let mut inv_std = self.zeros(r, 1);
+        let mut out = self.zeros(r, c);
+        {
+            let tx = &self.nodes[x.0].value;
+            let tg = &self.nodes[gamma.0].value;
+            let tb = &self.nodes[beta.0].value;
+            for i in 0..r {
+                let row = tx.row(i);
+                let mu = row.iter().sum::<f32>() / c as f32;
+                let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / c as f32;
+                let is = 1.0 / (var + EPS).sqrt();
+                inv_std.set(i, 0, is);
+                for (j, &rv) in row.iter().enumerate() {
+                    let xh = (rv - mu) * is;
+                    xhat.set(i, j, xh);
+                    out.set(i, j, xh * tg.get(0, j) + tb.get(0, j));
+                }
             }
         }
         let rg = self.rg(x) || self.rg(gamma) || self.rg(beta);
@@ -324,13 +444,16 @@ impl Graph {
 
     /// Horizontal concatenation `[a | b]`. Row counts must match.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-        assert_eq!(ta.rows(), tb.rows(), "concat_cols row mismatch");
-        let (r, ca, cb) = (ta.rows(), ta.cols(), tb.cols());
-        let mut v = Tensor::zeros(r, ca + cb);
-        for i in 0..r {
-            v.row_mut(i)[..ca].copy_from_slice(ta.row(i));
-            v.row_mut(i)[ca..].copy_from_slice(tb.row(i));
+        let (r, ca) = self.nodes[a.0].value.shape();
+        let (rb, cb) = self.nodes[b.0].value.shape();
+        assert_eq!(r, rb, "concat_cols row mismatch");
+        let mut v = self.zeros(r, ca + cb);
+        {
+            let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for i in 0..r {
+                v.row_mut(i)[..ca].copy_from_slice(ta.row(i));
+                v.row_mut(i)[ca..].copy_from_slice(tb.row(i));
+            }
         }
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::ConcatCols(a, b), rg)
@@ -338,11 +461,14 @@ impl Graph {
 
     /// Contiguous row slice `a[start .. start+len]`.
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
-        let ta = &self.nodes[a.0].value;
-        assert!(start + len <= ta.rows(), "slice_rows out of range");
-        let mut v = Tensor::zeros(len, ta.cols());
-        for i in 0..len {
-            v.row_mut(i).copy_from_slice(ta.row(start + i));
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert!(start + len <= r, "slice_rows out of range");
+        let mut v = self.zeros(len, c);
+        {
+            let ta = &self.nodes[a.0].value;
+            for i in 0..len {
+                v.row_mut(i).copy_from_slice(ta.row(start + i));
+            }
         }
         let rg = self.rg(a);
         self.push(v, Op::SliceRows(a, start, len), rg)
@@ -350,7 +476,16 @@ impl Graph {
 
     /// Transpose.
     pub fn transpose(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.transpose();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(c, r);
+        {
+            let ta = &self.nodes[a.0].value;
+            for i in 0..r {
+                for j in 0..c {
+                    v.set(j, i, ta.get(i, j));
+                }
+            }
+        }
         let rg = self.rg(a);
         self.push(v, Op::Transpose(a), rg)
     }
@@ -358,15 +493,14 @@ impl Graph {
     /// Row gather: output row `i` is input row `indices[i]` (embedding
     /// lookup). Indices may repeat; backward scatter-adds.
     pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
-        let ta = &self.nodes[a.0].value;
-        let mut v = Tensor::zeros(indices.len(), ta.cols());
-        for (i, &ix) in indices.iter().enumerate() {
-            assert!(
-                ix < ta.rows(),
-                "gather index {ix} out of range ({} rows)",
-                ta.rows()
-            );
-            v.row_mut(i).copy_from_slice(ta.row(ix));
+        let (rows, c) = self.nodes[a.0].value.shape();
+        let mut v = self.zeros(indices.len(), c);
+        {
+            let ta = &self.nodes[a.0].value;
+            for (i, &ix) in indices.iter().enumerate() {
+                assert!(ix < rows, "gather index {ix} out of range ({rows} rows)");
+                v.row_mut(i).copy_from_slice(ta.row(ix));
+            }
         }
         let rg = self.rg(a);
         self.push(v, Op::Gather(a, indices.to_vec()), rg)
@@ -374,11 +508,14 @@ impl Graph {
 
     /// Tiles a `1×c` row vector into an `n×c` matrix.
     pub fn repeat_row(&mut self, a: Var, n: usize) -> Var {
-        let ta = &self.nodes[a.0].value;
-        assert_eq!(ta.rows(), 1, "repeat_row needs a row vector");
-        let mut v = Tensor::zeros(n, ta.cols());
-        for i in 0..n {
-            v.row_mut(i).copy_from_slice(ta.row(0));
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!(r, 1, "repeat_row needs a row vector");
+        let mut v = self.zeros(n, c);
+        {
+            let ta = &self.nodes[a.0].value;
+            for i in 0..n {
+                v.row_mut(i).copy_from_slice(ta.row(0));
+            }
         }
         let rg = self.rg(a);
         self.push(v, Op::RepeatRow(a, n), rg)
@@ -386,13 +523,15 @@ impl Graph {
 
     /// Mean over rows: `r×c → 1×c`.
     pub fn mean_rows(&mut self, a: Var) -> Var {
-        let ta = &self.nodes[a.0].value;
-        let (r, c) = ta.shape();
+        let (r, c) = self.nodes[a.0].value.shape();
         assert!(r > 0, "mean_rows on empty matrix");
-        let mut v = Tensor::zeros(1, c);
-        for i in 0..r {
-            for j in 0..c {
-                v.set(0, j, v.get(0, j) + ta.get(i, j) / r as f32);
+        let mut v = self.zeros(1, c);
+        {
+            let ta = &self.nodes[a.0].value;
+            for i in 0..r {
+                for j in 0..c {
+                    v.set(0, j, v.get(0, j) + ta.get(i, j) / r as f32);
+                }
             }
         }
         let rg = self.rg(a);
@@ -401,7 +540,8 @@ impl Graph {
 
     /// Sum of all elements: `r×c → 1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        let mut v = self.zeros(1, 1);
+        v.set(0, 0, self.nodes[a.0].value.sum());
         let rg = self.rg(a);
         self.push(v, Op::SumAll(a), rg)
     }
@@ -413,7 +553,7 @@ impl Graph {
     pub fn sum_vars(&mut self, vars: &[Var]) -> Var {
         assert!(!vars.is_empty(), "sum_vars on empty list");
         let shape = self.nodes[vars[0].0].value.shape();
-        let mut v = Tensor::zeros(shape.0, shape.1);
+        let mut v = self.zeros(shape.0, shape.1);
         let mut rg = false;
         for &x in vars {
             assert_eq!(
@@ -459,92 +599,89 @@ impl Graph {
 
     fn backprop_node(&mut self, i: usize) {
         let g = self.nodes[i].grad.clone();
-        let op = self.nodes[i].op.clone();
-        match op {
+        // Temporarily take the op out (restored below) instead of deep-cloning
+        // it: softmax masks and gather index lists stay in place.
+        let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
+        match &op {
             Op::Leaf => {}
-            Op::MatMul(a, b) => {
-                let va = self.nodes[a.0].value.clone();
-                let vb = self.nodes[b.0].value.clone();
-                let da = g.matmul(&vb.transpose());
-                let db = va.transpose().matmul(&g);
+            &Op::MatMul(a, b) => {
+                // Transposed fast paths: dA = g·Bᵀ, dB = Aᵀ·g — bit-identical
+                // to the former transpose()-then-matmul, without the copies.
+                let da = g.matmul_nt(&self.nodes[b.0].value);
+                let db = self.nodes[a.0].value.matmul_tn(&g);
                 self.accum(a, &da);
                 self.accum(b, &db);
             }
-            Op::Add(a, b) => {
+            &Op::Add(a, b) => {
                 self.accum(a, &g);
                 self.accum(b, &g);
             }
-            Op::Sub(a, b) => {
+            &Op::Sub(a, b) => {
                 self.accum(a, &g);
                 let neg = g.map(|x| -x);
                 self.accum(b, &neg);
             }
-            Op::MulElem(a, b) => {
-                let va = self.nodes[a.0].value.clone();
-                let vb = self.nodes[b.0].value.clone();
-                let da = elem_mul(&g, &vb);
-                let db = elem_mul(&g, &va);
+            &Op::MulElem(a, b) => {
+                let da = elem_mul(&g, &self.nodes[b.0].value);
+                let db = elem_mul(&g, &self.nodes[a.0].value);
                 self.accum(a, &da);
                 self.accum(b, &db);
             }
-            Op::AddRowBroadcast(a, b) => {
+            &Op::AddRowBroadcast(a, b) => {
                 self.accum(a, &g);
                 let db = col_sums(&g);
                 self.accum(b, &db);
             }
-            Op::MulRowBroadcast(a, b) => {
-                let va = self.nodes[a.0].value.clone();
-                let vb = self.nodes[b.0].value.clone();
-                let mut da = g.clone();
-                for r in 0..da.rows() {
-                    for c in 0..da.cols() {
-                        da.set(r, c, da.get(r, c) * vb.get(0, c));
+            &Op::MulRowBroadcast(a, b) => {
+                let (da, db) = {
+                    let va = &self.nodes[a.0].value;
+                    let vb = &self.nodes[b.0].value;
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        kernels::mul(g.row(r), vb.row(0), da.row_mut(r));
                     }
-                }
+                    let mut db = Tensor::zeros(1, vb.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            db.set(0, c, db.get(0, c) + g.get(r, c) * va.get(r, c));
+                        }
+                    }
+                    (da, db)
+                };
                 self.accum(a, &da);
-                let mut db = Tensor::zeros(1, vb.cols());
-                for r in 0..g.rows() {
-                    for c in 0..g.cols() {
-                        db.set(0, c, db.get(0, c) + g.get(r, c) * va.get(r, c));
-                    }
-                }
                 self.accum(b, &db);
             }
-            Op::Scale(a, s) => {
+            &Op::Scale(a, s) => {
                 let da = g.map(|x| x * s);
                 self.accum(a, &da);
             }
-            Op::AddScalar(a, _) => self.accum(a, &g),
-            Op::Sigmoid(a) => {
-                let y = self.nodes[i].value.clone();
+            &Op::AddScalar(a, _) => self.accum(a, &g),
+            &Op::Sigmoid(a) => {
                 let mut da = g.clone();
-                for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                for (d, &yv) in da.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
                     *d *= yv * (1.0 - yv);
                 }
                 self.accum(a, &da);
             }
-            Op::Tanh(a) => {
-                let y = self.nodes[i].value.clone();
+            &Op::Tanh(a) => {
                 let mut da = g.clone();
-                for (d, &yv) in da.data_mut().iter_mut().zip(y.data()) {
+                for (d, &yv) in da.data_mut().iter_mut().zip(self.nodes[i].value.data()) {
                     *d *= 1.0 - yv * yv;
                 }
                 self.accum(a, &da);
             }
-            Op::Relu(a) => {
-                let x = self.nodes[a.0].value.clone();
+            &Op::Relu(a) => {
                 let mut da = g.clone();
-                for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                for (d, &xv) in da.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
                     if xv <= 0.0 {
                         *d = 0.0;
                     }
                 }
                 self.accum(a, &da);
             }
-            Op::LeakyRelu(a, slope) => {
-                let x = self.nodes[a.0].value.clone();
+            &Op::LeakyRelu(a, slope) => {
                 let mut da = g.clone();
-                for (d, &xv) in da.data_mut().iter_mut().zip(x.data()) {
+                for (d, &xv) in da.data_mut().iter_mut().zip(self.nodes[a.0].value.data()) {
                     if xv <= 0.0 {
                         *d *= slope;
                     }
@@ -552,63 +689,68 @@ impl Graph {
                 self.accum(a, &da);
             }
             Op::SoftmaxRowsMasked(a, _mask) => {
-                let y = self.nodes[i].value.clone();
-                let (r, c) = y.shape();
-                let mut da = Tensor::zeros(r, c);
-                for row in 0..r {
-                    let mut dot = 0.0;
-                    for col in 0..c {
-                        dot += g.get(row, col) * y.get(row, col);
+                let a = *a;
+                let da = {
+                    let y = &self.nodes[i].value;
+                    let (r, c) = y.shape();
+                    let mut da = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        let mut dot = 0.0;
+                        for col in 0..c {
+                            dot += g.get(row, col) * y.get(row, col);
+                        }
+                        for col in 0..c {
+                            let yv = y.get(row, col);
+                            da.set(row, col, yv * (g.get(row, col) - dot));
+                        }
                     }
-                    for col in 0..c {
-                        let yv = y.get(row, col);
-                        da.set(row, col, yv * (g.get(row, col) - dot));
-                    }
-                }
+                    da
+                };
                 self.accum(a, &da);
             }
-            Op::LayerNormRows { x, gamma, beta } => {
-                let xhat = self.nodes[i].aux[0].clone();
-                let inv_std = self.nodes[i].aux[1].clone();
-                let tg = self.nodes[gamma.0].value.clone();
-                let (r, c) = xhat.shape();
-                // dgamma, dbeta
-                let mut dgamma = Tensor::zeros(1, c);
-                let mut dbeta = Tensor::zeros(1, c);
-                for row in 0..r {
-                    for col in 0..c {
-                        dgamma.set(
-                            0,
-                            col,
-                            dgamma.get(0, col) + g.get(row, col) * xhat.get(row, col),
-                        );
-                        dbeta.set(0, col, dbeta.get(0, col) + g.get(row, col));
+            &Op::LayerNormRows { x, gamma, beta } => {
+                let (dgamma, dbeta, dx) = {
+                    let xhat = &self.nodes[i].aux[0];
+                    let inv_std = &self.nodes[i].aux[1];
+                    let tg = &self.nodes[gamma.0].value;
+                    let (r, c) = xhat.shape();
+                    let mut dgamma = Tensor::zeros(1, c);
+                    let mut dbeta = Tensor::zeros(1, c);
+                    for row in 0..r {
+                        for col in 0..c {
+                            dgamma.set(
+                                0,
+                                col,
+                                dgamma.get(0, col) + g.get(row, col) * xhat.get(row, col),
+                            );
+                            dbeta.set(0, col, dbeta.get(0, col) + g.get(row, col));
+                        }
                     }
-                }
+                    let mut dx = Tensor::zeros(r, c);
+                    for row in 0..r {
+                        let is = inv_std.get(row, 0);
+                        let mut mean_dxhat = 0.0;
+                        let mut mean_dxhat_xhat = 0.0;
+                        for col in 0..c {
+                            let dxh = g.get(row, col) * tg.get(0, col);
+                            mean_dxhat += dxh;
+                            mean_dxhat_xhat += dxh * xhat.get(row, col);
+                        }
+                        mean_dxhat /= c as f32;
+                        mean_dxhat_xhat /= c as f32;
+                        for col in 0..c {
+                            let dxh = g.get(row, col) * tg.get(0, col);
+                            let v = is * (dxh - mean_dxhat - xhat.get(row, col) * mean_dxhat_xhat);
+                            dx.set(row, col, v);
+                        }
+                    }
+                    (dgamma, dbeta, dx)
+                };
                 self.accum(gamma, &dgamma);
                 self.accum(beta, &dbeta);
-                // dx
-                let mut dx = Tensor::zeros(r, c);
-                for row in 0..r {
-                    let is = inv_std.get(row, 0);
-                    let mut mean_dxhat = 0.0;
-                    let mut mean_dxhat_xhat = 0.0;
-                    for col in 0..c {
-                        let dxh = g.get(row, col) * tg.get(0, col);
-                        mean_dxhat += dxh;
-                        mean_dxhat_xhat += dxh * xhat.get(row, col);
-                    }
-                    mean_dxhat /= c as f32;
-                    mean_dxhat_xhat /= c as f32;
-                    for col in 0..c {
-                        let dxh = g.get(row, col) * tg.get(0, col);
-                        let v = is * (dxh - mean_dxhat - xhat.get(row, col) * mean_dxhat_xhat);
-                        dx.set(row, col, v);
-                    }
-                }
                 self.accum(x, &dx);
             }
-            Op::ConcatCols(a, b) => {
+            &Op::ConcatCols(a, b) => {
                 let ca = self.nodes[a.0].value.cols();
                 let cb = self.nodes[b.0].value.cols();
                 let r = g.rows();
@@ -621,7 +763,7 @@ impl Graph {
                 self.accum(a, &da);
                 self.accum(b, &db);
             }
-            Op::SliceRows(a, start, len) => {
+            &Op::SliceRows(a, start, len) => {
                 let ta_shape = self.nodes[a.0].value.shape();
                 let mut da = Tensor::zeros(ta_shape.0, ta_shape.1);
                 for i2 in 0..len {
@@ -629,25 +771,24 @@ impl Graph {
                 }
                 self.accum(a, &da);
             }
-            Op::Transpose(a) => {
+            &Op::Transpose(a) => {
                 let da = g.transpose();
                 self.accum(a, &da);
             }
             Op::Gather(a, indices) => {
+                let a = *a;
                 let ta_shape = self.nodes[a.0].value.shape();
                 let mut da = Tensor::zeros(ta_shape.0, ta_shape.1);
                 for (row, &ix) in indices.iter().enumerate() {
-                    for col in 0..ta_shape.1 {
-                        da.set(ix, col, da.get(ix, col) + g.get(row, col));
-                    }
+                    kernels::axpy(1.0, g.row(row), da.row_mut(ix));
                 }
                 self.accum(a, &da);
             }
-            Op::RepeatRow(a, _n) => {
+            &Op::RepeatRow(a, _n) => {
                 let da = col_sums(&g);
                 self.accum(a, &da);
             }
-            Op::MeanRows(a) => {
+            &Op::MeanRows(a) => {
                 let (r, c) = self.nodes[a.0].value.shape();
                 let mut da = Tensor::zeros(r, c);
                 for row in 0..r {
@@ -657,17 +798,18 @@ impl Graph {
                 }
                 self.accum(a, &da);
             }
-            Op::SumAll(a) => {
+            &Op::SumAll(a) => {
                 let (r, c) = self.nodes[a.0].value.shape();
                 let da = Tensor::full(r, c, g.item());
                 self.accum(a, &da);
             }
             Op::SumVars(vars) => {
-                for v in vars {
+                for &v in vars {
                     self.accum(v, &g);
                 }
             }
         }
+        self.nodes[i].op = op;
     }
 
     /// Accumulates gradients of all parameter leaves into the store.
@@ -682,21 +824,15 @@ impl Graph {
 
 fn elem_mul(a: &Tensor, b: &Tensor) -> Tensor {
     debug_assert_eq!(a.shape(), b.shape());
-    let data = a
-        .data()
-        .iter()
-        .zip(b.data())
-        .map(|(&x, &y)| x * y)
-        .collect();
-    Tensor::from_vec(a.rows(), a.cols(), data)
+    let mut out = Tensor::zeros(a.rows(), a.cols());
+    kernels::mul(a.data(), b.data(), out.data_mut());
+    out
 }
 
 fn col_sums(g: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(1, g.cols());
     for r in 0..g.rows() {
-        for c in 0..g.cols() {
-            out.set(0, c, out.get(0, c) + g.get(r, c));
-        }
+        kernels::axpy(1.0, g.row(r), out.row_mut(0));
     }
     out
 }
@@ -781,5 +917,103 @@ mod tests {
         let mut g = Graph::new();
         let a = g.leaf(Tensor::zeros(2, 2));
         g.backward(a);
+    }
+
+    /// A small forward+backward pass used by the arena-reuse tests.
+    fn run_pass(g: &mut Graph, seed: f32) -> (Vec<u32>, Vec<u32>) {
+        let x = g.leaf(Tensor::from_vec(
+            2,
+            3,
+            vec![seed, -1.0, 2.5, 0.0, seed, 3.0],
+        ));
+        let w = g.leaf(Tensor::from_vec(
+            3,
+            2,
+            vec![0.5, -0.25, seed, 1.0, -2.0, 0.75],
+        ));
+        let h = g.matmul(x, w);
+        let act = g.tanh(h);
+        let mask = Tensor::from_vec(2, 2, vec![1.0, 0.0, 1.0, 1.0]);
+        let sm = g.softmax_rows_masked(act, Some(mask));
+        let loss = g.sum_all(sm);
+        g.backward(loss);
+        let out = g.value(sm).data().iter().map(|v| v.to_bits()).collect();
+        let gx = g.grad(x).data().iter().map(|v| v.to_bits()).collect();
+        (out, gx)
+    }
+
+    #[test]
+    fn cleared_graph_is_bit_identical_to_a_fresh_one() {
+        let mut fresh = Graph::new();
+        let expect = run_pass(&mut fresh, 1.25);
+
+        let mut reused = Graph::new();
+        // Warm the arena with a *different* pass first, then clear.
+        let _ = run_pass(&mut reused, -3.5);
+        reused.clear();
+        assert!(reused.is_empty());
+        let got = run_pass(&mut reused, 1.25);
+        assert_eq!(expect, got, "arena reuse changed bits");
+
+        // And again: repeated reuse stays exact.
+        reused.clear();
+        assert_eq!(expect, run_pass(&mut reused, 1.25));
+    }
+
+    #[test]
+    fn clear_recycles_buffers_into_the_arena() {
+        let mut g = Graph::new();
+        let _ = run_pass(&mut g, 0.5);
+        let nodes = g.len();
+        assert!(nodes > 0);
+        g.clear();
+        assert_eq!(g.len(), 0);
+        // The next pass pops recycled buffers instead of allocating: the
+        // free list shrinks while the pass runs.
+        let before = g.free.len();
+        assert!(before >= nodes, "expected >= {nodes} pooled buffers");
+        let _ = run_pass(&mut g, 0.5);
+        assert!(g.free.len() < before, "pass did not draw from the arena");
+    }
+
+    #[test]
+    fn arena_stays_bounded_across_many_reuses() {
+        // Leaves and masks are allocated outside the pool and donated on
+        // clear(); the cap must stop them from accumulating forever.
+        let mut g = Graph::new();
+        let mut sizes = Vec::new();
+        for _ in 0..60 {
+            let _ = run_pass(&mut g, 0.5);
+            g.clear();
+            sizes.push(g.free.len());
+        }
+        assert_eq!(
+            sizes[40],
+            *sizes.last().unwrap(),
+            "free pool kept growing: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn param_copies_draw_from_the_arena_and_write_grads_back() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(1, 2, vec![2.0, -1.0]));
+        store.zero_grads();
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let x = g.constant(Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let y = g.matmul(wv, x);
+        g.backward(y);
+        g.write_grads(&mut store);
+        assert_eq!(store.grad(w).data(), &[3.0, 4.0]);
+        // Reuse: same computation after clear gives the same gradient again.
+        g.clear();
+        store.zero_grads();
+        let wv = g.param(&store, w);
+        let x = g.constant(Tensor::from_vec(2, 1, vec![3.0, 4.0]));
+        let y = g.matmul(wv, x);
+        g.backward(y);
+        g.write_grads(&mut store);
+        assert_eq!(store.grad(w).data(), &[3.0, 4.0]);
     }
 }

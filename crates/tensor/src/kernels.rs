@@ -1,0 +1,509 @@
+//! Cache-blocked, manually unrolled `f32` compute kernels.
+//!
+//! Every hot loop of the tensor layer funnels through this module: the three
+//! matrix-product variants ([`matmul`], [`matmul_nt`] for `A·Bᵀ`,
+//! [`matmul_tn`] for `Aᵀ·B`), the fused-multiply-free [`axpy`], the
+//! element-wise arithmetic kernels, and the activation maps. The kernels are
+//! written for stable Rust — no `std::simd`, no intrinsics — as 8-wide
+//! manually unrolled loops over `chunks_exact(8)`, which LLVM reliably turns
+//! into SIMD on x86-64 and aarch64.
+//!
+//! # Bit-exactness contract
+//!
+//! Each kernel produces **bit-identical** results to the scalar reference
+//! loops that preceded it (and that the property suite in
+//! `crates/tensor/tests/kernels.rs` still checks against):
+//!
+//! - every output element accumulates its terms in a fixed order (increasing
+//!   inner-product index), never via thread- or width-dependent partial sums;
+//! - the sparse skip of the original `Tensor::matmul` — contributions whose
+//!   left-hand factor is exactly `0.0` are *skipped*, not multiplied — is
+//!   preserved, because `0.0 * b` is not a bitwise no-op for `b ∈ {±∞, NaN}`
+//!   and `(-0.0) + 0.0` flips the sign bit;
+//! - cache blocking only reorders *independent* output elements, never the
+//!   terms within one accumulation.
+//!
+//! Unrolling is therefore free: the 8 lanes of a block are independent
+//! output elements (or independent element-wise slots), so the unrolled loop
+//! computes exactly the same `f32` sequence per element as the scalar loop.
+
+/// Columns of the left operand processed per cache block in [`matmul`]:
+/// 64 rows of the right operand (a few KiB for predictor-sized matrices)
+/// stay resident in L1 while a block is swept.
+const BLOCK_K: usize = 64;
+
+/// `y += alpha * x`, 8-wide unrolled.
+///
+/// Each `y[i]` receives exactly one `+ alpha * x[i]`, matching the scalar
+/// loop bit-for-bit.
+///
+/// # Panics
+/// Panics if `x` and `y` differ in length.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let mut xc = x.chunks_exact(8);
+    let mut yc = y.chunks_exact_mut(8);
+    for (xs, ys) in (&mut xc).zip(&mut yc) {
+        ys[0] += alpha * xs[0];
+        ys[1] += alpha * xs[1];
+        ys[2] += alpha * xs[2];
+        ys[3] += alpha * xs[3];
+        ys[4] += alpha * xs[4];
+        ys[5] += alpha * xs[5];
+        ys[6] += alpha * xs[6];
+        ys[7] += alpha * xs[7];
+    }
+    for (&xv, yv) in xc.remainder().iter().zip(yc.into_remainder()) {
+        *yv += alpha * xv;
+    }
+}
+
+/// 8-wide unrolled unary element map: `out[i] = f(x[i])`.
+#[inline]
+fn map_unary(x: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(x.len(), out.len());
+    let mut xc = x.chunks_exact(8);
+    let mut oc = out.chunks_exact_mut(8);
+    for (xs, os) in (&mut xc).zip(&mut oc) {
+        os[0] = f(xs[0]);
+        os[1] = f(xs[1]);
+        os[2] = f(xs[2]);
+        os[3] = f(xs[3]);
+        os[4] = f(xs[4]);
+        os[5] = f(xs[5]);
+        os[6] = f(xs[6]);
+        os[7] = f(xs[7]);
+    }
+    for (&xv, ov) in xc.remainder().iter().zip(oc.into_remainder()) {
+        *ov = f(xv);
+    }
+}
+
+/// 8-wide unrolled binary element map: `out[i] = f(a[i], b[i])`.
+#[inline]
+fn map_binary(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    let mut oc = out.chunks_exact_mut(8);
+    for ((xs, ys), os) in (&mut ac).zip(&mut bc).zip(&mut oc) {
+        os[0] = f(xs[0], ys[0]);
+        os[1] = f(xs[1], ys[1]);
+        os[2] = f(xs[2], ys[2]);
+        os[3] = f(xs[3], ys[3]);
+        os[4] = f(xs[4], ys[4]);
+        os[5] = f(xs[5], ys[5]);
+        os[6] = f(xs[6], ys[6]);
+        os[7] = f(xs[7], ys[7]);
+    }
+    for ((&xv, &yv), ov) in ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .zip(oc.into_remainder())
+    {
+        *ov = f(xv, yv);
+    }
+}
+
+/// Element-wise sum `out = a + b`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    assert_eq!(a.len(), out.len(), "add output length mismatch");
+    map_binary(a, b, out, |x, y| x + y);
+}
+
+/// Element-wise difference `out = a - b`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    assert_eq!(a.len(), out.len(), "sub output length mismatch");
+    map_binary(a, b, out, |x, y| x - y);
+}
+
+/// Hadamard product `out = a ⊙ b`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "mul length mismatch");
+    assert_eq!(a.len(), out.len(), "mul output length mismatch");
+    map_binary(a, b, out, |x, y| x * y);
+}
+
+/// Scalar multiple `out = x * alpha`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn scale(alpha: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "scale length mismatch");
+    map_unary(x, out, |v| v * alpha);
+}
+
+/// Scalar offset `out = x + alpha`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn add_scalar(alpha: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "add_scalar length mismatch");
+    map_unary(x, out, |v| v + alpha);
+}
+
+/// Logistic sigmoid `out = 1 / (1 + e^{-x})`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn sigmoid(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "sigmoid length mismatch");
+    map_unary(x, out, |v| 1.0 / (1.0 + (-v).exp()));
+}
+
+/// Hyperbolic tangent.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn tanh(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "tanh length mismatch");
+    map_unary(x, out, f32::tanh);
+}
+
+/// Rectified linear unit `out = max(x, 0)`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn relu(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "relu length mismatch");
+    map_unary(x, out, |v| v.max(0.0));
+}
+
+/// Leaky ReLU with the given negative slope.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn leaky_relu(slope: f32, x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "leaky_relu length mismatch");
+    map_unary(x, out, |v| if v > 0.0 { v } else { slope * v });
+}
+
+/// Matrix product `out += A·B` over row-major slices (`A: m×k`, `B: k×n`,
+/// `out: m×n`; pass a zeroed `out` for a plain product).
+///
+/// Cache-blocked over `k` (blocks of `BLOCK_K` rows of `B` stay hot across
+/// the row sweep) with the 8-wide [`axpy`] inner loop. Contributions with
+/// `a[i][k] == 0.0` are skipped and every `out[i][j]` accumulates in
+/// increasing-`k` order — bit-identical to the scalar triple loop.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the given shape.
+pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul lhs size mismatch");
+    assert_eq!(b.len(), k * n, "matmul rhs size mismatch");
+    assert_eq!(out.len(), m * n, "matmul output size mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut kk = 0usize;
+    while kk < k {
+        let kc = BLOCK_K.min(k - kk);
+        for (arow, orow) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (dk, &av) in arow[kk..kk + kc].iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let r = kk + dk;
+                axpy(av, &b[r * n..(r + 1) * n], orow);
+            }
+        }
+        kk += kc;
+    }
+}
+
+/// Output volume (`m·k·n`) below which [`matmul_nt`] computes dot products
+/// directly; above it, transposing `B` into a scratch buffer and running the
+/// blocked [`matmul`] kernel wins — the strict per-element accumulation
+/// order makes direct dots a serial dependence chain, while the axpy form
+/// vectorizes, and the `k·n` transpose cost amortizes over `m` rows.
+const NT_DIRECT_MAX_VOLUME: usize = 4096;
+
+/// Transposed-right product `out += A·Bᵀ` over row-major slices (`A: m×k`,
+/// `B: n×k`, `out: m×n`; pass a zeroed `out` for a plain product) — the
+/// backward fast path that replaces the tape's materialized
+/// `B.transpose()` node.
+///
+/// Small products compute eight output columns at a time, each with its own
+/// scalar accumulator summing in increasing-`k` order and skipping
+/// `a[i][k] == 0.0` terms; larger ones transpose `B` into a scratch buffer
+/// and reuse the blocked [`matmul`] kernel (same accumulation order and
+/// skip). Both paths *accumulate into* `out`; on a zeroed `out` the result
+/// is bit-identical to `A.matmul(&B.transpose())`.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the given shape.
+pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul_nt lhs size mismatch");
+    assert_eq!(b.len(), n * k, "matmul_nt rhs size mismatch");
+    assert_eq!(out.len(), m * n, "matmul_nt output size mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * k * n > NT_DIRECT_MAX_VOLUME {
+        let mut bt = vec![0.0f32; k * n];
+        for (j, brow) in b.chunks_exact(k).enumerate() {
+            for (kk, &bv) in brow.iter().enumerate() {
+                bt[kk * n + j] = bv;
+            }
+        }
+        matmul(m, k, n, a, &bt, out);
+        return;
+    }
+    for (arow, orow) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+        let mut b8 = b.chunks_exact(8 * k);
+        let mut o8 = orow.chunks_exact_mut(8);
+        for (brows, os) in (&mut b8).zip(&mut o8) {
+            // Seed the accumulators from `out` so both size paths perform
+            // the same term-by-term `out +=` accumulation sequence.
+            let mut acc = [os[0], os[1], os[2], os[3], os[4], os[5], os[6], os[7]];
+            for (dk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                acc[0] += av * brows[dk];
+                acc[1] += av * brows[k + dk];
+                acc[2] += av * brows[2 * k + dk];
+                acc[3] += av * brows[3 * k + dk];
+                acc[4] += av * brows[4 * k + dk];
+                acc[5] += av * brows[5 * k + dk];
+                acc[6] += av * brows[6 * k + dk];
+                acc[7] += av * brows[7 * k + dk];
+            }
+            os.copy_from_slice(&acc);
+        }
+        for (brow, o) in b8.remainder().chunks_exact(k).zip(o8.into_remainder()) {
+            let mut acc = *o;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Transposed-left product `out += Aᵀ·B` over row-major slices (`A: r×m`,
+/// `B: r×n`, `out: m×n`; pass a zeroed `out` for a plain product) — the
+/// backward fast path that replaces materializing `A.transpose()`.
+///
+/// Streams one row of `A` and `B` at a time with the 8-wide [`axpy`] inner
+/// loop; every `out[i][j]` accumulates in increasing-row order, skipping
+/// `a[row][i] == 0.0` terms — bit-identical to
+/// `A.transpose().matmul(&B)`.
+///
+/// # Panics
+/// Panics if slice lengths disagree with the given shape.
+pub fn matmul_tn(r: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), r * m, "matmul_tn lhs size mismatch");
+    assert_eq!(b.len(), r * n, "matmul_tn rhs size mismatch");
+    assert_eq!(out.len(), m * n, "matmul_tn output size mismatch");
+    if r == 0 || m == 0 || n == 0 {
+        return;
+    }
+    for (arow, brow) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            axpy(av, brow, &mut out[i * n..(i + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-kernel scalar triple loop (with the sparse skip), kept as the
+    /// in-module bit-exactness oracle.
+    fn matmul_reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn ramp(len: usize, seed: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i as f32 * 0.37 + seed).sin() * 3.0) - 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn matmul_matches_reference_bitwise_across_blocking_boundaries() {
+        // Shapes straddling the 8-wide unroll and the BLOCK_K boundary.
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 9), (8, 64, 8), (5, 65, 17), (16, 130, 24)] {
+            let a = ramp(m * k, 0.1);
+            let b = ramp(k * n, 0.7);
+            let mut out = vec![0.0f32; m * n];
+            matmul(m, k, n, &a, &b, &mut out);
+            assert_eq!(
+                bits(&out),
+                bits(&matmul_reference(m, k, n, &a, &b)),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_preserves_the_sparse_zero_skip() {
+        // With a NaN in B behind a zero in A, skipping is observable: the
+        // reference skips 0.0 * NaN, so the kernel must too.
+        let a = vec![0.0, 2.0];
+        let b = vec![f32::NAN, 1.0, 3.0, 4.0];
+        let mut out = vec![0.0f32; 2];
+        matmul(1, 2, 2, &a, &b, &mut out);
+        assert_eq!(bits(&out), bits(&[6.0, 8.0]));
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose_then_matmul() {
+        for &(m, k, n) in &[(1, 1, 1), (4, 5, 9), (8, 16, 8), (7, 33, 19)] {
+            let a = ramp(m * k, 0.3);
+            let mut b = ramp(n * k, 0.9);
+            b[0] = 0.0; // exercise skips on both operands
+            let mut a2 = a.clone();
+            a2[m * k / 2] = 0.0;
+            // reference: bt[kk][j] = b[j][kk]
+            let mut bt = vec![0.0f32; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    bt[kk * n + j] = b[j * k + kk];
+                }
+            }
+            let mut out = vec![0.0f32; m * n];
+            matmul_nt(m, k, n, &a2, &b, &mut out);
+            assert_eq!(
+                bits(&out),
+                bits(&matmul_reference(m, k, n, &a2, &bt)),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_then_matmul() {
+        for &(r, m, n) in &[(1, 1, 1), (5, 4, 9), (16, 8, 8), (33, 7, 19)] {
+            let mut a = ramp(r * m, 0.2);
+            a[r * m / 3] = 0.0;
+            let b = ramp(r * n, 0.8);
+            let mut at = vec![0.0f32; m * r];
+            for row in 0..r {
+                for i in 0..m {
+                    at[i * r + row] = a[row * m + i];
+                }
+            }
+            let mut out = vec![0.0f32; m * n];
+            matmul_tn(r, m, n, &a, &b, &mut out);
+            assert_eq!(
+                bits(&out),
+                bits(&matmul_reference(m, r, n, &at, &b)),
+                "({r},{m},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_loop() {
+        let x = ramp(19, 0.5);
+        let mut y = ramp(19, 1.5);
+        let mut expect = y.clone();
+        for (e, &xv) in expect.iter_mut().zip(&x) {
+            *e += 0.3 * xv;
+        }
+        axpy(0.3, &x, &mut y);
+        assert_eq!(bits(&y), bits(&expect));
+    }
+
+    #[test]
+    fn elementwise_kernels_match_scalar_maps() {
+        let x = ramp(21, 0.4);
+        let y = ramp(21, 2.2);
+        let mut out = vec![0.0f32; 21];
+
+        sigmoid(&x, &mut out);
+        let expect: Vec<f32> = x.iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
+        assert_eq!(bits(&out), bits(&expect));
+
+        leaky_relu(0.2, &x, &mut out);
+        let expect: Vec<f32> = x
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.2 * v })
+            .collect();
+        assert_eq!(bits(&out), bits(&expect));
+
+        mul(&x, &y, &mut out);
+        let expect: Vec<f32> = x.iter().zip(&y).map(|(&a, &b)| a * b).collect();
+        assert_eq!(bits(&out), bits(&expect));
+
+        sub(&x, &y, &mut out);
+        let expect: Vec<f32> = x.iter().zip(&y).map(|(&a, &b)| a - b).collect();
+        assert_eq!(bits(&out), bits(&expect));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_handled() {
+        let mut out: Vec<f32> = Vec::new();
+        matmul(0, 3, 0, &[], &[], &mut out);
+        matmul_nt(0, 3, 0, &[], &[], &mut out);
+        matmul_tn(3, 0, 0, &[], &[], &mut out);
+        // k == 0 accumulates nothing: out is left untouched on every path.
+        let mut out1 = vec![1.0f32; 1];
+        matmul_nt(1, 0, 1, &[], &[], &mut out1);
+        assert_eq!(out1, vec![1.0]);
+    }
+
+    #[test]
+    fn matmul_nt_accumulates_on_both_size_paths() {
+        // Same semantics below and above NT_DIRECT_MAX_VOLUME: term-by-term
+        // `out +=` accumulation in increasing-k order.
+        for &(m, k, n) in &[(2, 3, 2), (32, 32, 32)] {
+            let a = ramp(m * k, 0.2);
+            let b = ramp(n * k, 0.6);
+            let mut got = vec![1.0f32; m * n];
+            matmul_nt(m, k, n, &a, &b, &mut got);
+            let mut expect = vec![1.0f32; m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a[i * k + kk];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        expect[i * n + j] += av * b[j * k + kk];
+                    }
+                }
+            }
+            assert_eq!(bits(&got), bits(&expect), "({m},{k},{n})");
+        }
+    }
+}

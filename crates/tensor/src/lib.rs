@@ -3,10 +3,14 @@
 //! This crate is the training substrate for the NASFLAT reproduction — a
 //! from-scratch replacement for the PyTorch stack the paper uses. It provides:
 //!
-//! - [`Tensor`]: a dense row-major `f32` matrix;
-//! - [`Graph`]/[`Var`]: a per-batch reverse-mode autodiff tape whose op set
-//!   covers GNN predictors (matmul, masked softmax for graph attention,
-//!   LayerNorm, embedding gather, broadcasts, reductions);
+//! - [`Tensor`]: a dense row-major `f32` matrix whose hot loops run on the
+//!   cache-blocked, 8-wide unrolled [`kernels`] (bit-identical to the scalar
+//!   reference loops — see the module docs for the exactness contract);
+//! - [`Graph`]/[`Var`]: a reverse-mode autodiff tape whose op set covers GNN
+//!   predictors (matmul, masked softmax for graph attention, LayerNorm,
+//!   embedding gather, broadcasts, reductions); [`Graph::clear`] resets the
+//!   tape while retaining its node and buffer arenas, so one tape can be
+//!   reused across thousands of forward passes without reallocating;
 //! - [`ParamStore`]/[`AdamConfig`]: parameter storage with AdamW, SGD,
 //!   gradient clipping, and snapshot/restore for meta-learning baselines;
 //! - layers ([`Linear`], [`Mlp`], [`Embedding`], [`LayerNorm`]) and losses
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod graph;
+pub mod kernels;
 mod layers;
 mod loss;
 mod params;

@@ -6,6 +6,8 @@
 
 use rand::Rng;
 
+use crate::kernels;
+
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
@@ -148,7 +150,8 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` via the cache-blocked
+    /// [`kernels::matmul`] kernel.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -161,19 +164,64 @@ impl Tensor {
             other.shape()
         );
         let mut out = Tensor::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::matmul(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Transposed-right product `self · otherᵀ` without materializing the
+    /// transpose — bit-identical to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    /// Panics unless both operands have the same column count.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_nt shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        kernels::matmul_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Transposed-left product `selfᵀ · other` without materializing the
+    /// transpose — bit-identical to `self.transpose().matmul(&other)`.
+    ///
+    /// # Panics
+    /// Panics unless both operands have the same row count.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_tn shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        kernels::matmul_tn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -197,15 +245,19 @@ impl Tensor {
         }
     }
 
-    /// In-place `self += alpha * other`.
+    /// In-place `self += alpha * other` via the unrolled [`kernels::axpy`].
     ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Consumes the matrix, returning its row-major backing buffer (used by
+    /// the autograd tape's arena to recycle allocations across passes).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
     }
 
     /// In-place fill with zeros.
@@ -256,6 +308,40 @@ mod tests {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transposed_products_match_explicit_transpose_bitwise() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 0.0, 3.0, -4.0, 5.0, 6.5]);
+        let b = Tensor::from_vec(
+            4,
+            3,
+            vec![
+                7.0, 8.0, 0.0, 10.0, 1.5, 12.0, -2.0, 0.25, 9.0, 3.0, 4.0, 5.0,
+            ],
+        );
+        let nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose());
+        assert_eq!(nt, via_t);
+
+        let c = Tensor::from_vec(2, 4, vec![1.0, -2.0, 0.0, 4.0, 5.0, 6.0, 7.0, -8.0]);
+        let tn = a.matmul_tn(&c);
+        let via_t = a.transpose().matmul(&c);
+        assert_eq!(tn, via_t);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt shape mismatch")]
+    fn matmul_nt_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 4);
+        let _ = a.matmul_nt(&b);
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let t = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.clone().into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]

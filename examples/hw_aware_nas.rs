@@ -81,7 +81,7 @@ fn main() {
         let result = constrained_search(
             Space::Nb201,
             &oracle,
-            |a| f(a),
+            |a: &nasflat::space::Arch| f(a),
             constraint,
             &SearchConfig::quick(),
         );

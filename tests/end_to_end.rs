@@ -81,7 +81,7 @@ fn transferred_scorer_drives_constrained_nas() {
     let result = constrained_search(
         Space::Nb201,
         &oracle,
-        |a| cal.to_ms(scorer.score(a)),
+        |a: &nasflat::space::Arch| cal.to_ms(scorer.score(a)),
         constraint,
         &SearchConfig::quick(),
     );
