@@ -4,13 +4,14 @@
 //! Runs the representative workloads — thread-scaling comparisons (ensemble
 //! training, batch prediction, sampler pool evaluation, NAS population
 //! scoring) and baseline-vs-optimized comparisons (`kernel_matmul`,
-//! `batch_forward`) — prints the table, writes `BENCH_parallel.json` and the
-//! kernel micro-bench table `BENCH_kernels.md` at the workspace root
-//! (override the paths with `NASFLAT_BENCH_PARALLEL_OUT` /
-//! `NASFLAT_BENCH_KERNELS_OUT`), and **exits non-zero if any comparison's
-//! outputs diverge bitwise** — the contract the CI `bench-quick` job
-//! enforces (which additionally fails the build when `batch_forward` is
-//! slower than the per-architecture baseline).
+//! `batch_forward`, `multi_query_tape`) — prints the table, writes
+//! `BENCH_parallel.json` and the kernel micro-bench table `BENCH_kernels.md`
+//! at the workspace root (override the paths with
+//! `NASFLAT_BENCH_PARALLEL_OUT` / `NASFLAT_BENCH_KERNELS_OUT`), and **exits
+//! non-zero if any comparison's outputs diverge bitwise** — the contract the
+//! CI `bench-quick` job enforces (which additionally fails the build when
+//! `batch_forward` drops below 1×, `multi_query_tape` below 1.3×, or the
+//! 4-thread scaling entries below 2× on multi-core runners).
 
 use nasflat_bench::parallel_harness::{
     kernel_microbench, kernel_table_markdown, run_parallel_bench,

@@ -7,14 +7,19 @@
 //!   to N threads via [`nasflat_parallel::with_threads`] — the PR-2 scaling
 //!   gate;
 //! - [`ComparisonKind::Baseline`]: a *baseline* implementation vs the
-//!   *optimized* one at the **same** thread count (scalar reference matmul
-//!   vs the kernel layer; per-architecture fresh tapes vs `BatchSession`) —
-//!   the PR-3 batching/kernels gate.
+//!   *optimized* one at the **same** thread count — `kernel_matmul` (scalar
+//!   reference matmul vs the kernel layer), `batch_forward`
+//!   (per-architecture fresh tapes vs `BatchSession` reuse, tape batching
+//!   pinned off), and `multi_query_tape` (the PR-3 per-architecture session
+//!   sweep vs block-diagonal multi-query tape passes). Baseline entries are
+//!   timed best-of-3 alternating repetitions.
 //!
 //! Either way the two runs' outputs are compared **bitwise** (every `f32`
 //! via `to_bits`); a divergence is reported as a failure, and the wall-clock
 //! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
-//! the build when `batch_forward` regresses below 1×).
+//! the build when `batch_forward` regresses below 1×, `multi_query_tape`
+//! below its 1.3× quick-mode target, or — on ≥4-core runners — the
+//! `ensemble_train_transfer` / `batch_predict` thread scaling below 2×).
 //!
 //! The report serializes to `BENCH_parallel.json` with schema
 //! [`PARALLEL_SCHEMA`]:
@@ -163,45 +168,81 @@ fn digest_f32(acc: &mut Vec<u64>, values: &[f32]) {
     acc.extend(values.iter().map(|v| v.to_bits() as u64));
 }
 
-/// Times `workload` at 1 thread and at `threads` threads and compares the
-/// output digests bitwise. The workload must be pure given the pinned
-/// thread count (all NASFLAT parallel paths are).
+/// How many alternating 1-thread/N-thread repetitions [`measure`] times for
+/// the *short* workloads the CI scaling gate hard-fails on. Long workloads
+/// (above [`THREADS_REP_CUTOFF_MS`]) run once per side — their duration
+/// already averages over scheduler noise, and repeating them would dominate
+/// the bench wall-clock.
+const THREADS_REPS: usize = 3;
+
+/// First-repetition duration above which [`measure`] skips further
+/// repetitions.
+const THREADS_REP_CUTOFF_MS: f64 = 50.0;
+
+/// Times `workload` at 1 thread and at `threads` threads (alternating,
+/// best-of-[`THREADS_REPS`] while the workload stays under
+/// [`THREADS_REP_CUTOFF_MS`]) and compares the output digests bitwise. The
+/// workload must be pure given the pinned thread count (all NASFLAT
+/// parallel paths are).
 fn measure(name: &str, threads: usize, mut workload: impl FnMut() -> Vec<u64>) -> ParallelTarget {
-    let t0 = Instant::now();
-    let single = nasflat_parallel::with_threads(1, &mut workload);
-    let wall_single = t0.elapsed();
-    let t1 = Instant::now();
-    let parallel = nasflat_parallel::with_threads(threads, &mut workload);
-    let wall_parallel = t1.elapsed();
+    let mut wall_single = f64::MAX;
+    let mut wall_parallel = f64::MAX;
+    let mut single = Vec::new();
+    let mut parallel = Vec::new();
+    for rep in 0..THREADS_REPS {
+        let t0 = Instant::now();
+        single = nasflat_parallel::with_threads(1, &mut workload);
+        wall_single = wall_single.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        parallel = nasflat_parallel::with_threads(threads, &mut workload);
+        wall_parallel = wall_parallel.min(t1.elapsed().as_secs_f64() * 1e3);
+        if rep == 0 && wall_single.max(wall_parallel) > THREADS_REP_CUTOFF_MS {
+            break;
+        }
+    }
     ParallelTarget {
         name: name.to_string(),
         kind: ComparisonKind::Threads,
-        wall_ms_single: wall_single.as_secs_f64() * 1e3,
-        wall_ms_parallel: wall_parallel.as_secs_f64() * 1e3,
+        wall_ms_single: wall_single,
+        wall_ms_parallel: wall_parallel,
         outputs_match: single == parallel,
     }
 }
 
-/// Times `baseline` and `optimized` at the **same** thread count and
-/// compares their digests bitwise — the gate for same-semantics
-/// optimizations (kernels, batched tapes).
+/// How many alternating baseline/optimized repetitions [`measure_pair`]
+/// times. Reported wall-clocks are the **minimum** over the repetitions —
+/// the standard noise-robust estimator for millisecond-scale comparisons on
+/// shared runners (transient scheduler/allocator interference only ever
+/// *adds* time, so the minimum is the cleanest observation of each side).
+const PAIR_REPS: usize = 3;
+
+/// Times `baseline` and `optimized` at the **same** thread count
+/// (alternating, best-of-[`PAIR_REPS`] each) and compares their digests
+/// bitwise — the gate for same-semantics optimizations (kernels, batched
+/// tapes).
 fn measure_pair(
     name: &str,
     threads: usize,
     mut baseline: impl FnMut() -> Vec<u64>,
     mut optimized: impl FnMut() -> Vec<u64>,
 ) -> ParallelTarget {
-    let t0 = Instant::now();
-    let base = nasflat_parallel::with_threads(threads, &mut baseline);
-    let wall_base = t0.elapsed();
-    let t1 = Instant::now();
-    let opt = nasflat_parallel::with_threads(threads, &mut optimized);
-    let wall_opt = t1.elapsed();
+    let mut wall_base = f64::MAX;
+    let mut wall_opt = f64::MAX;
+    let mut base = Vec::new();
+    let mut opt = Vec::new();
+    for _ in 0..PAIR_REPS {
+        let t0 = Instant::now();
+        base = nasflat_parallel::with_threads(threads, &mut baseline);
+        wall_base = wall_base.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t1 = Instant::now();
+        opt = nasflat_parallel::with_threads(threads, &mut optimized);
+        wall_opt = wall_opt.min(t1.elapsed().as_secs_f64() * 1e3);
+    }
     ParallelTarget {
         name: name.to_string(),
         kind: ComparisonKind::Baseline,
-        wall_ms_single: wall_base.as_secs_f64() * 1e3,
-        wall_ms_parallel: wall_opt.as_secs_f64() * 1e3,
+        wall_ms_single: wall_base,
+        wall_ms_parallel: wall_opt,
         outputs_match: base == opt,
     }
 }
@@ -446,9 +487,46 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
             },
             || {
                 // Optimized: chunked BatchSession tapes (graph built once
-                // per worker, buffers recycled per query).
+                // per worker, buffers recycled per query). Tape batching is
+                // pinned off so this gate keeps measuring the PR-3 session
+                // reuse alone; the block-diagonal layer on top is gated by
+                // `multi_query_tape` below.
                 let mut digest = Vec::new();
-                digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+                nasflat_core::with_tape_batch(0, || {
+                    digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+                });
+                digest
+            },
+        ));
+        // The PR-4 gate: multi-query block-diagonal tape passes vs the PR-3
+        // per-architecture session sweep, same thread count, same scorer —
+        // `speedup` is the pure stacking win and `outputs_match` the
+        // bit-identity verdict the determinism contract demands. Each side
+        // sweeps the pool several times (on top of measure_pair's
+        // best-of-reps) so the ~millisecond workload rises above scheduler
+        // noise on shared CI runners.
+        let tape_reps = 2;
+        targets.push(measure_pair(
+            "multi_query_tape",
+            threads,
+            || {
+                let mut digest = Vec::new();
+                nasflat_core::with_tape_batch(0, || {
+                    for _ in 0..tape_reps {
+                        digest.clear();
+                        digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+                    }
+                });
+                digest
+            },
+            || {
+                let mut digest = Vec::new();
+                nasflat_core::with_tape_batch(nasflat_core::DEFAULT_TAPE_BATCH, || {
+                    for _ in 0..tape_reps {
+                        digest.clear();
+                        digest_f32(&mut digest, &scorer.score_indices(full_pool, &all));
+                    }
+                });
                 digest
             },
         ));

@@ -392,21 +392,39 @@ impl TransferredPredictor<'_> {
         session.predict(arch, self.device, self.supp_for(arch).as_deref())
     }
 
-    /// Scores for pool architectures by index, evaluated in parallel with
-    /// one [`BatchSession`](crate::BatchSession) tape per worker
-    /// (bit-identical to a sequential fresh-tape loop at any thread count).
-    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
-        self.predictor
-            .par_with_sessions(indices.len(), |session, j| {
-                self.score_in(session, &pool[indices[j]])
-            })
+    /// Supplementary rows for a batch (computed iff the config sets a
+    /// supplement). Encoding fans out over the parallel layer — per-arch
+    /// encodes are pure, so the rows are bit-identical to a sequential
+    /// loop at any thread count.
+    fn supp_batch(&self, archs: &[&Arch]) -> Option<Vec<Vec<f32>>> {
+        self.predictor.config().supplement.map(|kind| {
+            let suite = self
+                .suite
+                .expect("supplement configured but no encoding suite attached");
+            nasflat_parallel::par_map(archs, |a| suite.encode(kind, a))
+        })
     }
 
-    /// Scores for a batch of arbitrary architectures, evaluated in parallel
-    /// with one [`BatchSession`](crate::BatchSession) tape per worker.
-    pub fn score_batch(&self, archs: &[Arch]) -> Vec<f32> {
+    /// Scores for pool architectures by index, evaluated in parallel with
+    /// one [`BatchSession`](crate::BatchSession) tape per worker; above the
+    /// [`tape_batch`](crate::tape_batch) threshold each worker evaluates
+    /// multi-query block-diagonal tape passes. Bit-identical to a sequential
+    /// fresh-tape loop at any thread count and tape-batch setting.
+    pub fn score_indices(&self, pool: &[Arch], indices: &[usize]) -> Vec<f32> {
+        let archs: Vec<&Arch> = indices.iter().map(|&i| &pool[i]).collect();
+        let supp = self.supp_batch(&archs);
         self.predictor
-            .par_with_sessions(archs.len(), |session, i| self.score_in(session, &archs[i]))
+            .batch_scores(&archs, self.device, supp.as_deref())
+    }
+
+    /// Scores for a batch of arbitrary architectures, evaluated like
+    /// [`TransferredPredictor::score_indices`] (one session per worker,
+    /// multi-query tape passes above the threshold).
+    pub fn score_batch(&self, archs: &[Arch]) -> Vec<f32> {
+        let refs: Vec<&Arch> = archs.iter().collect();
+        let supp = self.supp_batch(&refs);
+        self.predictor
+            .batch_scores(&refs, self.device, supp.as_deref())
     }
 }
 

@@ -17,6 +17,22 @@
 //! architectures); [`RefinedPredictor`] reproduces the appendix's
 //! training-analogous refinement ablation.
 //!
+//! # Batch evaluation and the determinism contract
+//!
+//! Every batch-scoring path ([`LatencyPredictor::predict_batch`],
+//! [`predict_indices`], `TransferredPredictor::score_indices`/`score_batch`)
+//! fans contiguous chunks out over `nasflat-parallel` workers
+//! (`NASFLAT_THREADS`), one reusable [`BatchSession`] tape per worker.
+//! Chunks of at least [`tape_batch`] architectures (default
+//! [`DEFAULT_TAPE_BATCH`], env override `NASFLAT_TAPE_BATCH`, `0` disables)
+//! are evaluated as **multi-query block-diagonal tape passes**
+//! ([`LatencyPredictor::forward_batched`]): B queries stacked into one
+//! shared topology, sliced back to per-query scores. The invariant every
+//! layer upholds — pinned by `tests/determinism.rs` at 1/2/8 threads and by
+//! the `tests/batched_tape.rs` property suite up to B = 16 — is that session
+//! reuse, thread count, and tape batching are **bit-invisible**: scores
+//! equal a sequential fresh-tape loop down to the last ulp.
+//!
 //! # Example
 //! ```no_run
 //! use nasflat_core::{FewShotConfig, PretrainedTask};
@@ -55,7 +71,9 @@ pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };
 pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
-pub use predictor::{BatchSession, LatencyPredictor};
+pub use predictor::{
+    tape_batch, with_tape_batch, BatchSession, LatencyPredictor, DEFAULT_TAPE_BATCH,
+};
 pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
 pub use trainer::{
     evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain, train_step,

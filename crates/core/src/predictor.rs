@@ -12,14 +12,66 @@
 //! With `op_hw = false` (Table 2 ablation) operations keep a fixed embedding
 //! and the hardware embedding instead conditions the prediction head.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use nasflat_space::{Arch, Space};
+use nasflat_tensor::batched::BlockLayout;
 use nasflat_tensor::{Activation, Embedding, Graph, Mlp, ParamStore, Tensor, Var};
 
 use crate::config::{GnnModuleKind, PredictorConfig};
 use crate::gnn::{propagation_constant, GnnStack};
+
+/// Default multi-query tape block size (and engagement threshold): batch
+/// requests of at least this many architectures are evaluated as
+/// block-diagonal multi-query passes of this size; smaller requests take
+/// the per-architecture session path.
+pub const DEFAULT_TAPE_BATCH: usize = 8;
+
+const TAPE_BATCH_UNSET: usize = usize::MAX;
+static TAPE_BATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(TAPE_BATCH_UNSET);
+
+/// The multi-query tape block size batch paths use right now: the innermost
+/// [`with_tape_batch`] override, else the `NASFLAT_TAPE_BATCH` environment
+/// variable (read once per process), else [`DEFAULT_TAPE_BATCH`]. Values
+/// `0` and `1` disable block-diagonal batching (every query runs the
+/// per-architecture session path — the PR-3 behaviour).
+pub fn tape_batch() -> usize {
+    let o = TAPE_BATCH_OVERRIDE.load(Ordering::Relaxed);
+    if o != TAPE_BATCH_UNSET {
+        return o;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("NASFLAT_TAPE_BATCH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_TAPE_BATCH)
+    })
+}
+
+/// Runs `f` with the multi-query tape block size pinned to `b` (0 disables
+/// batched-tape evaluation), restoring the previous setting afterwards —
+/// the programmatic equivalent of launching under `NASFLAT_TAPE_BATCH=<b>`.
+///
+/// The override is **process-global** (worker threads spawned inside `f`
+/// see it, unlike a thread-local), so nesting from concurrent threads is
+/// not supported; the bench harness and tests use it from a single driver
+/// thread. Safe either way: batched and per-arch paths are bit-identical,
+/// so a racing override can never change results, only timings.
+pub fn with_tape_batch<R>(b: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TAPE_BATCH_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _guard = Restore(TAPE_BATCH_OVERRIDE.swap(b, Ordering::SeqCst));
+    f()
+}
 
 /// The multi-device few-shot latency predictor.
 #[derive(Debug, Clone)]
@@ -226,6 +278,161 @@ impl LatencyPredictor {
         self.head.forward(g, &self.store, head_in)
     }
 
+    /// Builds a **multi-query** forward pass on an existing tape: the B
+    /// architectures' node features are stacked into block-diagonal tiles
+    /// and propagated through one shared topology in a single pass,
+    /// returning the `B×1` latency scores (row `b` = architecture `b`).
+    ///
+    /// Dense projections (embedding gathers, linear layers, the op–hw MLP,
+    /// the prediction head) run once over the whole stack; DGF aggregation
+    /// multiplies by the block-diagonal propagation matrix (whose exact-`0.0`
+    /// off-block entries the matmul kernels skip); GAT attention runs
+    /// per-block under each architecture's own mask. Every output row is
+    /// **bit-identical** to [`LatencyPredictor::forward`] on that
+    /// architecture alone — the batched-tape determinism and property suites
+    /// pin this.
+    ///
+    /// # Panics
+    /// Panics if `archs` is empty, on space/device mismatch, or on
+    /// supplementary rows of the wrong count/width.
+    pub fn forward_batched(
+        &self,
+        g: &mut Graph,
+        archs: &[&Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Var {
+        let mut scratch = BatchScratch::default();
+        self.forward_batched_with_scratch(g, &mut scratch, archs, device, supp)
+    }
+
+    /// [`LatencyPredictor::forward_batched`] with caller-owned index scratch
+    /// vectors, so sessions rebuild the gather lists without reallocating.
+    fn forward_batched_with_scratch(
+        &self,
+        g: &mut Graph,
+        scratch: &mut BatchScratch,
+        archs: &[&Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Var {
+        assert!(!archs.is_empty(), "batched forward needs at least one arch");
+        assert!(
+            device < self.devices.len(),
+            "device index {device} out of range"
+        );
+        match (self.supp_dim, supp) {
+            (0, None) => {}
+            (d, Some(rows)) => {
+                assert_eq!(rows.len(), archs.len(), "one supplementary row per arch");
+                for r in rows {
+                    assert_eq!(r.len(), d, "supplementary width mismatch");
+                }
+            }
+            (d, None) => panic!("predictor expects {d}-dim supplementary encodings"),
+        }
+        let b = archs.len();
+        let graphs: Vec<nasflat_space::ArchGraph> = archs
+            .iter()
+            .map(|a| {
+                assert_eq!(a.space(), self.space, "architecture from a different space");
+                a.to_graph()
+            })
+            .collect();
+        let sizes: Vec<usize> = graphs.iter().map(|gr| gr.num_nodes()).collect();
+        let layout = BlockLayout::new(&sizes);
+        let total = layout.total_rows();
+        // Propagation operand. Architectures of one space share a node
+        // count, so the hot path stacks every block's `n×n` propagation
+        // matrix into ONE `B·n×n` tape constant (written in place, no
+        // per-block intermediates) shared by both GNN stacks; mixed-size
+        // blocks fall back to per-block tensors.
+        let uniform_block = sizes.iter().all(|&s| s == sizes[0]).then(|| sizes[0]);
+        let prop = match uniform_block {
+            Some(n) => {
+                let mut data = vec![0.0f32; total * n];
+                for (b, gr) in graphs.iter().enumerate() {
+                    gr.write_propagation_matrix(&mut data[b * n * n..(b + 1) * n * n]);
+                }
+                PropOperand::Uniform(g.constant(Tensor::from_vec(total, n, data)), n)
+            }
+            None => PropOperand::Ragged(
+                graphs
+                    .iter()
+                    .map(|gr| {
+                        let n = gr.num_nodes();
+                        Tensor::from_vec(n, n, gr.propagation_matrix())
+                    })
+                    .collect(),
+            ),
+        };
+
+        // Operation (× hardware) joint embedding over the concatenated ops.
+        scratch.op_ids.clear();
+        for gr in &graphs {
+            scratch.op_ids.extend_from_slice(gr.ops());
+        }
+        let op_e = self.op_emb.forward(g, &self.store, &scratch.op_ids);
+        let hw_row = self.hw_emb.forward(g, &self.store, &[device]);
+        let joint0 = if self.cfg.op_hw {
+            let hw_rep = g.repeat_row(hw_row, total);
+            g.concat_cols(op_e, hw_rep)
+        } else {
+            op_e
+        };
+        let refined = match &prop {
+            &PropOperand::Uniform(ps, n) => {
+                self.ophw_gnn
+                    .forward_batched_uniform(g, &self.store, ps, n, joint0, joint0)
+            }
+            PropOperand::Ragged(props) => {
+                self.ophw_gnn
+                    .forward_batched(g, &self.store, props, &layout, joint0, joint0)
+            }
+        };
+        let joint = self.ophw_mlp.forward(g, &self.store, refined);
+
+        // Main GNN over stacked node embeddings (`0..n_b` per block).
+        scratch.node_ids.clear();
+        for &n in &sizes {
+            scratch.node_ids.extend(0..n);
+        }
+        let node_e = self.node_emb.forward(g, &self.store, &scratch.node_ids);
+        let h = match &prop {
+            &PropOperand::Uniform(ps, n) => {
+                self.main_gnn
+                    .forward_batched_uniform(g, &self.store, ps, n, node_e, joint)
+            }
+            PropOperand::Ragged(props) => {
+                self.main_gnn
+                    .forward_batched(g, &self.store, props, &layout, node_e, joint)
+            }
+        };
+
+        // Per-block readout: output-node row ‖ block mean (same accumulation
+        // order as the per-query slice_rows/mean_rows pair).
+        scratch.out_ids.clear();
+        scratch.out_ids.extend(layout.last_row_indices());
+        let out_rows = g.gather_rows(h, &scratch.out_ids);
+        let mean_rows = g.block_mean_rows(h, &sizes);
+        let readout = g.concat_cols(out_rows, mean_rows);
+
+        let mut head_in = readout;
+        if let Some(rows) = supp {
+            let mut data = Vec::with_capacity(b * self.supp_dim);
+            for r in rows {
+                data.extend_from_slice(r);
+            }
+            let s = g.constant(Tensor::from_vec(b, self.supp_dim, data));
+            head_in = g.concat_cols(head_in, s);
+        }
+        if !self.cfg.op_hw {
+            let hw_rep = g.repeat_row(hw_row, b);
+            head_in = g.concat_cols(head_in, hw_rep);
+        }
+        self.head.forward(g, &self.store, head_in)
+    }
+
     /// Predicts the latency score of one architecture (fresh tape).
     pub fn predict(&self, arch: &Arch, device: usize, supp: Option<&[f32]>) -> f32 {
         let mut g = Graph::new();
@@ -239,20 +446,37 @@ impl LatencyPredictor {
         BatchSession::new(self)
     }
 
-    /// Maps `f` over `0..n` in parallel with one [`BatchSession`] per
-    /// worker's contiguous chunk (results in index order) — the shared
-    /// chunking behind every batch-scoring path. Bit-identical at any
-    /// thread count for pure `f`.
-    pub(crate) fn par_with_sessions<R: Send>(
+    /// Scores a batch of architectures in parallel: one [`BatchSession`]
+    /// per worker's contiguous chunk, each chunk evaluated through
+    /// [`BatchSession::predict_many`] (multi-query block-diagonal tape
+    /// passes above the [`tape_batch`] threshold, per-architecture session
+    /// queries below it). The shared dispatcher behind every batch-scoring
+    /// path; results are in input order and bit-identical to a sequential
+    /// per-architecture loop at any thread count and any tape-batch setting.
+    pub(crate) fn batch_scores(
         &self,
-        n: usize,
-        f: impl Fn(&mut BatchSession<'_>, usize) -> R + Sync,
-    ) -> Vec<R> {
-        let indices: Vec<usize> = (0..n).collect();
+        archs: &[&Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
+        if let Some(rows) = supp {
+            assert_eq!(
+                rows.len(),
+                archs.len(),
+                "one supplementary row per architecture"
+            );
+        }
+        let n = archs.len();
         let chunk = n.div_ceil(nasflat_parallel::current_threads()).max(1);
+        let indices: Vec<usize> = (0..n).collect();
         nasflat_parallel::par_chunks(&indices, chunk, |c| {
             let mut session = self.session();
-            c.iter().map(|&i| f(&mut session, i)).collect::<Vec<R>>()
+            let (start, end) = (c[0], c[c.len() - 1] + 1);
+            session.predict_many(
+                &archs[start..end],
+                device,
+                supp.map(|rows| &rows[start..end]),
+            )
         })
         .into_iter()
         .flatten()
@@ -261,9 +485,11 @@ impl LatencyPredictor {
 
     /// Predicts latency scores for a batch of architectures, evaluating them
     /// in parallel (bounded by `NASFLAT_THREADS`). Each worker runs one
-    /// [`BatchSession`] over its contiguous chunk, so the tape is built once
-    /// per worker instead of once per architecture; a cleared session tape
-    /// is bit-identical to a fresh one, so the result equals calling
+    /// [`BatchSession`] over its contiguous chunk; chunks of at least
+    /// [`tape_batch`] architectures are evaluated as multi-query
+    /// block-diagonal tape passes (see
+    /// [`LatencyPredictor::forward_batched`]), smaller ones query-by-query
+    /// on the session tape. Both paths are bit-identical to calling
     /// [`LatencyPredictor::predict`] in a loop, at any thread count.
     ///
     /// `supp` carries one supplementary row per architecture when the config
@@ -278,16 +504,8 @@ impl LatencyPredictor {
         device: usize,
         supp: Option<&[Vec<f32>]>,
     ) -> Vec<f32> {
-        if let Some(rows) = supp {
-            assert_eq!(
-                rows.len(),
-                archs.len(),
-                "one supplementary row per architecture"
-            );
-        }
-        self.par_with_sessions(archs.len(), |session, i| {
-            session.predict(&archs[i], device, supp.map(|rows| rows[i].as_slice()))
-        })
+        let refs: Vec<&Arch> = archs.iter().collect();
+        self.batch_scores(&refs, device, supp)
     }
 
     /// Copies the hardware-embedding row of `source` into `target` —
@@ -367,15 +585,41 @@ pub struct BatchSession<'p> {
     pred: &'p LatencyPredictor,
     graph: Graph,
     node_ids: Vec<usize>,
+    scratch: BatchScratch,
+    tape_batch: usize,
+    batched_passes: usize,
+    per_arch_queries: usize,
+}
+
+/// Reusable gather-index scratch for multi-query passes.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    op_ids: Vec<usize>,
+    node_ids: Vec<usize>,
+    out_ids: Vec<usize>,
+}
+
+/// How a pass's block-diagonal propagation operand is represented: one
+/// stacked `B·n×n` tape constant for equal-size blocks (the per-space hot
+/// path), or per-block tensors for mixed sizes.
+enum PropOperand {
+    Uniform(Var, usize),
+    Ragged(Vec<Tensor>),
 }
 
 impl<'p> BatchSession<'p> {
-    /// Opens a session over `pred` with an empty tape.
+    /// Opens a session over `pred` with an empty tape. The multi-query
+    /// block size is captured from [`tape_batch`] at creation; override it
+    /// per session with [`BatchSession::set_tape_batch`].
     pub fn new(pred: &'p LatencyPredictor) -> Self {
         BatchSession {
             pred,
             graph: Graph::new(),
             node_ids: Vec::new(),
+            scratch: BatchScratch::default(),
+            tape_batch: tape_batch(),
+            batched_passes: 0,
+            per_arch_queries: 0,
         }
     }
 
@@ -384,17 +628,101 @@ impl<'p> BatchSession<'p> {
         self.pred
     }
 
+    /// Overrides this session's multi-query block size (0 or 1 disables
+    /// block-diagonal batching for this session).
+    pub fn set_tape_batch(&mut self, b: usize) {
+        self.tape_batch = b;
+    }
+
+    /// How many multi-query (block-diagonal) tape passes this session has
+    /// run — telemetry for the threshold-dispatch tests.
+    pub fn batched_passes(&self) -> usize {
+        self.batched_passes
+    }
+
+    /// How many single-architecture queries this session has run.
+    pub fn per_arch_queries(&self) -> usize {
+        self.per_arch_queries
+    }
+
     /// Predicts the latency score of one architecture on the session tape
     /// (bit-identical to [`LatencyPredictor::predict`]).
     ///
     /// # Panics
     /// Panics on the same conditions as [`LatencyPredictor::forward`].
     pub fn predict(&mut self, arch: &Arch, device: usize, supp: Option<&[f32]>) -> f32 {
+        self.per_arch_queries += 1;
         self.graph.clear();
         let y =
             self.pred
                 .forward_with_scratch(&mut self.graph, &mut self.node_ids, arch, device, supp);
         self.graph.value(y).item()
+    }
+
+    /// Evaluates one **multi-query block-diagonal tape pass** over `archs`
+    /// on the session tape and returns the per-architecture scores (the
+    /// slicing step: row `b` of the stacked `B×1` head output).
+    /// Bit-identical to calling [`BatchSession::predict`] per architecture.
+    ///
+    /// `supp` is one supplementary row per architecture (required iff the
+    /// config sets a supplement).
+    ///
+    /// # Panics
+    /// Panics on the same conditions as
+    /// [`LatencyPredictor::forward_batched`].
+    pub fn predict_batched_tape(
+        &mut self,
+        archs: &[&Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
+        self.batched_passes += 1;
+        self.graph.clear();
+        let y = self.pred.forward_batched_with_scratch(
+            &mut self.graph,
+            &mut self.scratch,
+            archs,
+            device,
+            supp,
+        );
+        let out = self.graph.value(y);
+        (0..archs.len()).map(|b| out.get(b, 0)).collect()
+    }
+
+    /// Scores a run of architectures, dispatching on the session's
+    /// tape-batch threshold: runs of at least `tape_batch` architectures
+    /// are split into block-diagonal passes of `tape_batch` queries each
+    /// (a sub-threshold remainder falls back per-architecture); smaller
+    /// runs — or a disabled threshold (0/1) — take the per-architecture
+    /// session path. Either way the scores are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `supp` is present with a length differing from `archs`,
+    /// or on the same conditions as [`LatencyPredictor::forward`].
+    pub fn predict_many(
+        &mut self,
+        archs: &[&Arch],
+        device: usize,
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
+        if let Some(rows) = supp {
+            assert_eq!(rows.len(), archs.len(), "one supplementary row per arch");
+        }
+        let b = self.tape_batch;
+        let n = archs.len();
+        let mut out = Vec::with_capacity(n);
+        let full = if b >= 2 && n >= b { n - n % b } else { 0 };
+        for start in (0..full).step_by(b.max(1)) {
+            out.extend(self.predict_batched_tape(
+                &archs[start..start + b],
+                device,
+                supp.map(|rows| &rows[start..start + b]),
+            ));
+        }
+        for i in full..n {
+            out.push(self.predict(archs[i], device, supp.map(|rows| rows[i].as_slice())));
+        }
+        out
     }
 }
 

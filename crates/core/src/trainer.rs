@@ -203,9 +203,12 @@ pub fn hw_init_from_correlation(
 ///
 /// Predictions run in parallel over the `nasflat-parallel` layer (bounded by
 /// `NASFLAT_THREADS`); each worker reuses one
-/// [`BatchSession`](crate::BatchSession) tape over its contiguous chunk.
-/// Session tapes are bit-identical to fresh tapes and each forward pass is
-/// pure, so the output is bit-identical at any thread count.
+/// [`BatchSession`](crate::BatchSession) tape over its contiguous chunk and —
+/// above the [`tape_batch`](crate::tape_batch) threshold — evaluates
+/// multi-query block-diagonal tape passes instead of query-by-query swaps.
+/// Session tapes are bit-identical to fresh tapes, batched passes are
+/// bit-identical to per-architecture ones, and each forward is pure, so the
+/// output is bit-identical at any thread count and tape-batch setting.
 pub fn predict_indices(
     pred: &LatencyPredictor,
     ctx: &TrainContext<'_>,
@@ -213,11 +216,14 @@ pub fn predict_indices(
     indices: &[usize],
 ) -> Vec<f32> {
     let cfg = pred.config();
-    pred.par_with_sessions(indices.len(), |session, j| {
-        let i = indices[j];
-        let supp = ctx.supplement(cfg, i);
-        session.predict(&ctx.pool[i], device, supp.as_deref())
-    })
+    let archs: Vec<&Arch> = indices.iter().map(|&i| &ctx.pool[i]).collect();
+    let supp: Option<Vec<Vec<f32>>> = cfg.supplement.map(|_| {
+        indices
+            .iter()
+            .map(|&i| ctx.supplement(cfg, i).expect("supplement configured"))
+            .collect()
+    });
+    pred.batch_scores(&archs, device, supp.as_deref())
 }
 
 /// Spearman rank correlation of predicted scores against ground-truth

@@ -1,0 +1,199 @@
+//! Property + dispatch suite for multi-query (block-diagonal) tape
+//! evaluation.
+//!
+//! Contract under test:
+//!
+//! 1. **Round trip**: stacking up to B = 16 architectures into one
+//!    block-diagonal tape pass (`stack → forward → slice`) produces scores
+//!    bit-identical to per-architecture passes on fresh tapes — across GNN
+//!    module kinds, spaces (8-node NB201 cells, 24-node FBNet chains), and
+//!    with supplementary encodings.
+//! 2. **Threshold dispatch**: batch requests below the tape-batch threshold
+//!    take the per-architecture session path; requests at/above it run
+//!    block-diagonal passes (with a per-arch remainder), observable through
+//!    the session's pass counters.
+
+use proptest::prelude::*;
+
+use nasflat_core::{GnnModuleKind, LatencyPredictor, PredictorConfig};
+use nasflat_encode::EncodingKind;
+use nasflat_space::{Arch, Space};
+use nasflat_tensor::Graph;
+
+fn tiny_cfg() -> PredictorConfig {
+    let mut c = PredictorConfig::quick();
+    c.op_dim = 8;
+    c.hw_dim = 8;
+    c.node_dim = 8;
+    c.ophw_gnn_dims = vec![12];
+    c.ophw_mlp_dims = vec![12];
+    c.gnn_dims = vec![12, 12];
+    c.head_dims = vec![16];
+    c
+}
+
+fn devices() -> Vec<String> {
+    vec!["dev_a".into(), "dev_b".into(), "dev_c".into()]
+}
+
+/// Per-arch fresh-tape scores — the ground truth every batched variant must
+/// reproduce bit-for-bit.
+fn per_arch_bits(p: &LatencyPredictor, archs: &[&Arch], device: usize) -> Vec<u32> {
+    archs
+        .iter()
+        .map(|a| p.predict(a, device, None).to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stack_forward_slice_round_trips_bitwise_up_to_16_archs(
+        b in 1usize..17,
+        seed in 0u64..10_000,
+        device in 0usize..3,
+    ) {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let archs: Vec<Arch> = (0..b as u64)
+            .map(|i| Arch::nb201_from_index(seed.wrapping_mul(37).wrapping_add(i * 977) % 15_625))
+            .collect();
+        let refs: Vec<&Arch> = archs.iter().collect();
+
+        // One block-diagonal pass over all B queries…
+        let mut g = Graph::new();
+        let y = p.forward_batched(&mut g, &refs, device, None);
+        prop_assert_eq!(g.value(y).shape(), (b, 1));
+        let batched: Vec<u32> = (0..b).map(|i| g.value(y).get(i, 0).to_bits()).collect();
+
+        // …must slice back to exactly the per-arch fresh-tape scores.
+        prop_assert_eq!(batched, per_arch_bits(&p, &refs, device));
+    }
+}
+
+#[test]
+fn round_trip_holds_for_every_gnn_module_kind() {
+    for kind in [
+        GnnModuleKind::Dgf,
+        GnnModuleKind::Gat,
+        GnnModuleKind::Ensemble,
+    ] {
+        let cfg = tiny_cfg().with_gnn(kind);
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, cfg);
+        let archs: Vec<Arch> = (0..9u64).map(|i| Arch::nb201_from_index(i * 641)).collect();
+        let refs: Vec<&Arch> = archs.iter().collect();
+        let mut session = p.session();
+        let batched = session.predict_batched_tape(&refs, 1, None);
+        let expect: Vec<u32> = per_arch_bits(&p, &refs, 1);
+        let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expect, "{kind:?} diverged");
+    }
+}
+
+#[test]
+fn round_trip_holds_on_fbnet_and_without_ophw() {
+    let mut cfg = tiny_cfg();
+    cfg.op_hw = false; // exercise the head-side hw conditioning branch
+    let p = LatencyPredictor::new(Space::Fbnet, devices(), 0, cfg);
+    let archs: Vec<Arch> = (0..6u8)
+        .map(|i| Arch::new(Space::Fbnet, vec![i % 9; 22]))
+        .collect();
+    let refs: Vec<&Arch> = archs.iter().collect();
+    let mut session = p.session();
+    let batched = session.predict_batched_tape(&refs, 2, None);
+    let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, per_arch_bits(&p, &refs, 2));
+}
+
+#[test]
+fn round_trip_holds_with_supplementary_encodings() {
+    let cfg = tiny_cfg().with_supplement(Some(EncodingKind::Zcp));
+    let p = LatencyPredictor::new(Space::Nb201, devices(), 13, cfg);
+    let archs: Vec<Arch> = (0..8u64).map(|i| Arch::nb201_from_index(i * 333)).collect();
+    let refs: Vec<&Arch> = archs.iter().collect();
+    let supp: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            (0..13)
+                .map(|j| ((i * 13 + j) as f32 * 0.17).sin())
+                .collect()
+        })
+        .collect();
+    let mut session = p.session();
+    let batched = session.predict_batched_tape(&refs, 0, Some(&supp));
+    let expect: Vec<u32> = refs
+        .iter()
+        .zip(&supp)
+        .map(|(a, s)| p.predict(a, 0, Some(s)).to_bits())
+        .collect();
+    let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn batched_passes_reuse_the_session_arena_bitwise() {
+    // Interleave batched and per-arch queries on one tape: clear() recycling
+    // must never leak state between the two modes.
+    let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+    let archs: Vec<Arch> = (0..12u64)
+        .map(|i| Arch::nb201_from_index(i * 119))
+        .collect();
+    let refs: Vec<&Arch> = archs.iter().collect();
+    let expect = per_arch_bits(&p, &refs, 0);
+    let mut session = p.session();
+    for round in 0..3 {
+        let batched = session.predict_batched_tape(&refs, 0, None);
+        let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, expect, "round {round} diverged after arena reuse");
+        let single = session.predict(&archs[round], 0, None);
+        assert_eq!(single.to_bits(), expect[round]);
+    }
+}
+
+#[test]
+fn small_batches_fall_back_to_the_per_arch_path() {
+    let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+    let archs: Vec<Arch> = (0..11u64).map(|i| Arch::nb201_from_index(i * 57)).collect();
+    let refs: Vec<&Arch> = archs.iter().collect();
+
+    // Below the threshold: every query takes the per-architecture path.
+    let mut session = p.session();
+    session.set_tape_batch(4);
+    let small = session.predict_many(&refs[..3], 0, None);
+    assert_eq!(session.batched_passes(), 0, "small batch must not stack");
+    assert_eq!(session.per_arch_queries(), 3);
+
+    // At/above the threshold: full blocks stack, the sub-threshold
+    // remainder (11 = 2*4 + 3) falls back per-architecture.
+    let many = session.predict_many(&refs, 0, None);
+    assert_eq!(session.batched_passes(), 2);
+    assert_eq!(session.per_arch_queries(), 3 + 3);
+
+    // Disabled (0): everything per-architecture.
+    let mut off = p.session();
+    off.set_tape_batch(0);
+    let plain = off.predict_many(&refs, 0, None);
+    assert_eq!(off.batched_passes(), 0);
+    assert_eq!(off.per_arch_queries(), 11);
+
+    // All dispatch modes agree bitwise with the fresh-tape ground truth.
+    let expect = per_arch_bits(&p, &refs, 0);
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+    assert_eq!(bits(&small), expect[..3]);
+    assert_eq!(bits(&many), expect);
+    assert_eq!(bits(&plain), expect);
+}
+
+#[test]
+fn with_tape_batch_pins_the_process_default() {
+    let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+    nasflat_core::with_tape_batch(5, || {
+        assert_eq!(nasflat_core::tape_batch(), 5);
+        let session = p.session();
+        // sessions capture the override at creation
+        let archs: Vec<Arch> = (0..5u64).map(Arch::nb201_from_index).collect();
+        let refs: Vec<&Arch> = archs.iter().collect();
+        let mut session = session;
+        session.predict_many(&refs, 0, None);
+        assert_eq!(session.batched_passes(), 1);
+    });
+}

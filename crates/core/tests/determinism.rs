@@ -1,12 +1,14 @@
 //! Determinism suite for the parallel execution layer.
 //!
 //! The contract: every parallelized pipeline stage — ensemble training,
-//! batch prediction, multi-target transfer, full trial loops — produces
-//! **bit-identical** outputs at `NASFLAT_THREADS=1`, `2`, and `8`. The
-//! tests pin the thread count in-process via
-//! [`nasflat_parallel::with_threads`], the programmatic equivalent of
-//! launching under each `NASFLAT_THREADS` value (the env var is read once
-//! per process, so one process can't re-set it per case).
+//! batch prediction (including the multi-query block-diagonal tape path),
+//! multi-target transfer, full trial loops — produces **bit-identical**
+//! outputs at `NASFLAT_THREADS=1`, `2`, and `8`. The tests pin the thread
+//! count in-process via [`nasflat_parallel::with_threads`], the
+//! programmatic equivalent of launching under each `NASFLAT_THREADS` value
+//! (the env var is read once per process, so one process can't re-set it
+//! per case), and the tape-batch size via
+//! [`nasflat_core::with_tape_batch`].
 
 use nasflat_core::{
     build_ensemble, ensemble_transfer_scores, run_trials, FewShotConfig, LatencyPredictor,
@@ -88,6 +90,37 @@ fn batch_session_is_bit_identical_to_per_arch_tapes_across_thread_counts() {
     for &t in &THREAD_COUNTS {
         let batched = with_threads(t, || bits(&pred.predict_batch(&pool, 0, None)));
         assert_eq!(per_arch, batched, "predict_batch diverged at {t} threads");
+    }
+}
+
+#[test]
+fn multi_query_tape_is_bit_identical_across_thread_counts_and_batch_sizes() {
+    // The PR-4 batched-tape contract: block-diagonal multi-query passes are
+    // bit-identical to the per-arch session path — at 1/2/8 threads and at
+    // any tape-batch setting (0 = disabled/PR-3 path, 8 = default blocks,
+    // 16 = double blocks). Thread count changes worker chunk boundaries and
+    // therefore which queries share a block; none of it may move a bit.
+    let pool = probe_pool(Space::Nb201, 72, 9);
+    let pred = LatencyPredictor::new(
+        Space::Nb201,
+        vec!["a".into(), "b".into()],
+        0,
+        tiny().predictor,
+    );
+    let per_arch: Vec<u32> = pool
+        .iter()
+        .map(|a| pred.predict(a, 1, None).to_bits())
+        .collect();
+    for &tape in &[0usize, 8, 16] {
+        for &t in &THREAD_COUNTS {
+            let got = nasflat_core::with_tape_batch(tape, || {
+                with_threads(t, || bits(&pred.predict_batch(&pool, 1, None)))
+            });
+            assert_eq!(
+                per_arch, got,
+                "batched tape diverged at {t} threads, tape_batch={tape}"
+            );
+        }
     }
 }
 

@@ -22,7 +22,9 @@ use crate::oracle::AccuracyOracle;
 /// Plain `Fn(&Arch) -> f32 + Sync` closures implement this trait via the
 /// blanket impl, so simple estimators keep working unchanged; estimators
 /// with a cheaper batched path (e.g. NASFLAT scoring over `BatchSession`
-/// tapes) provide it through [`BatchedLatency`] or a manual impl.
+/// tapes, which stacks populations into multi-query block-diagonal tape
+/// passes above the `NASFLAT_TAPE_BATCH` threshold) provide it through
+/// [`BatchedLatency`] or a manual impl.
 pub trait LatencyEstimator: Sync {
     /// Latency estimate (ms or calibrated score) of one architecture.
     fn latency_ms(&self, arch: &Arch) -> f32;

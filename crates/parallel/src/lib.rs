@@ -46,6 +46,11 @@
 //! few microseconds per worker — negligible against the millisecond-scale
 //! items (predictor forwards, training epochs) this workspace parallelizes.
 //! [`ThreadPool`] bounds concurrency; it does not keep idle threads alive.
+//!
+//! This crate is one of the repository's performance layers — see
+//! `ARCHITECTURE.md` at the workspace root for how it composes with the
+//! tensor kernels, tape arenas, and multi-query batched tapes, and for the
+//! determinism contract all four uphold.
 
 #![warn(missing_docs)]
 

@@ -126,15 +126,28 @@ impl ArchGraph {
     pub fn propagation_matrix(&self) -> Vec<f32> {
         let n = self.num_nodes;
         let mut m = vec![0.0f32; n * n];
+        self.write_propagation_matrix(&mut m);
+        m
+    }
+
+    /// [`ArchGraph::propagation_matrix`] written into a caller-provided
+    /// `n×n` slice (assumed zeroed) — lets multi-query tape construction
+    /// assemble B stacked propagation blocks without B intermediate
+    /// allocations.
+    ///
+    /// # Panics
+    /// Panics if `out` is not exactly `n×n` long.
+    pub fn write_propagation_matrix(&self, out: &mut [f32]) {
+        let n = self.num_nodes;
+        assert_eq!(out.len(), n * n, "propagation slice must be n*n");
         for i in 0..n {
-            m[i * n + i] = 1.0;
+            out[i * n + i] = 1.0;
             for j in 0..n {
                 if self.adj[j * n + i] != 0.0 {
-                    m[i * n + j] = 1.0;
+                    out[i * n + j] = 1.0;
                 }
             }
         }
-        m
     }
 
     /// Nodes in topological order (indices are already topological by

@@ -11,10 +11,18 @@
 //!
 //! The op set is exactly what the NASFLAT predictor needs: matrix products,
 //! element-wise arithmetic and activations, adjacency-masked softmax (for
-//! graph attention), LayerNorm, row gather/scatter (embedding lookup), and a
-//! few reductions. All dense inner loops run on the unrolled
+//! graph attention), LayerNorm, row gather/scatter (embedding lookup), a
+//! few reductions, and the multi-query block ops ([`Graph::block_matmul`],
+//! [`Graph::block_matmul_nt`], [`Graph::block_diag_matmul`],
+//! [`Graph::block_mean_rows`], [`Graph::concat_rows`]) that evaluate B
+//! stacked queries per tape node. All dense inner loops run on the unrolled
 //! [`kernels`](crate::kernels); `MatMul` backward uses the transposed fast
 //! paths (`A·Bᵀ`, `Aᵀ·B`) instead of materializing `transpose()` copies.
+//!
+//! Gradient buffers are **lazy**: nodes are pushed without them and
+//! [`Graph::backward`] materializes the tape prefix's gradients (pooled,
+//! zero-filled) before walking, so forward-only passes — batched prediction
+//! sweeps — never allocate or zero a single gradient buffer.
 
 use crate::kernels;
 use crate::params::{ParamId, ParamStore};
@@ -29,6 +37,9 @@ pub struct Var(usize);
 enum Op {
     Leaf,
     MatMul(Var, Var),
+    BlockDiagMatMul(Var, Vec<Tensor>),
+    BlockMatMul(Var, Var, usize),
+    BlockMatMulNt(Var, Var, usize),
     Add(Var, Var),
     Sub(Var, Var),
     MulElem(Var, Var),
@@ -43,7 +54,9 @@ enum Op {
     SoftmaxRowsMasked(Var, Option<Tensor>),
     LayerNormRows { x: Var, gamma: Var, beta: Var },
     ConcatCols(Var, Var),
+    ConcatRows(Vec<Var>),
     SliceRows(Var, usize, usize),
+    BlockMeanRows(Var, Vec<usize>),
     Transpose(Var),
     Gather(Var, Vec<usize>),
     RepeatRow(Var, usize),
@@ -111,12 +124,21 @@ impl Graph {
         let nodes = self.nodes.len();
         for node in self.nodes.drain(..) {
             self.free.push(node.value.into_vec());
-            self.free.push(node.grad.into_vec());
+            let grad = node.grad.into_vec();
+            if !grad.is_empty() {
+                self.free.push(grad);
+            }
             for aux in node.aux {
                 self.free.push(aux.into_vec());
             }
-            if let Op::SoftmaxRowsMasked(_, Some(mask)) = node.op {
-                self.free.push(mask.into_vec());
+            match node.op {
+                Op::SoftmaxRowsMasked(_, Some(mask)) => self.free.push(mask.into_vec()),
+                Op::BlockDiagMatMul(_, blocks) => {
+                    for b in blocks {
+                        self.free.push(b.into_vec());
+                    }
+                }
+                _ => {}
             }
         }
         // One pass pops at most value + grad + aux buffers per node
@@ -147,10 +169,12 @@ impl Graph {
     }
 
     fn push_aux(&mut self, value: Tensor, op: Op, requires_grad: bool, aux: Vec<Tensor>) -> Var {
-        let grad = self.zeros(value.rows(), value.cols());
+        // Gradient buffers are *lazy*: forward-only passes (batched
+        // prediction sweeps) never pay for allocating or zeroing them —
+        // `backward` materializes every tape-prefix gradient before walking.
         self.nodes.push(Node {
             value,
-            grad,
+            grad: Tensor::zeros(0, 0),
             op,
             requires_grad,
             param: None,
@@ -197,7 +221,10 @@ impl Graph {
         &self.nodes[v.0].value
     }
 
-    /// Gradient of a node (zeros before `backward`).
+    /// Gradient of a node. Gradient storage is materialized by
+    /// [`Graph::backward`] for gradient-requiring nodes; before it runs —
+    /// or for constants and nodes pushed after the backward root — this is
+    /// an empty `0×0` tensor.
     pub fn grad(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].grad
     }
@@ -226,6 +253,144 @@ impl Graph {
         );
         let rg = self.rg(a) || self.rg(b);
         self.push(v, Op::MatMul(a, b), rg)
+    }
+
+    /// Block-diagonal structured product: with square constant blocks
+    /// `P_0 … P_{B-1}` (sizes `n_b`) and `x` of `Σn_b` rows, computes
+    /// `blockdiag(P_0, …) · x` without materializing the dense
+    /// block-diagonal operand — block `b` of the output is
+    /// `P_b · x[offset(b)..offset(b)+n_b]` via the same [`kernels::matmul`]
+    /// call a lone `n_b`-row pass would make, so the result is
+    /// **bit-identical** both to the dense block-diagonal product (whose
+    /// exact-`0.0` off-block entries the kernel skips) and to B separate
+    /// per-block [`Graph::matmul`]s. Cost is `Σ n_b²·c` instead of the
+    /// dense `(Σn_b)²·c` zero-scan, so stacking more queries stays linear
+    /// in B. The blocks are constants (no gradient flows into them);
+    /// backward propagates `P_bᵀ·g_b` into `x` per block.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty, a block is not square, or the sizes do
+    /// not sum to `x`'s row count.
+    pub fn block_diag_matmul(&mut self, blocks: &[Tensor], x: Var) -> Var {
+        assert!(!blocks.is_empty(), "block_diag_matmul needs blocks");
+        let (r, c) = self.nodes[x.0].value.shape();
+        let total: usize = blocks
+            .iter()
+            .map(|b| {
+                assert_eq!(
+                    b.rows(),
+                    b.cols(),
+                    "block_diag_matmul blocks must be square"
+                );
+                b.rows()
+            })
+            .sum();
+        assert_eq!(total, r, "block sizes must sum to x's row count");
+        let mut v = self.zeros(r, c);
+        {
+            let tx = &self.nodes[x.0].value;
+            let mut off = 0usize;
+            for b in blocks {
+                let n = b.rows();
+                kernels::matmul(
+                    n,
+                    n,
+                    c,
+                    b.data(),
+                    &tx.data()[off * c..(off + n) * c],
+                    &mut v.data_mut()[off * c..(off + n) * c],
+                );
+                off += n;
+            }
+        }
+        let rg = self.rg(x);
+        self.push(v, Op::BlockDiagMatMul(x, blocks.to_vec()), rg)
+    }
+
+    /// Per-block matrix product over **equal-size** stacked blocks: `a`
+    /// holds B square `block×block` matrices stacked vertically
+    /// (`B·block × block`), `b` holds B feature blocks (`B·block × c`), and
+    /// output block `i` is `a_i · b_i`. The multi-query form of B separate
+    /// [`Graph::matmul`]s — each block runs the identical kernel call, so
+    /// results are bit-identical to the per-query passes (and to the dense
+    /// block-diagonal product), at `Σ block²·c` cost and **one** tape node.
+    ///
+    /// # Panics
+    /// Panics if `block` is 0, `a` is not `B·block × block`, or `b` has a
+    /// different row count.
+    pub fn block_matmul(&mut self, a: Var, b: Var, block: usize) -> Var {
+        let (ra, ca) = self.nodes[a.0].value.shape();
+        let (rb, cb) = self.nodes[b.0].value.shape();
+        assert!(block > 0, "block_matmul needs a positive block size");
+        assert!(
+            ca == block && ra % block == 0,
+            "block_matmul lhs must be stacked {block}x{block} blocks"
+        );
+        assert_eq!(ra, rb, "block_matmul row mismatch");
+        let mut v = self.zeros(ra, cb);
+        {
+            let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for blk in 0..ra / block {
+                let off = blk * block;
+                kernels::matmul(
+                    block,
+                    block,
+                    cb,
+                    &ta.data()[off * block..(off + block) * block],
+                    &tb.data()[off * cb..(off + block) * cb],
+                    &mut v.data_mut()[off * cb..(off + block) * cb],
+                );
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BlockMatMul(a, b, block), rg)
+    }
+
+    /// Per-block transposed product over equal-size stacked blocks: `a` and
+    /// `b` both hold B `block×k` blocks stacked vertically, and output
+    /// block `i` is `a_i · b_iᵀ` (`B·block × block`) — the multi-query form
+    /// of the attention-logit product `matmul(a, transpose(b))`. Each block
+    /// materializes `b_iᵀ` into a pooled scratch buffer and runs the same
+    /// [`kernels::matmul`] call the per-query pass would, so results are
+    /// bit-identical, and the B passes cost **one** tape node.
+    ///
+    /// # Panics
+    /// Panics if `block` is 0, shapes differ, or the row count is not a
+    /// multiple of `block`.
+    pub fn block_matmul_nt(&mut self, a: Var, b: Var, block: usize) -> Var {
+        let (ra, k) = self.nodes[a.0].value.shape();
+        assert!(block > 0, "block_matmul_nt needs a positive block size");
+        assert_eq!(
+            self.nodes[b.0].value.shape(),
+            (ra, k),
+            "block_matmul_nt shape mismatch"
+        );
+        assert_eq!(ra % block, 0, "rows must be a multiple of the block size");
+        let mut scratch = self.take_buf(k * block);
+        let mut v = self.zeros(ra, block);
+        {
+            let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for blk in 0..ra / block {
+                let off = blk * block;
+                // b_iᵀ, laid out exactly like the per-query transpose node.
+                for i in 0..block {
+                    for j in 0..k {
+                        scratch[j * block + i] = tb.get(off + i, j);
+                    }
+                }
+                kernels::matmul(
+                    block,
+                    k,
+                    block,
+                    &ta.data()[off * k..(off + block) * k],
+                    &scratch,
+                    &mut v.data_mut()[off * block..(off + block) * block],
+                );
+            }
+        }
+        self.free.push(scratch);
+        let rg = self.rg(a) || self.rg(b);
+        self.push(v, Op::BlockMatMulNt(a, b, block), rg)
     }
 
     /// Element-wise sum. Shapes must match.
@@ -459,6 +624,33 @@ impl Graph {
         self.push(v, Op::ConcatCols(a, b), rg)
     }
 
+    /// Vertical concatenation `[a0; a1; …]` (multi-query stacking). Column
+    /// counts must match; gradients slice back to each input.
+    ///
+    /// # Panics
+    /// Panics if `vars` is empty or column counts differ.
+    pub fn concat_rows(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_rows on empty list");
+        let c = self.nodes[vars[0].0].value.cols();
+        let mut rows = 0usize;
+        let mut rg = false;
+        for &x in vars {
+            assert_eq!(self.nodes[x.0].value.cols(), c, "concat_rows col mismatch");
+            rows += self.nodes[x.0].value.rows();
+            rg |= self.rg(x);
+        }
+        let mut v = self.zeros(rows, c);
+        let mut off = 0usize;
+        for &x in vars {
+            let tx = &self.nodes[x.0].value;
+            for i in 0..tx.rows() {
+                v.row_mut(off + i).copy_from_slice(tx.row(i));
+            }
+            off += tx.rows();
+        }
+        self.push(v, Op::ConcatRows(vars.to_vec()), rg)
+    }
+
     /// Contiguous row slice `a[start .. start+len]`.
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
         let (r, c) = self.nodes[a.0].value.shape();
@@ -538,6 +730,46 @@ impl Graph {
         self.push(v, Op::MeanRows(a), rg)
     }
 
+    /// Per-block row means over consecutive row blocks: with `sizes =
+    /// [n_0, …, n_{B-1}]` (summing to `a`'s row count), output row `b` is
+    /// the mean of `a`'s rows `[offset(b), offset(b)+n_b)` — `Σn_b×c → B×c`.
+    ///
+    /// Each block accumulates with exactly the loop order of
+    /// [`Graph::mean_rows`] on that block alone, so a stacked multi-query
+    /// pass reproduces the per-query readout bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty, contains a zero, or does not sum to the
+    /// row count.
+    pub fn block_mean_rows(&mut self, a: Var, sizes: &[usize]) -> Var {
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert!(
+            !sizes.is_empty(),
+            "block_mean_rows needs at least one block"
+        );
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            r,
+            "block_mean_rows sizes must sum to the row count"
+        );
+        let mut v = self.zeros(sizes.len(), c);
+        {
+            let ta = &self.nodes[a.0].value;
+            let mut off = 0usize;
+            for (b, &n) in sizes.iter().enumerate() {
+                assert!(n > 0, "block_mean_rows zero-row block");
+                for i in 0..n {
+                    for j in 0..c {
+                        v.set(b, j, v.get(b, j) + ta.get(off + i, j) / n as f32);
+                    }
+                }
+                off += n;
+            }
+        }
+        let rg = self.rg(a);
+        self.push(v, Op::BlockMeanRows(a, sizes.to_vec()), rg)
+    }
+
     /// Sum of all elements: `r×c → 1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let mut v = self.zeros(1, 1);
@@ -579,6 +811,19 @@ impl Graph {
             (1, 1),
             "backward root must be a scalar"
         );
+        // Materialize the lazy gradient buffers for the tape prefix (pooled,
+        // zero-filled) — push defers them so forward-only passes skip the
+        // allocation and zeroing entirely. Constants stay empty: the walk
+        // skips them, accum is requires_grad-guarded, and zeroing the tape's
+        // largest buffers (propagation matrices, masks) every training step
+        // would be pure waste.
+        for i in 0..=root.0 {
+            if self.nodes[i].requires_grad && self.nodes[i].grad.is_empty() {
+                let (r, c) = self.nodes[i].value.shape();
+                let zeros = self.zeros(r, c);
+                self.nodes[i].grad = zeros;
+            }
+        }
         self.nodes[root.0].grad = Tensor::scalar(1.0);
         for i in (0..=root.0).rev() {
             if !self.nodes[i].requires_grad {
@@ -604,6 +849,93 @@ impl Graph {
         let op = std::mem::replace(&mut self.nodes[i].op, Op::Leaf);
         match &op {
             Op::Leaf => {}
+            Op::BlockDiagMatMul(x, blocks) => {
+                let x = *x;
+                let (r, c) = g.shape();
+                let mut dx = Tensor::zeros(r, c);
+                let mut off = 0usize;
+                for b in blocks {
+                    let n = b.rows();
+                    // dX_b = P_bᵀ · g_b — the per-block transposed fast path,
+                    // bit-identical to the dense block-diagonal Aᵀ·g.
+                    kernels::matmul_tn(
+                        n,
+                        n,
+                        c,
+                        b.data(),
+                        &g.data()[off * c..(off + n) * c],
+                        &mut dx.data_mut()[off * c..(off + n) * c],
+                    );
+                    off += n;
+                }
+                self.accum(x, &dx);
+            }
+            &Op::BlockMatMul(a, b, block) => {
+                // Per block: dA_i = g_i·B_iᵀ, dB_i = A_iᵀ·g_i — the same
+                // transposed fast paths as `MatMul`, block by block.
+                let (da, db) = {
+                    let ta = &self.nodes[a.0].value;
+                    let tb = &self.nodes[b.0].value;
+                    let c = tb.cols();
+                    let mut da = Tensor::zeros(ta.rows(), ta.cols());
+                    let mut db = Tensor::zeros(tb.rows(), tb.cols());
+                    for blk in 0..ta.rows() / block {
+                        let off = blk * block;
+                        kernels::matmul_nt(
+                            block,
+                            c,
+                            block,
+                            &g.data()[off * c..(off + block) * c],
+                            &tb.data()[off * c..(off + block) * c],
+                            &mut da.data_mut()[off * block..(off + block) * block],
+                        );
+                        kernels::matmul_tn(
+                            block,
+                            block,
+                            c,
+                            &ta.data()[off * block..(off + block) * block],
+                            &g.data()[off * c..(off + block) * c],
+                            &mut db.data_mut()[off * c..(off + block) * c],
+                        );
+                    }
+                    (da, db)
+                };
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
+            &Op::BlockMatMulNt(a, b, block) => {
+                // Per block (logits L_i = A_i·B_iᵀ): dA_i = g_i·B_i,
+                // dB_i = g_iᵀ·A_i.
+                let (da, db) = {
+                    let ta = &self.nodes[a.0].value;
+                    let tb = &self.nodes[b.0].value;
+                    let k = ta.cols();
+                    let mut da = Tensor::zeros(ta.rows(), k);
+                    let mut db = Tensor::zeros(tb.rows(), k);
+                    for blk in 0..ta.rows() / block {
+                        let off = blk * block;
+                        kernels::matmul(
+                            block,
+                            block,
+                            k,
+                            &g.data()[off * block..(off + block) * block],
+                            &tb.data()[off * k..(off + block) * k],
+                            &mut da.data_mut()[off * k..(off + block) * k],
+                        );
+                        kernels::matmul_tn(
+                            block,
+                            block,
+                            k,
+                            &g.data()[off * block..(off + block) * block],
+                            &ta.data()[off * k..(off + block) * k],
+                            &mut db.data_mut()[off * k..(off + block) * k],
+                        );
+                    }
+                    (da, db)
+                };
+                self.accum(a, &da);
+                self.accum(b, &db);
+            }
             &Op::MatMul(a, b) => {
                 // Transposed fast paths: dA = g·Bᵀ, dB = Aᵀ·g — bit-identical
                 // to the former transpose()-then-matmul, without the copies.
@@ -763,6 +1095,33 @@ impl Graph {
                 self.accum(a, &da);
                 self.accum(b, &db);
             }
+            Op::ConcatRows(vars) => {
+                let mut off = 0usize;
+                for &v in vars {
+                    let (r, c) = self.nodes[v.0].value.shape();
+                    let mut dv = Tensor::zeros(r, c);
+                    for i in 0..r {
+                        dv.row_mut(i).copy_from_slice(g.row(off + i));
+                    }
+                    self.accum(v, &dv);
+                    off += r;
+                }
+            }
+            Op::BlockMeanRows(a, sizes) => {
+                let a = *a;
+                let (r, c) = self.nodes[a.0].value.shape();
+                let mut da = Tensor::zeros(r, c);
+                let mut off = 0usize;
+                for (b, &n) in sizes.iter().enumerate() {
+                    for i in 0..n {
+                        for j in 0..c {
+                            da.set(off + i, j, g.get(b, j) / n as f32);
+                        }
+                    }
+                    off += n;
+                }
+                self.accum(a, &da);
+            }
             &Op::SliceRows(a, start, len) => {
                 let ta_shape = self.nodes[a.0].value.shape();
                 let mut da = Tensor::zeros(ta_shape.0, ta_shape.1);
@@ -812,11 +1171,15 @@ impl Graph {
         self.nodes[i].op = op;
     }
 
-    /// Accumulates gradients of all parameter leaves into the store.
+    /// Accumulates gradients of all parameter leaves into the store. Leaves
+    /// whose gradient was never materialized (no `backward` reached them)
+    /// contribute nothing.
     pub fn write_grads(&self, store: &mut ParamStore) {
         for node in &self.nodes {
             if let Some(pid) = node.param {
-                store.grad_mut(pid).axpy(1.0, &node.grad);
+                if !node.grad.is_empty() {
+                    store.grad_mut(pid).axpy(1.0, &node.grad);
+                }
             }
         }
     }
@@ -893,7 +1256,10 @@ mod tests {
         let x = g.leaf(Tensor::scalar(3.0));
         let y = g.mul(c, x);
         g.backward(y);
-        assert_eq!(g.grad(c).item(), 0.0);
+        // Constants never get gradient storage — backward materializes
+        // buffers only for gradient-requiring nodes.
+        assert!(g.grad(c).is_empty());
+        assert!(g.grad(c).data().iter().all(|&v| v == 0.0));
         assert_eq!(g.grad(x).item(), 2.0);
     }
 
@@ -909,6 +1275,72 @@ mod tests {
         for v in [a, b, c] {
             assert_eq!(g.grad(v).item(), 1.0);
         }
+    }
+
+    #[test]
+    fn concat_rows_stacks_and_routes_gradients() {
+        let mut g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = g.leaf(Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let s = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(s).shape(), (3, 2));
+        assert_eq!(g.value(s).data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let w = g.constant(Tensor::from_vec(1, 3, vec![1.0, 10.0, 100.0]));
+        let y = g.matmul(w, s);
+        let loss = g.sum_all(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).data(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).data(), &[10.0, 10.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn block_mean_rows_matches_per_block_mean_rows_bitwise() {
+        // Awkward values whose division is rounding-sensitive: the block op
+        // must reproduce mean_rows on each slice exactly.
+        let data: Vec<f32> = (0..7 * 3).map(|i| (i as f32 * 0.31).tan()).collect();
+        let sizes = [1usize, 4, 2];
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(7, 3, data.clone()));
+        let bm = g.block_mean_rows(x, &sizes);
+        assert_eq!(g.value(bm).shape(), (3, 3));
+        let mut off = 0;
+        for (b, &n) in sizes.iter().enumerate() {
+            let mut g2 = Graph::new();
+            let xb = g2.leaf(Tensor::from_vec(
+                n,
+                3,
+                data[off * 3..(off + n) * 3].to_vec(),
+            ));
+            let m = g2.mean_rows(xb);
+            assert_eq!(
+                g.value(bm)
+                    .row(b)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                g2.value(m)
+                    .row(0)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "block {b}"
+            );
+            off += n;
+        }
+        // gradient: each input row receives g_row / n_block
+        let s = g.sum_all(bm);
+        g.backward(s);
+        assert_eq!(g.grad(x).get(0, 0), 1.0);
+        assert_eq!(g.grad(x).get(2, 1), 0.25);
+        assert_eq!(g.grad(x).get(6, 2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must sum to the row count")]
+    fn block_mean_rows_rejects_bad_layout() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::zeros(5, 2));
+        let _ = g.block_mean_rows(x, &[2, 2]);
     }
 
     #[test]

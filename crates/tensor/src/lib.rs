@@ -11,6 +11,12 @@
 //!   embedding gather, broadcasts, reductions); [`Graph::clear`] resets the
 //!   tape while retaining its node and buffer arenas, so one tape can be
 //!   reused across thousands of forward passes without reallocating;
+//! - [`batched`]: multi-query stacking helpers — [`batched::BlockLayout`],
+//!   [`batched::block_diag`], [`batched::stack_rows`], and the graph ops
+//!   [`Graph::concat_rows`] / [`Graph::block_mean_rows`] — that let B
+//!   queries share one tape as block-diagonal tiles while staying
+//!   bit-identical to B separate passes (the kernels' exact-`0.0` skip plus
+//!   fixed accumulation order make out-of-block zeros true no-ops);
 //! - [`ParamStore`]/[`AdamConfig`]: parameter storage with AdamW, SGD,
 //!   gradient clipping, and snapshot/restore for meta-learning baselines;
 //! - layers ([`Linear`], [`Mlp`], [`Embedding`], [`LayerNorm`]) and losses
@@ -42,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batched;
 mod graph;
 pub mod kernels;
 mod layers;

@@ -1,0 +1,140 @@
+//! Property suite for the multi-query (block-diagonal) tape layer.
+//!
+//! The contract: stacking up to B = 16 *mixed-size* blocks into one
+//! block-diagonal operand and propagating them in a single pass is
+//! **bit-identical** to running each block alone — for the structured
+//! matmul (the kernels' exact-`0.0` skip makes out-of-block zeros true
+//! no-ops), for the per-block mean readout, and for the stack/split
+//! round-trip.
+
+use proptest::prelude::*;
+
+use nasflat_tensor::batched::{block_diag, split_rows, stack_rows, BlockLayout};
+use nasflat_tensor::{Graph, Tensor};
+
+const MAX_BLOCKS: usize = 16;
+const MAX_BLOCK_ROWS: usize = 6;
+const MAX_COLS: usize = 8;
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Element strategy with a fat atom at exactly 0.0 (the skip value).
+fn element() -> impl Strategy<Value = f32> {
+    prop_oneof![Just(0.0f32), -3.0f32..3.0]
+}
+
+fn pool() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        element(),
+        MAX_BLOCKS * MAX_BLOCK_ROWS * MAX_BLOCK_ROWS.max(MAX_COLS),
+    )
+}
+
+/// Deterministic mixed block sizes in `1..=MAX_BLOCK_ROWS` derived from a
+/// seed (the shim has no flat-map to size per-block vecs from B).
+fn sizes_from(b: usize, seed: usize) -> Vec<usize> {
+    (0..b)
+        .map(|i| 1 + (seed.wrapping_mul(31).wrapping_add(i * 7)) % MAX_BLOCK_ROWS)
+        .collect()
+}
+
+fn block(pool: &[f32], skip: &mut usize, rows: usize, cols: usize) -> Tensor {
+    let start = *skip % (pool.len() - rows * cols);
+    *skip = skip.wrapping_add(rows * cols + 13);
+    Tensor::from_vec(rows, cols, pool[start..start + rows * cols].to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn block_diagonal_matmul_is_bit_identical_to_per_block_passes(
+        b in 1usize..MAX_BLOCKS + 1,
+        seed in 0usize..1000,
+        cols in 1usize..MAX_COLS + 1,
+        p in pool(),
+        x in pool(),
+    ) {
+        let sizes = sizes_from(b, seed);
+        let layout = BlockLayout::new(&sizes);
+        let mut skip_p = seed;
+        let mut skip_x = seed + 5;
+        let props: Vec<Tensor> =
+            sizes.iter().map(|&n| block(&p, &mut skip_p, n, n)).collect();
+        let feats: Vec<Tensor> =
+            sizes.iter().map(|&n| block(&x, &mut skip_x, n, cols)).collect();
+
+        // Stacked pass: one block-diagonal propagation over stacked features.
+        let mut g = Graph::new();
+        let pv = g.constant(block_diag(&props));
+        let xv = g.constant(stack_rows(&feats));
+        let agg = g.matmul(pv, xv);
+        let stacked_blocks = split_rows(g.value(agg), &layout);
+
+        // Per-block passes on fresh tapes.
+        for ((prop, feat), got) in props.iter().zip(&feats).zip(&stacked_blocks) {
+            let mut g1 = Graph::new();
+            let pv1 = g1.constant(prop.clone());
+            let xv1 = g1.constant(feat.clone());
+            let y1 = g1.matmul(pv1, xv1);
+            prop_assert_eq!(bits(g1.value(y1)), bits(got));
+        }
+    }
+
+    #[test]
+    fn block_mean_readout_is_bit_identical_to_per_block_mean(
+        b in 1usize..MAX_BLOCKS + 1,
+        seed in 0usize..1000,
+        cols in 1usize..MAX_COLS + 1,
+        x in pool(),
+    ) {
+        let sizes = sizes_from(b, seed);
+        let mut skip_x = seed;
+        let feats: Vec<Tensor> =
+            sizes.iter().map(|&n| block(&x, &mut skip_x, n, cols)).collect();
+
+        let mut g = Graph::new();
+        let xv = g.constant(stack_rows(&feats));
+        let bm = g.block_mean_rows(xv, &sizes);
+        prop_assert_eq!(g.value(bm).shape(), (b, cols));
+
+        for (i, feat) in feats.iter().enumerate() {
+            let mut g1 = Graph::new();
+            let xv1 = g1.constant(feat.clone());
+            let m1 = g1.mean_rows(xv1);
+            let row: Vec<u32> = g.value(bm).row(i).iter().map(|v| v.to_bits()).collect();
+            let expect: Vec<u32> = g1.value(m1).row(0).iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(row, expect, "block {}", i);
+        }
+    }
+
+    #[test]
+    fn stack_split_round_trips_and_concat_rows_agrees(
+        b in 1usize..MAX_BLOCKS + 1,
+        seed in 0usize..1000,
+        cols in 1usize..MAX_COLS + 1,
+        x in pool(),
+    ) {
+        let sizes = sizes_from(b, seed);
+        let layout = BlockLayout::new(&sizes);
+        let mut skip_x = seed;
+        let feats: Vec<Tensor> =
+            sizes.iter().map(|&n| block(&x, &mut skip_x, n, cols)).collect();
+        let stacked = stack_rows(&feats);
+        prop_assert_eq!(stacked.rows(), layout.total_rows());
+
+        // split is the inverse of stack
+        let back = split_rows(&stacked, &layout);
+        for (orig, got) in feats.iter().zip(&back) {
+            prop_assert_eq!(bits(orig), bits(got));
+        }
+
+        // the tape-level concat_rows builds the same stacked matrix
+        let mut g = Graph::new();
+        let vars: Vec<_> = feats.iter().map(|f| g.constant(f.clone())).collect();
+        let cat = g.concat_rows(&vars);
+        prop_assert_eq!(bits(g.value(cat)), bits(&stacked));
+    }
+}

@@ -163,6 +163,111 @@ fn grad_gather_repeat_mean() {
 }
 
 #[test]
+fn grad_block_diag_matmul() {
+    // Two ragged constant blocks (2x2, 3x3); gradient flows into x only.
+    let blocks = vec![
+        Tensor::from_vec(2, 2, vec![1.0, 0.5, 0.0, -0.8]),
+        Tensor::from_vec(3, 3, vec![0.3, 0.0, 1.1, -0.4, 0.9, 0.0, 0.7, 0.2, -1.0]),
+    ];
+    let build: Box<Builder> = Box::new(move |g, ins| {
+        let ls = leaves(g, ins);
+        let y = g.block_diag_matmul(&blocks, ls[0]);
+        let w = g.constant(Tensor::from_vec(
+            5,
+            2,
+            vec![1.0, -0.5, 0.2, 0.8, -1.1, 0.4, 0.6, -0.3, 0.9, 1.2],
+        ));
+        let m = g.mul(y, w);
+        let s = g.sum_all(m);
+        (ls, s)
+    });
+    let x = Tensor::from_vec(
+        5,
+        2,
+        vec![0.5, -1.0, 2.0, 0.3, 0.8, -0.6, 1.4, 0.1, -0.9, 0.7],
+    );
+    check_grads(&build, &[x], 1e-2);
+}
+
+#[test]
+fn grad_block_matmul_both_operands() {
+    // Two stacked 2x2 square blocks times stacked 2x3 features; gradients
+    // flow into both the block operand and the features.
+    let build: Box<Builder> = Box::new(|g, ins| {
+        let ls = leaves(g, ins);
+        let y = g.block_matmul(ls[0], ls[1], 2);
+        let w = g.constant(Tensor::from_vec(
+            4,
+            3,
+            vec![
+                1.0, -0.5, 0.2, 0.8, -1.1, 0.4, 0.6, -0.3, 0.9, 1.2, 0.1, -0.7,
+            ],
+        ));
+        let m = g.mul(y, w);
+        let s = g.sum_all(m);
+        (ls, s)
+    });
+    let a = Tensor::from_vec(4, 2, vec![0.5, -1.0, 2.0, 0.3, 0.8, -0.6, 1.4, 0.1]);
+    let b = Tensor::from_vec(
+        4,
+        3,
+        vec![
+            0.9, -0.4, 0.7, 0.2, -1.0, 0.5, 1.1, 0.3, -0.8, 0.6, -0.2, 1.3,
+        ],
+    );
+    check_grads(&build, &[a, b], 1e-2);
+}
+
+#[test]
+fn grad_block_matmul_nt_both_operands() {
+    // Two stacked 2x3 blocks; per-block logits a_i · b_iᵀ; gradients flow
+    // into both operands.
+    let build: Box<Builder> = Box::new(|g, ins| {
+        let ls = leaves(g, ins);
+        let y = g.block_matmul_nt(ls[0], ls[1], 2);
+        let w = g.constant(Tensor::from_vec(
+            4,
+            2,
+            vec![1.0, -0.5, 0.2, 0.8, -1.1, 0.4, 0.6, -0.3],
+        ));
+        let m = g.mul(y, w);
+        let s = g.sum_all(m);
+        (ls, s)
+    });
+    let a = Tensor::from_vec(
+        4,
+        3,
+        vec![
+            0.5, -1.0, 2.0, 0.3, 0.8, -0.6, 1.4, 0.1, -0.9, 0.7, 0.4, -1.2,
+        ],
+    );
+    let b = Tensor::from_vec(
+        4,
+        3,
+        vec![
+            0.9, -0.4, 0.7, 0.2, -1.0, 0.5, 1.1, 0.3, -0.8, 0.6, -0.2, 1.3,
+        ],
+    );
+    check_grads(&build, &[a, b], 1e-2);
+}
+
+#[test]
+fn grad_block_mean_and_concat_rows() {
+    let build: Box<Builder> = Box::new(|g, ins| {
+        let ls = leaves(g, ins);
+        let cat = g.concat_rows(&[ls[0], ls[1]]);
+        let bm = g.block_mean_rows(cat, &[2, 3]);
+        let w = g.constant(Tensor::from_vec(2, 2, vec![1.0, -0.5, 0.2, 0.8]));
+        let m = g.mul(bm, w);
+        let s = g.sum_all(m);
+        (ls, s)
+    });
+    let a = Tensor::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.3]);
+    let b = Tensor::from_vec(3, 2, vec![0.8, -0.6, 1.4, 0.1, -0.9, 0.7]);
+    check_grads(&build, &[a, b], 1e-2);
+}
+
+#[test]
 fn grad_broadcast_ops() {
     let build: Box<Builder> = Box::new(|g, ins| {
         let ls = leaves(g, ins);
