@@ -10,16 +10,21 @@
 //!   *optimized* one at the **same** thread count — `kernel_matmul` (scalar
 //!   reference matmul vs the kernel layer), `batch_forward`
 //!   (per-architecture fresh tapes vs `BatchSession` reuse, tape batching
-//!   pinned off), and `multi_query_tape` (the PR-3 per-architecture session
-//!   sweep vs block-diagonal multi-query tape passes). Baseline entries are
-//!   timed best-of-3 alternating repetitions.
+//!   pinned off), `multi_query_tape` (the PR-3 per-architecture session
+//!   sweep vs block-diagonal multi-query tape passes), `mixed_device_tape`
+//!   (a per-(arch, device) query loop vs mixed-device stacking via the
+//!   per-row hardware-embedding gather), and `serve_throughput` (the
+//!   serving layer's `DynamicBatcher` at batch 1 vs dynamic micro-batching
+//!   over a 256-query mixed-device stream). Baseline entries are timed
+//!   best-of-3 alternating repetitions.
 //!
 //! Either way the two runs' outputs are compared **bitwise** (every `f32`
 //! via `to_bits`); a divergence is reported as a failure, and the wall-clock
 //! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
 //! the build when `batch_forward` regresses below 1×, `multi_query_tape`
-//! below its 1.3× quick-mode target, or — on ≥4-core runners — the
-//! `ensemble_train_transfer` / `batch_predict` thread scaling below 2×).
+//! below its 1.3× quick-mode target, `mixed_device_tape` or
+//! `serve_throughput` below their 1.2× targets, or — on ≥4-core runners —
+//! the `ensemble_train_transfer` / `batch_predict` thread scaling below 2×).
 //!
 //! The report serializes to `BENCH_parallel.json` with schema
 //! [`PARALLEL_SCHEMA`]:
@@ -566,6 +571,109 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
             threads,
             || digest_products(&matmul_scalar_reference),
             || digest_products(&|a, b| a.matmul(b)),
+        ));
+    }
+
+    // 2c. Serving layer. Two gates over the same untrained-but-real
+    //     predictor (weights don't affect timing; the bitwise comparison is
+    //     what matters):
+    //
+    //     - `mixed_device_tape`: a per-query session loop over 256
+    //       (arch, device) pairs cycling every device vs the same pairs
+    //       stacked into mixed-device multi-query passes — the pure win of
+    //       the new per-row hardware-embedding gather, closing the ROADMAP
+    //       "multi-device multi-query passes" item;
+    //     - `serve_throughput`: the full DynamicBatcher queue at batch 1
+    //       (per-query serving) vs the coalescing default — the acceptance
+    //       gate that batched serving beats per-query serving with
+    //       bit-identical drained results.
+    {
+        use nasflat_serve::{DynamicBatcher, ModelBundle, ServeConfig, ServeQuery};
+
+        let device_names = nasflat_hw::DeviceRegistry::nb201().owned_names();
+        let predictor = nasflat_core::LatencyPredictor::new(
+            Space::Nb201,
+            device_names.clone(),
+            0,
+            cfg.predictor.clone(),
+        );
+        let num_devices = device_names.len();
+        let queries: Vec<ServeQuery> = (0..256)
+            .map(|i| {
+                ServeQuery::new(
+                    Arch::nb201_from_index((i as u64 * 421 + 7) % 15_625),
+                    i % num_devices,
+                )
+            })
+            .collect();
+        let pairs: Vec<(&Arch, usize)> = queries.iter().map(|q| (&q.arch, q.device)).collect();
+        let archs: Vec<&Arch> = pairs.iter().map(|&(a, _)| a).collect();
+        let devices: Vec<usize> = pairs.iter().map(|&(_, d)| d).collect();
+        let serve_reps = 2;
+        targets.push(measure_pair(
+            "mixed_device_tape",
+            threads,
+            || {
+                // Baseline: one session, every (arch, device) pair queried
+                // alone (the PR-3 path — no cross-device stacking).
+                let mut digest = Vec::new();
+                for _ in 0..serve_reps {
+                    digest.clear();
+                    let mut session = predictor.session();
+                    let scores: Vec<f32> = pairs
+                        .iter()
+                        .map(|&(a, d)| session.predict(a, d, None))
+                        .collect();
+                    digest_f32(&mut digest, &scores);
+                }
+                digest
+            },
+            || {
+                // Optimized: the same pairs stacked into mixed-device
+                // block-diagonal passes via the per-row hardware gather.
+                let mut digest = Vec::new();
+                for _ in 0..serve_reps {
+                    digest.clear();
+                    let mut session = predictor.session();
+                    session.set_tape_batch(nasflat_core::DEFAULT_TAPE_BATCH.max(2));
+                    let scores = session.predict_many_devices(&archs, &devices, None);
+                    digest_f32(&mut digest, &scores);
+                }
+                digest
+            },
+        ));
+
+        let bundle = ModelBundle::single(predictor.clone()).expect("no supplement configured");
+        let serve_cfg = ServeConfig::from_env().with_workers(threads);
+        targets.push(measure_pair(
+            "serve_throughput",
+            threads,
+            || {
+                // Baseline: per-query serving — same queue, same workers,
+                // coalescing disabled.
+                let mut digest = Vec::new();
+                let batcher = DynamicBatcher::new(&bundle, serve_cfg.with_batch(1));
+                for _ in 0..serve_reps {
+                    digest.clear();
+                    let scores = batcher.serve(&queries).expect("validated stream");
+                    digest_f32(&mut digest, &scores);
+                }
+                digest
+            },
+            || {
+                // Optimized: dynamic micro-batching at the serving default.
+                let mut digest = Vec::new();
+                let batcher = DynamicBatcher::new(
+                    &bundle,
+                    serve_cfg.with_batch(nasflat_serve::DEFAULT_SERVE_BATCH),
+                );
+                for _ in 0..serve_reps {
+                    digest.clear();
+                    let scores = batcher.serve(&queries).expect("validated stream");
+                    digest_f32(&mut digest, &scores);
+                }
+                digest
+            },
         ));
     }
 

@@ -7,6 +7,7 @@
 //! numbers).
 
 use nasflat_encode::EncodingKind;
+use nasflat_tensor::{ByteReader, ByteWriter, WireError};
 
 /// Which graph-neural-network module the predictor stacks (paper Table 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,6 +167,127 @@ impl PredictorConfig {
         } else {
             self.op_dim
         }
+    }
+
+    /// Writes every field in the fixed wire order used by the predictor
+    /// export format (see `persist.rs` for the envelope).
+    pub(crate) fn write_wire(&self, w: &mut ByteWriter) {
+        w.put_len(self.op_dim);
+        w.put_len(self.hw_dim);
+        w.put_len(self.node_dim);
+        for dims in [
+            &self.ophw_gnn_dims,
+            &self.ophw_mlp_dims,
+            &self.gnn_dims,
+            &self.head_dims,
+        ] {
+            w.put_len(dims.len());
+            for &d in dims.iter() {
+                w.put_len(d);
+            }
+        }
+        w.put_u8(match self.gnn_module {
+            GnnModuleKind::Dgf => 0,
+            GnnModuleKind::Gat => 1,
+            GnnModuleKind::Ensemble => 2,
+        });
+        w.put_u8(self.op_hw as u8);
+        w.put_u8(self.hw_init as u8);
+        match self.supplement {
+            None => w.put_u8(0),
+            Some(kind) => {
+                w.put_u8(1);
+                w.put_u8(kind.code());
+            }
+        }
+        w.put_u8(match self.loss {
+            LossKind::PairwiseHinge => 0,
+            LossKind::Mse => 1,
+        });
+        w.put_f32(self.hinge_margin);
+        w.put_len(self.epochs);
+        w.put_f32(self.lr);
+        w.put_f32(self.weight_decay);
+        w.put_len(self.batch_size);
+        w.put_len(self.transfer_epochs);
+        w.put_f32(self.transfer_lr);
+        w.put_f32(self.grad_clip);
+        w.put_u64(self.seed);
+    }
+
+    /// Inverse of [`PredictorConfig::write_wire`]. Errors carry a
+    /// human-readable description of the first malformed field.
+    pub(crate) fn read_wire(r: &mut ByteReader<'_>) -> Result<Self, String> {
+        fn wire<T>(res: Result<T, WireError>) -> Result<T, String> {
+            res.map_err(|e| e.to_string())
+        }
+        let op_dim = wire(r.get_len())?;
+        let hw_dim = wire(r.get_len())?;
+        let node_dim = wire(r.get_len())?;
+        let mut dim_lists: Vec<Vec<usize>> = Vec::with_capacity(4);
+        for which in ["ophw_gnn", "ophw_mlp", "gnn", "head"] {
+            let n = wire(r.get_len())?;
+            // A layer list longer than the remaining bytes is corrupt.
+            if n > r.remaining() / 4 {
+                return Err(format!("{which} dim count {n} exceeds the payload"));
+            }
+            let mut dims = Vec::with_capacity(n);
+            for _ in 0..n {
+                dims.push(wire(r.get_len())?);
+            }
+            dim_lists.push(dims);
+        }
+        let head_dims = dim_lists.pop().expect("pushed above");
+        let gnn_dims = dim_lists.pop().expect("pushed above");
+        let ophw_mlp_dims = dim_lists.pop().expect("pushed above");
+        let ophw_gnn_dims = dim_lists.pop().expect("pushed above");
+        let gnn_module = match wire(r.get_u8())? {
+            0 => GnnModuleKind::Dgf,
+            1 => GnnModuleKind::Gat,
+            2 => GnnModuleKind::Ensemble,
+            c => return Err(format!("unknown GNN module code {c}")),
+        };
+        let op_hw = wire(r.get_u8())? != 0;
+        let hw_init = wire(r.get_u8())? != 0;
+        let supplement = match wire(r.get_u8())? {
+            0 => None,
+            1 => {
+                let code = wire(r.get_u8())?;
+                Some(
+                    EncodingKind::from_code(code)
+                        .ok_or_else(|| format!("unknown supplement encoding code {code}"))?,
+                )
+            }
+            c => return Err(format!("invalid supplement flag {c}")),
+        };
+        let loss = match wire(r.get_u8())? {
+            0 => LossKind::PairwiseHinge,
+            1 => LossKind::Mse,
+            c => return Err(format!("unknown loss code {c}")),
+        };
+        Ok(PredictorConfig {
+            op_dim,
+            hw_dim,
+            node_dim,
+            ophw_gnn_dims,
+            ophw_mlp_dims,
+            gnn_dims,
+            head_dims,
+            gnn_module,
+            op_hw,
+            hw_init,
+            supplement,
+            loss,
+            hinge_margin: wire(r.get_f32())?,
+            epochs: wire(r.get_len())?,
+            lr: wire(r.get_f32())?,
+            weight_decay: wire(r.get_f32())?,
+            batch_size: wire(r.get_len())?,
+            transfer_epochs: wire(r.get_len())?,
+            transfer_lr: wire(r.get_f32())?,
+            grad_clip: wire(r.get_f32())?,
+            seed: wire(r.get_u64())?,
+        })
     }
 }
 

@@ -158,6 +158,13 @@ impl<'a> PretrainedTask<'a> {
         self.pool
     }
 
+    /// The predictor in its current state (pre-trained, or adapted by the
+    /// most recent transfer). This is the export point for the serving
+    /// layer: `pre.predictor().to_bytes()` ships the pre-trained artifact.
+    pub fn predictor(&self) -> &LatencyPredictor {
+        &self.predictor
+    }
+
     /// An independent copy sharing the same borrowed pool/table/suite: the
     /// pre-trained snapshot is cloned, so transfers on the copy cannot
     /// disturb `self`. This is what lets [`PretrainedTask::transfer_all`]

@@ -58,6 +58,7 @@ mod data;
 mod ensemble;
 mod fewshot;
 mod gnn;
+mod persist;
 mod predictor;
 mod refine;
 mod trainer;
@@ -71,8 +72,10 @@ pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };
 pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
+pub use persist::ModelIoError;
 pub use predictor::{
-    tape_batch, with_tape_batch, BatchSession, LatencyPredictor, DEFAULT_TAPE_BATCH,
+    tape_batch, with_tape_batch, BatchSession, LatencyPredictor, SessionCounters,
+    DEFAULT_TAPE_BATCH,
 };
 pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
 pub use trainer::{

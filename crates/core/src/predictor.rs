@@ -46,10 +46,8 @@ pub fn tape_batch() -> usize {
     }
     static ENV: OnceLock<usize> = OnceLock::new();
     *ENV.get_or_init(|| {
-        std::env::var("NASFLAT_TAPE_BATCH")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_TAPE_BATCH)
+        // Malformed values warn on stderr instead of silently defaulting.
+        nasflat_parallel::env_usize("NASFLAT_TAPE_BATCH", 0).unwrap_or(DEFAULT_TAPE_BATCH)
     })
 }
 
@@ -303,24 +301,64 @@ impl LatencyPredictor {
         supp: Option<&[Vec<f32>]>,
     ) -> Var {
         let mut scratch = BatchScratch::default();
-        self.forward_batched_with_scratch(g, &mut scratch, archs, device, supp)
+        let devices = vec![device; archs.len()];
+        let (y, _) = self.forward_batched_with_scratch(g, &mut scratch, archs, &devices, supp);
+        y
     }
 
-    /// [`LatencyPredictor::forward_batched`] with caller-owned index scratch
-    /// vectors, so sessions rebuild the gather lists without reallocating.
+    /// The **mixed-device** multi-query forward pass: like
+    /// [`LatencyPredictor::forward_batched`] but with one device index *per
+    /// architecture*, so a single tape pass serves (arch, device) pairs that
+    /// target different hardware.
+    ///
+    /// Instead of tiling one hardware-embedding row over the stack
+    /// (`repeat_row`), the pass **gathers** each block's device row per node
+    /// ([`Graph::gather_rows`] on the embedding table) — row copies either
+    /// way, so every output row stays bit-identical to
+    /// [`LatencyPredictor::forward`] on that (arch, device) pair alone.
+    /// This is what lets the serving layer's dynamic batcher coalesce
+    /// queries for *different* devices into one pass.
+    ///
+    /// # Panics
+    /// Panics if `archs` and `devices` differ in length, plus the same
+    /// conditions as [`LatencyPredictor::forward_batched`].
+    pub fn forward_batched_devices(
+        &self,
+        g: &mut Graph,
+        archs: &[&Arch],
+        devices: &[usize],
+        supp: Option<&[Vec<f32>]>,
+    ) -> Var {
+        let mut scratch = BatchScratch::default();
+        let (y, _) = self.forward_batched_with_scratch(g, &mut scratch, archs, devices, supp);
+        y
+    }
+
+    /// [`LatencyPredictor::forward_batched_devices`] with caller-owned index
+    /// scratch vectors, so sessions rebuild the gather lists without
+    /// reallocating. Returns the stacked `B×1` score node plus whether the
+    /// pass took the **ragged** (mixed block size) fallback rather than the
+    /// uniform fast path — the session pass counters record the split.
     fn forward_batched_with_scratch(
         &self,
         g: &mut Graph,
         scratch: &mut BatchScratch,
         archs: &[&Arch],
-        device: usize,
+        devices: &[usize],
         supp: Option<&[Vec<f32>]>,
-    ) -> Var {
+    ) -> (Var, bool) {
         assert!(!archs.is_empty(), "batched forward needs at least one arch");
-        assert!(
-            device < self.devices.len(),
-            "device index {device} out of range"
+        assert_eq!(
+            archs.len(),
+            devices.len(),
+            "one device index per architecture"
         );
+        for &device in devices {
+            assert!(
+                device < self.devices.len(),
+                "device index {device} out of range"
+            );
+        }
         match (self.supp_dim, supp) {
             (0, None) => {}
             (d, Some(rows)) => {
@@ -368,15 +406,22 @@ impl LatencyPredictor {
         };
 
         // Operation (× hardware) joint embedding over the concatenated ops.
+        // The hardware rows are **gathered per node** from the embedding
+        // table (block b contributes n_b copies of its own device's row), so
+        // blocks targeting different devices stack into the same pass; each
+        // copied row is bitwise the row `repeat_row` would have tiled.
         scratch.op_ids.clear();
         for gr in &graphs {
             scratch.op_ids.extend_from_slice(gr.ops());
         }
         let op_e = self.op_emb.forward(g, &self.store, &scratch.op_ids);
-        let hw_row = self.hw_emb.forward(g, &self.store, &[device]);
         let joint0 = if self.cfg.op_hw {
-            let hw_rep = g.repeat_row(hw_row, total);
-            g.concat_cols(op_e, hw_rep)
+            scratch.hw_ids.clear();
+            for (b, &n) in sizes.iter().enumerate() {
+                scratch.hw_ids.extend(std::iter::repeat_n(devices[b], n));
+            }
+            let hw_rows = self.hw_emb.forward(g, &self.store, &scratch.hw_ids);
+            g.concat_cols(op_e, hw_rows)
         } else {
             op_e
         };
@@ -427,10 +472,12 @@ impl LatencyPredictor {
             head_in = g.concat_cols(head_in, s);
         }
         if !self.cfg.op_hw {
-            let hw_rep = g.repeat_row(hw_row, b);
-            head_in = g.concat_cols(head_in, hw_rep);
+            // Head conditioning: one gathered hardware row per query.
+            let hw_rows = self.hw_emb.forward(g, &self.store, devices);
+            head_in = g.concat_cols(head_in, hw_rows);
         }
-        self.head.forward(g, &self.store, head_in)
+        let y = self.head.forward(g, &self.store, head_in);
+        (y, uniform_block.is_none())
     }
 
     /// Predicts the latency score of one architecture (fresh tape).
@@ -587,8 +634,41 @@ pub struct BatchSession<'p> {
     node_ids: Vec<usize>,
     scratch: BatchScratch,
     tape_batch: usize,
-    batched_passes: usize,
+    uniform_passes: usize,
+    ragged_passes: usize,
     per_arch_queries: usize,
+}
+
+/// Snapshot of a [`BatchSession`]'s evaluation counters — the per-worker
+/// telemetry the serving layer aggregates into its metrics. Every query is
+/// accounted for exactly once: either inside a multi-query tape pass
+/// (uniform fast path or ragged fallback) or as a per-architecture query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Multi-query passes that took the uniform (equal block size,
+    /// stacked-constant) fast path.
+    pub uniform_passes: usize,
+    /// Multi-query passes that took the ragged mixed-block-size fallback
+    /// (per-block propagation tensors, per-block GAT attention).
+    pub ragged_passes: usize,
+    /// Single-architecture session queries.
+    pub per_arch_queries: usize,
+}
+
+impl SessionCounters {
+    /// All multi-query tape passes, uniform and ragged.
+    pub fn batched_passes(&self) -> usize {
+        self.uniform_passes + self.ragged_passes
+    }
+
+    /// Element-wise sum (aggregating per-worker sessions).
+    pub fn merge(self, other: SessionCounters) -> SessionCounters {
+        SessionCounters {
+            uniform_passes: self.uniform_passes + other.uniform_passes,
+            ragged_passes: self.ragged_passes + other.ragged_passes,
+            per_arch_queries: self.per_arch_queries + other.per_arch_queries,
+        }
+    }
 }
 
 /// Reusable gather-index scratch for multi-query passes.
@@ -596,7 +676,9 @@ pub struct BatchSession<'p> {
 struct BatchScratch {
     op_ids: Vec<usize>,
     node_ids: Vec<usize>,
+    hw_ids: Vec<usize>,
     out_ids: Vec<usize>,
+    dev_broadcast: Vec<usize>,
 }
 
 /// How a pass's block-diagonal propagation operand is represented: one
@@ -618,7 +700,8 @@ impl<'p> BatchSession<'p> {
             node_ids: Vec::new(),
             scratch: BatchScratch::default(),
             tape_batch: tape_batch(),
-            batched_passes: 0,
+            uniform_passes: 0,
+            ragged_passes: 0,
             per_arch_queries: 0,
         }
     }
@@ -635,14 +718,28 @@ impl<'p> BatchSession<'p> {
     }
 
     /// How many multi-query (block-diagonal) tape passes this session has
-    /// run — telemetry for the threshold-dispatch tests.
+    /// run — telemetry for the threshold-dispatch tests. Counts **every**
+    /// batched pass, whether it took the uniform fast path or the ragged
+    /// mixed-block-size fallback; the split is in
+    /// [`BatchSession::counters`]. (Earlier revisions exposed only this
+    /// total, which left the fallback invisible to serve metrics.)
     pub fn batched_passes(&self) -> usize {
-        self.batched_passes
+        self.uniform_passes + self.ragged_passes
     }
 
     /// How many single-architecture queries this session has run.
     pub fn per_arch_queries(&self) -> usize {
         self.per_arch_queries
+    }
+
+    /// The full counter snapshot (uniform vs ragged passes, per-arch
+    /// queries) — what the serving layer aggregates across workers.
+    pub fn counters(&self) -> SessionCounters {
+        SessionCounters {
+            uniform_passes: self.uniform_passes,
+            ragged_passes: self.ragged_passes,
+            per_arch_queries: self.per_arch_queries,
+        }
     }
 
     /// Predicts the latency score of one architecture on the session tape
@@ -676,15 +773,45 @@ impl<'p> BatchSession<'p> {
         device: usize,
         supp: Option<&[Vec<f32>]>,
     ) -> Vec<f32> {
-        self.batched_passes += 1;
+        let mut devs = std::mem::take(&mut self.scratch.dev_broadcast);
+        devs.clear();
+        devs.resize(archs.len(), device);
+        let out = self.predict_batched_tape_devices(archs, &devs, supp);
+        self.scratch.dev_broadcast = devs;
+        out
+    }
+
+    /// The **mixed-device** form of [`BatchSession::predict_batched_tape`]:
+    /// one device index per architecture, evaluated as a single
+    /// block-diagonal pass via
+    /// [`LatencyPredictor::forward_batched_devices`]. Bit-identical to
+    /// calling [`BatchSession::predict`] per (arch, device) pair — the
+    /// property that lets the serving layer's dynamic batcher coalesce
+    /// whatever mix of queries is waiting without changing a single bit of
+    /// any answer.
+    ///
+    /// # Panics
+    /// Panics on the same conditions as
+    /// [`LatencyPredictor::forward_batched_devices`].
+    pub fn predict_batched_tape_devices(
+        &mut self,
+        archs: &[&Arch],
+        devices: &[usize],
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
         self.graph.clear();
-        let y = self.pred.forward_batched_with_scratch(
+        let (y, ragged) = self.pred.forward_batched_with_scratch(
             &mut self.graph,
             &mut self.scratch,
             archs,
-            device,
+            devices,
             supp,
         );
+        if ragged {
+            self.ragged_passes += 1;
+        } else {
+            self.uniform_passes += 1;
+        }
         let out = self.graph.value(y);
         (0..archs.len()).map(|b| out.get(b, 0)).collect()
     }
@@ -721,6 +848,43 @@ impl<'p> BatchSession<'p> {
         }
         for i in full..n {
             out.push(self.predict(archs[i], device, supp.map(|rows| rows[i].as_slice())));
+        }
+        out
+    }
+
+    /// [`BatchSession::predict_many`] over **mixed (arch, device) pairs**:
+    /// chunks of at least the session's tape-batch threshold run as
+    /// mixed-device block-diagonal passes
+    /// ([`BatchSession::predict_batched_tape_devices`]), the remainder per
+    /// query. Bit-identical to a per-pair [`BatchSession::predict`] loop at
+    /// any threshold.
+    ///
+    /// # Panics
+    /// Panics if `devices` (or a present `supp`) differs in length from
+    /// `archs`, plus the usual forward-pass conditions.
+    pub fn predict_many_devices(
+        &mut self,
+        archs: &[&Arch],
+        devices: &[usize],
+        supp: Option<&[Vec<f32>]>,
+    ) -> Vec<f32> {
+        assert_eq!(archs.len(), devices.len(), "one device per architecture");
+        if let Some(rows) = supp {
+            assert_eq!(rows.len(), archs.len(), "one supplementary row per arch");
+        }
+        let b = self.tape_batch;
+        let n = archs.len();
+        let mut out = Vec::with_capacity(n);
+        let full = if b >= 2 && n >= b { n - n % b } else { 0 };
+        for start in (0..full).step_by(b.max(1)) {
+            out.extend(self.predict_batched_tape_devices(
+                &archs[start..start + b],
+                &devices[start..start + b],
+                supp.map(|rows| &rows[start..start + b]),
+            ));
+        }
+        for i in full..n {
+            out.push(self.predict(archs[i], devices[i], supp.map(|rows| rows[i].as_slice())));
         }
         out
     }
@@ -777,6 +941,76 @@ mod tests {
             batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             loop_scores.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn mixed_device_batched_pass_matches_per_query_bitwise() {
+        for op_hw in [true, false] {
+            let mut cfg = tiny_cfg();
+            cfg.op_hw = op_hw;
+            let p = LatencyPredictor::new(Space::Nb201, devices(), 0, cfg);
+            let archs: Vec<Arch> = (0..9u64).map(|i| Arch::nb201_from_index(i * 555)).collect();
+            let refs: Vec<&Arch> = archs.iter().collect();
+            let devs: Vec<usize> = (0..refs.len()).map(|i| i % 3).collect();
+            let mut g = Graph::new();
+            let y = p.forward_batched_devices(&mut g, &refs, &devs, None);
+            let out = g.value(y).clone();
+            assert_eq!(out.shape(), (refs.len(), 1));
+            for (i, (arch, &dev)) in archs.iter().zip(&devs).enumerate() {
+                let lone = p.predict(arch, dev, None);
+                assert_eq!(
+                    out.get(i, 0).to_bits(),
+                    lone.to_bits(),
+                    "op_hw={op_hw} row {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_device_batched_pass_with_supplement_matches() {
+        let cfg = tiny_cfg().with_supplement(Some(EncodingKind::Zcp));
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 13, cfg);
+        let archs: Vec<Arch> = (0..6u64).map(|i| Arch::nb201_from_index(i * 911)).collect();
+        let refs: Vec<&Arch> = archs.iter().collect();
+        let devs = [0usize, 2, 1, 1, 0, 2];
+        let supp: Vec<Vec<f32>> = (0..6).map(|i| vec![0.1 * i as f32; 13]).collect();
+        let mut session = p.session();
+        let batched = session.predict_batched_tape_devices(&refs, &devs, Some(&supp));
+        for (i, (arch, &dev)) in archs.iter().zip(devs.iter()).enumerate() {
+            let lone = p.predict(arch, dev, Some(&supp[i]));
+            assert_eq!(batched[i].to_bits(), lone.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn predict_many_devices_dispatches_and_counts_passes() {
+        let p = LatencyPredictor::new(Space::Nb201, devices(), 0, tiny_cfg());
+        let archs: Vec<Arch> = (0..11u64)
+            .map(|i| Arch::nb201_from_index(i * 123))
+            .collect();
+        let refs: Vec<&Arch> = archs.iter().collect();
+        let devs: Vec<usize> = (0..11).map(|i| (i * 2) % 3).collect();
+        let mut session = p.session();
+        session.set_tape_batch(4);
+        let got = session.predict_many_devices(&refs, &devs, None);
+        // 11 queries at batch 4: two batched passes + three per-arch.
+        assert_eq!(session.batched_passes(), 2);
+        assert_eq!(session.per_arch_queries(), 3);
+        let c = session.counters();
+        assert_eq!(c.batched_passes(), 2);
+        // NB201 blocks share one node count, so passes take the uniform
+        // fast path; the ragged counter stays zero.
+        assert_eq!(c.uniform_passes, 2);
+        assert_eq!(c.ragged_passes, 0);
+        assert_eq!(c.per_arch_queries, 3);
+        for (i, (arch, &dev)) in archs.iter().zip(&devs).enumerate() {
+            assert_eq!(got[i].to_bits(), p.predict(arch, dev, None).to_bits());
+        }
+        // Counter merge aggregates element-wise.
+        let merged = c.merge(c);
+        assert_eq!(merged.uniform_passes, 4);
+        assert_eq!(merged.per_arch_queries, 6);
     }
 
     #[test]

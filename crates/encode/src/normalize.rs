@@ -49,6 +49,29 @@ impl ColumnStats {
         self.means.len()
     }
 
+    /// Per-column means (snapshot accessor for persistence layers).
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    /// Per-column standard deviations (snapshot accessor for persistence
+    /// layers).
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+
+    /// Rebuilds stats from persisted means/stds (the inverse of
+    /// [`ColumnStats::means`] / [`ColumnStats::stds`]): the serving layer
+    /// snapshots a suite's normalization this way so reloaded models
+    /// normalize fresh encodings bit-identically to the original suite.
+    ///
+    /// # Panics
+    /// Panics if the two slices differ in length.
+    pub fn from_parts(means: Vec<f32>, stds: Vec<f32>) -> Self {
+        assert_eq!(means.len(), stds.len(), "means/stds length mismatch");
+        ColumnStats { means, stds }
+    }
+
     /// Z-scores one row in place; constant columns (std == 0) map to 0.
     pub fn apply(&self, row: &mut [f32]) {
         assert_eq!(row.len(), self.dim(), "row width mismatch");

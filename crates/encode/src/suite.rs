@@ -49,6 +49,31 @@ impl EncodingKind {
             EncodingKind::Caz,
         ]
     }
+
+    /// Stable wire code for persistence formats (predictor export, serving
+    /// bundles). The codes are append-only: never renumber them.
+    pub fn code(self) -> u8 {
+        match self {
+            EncodingKind::AdjOp => 0,
+            EncodingKind::Zcp => 1,
+            EncodingKind::Arch2Vec => 2,
+            EncodingKind::Cate => 3,
+            EncodingKind::Caz => 4,
+        }
+    }
+
+    /// Inverse of [`EncodingKind::code`]; `None` for unknown codes (a newer
+    /// file read by an older binary).
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => EncodingKind::AdjOp,
+            1 => EncodingKind::Zcp,
+            2 => EncodingKind::Arch2Vec,
+            3 => EncodingKind::Cate,
+            4 => EncodingKind::Caz,
+            _ => return None,
+        })
+    }
 }
 
 /// Configuration for building an [`EncodingSuite`].
@@ -204,6 +229,18 @@ impl EncodingSuite {
             EncodingKind::Caz => &self.caz_norms,
             EncodingKind::AdjOp => panic!("AdjOp is not a pooled vector encoding"),
         }
+    }
+
+    /// The fitted per-column ZCP normalization statistics.
+    ///
+    /// ZCP features are **model-free** — [`zcp_features`] derives them from
+    /// the architecture alone — so these stats are the *entire* state needed
+    /// to reproduce [`EncodingSuite::encode`]`(Zcp, …)` elsewhere. The
+    /// serving layer snapshots them into its model bundles; the learned
+    /// encodings (Arch2Vec/CATE, and CAZ which embeds both) additionally
+    /// need their trained encoder weights and are not snapshot-servable.
+    pub fn zcp_stats(&self) -> &ColumnStats {
+        &self.zcp_stats
     }
 
     /// Encodes an architecture outside the pool with the same trained

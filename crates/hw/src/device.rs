@@ -502,6 +502,12 @@ impl DeviceRegistry {
     pub fn names(&self) -> Vec<&str> {
         self.devices.iter().map(|d| d.name()).collect()
     }
+
+    /// All device names as owned strings, in roster order — the device-list
+    /// form `LatencyPredictor::new` and the serving bundles consume.
+    pub fn owned_names(&self) -> Vec<String> {
+        self.devices.iter().map(|d| d.name().to_string()).collect()
+    }
 }
 
 #[cfg(test)]

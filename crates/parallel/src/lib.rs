@@ -63,21 +63,59 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// Reads an unsigned-integer environment variable, **warning on malformed
+/// values instead of silently defaulting**.
+///
+/// Every NASFLAT tuning knob (`NASFLAT_THREADS`, `NASFLAT_TAPE_BATCH`,
+/// `NASFLAT_SERVE_BATCH`) parses through this helper so a typo like
+/// `NASFLAT_THREADS=fourteen` or an out-of-range `NASFLAT_THREADS=0` is
+/// surfaced on stderr exactly where the old code paths dropped it on the
+/// floor. Returns:
+///
+/// - `None` when the variable is unset — the caller applies its default;
+/// - `Some(v)` when it parses as a `usize` with `v >= min`;
+/// - `None` **after printing a warning** when the value is not an integer
+///   or is below `min` — again falling back to the caller's default, but
+///   visibly.
+pub fn env_usize(name: &str, min: usize) -> Option<usize> {
+    parse_env_usize(name, &std::env::var(name).ok()?, min)
+}
+
+/// The pure parsing/validation half of [`env_usize`], split out so tests
+/// can exercise it without mutating the process environment (`setenv`
+/// races `getenv` across the test harness's threads).
+fn parse_env_usize(name: &str, raw: &str, min: usize) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(v) if v >= min => Some(v),
+        Ok(v) => {
+            eprintln!(
+                "warning: {name}={v} is below the minimum of {min}; \
+                 ignoring it and using the default"
+            );
+            None
+        }
+        Err(_) => {
+            eprintln!(
+                "warning: {name}='{raw}' is not a valid unsigned integer; \
+                 ignoring it and using the default"
+            );
+            None
+        }
+    }
+}
+
 /// The process-wide default thread count: `NASFLAT_THREADS` if set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`]
-/// (falling back to 1 where that is unavailable). Read once per process.
+/// (falling back to 1 where that is unavailable). Read once per process;
+/// malformed values warn via [`env_usize`] and fall through to the default.
 pub fn max_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        std::env::var("NASFLAT_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(NonZeroUsize::get)
-                    .unwrap_or(1)
-            })
+        env_usize("NASFLAT_THREADS", 1).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     })
 }
 
@@ -310,6 +348,53 @@ where
     par_map(items, map).into_iter().fold(init, &mut fold)
 }
 
+/// Queue/worker plumbing: spawns `workers` scoped worker threads running
+/// `worker(id)` while `feeder` runs on the calling thread, then joins and
+/// returns `(worker results in id order, feeder result)`.
+///
+/// This is the substrate for producer/consumer topologies (the serving
+/// layer's [`DynamicBatcher`] feeds a bounded MPSC queue that the workers
+/// drain): unlike [`par_map`], the feeder and the workers run
+/// *concurrently*, synchronizing through whatever channel the caller
+/// threads between the two closures.
+///
+/// At least one worker is always spawned — even inside a nested parallel
+/// region, where [`par_map`] would collapse to sequential — because a
+/// feeder blocking on a bounded queue with zero consumers would deadlock.
+/// Workers run with the nested-serialization flag set, so parallel calls
+/// *inside* a worker still execute sequentially. Worker panics propagate to
+/// the caller after the feeder returns.
+///
+/// [`DynamicBatcher`]: https://docs.rs/nasflat-serve
+pub fn with_workers<R, S, W, P>(workers: usize, worker: W, feeder: P) -> (Vec<R>, S)
+where
+    R: Send,
+    W: Fn(usize) -> R + Sync,
+    P: FnOnce() -> S,
+{
+    let n = workers.max(1);
+    let wref = &worker;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|id| {
+                s.spawn(move || {
+                    IN_WORKER.set(true);
+                    wref(id)
+                })
+            })
+            .collect();
+        let fed = feeder();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(r) => out.push(r),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        (out, fed)
+    })
+}
+
 /// A bounded concurrency policy: combinators invoked through it (or inside
 /// [`ThreadPool::install`]) spawn at most [`ThreadPool::threads`] workers.
 ///
@@ -508,6 +593,97 @@ mod tests {
             })
         });
         assert!(nested_lens.iter().all(|&w| w == 1), "{nested_lens:?}");
+    }
+
+    #[test]
+    fn env_usize_parses_and_warns() {
+        // Unset → None (caller defaults). Reading is safe; the remaining
+        // cases go through the pure parser so the test never calls setenv
+        // (which would race getenv on the harness's other threads).
+        assert_eq!(env_usize("NASFLAT_TEST_ENV_UNSET_XYZ", 1), None);
+        // Valid values parse; whitespace is tolerated.
+        assert_eq!(parse_env_usize("T", "12", 1), Some(12));
+        assert_eq!(parse_env_usize("T", " 7 ", 0), Some(7));
+        // Malformed or below-minimum values are rejected (with a warning on
+        // stderr), not silently misread.
+        assert_eq!(parse_env_usize("T", "fourteen", 1), None);
+        assert_eq!(parse_env_usize("T", "-3", 0), None);
+        assert_eq!(parse_env_usize("T", "0", 1), None);
+        // min = 0 admits zero (used by the tape/serve batch knobs, where 0
+        // means "disable batching").
+        assert_eq!(parse_env_usize("T", "0", 0), Some(0));
+    }
+
+    #[test]
+    fn with_workers_drains_a_bounded_queue() {
+        use std::sync::mpsc::sync_channel;
+        use std::sync::Mutex;
+        let (tx, rx) = sync_channel::<usize>(4); // smaller than the send count
+        let rx = Mutex::new(rx);
+        let (per_worker, sent) = with_workers(
+            3,
+            |_id| {
+                let mut got = Vec::new();
+                loop {
+                    let item = rx.lock().unwrap().recv();
+                    match item {
+                        Ok(v) => got.push(v),
+                        Err(_) => return got,
+                    }
+                }
+            },
+            move || {
+                for i in 0..100usize {
+                    tx.send(i).expect("workers alive");
+                }
+                100usize
+            },
+        );
+        assert_eq!(sent, 100);
+        assert_eq!(per_worker.len(), 3);
+        let mut all: Vec<usize> = per_worker.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_workers_spawns_at_least_one_worker_even_when_nested() {
+        // Inside a par_map worker the nested combinators collapse to 1
+        // thread, but with_workers must still spawn a real consumer or a
+        // bounded-queue feeder would deadlock.
+        let outer: Vec<usize> = (0..2).collect();
+        let ok: Vec<bool> = with_threads(2, || {
+            par_map(&outer, |_| {
+                use std::sync::mpsc::sync_channel;
+                use std::sync::Mutex;
+                let (tx, rx) = sync_channel::<usize>(1);
+                let rx = Mutex::new(rx);
+                let (counts, ()) = with_workers(
+                    0, // clamped to 1
+                    |_| {
+                        let mut n = 0usize;
+                        while rx.lock().unwrap().recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    },
+                    move || {
+                        for i in 0..10usize {
+                            tx.send(i).unwrap();
+                        }
+                    },
+                );
+                counts.iter().sum::<usize>() == 10
+            })
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn with_workers_worker_panic_propagates() {
+        let result =
+            std::panic::catch_unwind(|| with_workers(2, |id| assert!(id != 1, "boom"), || ()));
+        assert!(result.is_err());
     }
 
     #[test]

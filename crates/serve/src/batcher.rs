@@ -1,0 +1,387 @@
+//! The dynamic micro-batcher: a bounded MPSC queue drained by worker
+//! threads that coalesce waiting queries into multi-query tape passes.
+//!
+//! The topology is synchronous-core: [`DynamicBatcher::serve`] pushes a
+//! query stream into a bounded [`std::sync::mpsc::sync_channel`] (admission
+//! control — the producer blocks when the queue is full) while
+//! [`nasflat_parallel::with_workers`] worker threads drain it. A worker
+//! blocks for one request, then greedily grabs up to
+//! [`ServeConfig::batch`] − 1 more *without blocking*, and evaluates
+//! whatever it got as one **mixed-device multi-query tape pass** on its
+//! per-member [`BatchSession`](nasflat_core::BatchSession)s. Under load,
+//! batches fill to the limit; at low arrival rates, queries go out alone —
+//! dynamic batching in the classic serving-systems sense.
+//!
+//! Which queries share a pass is timing-dependent, but the block-diagonal
+//! bit-identity contract makes the composition invisible: drained results
+//! are bitwise a sequential per-query loop at any worker count, batch
+//! limit, or arrival interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::Mutex;
+
+use nasflat_core::SessionCounters;
+use nasflat_space::Arch;
+
+use crate::bundle::ModelBundle;
+use crate::serve_batch;
+
+/// One latency query: an architecture and the device (embedding row of the
+/// bundle's device list) to predict it on.
+#[derive(Debug, Clone)]
+pub struct ServeQuery {
+    /// The architecture to score.
+    pub arch: Arch,
+    /// Device index into the serving bundle's ordered device list.
+    pub device: usize,
+}
+
+impl ServeQuery {
+    /// A query for `arch` on device index `device`.
+    pub fn new(arch: Arch, device: usize) -> Self {
+        ServeQuery { arch, device }
+    }
+}
+
+/// Tuning knobs of the [`DynamicBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Coalescing limit: the most queries one tape pass evaluates. Values
+    /// 0/1 disable coalescing (per-query serving).
+    pub batch: usize,
+    /// Bound of the request queue; the enqueuing thread blocks when this
+    /// many requests are waiting (admission control).
+    pub queue_depth: usize,
+}
+
+impl ServeConfig {
+    /// Environment-derived defaults: workers from the calling thread's
+    /// parallelism (`NASFLAT_THREADS` / [`nasflat_parallel::with_threads`]
+    /// overrides apply), batch from `NASFLAT_SERVE_BATCH`
+    /// ([`serve_batch`]), and a queue deep enough to keep every worker's
+    /// next batch waiting.
+    pub fn from_env() -> Self {
+        let workers = nasflat_parallel::current_threads();
+        let batch = serve_batch();
+        ServeConfig {
+            workers,
+            batch,
+            queue_depth: Self::derived_depth(workers, batch),
+        }
+    }
+
+    /// The default queue bound for a worker/batch combination: deep enough
+    /// to keep every worker's *next* coalesced batch waiting.
+    fn derived_depth(workers: usize, batch: usize) -> usize {
+        (2 * workers.max(1) * batch.max(1)).max(8)
+    }
+
+    /// Same config with a different worker count. `queue_depth` is
+    /// re-derived for the new shape; set it directly (last) to pin a
+    /// custom bound.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self.queue_depth = Self::derived_depth(workers, self.batch);
+        self
+    }
+
+    /// Same config with a different coalescing limit. `queue_depth` is
+    /// re-derived for the new shape; set it directly (last) to pin a
+    /// custom bound.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self.queue_depth = Self::derived_depth(self.workers, batch);
+        self
+    }
+}
+
+/// What a drain actually did — the serving telemetry the smoke tests and
+/// the bench harness assert on. Pass counts come straight from the worker
+/// sessions' [`SessionCounters`], so the uniform/ragged split is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeMetrics {
+    /// Queries drained.
+    pub queries: usize,
+    /// Coalesced groups evaluated (tape passes + singletons).
+    pub groups: usize,
+    /// Largest coalesced group.
+    pub max_group: usize,
+    /// Per-member session counters summed over workers: multi-query passes
+    /// (uniform fast path vs ragged fallback) and per-query evaluations.
+    pub sessions: SessionCounters,
+}
+
+/// The dynamic micro-batching server over one loaded [`ModelBundle`].
+///
+/// Cheap to construct (it borrows the bundle and owns only the config);
+/// every [`DynamicBatcher::serve`] call runs its own queue and scoped
+/// worker threads and returns when the stream is fully drained.
+#[derive(Debug)]
+pub struct DynamicBatcher<'m> {
+    bundle: &'m ModelBundle,
+    cfg: ServeConfig,
+}
+
+impl<'m> DynamicBatcher<'m> {
+    /// A batcher over `bundle` with explicit tuning.
+    pub fn new(bundle: &'m ModelBundle, cfg: ServeConfig) -> Self {
+        DynamicBatcher { bundle, cfg }
+    }
+
+    /// A batcher with environment-derived tuning
+    /// ([`ServeConfig::from_env`]).
+    pub fn from_env(bundle: &'m ModelBundle) -> Self {
+        DynamicBatcher::new(bundle, ServeConfig::from_env())
+    }
+
+    /// The bundle this batcher serves.
+    pub fn bundle(&self) -> &'m ModelBundle {
+        self.bundle
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Validates a query stream against the bundle (space and device
+    /// range), so worker threads can assume well-formed input.
+    fn validate(&self, queries: &[ServeQuery]) -> Result<(), String> {
+        let space = self.bundle.space();
+        let num_devices = self.bundle.devices().len();
+        for (i, q) in queries.iter().enumerate() {
+            if q.arch.space() != space {
+                return Err(format!(
+                    "query {i} is a {:?} architecture; the bundle serves {space:?}",
+                    q.arch.space()
+                ));
+            }
+            if q.device >= num_devices {
+                return Err(format!(
+                    "query {i} targets device {} but the bundle has {num_devices} devices",
+                    q.device
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains `queries` through the queue and returns their scores **in
+    /// input order**, bitwise identical to
+    /// [`ModelBundle::predict_one`] per query.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed query (wrong space,
+    /// device index out of range); validation happens before anything is
+    /// enqueued.
+    pub fn serve(&self, queries: &[ServeQuery]) -> Result<Vec<f32>, String> {
+        self.serve_with_metrics(queries).map(|(scores, _)| scores)
+    }
+
+    /// [`DynamicBatcher::serve`] plus the drain's [`ServeMetrics`].
+    ///
+    /// # Errors
+    /// Same conditions as [`DynamicBatcher::serve`].
+    pub fn serve_with_metrics(
+        &self,
+        queries: &[ServeQuery],
+    ) -> Result<(Vec<f32>, ServeMetrics), String> {
+        self.validate(queries)?;
+        if queries.is_empty() {
+            return Ok((Vec::new(), ServeMetrics::default()));
+        }
+        let coalesce = self.cfg.batch.max(1);
+        let (tx, rx) = sync_channel::<(usize, &ServeQuery)>(self.cfg.queue_depth.max(1));
+        let rx = Mutex::new(rx);
+        let bundle = self.bundle;
+        // Live-consumer count, decremented even on unwind: the feeder must
+        // never block on a queue nobody will drain, or a worker panic would
+        // become a permanent hang instead of propagating at join.
+        let workers = self.cfg.workers.max(1);
+        let alive = AtomicUsize::new(workers);
+        let alive = &alive;
+
+        let (per_worker, ()) = nasflat_parallel::with_workers(
+            workers,
+            |_id| {
+                struct AliveGuard<'a>(&'a AtomicUsize);
+                impl Drop for AliveGuard<'_> {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::Release);
+                    }
+                }
+                let _alive = AliveGuard(alive);
+                let mut sessions = bundle.open_sessions();
+                let mut scored: Vec<(usize, f32)> = Vec::new();
+                let mut metrics = ServeMetrics::default();
+                let mut group: Vec<(usize, &ServeQuery)> = Vec::with_capacity(coalesce);
+                let mut archs: Vec<&Arch> = Vec::with_capacity(coalesce);
+                let mut devices: Vec<usize> = Vec::with_capacity(coalesce);
+                loop {
+                    group.clear();
+                    {
+                        // Hold the receiver only while *collecting*: block
+                        // for the first request, then grab whatever else is
+                        // already waiting, up to the coalescing limit.
+                        let guard = rx.lock().expect("receiver lock");
+                        match guard.recv() {
+                            Ok(first) => group.push(first),
+                            Err(_) => break, // producer done, queue drained
+                        }
+                        while group.len() < coalesce {
+                            match guard.try_recv() {
+                                Ok(next) => group.push(next),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    archs.clear();
+                    devices.clear();
+                    archs.extend(group.iter().map(|(_, q)| &q.arch));
+                    devices.extend(group.iter().map(|(_, q)| q.device));
+                    let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
+                    metrics.queries += group.len();
+                    metrics.groups += 1;
+                    metrics.max_group = metrics.max_group.max(group.len());
+                    scored.extend(group.iter().map(|&(i, _)| i).zip(scores));
+                }
+                for s in &sessions {
+                    metrics.sessions = metrics.sessions.merge(s.counters());
+                }
+                (scored, metrics)
+            },
+            move || {
+                // Feed with try_send instead of a blocking send: the
+                // Receiver lives in this frame (not in the workers), so if
+                // every worker died — e.g. a panic poisoning the receiver
+                // mutex — a blocked send would never return. Backing off
+                // (a few yields, then short sleeps, so a full queue parks
+                // the feeder instead of burning a core) while checking the
+                // live-consumer count keeps the feeder responsive and lets
+                // a worker panic propagate at join instead of deadlocking.
+                'feed: for mut item in queries.iter().enumerate() {
+                    let mut spins = 0u32;
+                    loop {
+                        match tx.try_send(item) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(back)) => {
+                                if alive.load(Ordering::Acquire) == 0 {
+                                    break 'feed; // join below re-raises the panic
+                                }
+                                item = back;
+                                if spins < 16 {
+                                    spins += 1;
+                                    std::thread::yield_now();
+                                } else {
+                                    std::thread::sleep(std::time::Duration::from_micros(50));
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => break 'feed,
+                        }
+                    }
+                }
+                // tx drops here: workers drain the queue and exit.
+                drop(tx);
+            },
+        );
+
+        let mut scores = vec![0.0f32; queries.len()];
+        let mut metrics = ServeMetrics::default();
+        let mut delivered = 0usize;
+        for (scored, m) in per_worker {
+            metrics.queries += m.queries;
+            metrics.groups += m.groups;
+            metrics.max_group = metrics.max_group.max(m.max_group);
+            metrics.sessions = metrics.sessions.merge(m.sessions);
+            for (i, s) in scored {
+                scores[i] = s;
+                delivered += 1;
+            }
+        }
+        debug_assert_eq!(delivered, queries.len(), "every query answered once");
+        Ok((scores, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::ModelBundle;
+    use nasflat_core::{LatencyPredictor, PredictorConfig};
+    use nasflat_space::Space;
+
+    fn bundle() -> ModelBundle {
+        let mut cfg = PredictorConfig::quick();
+        cfg.op_dim = 8;
+        cfg.hw_dim = 8;
+        cfg.node_dim = 8;
+        cfg.ophw_gnn_dims = vec![12];
+        cfg.ophw_mlp_dims = vec![12];
+        cfg.gnn_dims = vec![12];
+        cfg.head_dims = vec![16];
+        let devices = vec!["a".into(), "b".into(), "c".into(), "d".into()];
+        ModelBundle::single(LatencyPredictor::new(Space::Nb201, devices, 0, cfg)).unwrap()
+    }
+
+    fn queries(n: usize) -> Vec<ServeQuery> {
+        (0..n)
+            .map(|i| ServeQuery::new(Arch::nb201_from_index((i as u64 * 547) % 15625), i % 4))
+            .collect()
+    }
+
+    #[test]
+    fn config_from_env_is_sane() {
+        let cfg = ServeConfig::from_env();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_depth >= 8);
+        let tuned = cfg.with_workers(3).with_batch(5);
+        assert_eq!((tuned.workers, tuned.batch), (3, 5));
+    }
+
+    #[test]
+    fn empty_stream_serves_empty() {
+        let b = bundle();
+        let batcher = DynamicBatcher::new(&b, ServeConfig::from_env());
+        let (scores, metrics) = batcher.serve_with_metrics(&[]).unwrap();
+        assert!(scores.is_empty());
+        assert_eq!(metrics.queries, 0);
+    }
+
+    #[test]
+    fn malformed_queries_are_rejected_before_enqueue() {
+        let b = bundle();
+        let batcher = DynamicBatcher::new(&b, ServeConfig::from_env());
+        let bad_device = vec![ServeQuery::new(Arch::nb201_from_index(0), 99)];
+        assert!(batcher
+            .serve(&bad_device)
+            .unwrap_err()
+            .contains("device 99"));
+        let bad_space = vec![ServeQuery::new(Arch::new(Space::Fbnet, vec![4; 22]), 0)];
+        assert!(batcher.serve(&bad_space).unwrap_err().contains("Fbnet"));
+    }
+
+    #[test]
+    fn metrics_account_for_every_query() {
+        let b = bundle();
+        let qs = queries(64);
+        let cfg = ServeConfig::from_env().with_workers(2).with_batch(8);
+        let batcher = DynamicBatcher::new(&b, cfg);
+        let (scores, metrics) = batcher.serve_with_metrics(&qs).unwrap();
+        assert_eq!(scores.len(), 64);
+        assert_eq!(metrics.queries, 64);
+        assert!(metrics.groups >= 64usize.div_ceil(8));
+        assert!(metrics.max_group <= 8);
+        // For a single-member bundle, every coalesced group is exactly one
+        // session evaluation: a multi-query tape pass (2+ queries) or a
+        // per-arch query (singleton).
+        assert_eq!(
+            metrics.sessions.batched_passes() + metrics.sessions.per_arch_queries,
+            metrics.groups
+        );
+        // NB201 blocks are uniform, so the ragged fallback never fires.
+        assert_eq!(metrics.sessions.ragged_passes, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! `nasflat-serve`: latency prediction as an always-on service.
+//!
+//! The crates below this one answer "how do I *train* a latency predictor";
+//! this crate answers "how do I *run* one under traffic". It is the
+//! workspace's serving layer, built from three pieces:
+//!
+//! - [`ModelBundle`]: versioned binary **persistence** for one-or-more
+//!   trained predictors (an ensemble ships as one file) plus the snapshot of
+//!   the encoding-suite normalization its supplement needs. A bundle saved
+//!   with [`ModelBundle::to_bytes`] and reloaded with
+//!   [`ModelBundle::from_bytes`] serves **bit-identical** predictions.
+//! - [`PredictorRegistry`]: named, loaded models behind one lookup, with an
+//!   LRU **result cache** keyed on (model, architecture, device) — repeat
+//!   queries for the same pair are answered without touching a tape.
+//! - [`DynamicBatcher`]: a bounded MPSC request queue drained by
+//!   `nasflat-parallel` worker threads that **coalesce** up to
+//!   [`serve_batch`] waiting queries — *for any mix of devices* — into one
+//!   multi-query block-diagonal tape pass
+//!   ([`BatchSession::predict_batched_tape_devices`]).
+//!
+//! # Determinism contract
+//!
+//! Dynamic batching is timing-dependent: which queries share a pass depends
+//! on what happens to be queued. That nondeterminism is **bit-invisible**:
+//! every row of a mixed-device multi-query pass equals the per-query
+//! forward on that (arch, device) pair alone, so the drained results are
+//! bitwise those of a sequential [`LatencyPredictor::predict`] loop at any
+//! worker count, any batch size, and any arrival order. The serving test
+//! suite pins a 256-query mixed-device stream at 1/2/8 workers against the
+//! sequential reference, and the `serve_throughput` bench entry gates the
+//! batching speedup with the same bitwise comparison.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nasflat_core::{LatencyPredictor, PredictorConfig};
+//! use nasflat_serve::{ModelBundle, PredictorRegistry, ServeConfig, ServeQuery};
+//! use nasflat_space::{Arch, Space};
+//!
+//! let predictor = LatencyPredictor::new(
+//!     Space::Nb201,
+//!     vec!["1080ti_1".into(), "raspi4".into()],
+//!     0,
+//!     PredictorConfig::quick(),
+//! );
+//! let bundle = ModelBundle::single(predictor).unwrap();
+//! std::fs::write("nd.nfb1", bundle.to_bytes()).unwrap();
+//!
+//! let mut registry = PredictorRegistry::new(1024);
+//! registry.load_file("nd", "nd.nfb1").unwrap();
+//! let queries: Vec<ServeQuery> = (0..256)
+//!     .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 37), (i % 2) as usize))
+//!     .collect();
+//! let scores = registry.serve("nd", &queries, &ServeConfig::from_env()).unwrap();
+//! assert_eq!(scores.len(), 256);
+//! ```
+//!
+//! [`BatchSession::predict_batched_tape_devices`]:
+//! nasflat_core::BatchSession::predict_batched_tape_devices
+//! [`LatencyPredictor::predict`]: nasflat_core::LatencyPredictor::predict
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod bundle;
+mod registry;
+
+pub use batcher::{DynamicBatcher, ServeConfig, ServeMetrics, ServeQuery};
+pub use bundle::{BundleError, ModelBundle};
+pub use registry::{CacheStats, PredictorRegistry, ServeError};
+
+/// Default coalescing limit of the dynamic batcher: how many waiting
+/// queries one worker folds into a single multi-query tape pass.
+pub const DEFAULT_SERVE_BATCH: usize = 16;
+
+/// The serving batch limit: `NASFLAT_SERVE_BATCH` from the environment
+/// (read once per process; malformed values warn and fall through), else
+/// [`DEFAULT_SERVE_BATCH`]. Values `0` and `1` disable coalescing — every
+/// query runs as its own tape pass (the "per-query serving" baseline the
+/// `serve_throughput` bench gate compares against).
+pub fn serve_batch() -> usize {
+    use std::sync::OnceLock;
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        nasflat_parallel::env_usize("NASFLAT_SERVE_BATCH", 0).unwrap_or(DEFAULT_SERVE_BATCH)
+    })
+}

@@ -1,0 +1,490 @@
+//! The predictor registry: named loaded models plus an LRU result cache.
+//!
+//! A serving process keeps every deployed model behind one name-indexed
+//! registry. Models are [`ModelBundle`]s wrapped in [`std::sync::Arc`] so
+//! request handlers (and the dynamic batcher's worker threads) can hold a
+//! model while the operator hot-swaps the name to a new version.
+//!
+//! The registry also memoizes results: latency queries inside a NAS loop
+//! are heavily repetitive (evolutionary search re-scores survivors every
+//! generation), so an LRU cache keyed on **(model, architecture genotype,
+//! device)** answers repeats without touching a tape. Keys embed the full
+//! genotype — not a lossy digest — so a cache hit is *provably* the same
+//! query, and the determinism contract (cached result ≡ recomputed result,
+//! bit for bit) holds by construction. Replacing a model under a name
+//! bumps the registry's model id, so stale entries can never serve for the
+//! new version.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nasflat_space::{Arch, Space};
+
+use crate::batcher::{DynamicBatcher, ServeConfig, ServeMetrics, ServeQuery};
+use crate::bundle::{BundleError, ModelBundle};
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// No model is registered under the requested name.
+    UnknownModel(String),
+    /// A query was malformed for the model it targets (wrong space,
+    /// out-of-range device).
+    BadQuery(String),
+    /// Reading a bundle from disk or bytes failed.
+    Bundle(BundleError),
+    /// Filesystem failure while loading a bundle file.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "no model registered as '{name}'"),
+            ServeError::BadQuery(detail) => write!(f, "bad query: {detail}"),
+            ServeError::Bundle(e) => write!(f, "bundle rejected: {e}"),
+            ServeError::Io(e) => write!(f, "bundle file unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BundleError> for ServeError {
+    fn from(e: BundleError) -> Self {
+        ServeError::Bundle(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Exact cache key: which model version, which architecture, which device.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    model_id: u64,
+    space: Space,
+    genotype: Box<[u8]>,
+    device: u32,
+}
+
+/// A classic LRU map: value lookup via `HashMap`, recency order via a
+/// `BTreeMap` over a monotonically increasing touch stamp (oldest stamp =
+/// least recently used). Both sides are updated together under the
+/// registry's mutex; capacity 0 disables caching entirely.
+#[derive(Debug, Default)]
+struct LruCache {
+    entries: HashMap<CacheKey, (f32, u64)>,
+    recency: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+impl LruCache {
+    fn get(&mut self, key: &CacheKey) -> Option<f32> {
+        let (value, stamp) = *self.entries.get(key)?;
+        // Refresh recency.
+        self.recency.remove(&stamp);
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.entries.get_mut(key).expect("present").1 = self.tick;
+        Some(value)
+    }
+
+    fn insert(&mut self, key: CacheKey, value: f32, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if let Some((_, stamp)) = self.entries.remove(&key) {
+            self.recency.remove(&stamp);
+        }
+        while self.entries.len() >= capacity {
+            let (&oldest, _) = self.recency.iter().next().expect("non-empty");
+            let evicted = self.recency.remove(&oldest).expect("present");
+            self.entries.remove(&evicted);
+        }
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.entries.insert(key, (value, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Drops every entry of a retired model id. Hot-swapping or removing a
+    /// model makes its entries permanently unreachable (lookups use the new
+    /// id), so leaving them in place would waste the whole LRU capacity on
+    /// dead results right when the new version needs it.
+    fn purge_model(&mut self, model_id: u64) {
+        self.entries.retain(|k, _| k.model_id != model_id);
+        self.recency.retain(|_, k| k.model_id != model_id);
+    }
+}
+
+/// Hit/miss counters of the registry's result cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run a forward pass.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Named, loaded models with an LRU result cache — the lookup layer of the
+/// serving subsystem.
+pub struct PredictorRegistry {
+    models: HashMap<String, (u64, Arc<ModelBundle>)>,
+    next_model_id: u64,
+    cache: Mutex<LruCache>,
+    cache_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictorRegistry {
+    /// An empty registry whose result cache holds up to `cache_capacity`
+    /// entries (0 disables caching).
+    pub fn new(cache_capacity: usize) -> Self {
+        PredictorRegistry {
+            models: HashMap::new(),
+            next_model_id: 0,
+            cache: Mutex::new(LruCache::default()),
+            cache_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers (or hot-swaps) a bundle under `name`. Replacement assigns
+    /// a fresh model id — so cached results of the previous version can
+    /// never answer for the new one — and evicts the old version's cache
+    /// entries outright, freeing the LRU capacity for the new version.
+    pub fn insert(&mut self, name: impl Into<String>, bundle: ModelBundle) -> Arc<ModelBundle> {
+        let arc = Arc::new(bundle);
+        self.next_model_id += 1;
+        if let Some((old_id, _)) = self
+            .models
+            .insert(name.into(), (self.next_model_id, arc.clone()))
+        {
+            self.cache.lock().expect("cache lock").purge_model(old_id);
+        }
+        arc
+    }
+
+    /// Parses bundle bytes and registers them under `name`.
+    ///
+    /// # Errors
+    /// Propagates bundle validation failures.
+    pub fn load_bytes(
+        &mut self,
+        name: impl Into<String>,
+        bytes: &[u8],
+    ) -> Result<Arc<ModelBundle>, ServeError> {
+        Ok(self.insert(name, ModelBundle::from_bytes(bytes)?))
+    }
+
+    /// Reads a bundle file and registers it under `name`.
+    ///
+    /// # Errors
+    /// Filesystem and bundle validation failures.
+    pub fn load_file(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Arc<ModelBundle>, ServeError> {
+        let bytes = std::fs::read(path)?;
+        self.load_bytes(name, &bytes)
+    }
+
+    /// The bundle registered under `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelBundle>> {
+        self.models.get(name).map(|(_, b)| b.clone())
+    }
+
+    /// Unregisters a model, returning whether it existed. The model's
+    /// cached results are evicted with it.
+    pub fn remove(&mut self, name: &str) -> bool {
+        match self.models.remove(name) {
+            Some((old_id, _)) => {
+                self.cache.lock().expect("cache lock").purge_model(old_id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("cache lock").len(),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<(u64, Arc<ModelBundle>), ServeError> {
+        self.models
+            .get(name)
+            .map(|(id, b)| (*id, b.clone()))
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Predicts one (architecture, device) query on a named model, answered
+    /// from the LRU result cache when the exact query was served before
+    /// (bit-identical either way).
+    ///
+    /// # Errors
+    /// Unknown model name, or a query malformed for that model.
+    pub fn predict(&self, name: &str, arch: &Arch, device: usize) -> Result<f32, ServeError> {
+        let (model_id, bundle) = self.lookup(name)?;
+        if arch.space() != bundle.space() {
+            return Err(ServeError::BadQuery(format!(
+                "{:?} architecture on a {:?} model",
+                arch.space(),
+                bundle.space()
+            )));
+        }
+        if device >= bundle.devices().len() {
+            return Err(ServeError::BadQuery(format!(
+                "device index {device} out of range ({} devices)",
+                bundle.devices().len()
+            )));
+        }
+        let key = CacheKey {
+            model_id,
+            space: arch.space(),
+            genotype: arch.genotype().into(),
+            device: device as u32,
+        };
+        if self.cache_capacity > 0 {
+            if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = bundle.predict_one(arch, device);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, value, self.cache_capacity);
+        Ok(value)
+    }
+
+    /// Serves a query stream on a named model through a
+    /// [`DynamicBatcher`], returning scores in input order. Streams bypass
+    /// the result cache — coalesced tape passes are already the batch-rate
+    /// path, and flooding the LRU with a one-off sweep would evict the hot
+    /// NAS working set.
+    ///
+    /// # Errors
+    /// Unknown model name, or the batcher's query validation failure.
+    pub fn serve(
+        &self,
+        name: &str,
+        queries: &[ServeQuery],
+        cfg: &ServeConfig,
+    ) -> Result<Vec<f32>, ServeError> {
+        self.serve_with_metrics(name, queries, cfg)
+            .map(|(scores, _)| scores)
+    }
+
+    /// [`PredictorRegistry::serve`] plus the drain's metrics.
+    ///
+    /// # Errors
+    /// Same conditions as [`PredictorRegistry::serve`].
+    pub fn serve_with_metrics(
+        &self,
+        name: &str,
+        queries: &[ServeQuery],
+        cfg: &ServeConfig,
+    ) -> Result<(Vec<f32>, ServeMetrics), ServeError> {
+        let (_, bundle) = self.lookup(name)?;
+        DynamicBatcher::new(&bundle, *cfg)
+            .serve_with_metrics(queries)
+            .map_err(ServeError::BadQuery)
+    }
+}
+
+impl core::fmt::Debug for PredictorRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PredictorRegistry")
+            .field("models", &self.names())
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_stats", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasflat_core::{LatencyPredictor, PredictorConfig};
+
+    fn bundle(seed: u64) -> ModelBundle {
+        let mut cfg = PredictorConfig::quick().with_seed(seed);
+        cfg.op_dim = 8;
+        cfg.hw_dim = 8;
+        cfg.node_dim = 8;
+        cfg.ophw_gnn_dims = vec![12];
+        cfg.ophw_mlp_dims = vec![12];
+        cfg.gnn_dims = vec![12];
+        cfg.head_dims = vec![16];
+        ModelBundle::single(LatencyPredictor::new(
+            Space::Nb201,
+            vec!["a".into(), "b".into()],
+            0,
+            cfg,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_errors() {
+        let mut reg = PredictorRegistry::new(16);
+        assert!(reg.is_empty());
+        reg.insert("m", bundle(0));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.names(), vec!["m".to_string()]);
+        assert!(reg.get("m").is_some());
+        assert!(matches!(
+            reg.predict("nope", &Arch::nb201_from_index(0), 0),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            reg.predict("m", &Arch::nb201_from_index(0), 9),
+            Err(ServeError::BadQuery(_))
+        ));
+        assert!(matches!(
+            reg.predict("m", &Arch::new(Space::Fbnet, vec![4; 22]), 0),
+            Err(ServeError::BadQuery(_))
+        ));
+        assert!(reg.remove("m"));
+        assert!(!reg.remove("m"));
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_counted() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("m", bundle(1));
+        let arch = Arch::nb201_from_index(321);
+        let cold = reg.predict("m", &arch, 0).unwrap();
+        let warm = reg.predict("m", &arch, 0).unwrap();
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        let stats = reg.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // A different device is a different key.
+        let _ = reg.predict("m", &arch, 1).unwrap();
+        assert_eq!(reg.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let mut reg = PredictorRegistry::new(2);
+        reg.insert("m", bundle(2));
+        let a0 = Arch::nb201_from_index(10);
+        let a1 = Arch::nb201_from_index(11);
+        let a2 = Arch::nb201_from_index(12);
+        let _ = reg.predict("m", &a0, 0).unwrap();
+        let _ = reg.predict("m", &a1, 0).unwrap();
+        // Touch a0 so a1 is the LRU entry, then insert a third.
+        let _ = reg.predict("m", &a0, 0).unwrap();
+        let _ = reg.predict("m", &a2, 0).unwrap();
+        assert_eq!(reg.cache_stats().entries, 2);
+        // a0 survived (hit), a1 was evicted (miss).
+        let misses_before = reg.cache_stats().misses;
+        let _ = reg.predict("m", &a0, 0).unwrap();
+        assert_eq!(reg.cache_stats().misses, misses_before);
+        let _ = reg.predict("m", &a1, 0).unwrap();
+        assert_eq!(reg.cache_stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn hot_swap_invalidates_and_purges_cached_results() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("m", bundle(3));
+        let arch = Arch::nb201_from_index(500);
+        let old = reg.predict("m", &arch, 0).unwrap();
+        let _ = reg.predict("m", &arch, 1).unwrap();
+        assert_eq!(reg.cache_stats().entries, 2);
+        reg.insert("m", bundle(4)); // new version under the same name
+                                    // The old version's entries are evicted, not just orphaned.
+        assert_eq!(reg.cache_stats().entries, 0);
+        let new = reg.predict("m", &arch, 0).unwrap();
+        assert_ne!(old.to_bits(), new.to_bits(), "stale cache served");
+        // And the new result was a miss, not a hit on the old entry.
+        assert_eq!(reg.cache_stats().hits, 0);
+        assert_eq!(reg.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn remove_purges_the_models_cache_entries() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("keep", bundle(7));
+        reg.insert("drop", bundle(8));
+        let arch = Arch::nb201_from_index(77);
+        let _ = reg.predict("keep", &arch, 0).unwrap();
+        let _ = reg.predict("drop", &arch, 0).unwrap();
+        assert_eq!(reg.cache_stats().entries, 2);
+        assert!(reg.remove("drop"));
+        // Only the removed model's entry goes; the survivor still hits.
+        assert_eq!(reg.cache_stats().entries, 1);
+        let hits_before = reg.cache_stats().hits;
+        let _ = reg.predict("keep", &arch, 0).unwrap();
+        assert_eq!(reg.cache_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut reg = PredictorRegistry::new(0);
+        reg.insert("m", bundle(5));
+        let arch = Arch::nb201_from_index(42);
+        let _ = reg.predict("m", &arch, 0).unwrap();
+        let _ = reg.predict("m", &arch, 0).unwrap();
+        let stats = reg.cache_stats();
+        assert_eq!((stats.hits, stats.entries), (0, 0));
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn registry_serve_routes_through_the_batcher() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("m", bundle(6));
+        let qs: Vec<ServeQuery> = (0..20)
+            .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 9), (i % 2) as usize))
+            .collect();
+        let cfg = ServeConfig::from_env().with_workers(2).with_batch(4);
+        let scores = reg.serve("m", &qs, &cfg).unwrap();
+        let bundle = reg.get("m").unwrap();
+        for (q, s) in qs.iter().zip(&scores) {
+            assert_eq!(s.to_bits(), bundle.predict_one(&q.arch, q.device).to_bits());
+        }
+        assert!(matches!(
+            reg.serve("ghost", &qs, &cfg),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Serialization property suite: save → load → **bitwise-equal
+//! predictions** across GNN module kinds, search spaces, and ensemble
+//! sizes, plus corrupted/truncated-file error paths (a malformed model file
+//! must produce an error, never a panic or a silently different model).
+
+use proptest::prelude::*;
+
+use nasflat_core::{GnnModuleKind, LatencyPredictor, PredictorConfig};
+use nasflat_encode::{ColumnStats, EncodingKind};
+use nasflat_serve::ModelBundle;
+use nasflat_space::{Arch, Space};
+
+fn tiny_cfg(seed: u64, gnn: GnnModuleKind, zcp: bool, op_hw: bool) -> PredictorConfig {
+    let mut c = PredictorConfig::quick().with_seed(seed).with_gnn(gnn);
+    c.op_dim = 8;
+    c.hw_dim = 8;
+    c.node_dim = 8;
+    c.ophw_gnn_dims = vec![12];
+    c.ophw_mlp_dims = vec![12];
+    c.gnn_dims = vec![12];
+    c.head_dims = vec![16];
+    c.op_hw = op_hw;
+    c.supplement = zcp.then_some(EncodingKind::Zcp);
+    c
+}
+
+fn build_bundle(
+    space: Space,
+    members: usize,
+    gnn: GnnModuleKind,
+    zcp: bool,
+    op_hw: bool,
+    seed: u64,
+) -> ModelBundle {
+    let devices: Vec<String> = (0..3).map(|i| format!("d{i}")).collect();
+    let supp_dim = if zcp { 13 } else { 0 };
+    let preds: Vec<LatencyPredictor> = (0..members as u64)
+        .map(|m| {
+            LatencyPredictor::new(
+                space,
+                devices.clone(),
+                supp_dim,
+                tiny_cfg(seed.wrapping_add(m * 31), gnn, zcp, op_hw),
+            )
+        })
+        .collect();
+    let stats = zcp.then(|| {
+        ColumnStats::from_parts(
+            (0..13)
+                .map(|i| (i as f32 + seed as f32 * 0.01).cos())
+                .collect(),
+            (0..13).map(|i| 1.0 + i as f32 * 0.07).collect(),
+        )
+    });
+    ModelBundle::new(preds, stats).expect("valid bundle")
+}
+
+fn probe_arch(space: Space, seed: u64) -> Arch {
+    match space {
+        Space::Nb201 => Arch::nb201_from_index(seed % 15_625),
+        Space::Fbnet => {
+            let genotype: Vec<u8> = (0..22).map(|j| ((seed + j) % 9) as u8).collect();
+            Arch::new(Space::Fbnet, genotype)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+
+    /// save → load → bitwise-equal predictions, across GNN kinds × spaces ×
+    /// ensemble sizes × supplement/op-hw configurations.
+    #[test]
+    fn round_trip_predictions_are_bitwise_equal(
+        gnn_code in 0u8..3,
+        fbnet in any::<bool>(),
+        members in 1usize..4,
+        zcp in any::<bool>(),
+        op_hw in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let gnn = match gnn_code {
+            0 => GnnModuleKind::Dgf,
+            1 => GnnModuleKind::Gat,
+            _ => GnnModuleKind::Ensemble,
+        };
+        let space = if fbnet { Space::Fbnet } else { Space::Nb201 };
+        let bundle = build_bundle(space, members, gnn, zcp, op_hw, seed);
+        let reloaded = ModelBundle::from_bytes(&bundle.to_bytes()).expect("round trip");
+        prop_assert_eq!(reloaded.num_members(), members);
+        prop_assert_eq!(reloaded.space(), space);
+        for probe in 0..3u64 {
+            let arch = probe_arch(space, seed.wrapping_add(probe * 997));
+            for dev in 0..3 {
+                let a = bundle.predict_one(&arch, dev);
+                let b = reloaded.predict_one(&arch, dev);
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "probe {} dev {}", probe, dev);
+            }
+        }
+    }
+
+    /// Every truncation of a valid bundle errors cleanly — no panic, no
+    /// partial model.
+    #[test]
+    fn truncations_error_cleanly(cut_frac in 0.0f64..1.0) {
+        let bundle = build_bundle(Space::Nb201, 2, GnnModuleKind::Ensemble, false, true, 3);
+        let bytes = bundle.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(ModelBundle::from_bytes(&bytes[..cut]).is_err(), "cut {}", cut);
+    }
+
+    /// Flipping a byte in the structural header region either still errors
+    /// or round-trips to a *valid* bundle — never a panic. (Flips inside
+    /// the f32 weight payload legitimately load as different weights; the
+    /// header is where parsing must hold the line.)
+    #[test]
+    fn header_corruption_never_panics(byte in 0usize..64, flip in 1u8..255) {
+        let bundle = build_bundle(Space::Nb201, 1, GnnModuleKind::Dgf, false, true, 9);
+        let mut bytes = bundle.to_bytes();
+        let idx = byte % bytes.len();
+        bytes[idx] ^= flip;
+        match ModelBundle::from_bytes(&bytes) {
+            Ok(reparsed) => {
+                // Only reachable when the flip landed in a value region;
+                // structure must still be coherent.
+                prop_assert_eq!(reparsed.num_members(), 1);
+            }
+            Err(e) => {
+                // The error formats without panicking.
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_payload_corruption_changes_predictions_not_structure() {
+    let bundle = build_bundle(Space::Nb201, 1, GnnModuleKind::Ensemble, false, true, 5);
+    let mut bytes = bundle.to_bytes();
+    // Flip a byte well inside the weight payload (the envelope tail).
+    let idx = bytes.len() - 40;
+    bytes[idx] ^= 0xFF;
+    match ModelBundle::from_bytes(&bytes) {
+        Ok(reparsed) => {
+            let arch = Arch::nb201_from_index(1234);
+            // Structure intact; the perturbed weight may (and here does)
+            // change the prediction — what matters is that nothing panics
+            // and the bundle stays well-formed.
+            let _ = reparsed.predict_one(&arch, 0);
+        }
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Binary weight persistence.
+//! Binary weight persistence and the little-endian wire primitives every
+//! higher persistence layer builds on.
 //!
 //! A pre-trained predictor is the expensive artifact of this system — the
 //! whole point of few-shot transfer is to train it once and reuse it across
@@ -9,14 +10,258 @@
 //! field. Optimizer state is intentionally not persisted: transfer
 //! re-initializes it anyway (paper §3.4).
 //!
-//! Format (all integers little-endian):
+//! Weight format (all integers little-endian):
 //!
 //! ```text
 //! magic "NFW1" | u32 param count | per parameter:
 //!   u32 name len | name bytes | u32 rows | u32 cols | rows*cols f32 values
 //! ```
+//!
+//! The cursor types [`ByteWriter`] / [`ByteReader`] are public so the model
+//! persistence layers above the tensor crate (predictor export in
+//! `nasflat-core`, serving bundles in `nasflat-serve`) share one set of
+//! bounds-checked little-endian primitives instead of re-deriving them:
+//! every read validates the remaining length *before* touching (or
+//! allocating for) the payload, so a truncated or corrupted file surfaces
+//! as a [`WireError`], never a panic or an absurd allocation.
 
 use crate::params::ParamStore;
+
+/// Why a wire-level read failed (see [`ByteReader`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the requested bytes.
+    Truncated,
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "byte stream is truncated"),
+            WireError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian byte-stream writer: the encoding half of the wire
+/// primitives shared by every persistence format in the workspace.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// A writer pre-sized for roughly `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (magic numbers; pre-encoded blobs whose
+    /// length the caller frames separately).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if `v` exceeds `u32::MAX` — no in-memory model in this
+    /// workspace approaches 4 G of anything, so overflow is a caller bug.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u32(u32::try_from(v).expect("length exceeds the u32 wire format"));
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its little-endian bit pattern (bit-exact round
+    /// trip through [`ByteReader::get_f32`]).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends every `f32` of a slice, without a length prefix (the caller
+    /// frames the count).
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string (u32 byte count + bytes).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob (u32 byte count + bytes).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_len(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian byte-stream reader over a borrowed slice:
+/// the decoding half of the shared wire primitives. Every accessor verifies
+/// the remaining length before reading, so malformed input yields
+/// [`WireError::Truncated`] instead of a panic.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { buf: bytes }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] at end of stream.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.get_raw(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.get_raw(4)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads a `usize` written by [`ByteWriter::put_len`].
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn get_len(&mut self) -> Result<usize, WireError> {
+        Ok(self.get_u32()? as usize)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.get_raw(8)?.try_into().expect("length checked"),
+        ))
+    }
+
+    /// Reads an `f32` bit pattern (bit-exact inverse of
+    /// [`ByteWriter::put_f32`]).
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads `n` `f32`s into a fresh vector. The remaining length is checked
+    /// **before** allocating, so a corrupt count cannot trigger a huge
+    /// allocation.
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] if fewer than `4 * n` bytes remain.
+    pub fn get_f32_vec(&mut self, n: usize) -> Result<Vec<f32>, WireError> {
+        if self.buf.len() < n.checked_mul(4).ok_or(WireError::Truncated)? {
+            return Err(WireError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32().expect("length checked"));
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by
+    /// [`ByteWriter::put_str`].
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] on short input, [`WireError::BadUtf8`] on
+    /// invalid contents.
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        let n = self.get_len()?;
+        let bytes = self.get_raw(n)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a length-prefixed byte blob written by
+    /// [`ByteWriter::put_bytes`].
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] on short input.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_len()?;
+        self.get_raw(n)
+    }
+}
 
 /// Magic prefix of the weight format ("NasFlat Weights v1").
 const MAGIC: &[u8; 4] = b"NFW1";
@@ -67,56 +312,29 @@ impl core::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
-/// Little-endian cursor over a byte slice. Minimal local replacement for
-/// the `bytes::Buf` reads this module needs (no crates.io access).
-struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
-    fn peek(&self, n: usize) -> &'a [u8] {
-        &self.buf[..n]
-    }
-
-    fn advance(&mut self, n: usize) {
-        self.buf = &self.buf[n..];
-    }
-
-    /// Caller must have checked `remaining() >= 4`.
-    fn get_u32_le(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.buf[..4].try_into().expect("length checked"));
-        self.advance(4);
-        v
-    }
-
-    /// Caller must have checked `remaining() >= 4`.
-    fn get_f32_le(&mut self) -> f32 {
-        f32::from_bits(self.get_u32_le())
+impl From<WireError> for LoadError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => LoadError::Truncated,
+            WireError::BadUtf8 => LoadError::BadName,
+        }
     }
 }
 
 impl ParamStore {
     /// Serializes all parameter values (not gradients or optimizer state).
     pub fn save_weights(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(16 + self.num_scalars() * 4);
-        buf.extend_from_slice(MAGIC);
-        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        let mut w = ByteWriter::with_capacity(16 + self.num_scalars() * 4);
+        w.put_raw(MAGIC);
+        w.put_len(self.len());
         for id in self.ids() {
-            let name = self.name(id).as_bytes();
-            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
-            buf.extend_from_slice(name);
+            w.put_str(self.name(id));
             let value = self.value(id);
-            buf.extend_from_slice(&(value.rows() as u32).to_le_bytes());
-            buf.extend_from_slice(&(value.cols() as u32).to_le_bytes());
-            for &v in value.data() {
-                buf.extend_from_slice(&v.to_le_bytes());
-            }
+            w.put_len(value.rows());
+            w.put_len(value.cols());
+            w.put_f32_slice(value.data());
         }
-        buf
+        w.into_vec()
     }
 
     /// Restores parameter values from a blob produced by
@@ -127,15 +345,11 @@ impl ParamStore {
     /// shapes) is rejected before any value is written, so a failed load
     /// leaves the store unchanged.
     pub fn load_weights(&mut self, blob: &[u8]) -> Result<(), LoadError> {
-        let mut cur = Reader { buf: blob };
-        if cur.remaining() < 4 || cur.peek(4) != MAGIC {
+        let mut cur = ByteReader::new(blob);
+        if cur.get_raw(4).map_err(|_| LoadError::BadMagic)? != MAGIC {
             return Err(LoadError::BadMagic);
         }
-        cur.advance(4);
-        if cur.remaining() < 4 {
-            return Err(LoadError::Truncated);
-        }
-        let count = cur.get_u32_le() as usize;
+        let count = cur.get_len()?;
         if count != self.len() {
             return Err(LoadError::CountMismatch {
                 found: count,
@@ -145,26 +359,15 @@ impl ParamStore {
         // First pass: validate layout and collect values.
         let mut values: Vec<Vec<f32>> = Vec::with_capacity(count);
         for (index, id) in self.ids().enumerate() {
-            if cur.remaining() < 4 {
-                return Err(LoadError::Truncated);
-            }
-            let name_len = cur.get_u32_le() as usize;
-            if cur.remaining() < name_len {
-                return Err(LoadError::Truncated);
-            }
-            let name = std::str::from_utf8(cur.peek(name_len)).map_err(|_| LoadError::BadName)?;
+            let name = cur.get_str()?;
             if name != self.name(id) {
                 return Err(LoadError::LayoutMismatch {
                     index,
                     detail: format!("name '{name}' != '{}'", self.name(id)),
                 });
             }
-            cur.advance(name_len);
-            if cur.remaining() < 8 {
-                return Err(LoadError::Truncated);
-            }
-            let rows = cur.get_u32_le() as usize;
-            let cols = cur.get_u32_le() as usize;
+            let rows = cur.get_len()?;
+            let cols = cur.get_len()?;
             let expected = self.value(id).shape();
             if (rows, cols) != expected {
                 return Err(LoadError::LayoutMismatch {
@@ -172,14 +375,7 @@ impl ParamStore {
                     detail: format!("shape {rows}x{cols} != {}x{}", expected.0, expected.1),
                 });
             }
-            if cur.remaining() < rows * cols * 4 {
-                return Err(LoadError::Truncated);
-            }
-            let mut data = Vec::with_capacity(rows * cols);
-            for _ in 0..rows * cols {
-                data.push(cur.get_f32_le());
-            }
-            values.push(data);
+            values.push(cur.get_f32_vec(rows * cols)?);
         }
         // Second pass: commit.
         for (id, data) in self.ids().collect::<Vec<_>>().into_iter().zip(values) {
@@ -260,6 +456,70 @@ mod tests {
                 expected: 1
             })
         ));
+    }
+
+    #[test]
+    fn wire_primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-0.0);
+        w.put_f32(f32::NAN);
+        w.put_str("nasflat");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_f32_slice(&[1.5, -2.25]);
+        let bytes = w.into_vec();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        // f32 travel is bit-exact, including signed zero and NaN payloads.
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f32().unwrap().to_bits(), f32::NAN.to_bits());
+        assert_eq!(r.get_str().unwrap(), "nasflat");
+        assert_eq!(r.get_bytes().unwrap(), &[1, 2, 3]);
+        let vs = r.get_f32_vec(2).unwrap();
+        assert_eq!(vs, vec![1.5, -2.25]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_rejects_truncation_without_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_str("hello");
+        let bytes = w.into_vec();
+        // Every proper prefix must error cleanly.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert_eq!(r.get_str().unwrap_err(), WireError::Truncated, "cut {cut}");
+        }
+        // A declared length far beyond the buffer must not allocate.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let huge = w.into_vec();
+        assert_eq!(
+            ByteReader::new(&huge).get_bytes().unwrap_err(),
+            WireError::Truncated
+        );
+        let mut r = ByteReader::new(&huge);
+        let n = r.get_len().unwrap();
+        assert_eq!(
+            ByteReader::new(&huge).get_f32_vec(n).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn reader_rejects_bad_utf8() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_vec();
+        assert_eq!(
+            ByteReader::new(&bytes).get_str().unwrap_err(),
+            WireError::BadUtf8
+        );
     }
 
     #[test]
