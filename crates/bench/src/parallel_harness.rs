@@ -13,18 +13,21 @@
 //!   pinned off), `multi_query_tape` (the PR-3 per-architecture session
 //!   sweep vs block-diagonal multi-query tape passes), `mixed_device_tape`
 //!   (a per-(arch, device) query loop vs mixed-device stacking via the
-//!   per-row hardware-embedding gather), and `serve_throughput` (the
-//!   serving layer's `DynamicBatcher` at batch 1 vs dynamic micro-batching
-//!   over a 256-query mixed-device stream). Baseline entries are timed
+//!   per-row hardware-embedding gather), `serve_throughput` (the serving
+//!   layer's `DynamicBatcher` at batch 1 vs dynamic micro-batching over a
+//!   256-query mixed-device stream), and `serve_ingress` (the TCP front
+//!   door: one strict request/response connection vs 4 pipelined
+//!   connections coalesced by the scheduler). Baseline entries are timed
 //!   best-of-3 alternating repetitions.
 //!
 //! Either way the two runs' outputs are compared **bitwise** (every `f32`
 //! via `to_bits`); a divergence is reported as a failure, and the wall-clock
 //! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
 //! the build when `batch_forward` regresses below 1×, `multi_query_tape`
-//! below its 1.3× quick-mode target, `mixed_device_tape` or
-//! `serve_throughput` below their 1.2× targets, or — on ≥4-core runners —
-//! the `ensemble_train_transfer` / `batch_predict` thread scaling below 2×).
+//! below its 1.3× quick-mode target, `mixed_device_tape`,
+//! `serve_throughput`, or `serve_ingress` below their 1.2× targets, or —
+//! on ≥4-core runners — the `ensemble_train_transfer` / `batch_predict`
+//! thread scaling below 2×).
 //!
 //! The report serializes to `BENCH_parallel.json` with schema
 //! [`PARALLEL_SCHEMA`]:
@@ -574,7 +577,7 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
         ));
     }
 
-    // 2c. Serving layer. Two gates over the same untrained-but-real
+    // 2c. Serving layer. Three gates over the same untrained-but-real
     //     predictor (weights don't affect timing; the bitwise comparison is
     //     what matters):
     //
@@ -586,7 +589,11 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
     //     - `serve_throughput`: the full DynamicBatcher queue at batch 1
     //       (per-query serving) vs the coalescing default — the acceptance
     //       gate that batched serving beats per-query serving with
-    //       bit-identical drained results.
+    //       bit-identical drained results;
+    //     - `serve_ingress`: the always-on TCP service end to end — one
+    //       strict request/response connection vs 4 pipelined connections
+    //       whose queries the scheduler coalesces into shared passes, both
+    //       pinned bitwise to the sequential predict_one loop.
     {
         use nasflat_serve::{DynamicBatcher, ModelBundle, ServeConfig, ServeQuery};
 
@@ -644,7 +651,7 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
         ));
 
         let bundle = ModelBundle::single(predictor.clone()).expect("no supplement configured");
-        let serve_cfg = ServeConfig::from_env().with_workers(threads);
+        let serve_cfg = ServeConfig::builder().workers(threads).build();
         targets.push(measure_pair(
             "serve_throughput",
             threads,
@@ -675,6 +682,79 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
                 digest
             },
         ));
+
+        // `serve_ingress`: the TCP front door end to end — accept loop, wire
+        // protocol, admission, and the cross-connection coalescing scheduler.
+        // Baseline: one strict request/response connection (window 1, so no
+        // coalescing ever happens). Optimized: 4 pipelined connections whose
+        // queries share the scheduler's mixed-device tape passes. The gate is
+        // the ingress acceptance criterion: N connections >= 1.2x one
+        // connection, both streams bitwise equal to the sequential
+        // `predict_one` loop.
+        use nasflat_serve::{IngressClient, IngressServer, PredictorRegistry, ServeRequest};
+
+        let requests: Vec<ServeRequest> = queries
+            .iter()
+            .map(|q| ServeRequest::new("bench", q.arch.clone(), q.device))
+            .collect();
+        let reference: Vec<u32> = requests
+            .iter()
+            .map(|r| bundle.predict_one(&r.arch, r.device).to_bits())
+            .collect();
+        let mut registry = PredictorRegistry::new(0); // no result cache: real passes only
+        registry.insert(
+            "bench",
+            ModelBundle::single(predictor).expect("no supplement configured"),
+        );
+        let shared = registry.into_shared();
+        // `outputs_match` compares baseline vs optimized; this cell pins both
+        // to the sequential reference as well, so a shared serving bug cannot
+        // cancel out.
+        let ingress_matches = std::cell::Cell::new(true);
+        let run_ingress = |conns: usize, window: usize| -> Vec<u64> {
+            let cfg = ServeConfig::builder().workers(threads).build();
+            let server = IngressServer::bind(shared.clone(), &cfg).expect("bind ingress");
+            let addr = server.local_addr();
+            let per_conn = requests.len() / conns;
+            let scores: Vec<f32> = std::thread::scope(|scope| {
+                let handles: Vec<_> = requests
+                    .chunks(per_conn)
+                    .map(|reqs| {
+                        scope.spawn(move || {
+                            let mut client = IngressClient::connect(addr).expect("connect ingress");
+                            client
+                                .predict_many(reqs, window)
+                                .into_iter()
+                                .map(|r| r.expect("valid query").score)
+                                .collect::<Vec<f32>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            server.shutdown();
+            if scores
+                .iter()
+                .zip(&reference)
+                .any(|(s, &r)| s.to_bits() != r)
+            {
+                ingress_matches.set(false);
+            }
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &scores);
+            digest
+        };
+        let mut ingress = measure_pair(
+            "serve_ingress",
+            threads,
+            || run_ingress(1, 1),
+            || run_ingress(4, 8),
+        );
+        ingress.outputs_match &= ingress_matches.get();
+        targets.push(ingress);
     }
 
     // 3. Sampler pool evaluation: cosine + k-means over the encoding rows.

@@ -85,7 +85,14 @@ impl core::fmt::Display for ModelIoError {
     }
 }
 
-impl std::error::Error for ModelIoError {}
+impl std::error::Error for ModelIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelIoError::Weights(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<WireError> for ModelIoError {
     fn from(e: WireError) -> Self {
@@ -102,21 +109,6 @@ impl From<LoadError> for ModelIoError {
     }
 }
 
-fn space_code(space: Space) -> u8 {
-    match space {
-        Space::Nb201 => 0,
-        Space::Fbnet => 1,
-    }
-}
-
-fn space_from_code(code: u8) -> Option<Space> {
-    Some(match code {
-        0 => Space::Nb201,
-        1 => Space::Fbnet,
-        _ => return None,
-    })
-}
-
 impl LatencyPredictor {
     /// Serializes the whole predictor — space, devices, supplementary
     /// width, config, and weights — into a self-contained `NFP1` envelope.
@@ -125,7 +117,7 @@ impl LatencyPredictor {
         let mut w = ByteWriter::with_capacity(64 + weights.len());
         w.put_raw(MAGIC);
         w.put_u32(VERSION);
-        w.put_u8(space_code(self.space()));
+        w.put_u8(self.space().wire_code());
         w.put_len(self.devices().len());
         for name in self.devices() {
             w.put_str(name);
@@ -156,7 +148,7 @@ impl LatencyPredictor {
         }
         let space = {
             let code = r.get_u8()?;
-            space_from_code(code)
+            Space::from_wire_code(code)
                 .ok_or_else(|| ModelIoError::Corrupt(format!("unknown space code {code}")))?
         };
         let num_devices = r.get_len()?;

@@ -14,7 +14,12 @@
 //! - [`par_map_reduce`]: parallel map + **sequential in-order fold**,
 //! - [`ThreadPool`]: a bounded concurrency policy, sized by the
 //!   `NASFLAT_THREADS` environment variable (default:
-//!   [`std::thread::available_parallelism`]).
+//!   [`std::thread::available_parallelism`]),
+//! - [`with_workers`]: scoped producer/consumer plumbing (workers live for
+//!   one drain call),
+//! - [`WorkerSet`]: **long-lived** named worker threads for always-on
+//!   services (the serving layer's TCP ingress loop), with the same
+//!   nested-serialization and panic-propagation guarantees.
 //!
 //! # Determinism
 //!
@@ -395,6 +400,111 @@ where
     })
 }
 
+/// A set of **long-lived** worker threads — the lifecycle layer behind
+/// always-on services, where [`with_workers`]' scoped topology (workers live
+/// exactly as long as one drain call) is not enough.
+///
+/// Unlike the scoped combinators, threads spawned through a `WorkerSet`
+/// outlive the spawning frame: closures must be `'static` and share state
+/// via [`std::sync::Arc`] (typically a channel plus a shutdown flag). The
+/// set only *tracks* its threads; signalling them to stop is the caller's
+/// protocol — the serving layer's ingress loop, for example, sets an atomic
+/// flag and disconnects the job queue, then calls [`WorkerSet::join`].
+///
+/// Two invariants carry over from the scoped layer:
+///
+/// - every spawned thread runs with the **nested-serialization flag** set,
+///   so parallel combinators called inside a long-lived worker execute
+///   sequentially instead of oversubscribing the host — exactly like
+///   workers of [`par_map`] / [`with_workers`];
+/// - [`WorkerSet::join`] **propagates the first worker panic** to the
+///   caller via [`std::panic::resume_unwind`], after joining every thread
+///   (no detached stragglers, no swallowed panics).
+#[derive(Debug, Default)]
+pub struct WorkerSet {
+    name: String,
+    handles: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerSet {
+    /// An empty set; `name` prefixes the OS thread names (`{name}-{k}`) for
+    /// debuggers and thread dumps.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkerSet {
+            name: name.into(),
+            handles: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Spawns one long-lived worker running `f` (with the
+    /// nested-serialization flag set) and tracks its handle. Finished
+    /// threads are reaped opportunistically on each spawn, so a set serving
+    /// short-lived jobs (e.g. one thread per network connection) does not
+    /// accumulate dead handles.
+    ///
+    /// # Errors
+    /// Propagates the OS thread-creation failure.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) -> std::io::Result<()> {
+        let mut handles = self.handles.lock().expect("worker-set lock");
+        // Reap finished threads first; a panicked thread is re-raised at
+        // join(), not here, so its handle is kept.
+        let mut kept = Vec::with_capacity(handles.len() + 1);
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                match h.join() {
+                    Ok(()) => {}
+                    Err(panic) => {
+                        // Preserve the panic for join() by re-parking it in
+                        // a pre-unwound handle substitute: simplest correct
+                        // behavior is to propagate immediately — a dead
+                        // worker means the service is already broken.
+                        std::panic::resume_unwind(panic)
+                    }
+                }
+            } else {
+                kept.push(h);
+            }
+        }
+        *handles = kept;
+        let idx = handles.len();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}-{idx}", self.name))
+            .spawn(move || {
+                IN_WORKER.set(true);
+                f()
+            })?;
+        handles.push(handle);
+        Ok(())
+    }
+
+    /// Number of tracked threads that have not yet finished.
+    pub fn active(&self) -> usize {
+        self.handles
+            .lock()
+            .expect("worker-set lock")
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// Joins every tracked thread. Callers must have signalled their stop
+    /// protocol first (shutdown flag, channel disconnect, …) or this blocks
+    /// forever. The first worker panic is re-raised after all threads have
+    /// been joined.
+    pub fn join(self) {
+        let handles = self.handles.into_inner().expect("worker-set lock");
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(panic) = h.join() {
+                first_panic.get_or_insert(panic);
+            }
+        }
+        if let Some(panic) = first_panic {
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
 /// A bounded concurrency policy: combinators invoked through it (or inside
 /// [`ThreadPool::install`]) spawn at most [`ThreadPool::threads`] workers.
 ///
@@ -696,6 +806,75 @@ mod tests {
                     i
                 })
             })
+        });
+        assert!(result.is_err(), "worker panic must not be swallowed");
+    }
+
+    #[test]
+    fn worker_set_runs_long_lived_threads_and_joins() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let set = WorkerSet::new("test-worker");
+        let stop = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let stop = stop.clone();
+            let counter = counter.clone();
+            set.spawn(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+            .expect("spawn");
+        }
+        // Workers are alive until the stop protocol fires.
+        while counter.load(Ordering::SeqCst) < 3 {
+            std::thread::yield_now();
+        }
+        assert_eq!(set.active(), 3);
+        stop.store(true, Ordering::SeqCst);
+        set.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn worker_set_threads_serialize_nested_parallelism() {
+        use std::sync::mpsc::channel;
+        let set = WorkerSet::new("nested-check");
+        let (tx, rx) = channel();
+        set.spawn(move || {
+            // Long-lived workers carry the same nested-serialization flag as
+            // scoped workers: parallel calls inside collapse to 1 thread.
+            tx.send(current_threads()).unwrap();
+        })
+        .expect("spawn");
+        assert_eq!(rx.recv().unwrap(), 1);
+        set.join();
+    }
+
+    #[test]
+    fn worker_set_reaps_finished_threads_on_spawn() {
+        let set = WorkerSet::new("reap-check");
+        for _ in 0..8 {
+            set.spawn(|| {}).expect("spawn");
+        }
+        // Let the short-lived workers finish, then spawn once more: the set
+        // must not accumulate dead handles unboundedly.
+        while set.active() > 0 {
+            std::thread::yield_now();
+        }
+        set.spawn(|| {}).expect("spawn");
+        assert!(set.handles.lock().unwrap().len() <= 2);
+        set.join();
+    }
+
+    #[test]
+    fn worker_set_join_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let set = WorkerSet::new("panic-check");
+            set.spawn(|| panic!("boom")).expect("spawn");
+            set.join();
         });
         assert!(result.is_err(), "worker panic must not be swallowed");
     }

@@ -25,7 +25,8 @@ use nasflat_core::SessionCounters;
 use nasflat_space::Arch;
 
 use crate::bundle::ModelBundle;
-use crate::serve_batch;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
 
 /// One latency query: an architecture and the device (embedding row of the
 /// bundle's device list) to predict it on.
@@ -41,60 +42,6 @@ impl ServeQuery {
     /// A query for `arch` on device index `device`.
     pub fn new(arch: Arch, device: usize) -> Self {
         ServeQuery { arch, device }
-    }
-}
-
-/// Tuning knobs of the [`DynamicBatcher`].
-#[derive(Debug, Clone, Copy)]
-pub struct ServeConfig {
-    /// Worker threads draining the queue (clamped to at least 1).
-    pub workers: usize,
-    /// Coalescing limit: the most queries one tape pass evaluates. Values
-    /// 0/1 disable coalescing (per-query serving).
-    pub batch: usize,
-    /// Bound of the request queue; the enqueuing thread blocks when this
-    /// many requests are waiting (admission control).
-    pub queue_depth: usize,
-}
-
-impl ServeConfig {
-    /// Environment-derived defaults: workers from the calling thread's
-    /// parallelism (`NASFLAT_THREADS` / [`nasflat_parallel::with_threads`]
-    /// overrides apply), batch from `NASFLAT_SERVE_BATCH`
-    /// ([`serve_batch`]), and a queue deep enough to keep every worker's
-    /// next batch waiting.
-    pub fn from_env() -> Self {
-        let workers = nasflat_parallel::current_threads();
-        let batch = serve_batch();
-        ServeConfig {
-            workers,
-            batch,
-            queue_depth: Self::derived_depth(workers, batch),
-        }
-    }
-
-    /// The default queue bound for a worker/batch combination: deep enough
-    /// to keep every worker's *next* coalesced batch waiting.
-    fn derived_depth(workers: usize, batch: usize) -> usize {
-        (2 * workers.max(1) * batch.max(1)).max(8)
-    }
-
-    /// Same config with a different worker count. `queue_depth` is
-    /// re-derived for the new shape; set it directly (last) to pin a
-    /// custom bound.
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
-        self.queue_depth = Self::derived_depth(workers, self.batch);
-        self
-    }
-
-    /// Same config with a different coalescing limit. `queue_depth` is
-    /// re-derived for the new shape; set it directly (last) to pin a
-    /// custom bound.
-    pub fn with_batch(mut self, batch: usize) -> Self {
-        self.batch = batch;
-        self.queue_depth = Self::derived_depth(self.workers, batch);
-        self
     }
 }
 
@@ -131,10 +78,13 @@ impl<'m> DynamicBatcher<'m> {
         DynamicBatcher { bundle, cfg }
     }
 
-    /// A batcher with environment-derived tuning
-    /// ([`ServeConfig::from_env`]).
+    /// A batcher with environment-derived tuning.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use DynamicBatcher::new(bundle, ServeConfig::builder().build())"
+    )]
     pub fn from_env(bundle: &'m ModelBundle) -> Self {
-        DynamicBatcher::new(bundle, ServeConfig::from_env())
+        DynamicBatcher::new(bundle, ServeConfig::builder().build())
     }
 
     /// The bundle this batcher serves.
@@ -149,21 +99,21 @@ impl<'m> DynamicBatcher<'m> {
 
     /// Validates a query stream against the bundle (space and device
     /// range), so worker threads can assume well-formed input.
-    fn validate(&self, queries: &[ServeQuery]) -> Result<(), String> {
+    fn validate(&self, queries: &[ServeQuery]) -> Result<(), ServeError> {
         let space = self.bundle.space();
         let num_devices = self.bundle.devices().len();
         for (i, q) in queries.iter().enumerate() {
             if q.arch.space() != space {
-                return Err(format!(
+                return Err(ServeError::BadQuery(format!(
                     "query {i} is a {:?} architecture; the bundle serves {space:?}",
                     q.arch.space()
-                ));
+                )));
             }
             if q.device >= num_devices {
-                return Err(format!(
+                return Err(ServeError::BadQuery(format!(
                     "query {i} targets device {} but the bundle has {num_devices} devices",
                     q.device
-                ));
+                )));
             }
         }
         Ok(())
@@ -174,10 +124,10 @@ impl<'m> DynamicBatcher<'m> {
     /// [`ModelBundle::predict_one`] per query.
     ///
     /// # Errors
-    /// Returns a description of the first malformed query (wrong space,
-    /// device index out of range); validation happens before anything is
-    /// enqueued.
-    pub fn serve(&self, queries: &[ServeQuery]) -> Result<Vec<f32>, String> {
+    /// [`ServeError::BadQuery`] describing the first malformed query (wrong
+    /// space, device index out of range); validation happens before
+    /// anything is enqueued.
+    pub fn serve(&self, queries: &[ServeQuery]) -> Result<Vec<f32>, ServeError> {
         self.serve_with_metrics(queries).map(|(scores, _)| scores)
     }
 
@@ -188,7 +138,7 @@ impl<'m> DynamicBatcher<'m> {
     pub fn serve_with_metrics(
         &self,
         queries: &[ServeQuery],
-    ) -> Result<(Vec<f32>, ServeMetrics), String> {
+    ) -> Result<(Vec<f32>, ServeMetrics), ServeError> {
         self.validate(queries)?;
         if queries.is_empty() {
             return Ok((Vec::new(), ServeMetrics::default()));
@@ -333,18 +283,9 @@ mod tests {
     }
 
     #[test]
-    fn config_from_env_is_sane() {
-        let cfg = ServeConfig::from_env();
-        assert!(cfg.workers >= 1);
-        assert!(cfg.queue_depth >= 8);
-        let tuned = cfg.with_workers(3).with_batch(5);
-        assert_eq!((tuned.workers, tuned.batch), (3, 5));
-    }
-
-    #[test]
     fn empty_stream_serves_empty() {
         let b = bundle();
-        let batcher = DynamicBatcher::new(&b, ServeConfig::from_env());
+        let batcher = DynamicBatcher::new(&b, ServeConfig::builder().build());
         let (scores, metrics) = batcher.serve_with_metrics(&[]).unwrap();
         assert!(scores.is_empty());
         assert_eq!(metrics.queries, 0);
@@ -353,21 +294,24 @@ mod tests {
     #[test]
     fn malformed_queries_are_rejected_before_enqueue() {
         let b = bundle();
-        let batcher = DynamicBatcher::new(&b, ServeConfig::from_env());
+        let batcher = DynamicBatcher::new(&b, ServeConfig::builder().build());
         let bad_device = vec![ServeQuery::new(Arch::nb201_from_index(0), 99)];
-        assert!(batcher
-            .serve(&bad_device)
-            .unwrap_err()
-            .contains("device 99"));
+        assert!(matches!(
+            batcher.serve(&bad_device).unwrap_err(),
+            ServeError::BadQuery(d) if d.contains("device 99")
+        ));
         let bad_space = vec![ServeQuery::new(Arch::new(Space::Fbnet, vec![4; 22]), 0)];
-        assert!(batcher.serve(&bad_space).unwrap_err().contains("Fbnet"));
+        assert!(matches!(
+            batcher.serve(&bad_space).unwrap_err(),
+            ServeError::BadQuery(d) if d.contains("Fbnet")
+        ));
     }
 
     #[test]
     fn metrics_account_for_every_query() {
         let b = bundle();
         let qs = queries(64);
-        let cfg = ServeConfig::from_env().with_workers(2).with_batch(8);
+        let cfg = ServeConfig::builder().workers(2).batch(8).build();
         let batcher = DynamicBatcher::new(&b, cfg);
         let (scores, metrics) = batcher.serve_with_metrics(&qs).unwrap();
         assert_eq!(scores.len(), 64);

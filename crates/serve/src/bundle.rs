@@ -81,7 +81,14 @@ impl core::fmt::Display for BundleError {
     }
 }
 
-impl std::error::Error for BundleError {}
+impl std::error::Error for BundleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BundleError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ModelIoError> for BundleError {
     fn from(e: ModelIoError) -> Self {

@@ -1,0 +1,218 @@
+//! One configuration surface for the whole serving subsystem.
+//!
+//! Before this module existed, tuning was scattered: the batcher had its
+//! own `from_env` constructor, `NASFLAT_SERVE_BATCH` was read in `lib.rs`,
+//! and the worker count came implicitly from `nasflat_parallel`. The
+//! [`ServeConfig::builder`] consolidates all of it — batching, queue
+//! depth, worker count, the ingress bind address, admission limits, and
+//! timeouts — behind one env-seeded builder. Environment parsing stays in
+//! [`nasflat_parallel::env_usize`] so malformed values warn identically
+//! everywhere.
+
+use std::net::{Ipv4Addr, SocketAddr};
+
+use crate::serve_batch;
+
+/// Tuning knobs of the serving subsystem: the [`DynamicBatcher`], the
+/// in-process registry entry points, and the TCP [`IngressServer`].
+///
+/// Construct through [`ServeConfig::builder`] (env-seeded defaults) and
+/// override per field. The struct is `#[non_exhaustive]`: new knobs can be
+/// added without breaking downstream literals, so struct-literal
+/// construction is reserved to this crate.
+///
+/// [`DynamicBatcher`]: crate::DynamicBatcher
+/// [`IngressServer`]: crate::IngressServer
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue (clamped to at least 1).
+    pub workers: usize,
+    /// Coalescing limit: the most queries one tape pass evaluates. Values
+    /// 0/1 disable coalescing (per-query serving).
+    pub batch: usize,
+    /// Bound of the request queue — the serving subsystem's **admission
+    /// control**. In-process drains block the enqueuing thread at this
+    /// depth; the TCP ingress instead *rejects* with a retry-after hint
+    /// ([`ServeError::Busy`](crate::ServeError::Busy)), never buffering
+    /// unboundedly.
+    pub queue_depth: usize,
+    /// Ingress bind address. Port 0 picks an ephemeral port (the bound
+    /// address is reported by
+    /// [`IngressServer::local_addr`](crate::IngressServer::local_addr)).
+    pub bind: SocketAddr,
+    /// Most concurrent client connections the ingress admits; connections
+    /// beyond the limit are refused with a busy frame and closed.
+    pub max_connections: usize,
+    /// Most in-flight (enqueued, unanswered) requests one connection may
+    /// hold; a connection's reader blocks past this — per-connection
+    /// admission control, bounding a single client's queue share.
+    pub max_inflight: usize,
+    /// Retry hint attached to busy rejections, milliseconds.
+    pub retry_after_ms: u32,
+    /// Socket read poll interval, milliseconds: how quickly connection
+    /// threads observe a shutdown while idle. Also the upper bound on
+    /// shutdown latency added per idle connection.
+    pub read_timeout_ms: u64,
+}
+
+impl ServeConfig {
+    /// An env-seeded builder: workers from the calling thread's parallelism
+    /// (`NASFLAT_THREADS` / [`nasflat_parallel::with_threads`] overrides
+    /// apply), batch from `NASFLAT_SERVE_BATCH`, loopback ephemeral bind,
+    /// and a queue deep enough to keep every worker's next batch waiting.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig {
+                workers: nasflat_parallel::current_threads(),
+                batch: serve_batch(),
+                queue_depth: 0, // derived at build() unless pinned
+                bind: SocketAddr::from((Ipv4Addr::LOCALHOST, 0)),
+                max_connections: 64,
+                max_inflight: 32,
+                retry_after_ms: 10,
+                read_timeout_ms: 25,
+            },
+            queue_depth_pinned: false,
+        }
+    }
+
+    /// Environment-derived defaults — equivalent to
+    /// `ServeConfig::builder().build()`.
+    #[deprecated(since = "0.1.0", note = "use ServeConfig::builder().build()")]
+    pub fn from_env() -> Self {
+        ServeConfig::builder().build()
+    }
+
+    /// The default queue bound for a worker/batch combination: deep enough
+    /// to keep every worker's *next* coalesced batch waiting.
+    pub(crate) fn derived_depth(workers: usize, batch: usize) -> usize {
+        (2 * workers.max(1) * batch.max(1)).max(8)
+    }
+
+    /// Same config with a different worker count. `queue_depth` is
+    /// re-derived for the new shape; use the builder's
+    /// [`queue_depth`](ServeConfigBuilder::queue_depth) to pin a custom
+    /// bound.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self.queue_depth = Self::derived_depth(workers, self.batch);
+        self
+    }
+
+    /// Same config with a different coalescing limit. `queue_depth` is
+    /// re-derived for the new shape; use the builder's
+    /// [`queue_depth`](ServeConfigBuilder::queue_depth) to pin a custom
+    /// bound.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self.queue_depth = Self::derived_depth(self.workers, batch);
+        self
+    }
+}
+
+/// Builder for [`ServeConfig`] — see [`ServeConfig::builder`] for the
+/// env-seeded defaults each field starts from.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+    queue_depth_pinned: bool,
+}
+
+impl ServeConfigBuilder {
+    /// Worker threads draining the queue.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Coalescing limit per tape pass (0/1 disable coalescing).
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.cfg.batch = batch;
+        self
+    }
+
+    /// Pins the request-queue bound instead of deriving it from
+    /// workers × batch.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth.max(1);
+        self.queue_depth_pinned = true;
+        self
+    }
+
+    /// Ingress bind address (default: loopback, ephemeral port).
+    pub fn bind(mut self, addr: SocketAddr) -> Self {
+        self.cfg.bind = addr;
+        self
+    }
+
+    /// Most concurrent client connections the ingress admits.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n.max(1);
+        self
+    }
+
+    /// Most in-flight requests one connection may hold.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.cfg.max_inflight = n.max(1);
+        self
+    }
+
+    /// Retry hint attached to busy rejections, milliseconds.
+    pub fn retry_after_ms(mut self, ms: u32) -> Self {
+        self.cfg.retry_after_ms = ms;
+        self
+    }
+
+    /// Socket read poll interval, milliseconds (shutdown responsiveness).
+    pub fn read_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.read_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Finalizes the config, deriving `queue_depth` from the final
+    /// workers × batch shape unless it was pinned.
+    pub fn build(mut self) -> ServeConfig {
+        if !self.queue_depth_pinned {
+            self.cfg.queue_depth = ServeConfig::derived_depth(self.cfg.workers, self.cfg.batch);
+        }
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane_and_env_seeded() {
+        let cfg = ServeConfig::builder().build();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_depth >= 8);
+        assert!(cfg.max_connections >= 1);
+        assert!(cfg.max_inflight >= 1);
+        assert!(cfg.bind.ip().is_loopback());
+        assert_eq!(cfg.bind.port(), 0);
+        // The deprecated constructor is the builder's defaults, verbatim.
+        #[allow(deprecated)]
+        let old = ServeConfig::from_env();
+        assert_eq!(old.workers, cfg.workers);
+        assert_eq!(old.batch, cfg.batch);
+        assert_eq!(old.queue_depth, cfg.queue_depth);
+    }
+
+    #[test]
+    fn builder_overrides_and_queue_derivation() {
+        let cfg = ServeConfig::builder().workers(3).batch(5).build();
+        assert_eq!((cfg.workers, cfg.batch), (3, 5));
+        assert_eq!(cfg.queue_depth, ServeConfig::derived_depth(3, 5));
+        // Pinning wins over derivation, in any order.
+        let pinned = ServeConfig::builder().queue_depth(2).workers(8).build();
+        assert_eq!(pinned.queue_depth, 2);
+        // with_* re-derive unless re-pinned.
+        let tuned = cfg.with_workers(1).with_batch(1);
+        assert_eq!(tuned.queue_depth, 8);
+        let bound: SocketAddr = "127.0.0.1:9099".parse().unwrap();
+        assert_eq!(ServeConfig::builder().bind(bound).build().bind, bound);
+    }
+}

@@ -1,0 +1,637 @@
+//! The always-on TCP ingress: accept loop, admission control, and the
+//! cross-model coalescing scheduler.
+//!
+//! Thread topology (all long-lived threads are tracked in
+//! [`nasflat_parallel::WorkerSet`]s and joined at shutdown):
+//!
+//! ```text
+//! accept loop ──► per-connection reader ──► bounded global job queue
+//!       │                 │  ▲                        │
+//!       │                 │  └ per-conn inflight cap  ▼
+//!       │         per-connection writer ◄── scheduler workers
+//!       └ max_connections gate               (coalesce across models)
+//! ```
+//!
+//! **Backpressure, never buffering.** Overload is answered, not absorbed:
+//! a connection beyond [`ServeConfig::max_connections`] is refused with a
+//! busy frame and closed; a request arriving when the global queue is full
+//! is rejected with [`ServeError::Busy`] carrying a retry-after hint — by
+//! construction nothing in the server grows with offered load. The
+//! per-connection inflight cap ([`ServeConfig::max_inflight`]) blocks a
+//! single pipelining client *before* it can monopolize the shared queue.
+//!
+//! **Cross-model coalescing.** Scheduler workers drain the global queue
+//! exactly like the in-process [`DynamicBatcher`](crate::DynamicBatcher):
+//! block for one job, greedily grab up to [`ServeConfig::batch`] − 1 more,
+//! then evaluate the batch — grouped by model version — as mixed-device
+//! multi-query tape passes. Queries from *different connections* to the
+//! same model share a pass; the block-diagonal bit-identity contract makes
+//! the composition invisible: every reply is bitwise the sequential
+//! [`ModelBundle::predict_one`](crate::ModelBundle::predict_one) answer at
+//! any connection, worker, or batch count.
+//!
+//! **Graceful shutdown.** [`IngressServer::shutdown`] stops accepting,
+//! lets readers notice the flag at their next read-timeout tick, drains
+//! every admitted job through the workers, flushes the replies, and joins
+//! all threads. In-flight requests are answered; later ones see a shutdown
+//! error frame or EOF.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use nasflat_parallel::WorkerSet;
+use nasflat_space::Arch;
+
+use crate::bundle::ModelBundle;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::registry::SharedRegistry;
+use crate::request::{ServeRequest, ServeResponse};
+use crate::wire::{
+    write_frame, ErrorFrame, Frame, FrameReader, ResponseFrame, WireFault, WIRE_MAX_FRAME,
+};
+
+/// One admitted query on its way to a scheduler worker. The model version
+/// and bundle are pinned at admission, so a hot-swap mid-flight never
+/// mixes versions within a reply.
+struct Job {
+    id: u64,
+    model_version: u64,
+    bundle: Arc<ModelBundle>,
+    arch: Arch,
+    device: usize,
+    reply: Sender<Reply>,
+}
+
+/// What a connection's writer thread sends back. `counted` marks replies
+/// that retire an inflight slot (exactly the jobs that were admitted to
+/// the global queue).
+struct Reply {
+    id: u64,
+    result: Result<ServeResponse, ServeError>,
+    counted: bool,
+}
+
+/// Per-connection admission control: a counting semaphore over the number
+/// of admitted-but-unanswered requests. `acquire` blocks the connection's
+/// reader (backpressure through TCP flow control), re-checking the
+/// shutdown flag so a blocked reader cannot stall termination.
+struct InflightSlots {
+    cap: usize,
+    count: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl InflightSlots {
+    fn new(cap: usize) -> Self {
+        InflightSlots {
+            cap: cap.max(1),
+            count: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot is free; `false` when shutdown arrived first.
+    fn acquire(&self, shutdown: &AtomicBool) -> bool {
+        let mut count = self.count.lock().expect("inflight lock");
+        while *count >= self.cap {
+            if shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            let (guard, _) = self
+                .freed
+                .wait_timeout(count, Duration::from_millis(20))
+                .expect("inflight lock");
+            count = guard;
+        }
+        *count += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut count = self.count.lock().expect("inflight lock");
+        *count = count.saturating_sub(1);
+        drop(count);
+        self.freed.notify_one();
+    }
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    served: AtomicU64,
+    busy: AtomicU64,
+    faulted: AtomicU64,
+    groups: AtomicU64,
+    max_group: AtomicUsize,
+}
+
+/// A point-in-time snapshot of the ingress counters
+/// ([`IngressServer::metrics`]).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressMetrics {
+    /// Connections admitted by the accept loop.
+    pub connections_accepted: u64,
+    /// Connections refused at the [`ServeConfig::max_connections`] gate.
+    pub connections_refused: u64,
+    /// Queries answered with a score.
+    pub queries_served: u64,
+    /// Requests rejected with [`ServeError::Busy`] (global queue full).
+    pub busy_rejections: u64,
+    /// Requests that failed validation or framing (bad query, unknown
+    /// model, malformed frame).
+    pub faults: u64,
+    /// Coalesced groups evaluated by the scheduler workers.
+    pub groups: u64,
+    /// Largest coalesced group.
+    pub max_group: usize,
+}
+
+/// State shared by every ingress thread.
+struct Ingress {
+    registry: SharedRegistry,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    live_conns: AtomicUsize,
+    metrics: MetricsInner,
+}
+
+/// Decrements the live-connection gauge when the *last* per-connection
+/// thread (reader or writer, whichever outlives the other) finishes.
+struct ConnToken(Arc<Ingress>);
+
+impl Drop for ConnToken {
+    fn drop(&mut self) {
+        self.0.live_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The always-on TCP serving front door (the `ingress` module source
+/// documents the thread topology and the backpressure contract).
+///
+/// Dropping the server performs the same graceful shutdown as
+/// [`IngressServer::shutdown`].
+pub struct IngressServer {
+    local_addr: SocketAddr,
+    shared: Arc<Ingress>,
+    accept: Option<WorkerSet>,
+    conns: Option<Arc<WorkerSet>>,
+    workers: Option<WorkerSet>,
+    job_tx: Option<SyncSender<Job>>,
+}
+
+impl core::fmt::Debug for IngressServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("IngressServer")
+            .field("local_addr", &self.local_addr)
+            .field("metrics", &self.metrics())
+            .finish()
+    }
+}
+
+impl IngressServer {
+    /// Binds the listener at [`ServeConfig::bind`] (port 0 = ephemeral)
+    /// and starts the accept loop plus [`ServeConfig::workers`] scheduler
+    /// workers over `registry`. The registry stays shared: operators
+    /// hot-swap models through their own handle while the server runs.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when binding the listener or spawning a thread
+    /// fails.
+    pub fn bind(registry: SharedRegistry, cfg: &ServeConfig) -> Result<IngressServer, ServeError> {
+        let listener = TcpListener::bind(cfg.bind)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Ingress {
+            registry,
+            cfg: *cfg,
+            shutdown: AtomicBool::new(false),
+            live_conns: AtomicUsize::new(0),
+            metrics: MetricsInner::default(),
+        });
+        let (job_tx, job_rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = WorkerSet::new("nasflat-ingress-worker");
+        for _ in 0..cfg.workers.max(1) {
+            let rx = job_rx.clone();
+            let shared = shared.clone();
+            workers.spawn(move || scheduler_loop(&rx, &shared))?;
+        }
+        let conns = Arc::new(WorkerSet::new("nasflat-ingress-conn"));
+        let accept = WorkerSet::new("nasflat-ingress-accept");
+        {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            let tx = job_tx.clone();
+            accept.spawn(move || accept_loop(listener, &shared, &conns, &tx))?;
+        }
+        Ok(IngressServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            conns: Some(conns),
+            workers: Some(workers),
+            job_tx: Some(job_tx),
+        })
+    }
+
+    /// The bound address — the one clients connect to, with the real port
+    /// when the config asked for an ephemeral one.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the ingress counters.
+    pub fn metrics(&self) -> IngressMetrics {
+        let m = &self.shared.metrics;
+        IngressMetrics {
+            connections_accepted: m.accepted.load(Ordering::Relaxed),
+            connections_refused: m.refused.load(Ordering::Relaxed),
+            queries_served: m.served.load(Ordering::Relaxed),
+            busy_rejections: m.busy.load(Ordering::Relaxed),
+            faults: m.faulted.load(Ordering::Relaxed),
+            groups: m.groups.load(Ordering::Relaxed),
+            max_group: m.max_group.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, answer everything already
+    /// admitted, flush replies, join every thread. Returns the final
+    /// counter snapshot.
+    pub fn shutdown(mut self) -> IngressMetrics {
+        self.shutdown_inner();
+        self.metrics()
+    }
+
+    fn shutdown_inner(&mut self) {
+        if !self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            // Wake the accept loop out of its blocking accept().
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        if let Some(accept) = self.accept.take() {
+            accept.join();
+        }
+        // Readers exit at their next read-timeout tick; dropping the
+        // server's queue handle lets workers observe end-of-stream once
+        // every reader's clone is gone and the queue is drained.
+        drop(self.job_tx.take());
+        if let Some(conns) = self.conns.take() {
+            // The accept thread held the only other handle and has joined,
+            // so unwrapping cannot fail; the fallback spin is pure caution.
+            match Arc::try_unwrap(conns) {
+                Ok(set) => set.join(),
+                Err(arc) => {
+                    while arc.active() > 0 {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+        if let Some(workers) = self.workers.take() {
+            workers.join();
+        }
+    }
+}
+
+impl Drop for IngressServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: &Arc<Ingress>,
+    conns: &Arc<WorkerSet>,
+    job_tx: &SyncSender<Job>,
+) {
+    loop {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            // The shutdown wake-up (or an unlucky late client).
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error(ErrorFrame::from_error(0, &ServeError::Shutdown)),
+            );
+            break;
+        }
+        if shared.live_conns.load(Ordering::Acquire) >= shared.cfg.max_connections {
+            shared.metrics.refused.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut stream,
+                &Frame::Error(ErrorFrame::from_error(
+                    0,
+                    &ServeError::Busy {
+                        retry_after_ms: shared.cfg.retry_after_ms,
+                    },
+                )),
+            );
+            continue; // dropping the stream closes it
+        }
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.live_conns.fetch_add(1, Ordering::AcqRel);
+        spawn_connection(conns, stream, shared, job_tx);
+    }
+}
+
+fn spawn_connection(
+    conns: &Arc<WorkerSet>,
+    stream: TcpStream,
+    shared: &Arc<Ingress>,
+    job_tx: &SyncSender<Job>,
+) {
+    // The token is shared by both per-connection threads; the gauge drops
+    // when the last of them finishes (or a spawn fails below).
+    let token = Arc::new(ConnToken(shared.clone()));
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.cfg.read_timeout_ms.max(1),
+    )));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let slots = Arc::new(InflightSlots::new(shared.cfg.max_inflight));
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
+    {
+        let slots = slots.clone();
+        let token = token.clone();
+        if conns
+            .spawn(move || {
+                writer_loop(writer_stream, reply_rx, &slots);
+                drop(token);
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+    let shared = shared.clone();
+    let job_tx = job_tx.clone();
+    // If this spawn fails, the closure is dropped unrun: reply_tx goes with
+    // it, the writer sees the disconnect and exits, the token follows.
+    let _ = conns.spawn(move || {
+        reader_loop(stream, &reply_tx, &job_tx, &shared, &slots);
+        drop(token);
+    });
+}
+
+/// Per-connection read half: frame, validate, resolve, admit.
+fn reader_loop(
+    mut stream: TcpStream,
+    reply_tx: &Sender<Reply>,
+    job_tx: &SyncSender<Job>,
+    shared: &Arc<Ingress>,
+    slots: &Arc<InflightSlots>,
+) {
+    let fail = |id: u64, result: Result<ServeResponse, ServeError>| Reply {
+        id,
+        result,
+        counted: false,
+    };
+    let mut framer = FrameReader::new();
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = reply_tx.send(fail(0, Err(ServeError::Shutdown)));
+            break;
+        }
+        let frame = match framer.poll(&mut stream, WIRE_MAX_FRAME) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => continue, // read-timeout tick: re-check shutdown
+            Err(WireFault::Closed) => break,
+            Err(fault @ (WireFault::Oversized { .. } | WireFault::Malformed(_))) => {
+                // Protocol violation: tell the client why, then hang up —
+                // the stream can no longer be trusted to be in sync.
+                shared.metrics.faulted.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(fail(0, Err(ServeError::Wire(fault))));
+                break;
+            }
+            Err(_) => break, // transport error: nothing useful to say
+        };
+        let request = match frame {
+            Frame::Request(rf) => rf,
+            _ => {
+                shared.metrics.faulted.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(fail(
+                    0,
+                    Err(ServeError::Wire(WireFault::Malformed(
+                        "client sent a non-request frame".into(),
+                    ))),
+                ));
+                break;
+            }
+        };
+        let raw_id = request.id;
+        let (id, req) = match request.into_request() {
+            Ok(pair) => pair,
+            Err(e) => {
+                shared.metrics.faulted.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(fail(raw_id, Err(e)));
+                continue;
+            }
+        };
+        // Resolve + validate at admission time under a read lock, pinning
+        // the model version this request will be answered by.
+        let resolved = {
+            let registry = shared.registry.read().expect("registry lock");
+            registry.lookup(&req.model).and_then(|(version, bundle)| {
+                validate(&bundle, &req)?;
+                Ok((version, bundle))
+            })
+        };
+        let (model_version, bundle) = match resolved {
+            Ok(pair) => pair,
+            Err(e) => {
+                shared.metrics.faulted.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(fail(id, Err(e)));
+                continue;
+            }
+        };
+        if !slots.acquire(&shared.shutdown) {
+            let _ = reply_tx.send(fail(id, Err(ServeError::Shutdown)));
+            break;
+        }
+        let job = Job {
+            id,
+            model_version,
+            bundle,
+            arch: req.arch,
+            device: req.device,
+            reply: reply_tx.clone(),
+        };
+        match job_tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // The queue is the backpressure boundary: reject now with a
+                // retry hint instead of buffering anywhere.
+                slots.release();
+                shared.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                let _ = reply_tx.send(fail(
+                    id,
+                    Err(ServeError::Busy {
+                        retry_after_ms: shared.cfg.retry_after_ms,
+                    }),
+                ));
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                slots.release();
+                let _ = reply_tx.send(fail(id, Err(ServeError::Shutdown)));
+                break;
+            }
+        }
+    }
+}
+
+fn validate(bundle: &ModelBundle, req: &ServeRequest) -> Result<(), ServeError> {
+    if req.arch.space() != bundle.space() {
+        return Err(ServeError::BadQuery(format!(
+            "{:?} architecture on a {:?} model",
+            req.arch.space(),
+            bundle.space()
+        )));
+    }
+    if req.device >= bundle.devices().len() {
+        return Err(ServeError::BadQuery(format!(
+            "device index {} out of range ({} devices)",
+            req.device,
+            bundle.devices().len()
+        )));
+    }
+    Ok(())
+}
+
+/// Per-connection write half: the only thread that touches the socket's
+/// write side, so frames never interleave. Keeps draining after a write
+/// failure (client gone) so every admitted job still retires its slot.
+fn writer_loop(mut stream: TcpStream, reply_rx: Receiver<Reply>, slots: &InflightSlots) {
+    let mut sock_alive = true;
+    while let Ok(reply) = reply_rx.recv() {
+        if sock_alive {
+            let frame = match &reply.result {
+                Ok(resp) => Frame::Response(ResponseFrame {
+                    id: reply.id,
+                    model_version: resp.model_version,
+                    score: resp.score,
+                }),
+                Err(e) => Frame::Error(ErrorFrame::from_error(reply.id, e)),
+            };
+            if write_frame(&mut stream, &frame).is_err() {
+                sock_alive = false;
+            }
+        }
+        if reply.counted {
+            slots.release();
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Scheduler worker: block for one job, greedily coalesce up to the batch
+/// limit, then evaluate per model version as mixed-device multi-query tape
+/// passes. Queries from different connections share passes here.
+fn scheduler_loop(job_rx: &Mutex<Receiver<Job>>, shared: &Ingress) {
+    let coalesce = shared.cfg.batch.max(1);
+    loop {
+        let mut group: Vec<Job> = Vec::with_capacity(coalesce);
+        {
+            let rx = job_rx.lock().expect("job queue lock");
+            match rx.recv() {
+                Ok(job) => group.push(job),
+                Err(_) => break, // all producers gone, queue drained
+            }
+            while group.len() < coalesce {
+                match rx.try_recv() {
+                    Ok(job) => group.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+        // Evaluate per model version, preserving arrival order within each
+        // sub-group (stable grouping keeps the tape layout deterministic
+        // given the same coalesced set).
+        let mut done = vec![false; group.len()];
+        for start in 0..group.len() {
+            if done[start] {
+                continue;
+            }
+            let version = group[start].model_version;
+            let members: Vec<usize> = (start..group.len())
+                .filter(|&i| !done[i] && group[i].model_version == version)
+                .collect();
+            for &i in &members {
+                done[i] = true;
+            }
+            let bundle = group[members[0]].bundle.clone();
+            let archs: Vec<&Arch> = members.iter().map(|&i| &group[i].arch).collect();
+            let devices: Vec<usize> = members.iter().map(|&i| group[i].device).collect();
+            let mut sessions = bundle.open_sessions();
+            let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
+            shared.metrics.groups.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .max_group
+                .fetch_max(members.len(), Ordering::Relaxed);
+            shared
+                .metrics
+                .served
+                .fetch_add(members.len() as u64, Ordering::Relaxed);
+            for (&i, score) in members.iter().zip(scores) {
+                let job = &group[i];
+                // A send error means the connection's writer is gone (the
+                // client hung up); the answer is simply dropped.
+                let _ = job.reply.send(Reply {
+                    id: job.id,
+                    result: Ok(ServeResponse::new(score, job.model_version)),
+                    counted: true,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_slots_block_at_capacity_and_release() {
+        let slots = Arc::new(InflightSlots::new(2));
+        let shutdown = AtomicBool::new(false);
+        assert!(slots.acquire(&shutdown));
+        assert!(slots.acquire(&shutdown));
+        // Third acquire blocks until another thread releases.
+        let blocked = {
+            let slots = slots.clone();
+            std::thread::spawn(move || {
+                let shutdown = AtomicBool::new(false);
+                slots.acquire(&shutdown)
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished(), "acquire should block at capacity");
+        slots.release();
+        assert!(blocked.join().unwrap());
+    }
+
+    #[test]
+    fn inflight_acquire_aborts_on_shutdown() {
+        let slots = InflightSlots::new(1);
+        let shutdown = AtomicBool::new(false);
+        assert!(slots.acquire(&shutdown));
+        shutdown.store(true, Ordering::Release);
+        // Full + shutdown: acquire must give up rather than block forever.
+        assert!(!slots.acquire(&shutdown));
+    }
+}

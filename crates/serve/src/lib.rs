@@ -2,7 +2,7 @@
 //!
 //! The crates below this one answer "how do I *train* a latency predictor";
 //! this crate answers "how do I *run* one under traffic". It is the
-//! workspace's serving layer, built from three pieces:
+//! workspace's serving layer:
 //!
 //! - [`ModelBundle`]: versioned binary **persistence** for one-or-more
 //!   trained predictors (an ensemble ships as one file) plus the snapshot of
@@ -17,24 +17,36 @@
 //!   [`serve_batch`] waiting queries — *for any mix of devices* — into one
 //!   multi-query block-diagonal tape pass
 //!   ([`BatchSession::predict_batched_tape_devices`]).
+//! - [`IngressServer`]: the **always-on TCP front door** — an accept loop
+//!   speaking a small length-prefixed protocol ([`wire`]), per-connection
+//!   admission control, a bounded global queue that answers overload with
+//!   `busy, retry after` instead of buffering ([`ServeError::Busy`]), and a
+//!   scheduler that coalesces queries *across connections and models* into
+//!   shared tape passes. [`IngressClient`] is the matching blocking client.
+//!
+//! One request/response pair spans all of it: in-process callers hand
+//! [`ServeRequest`]s to [`PredictorRegistry::serve_one`] /
+//! [`PredictorRegistry::serve_requests`]; remote callers send the same
+//! shape through [`IngressClient`]; every failure is a [`ServeError`].
 //!
 //! # Determinism contract
 //!
 //! Dynamic batching is timing-dependent: which queries share a pass depends
-//! on what happens to be queued. That nondeterminism is **bit-invisible**:
-//! every row of a mixed-device multi-query pass equals the per-query
-//! forward on that (arch, device) pair alone, so the drained results are
-//! bitwise those of a sequential [`LatencyPredictor::predict`] loop at any
-//! worker count, any batch size, and any arrival order. The serving test
-//! suite pins a 256-query mixed-device stream at 1/2/8 workers against the
-//! sequential reference, and the `serve_throughput` bench entry gates the
-//! batching speedup with the same bitwise comparison.
+//! on what happens to be queued — and behind the ingress, on how
+//! connections interleave. That nondeterminism is **bit-invisible**: every
+//! row of a mixed-device multi-query pass equals the per-query forward on
+//! that (arch, device) pair alone, so results are bitwise those of a
+//! sequential [`LatencyPredictor::predict`] loop at any worker count, batch
+//! size, connection count, and arrival order. The serving and ingress test
+//! suites pin mixed-model, mixed-device streams against the sequential
+//! reference, and the `serve_throughput` / `serve_ingress` bench entries
+//! gate their speedups with the same bitwise comparison.
 //!
 //! # Example
 //!
 //! ```no_run
 //! use nasflat_core::{LatencyPredictor, PredictorConfig};
-//! use nasflat_serve::{ModelBundle, PredictorRegistry, ServeConfig, ServeQuery};
+//! use nasflat_serve::{ModelBundle, PredictorRegistry, ServeConfig, ServeRequest};
 //! use nasflat_space::{Arch, Space};
 //!
 //! let predictor = LatencyPredictor::new(
@@ -48,26 +60,45 @@
 //!
 //! let mut registry = PredictorRegistry::new(1024);
 //! registry.load_file("nd", "nd.nfb1").unwrap();
-//! let queries: Vec<ServeQuery> = (0..256)
-//!     .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 37), (i % 2) as usize))
+//! let requests: Vec<ServeRequest> = (0..256)
+//!     .map(|i| ServeRequest::new("nd", Arch::nb201_from_index(i * 37), (i % 2) as usize))
 //!     .collect();
-//! let scores = registry.serve("nd", &queries, &ServeConfig::from_env()).unwrap();
-//! assert_eq!(scores.len(), 256);
+//! let cfg = ServeConfig::builder().build();
+//! let responses = registry.serve_requests(&requests, &cfg).unwrap();
+//! assert_eq!(responses.len(), 256);
+//!
+//! // The same registry can front a TCP service (see `IngressServer::bind`).
+//! use nasflat_serve::{IngressClient, IngressServer};
+//! let server = IngressServer::bind(registry.into_shared(), &cfg).unwrap();
+//! let mut client = IngressClient::connect(server.local_addr()).unwrap();
+//! let answer = client.predict(&requests[0]).unwrap();
+//! assert_eq!(answer.score.to_bits(), responses[0].score.to_bits());
+//! server.shutdown();
 //! ```
 //!
 //! [`BatchSession::predict_batched_tape_devices`]:
 //! nasflat_core::BatchSession::predict_batched_tape_devices
 //! [`LatencyPredictor::predict`]: nasflat_core::LatencyPredictor::predict
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batcher;
 mod bundle;
+mod config;
+mod error;
+mod ingress;
 mod registry;
+mod request;
+pub mod wire;
 
-pub use batcher::{DynamicBatcher, ServeConfig, ServeMetrics, ServeQuery};
+pub use batcher::{DynamicBatcher, ServeMetrics, ServeQuery};
 pub use bundle::{BundleError, ModelBundle};
-pub use registry::{CacheStats, PredictorRegistry, ServeError};
+pub use config::{ServeConfig, ServeConfigBuilder};
+pub use error::ServeError;
+pub use ingress::{IngressMetrics, IngressServer};
+pub use registry::{CacheStats, PredictorRegistry, SharedRegistry};
+pub use request::{ServeRequest, ServeResponse};
+pub use wire::{IngressClient, WireFault};
 
 /// Default coalescing limit of the dynamic batcher: how many waiting
 /// queries one worker folds into a single multi-query tape pass.

@@ -17,51 +17,19 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use nasflat_space::{Arch, Space};
 
-use crate::batcher::{DynamicBatcher, ServeConfig, ServeMetrics, ServeQuery};
-use crate::bundle::{BundleError, ModelBundle};
+use crate::batcher::{DynamicBatcher, ServeMetrics, ServeQuery};
+use crate::bundle::ModelBundle;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::request::{ServeRequest, ServeResponse};
 
-/// Why a registry operation failed.
-#[derive(Debug)]
-pub enum ServeError {
-    /// No model is registered under the requested name.
-    UnknownModel(String),
-    /// A query was malformed for the model it targets (wrong space,
-    /// out-of-range device).
-    BadQuery(String),
-    /// Reading a bundle from disk or bytes failed.
-    Bundle(BundleError),
-    /// Filesystem failure while loading a bundle file.
-    Io(std::io::Error),
-}
-
-impl core::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            ServeError::UnknownModel(name) => write!(f, "no model registered as '{name}'"),
-            ServeError::BadQuery(detail) => write!(f, "bad query: {detail}"),
-            ServeError::Bundle(e) => write!(f, "bundle rejected: {e}"),
-            ServeError::Io(e) => write!(f, "bundle file unreadable: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-impl From<BundleError> for ServeError {
-    fn from(e: BundleError) -> Self {
-        ServeError::Bundle(e)
-    }
-}
-
-impl From<std::io::Error> for ServeError {
-    fn from(e: std::io::Error) -> Self {
-        ServeError::Io(e)
-    }
-}
+/// A registry behind the reader/writer lock the TCP ingress shares with
+/// operators: request paths take read locks, hot-swaps take the write lock.
+pub type SharedRegistry = Arc<RwLock<PredictorRegistry>>;
 
 /// Exact cache key: which model version, which architecture, which device.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -245,77 +213,173 @@ impl PredictorRegistry {
         }
     }
 
-    fn lookup(&self, name: &str) -> Result<(u64, Arc<ModelBundle>), ServeError> {
+    /// Resolves `name` to its (version id, bundle) pair — the hook the TCP
+    /// ingress uses to pin a model version at admission time.
+    pub(crate) fn lookup(&self, name: &str) -> Result<(u64, Arc<ModelBundle>), ServeError> {
         self.models
             .get(name)
             .map(|(id, b)| (*id, b.clone()))
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
     }
 
-    /// Predicts one (architecture, device) query on a named model, answered
-    /// from the LRU result cache when the exact query was served before
-    /// (bit-identical either way).
+    /// Wraps the registry for concurrent serving ([`SharedRegistry`]):
+    /// request paths (the ingress, in-process readers) take read locks
+    /// while operators hot-swap models under the write lock.
+    pub fn into_shared(self) -> SharedRegistry {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// Answers one [`ServeRequest`], from the LRU result cache when the
+    /// exact query was served before (bit-identical either way).
     ///
     /// # Errors
     /// Unknown model name, or a query malformed for that model.
-    pub fn predict(&self, name: &str, arch: &Arch, device: usize) -> Result<f32, ServeError> {
-        let (model_id, bundle) = self.lookup(name)?;
-        if arch.space() != bundle.space() {
+    pub fn serve_one(&self, req: &ServeRequest) -> Result<ServeResponse, ServeError> {
+        let (model_id, bundle) = self.lookup(&req.model)?;
+        if req.arch.space() != bundle.space() {
             return Err(ServeError::BadQuery(format!(
                 "{:?} architecture on a {:?} model",
-                arch.space(),
+                req.arch.space(),
                 bundle.space()
             )));
         }
-        if device >= bundle.devices().len() {
+        if req.device >= bundle.devices().len() {
             return Err(ServeError::BadQuery(format!(
-                "device index {device} out of range ({} devices)",
+                "device index {} out of range ({} devices)",
+                req.device,
                 bundle.devices().len()
             )));
         }
         let key = CacheKey {
             model_id,
-            space: arch.space(),
-            genotype: arch.genotype().into(),
-            device: device as u32,
+            space: req.arch.space(),
+            genotype: req.arch.genotype().into(),
+            device: req.device as u32,
         };
         if self.cache_capacity > 0 {
             if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit);
+                return Ok(ServeResponse::new(hit, model_id));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let value = bundle.predict_one(arch, device);
+        let value = bundle.predict_one(&req.arch, req.device);
         self.cache
             .lock()
             .expect("cache lock")
             .insert(key, value, self.cache_capacity);
-        Ok(value)
+        Ok(ServeResponse::new(value, model_id))
     }
 
-    /// Serves a query stream on a named model through a
-    /// [`DynamicBatcher`], returning scores in input order. Streams bypass
-    /// the result cache — coalesced tape passes are already the batch-rate
-    /// path, and flooding the LRU with a one-off sweep would evict the hot
-    /// NAS working set.
+    /// Serves a request stream spanning **any mix of models**, returning
+    /// responses in input order, each bitwise identical to a sequential
+    /// [`ModelBundle::predict_one`] on its model. Requests are grouped by
+    /// model (first-appearance order) and each group drains through a
+    /// [`DynamicBatcher`], so same-model requests coalesce into shared
+    /// multi-query tape passes. Streams bypass the result cache —
+    /// coalesced tape passes are already the batch-rate path, and flooding
+    /// the LRU with a one-off sweep would evict the hot NAS working set.
+    ///
+    /// # Errors
+    /// Unknown model name, or the batcher's query validation failure;
+    /// validation of the whole stream happens before anything runs.
+    pub fn serve_requests(
+        &self,
+        reqs: &[ServeRequest],
+        cfg: &ServeConfig,
+    ) -> Result<Vec<ServeResponse>, ServeError> {
+        self.serve_requests_with_metrics(reqs, cfg)
+            .map(|(responses, _)| responses)
+    }
+
+    /// [`PredictorRegistry::serve_requests`] plus the drains'
+    /// [`ServeMetrics`], summed over model groups.
+    ///
+    /// # Errors
+    /// Same conditions as [`PredictorRegistry::serve_requests`].
+    pub fn serve_requests_with_metrics(
+        &self,
+        reqs: &[ServeRequest],
+        cfg: &ServeConfig,
+    ) -> Result<(Vec<ServeResponse>, ServeMetrics), ServeError> {
+        // Group indices by model, preserving first-appearance order.
+        let mut order: Vec<&str> = Vec::new();
+        let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, r) in reqs.iter().enumerate() {
+            groups
+                .entry(r.model.as_str())
+                .or_insert_with(|| {
+                    order.push(r.model.as_str());
+                    Vec::new()
+                })
+                .push(i);
+        }
+        // Resolve every model up front so a late unknown name cannot leave
+        // half the stream evaluated.
+        let resolved: Vec<(u64, Arc<ModelBundle>)> = order
+            .iter()
+            .map(|name| self.lookup(name))
+            .collect::<Result<_, _>>()?;
+        let mut responses: Vec<Option<ServeResponse>> = vec![None; reqs.len()];
+        let mut metrics = ServeMetrics::default();
+        for (name, (model_id, bundle)) in order.iter().zip(resolved) {
+            let indices = &groups[name];
+            let queries: Vec<ServeQuery> = indices
+                .iter()
+                .map(|&i| ServeQuery::new(reqs[i].arch.clone(), reqs[i].device))
+                .collect();
+            let (scores, m) = DynamicBatcher::new(&bundle, *cfg).serve_with_metrics(&queries)?;
+            metrics.queries += m.queries;
+            metrics.groups += m.groups;
+            metrics.max_group = metrics.max_group.max(m.max_group);
+            metrics.sessions = metrics.sessions.merge(m.sessions);
+            for (&i, s) in indices.iter().zip(scores) {
+                responses[i] = Some(ServeResponse::new(s, model_id));
+            }
+        }
+        Ok((
+            responses
+                .into_iter()
+                .map(|r| r.expect("every request answered"))
+                .collect(),
+            metrics,
+        ))
+    }
+
+    /// Predicts one (architecture, device) query on a named model.
+    ///
+    /// # Errors
+    /// Unknown model name, or a query malformed for that model.
+    #[deprecated(since = "0.1.0", note = "use PredictorRegistry::serve_one")]
+    pub fn predict(&self, name: &str, arch: &Arch, device: usize) -> Result<f32, ServeError> {
+        self.serve_one(&ServeRequest::new(name, arch.clone(), device))
+            .map(|r| r.score)
+    }
+
+    /// Serves a query stream on a named model through a [`DynamicBatcher`].
     ///
     /// # Errors
     /// Unknown model name, or the batcher's query validation failure.
+    #[deprecated(since = "0.1.0", note = "use PredictorRegistry::serve_requests")]
     pub fn serve(
         &self,
         name: &str,
         queries: &[ServeQuery],
         cfg: &ServeConfig,
     ) -> Result<Vec<f32>, ServeError> {
-        self.serve_with_metrics(name, queries, cfg)
-            .map(|(scores, _)| scores)
+        let (_, bundle) = self.lookup(name)?;
+        DynamicBatcher::new(&bundle, *cfg).serve(queries)
     }
 
-    /// [`PredictorRegistry::serve`] plus the drain's metrics.
+    /// Serves a query stream on a named model, returning the drain's
+    /// metrics alongside the scores.
     ///
     /// # Errors
-    /// Same conditions as [`PredictorRegistry::serve`].
+    /// Unknown model name, or the batcher's query validation failure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use PredictorRegistry::serve_requests_with_metrics"
+    )]
     pub fn serve_with_metrics(
         &self,
         name: &str,
@@ -323,9 +387,7 @@ impl PredictorRegistry {
         cfg: &ServeConfig,
     ) -> Result<(Vec<f32>, ServeMetrics), ServeError> {
         let (_, bundle) = self.lookup(name)?;
-        DynamicBatcher::new(&bundle, *cfg)
-            .serve_with_metrics(queries)
-            .map_err(ServeError::BadQuery)
+        DynamicBatcher::new(&bundle, *cfg).serve_with_metrics(queries)
     }
 }
 
@@ -343,6 +405,17 @@ impl core::fmt::Debug for PredictorRegistry {
 mod tests {
     use super::*;
     use nasflat_core::{LatencyPredictor, PredictorConfig};
+
+    /// Point query through the unified entry point, scores only.
+    fn predict(
+        reg: &PredictorRegistry,
+        name: &str,
+        arch: &Arch,
+        device: usize,
+    ) -> Result<f32, ServeError> {
+        reg.serve_one(&ServeRequest::new(name, arch.clone(), device))
+            .map(|r| r.score)
+    }
 
     fn bundle(seed: u64) -> ModelBundle {
         let mut cfg = PredictorConfig::quick().with_seed(seed);
@@ -371,15 +444,15 @@ mod tests {
         assert_eq!(reg.names(), vec!["m".to_string()]);
         assert!(reg.get("m").is_some());
         assert!(matches!(
-            reg.predict("nope", &Arch::nb201_from_index(0), 0),
+            predict(&reg, "nope", &Arch::nb201_from_index(0), 0),
             Err(ServeError::UnknownModel(_))
         ));
         assert!(matches!(
-            reg.predict("m", &Arch::nb201_from_index(0), 9),
+            predict(&reg, "m", &Arch::nb201_from_index(0), 9),
             Err(ServeError::BadQuery(_))
         ));
         assert!(matches!(
-            reg.predict("m", &Arch::new(Space::Fbnet, vec![4; 22]), 0),
+            predict(&reg, "m", &Arch::new(Space::Fbnet, vec![4; 22]), 0),
             Err(ServeError::BadQuery(_))
         ));
         assert!(reg.remove("m"));
@@ -391,13 +464,13 @@ mod tests {
         let mut reg = PredictorRegistry::new(16);
         reg.insert("m", bundle(1));
         let arch = Arch::nb201_from_index(321);
-        let cold = reg.predict("m", &arch, 0).unwrap();
-        let warm = reg.predict("m", &arch, 0).unwrap();
+        let cold = predict(&reg, "m", &arch, 0).unwrap();
+        let warm = predict(&reg, "m", &arch, 0).unwrap();
         assert_eq!(cold.to_bits(), warm.to_bits());
         let stats = reg.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         // A different device is a different key.
-        let _ = reg.predict("m", &arch, 1).unwrap();
+        let _ = predict(&reg, "m", &arch, 1).unwrap();
         assert_eq!(reg.cache_stats().misses, 2);
     }
 
@@ -408,17 +481,17 @@ mod tests {
         let a0 = Arch::nb201_from_index(10);
         let a1 = Arch::nb201_from_index(11);
         let a2 = Arch::nb201_from_index(12);
-        let _ = reg.predict("m", &a0, 0).unwrap();
-        let _ = reg.predict("m", &a1, 0).unwrap();
+        let _ = predict(&reg, "m", &a0, 0).unwrap();
+        let _ = predict(&reg, "m", &a1, 0).unwrap();
         // Touch a0 so a1 is the LRU entry, then insert a third.
-        let _ = reg.predict("m", &a0, 0).unwrap();
-        let _ = reg.predict("m", &a2, 0).unwrap();
+        let _ = predict(&reg, "m", &a0, 0).unwrap();
+        let _ = predict(&reg, "m", &a2, 0).unwrap();
         assert_eq!(reg.cache_stats().entries, 2);
         // a0 survived (hit), a1 was evicted (miss).
         let misses_before = reg.cache_stats().misses;
-        let _ = reg.predict("m", &a0, 0).unwrap();
+        let _ = predict(&reg, "m", &a0, 0).unwrap();
         assert_eq!(reg.cache_stats().misses, misses_before);
-        let _ = reg.predict("m", &a1, 0).unwrap();
+        let _ = predict(&reg, "m", &a1, 0).unwrap();
         assert_eq!(reg.cache_stats().misses, misses_before + 1);
     }
 
@@ -427,13 +500,13 @@ mod tests {
         let mut reg = PredictorRegistry::new(16);
         reg.insert("m", bundle(3));
         let arch = Arch::nb201_from_index(500);
-        let old = reg.predict("m", &arch, 0).unwrap();
-        let _ = reg.predict("m", &arch, 1).unwrap();
+        let old = predict(&reg, "m", &arch, 0).unwrap();
+        let _ = predict(&reg, "m", &arch, 1).unwrap();
         assert_eq!(reg.cache_stats().entries, 2);
         reg.insert("m", bundle(4)); // new version under the same name
                                     // The old version's entries are evicted, not just orphaned.
         assert_eq!(reg.cache_stats().entries, 0);
-        let new = reg.predict("m", &arch, 0).unwrap();
+        let new = predict(&reg, "m", &arch, 0).unwrap();
         assert_ne!(old.to_bits(), new.to_bits(), "stale cache served");
         // And the new result was a miss, not a hit on the old entry.
         assert_eq!(reg.cache_stats().hits, 0);
@@ -446,14 +519,14 @@ mod tests {
         reg.insert("keep", bundle(7));
         reg.insert("drop", bundle(8));
         let arch = Arch::nb201_from_index(77);
-        let _ = reg.predict("keep", &arch, 0).unwrap();
-        let _ = reg.predict("drop", &arch, 0).unwrap();
+        let _ = predict(&reg, "keep", &arch, 0).unwrap();
+        let _ = predict(&reg, "drop", &arch, 0).unwrap();
         assert_eq!(reg.cache_stats().entries, 2);
         assert!(reg.remove("drop"));
         // Only the removed model's entry goes; the survivor still hits.
         assert_eq!(reg.cache_stats().entries, 1);
         let hits_before = reg.cache_stats().hits;
-        let _ = reg.predict("keep", &arch, 0).unwrap();
+        let _ = predict(&reg, "keep", &arch, 0).unwrap();
         assert_eq!(reg.cache_stats().hits, hits_before + 1);
     }
 
@@ -462,29 +535,71 @@ mod tests {
         let mut reg = PredictorRegistry::new(0);
         reg.insert("m", bundle(5));
         let arch = Arch::nb201_from_index(42);
-        let _ = reg.predict("m", &arch, 0).unwrap();
-        let _ = reg.predict("m", &arch, 0).unwrap();
+        let _ = predict(&reg, "m", &arch, 0).unwrap();
+        let _ = predict(&reg, "m", &arch, 0).unwrap();
         let stats = reg.cache_stats();
         assert_eq!((stats.hits, stats.entries), (0, 0));
         assert_eq!(stats.misses, 2);
     }
 
     #[test]
-    fn registry_serve_routes_through_the_batcher() {
+    fn serve_requests_spans_models_and_stays_bitwise_sequential() {
         let mut reg = PredictorRegistry::new(16);
-        reg.insert("m", bundle(6));
-        let qs: Vec<ServeQuery> = (0..20)
-            .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 9), (i % 2) as usize))
+        reg.insert("alpha", bundle(6));
+        reg.insert("beta", bundle(9));
+        // Interleave two models so grouping + input-order scatter are
+        // genuinely exercised.
+        let reqs: Vec<ServeRequest> = (0..20)
+            .map(|i| {
+                let name = if i % 3 == 0 { "beta" } else { "alpha" };
+                ServeRequest::new(name, Arch::nb201_from_index(i * 9), (i % 2) as usize)
+            })
             .collect();
-        let cfg = ServeConfig::from_env().with_workers(2).with_batch(4);
-        let scores = reg.serve("m", &qs, &cfg).unwrap();
-        let bundle = reg.get("m").unwrap();
-        for (q, s) in qs.iter().zip(&scores) {
-            assert_eq!(s.to_bits(), bundle.predict_one(&q.arch, q.device).to_bits());
+        let cfg = ServeConfig::builder().workers(2).batch(4).build();
+        let responses = reg.serve_requests(&reqs, &cfg).unwrap();
+        for (r, resp) in reqs.iter().zip(&responses) {
+            let bundle = reg.get(&r.model).unwrap();
+            let (version, _) = reg.lookup(&r.model).unwrap();
+            assert_eq!(
+                resp.score.to_bits(),
+                bundle.predict_one(&r.arch, r.device).to_bits()
+            );
+            assert_eq!(resp.model_version, version);
         }
+        // An unknown model anywhere in the stream fails the whole stream
+        // before anything runs.
+        let mut bad = reqs.clone();
+        bad.push(ServeRequest::new("ghost", Arch::nb201_from_index(0), 0));
         assert!(matches!(
-            reg.serve("ghost", &qs, &cfg),
+            reg.serve_requests(&bad, &cfg),
             Err(ServeError::UnknownModel(_))
         ));
+    }
+
+    #[test]
+    fn deprecated_wrappers_agree_with_the_unified_api() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("m", bundle(6));
+        let arch = Arch::nb201_from_index(123);
+        let unified = reg
+            .serve_one(&ServeRequest::new("m", arch.clone(), 1))
+            .unwrap();
+        #[allow(deprecated)]
+        let legacy = reg.predict("m", &arch, 1).unwrap();
+        assert_eq!(unified.score.to_bits(), legacy.to_bits());
+        let qs: Vec<ServeQuery> = (0..8)
+            .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 7), 0))
+            .collect();
+        let cfg = ServeConfig::builder().workers(2).batch(4).build();
+        #[allow(deprecated)]
+        let legacy_scores = reg.serve("m", &qs, &cfg).unwrap();
+        let reqs: Vec<ServeRequest> = qs
+            .iter()
+            .map(|q| ServeRequest::new("m", q.arch.clone(), q.device))
+            .collect();
+        let unified_scores = reg.serve_requests(&reqs, &cfg).unwrap();
+        for (a, b) in legacy_scores.iter().zip(&unified_scores) {
+            assert_eq!(a.to_bits(), b.score.to_bits());
+        }
     }
 }

@@ -1,0 +1,64 @@
+//! The serving subsystem's unified request/response pair.
+//!
+//! One [`ServeRequest`] → one [`ServeResponse`], everywhere: the in-process
+//! registry entry points ([`PredictorRegistry::serve_one`],
+//! [`PredictorRegistry::serve_requests`]) and the TCP wire
+//! ([`IngressClient`] ↔ [`IngressServer`]) speak the same pair, so a caller
+//! can move between embedding the registry and talking to a remote ingress
+//! without changing its data model. This replaces the PR-5 surface where
+//! per-bundle streams, cached point queries, and named-model streams each
+//! had their own shapes and error conventions.
+//!
+//! [`PredictorRegistry::serve_one`]: crate::PredictorRegistry::serve_one
+//! [`PredictorRegistry::serve_requests`]: crate::PredictorRegistry::serve_requests
+//! [`IngressClient`]: crate::IngressClient
+//! [`IngressServer`]: crate::IngressServer
+
+use nasflat_space::Arch;
+
+/// One latency query against a *named* model: which model, which
+/// architecture, which device (embedding row of that model's device list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Registry name of the model to query.
+    pub model: String,
+    /// The architecture to score.
+    pub arch: Arch,
+    /// Device index into the model's ordered device list.
+    pub device: usize,
+}
+
+impl ServeRequest {
+    /// A request for `arch` on device index `device` of model `model`.
+    pub fn new(model: impl Into<String>, arch: Arch, device: usize) -> Self {
+        ServeRequest {
+            model: model.into(),
+            arch,
+            device,
+        }
+    }
+}
+
+/// The answer to one [`ServeRequest`].
+///
+/// `#[non_exhaustive]`: future fields (e.g. per-query timing) can be added
+/// without breaking callers; construct only through the serving layer.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeResponse {
+    /// Predicted latency score, bitwise identical to a sequential
+    /// per-query predict on the same model version.
+    pub score: f32,
+    /// Registry version id of the model that answered — bumps on every
+    /// hot-swap, so callers can detect which deployment served them.
+    pub model_version: u64,
+}
+
+impl ServeResponse {
+    pub(crate) fn new(score: f32, model_version: u64) -> Self {
+        ServeResponse {
+            score,
+            model_version,
+        }
+    }
+}

@@ -66,9 +66,7 @@ fn reloaded_bundle_serves_256_mixed_device_queries_bitwise_at_1_2_8_workers() {
 
     for workers in [1usize, 2, 8] {
         for batch in [1usize, 7, 16] {
-            let cfg = ServeConfig::from_env()
-                .with_workers(workers)
-                .with_batch(batch);
+            let cfg = ServeConfig::builder().workers(workers).batch(batch).build();
             let batcher = DynamicBatcher::new(&reloaded, cfg);
             let (scores, metrics) = batcher
                 .serve_with_metrics(&queries)
@@ -101,7 +99,7 @@ fn ensemble_bundle_serves_the_member_mean_bitwise() {
 
     let queries = mixed_stream(64, 3);
     let expect = reference_scores(&reloaded, &queries);
-    let cfg = ServeConfig::from_env().with_workers(2).with_batch(8);
+    let cfg = ServeConfig::builder().workers(2).batch(8).build();
     let scores = DynamicBatcher::new(&reloaded, cfg)
         .serve(&queries)
         .expect("validated stream");
@@ -129,7 +127,7 @@ fn zcp_supplemented_bundle_serves_from_the_norms_snapshot() {
 
     let queries = mixed_stream(48, 2);
     let expect = reference_scores(&reloaded, &queries);
-    let cfg = ServeConfig::from_env().with_workers(8).with_batch(16);
+    let cfg = ServeConfig::builder().workers(8).batch(16).build();
     let scores = DynamicBatcher::new(&reloaded, cfg)
         .serve(&queries)
         .expect("validated stream");
@@ -154,7 +152,7 @@ fn fbnet_bundle_serves_mixed_devices_bitwise() {
         })
         .collect();
     let expect = reference_scores(&bundle, &queries);
-    let cfg = ServeConfig::from_env().with_workers(2).with_batch(8);
+    let cfg = ServeConfig::builder().workers(2).batch(8).build();
     let (scores, metrics) = DynamicBatcher::new(&bundle, cfg)
         .serve_with_metrics(&queries)
         .expect("validated stream");

@@ -68,6 +68,27 @@ impl Space {
             Space::Fbnet => "FBNet",
         }
     }
+
+    /// Stable single-byte identifier used by every on-disk and on-wire
+    /// format (the `NFP1` predictor envelope, the `NFB1` bundle, the serving
+    /// layer's ingress frames). Codes are append-only: existing values never
+    /// change meaning.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            Space::Nb201 => 0,
+            Space::Fbnet => 1,
+        }
+    }
+
+    /// Inverse of [`Space::wire_code`]; `None` for unknown codes (a newer
+    /// format, or corruption).
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Space::Nb201,
+            1 => Space::Fbnet,
+            _ => return None,
+        })
+    }
 }
 
 /// A single architecture: a genotype of op choices in one [`Space`].
@@ -84,17 +105,18 @@ impl Arch {
     /// Panics if the genotype length or any op id is out of range for the
     /// space.
     pub fn new(space: Space, genotype: Vec<u8>) -> Self {
-        assert_eq!(
-            genotype.len(),
-            space.genotype_len(),
-            "genotype length mismatch"
-        );
+        Arch::try_new(space, genotype).expect("genotype length or op id out of range")
+    }
+
+    /// Fallible [`Arch::new`] for untrusted genotypes (file formats, the
+    /// serving wire protocol): `None` when the length or any op id is out
+    /// of range for the space, instead of panicking.
+    pub fn try_new(space: Space, genotype: Vec<u8>) -> Option<Self> {
         let num_ops = space.num_ops() as u8;
-        assert!(
-            genotype.iter().all(|&g| g < num_ops),
-            "genotype op id out of range for {space:?}"
-        );
-        Arch { space, genotype }
+        if genotype.len() != space.genotype_len() || genotype.iter().any(|&g| g >= num_ops) {
+            return None;
+        }
+        Some(Arch { space, genotype })
     }
 
     /// Decodes the NB201 architecture with the given index (base-5 digits of

@@ -1,0 +1,76 @@
+//! A pipelined ingress client (extension).
+//!
+//! Connects to a running `serve_server` (or any [`IngressServer`]) and
+//! drives a pipelined NAS-Bench-201 query stream through it, printing
+//! throughput and a sample of the scores. Per-request failures (unknown
+//! model, bad device) and busy rejections are counted, not fatal — the
+//! backpressure contract makes them part of normal operation.
+//!
+//! Usage:
+//! `cargo run --release --example serve_client -- [addr] [model] [n] [device]`
+//! (defaults: `127.0.0.1:7878 nd 256 0`).
+//!
+//! [`IngressServer`]: nasflat::serve::IngressServer
+
+use nasflat::serve::{IngressClient, ServeError, ServeRequest};
+use nasflat::space::Arch;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let model = args.next().unwrap_or_else(|| "nd".to_string());
+    let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(256);
+    let device: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let requests: Vec<ServeRequest> = (0..n)
+        .map(|i| {
+            ServeRequest::new(
+                &model,
+                Arch::nb201_from_index((i as u64 * 37 + 5) % 15_625),
+                device,
+            )
+        })
+        .collect();
+
+    let mut client = match IngressClient::connect(&*addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach {addr}: {e} (is serve_server running?)");
+            std::process::exit(1);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let results = client.predict_many(&requests, 8);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut ok = 0usize;
+    let mut busy = 0usize;
+    let mut failed = 0usize;
+    let mut sample = Vec::new();
+    for result in &results {
+        match result {
+            Ok(resp) => {
+                ok += 1;
+                if sample.len() < 4 {
+                    sample.push(format!("{:.4}", resp.score));
+                }
+            }
+            Err(ServeError::Busy { .. }) => busy += 1,
+            Err(e) => {
+                if failed == 0 {
+                    eprintln!("first failure: {e}");
+                }
+                failed += 1;
+            }
+        }
+    }
+    println!(
+        "{addr} model '{model}': {ok}/{n} answered ({busy} busy, {failed} failed) \
+         — {:.0} queries/s, sample scores [{}]",
+        ok as f64 / elapsed.max(1e-9),
+        sample.join(", ")
+    );
+    if ok == 0 {
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,8 @@ use std::time::Instant;
 use nasflat::core::{FewShotConfig, PretrainedTask};
 use nasflat::hw::{DeviceRegistry, LatencyTable};
 use nasflat::serve::{
-    DynamicBatcher, ModelBundle, PredictorRegistry, ServeConfig, ServeQuery, DEFAULT_SERVE_BATCH,
+    DynamicBatcher, ModelBundle, PredictorRegistry, ServeConfig, ServeQuery, ServeRequest,
+    DEFAULT_SERVE_BATCH,
 };
 use nasflat::space::{Arch, Space};
 use nasflat::tasks::{paper_task, probe_pool};
@@ -88,7 +89,7 @@ fn main() {
         .map(|q| model.predict_one(&q.arch, q.device).to_bits())
         .collect();
 
-    let serve_cfg = ServeConfig::from_env().with_workers(workers);
+    let serve_cfg = ServeConfig::builder().workers(workers).build();
     let mut failures = 0usize;
     for (label, batch) in [
         ("per-query serving (batch 1)", 1usize),
@@ -120,11 +121,11 @@ fn main() {
     }
 
     // 5. The registry's LRU result cache answers repeats without a tape.
-    let hot = &queries[0];
-    let cold = registry.predict("nd-quick", &hot.arch, hot.device).unwrap();
-    let warm = registry.predict("nd-quick", &hot.arch, hot.device).unwrap();
+    let hot = ServeRequest::new("nd-quick", queries[0].arch.clone(), queries[0].device);
+    let cold = registry.serve_one(&hot).unwrap();
+    let warm = registry.serve_one(&hot).unwrap();
     let stats = registry.cache_stats();
-    assert_eq!(cold.to_bits(), warm.to_bits());
+    assert_eq!(cold.score.to_bits(), warm.score.to_bits());
     println!(
         "result cache: {} hit(s), {} miss(es) — cached answers are bit-identical",
         stats.hits, stats.misses
