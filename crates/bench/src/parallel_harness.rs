@@ -659,7 +659,7 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
                 // Baseline: per-query serving — same queue, same workers,
                 // coalescing disabled.
                 let mut digest = Vec::new();
-                let batcher = DynamicBatcher::new(&bundle, serve_cfg.with_batch(1));
+                let batcher = DynamicBatcher::new(&bundle, serve_cfg.clone().with_batch(1));
                 for _ in 0..serve_reps {
                     digest.clear();
                     let scores = batcher.serve(&queries).expect("validated stream");
@@ -672,7 +672,9 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
                 let mut digest = Vec::new();
                 let batcher = DynamicBatcher::new(
                     &bundle,
-                    serve_cfg.with_batch(nasflat_serve::DEFAULT_SERVE_BATCH),
+                    serve_cfg
+                        .clone()
+                        .with_batch(nasflat_serve::DEFAULT_SERVE_BATCH),
                 );
                 for _ in 0..serve_reps {
                     digest.clear();
@@ -702,10 +704,12 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
             .map(|r| bundle.predict_one(&r.arch, r.device).to_bits())
             .collect();
         let mut registry = PredictorRegistry::new(0); // no result cache: real passes only
-        registry.insert(
-            "bench",
-            ModelBundle::single(predictor).expect("no supplement configured"),
-        );
+        registry
+            .insert(
+                "bench",
+                ModelBundle::single(predictor).expect("no supplement configured"),
+            )
+            .expect("in-memory publish");
         let shared = registry.into_shared();
         // `outputs_match` compares baseline vs optimized; this cell pins both
         // to the sequential reference as well, so a shared serving bug cannot
@@ -755,6 +759,79 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
         );
         ingress.outputs_match &= ingress_matches.get();
         targets.push(ingress);
+
+        // `bundle_cold_load`: serving-process boot over a directory of K
+        // durable bundles when the query stream only touches 2 of them.
+        // Baseline: the pre-store registry boot — decode every bundle up
+        // front. Optimized: open the tiered BundleStore lazily, so only
+        // the queried models' weights are ever deserialized. Both sides
+        // answer the same stream bitwise.
+        use nasflat_serve::BundleStore;
+
+        let num_models = match budget.profile {
+            Profile::Fast => 6,
+            _ => 12,
+        };
+        let store_dir =
+            std::env::temp_dir().join(format!("nasflat_bench_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        {
+            let seeded = BundleStore::open(&store_dir, 0).expect("bench store dir");
+            for m in 0..num_models {
+                let member = nasflat_core::LatencyPredictor::new(
+                    Space::Nb201,
+                    device_names.clone(),
+                    0,
+                    cfg.predictor.clone().with_seed(100 + m as u64),
+                );
+                seeded
+                    .publish(
+                        &format!("model_{m}"),
+                        ModelBundle::single(member).expect("no supplement configured"),
+                    )
+                    .expect("publish bundle");
+            }
+        }
+        let cold_requests: Vec<ServeRequest> = (0..8)
+            .map(|i| {
+                ServeRequest::new(
+                    format!("model_{}", i % 2),
+                    Arch::nb201_from_index((i as u64 * 911 + 3) % 15_625),
+                    i % num_devices,
+                )
+            })
+            .collect();
+        let serve_cold = |reg: &PredictorRegistry| -> Vec<u64> {
+            let scores: Vec<f32> = cold_requests
+                .iter()
+                .map(|r| reg.serve_one(r).expect("valid query").score)
+                .collect();
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &scores);
+            digest
+        };
+        targets.push(measure_pair(
+            "bundle_cold_load",
+            threads,
+            || {
+                let reg = PredictorRegistry::with_store(
+                    BundleStore::open(&store_dir, 0).expect("bench store dir"),
+                    0,
+                );
+                for name in reg.store().names() {
+                    let _ = reg.get(&name).expect("bundle decodes");
+                }
+                serve_cold(&reg)
+            },
+            || {
+                let reg = PredictorRegistry::with_store(
+                    BundleStore::open(&store_dir, 0).expect("bench store dir"),
+                    0,
+                );
+                serve_cold(&reg)
+            },
+        ));
+        let _ = std::fs::remove_dir_all(&store_dir);
     }
 
     // 3. Sampler pool evaluation: cosine + k-means over the encoding rows.

@@ -72,7 +72,7 @@ pub use fewshot::{
     run_trials, DeviceOutcome, FewShotConfig, PretrainedTask, TaskOutcome, TransferredPredictor,
 };
 pub use gnn::{propagation_constant, DgfLayer, GatLayer, GnnStack};
-pub use persist::ModelIoError;
+pub use persist::{ModelIoError, PredictorMeta};
 pub use predictor::{
     tape_batch, with_tape_batch, BatchSession, LatencyPredictor, SessionCounters,
     DEFAULT_TAPE_BATCH,

@@ -109,35 +109,43 @@ impl From<LoadError> for ModelIoError {
     }
 }
 
-impl LatencyPredictor {
-    /// Serializes the whole predictor — space, devices, supplementary
-    /// width, config, and weights — into a self-contained `NFP1` envelope.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let weights = self.save_weights();
-        let mut w = ByteWriter::with_capacity(64 + weights.len());
-        w.put_raw(MAGIC);
-        w.put_u32(VERSION);
-        w.put_u8(self.space().wire_code());
-        w.put_len(self.devices().len());
-        for name in self.devices() {
-            w.put_str(name);
-        }
-        w.put_len(self.supp_dim());
-        self.config().write_wire(&mut w);
-        w.put_bytes(&weights);
-        w.into_vec()
-    }
+/// The metadata of an `NFP1` envelope — everything **before** the weight
+/// blob — parsed without touching the weights.
+///
+/// This is the lazy-decode entry point for tiered model stores: a warm tier
+/// that only needs to answer "what space / devices / shape does this model
+/// serve?" parses the metadata prefix (a few hundred bytes) and skips the
+/// weight blob (the megabytes) entirely, deferring
+/// [`LatencyPredictor::from_bytes`] until first predict.
+#[derive(Debug, Clone)]
+pub struct PredictorMeta {
+    /// Search space the predictor was trained on.
+    pub space: Space,
+    /// Ordered device roster (wire order defines the device index).
+    pub devices: Vec<String>,
+    /// Supplementary-encoding width (0 when no supplement is configured).
+    pub supp_dim: usize,
+    /// Full predictor configuration.
+    pub config: PredictorConfig,
+    /// Byte length of the `NFW1` weight blob that follows the metadata.
+    pub weight_bytes: usize,
+}
 
-    /// Rebuilds a predictor from an `NFP1` envelope written by
-    /// [`LatencyPredictor::to_bytes`]. The reconstruction is bit-exact:
-    /// every prediction of the returned predictor equals the exporting
-    /// predictor's down to the last ulp.
+impl PredictorMeta {
+    /// Parses the metadata prefix of an `NFP1` envelope, validating every
+    /// field exactly like [`LatencyPredictor::from_bytes`] but stopping at
+    /// the weight blob.
+    ///
+    /// `bytes` needs to hold only the metadata prefix, not the whole
+    /// envelope. Returns the metadata plus the number of bytes consumed —
+    /// the offset at which the [`PredictorMeta::weight_bytes`]-byte weight
+    /// blob begins.
     ///
     /// # Errors
-    /// Rejects unrecognized magic/version, truncation, inconsistent fields
-    /// (empty device list, supplementary width disagreeing with the
-    /// config), and weight blobs that do not match the rebuilt layout.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+    /// The same structural rejections as
+    /// [`LatencyPredictor::from_bytes`] minus the weight-layout checks,
+    /// which require the blob itself.
+    pub fn from_prefix(bytes: &[u8]) -> Result<(Self, usize), ModelIoError> {
         let mut r = ByteReader::new(bytes);
         if r.get_raw(4).map_err(|_| ModelIoError::BadMagic)? != MAGIC {
             return Err(ModelIoError::BadMagic);
@@ -169,24 +177,24 @@ impl LatencyPredictor {
             devices.push(r.get_str()?.to_string());
         }
         let supp_dim = r.get_len()?;
-        let cfg = PredictorConfig::read_wire(&mut r).map_err(ModelIoError::Corrupt)?;
+        let config = PredictorConfig::read_wire(&mut r).map_err(ModelIoError::Corrupt)?;
         // Bound every width before LatencyPredictor::new allocates tables
         // sized by them: a flipped dim byte must surface as Corrupt, not as
         // a multi-gigabyte allocation. The caps are ~300× the paper's
         // Table-20 widths.
         for (label, dim) in [
-            ("op_dim", cfg.op_dim),
-            ("hw_dim", cfg.hw_dim),
-            ("node_dim", cfg.node_dim),
+            ("op_dim", config.op_dim),
+            ("hw_dim", config.hw_dim),
+            ("node_dim", config.node_dim),
             ("supp_dim", supp_dim),
         ] {
             check_wire_dim(label, dim)?;
         }
         for (label, dims) in [
-            ("ophw_gnn_dims", &cfg.ophw_gnn_dims),
-            ("ophw_mlp_dims", &cfg.ophw_mlp_dims),
-            ("gnn_dims", &cfg.gnn_dims),
-            ("head_dims", &cfg.head_dims),
+            ("ophw_gnn_dims", &config.ophw_gnn_dims),
+            ("ophw_mlp_dims", &config.ophw_mlp_dims),
+            ("gnn_dims", &config.gnn_dims),
+            ("head_dims", &config.head_dims),
         ] {
             if dims.len() > MAX_WIRE_LAYERS {
                 return Err(ModelIoError::Corrupt(format!(
@@ -198,7 +206,7 @@ impl LatencyPredictor {
                 check_wire_dim(label, d)?;
             }
         }
-        match (cfg.supplement.is_some(), supp_dim) {
+        match (config.supplement.is_some(), supp_dim) {
             (true, 0) => {
                 return Err(ModelIoError::Corrupt(
                     "supplement configured with zero width".into(),
@@ -211,16 +219,68 @@ impl LatencyPredictor {
             }
             _ => {}
         }
-        let weights = r.get_bytes()?;
-        if !r.is_empty() {
+        let weight_bytes = r.get_len()?;
+        let consumed = bytes.len() - r.remaining();
+        Ok((
+            PredictorMeta {
+                space,
+                devices,
+                supp_dim,
+                config,
+                weight_bytes,
+            },
+            consumed,
+        ))
+    }
+}
+
+impl LatencyPredictor {
+    /// Serializes the whole predictor — space, devices, supplementary
+    /// width, config, and weights — into a self-contained `NFP1` envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let weights = self.save_weights();
+        let mut w = ByteWriter::with_capacity(64 + weights.len());
+        w.put_raw(MAGIC);
+        w.put_u32(VERSION);
+        w.put_u8(self.space().wire_code());
+        w.put_len(self.devices().len());
+        for name in self.devices() {
+            w.put_str(name);
+        }
+        w.put_len(self.supp_dim());
+        self.config().write_wire(&mut w);
+        w.put_bytes(&weights);
+        w.into_vec()
+    }
+
+    /// Rebuilds a predictor from an `NFP1` envelope written by
+    /// [`LatencyPredictor::to_bytes`]. The reconstruction is bit-exact:
+    /// every prediction of the returned predictor equals the exporting
+    /// predictor's down to the last ulp.
+    ///
+    /// # Errors
+    /// Rejects unrecognized magic/version, truncation, inconsistent fields
+    /// (empty device list, supplementary width disagreeing with the
+    /// config), and weight blobs that do not match the rebuilt layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let (meta, consumed) = PredictorMeta::from_prefix(bytes)?;
+        let end = consumed
+            .checked_add(meta.weight_bytes)
+            .ok_or(ModelIoError::Truncated)?;
+        if bytes.len() < end {
+            return Err(ModelIoError::Truncated);
+        }
+        if bytes.len() > end {
             // Trailing bytes mean file damage (a botched concatenation or
             // partial overwrite), not a loadable model.
             return Err(ModelIoError::Corrupt(format!(
                 "{} trailing bytes after the weight blob",
-                r.remaining()
+                bytes.len() - end
             )));
         }
-        let mut predictor = LatencyPredictor::new(space, devices, supp_dim, cfg);
+        let weights = &bytes[consumed..end];
+        let mut predictor =
+            LatencyPredictor::new(meta.space, meta.devices, meta.supp_dim, meta.config);
         predictor.load_weights(weights)?;
         Ok(predictor)
     }
@@ -272,6 +332,25 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "{gnn:?} dev {dev}");
             }
         }
+    }
+
+    #[test]
+    fn meta_prefix_parses_without_the_weight_blob() {
+        let cfg = tiny_cfg().with_supplement(Some(EncodingKind::Zcp));
+        let src = LatencyPredictor::new(Space::Nb201, devices(), 13, cfg);
+        let bytes = src.to_bytes();
+        let (meta, consumed) = PredictorMeta::from_prefix(&bytes).expect("meta parse");
+        assert_eq!(meta.space, Space::Nb201);
+        assert_eq!(meta.devices, devices());
+        assert_eq!(meta.supp_dim, 13);
+        assert_eq!(consumed + meta.weight_bytes, bytes.len());
+        // The weight blob itself must not be required: parsing from a
+        // prefix that ends right where the weights begin succeeds too.
+        let (lazy, lazy_consumed) = PredictorMeta::from_prefix(&bytes[..consumed]).expect("prefix");
+        assert_eq!(lazy_consumed, consumed);
+        assert_eq!(lazy.weight_bytes, meta.weight_bytes);
+        assert_eq!(lazy.config.op_dim, meta.config.op_dim);
+        assert_eq!(lazy.config.gnn_dims, meta.config.gnn_dims);
     }
 
     #[test]

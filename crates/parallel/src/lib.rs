@@ -86,6 +86,16 @@ pub fn env_usize(name: &str, min: usize) -> Option<usize> {
     parse_env_usize(name, &std::env::var(name).ok()?, min)
 }
 
+/// Reads a path-valued environment variable (e.g. `NASFLAT_STORE_DIR`):
+/// `Some(path)` when the variable is set to a non-blank value, `None` when
+/// unset or blank. Paths are taken verbatim after trimming whitespace — no
+/// existence check, since the consumer may be about to create it.
+pub fn env_path(name: &str) -> Option<std::path::PathBuf> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    (!trimmed.is_empty()).then(|| std::path::PathBuf::from(trimmed))
+}
+
 /// The pure parsing/validation half of [`env_usize`], split out so tests
 /// can exercise it without mutating the process environment (`setenv`
 /// races `getenv` across the test harness's threads).

@@ -78,23 +78,14 @@ impl<'m> DynamicBatcher<'m> {
         DynamicBatcher { bundle, cfg }
     }
 
-    /// A batcher with environment-derived tuning.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use DynamicBatcher::new(bundle, ServeConfig::builder().build())"
-    )]
-    pub fn from_env(bundle: &'m ModelBundle) -> Self {
-        DynamicBatcher::new(bundle, ServeConfig::builder().build())
-    }
-
     /// The bundle this batcher serves.
     pub fn bundle(&self) -> &'m ModelBundle {
         self.bundle
     }
 
     /// The active tuning.
-    pub fn config(&self) -> ServeConfig {
-        self.cfg
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
     }
 
     /// Validates a query stream against the bundle (space and device

@@ -10,6 +10,7 @@
 //! everywhere.
 
 use std::net::{Ipv4Addr, SocketAddr};
+use std::path::PathBuf;
 
 use crate::serve_batch;
 
@@ -24,7 +25,7 @@ use crate::serve_batch;
 /// [`DynamicBatcher`]: crate::DynamicBatcher
 /// [`IngressServer`]: crate::IngressServer
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads draining the queue (clamped to at least 1).
     pub workers: usize,
@@ -54,13 +55,23 @@ pub struct ServeConfig {
     /// threads observe a shutdown while idle. Also the upper bound on
     /// shutdown latency added per idle connection.
     pub read_timeout_ms: u64,
+    /// Durable bundle directory for the registry's tiered store
+    /// ([`BundleStore`](crate::BundleStore)). `None` (the default) keeps
+    /// the registry in-memory.
+    pub store_dir: Option<PathBuf>,
+    /// Hot-tier capacity of the tiered store: how many decoded bundles stay
+    /// resident before LRU demotion to the warm tier. 0 (the default) is
+    /// unbounded. Only disk-backed entries are ever demoted.
+    pub hot_capacity: usize,
 }
 
 impl ServeConfig {
     /// An env-seeded builder: workers from the calling thread's parallelism
     /// (`NASFLAT_THREADS` / [`nasflat_parallel::with_threads`] overrides
-    /// apply), batch from `NASFLAT_SERVE_BATCH`, loopback ephemeral bind,
-    /// and a queue deep enough to keep every worker's next batch waiting.
+    /// apply), batch from `NASFLAT_SERVE_BATCH`, the store knobs from
+    /// `NASFLAT_STORE_DIR` / `NASFLAT_HOT_CAPACITY`, loopback ephemeral
+    /// bind, and a queue deep enough to keep every worker's next batch
+    /// waiting.
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder {
             cfg: ServeConfig {
@@ -72,16 +83,11 @@ impl ServeConfig {
                 max_inflight: 32,
                 retry_after_ms: 10,
                 read_timeout_ms: 25,
+                store_dir: nasflat_parallel::env_path("NASFLAT_STORE_DIR"),
+                hot_capacity: nasflat_parallel::env_usize("NASFLAT_HOT_CAPACITY", 0).unwrap_or(0),
             },
             queue_depth_pinned: false,
         }
-    }
-
-    /// Environment-derived defaults — equivalent to
-    /// `ServeConfig::builder().build()`.
-    #[deprecated(since = "0.1.0", note = "use ServeConfig::builder().build()")]
-    pub fn from_env() -> Self {
-        ServeConfig::builder().build()
     }
 
     /// The default queue bound for a worker/batch combination: deep enough
@@ -170,6 +176,20 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Durable bundle directory for the registry's tiered store. The
+    /// default comes from `NASFLAT_STORE_DIR` (unset → in-memory).
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Hot-tier capacity of the tiered store (0 = unbounded). The default
+    /// comes from `NASFLAT_HOT_CAPACITY`.
+    pub fn hot_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.hot_capacity = capacity;
+        self
+    }
+
     /// Finalizes the config, deriving `queue_depth` from the final
     /// workers × batch shape unless it was pinned.
     pub fn build(mut self) -> ServeConfig {
@@ -193,12 +213,23 @@ mod tests {
         assert!(cfg.max_inflight >= 1);
         assert!(cfg.bind.ip().is_loopback());
         assert_eq!(cfg.bind.port(), 0);
-        // The deprecated constructor is the builder's defaults, verbatim.
-        #[allow(deprecated)]
-        let old = ServeConfig::from_env();
-        assert_eq!(old.workers, cfg.workers);
-        assert_eq!(old.batch, cfg.batch);
-        assert_eq!(old.queue_depth, cfg.queue_depth);
+        // Store knobs default to an in-memory, unbounded-hot registry
+        // unless the environment says otherwise.
+        if std::env::var_os("NASFLAT_STORE_DIR").is_none() {
+            assert!(cfg.store_dir.is_none());
+        }
+        if std::env::var_os("NASFLAT_HOT_CAPACITY").is_none() {
+            assert_eq!(cfg.hot_capacity, 0);
+        }
+        let tiered = ServeConfig::builder()
+            .store_dir("models/")
+            .hot_capacity(2)
+            .build();
+        assert_eq!(
+            tiered.store_dir.as_deref(),
+            Some(std::path::Path::new("models/"))
+        );
+        assert_eq!(tiered.hot_capacity, 2);
     }
 
     #[test]

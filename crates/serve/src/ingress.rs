@@ -51,7 +51,8 @@ use crate::error::ServeError;
 use crate::registry::SharedRegistry;
 use crate::request::{ServeRequest, ServeResponse};
 use crate::wire::{
-    write_frame, ErrorFrame, Frame, FrameReader, ResponseFrame, WireFault, WIRE_MAX_FRAME,
+    write_frame, ErrorFrame, Frame, FrameReader, ResponseFrame, ServerStats, StatsFrame, WireFault,
+    WIRE_MAX_FRAME,
 };
 
 /// One admitted query on its way to a scheduler worker. The model version
@@ -71,8 +72,15 @@ struct Job {
 /// the global queue).
 struct Reply {
     id: u64,
-    result: Result<ServeResponse, ServeError>,
+    body: ReplyBody,
     counted: bool,
+}
+
+/// A reply is either a query's answer (score or failure) or a stats
+/// snapshot, answered directly from the reader without touching the queue.
+enum ReplyBody {
+    Answer(Result<ServeResponse, ServeError>),
+    Stats(ServerStats),
 }
 
 /// Per-connection admission control: a counting semaphore over the number
@@ -208,7 +216,7 @@ impl IngressServer {
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Ingress {
             registry,
-            cfg: *cfg,
+            cfg: cfg.clone(),
             shutdown: AtomicBool::new(false),
             live_conns: AtomicUsize::new(0),
             metrics: MetricsInner::default(),
@@ -398,7 +406,7 @@ fn reader_loop(
 ) {
     let fail = |id: u64, result: Result<ServeResponse, ServeError>| Reply {
         id,
-        result,
+        body: ReplyBody::Answer(result),
         counted: false,
     };
     let mut framer = FrameReader::new();
@@ -422,6 +430,34 @@ fn reader_loop(
         };
         let request = match frame {
             Frame::Request(rf) => rf,
+            Frame::StatsRequest(id) => {
+                // Observability probe: answered inline under the registry
+                // read lock, never admitted to the job queue.
+                let snapshot = {
+                    let registry = shared.registry.read().expect("registry lock");
+                    let cache = registry.cache_stats();
+                    let tiers = registry.tier_stats();
+                    ServerStats {
+                        cache_hits: cache.hits,
+                        cache_misses: cache.misses,
+                        cache_entries: cache.entries as u64,
+                        hot: tiers.hot as u64,
+                        warm: tiers.warm as u64,
+                        durable: tiers.durable as u64,
+                        hot_capacity: tiers.hot_capacity as u64,
+                        evictions: tiers.evictions,
+                        cold_loads: tiers.cold_loads,
+                        quarantined: tiers.quarantined,
+                        models: registry.len() as u64,
+                    }
+                };
+                let _ = reply_tx.send(Reply {
+                    id,
+                    body: ReplyBody::Stats(snapshot),
+                    counted: false,
+                });
+                continue;
+            }
             _ => {
                 shared.metrics.faulted.fetch_add(1, Ordering::Relaxed);
                 let _ = reply_tx.send(fail(
@@ -519,13 +555,17 @@ fn writer_loop(mut stream: TcpStream, reply_rx: Receiver<Reply>, slots: &Infligh
     let mut sock_alive = true;
     while let Ok(reply) = reply_rx.recv() {
         if sock_alive {
-            let frame = match &reply.result {
-                Ok(resp) => Frame::Response(ResponseFrame {
+            let frame = match &reply.body {
+                ReplyBody::Answer(Ok(resp)) => Frame::Response(ResponseFrame {
                     id: reply.id,
                     model_version: resp.model_version,
                     score: resp.score,
                 }),
-                Err(e) => Frame::Error(ErrorFrame::from_error(reply.id, e)),
+                ReplyBody::Answer(Err(e)) => Frame::Error(ErrorFrame::from_error(reply.id, e)),
+                ReplyBody::Stats(stats) => Frame::Stats(StatsFrame {
+                    id: reply.id,
+                    stats: *stats,
+                }),
             };
             if write_frame(&mut stream, &frame).is_err() {
                 sock_alive = false;
@@ -593,7 +633,7 @@ fn scheduler_loop(job_rx: &Mutex<Receiver<Job>>, shared: &Ingress) {
                 // client hung up); the answer is simply dropped.
                 let _ = job.reply.send(Reply {
                     id: job.id,
-                    result: Ok(ServeResponse::new(score, job.model_version)),
+                    body: ReplyBody::Answer(Ok(ServeResponse::new(score, job.model_version))),
                     counted: true,
                 });
             }

@@ -9,9 +9,17 @@
 //!   the encoding-suite normalization its supplement needs. A bundle saved
 //!   with [`ModelBundle::to_bytes`] and reloaded with
 //!   [`ModelBundle::from_bytes`] serves **bit-identical** predictions.
-//! - [`PredictorRegistry`]: named, loaded models behind one lookup, with an
-//!   LRU **result cache** keyed on (model, architecture, device) — repeat
-//!   queries for the same pair are answered without touching a tape.
+//! - [`BundleStore`]: the **tiered model store** behind the registry. A
+//!   model is *hot* (decoded, ready to predict), *warm* (NFB1 metadata
+//!   parsed, weights still on disk), or *durable* (an index row in the
+//!   store directory). Publishing writes atomically (write-then-rename),
+//!   lookups promote lazily, a bounded hot tier demotes by LRU, and
+//!   corrupt files are quarantined instead of retried.
+//! - [`PredictorRegistry`]: named models over a [`BundleStore`] behind one
+//!   lookup, with an LRU **result cache** keyed on (model, architecture,
+//!   device) — repeat queries for the same pair are answered without
+//!   touching a tape. Tier movement is invisible: evicted models reload
+//!   bit-identically.
 //! - [`DynamicBatcher`]: a bounded MPSC request queue drained by
 //!   `nasflat-parallel` worker threads that **coalesce** up to
 //!   [`serve_batch`] waiting queries — *for any mix of devices* — into one
@@ -89,16 +97,18 @@ mod error;
 mod ingress;
 mod registry;
 mod request;
+mod store;
 pub mod wire;
 
 pub use batcher::{DynamicBatcher, ServeMetrics, ServeQuery};
-pub use bundle::{BundleError, ModelBundle};
+pub use bundle::{BundleError, BundleMeta, ModelBundle};
 pub use config::{ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use ingress::{IngressMetrics, IngressServer};
 pub use registry::{CacheStats, PredictorRegistry, SharedRegistry};
 pub use request::{ServeRequest, ServeResponse};
-pub use wire::{IngressClient, WireFault};
+pub use store::{BundleStore, StoreUpdate, TierStats};
+pub use wire::{IngressClient, ServerStats, WireFault};
 
 /// Default coalescing limit of the dynamic batcher: how many waiting
 /// queries one worker folds into a single multi-query tape pass.

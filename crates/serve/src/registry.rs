@@ -1,9 +1,15 @@
-//! The predictor registry: named loaded models plus an LRU result cache.
+//! The predictor registry: named models over a tiered store plus an LRU
+//! result cache.
 //!
 //! A serving process keeps every deployed model behind one name-indexed
-//! registry. Models are [`ModelBundle`]s wrapped in [`std::sync::Arc`] so
-//! request handlers (and the dynamic batcher's worker threads) can hold a
-//! model while the operator hot-swaps the name to a new version.
+//! registry. Since PR 7 the registry no longer owns a flat map of decoded
+//! models: it sits on a [`BundleStore`], so a model may be **hot** (decoded,
+//! ready to predict), **warm** (metadata parsed, weights still on disk), or
+//! **durable** (only an index row). Lookups transparently promote
+//! (durable→warm→hot), [`PredictorRegistry::insert`] writes through to the
+//! store's disk directory when it has one, and the hot tier's LRU eviction
+//! is invisible to callers — evicted models reload bit-identically, and any
+//! in-flight predict keeps its `Arc`-pinned instance alive.
 //!
 //! The registry also memoizes results: latency queries inside a NAS loop
 //! are heavily repetitive (evolutionary search re-scores survivors every
@@ -19,13 +25,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use nasflat_space::{Arch, Space};
+use nasflat_space::Space;
 
 use crate::batcher::{DynamicBatcher, ServeMetrics, ServeQuery};
 use crate::bundle::ModelBundle;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::request::{ServeRequest, ServeResponse};
+use crate::store::{BundleStore, TierStats};
 
 /// A registry behind the reader/writer lock the TCP ingress shares with
 /// operators: request paths take read locks, hot-swaps take the write lock.
@@ -104,11 +111,10 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Named, loaded models with an LRU result cache — the lookup layer of the
-/// serving subsystem.
+/// Named models over a tiered [`BundleStore`] with an LRU result cache —
+/// the lookup layer of the serving subsystem.
 pub struct PredictorRegistry {
-    models: HashMap<String, (u64, Arc<ModelBundle>)>,
-    next_model_id: u64,
+    store: BundleStore,
     cache: Mutex<LruCache>,
     cache_capacity: usize,
     hits: AtomicU64,
@@ -116,12 +122,24 @@ pub struct PredictorRegistry {
 }
 
 impl PredictorRegistry {
-    /// An empty registry whose result cache holds up to `cache_capacity`
-    /// entries (0 disables caching).
+    /// An empty in-memory registry (no durable tier, unbounded hot tier)
+    /// whose result cache holds up to `cache_capacity` entries (0 disables
+    /// caching).
     pub fn new(cache_capacity: usize) -> Self {
+        PredictorRegistry::with_store(BundleStore::in_memory(0), cache_capacity)
+    }
+
+    /// A registry over an existing [`BundleStore`] — the way to get a
+    /// disk-backed registry with a bounded hot tier:
+    ///
+    /// ```no_run
+    /// use nasflat_serve::{BundleStore, PredictorRegistry};
+    /// let store = BundleStore::open("models/", 2).unwrap();
+    /// let registry = PredictorRegistry::with_store(store, 1024);
+    /// ```
+    pub fn with_store(store: BundleStore, cache_capacity: usize) -> Self {
         PredictorRegistry {
-            models: HashMap::new(),
-            next_model_id: 0,
+            store,
             cache: Mutex::new(LruCache::default()),
             cache_capacity,
             hits: AtomicU64::new(0),
@@ -129,79 +147,114 @@ impl PredictorRegistry {
         }
     }
 
-    /// Registers (or hot-swaps) a bundle under `name`. Replacement assigns
-    /// a fresh model id — so cached results of the previous version can
-    /// never answer for the new one — and evicts the old version's cache
-    /// entries outright, freeing the LRU capacity for the new version.
-    pub fn insert(&mut self, name: impl Into<String>, bundle: ModelBundle) -> Arc<ModelBundle> {
-        let arc = Arc::new(bundle);
-        self.next_model_id += 1;
-        if let Some((old_id, _)) = self
-            .models
-            .insert(name.into(), (self.next_model_id, arc.clone()))
-        {
+    /// A registry configured from [`ServeConfig`]: durable when
+    /// `cfg.store_dir` is set (hot capacity `cfg.hot_capacity`), in-memory
+    /// otherwise. The result cache holds up to `cache_capacity` entries.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] / [`ServeError::Bundle`] when the store directory
+    /// cannot be opened.
+    pub fn from_config(cfg: &ServeConfig, cache_capacity: usize) -> Result<Self, ServeError> {
+        let store = match &cfg.store_dir {
+            Some(dir) => BundleStore::open(dir, cfg.hot_capacity)?,
+            None => BundleStore::in_memory(cfg.hot_capacity),
+        };
+        Ok(PredictorRegistry::with_store(store, cache_capacity))
+    }
+
+    /// The underlying tiered store.
+    pub fn store(&self) -> &BundleStore {
+        &self.store
+    }
+
+    /// Registers (or hot-swaps) a bundle under `name`, **writing through**
+    /// to the store's durable directory when it has one. Replacement
+    /// assigns a fresh model version — so cached results of the previous
+    /// version can never answer for the new one — and evicts the old
+    /// version's cache entries outright, freeing the LRU capacity for the
+    /// new version.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the durable write-through fails; the
+    /// registry is left unchanged in that case.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        bundle: ModelBundle,
+    ) -> Result<Arc<ModelBundle>, ServeError> {
+        let update = self.store.publish(&name.into(), bundle)?;
+        if let Some(old_id) = update.replaced {
             self.cache.lock().expect("cache lock").purge_model(old_id);
         }
-        arc
+        Ok(update.bundle)
     }
 
     /// Parses bundle bytes and registers them under `name`.
     ///
     /// # Errors
-    /// Propagates bundle validation failures.
+    /// Propagates bundle validation and write-through failures.
     pub fn load_bytes(
         &mut self,
         name: impl Into<String>,
         bytes: &[u8],
     ) -> Result<Arc<ModelBundle>, ServeError> {
-        Ok(self.insert(name, ModelBundle::from_bytes(bytes)?))
+        self.insert(name, ModelBundle::from_bytes(bytes)?)
     }
 
-    /// Reads a bundle file and registers it under `name`.
+    /// Streams a bundle file into the registry under `name` via the
+    /// seekable reader — one member envelope in memory at a time, never the
+    /// whole file.
     ///
     /// # Errors
-    /// Filesystem and bundle validation failures.
+    /// Filesystem, bundle validation, and write-through failures.
     pub fn load_file(
         &mut self,
         name: impl Into<String>,
         path: impl AsRef<std::path::Path>,
     ) -> Result<Arc<ModelBundle>, ServeError> {
-        let bytes = std::fs::read(path)?;
-        self.load_bytes(name, &bytes)
+        self.insert(name, ModelBundle::load_path(path.as_ref())?)
     }
 
-    /// The bundle registered under `name`.
+    /// The bundle registered under `name`, promoted to the hot tier if it
+    /// was warm or durable. `None` when the name is unregistered *or* its
+    /// backing file failed to load (use [`PredictorRegistry::lookup_model`]
+    /// for the error).
     pub fn get(&self, name: &str) -> Option<Arc<ModelBundle>> {
-        self.models.get(name).map(|(_, b)| b.clone())
+        self.store.fetch(name).ok().map(|(_, b)| b)
     }
 
-    /// Unregisters a model, returning whether it existed. The model's
-    /// cached results are evicted with it.
-    pub fn remove(&mut self, name: &str) -> bool {
-        match self.models.remove(name) {
-            Some((old_id, _)) => {
+    /// Unregisters a model from every tier (deleting its durable file),
+    /// returning whether it existed. The model's cached results are
+    /// evicted with it; in-flight predicts holding the bundle's `Arc` are
+    /// unaffected.
+    ///
+    /// # Errors
+    /// [`ServeError::Io`] when the durable file or index cannot be updated.
+    pub fn remove(&mut self, name: &str) -> Result<bool, ServeError> {
+        match self.store.remove(name)? {
+            Some(old_id) => {
                 self.cache.lock().expect("cache lock").purge_model(old_id);
-                true
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
-    /// Registered model names, sorted.
+    /// Registered model names (every tier), sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        let mut names = self.store.names();
         names.sort();
         names
     }
 
-    /// Number of registered models.
+    /// Number of registered models (every tier).
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.store.len()
     }
 
     /// Whether no model is registered.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.store.is_empty()
     }
 
     /// Cache hit/miss/occupancy counters.
@@ -213,13 +266,25 @@ impl PredictorRegistry {
         }
     }
 
-    /// Resolves `name` to its (version id, bundle) pair — the hook the TCP
-    /// ingress uses to pin a model version at admission time.
+    /// Tier occupancy and movement counters of the underlying store.
+    pub fn tier_stats(&self) -> TierStats {
+        self.store.stats()
+    }
+
+    /// Resolves `name` to its (version, bundle) pair, promoting through the
+    /// store tiers as needed — the public face of the hook the TCP ingress
+    /// uses to pin a model version at admission time.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownModel`] for unregistered names, plus the
+    /// store's corruption/I/O failures for broken durable entries.
+    pub fn lookup_model(&self, name: &str) -> Result<(u64, Arc<ModelBundle>), ServeError> {
+        self.store.fetch(name)
+    }
+
+    /// Crate-internal alias kept for the ingress path.
     pub(crate) fn lookup(&self, name: &str) -> Result<(u64, Arc<ModelBundle>), ServeError> {
-        self.models
-            .get(name)
-            .map(|(id, b)| (*id, b.clone()))
-            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+        self.lookup_model(name)
     }
 
     /// Wraps the registry for concurrent serving ([`SharedRegistry`]):
@@ -328,7 +393,8 @@ impl PredictorRegistry {
                 .iter()
                 .map(|&i| ServeQuery::new(reqs[i].arch.clone(), reqs[i].device))
                 .collect();
-            let (scores, m) = DynamicBatcher::new(&bundle, *cfg).serve_with_metrics(&queries)?;
+            let (scores, m) =
+                DynamicBatcher::new(&bundle, cfg.clone()).serve_with_metrics(&queries)?;
             metrics.queries += m.queries;
             metrics.groups += m.groups;
             metrics.max_group = metrics.max_group.max(m.max_group);
@@ -344,50 +410,6 @@ impl PredictorRegistry {
                 .collect(),
             metrics,
         ))
-    }
-
-    /// Predicts one (architecture, device) query on a named model.
-    ///
-    /// # Errors
-    /// Unknown model name, or a query malformed for that model.
-    #[deprecated(since = "0.1.0", note = "use PredictorRegistry::serve_one")]
-    pub fn predict(&self, name: &str, arch: &Arch, device: usize) -> Result<f32, ServeError> {
-        self.serve_one(&ServeRequest::new(name, arch.clone(), device))
-            .map(|r| r.score)
-    }
-
-    /// Serves a query stream on a named model through a [`DynamicBatcher`].
-    ///
-    /// # Errors
-    /// Unknown model name, or the batcher's query validation failure.
-    #[deprecated(since = "0.1.0", note = "use PredictorRegistry::serve_requests")]
-    pub fn serve(
-        &self,
-        name: &str,
-        queries: &[ServeQuery],
-        cfg: &ServeConfig,
-    ) -> Result<Vec<f32>, ServeError> {
-        let (_, bundle) = self.lookup(name)?;
-        DynamicBatcher::new(&bundle, *cfg).serve(queries)
-    }
-
-    /// Serves a query stream on a named model, returning the drain's
-    /// metrics alongside the scores.
-    ///
-    /// # Errors
-    /// Unknown model name, or the batcher's query validation failure.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use PredictorRegistry::serve_requests_with_metrics"
-    )]
-    pub fn serve_with_metrics(
-        &self,
-        name: &str,
-        queries: &[ServeQuery],
-        cfg: &ServeConfig,
-    ) -> Result<(Vec<f32>, ServeMetrics), ServeError> {
-        let (_, bundle) = self.lookup(name)?;
-        DynamicBatcher::new(&bundle, *cfg).serve_with_metrics(queries)
     }
 }
 
@@ -405,6 +427,7 @@ impl core::fmt::Debug for PredictorRegistry {
 mod tests {
     use super::*;
     use nasflat_core::{LatencyPredictor, PredictorConfig};
+    use nasflat_space::Arch;
 
     /// Point query through the unified entry point, scores only.
     fn predict(
@@ -439,7 +462,7 @@ mod tests {
     fn lookup_and_errors() {
         let mut reg = PredictorRegistry::new(16);
         assert!(reg.is_empty());
-        reg.insert("m", bundle(0));
+        reg.insert("m", bundle(0)).unwrap();
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.names(), vec!["m".to_string()]);
         assert!(reg.get("m").is_some());
@@ -455,14 +478,14 @@ mod tests {
             predict(&reg, "m", &Arch::new(Space::Fbnet, vec![4; 22]), 0),
             Err(ServeError::BadQuery(_))
         ));
-        assert!(reg.remove("m"));
-        assert!(!reg.remove("m"));
+        assert!(reg.remove("m").unwrap());
+        assert!(!reg.remove("m").unwrap());
     }
 
     #[test]
     fn cache_hits_are_bit_identical_and_counted() {
         let mut reg = PredictorRegistry::new(16);
-        reg.insert("m", bundle(1));
+        reg.insert("m", bundle(1)).unwrap();
         let arch = Arch::nb201_from_index(321);
         let cold = predict(&reg, "m", &arch, 0).unwrap();
         let warm = predict(&reg, "m", &arch, 0).unwrap();
@@ -477,7 +500,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_first() {
         let mut reg = PredictorRegistry::new(2);
-        reg.insert("m", bundle(2));
+        reg.insert("m", bundle(2)).unwrap();
         let a0 = Arch::nb201_from_index(10);
         let a1 = Arch::nb201_from_index(11);
         let a2 = Arch::nb201_from_index(12);
@@ -498,13 +521,13 @@ mod tests {
     #[test]
     fn hot_swap_invalidates_and_purges_cached_results() {
         let mut reg = PredictorRegistry::new(16);
-        reg.insert("m", bundle(3));
+        reg.insert("m", bundle(3)).unwrap();
         let arch = Arch::nb201_from_index(500);
         let old = predict(&reg, "m", &arch, 0).unwrap();
         let _ = predict(&reg, "m", &arch, 1).unwrap();
         assert_eq!(reg.cache_stats().entries, 2);
-        reg.insert("m", bundle(4)); // new version under the same name
-                                    // The old version's entries are evicted, not just orphaned.
+        reg.insert("m", bundle(4)).unwrap(); // new version under the same name
+                                             // The old version's entries are evicted, not just orphaned.
         assert_eq!(reg.cache_stats().entries, 0);
         let new = predict(&reg, "m", &arch, 0).unwrap();
         assert_ne!(old.to_bits(), new.to_bits(), "stale cache served");
@@ -516,13 +539,13 @@ mod tests {
     #[test]
     fn remove_purges_the_models_cache_entries() {
         let mut reg = PredictorRegistry::new(16);
-        reg.insert("keep", bundle(7));
-        reg.insert("drop", bundle(8));
+        reg.insert("keep", bundle(7)).unwrap();
+        reg.insert("drop", bundle(8)).unwrap();
         let arch = Arch::nb201_from_index(77);
         let _ = predict(&reg, "keep", &arch, 0).unwrap();
         let _ = predict(&reg, "drop", &arch, 0).unwrap();
         assert_eq!(reg.cache_stats().entries, 2);
-        assert!(reg.remove("drop"));
+        assert!(reg.remove("drop").unwrap());
         // Only the removed model's entry goes; the survivor still hits.
         assert_eq!(reg.cache_stats().entries, 1);
         let hits_before = reg.cache_stats().hits;
@@ -533,7 +556,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut reg = PredictorRegistry::new(0);
-        reg.insert("m", bundle(5));
+        reg.insert("m", bundle(5)).unwrap();
         let arch = Arch::nb201_from_index(42);
         let _ = predict(&reg, "m", &arch, 0).unwrap();
         let _ = predict(&reg, "m", &arch, 0).unwrap();
@@ -545,8 +568,8 @@ mod tests {
     #[test]
     fn serve_requests_spans_models_and_stays_bitwise_sequential() {
         let mut reg = PredictorRegistry::new(16);
-        reg.insert("alpha", bundle(6));
-        reg.insert("beta", bundle(9));
+        reg.insert("alpha", bundle(6)).unwrap();
+        reg.insert("beta", bundle(9)).unwrap();
         // Interleave two models so grouping + input-order scatter are
         // genuinely exercised.
         let reqs: Vec<ServeRequest> = (0..20)
@@ -574,32 +597,5 @@ mod tests {
             reg.serve_requests(&bad, &cfg),
             Err(ServeError::UnknownModel(_))
         ));
-    }
-
-    #[test]
-    fn deprecated_wrappers_agree_with_the_unified_api() {
-        let mut reg = PredictorRegistry::new(16);
-        reg.insert("m", bundle(6));
-        let arch = Arch::nb201_from_index(123);
-        let unified = reg
-            .serve_one(&ServeRequest::new("m", arch.clone(), 1))
-            .unwrap();
-        #[allow(deprecated)]
-        let legacy = reg.predict("m", &arch, 1).unwrap();
-        assert_eq!(unified.score.to_bits(), legacy.to_bits());
-        let qs: Vec<ServeQuery> = (0..8)
-            .map(|i| ServeQuery::new(Arch::nb201_from_index(i * 7), 0))
-            .collect();
-        let cfg = ServeConfig::builder().workers(2).batch(4).build();
-        #[allow(deprecated)]
-        let legacy_scores = reg.serve("m", &qs, &cfg).unwrap();
-        let reqs: Vec<ServeRequest> = qs
-            .iter()
-            .map(|q| ServeRequest::new("m", q.arch.clone(), q.device))
-            .collect();
-        let unified_scores = reg.serve_requests(&reqs, &cfg).unwrap();
-        for (a, b) in legacy_scores.iter().zip(&unified_scores) {
-            assert_eq!(a.to_bits(), b.score.to_bits());
-        }
     }
 }

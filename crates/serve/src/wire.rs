@@ -6,10 +6,12 @@
 //! persistence format in the workspace:
 //!
 //! ```text
-//! frame    := u32 body_len | body                (body_len ≤ WIRE_MAX_FRAME)
-//! REQUEST  := 0x01 | u64 id | u8 space | bytes genotype | u32 device | str model
-//! RESPONSE := 0x02 | u64 id | u64 model_version | f32 score
-//! ERROR    := 0x03 | u64 id | u8 code | u32 retry_after_ms | str detail
+//! frame     := u32 body_len | body               (body_len ≤ WIRE_MAX_FRAME)
+//! REQUEST   := 0x01 | u64 id | u8 space | bytes genotype | u32 device | str model
+//! RESPONSE  := 0x02 | u64 id | u64 model_version | f32 score
+//! ERROR     := 0x03 | u64 id | u8 code | u32 retry_after_ms | str detail
+//! STATS_REQ := 0x04 | u64 id
+//! STATS     := 0x05 | u64 id | 11 × u64          (see ServerStats field order)
 //! ```
 //!
 //! Request ids are chosen by the client (any nonzero value; responses echo
@@ -40,6 +42,8 @@ pub const WIRE_MAX_FRAME: usize = 4096;
 const OP_REQUEST: u8 = 0x01;
 const OP_RESPONSE: u8 = 0x02;
 const OP_ERROR: u8 = 0x03;
+const OP_STATS_REQUEST: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
 
 const CODE_UNKNOWN_MODEL: u8 = 1;
 const CODE_BAD_QUERY: u8 = 2;
@@ -234,6 +238,45 @@ impl ErrorFrame {
     }
 }
 
+/// A server-state snapshot on the wire: the registry's result-cache
+/// counters, the tiered [`BundleStore`](crate::BundleStore) occupancy, and
+/// the model count, in wire field order.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Result-cache hits ([`CacheStats::hits`](crate::CacheStats)).
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// Result-cache entries currently held.
+    pub cache_entries: u64,
+    /// Models resident in the hot tier (decoded, ready to serve).
+    pub hot: u64,
+    /// Models in the warm tier (metadata parsed, weights on disk).
+    pub warm: u64,
+    /// Models with a durable on-disk bundle (any tier).
+    pub durable: u64,
+    /// Hot-tier capacity (0 = unbounded).
+    pub hot_capacity: u64,
+    /// Hot → warm demotions performed so far.
+    pub evictions: u64,
+    /// Warm → hot promotions that decoded a bundle from disk.
+    pub cold_loads: u64,
+    /// Bundles quarantined after failing to decode.
+    pub quarantined: u64,
+    /// Models the registry currently serves.
+    pub models: u64,
+}
+
+/// A stats snapshot frame (server → client answer to a stats request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsFrame {
+    /// Echo of the stats-request id.
+    pub id: u64,
+    /// The snapshot.
+    pub stats: ServerStats,
+}
+
 /// One decoded wire message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -243,6 +286,10 @@ pub enum Frame {
     Response(ResponseFrame),
     /// Server → client failure.
     Error(ErrorFrame),
+    /// Client → server stats probe (body: opcode + id only).
+    StatsRequest(u64),
+    /// Server → client stats snapshot.
+    Stats(StatsFrame),
 }
 
 impl Frame {
@@ -270,6 +317,30 @@ impl Frame {
                 body.put_u8(e.code);
                 body.put_u32(e.retry_after_ms);
                 body.put_str(&e.detail);
+            }
+            Frame::StatsRequest(id) => {
+                body.put_u8(OP_STATS_REQUEST);
+                body.put_u64(*id);
+            }
+            Frame::Stats(s) => {
+                body.put_u8(OP_STATS);
+                body.put_u64(s.id);
+                let st = &s.stats;
+                for v in [
+                    st.cache_hits,
+                    st.cache_misses,
+                    st.cache_entries,
+                    st.hot,
+                    st.warm,
+                    st.durable,
+                    st.hot_capacity,
+                    st.evictions,
+                    st.cold_loads,
+                    st.quarantined,
+                    st.models,
+                ] {
+                    body.put_u64(v);
+                }
             }
         }
         let body = body.into_vec();
@@ -311,6 +382,30 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
             retry_after_ms: r.get_u32().map_err(malformed)?,
             detail: r.get_str().map_err(malformed)?.to_string(),
         }),
+        OP_STATS_REQUEST => Frame::StatsRequest(r.get_u64().map_err(malformed)?),
+        OP_STATS => {
+            let id = r.get_u64().map_err(malformed)?;
+            let mut fields = [0u64; 11];
+            for f in &mut fields {
+                *f = r.get_u64().map_err(malformed)?;
+            }
+            Frame::Stats(StatsFrame {
+                id,
+                stats: ServerStats {
+                    cache_hits: fields[0],
+                    cache_misses: fields[1],
+                    cache_entries: fields[2],
+                    hot: fields[3],
+                    warm: fields[4],
+                    durable: fields[5],
+                    hot_capacity: fields[6],
+                    evictions: fields[7],
+                    cold_loads: fields[8],
+                    quarantined: fields[9],
+                    models: fields[10],
+                },
+            })
+        }
         other => return Err(WireFault::Malformed(format!("unknown opcode {other:#x}"))),
     };
     if !r.is_empty() {
@@ -462,6 +557,32 @@ impl IngressClient {
         Ok(IngressClient { stream })
     }
 
+    /// Fetches the server's stats snapshot: result-cache counters, tiered
+    /// store occupancy, and the model count. One round trip; must not be
+    /// interleaved with outstanding [`IngressClient::predict_many`] calls
+    /// (each call fully drains its own replies).
+    ///
+    /// # Errors
+    /// Whatever the server answered with (e.g. [`ServeError::Shutdown`]) or
+    /// a local [`ServeError::Wire`] fault.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        const STATS_ID: u64 = 1;
+        write_frame(&mut self.stream, &Frame::StatsRequest(STATS_ID))
+            .map_err(|e| ServeError::Wire(WireFault::Io(e)))?;
+        match read_frame(&mut self.stream, WIRE_MAX_FRAME) {
+            Ok(Frame::Stats(s)) if s.id == STATS_ID => Ok(s.stats),
+            Ok(Frame::Stats(s)) => Err(ServeError::Wire(WireFault::Malformed(format!(
+                "stats response for unknown id {}",
+                s.id
+            )))),
+            Ok(Frame::Error(e)) => Err(e.to_error()),
+            Ok(_) => Err(ServeError::Wire(WireFault::Malformed(
+                "unexpected frame while awaiting stats".into(),
+            ))),
+            Err(fault) => Err(ServeError::Wire(fault)),
+        }
+    }
+
     /// One query, one round trip.
     ///
     /// # Errors
@@ -537,10 +658,16 @@ impl IngressClient {
                         ))));
                     }
                 },
-                Ok(Frame::Request(_)) => {
+                Ok(Frame::Request(_) | Frame::StatsRequest(_)) => {
                     abort = Some(Abort::Fault(WireFault::Malformed(
                         "server sent a request frame".into(),
                     )));
+                }
+                Ok(Frame::Stats(s)) => {
+                    abort = Some(Abort::Fault(WireFault::Malformed(format!(
+                        "unsolicited stats frame (id {})",
+                        s.id
+                    ))));
                 }
                 Err(fault) => abort = Some(Abort::Fault(fault)),
             }
@@ -582,6 +709,23 @@ mod tests {
                 0,
                 &ServeError::Busy { retry_after_ms: 12 },
             )),
+            Frame::StatsRequest(17),
+            Frame::Stats(StatsFrame {
+                id: 17,
+                stats: ServerStats {
+                    cache_hits: 1,
+                    cache_misses: 2,
+                    cache_entries: 3,
+                    hot: 4,
+                    warm: 5,
+                    durable: 6,
+                    hot_capacity: 7,
+                    evictions: 8,
+                    cold_loads: 9,
+                    quarantined: 10,
+                    models: 11,
+                },
+            }),
         ];
         let mut pipe = Vec::new();
         for f in &frames {

@@ -42,8 +42,8 @@ fn bundle(seed: u64, num_devices: usize) -> ModelBundle {
 /// grouping and mixed-device tape passes behind the ingress.
 fn shared_registry() -> SharedRegistry {
     let mut reg = PredictorRegistry::new(0); // no result cache: every hit is a real pass
-    reg.insert("alpha", bundle(7, 3));
-    reg.insert("beta", bundle(8, 3));
+    reg.insert("alpha", bundle(7, 3)).unwrap();
+    reg.insert("beta", bundle(8, 3)).unwrap();
     reg.into_shared()
 }
 

@@ -61,5 +61,5 @@ pub use graph::{Graph, Var};
 pub use layers::{Activation, Embedding, LayerNorm, Linear, Mlp};
 pub use loss::{mse_loss, pairwise_hinge_loss};
 pub use params::{AdamConfig, ParamId, ParamStore};
-pub use serialize::{ByteReader, ByteWriter, LoadError, WireError};
+pub use serialize::{ByteReader, ByteWriter, LoadError, StreamError, StreamReader, WireError};
 pub use tensor::Tensor;

@@ -95,7 +95,7 @@ fn main() {
         ("per-query serving (batch 1)", 1usize),
         ("dynamic micro-batching", DEFAULT_SERVE_BATCH),
     ] {
-        let batcher = DynamicBatcher::new(&model, serve_cfg.with_batch(batch));
+        let batcher = DynamicBatcher::new(&model, serve_cfg.clone().with_batch(batch));
         let t0 = Instant::now();
         let (scores, metrics) = batcher
             .serve_with_metrics(&queries)

@@ -35,7 +35,9 @@ fn boot_registry() -> SharedRegistry {
     let predictor = LatencyPredictor::new(Space::Nb201, devices, 0, PredictorConfig::quick());
     let bundle = ModelBundle::single(predictor).expect("no supplement configured");
     let mut registry = PredictorRegistry::new(4096);
-    registry.insert("nd", bundle);
+    registry
+        .insert("nd", bundle)
+        .expect("in-memory publish cannot fail");
     registry.into_shared()
 }
 
