@@ -15,19 +15,26 @@
 //!   (a per-(arch, device) query loop vs mixed-device stacking via the
 //!   per-row hardware-embedding gather), `serve_throughput` (the serving
 //!   layer's `DynamicBatcher` at batch 1 vs dynamic micro-batching over a
-//!   256-query mixed-device stream), and `serve_ingress` (the TCP front
+//!   256-query mixed-device stream), `serve_ingress` (the TCP front
 //!   door: one strict request/response connection vs 4 pipelined
-//!   connections coalesced by the scheduler). Baseline entries are timed
-//!   best-of-3 alternating repetitions.
+//!   connections coalesced by the scheduler), and `train_batched_step`
+//!   (the pre-PR-8 trainer — `NASFLAT_TRAIN_BATCH=0`, B per-arch forwards
+//!   per step — vs stacked gradient steps with ONE backward per
+//!   mini-batch, over a full pretrain + transfer + predict pipeline).
+//!   Baseline entries are timed best-of-3 alternating repetitions.
 //!
 //! Either way the two runs' outputs are compared **bitwise** (every `f32`
-//! via `to_bits`); a divergence is reported as a failure, and the wall-clock
+//! via `to_bits`) — except `train_batched_step`, whose two training paths
+//! are rank-equivalent rather than bit-identical by contract, so its
+//! `outputs_match` asserts Spearman ≥ 0.99 between the two sides'
+//! predictions. A divergence is reported as a failure, and the wall-clock
 //! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
 //! the build when `batch_forward` regresses below 1×, `multi_query_tape`
 //! below its 1.3× quick-mode target, `mixed_device_tape`,
 //! `serve_throughput`, or `serve_ingress` below their 1.2× targets, or —
-//! on ≥4-core runners — the `ensemble_train_transfer` / `batch_predict`
-//! thread scaling below 2×).
+//! on ≥4-core runners — `train_batched_step` below its 2× acceptance
+//! target or the `ensemble_train_transfer` / `batch_predict` thread
+//! scaling below 2×).
 //!
 //! The report serializes to `BENCH_parallel.json` with schema
 //! [`PARALLEL_SCHEMA`]:
@@ -538,6 +545,49 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
                 digest
             },
         ));
+
+        // The PR-8 gate: batched gradient steps. Baseline: the pre-PR
+        // trainer, pinned via `NASFLAT_TRAIN_BATCH=0` — B per-architecture
+        // forwards and a scalar-var loss per step. Optimized: stacked steps
+        // (one block-diagonal forward + ONE backward per mini-batch) at the
+        // default threshold. The workload is the full training pipeline —
+        // pretrain, transfer, predict — so the ratio is the end-to-end
+        // training win. Trained weights are only *rank-equivalent* across
+        // the two paths (embedding gather-backward accumulation order — see
+        // `train_step_on`), so this entry cannot use `measure_pair`'s
+        // bitwise digest gate: `outputs_match` instead asserts Spearman
+        // >= 0.99 between the two sides' predictions.
+        {
+            let mut wall_base = f64::MAX;
+            let mut wall_opt = f64::MAX;
+            let mut base_scores = Vec::new();
+            let mut opt_scores = Vec::new();
+            let run = |tb: usize| {
+                nasflat_parallel::with_threads(threads, || {
+                    nasflat_core::with_train_batch(tb, || {
+                        let mut p = PretrainedTask::build(task, pool, &table, None, cfg.clone());
+                        p.transfer_predict(&task.test[0], &cfg.sampler, 3, &eval_indices)
+                            .expect("random sampler cannot fail")
+                    })
+                })
+            };
+            for _ in 0..PAIR_REPS {
+                let t0 = Instant::now();
+                base_scores = run(0);
+                wall_base = wall_base.min(t0.elapsed().as_secs_f64() * 1e3);
+                let t1 = Instant::now();
+                opt_scores = run(nasflat_core::DEFAULT_TRAIN_BATCH);
+                wall_opt = wall_opt.min(t1.elapsed().as_secs_f64() * 1e3);
+            }
+            let rho = nasflat_metrics::spearman_rho(&base_scores, &opt_scores).unwrap_or(f32::NAN);
+            targets.push(ParallelTarget {
+                name: "train_batched_step".into(),
+                kind: ComparisonKind::Baseline,
+                wall_ms_single: wall_base,
+                wall_ms_parallel: wall_opt,
+                outputs_match: rho.is_finite() && rho >= 0.99,
+            });
+        }
     }
 
     // 2b. Kernel layer: scalar reference matmul vs the cache-blocked

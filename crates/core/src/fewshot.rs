@@ -96,6 +96,10 @@ impl TaskOutcome {
 /// A pre-trained predictor bundled with everything needed to run transfer
 /// experiments repeatedly (restores the pre-trained weights between
 /// targets/samplers, so one pre-training serves many ablation rows).
+///
+/// The pre-trained snapshot lives behind an [`Arc`](std::sync::Arc): it is
+/// immutable after [`PretrainedTask::build`], so per-target forks share one
+/// copy instead of deep-cloning every parameter tensor per thread.
 pub struct PretrainedTask<'a> {
     task: &'a Task,
     table: &'a LatencyTable,
@@ -103,7 +107,7 @@ pub struct PretrainedTask<'a> {
     suite: Option<&'a EncodingSuite>,
     cfg: FewShotConfig,
     predictor: LatencyPredictor,
-    snapshot: Vec<nasflat_tensor::Tensor>,
+    snapshot: std::sync::Arc<Vec<nasflat_tensor::Tensor>>,
 }
 
 impl<'a> PretrainedTask<'a> {
@@ -136,7 +140,7 @@ impl<'a> PretrainedTask<'a> {
         let data =
             PretrainData::from_task(task, table, cfg.pretrain_per_device, cfg.predictor.seed);
         pretrain(&mut predictor, &ctx, &data);
-        let snapshot = predictor.snapshot();
+        let snapshot = std::sync::Arc::new(predictor.snapshot());
         PretrainedTask {
             task,
             table,
@@ -165,10 +169,12 @@ impl<'a> PretrainedTask<'a> {
         &self.predictor
     }
 
-    /// An independent copy sharing the same borrowed pool/table/suite: the
-    /// pre-trained snapshot is cloned, so transfers on the copy cannot
-    /// disturb `self`. This is what lets [`PretrainedTask::transfer_all`]
-    /// fan targets out across threads.
+    /// An independent copy sharing the same borrowed pool/table/suite AND
+    /// the same immutable pre-trained snapshot (an `Arc` bump, not a deep
+    /// clone — only the working predictor's parameters are copied, since the
+    /// fork fine-tunes those in place). This is what lets
+    /// [`PretrainedTask::transfer_all`] fan targets out across threads
+    /// without T× snapshot memory.
     fn fork(&self) -> PretrainedTask<'a> {
         PretrainedTask {
             task: self.task,
@@ -177,7 +183,7 @@ impl<'a> PretrainedTask<'a> {
             suite: self.suite,
             cfg: self.cfg.clone(),
             predictor: self.predictor.clone(),
-            snapshot: self.snapshot.clone(),
+            snapshot: std::sync::Arc::clone(&self.snapshot),
         }
     }
 
@@ -321,9 +327,14 @@ impl<'a> PretrainedTask<'a> {
     }
 
     /// Transfers to every test device of the task, fanning the targets out
-    /// across threads (each gets an independent copy of the pre-trained
-    /// weights). Because every transfer restores the snapshot first, the
-    /// outcome is bit-identical to transferring sequentially.
+    /// across threads. Each fork shares the immutable pre-trained snapshot
+    /// (restored into its own working weights first, so the outcome is
+    /// bit-identical to transferring sequentially), and each fork's
+    /// fine-tune/eval sweep runs through the stacked mixed-device tape path
+    /// — one forward + one backward per mini-batch (see
+    /// [`train_step_on`](crate::train_step_on)) and block-diagonal batch
+    /// evaluation, so targets share per-pass fixed costs instead of paying
+    /// them per architecture.
     ///
     /// # Errors
     /// Propagates the first (in device order) sampler failure.

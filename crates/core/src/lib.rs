@@ -33,6 +33,17 @@
 //! reuse, thread count, and tape batching are **bit-invisible**: scores
 //! equal a sequential fresh-tape loop down to the last ulp.
 //!
+//! **Training** batches the same way: gradient-step mini-batches of at least
+//! [`train_batch`] samples (default [`DEFAULT_TRAIN_BATCH`], env override
+//! `NASFLAT_TRAIN_BATCH`, `0`/`1` disable) are built as one stacked forward
+//! plus ONE backward over the whole batch ([`train_step_on`]). The training
+//! contract is two-armed: the stacked loss **value** is bit-identical to the
+//! per-arch path, and trained weights are bitwise-stable across thread
+//! counts at any fixed setting; across `NASFLAT_TRAIN_BATCH` settings,
+//! parameter gradients may differ in low-order bits (embedding-gather
+//! scatter order), so outputs are pinned **rank-equivalent** instead —
+//! `tests/determinism.rs` covers both arms.
+//!
 //! # Example
 //! ```no_run
 //! use nasflat_core::{FewShotConfig, PretrainedTask};
@@ -79,6 +90,6 @@ pub use predictor::{
 };
 pub use refine::{BackwardKind, DetachMode, RefineOptions, RefinedPredictor, UnrolledKind};
 pub use trainer::{
-    evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain, train_step,
-    train_step_on, TrainContext,
+    evaluate_spearman, fine_tune, hw_init_from_correlation, predict_indices, pretrain, train_batch,
+    train_step, train_step_on, with_train_batch, TrainContext, TrainTape, DEFAULT_TRAIN_BATCH,
 };

@@ -339,7 +339,10 @@ impl LatencyPredictor {
     /// reallocating. Returns the stacked `B×1` score node plus whether the
     /// pass took the **ragged** (mixed block size) fallback rather than the
     /// uniform fast path — the session pass counters record the split.
-    fn forward_batched_with_scratch(
+    /// Crate-visible so the trainer's batched gradient step
+    /// (`trainer::train_step_on`) builds its one-pass-per-batch forward on
+    /// the same machinery as the serving layer.
+    pub(crate) fn forward_batched_with_scratch(
         &self,
         g: &mut Graph,
         scratch: &mut BatchScratch,
@@ -671,9 +674,10 @@ impl SessionCounters {
     }
 }
 
-/// Reusable gather-index scratch for multi-query passes.
+/// Reusable gather-index scratch for multi-query passes (shared by
+/// [`BatchSession`] and the trainer's batched gradient step).
 #[derive(Debug, Default)]
-struct BatchScratch {
+pub(crate) struct BatchScratch {
     op_ids: Vec<usize>,
     node_ids: Vec<usize>,
     hw_ids: Vec<usize>,

@@ -1,19 +1,81 @@
 //! Pre-training, transfer, and evaluation of the latency predictor
 //! (paper §3.4, §5.2, §6.2).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use nasflat_encode::EncodingSuite;
+use nasflat_encode::{EncodingKind, EncodingSuite};
 use nasflat_hw::LatencyTable;
 use nasflat_metrics::spearman_rho;
 use nasflat_space::Arch;
-use nasflat_tensor::{mse_loss, pairwise_hinge_loss, AdamConfig, Graph};
+use nasflat_tensor::{
+    mse_loss, mse_loss_stacked, pairwise_hinge_loss, pairwise_hinge_loss_stacked, AdamConfig,
+    Graph, Var,
+};
 
 use crate::config::{LossKind, PredictorConfig};
 use crate::data::{DeviceSamples, PretrainData};
-use crate::predictor::LatencyPredictor;
+use crate::predictor::{BatchScratch, LatencyPredictor};
+
+/// Default training-batch stacking threshold: gradient-step batches of at
+/// least this many samples are built as ONE multi-query block-diagonal tape
+/// pass (and one backward) over the whole `B·n`-row stack; smaller batches
+/// take the per-architecture path. Any real mini-batch benefits from
+/// stacking (the loss couples the whole batch, so there is no block split to
+/// amortize), hence the threshold simply requires a second sample.
+pub const DEFAULT_TRAIN_BATCH: usize = 2;
+
+const TRAIN_BATCH_UNSET: usize = usize::MAX;
+static TRAIN_BATCH_OVERRIDE: AtomicUsize = AtomicUsize::new(TRAIN_BATCH_UNSET);
+
+/// The training-batch stacking threshold gradient steps use right now: the
+/// innermost [`with_train_batch`] override, else the `NASFLAT_TRAIN_BATCH`
+/// environment variable (read once per process), else
+/// [`DEFAULT_TRAIN_BATCH`]. Values `0` and `1` disable stacked gradient
+/// steps (every batch runs B per-architecture forwards on one tape — the
+/// pre-batching behaviour), mirroring `NASFLAT_TAPE_BATCH` /
+/// [`tape_batch`](crate::tape_batch) on the inference side.
+pub fn train_batch() -> usize {
+    let o = TRAIN_BATCH_OVERRIDE.load(Ordering::Relaxed);
+    if o != TRAIN_BATCH_UNSET {
+        return o;
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        // Malformed values warn on stderr instead of silently defaulting.
+        nasflat_parallel::env_usize("NASFLAT_TRAIN_BATCH", 0).unwrap_or(DEFAULT_TRAIN_BATCH)
+    })
+}
+
+/// Runs `f` with the training-batch stacking threshold pinned to `b` (0
+/// disables stacked gradient steps), restoring the previous setting
+/// afterwards — the programmatic equivalent of launching under
+/// `NASFLAT_TRAIN_BATCH=<b>`.
+///
+/// The override is **process-global** (worker threads spawned inside `f`
+/// see it, unlike a thread-local), so nesting from concurrent threads is not
+/// supported; the bench harness and tests use it from a single driver
+/// thread. Unlike the tape-batch override, the stacked and per-arch step
+/// paths are only *rank-equivalent*, not bit-identical (the one-pass
+/// backward folds parameter gradients over the whole stack in one
+/// accumulation order, where the per-arch path sums B per-forward leaf
+/// blocks) — so a racing override could change low-order bits of trained
+/// weights, never their quality. See the determinism notes on
+/// [`train_step_on`].
+pub fn with_train_batch<R>(b: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TRAIN_BATCH_OVERRIDE.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _guard = Restore(TRAIN_BATCH_OVERRIDE.swap(b, Ordering::SeqCst));
+    f()
+}
 
 /// Shared references the trainer needs: the architecture pool and (when a
 /// supplementary encoding is configured) the encoding suite over that pool.
@@ -39,17 +101,26 @@ impl<'a> TrainContext<'a> {
         }
     }
 
-    /// The supplementary vector for a pool architecture, per config.
+    /// The supplementary vector for a pool architecture, per config — a
+    /// borrow straight out of the suite (the trainer used to clone a fresh
+    /// `Vec<f32>` per forward here, which dominated small-batch step setup).
     ///
     /// # Panics
     /// Panics if the config requires a supplement but no suite is attached.
-    pub fn supplement(&self, cfg: &PredictorConfig, arch_idx: usize) -> Option<Vec<f32>> {
-        cfg.supplement.map(|kind| {
-            let suite = self
-                .suite
-                .expect("config sets a supplement but context has no suite");
-            suite.rows(kind)[arch_idx].clone()
-        })
+    pub fn supplement(&self, cfg: &PredictorConfig, arch_idx: usize) -> Option<&'a [f32]> {
+        cfg.supplement
+            .map(|kind| self.supplement_row(kind, arch_idx))
+    }
+
+    /// The suite's row for one pool architecture under encoding `kind`.
+    ///
+    /// # Panics
+    /// Panics if the context has no suite attached.
+    pub fn supplement_row(&self, kind: EncodingKind, arch_idx: usize) -> &'a [f32] {
+        let suite = self
+            .suite
+            .expect("config sets a supplement but context has no suite");
+        &suite.rows(kind)[arch_idx]
     }
 
     /// Width the predictor's head must reserve for the supplement.
@@ -64,11 +135,44 @@ impl<'a> TrainContext<'a> {
     }
 }
 
+/// Reusable scratch for [`train_step_on`]: the autodiff tape plus the
+/// index/row buffers the stacked batch forward gathers into. One `TrainTape`
+/// serves a whole training run — every buffer is cleared (arenas retained)
+/// per step, so graph construction stops allocating once the first step has
+/// sized them.
+#[derive(Default)]
+pub struct TrainTape {
+    graph: Graph,
+    batch: BatchScratch,
+    devices: Vec<usize>,
+    supp: Vec<Vec<f32>>,
+    scores: Vec<Var>,
+    targets: Vec<f32>,
+}
+
+impl TrainTape {
+    /// A fresh tape with empty arenas; they grow to steady-state size over
+    /// the first gradient step and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// `true` iff some pair of targets satisfies the hinge predicate
+/// `t_i > t_j` — the exact comparison the ranking losses enumerate, so the
+/// skip decision is NaN-correct and identical across the stacked and
+/// per-arch paths.
+fn has_comparable_pair(batch: &[(usize, f32)]) -> bool {
+    batch
+        .iter()
+        .any(|&(_, a)| batch.iter().any(|&(_, b)| a > b))
+}
+
 /// One gradient step on a batch of `(arch index, normalized target)` pairs
 /// for a single device. Returns the batch loss (`None` when the ranking loss
 /// had no comparable pairs and the step was skipped).
 ///
-/// Builds each step on a fresh tape; the epoch loops ([`pretrain`],
+/// Builds each step on a fresh [`TrainTape`]; the epoch loops ([`pretrain`],
 /// [`fine_tune`]) use [`train_step_on`] with one reused tape instead.
 pub fn train_step(
     pred: &mut LatencyPredictor,
@@ -77,68 +181,149 @@ pub fn train_step(
     batch: &[(usize, f32)],
     adam: &AdamConfig,
 ) -> Option<f32> {
-    let mut g = Graph::new();
-    train_step_on(pred, ctx, device, batch, adam, &mut g)
+    let mut tape = TrainTape::new();
+    train_step_on(pred, ctx, device, batch, adam, &mut tape)
 }
 
-/// [`train_step`] on a caller-owned tape: the tape is cleared (arenas
-/// retained) before the forward pass, so per-step graph construction stops
-/// allocating once the first step has sized the buffers. Bit-identical to
-/// building every step on a fresh tape.
+/// [`train_step`] on a caller-owned [`TrainTape`].
+///
+/// When the batch reaches the [`train_batch`] threshold, the whole batch is
+/// built as ONE multi-query block-diagonal forward over the `B·n`-row stack
+/// (the same `forward_batched_*` machinery the serving layer batches on),
+/// the loss closes over the stacked `B×1` score column, and a single
+/// `backward` sweeps the entire batch — versus B per-architecture forwards
+/// and a B-way scalar loss below the threshold.
+///
+/// # Determinism contract
+/// The stacked forward's per-row scores and hence the **loss value** are
+/// bit-identical to the per-arch path (pinned by unit tests); parameter
+/// *gradients* may differ in low-order bits only through the embedding
+/// tables' gather-backward, which folds the whole stack in one scatter order
+/// where the per-arch path sums B per-forward partials. Trained weights are
+/// therefore **rank-equivalent** (not bitwise) across `NASFLAT_TRAIN_BATCH`
+/// settings, and bitwise-stable across thread counts at any fixed setting —
+/// the determinism suite pins both arms.
 pub fn train_step_on(
     pred: &mut LatencyPredictor,
     ctx: &TrainContext<'_>,
     device: usize,
     batch: &[(usize, f32)],
     adam: &AdamConfig,
-    g: &mut Graph,
+    tape: &mut TrainTape,
 ) -> Option<f32> {
     if batch.is_empty() {
         return None;
     }
-    let cfg = pred.config().clone();
-    pred.store.zero_grads();
-    g.clear();
-    let mut scores = Vec::with_capacity(batch.len());
-    let mut targets = Vec::with_capacity(batch.len());
-    for &(idx, t) in batch {
-        let supp = ctx.supplement(&cfg, idx);
-        let y = pred.forward(g, &ctx.pool[idx], device, supp.as_deref());
-        scores.push(y);
-        targets.push(t);
+    let (loss_kind, margin, grad_clip, supp_kind) = {
+        let c = pred.config();
+        (c.loss, c.hinge_margin, c.grad_clip, c.supplement)
+    };
+    // A ranking batch with no comparable pair is a skipped step either way;
+    // deciding before the forward saves building a tape just to discard it.
+    if matches!(loss_kind, LossKind::PairwiseHinge) && !has_comparable_pair(batch) {
+        return None;
     }
-    let loss = match cfg.loss {
-        LossKind::PairwiseHinge => pairwise_hinge_loss(g, &scores, &targets, cfg.hinge_margin)?,
-        LossKind::Mse => mse_loss(g, &scores, &targets),
+    pred.store.zero_grads();
+    let TrainTape {
+        graph: g,
+        batch: scratch,
+        devices,
+        supp,
+        scores,
+        targets,
+    } = tape;
+    g.clear();
+    targets.clear();
+    targets.extend(batch.iter().map(|&(_, t)| t));
+    let threshold = train_batch();
+    let loss = if threshold > 1 && batch.len() >= threshold {
+        let archs: Vec<&Arch> = batch.iter().map(|&(i, _)| &ctx.pool[i]).collect();
+        devices.clear();
+        devices.resize(batch.len(), device);
+        let supp_ref: Option<&[Vec<f32>]> = match supp_kind {
+            Some(kind) => {
+                // Gather the batch's supplement rows into retained row
+                // buffers (inner capacity survives across steps).
+                supp.resize_with(batch.len(), Vec::new);
+                supp.truncate(batch.len());
+                for (dst, &(i, _)) in supp.iter_mut().zip(batch) {
+                    dst.clear();
+                    dst.extend_from_slice(ctx.supplement_row(kind, i));
+                }
+                Some(&supp[..])
+            }
+            None => None,
+        };
+        let (ys, _) = pred.forward_batched_with_scratch(g, scratch, &archs, devices, supp_ref);
+        match loss_kind {
+            LossKind::PairwiseHinge => pairwise_hinge_loss_stacked(g, ys, targets, margin)?,
+            LossKind::Mse => mse_loss_stacked(g, ys, targets),
+        }
+    } else {
+        scores.clear();
+        for &(idx, _) in batch {
+            let row = supp_kind.map(|kind| ctx.supplement_row(kind, idx));
+            scores.push(pred.forward(g, &ctx.pool[idx], device, row));
+        }
+        match loss_kind {
+            LossKind::PairwiseHinge => pairwise_hinge_loss(g, scores, targets, margin)?,
+            LossKind::Mse => mse_loss(g, scores, targets),
+        }
     };
     let value = g.value(loss).item();
     g.backward(loss);
     g.write_grads(&mut pred.store);
-    pred.store.clip_grad_norm(cfg.grad_clip);
+    pred.store.clip_grad_norm(grad_clip);
     pred.store.adam_step(adam);
     Some(value)
 }
 
+/// Resets `perm` to the identity permutation `0..n`, reusing its capacity.
+///
+/// Shuffling a freshly reset identity draws the exact RNG sequence an
+/// in-place shuffle of the sample vector would (Fisher–Yates consumes draws
+/// by slice length alone), and indexing samples through the shuffled
+/// identity reproduces the shuffled vector element-for-element — so the
+/// epoch loops below stay bit-identical to the old clone-and-shuffle while
+/// never copying the sample set.
+fn reset_identity(perm: &mut Vec<usize>, n: usize) {
+    perm.clear();
+    perm.extend(0..n);
+}
+
 /// Pre-trains on all source devices of a task (paper §3.4: conventional
 /// multi-device training with per-device ranking batches).
+///
+/// Every gradient step runs through [`train_step_on`]'s stacked batched path
+/// (one tape pass + one backward per mini-batch) on a single reused
+/// [`TrainTape`]; epoch shuffles permute hoisted index buffers instead of
+/// cloning the sample vectors.
 pub fn pretrain(pred: &mut LatencyPredictor, ctx: &TrainContext<'_>, data: &PretrainData) {
-    let cfg = pred.config().clone();
+    let (epochs, batch_size, lr, weight_decay, seed) = {
+        let c = pred.config();
+        (c.epochs, c.batch_size, c.lr, c.weight_decay, c.seed)
+    };
     let adam = AdamConfig {
-        lr: cfg.lr,
-        weight_decay: cfg.weight_decay,
+        lr,
+        weight_decay,
         ..AdamConfig::default()
     };
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51ED_1234);
-    let mut g = Graph::new(); // one tape for the whole pre-training
-    for _ in 0..cfg.epochs {
-        let mut device_order: Vec<usize> = (0..data.devices.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ED_1234);
+    let mut tape = TrainTape::new(); // one tape for the whole pre-training
+    let mut device_order: Vec<usize> = Vec::new();
+    let mut perm: Vec<usize> = Vec::new();
+    let mut batch_buf: Vec<(usize, f32)> = Vec::new();
+    for _ in 0..epochs {
+        reset_identity(&mut device_order, data.devices.len());
         device_order.shuffle(&mut rng);
         for &d in &device_order {
             let ds: &DeviceSamples = &data.devices[d];
-            let mut samples = ds.samples.clone();
-            samples.shuffle(&mut rng);
-            for batch in samples.chunks(cfg.batch_size) {
-                train_step_on(pred, ctx, ds.device, batch, &adam, &mut g);
+            reset_identity(&mut perm, ds.samples.len());
+            perm.shuffle(&mut rng);
+            for chunk in perm.chunks(batch_size) {
+                batch_buf.clear();
+                batch_buf.extend(chunk.iter().map(|&k| ds.samples[k]));
+                train_step_on(pred, ctx, ds.device, &batch_buf, &adam, &mut tape);
             }
         }
     }
@@ -146,26 +331,42 @@ pub fn pretrain(pred: &mut LatencyPredictor, ctx: &TrainContext<'_>, data: &Pret
 
 /// Fine-tunes on the target device's few samples with a re-initialized
 /// learning schedule (paper §3.4 / MultiPredict-style transfer).
+///
+/// Like [`pretrain`], every step takes the stacked batched gradient path on
+/// one reused [`TrainTape`], with permutation-buffer shuffles.
 pub fn fine_tune(
     pred: &mut LatencyPredictor,
     ctx: &TrainContext<'_>,
     device: usize,
     samples: &DeviceSamples,
 ) {
-    let cfg = pred.config().clone();
+    let (transfer_epochs, batch_size, transfer_lr, weight_decay, seed) = {
+        let c = pred.config();
+        (
+            c.transfer_epochs,
+            c.batch_size,
+            c.transfer_lr,
+            c.weight_decay,
+            c.seed,
+        )
+    };
     pred.store.reset_optimizer_state();
     let adam = AdamConfig {
-        lr: cfg.transfer_lr,
-        weight_decay: cfg.weight_decay,
+        lr: transfer_lr,
+        weight_decay,
         ..AdamConfig::default()
     };
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF17E_704E ^ device as u64);
-    let mut g = Graph::new(); // one tape for the whole fine-tuning
-    for _ in 0..cfg.transfer_epochs {
-        let mut order = samples.samples.clone();
-        order.shuffle(&mut rng);
-        for batch in order.chunks(cfg.batch_size) {
-            train_step_on(pred, ctx, device, batch, &adam, &mut g);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF17E_704E ^ device as u64);
+    let mut tape = TrainTape::new(); // one tape for the whole fine-tuning
+    let mut perm: Vec<usize> = Vec::new();
+    let mut batch_buf: Vec<(usize, f32)> = Vec::new();
+    for _ in 0..transfer_epochs {
+        reset_identity(&mut perm, samples.samples.len());
+        perm.shuffle(&mut rng);
+        for chunk in perm.chunks(batch_size) {
+            batch_buf.clear();
+            batch_buf.extend(chunk.iter().map(|&k| samples.samples[k]));
+            train_step_on(pred, ctx, device, &batch_buf, &adam, &mut tape);
         }
     }
 }
@@ -217,10 +418,10 @@ pub fn predict_indices(
 ) -> Vec<f32> {
     let cfg = pred.config();
     let archs: Vec<&Arch> = indices.iter().map(|&i| &ctx.pool[i]).collect();
-    let supp: Option<Vec<Vec<f32>>> = cfg.supplement.map(|_| {
+    let supp: Option<Vec<Vec<f32>>> = cfg.supplement.map(|kind| {
         indices
             .iter()
-            .map(|&i| ctx.supplement(cfg, i).expect("supplement configured"))
+            .map(|&i| ctx.supplement_row(kind, i).to_vec())
             .collect()
     });
     pred.batch_scores(&archs, device, supp.as_deref())
@@ -323,6 +524,33 @@ mod tests {
             pred.hw_embedding_row(target_idx),
             pred.hw_embedding_row(chosen)
         );
+    }
+
+    /// First arm of the batched-step determinism contract: the stacked
+    /// path's loss VALUE is bit-identical to the per-arch path's on the same
+    /// weights, for both loss kinds (the batched forward's rows and the
+    /// stacked losses' folds reproduce the per-arch arithmetic exactly).
+    #[test]
+    fn stacked_step_loss_matches_per_arch_bitwise() {
+        let pool = probe_pool(Space::Nb201, 20, 4);
+        let ctx = TrainContext::new(&pool);
+        let adam = AdamConfig::default();
+        let batch: Vec<(usize, f32)> = (0..8).map(|i| (i, (i as f32 * 0.37).sin())).collect();
+        for loss in [LossKind::PairwiseHinge, LossKind::Mse] {
+            let mut cfg = tiny_cfg();
+            cfg.loss = loss;
+            let mut a = LatencyPredictor::new(Space::Nb201, vec!["x".into()], 0, cfg.clone());
+            let mut b = LatencyPredictor::new(Space::Nb201, vec!["x".into()], 0, cfg);
+            let la = with_train_batch(0, || train_step(&mut a, &ctx, 0, &batch, &adam))
+                .expect("per-arch step should run");
+            let lb = with_train_batch(2, || train_step(&mut b, &ctx, 0, &batch, &adam))
+                .expect("stacked step should run");
+            assert_eq!(
+                la.to_bits(),
+                lb.to_bits(),
+                "stacked vs per-arch first-step loss diverged for {loss:?}"
+            );
+        }
     }
 
     #[test]

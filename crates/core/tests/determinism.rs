@@ -9,6 +9,11 @@
 //! (the env var is read once per process, so one process can't re-set it
 //! per case), and the tape-batch size via
 //! [`nasflat_core::with_tape_batch`].
+//!
+//! Training's stacked gradient steps carry a two-armed contract (see
+//! [`nasflat_core::train_step_on`]): bit-identical across thread counts at
+//! any fixed `NASFLAT_TRAIN_BATCH` setting, rank-equivalent across
+//! settings — pinned via [`nasflat_core::with_train_batch`].
 
 use nasflat_core::{
     build_ensemble, ensemble_transfer_scores, run_trials, FewShotConfig, LatencyPredictor,
@@ -184,6 +189,60 @@ fn transfer_all_and_trials_are_bit_identical_across_thread_counts() {
         .collect();
     assert_eq!(cells[0], cells[1], "run_trials diverged at 2 threads");
     assert_eq!(cells[0], cells[2], "run_trials diverged at 8 threads");
+}
+
+#[test]
+fn training_is_thread_stable_and_rank_equivalent_across_train_batch() {
+    // The batched-gradient-step contract (PR 8), both arms:
+    //  1. at any fixed `NASFLAT_TRAIN_BATCH` setting, the full
+    //     pretrain -> transfer -> predict pipeline is **bit-identical** at
+    //     1/2/8 threads (each predictor trains sequentially; prediction is
+    //     bit-invisible to threading);
+    //  2. across settings (0 = per-arch steps, 8 = stacked at the quick
+    //     config's batch sizes, 16 = threshold above them), trained weights
+    //     may differ in low-order bits only (embedding gather-backward
+    //     scatter grouping), so predictions are pinned **rank-equivalent**
+    //     rather than bitwise.
+    let task = paper_task("ND").unwrap();
+    let pool = probe_pool(Space::Nb201, 60, 5);
+    let table = LatencyTable::build(DeviceRegistry::nb201().devices(), &pool);
+    let cfg = tiny();
+    let indices: Vec<usize> = (0..40).collect();
+    let mut per_setting: Vec<Vec<f32>> = Vec::new();
+    for &tb in &[0usize, 8, 16] {
+        let runs: Vec<Vec<f32>> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                nasflat_core::with_train_batch(tb, || {
+                    with_threads(t, || {
+                        let mut pre =
+                            PretrainedTask::build(&task, &pool, &table, None, cfg.clone());
+                        pre.transfer_predict("raspi4", &Sampler::Random, 5, &indices)
+                            .unwrap()
+                    })
+                })
+            })
+            .collect();
+        assert_eq!(
+            bits(&runs[0]),
+            bits(&runs[1]),
+            "train_batch={tb}: 1 vs 2 threads diverged"
+        );
+        assert_eq!(
+            bits(&runs[0]),
+            bits(&runs[2]),
+            "train_batch={tb}: 1 vs 8 threads diverged"
+        );
+        per_setting.push(runs[0].clone());
+    }
+    for (i, other) in per_setting.iter().enumerate().skip(1) {
+        let rho = nasflat_metrics::spearman_rho(&per_setting[0], other)
+            .expect("rank correlation should be defined");
+        assert!(
+            rho > 0.99,
+            "train_batch setting {i} broke rank equivalence: rho={rho}"
+        );
+    }
 }
 
 #[test]

@@ -23,6 +23,33 @@ pub fn mse_loss(g: &mut Graph, preds: &[Var], targets: &[f32]) -> Var {
     g.scale(total, 1.0 / preds.len() as f32)
 }
 
+/// [`mse_loss`] over a **stacked** `B×1` score column (one multi-query tape
+/// node instead of B scalar vars): `mean((scores - targets)^2)`.
+///
+/// The per-element subtract/square and the sequential `sum` accumulate in
+/// exactly the per-var order, so the loss *value* is bit-identical to
+/// [`mse_loss`] over the sliced rows; only the gradient bookkeeping differs
+/// (one backward through the stack instead of B scatter paths).
+///
+/// # Panics
+/// Panics if `scores` is not a `targets.len()×1` column or the batch is
+/// empty.
+pub fn mse_loss_stacked(g: &mut Graph, scores: Var, targets: &[f32]) -> Var {
+    let shape = g.value(scores).shape();
+    assert_eq!(
+        shape,
+        (targets.len(), 1),
+        "stacked mse expects a {}x1 score column, got {shape:?}",
+        targets.len()
+    );
+    assert!(!targets.is_empty(), "mse on empty batch");
+    let tv = g.constant(Tensor::from_vec(targets.len(), 1, targets.to_vec()));
+    let d = g.sub(scores, tv);
+    let sq = g.mul(d, d);
+    let total = g.sum_all(sq);
+    g.scale(total, 1.0 / targets.len() as f32)
+}
+
 /// Pairwise hinge ranking loss: for every pair with `target_i > target_j`,
 /// penalizes `max(0, margin - (score_i - score_j))`, averaged over pairs.
 ///
@@ -52,6 +79,56 @@ pub fn pairwise_hinge_loss(
     }
     let total = g.sum_vars(&terms);
     Some(g.scale(total, 1.0 / terms.len() as f32))
+}
+
+/// [`pairwise_hinge_loss`] over a **stacked** `B×1` score column: the
+/// comparable pairs are gathered into two aligned `P×1` columns
+/// (`gather_rows`, whose backward scatter-adds into the stack), and the whole
+/// pair set goes through ONE subtract/scale/relu/sum chain — a handful of
+/// tape nodes instead of ~4·P scalar vars, which is what keeps the batched
+/// gradient step's tape short.
+///
+/// Pairs are enumerated in the same `i`-major order and summed by the same
+/// sequential fold as [`pairwise_hinge_loss`], so the loss *value* is
+/// bit-identical to the per-var form on the sliced rows.
+///
+/// # Panics
+/// Panics if `scores` is not a `targets.len()×1` column.
+pub fn pairwise_hinge_loss_stacked(
+    g: &mut Graph,
+    scores: Var,
+    targets: &[f32],
+    margin: f32,
+) -> Option<Var> {
+    let shape = g.value(scores).shape();
+    assert_eq!(
+        shape,
+        (targets.len(), 1),
+        "stacked hinge expects a {}x1 score column, got {shape:?}",
+        targets.len()
+    );
+    let mut hi = Vec::new();
+    let mut lo = Vec::new();
+    for i in 0..targets.len() {
+        for j in 0..targets.len() {
+            if targets[i] > targets[j] {
+                hi.push(i);
+                lo.push(j);
+            }
+        }
+    }
+    if hi.is_empty() {
+        return None;
+    }
+    let si = g.gather_rows(scores, &hi);
+    let sj = g.gather_rows(scores, &lo);
+    // want score_i - score_j >= margin, elementwise over the pair columns
+    let d = g.sub(si, sj);
+    let neg = g.scale(d, -1.0);
+    let m = g.add_scalar(neg, margin);
+    let r = g.relu(m);
+    let total = g.sum_all(r);
+    Some(g.scale(total, 1.0 / hi.len() as f32))
 }
 
 #[cfg(test)]
@@ -102,6 +179,61 @@ mod tests {
         let a = g.leaf(Tensor::scalar(1.0));
         let b = g.leaf(Tensor::scalar(0.0));
         assert!(pairwise_hinge_loss(&mut g, &[a, b], &[2.0, 2.0], 0.1).is_none());
+    }
+
+    /// Splits a stacked column into per-row slice vars (what the per-var
+    /// losses see when fed from a multi-query pass).
+    fn slice_scores(g: &mut Graph, stacked: Var, n: usize) -> Vec<Var> {
+        (0..n).map(|i| g.slice_rows(stacked, i, 1)).collect()
+    }
+
+    #[test]
+    fn stacked_mse_matches_per_var_bitwise() {
+        let vals = vec![0.37f32, -1.2, 0.05, 2.6];
+        let targets = vec![0.5f32, -1.0, 0.0, 2.0];
+        let mut g = Graph::new();
+        let stacked = g.leaf(Tensor::from_vec(4, 1, vals.clone()));
+        let per_var = {
+            let scores = slice_scores(&mut g, stacked, 4);
+            let l = mse_loss(&mut g, &scores, &targets);
+            g.value(l).item()
+        };
+        let l = mse_loss_stacked(&mut g, stacked, &targets);
+        assert_eq!(g.value(l).item().to_bits(), per_var.to_bits());
+    }
+
+    #[test]
+    fn stacked_hinge_matches_per_var_bitwise() {
+        let vals = vec![0.9f32, 0.1, 0.4, -0.3, 0.7];
+        let targets = vec![3.0f32, 1.0, 2.0, 1.0, 2.0];
+        let mut g = Graph::new();
+        let stacked = g.leaf(Tensor::from_vec(5, 1, vals.clone()));
+        let per_var = {
+            let scores = slice_scores(&mut g, stacked, 5);
+            let l = pairwise_hinge_loss(&mut g, &scores, &targets, 0.25).unwrap();
+            g.value(l).item()
+        };
+        let l = pairwise_hinge_loss_stacked(&mut g, stacked, &targets, 0.25).unwrap();
+        assert_eq!(g.value(l).item().to_bits(), per_var.to_bits());
+    }
+
+    #[test]
+    fn stacked_hinge_none_for_constant_targets() {
+        let mut g = Graph::new();
+        let stacked = g.leaf(Tensor::from_vec(3, 1, vec![1.0, 2.0, 3.0]));
+        assert!(pairwise_hinge_loss_stacked(&mut g, stacked, &[2.0, 2.0, 2.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn stacked_hinge_gradient_pushes_ranking_apart() {
+        let mut g = Graph::new();
+        let stacked = g.leaf(Tensor::from_vec(2, 1, vec![0.0, 0.0]));
+        let l = pairwise_hinge_loss_stacked(&mut g, stacked, &[1.0, 2.0], 1.0).unwrap();
+        g.backward(l);
+        // loss = margin - (s_1 - s_0); d/ds_0 = +1, d/ds_1 = -1
+        let grad = g.grad(stacked);
+        assert!(grad.get(0, 0) > 0.0);
+        assert!(grad.get(1, 0) < 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! the tape to get analytic gradients, and once per perturbed input element
 //! to get central-difference numeric gradients.
 
-use nasflat_tensor::{Graph, Tensor, Var};
+use nasflat_tensor::{mse_loss_stacked, pairwise_hinge_loss_stacked, Graph, Tensor, Var};
 use proptest::prelude::*;
 
 /// Builds the computation on a fresh tape and returns (graph, leaves, root).
@@ -280,6 +280,33 @@ fn grad_broadcast_ops() {
     let b = Tensor::from_vec(1, 2, vec![0.7, -0.3]);
     let c = Tensor::from_vec(1, 2, vec![1.2, 0.4]);
     check_grads(&build, &[a, b, c], 1e-2);
+}
+
+#[test]
+fn grad_mse_loss_stacked() {
+    // The batched training step's MSE: one B×1 score column straight into
+    // the loss, gradient flowing back through the stack.
+    let build: Box<Builder> = Box::new(|g, ins| {
+        let ls = leaves(g, ins);
+        let l = mse_loss_stacked(g, ls[0], &[0.5, -1.0, 0.0, 2.0]);
+        (ls, l)
+    });
+    let scores = Tensor::from_vec(4, 1, vec![0.37, -1.2, 0.05, 2.6]);
+    check_grads(&build, &[scores], 1e-2);
+}
+
+#[test]
+fn grad_pairwise_hinge_loss_stacked() {
+    // Score gaps sit well away from the hinge kink (|margin - gap| >> h) so
+    // central differences stay valid; the pair set mixes active and
+    // saturated hinges to exercise both relu branches.
+    let build: Box<Builder> = Box::new(|g, ins| {
+        let ls = leaves(g, ins);
+        let l = pairwise_hinge_loss_stacked(g, ls[0], &[3.0, 1.0, 2.0], 0.6).unwrap();
+        (ls, l)
+    });
+    let scores = Tensor::from_vec(3, 1, vec![0.9, 0.1, 0.4]);
+    check_grads(&build, &[scores], 1e-2);
 }
 
 proptest! {
