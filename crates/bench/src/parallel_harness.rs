@@ -17,7 +17,10 @@
 //!   layer's `DynamicBatcher` at batch 1 vs dynamic micro-batching over a
 //!   256-query mixed-device stream), `serve_ingress` (the TCP front
 //!   door: one strict request/response connection vs 4 pipelined
-//!   connections coalesced by the scheduler), and `train_batched_step`
+//!   connections coalesced by the scheduler), `serve_deadline` (the
+//!   deadline-aware ingress scheduler: the FIFO drain vs EDF + aging over
+//!   an adversarial tight-budget/best-effort mix, `outputs_match` also
+//!   requiring zero missed or expired deadlines), and `train_batched_step`
 //!   (the pre-PR-8 trainer — `NASFLAT_TRAIN_BATCH=0`, B per-arch forwards
 //!   per step — vs stacked gradient steps with ONE backward per
 //!   mini-batch, over a full pretrain + transfer + predict pipeline).
@@ -809,6 +812,84 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
         );
         ingress.outputs_match &= ingress_matches.get();
         targets.push(ingress);
+
+        // `serve_deadline`: the deadline-aware scheduler under the
+        // adversarial mix (every 9th query carries a tight budget inside a
+        // best-effort flood), FIFO drain vs EDF + aging. Budgets are
+        // generous (10 s) so neither side expires anything — wall-clock
+        // compares pure scheduling overhead, and the gate rides in
+        // `outputs_match`: both policies bitwise the sequential reference,
+        // AND the EDF side answers every tight query in budget
+        // (deadline_missed == deadline_expired == 0).
+        use nasflat_serve::SchedPolicy;
+
+        let deadline_requests: Vec<ServeRequest> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i % 9 == 0 {
+                    r.clone().with_deadline_ms(10_000)
+                } else {
+                    r.clone()
+                }
+            })
+            .collect();
+        let deadline_matches = std::cell::Cell::new(true);
+        let run_deadline = |policy: SchedPolicy| -> Vec<u64> {
+            let cfg = ServeConfig::builder()
+                .workers(threads)
+                .queue_depth(1024)
+                .max_inflight(1024)
+                .sched_policy(policy)
+                .deadline_default_ms(30_000)
+                .build();
+            let server = IngressServer::bind(shared.clone(), &cfg).expect("bind ingress");
+            let addr = server.local_addr();
+            let conns = 4;
+            let per_conn = deadline_requests.len() / conns;
+            let scores: Vec<f32> = std::thread::scope(|scope| {
+                let handles: Vec<_> = deadline_requests
+                    .chunks(per_conn)
+                    .map(|reqs| {
+                        scope.spawn(move || {
+                            let mut client = IngressClient::connect(addr).expect("connect ingress");
+                            client
+                                .predict_many(reqs, 8)
+                                .into_iter()
+                                .map(|r| r.expect("10 s budgets never expire in-bench").score)
+                                .collect::<Vec<f32>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let metrics = server.shutdown();
+            if scores
+                .iter()
+                .zip(&reference)
+                .any(|(s, &r)| s.to_bits() != r)
+            {
+                deadline_matches.set(false);
+            }
+            // The tight-miss gate: every deadline query answered in budget.
+            if metrics.deadline_missed != 0 || metrics.deadline_expired != 0 {
+                deadline_matches.set(false);
+            }
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &scores);
+            digest
+        };
+        let mut deadline = measure_pair(
+            "serve_deadline",
+            threads,
+            || run_deadline(SchedPolicy::Fifo),
+            || run_deadline(SchedPolicy::Edf),
+        );
+        deadline.outputs_match &= deadline_matches.get();
+        targets.push(deadline);
 
         // `bundle_cold_load`: serving-process boot over a directory of K
         // durable bundles when the query stream only touches 2 of them.

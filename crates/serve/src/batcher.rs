@@ -20,6 +20,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use nasflat_core::SessionCounters;
 use nasflat_space::Arch;
@@ -36,12 +37,28 @@ pub struct ServeQuery {
     pub arch: Arch,
     /// Device index into the serving bundle's ordered device list.
     pub device: usize,
+    /// Relative deadline budget, milliseconds, measured from the start of
+    /// the drain; `None` = best-effort (never expires). A query overdue at
+    /// dequeue is answered [`ServeError::DeadlineExceeded`] without a tape
+    /// pass — visible through [`DynamicBatcher::serve_each`]; the
+    /// `Vec<f32>` entry points propagate the first such failure.
+    pub deadline_ms: Option<u32>,
 }
 
 impl ServeQuery {
-    /// A query for `arch` on device index `device`.
+    /// A best-effort query for `arch` on device index `device`.
     pub fn new(arch: Arch, device: usize) -> Self {
-        ServeQuery { arch, device }
+        ServeQuery {
+            arch,
+            device,
+            deadline_ms: None,
+        }
+    }
+
+    /// The same query with a relative deadline budget of `ms` milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 }
 
@@ -50,12 +67,19 @@ impl ServeQuery {
 /// sessions' [`SessionCounters`], so the uniform/ragged split is exact.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeMetrics {
-    /// Queries drained.
+    /// Queries drained (evaluated **or** retired as expired).
     pub queries: usize,
     /// Coalesced groups evaluated (tape passes + singletons).
     pub groups: usize,
     /// Largest coalesced group.
     pub max_group: usize,
+    /// Deadline queries evaluated and answered within their budget.
+    pub deadline_met: usize,
+    /// Deadline queries evaluated, but the answer landed after the budget.
+    pub deadline_missed: usize,
+    /// Deadline queries already overdue at dequeue — answered
+    /// [`ServeError::DeadlineExceeded`] without a tape pass.
+    pub deadline_expired: usize,
     /// Per-member session counters summed over workers: multi-query passes
     /// (uniform fast path vs ragged fallback) and per-query evaluations.
     pub sessions: SessionCounters,
@@ -117,7 +141,9 @@ impl<'m> DynamicBatcher<'m> {
     /// # Errors
     /// [`ServeError::BadQuery`] describing the first malformed query (wrong
     /// space, device index out of range); validation happens before
-    /// anything is enqueued.
+    /// anything is enqueued. [`ServeError::DeadlineExceeded`] if any
+    /// deadline query was overdue at dequeue — use
+    /// [`DynamicBatcher::serve_each`] to keep the rest of the stream.
     pub fn serve(&self, queries: &[ServeQuery]) -> Result<Vec<f32>, ServeError> {
         self.serve_with_metrics(queries).map(|(scores, _)| scores)
     }
@@ -130,11 +156,47 @@ impl<'m> DynamicBatcher<'m> {
         &self,
         queries: &[ServeQuery],
     ) -> Result<(Vec<f32>, ServeMetrics), ServeError> {
+        let (results, metrics) = self.serve_each_with_metrics(queries)?;
+        let mut scores = Vec::with_capacity(results.len());
+        for r in results {
+            scores.push(r?);
+        }
+        Ok((scores, metrics))
+    }
+
+    /// Drains `queries` and returns a per-slot verdict **in input order**:
+    /// `Ok(score)` (bitwise [`ModelBundle::predict_one`]) or
+    /// [`ServeError::DeadlineExceeded`] for a deadline query that was
+    /// already overdue when a worker dequeued it. Deadline budgets are
+    /// relative to the start of the drain; best-effort queries never fail.
+    ///
+    /// # Errors
+    /// [`ServeError::BadQuery`] describing the first malformed query (wrong
+    /// space, device index out of range); validation happens before
+    /// anything is enqueued. Per-slot outcomes are *not* stream errors.
+    pub fn serve_each(
+        &self,
+        queries: &[ServeQuery],
+    ) -> Result<Vec<Result<f32, ServeError>>, ServeError> {
+        self.serve_each_with_metrics(queries).map(|(r, _)| r)
+    }
+
+    /// [`DynamicBatcher::serve_each`] plus the drain's [`ServeMetrics`].
+    ///
+    /// # Errors
+    /// Same conditions as [`DynamicBatcher::serve_each`].
+    pub fn serve_each_with_metrics(
+        &self,
+        queries: &[ServeQuery],
+    ) -> Result<(Vec<Result<f32, ServeError>>, ServeMetrics), ServeError> {
         self.validate(queries)?;
         if queries.is_empty() {
             return Ok((Vec::new(), ServeMetrics::default()));
         }
         let coalesce = self.cfg.batch.max(1);
+        // Deadline budgets are relative to this instant: the drain starts
+        // now, and a query's deadline is `start + deadline_ms`.
+        let start = Instant::now();
         let (tx, rx) = sync_channel::<(usize, &ServeQuery)>(self.cfg.queue_depth.max(1));
         let rx = Mutex::new(rx);
         let bundle = self.bundle;
@@ -156,9 +218,11 @@ impl<'m> DynamicBatcher<'m> {
                 }
                 let _alive = AliveGuard(alive);
                 let mut sessions = bundle.open_sessions();
-                let mut scored: Vec<(usize, f32)> = Vec::new();
+                let mut scored: Vec<(usize, Result<f32, ServeError>)> = Vec::new();
                 let mut metrics = ServeMetrics::default();
                 let mut group: Vec<(usize, &ServeQuery)> = Vec::with_capacity(coalesce);
+                let mut live: Vec<(usize, &ServeQuery, Option<Instant>)> =
+                    Vec::with_capacity(coalesce);
                 let mut archs: Vec<&Arch> = Vec::with_capacity(coalesce);
                 let mut devices: Vec<usize> = Vec::with_capacity(coalesce);
                 loop {
@@ -179,15 +243,51 @@ impl<'m> DynamicBatcher<'m> {
                             }
                         }
                     }
+                    // Retire overdue deadline queries before spending a
+                    // tape pass; best-effort queries (None) never expire.
+                    let now = Instant::now();
+                    live.clear();
+                    for &(i, q) in &group {
+                        let deadline = q
+                            .deadline_ms
+                            .map(|ms| start + Duration::from_millis(ms as u64));
+                        match deadline {
+                            Some(d) if now > d => {
+                                let missed_by_ms = now
+                                    .saturating_duration_since(d)
+                                    .as_millis()
+                                    .min(u32::MAX as u128)
+                                    as u32;
+                                metrics.queries += 1;
+                                metrics.deadline_expired += 1;
+                                scored
+                                    .push((i, Err(ServeError::DeadlineExceeded { missed_by_ms })));
+                            }
+                            _ => live.push((i, q, deadline)),
+                        }
+                    }
+                    if live.is_empty() {
+                        continue;
+                    }
                     archs.clear();
                     devices.clear();
-                    archs.extend(group.iter().map(|(_, q)| &q.arch));
-                    devices.extend(group.iter().map(|(_, q)| q.device));
+                    archs.extend(live.iter().map(|(_, q, _)| &q.arch));
+                    devices.extend(live.iter().map(|(_, q, _)| q.device));
                     let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
-                    metrics.queries += group.len();
+                    metrics.queries += live.len();
                     metrics.groups += 1;
-                    metrics.max_group = metrics.max_group.max(group.len());
-                    scored.extend(group.iter().map(|&(i, _)| i).zip(scores));
+                    metrics.max_group = metrics.max_group.max(live.len());
+                    let finished = Instant::now();
+                    for (&(i, _, deadline), score) in live.iter().zip(scores) {
+                        if let Some(d) = deadline {
+                            if finished <= d {
+                                metrics.deadline_met += 1;
+                            } else {
+                                metrics.deadline_missed += 1;
+                            }
+                        }
+                        scored.push((i, Ok(score)));
+                    }
                 }
                 for s in &sessions {
                     metrics.sessions = metrics.sessions.merge(s.counters());
@@ -229,21 +329,29 @@ impl<'m> DynamicBatcher<'m> {
             },
         );
 
-        let mut scores = vec![0.0f32; queries.len()];
+        let mut results: Vec<Option<Result<f32, ServeError>>> =
+            (0..queries.len()).map(|_| None).collect();
         let mut metrics = ServeMetrics::default();
         let mut delivered = 0usize;
         for (scored, m) in per_worker {
             metrics.queries += m.queries;
             metrics.groups += m.groups;
             metrics.max_group = metrics.max_group.max(m.max_group);
+            metrics.deadline_met += m.deadline_met;
+            metrics.deadline_missed += m.deadline_missed;
+            metrics.deadline_expired += m.deadline_expired;
             metrics.sessions = metrics.sessions.merge(m.sessions);
             for (i, s) in scored {
-                scores[i] = s;
+                results[i] = Some(s);
                 delivered += 1;
             }
         }
         debug_assert_eq!(delivered, queries.len(), "every query answered once");
-        Ok((scores, metrics))
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("every query answered once"))
+            .collect();
+        Ok((results, metrics))
     }
 }
 
@@ -318,5 +426,43 @@ mod tests {
         );
         // NB201 blocks are uniform, so the ragged fallback never fires.
         assert_eq!(metrics.sessions.ragged_passes, 0);
+    }
+
+    #[test]
+    fn deadline_queries_expire_or_meet_deterministically() {
+        let b = bundle();
+        let cfg = ServeConfig::builder().workers(2).batch(8).build();
+        let batcher = DynamicBatcher::new(&b, cfg);
+        // Budget 0: the deadline equals the drain start, so any strictly
+        // later dequeue sees the query overdue — deterministic expiry.
+        let expired: Vec<ServeQuery> = queries(8)
+            .into_iter()
+            .map(|q| q.with_deadline_ms(0))
+            .collect();
+        let (results, metrics) = batcher.serve_each_with_metrics(&expired).unwrap();
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(ServeError::DeadlineExceeded { .. }))));
+        assert_eq!(metrics.deadline_expired, 8);
+        assert_eq!(metrics.queries, 8);
+        assert_eq!(metrics.groups, 0, "no tape pass for expired queries");
+        // The Vec<f32> entry points propagate the first per-slot failure.
+        assert!(matches!(
+            batcher.serve(&expired).unwrap_err(),
+            ServeError::DeadlineExceeded { .. }
+        ));
+        // Generous budgets: every query evaluates, bitwise the best-effort
+        // answers, and counts as met.
+        let generous: Vec<ServeQuery> = queries(16)
+            .into_iter()
+            .map(|q| q.with_deadline_ms(600_000))
+            .collect();
+        let (results, metrics) = batcher.serve_each_with_metrics(&generous).unwrap();
+        let baseline = batcher.serve(&queries(16)).unwrap();
+        for (r, want) in results.iter().zip(&baseline) {
+            assert_eq!(r.as_ref().unwrap().to_bits(), want.to_bits());
+        }
+        assert_eq!(metrics.deadline_met, 16);
+        assert_eq!(metrics.deadline_missed + metrics.deadline_expired, 0);
     }
 }

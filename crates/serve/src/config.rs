@@ -12,6 +12,7 @@
 use std::net::{Ipv4Addr, SocketAddr};
 use std::path::PathBuf;
 
+use crate::sched::SchedPolicy;
 use crate::serve_batch;
 
 /// Tuning knobs of the serving subsystem: the [`DynamicBatcher`], the
@@ -63,15 +64,33 @@ pub struct ServeConfig {
     /// resident before LRU demotion to the warm tier. 0 (the default) is
     /// unbounded. Only disk-backed entries are ever demoted.
     pub hot_capacity: usize,
+    /// Ingress queue ordering: [`SchedPolicy::Fifo`] drains in exact
+    /// arrival order (the pre-deadline behavior, bit-for-bit);
+    /// [`SchedPolicy::Edf`] (the default) is earliest-deadline-first with
+    /// the [`starvation_boost`](ServeConfig::starvation_boost) aging term.
+    /// With no deadlines on the wire the two are identical.
+    pub sched_policy: SchedPolicy,
+    /// Ordering budget assigned to best-effort requests (no `deadline_ms`
+    /// on the wire), milliseconds. They sort as if due that far in the
+    /// future but **never expire** — the knob only positions them relative
+    /// to deadline-bound traffic.
+    pub deadline_default_ms: u32,
+    /// Anti-starvation aging weight of the EDF order: 0 (the default) is
+    /// pure EDF; each increment makes one second of queue wait count as
+    /// one extra second of urgency, sliding the order toward FIFO so
+    /// best-effort traffic always makes progress under a tight-deadline
+    /// flood.
+    pub starvation_boost: u32,
 }
 
 impl ServeConfig {
     /// An env-seeded builder: workers from the calling thread's parallelism
     /// (`NASFLAT_THREADS` / [`nasflat_parallel::with_threads`] overrides
     /// apply), batch from `NASFLAT_SERVE_BATCH`, the store knobs from
-    /// `NASFLAT_STORE_DIR` / `NASFLAT_HOT_CAPACITY`, loopback ephemeral
-    /// bind, and a queue deep enough to keep every worker's next batch
-    /// waiting.
+    /// `NASFLAT_STORE_DIR` / `NASFLAT_HOT_CAPACITY`, the scheduling knobs
+    /// from `NASFLAT_SCHED_POLICY` / `NASFLAT_SCHED_DEADLINE_MS` /
+    /// `NASFLAT_SCHED_BOOST`, loopback ephemeral bind, and a queue deep
+    /// enough to keep every worker's next batch waiting.
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder {
             cfg: ServeConfig {
@@ -85,6 +104,11 @@ impl ServeConfig {
                 read_timeout_ms: 25,
                 store_dir: nasflat_parallel::env_path("NASFLAT_STORE_DIR"),
                 hot_capacity: nasflat_parallel::env_usize("NASFLAT_HOT_CAPACITY", 0).unwrap_or(0),
+                sched_policy: SchedPolicy::from_env(),
+                deadline_default_ms: nasflat_parallel::env_usize("NASFLAT_SCHED_DEADLINE_MS", 1)
+                    .map_or(500, |ms| ms.min(u32::MAX as usize) as u32),
+                starvation_boost: nasflat_parallel::env_usize("NASFLAT_SCHED_BOOST", 0)
+                    .map_or(0, |b| b.min(u32::MAX as usize) as u32),
             },
             queue_depth_pinned: false,
         }
@@ -190,6 +214,29 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Ingress queue ordering (`fifo` = pre-deadline arrival order, `edf` =
+    /// deadline-first with aging). The default comes from
+    /// `NASFLAT_SCHED_POLICY` (unset → edf).
+    pub fn sched_policy(mut self, policy: SchedPolicy) -> Self {
+        self.cfg.sched_policy = policy;
+        self
+    }
+
+    /// Ordering budget for best-effort requests, milliseconds (clamped to
+    /// at least 1; best-effort traffic never expires regardless). The
+    /// default comes from `NASFLAT_SCHED_DEADLINE_MS` (unset → 500).
+    pub fn deadline_default_ms(mut self, ms: u32) -> Self {
+        self.cfg.deadline_default_ms = ms.max(1);
+        self
+    }
+
+    /// Anti-starvation aging weight of the EDF order (0 = pure EDF). The
+    /// default comes from `NASFLAT_SCHED_BOOST` (unset → 0).
+    pub fn starvation_boost(mut self, boost: u32) -> Self {
+        self.cfg.starvation_boost = boost;
+        self
+    }
+
     /// Finalizes the config, deriving `queue_depth` from the final
     /// workers × batch shape unless it was pinned.
     pub fn build(mut self) -> ServeConfig {
@@ -230,6 +277,33 @@ mod tests {
             Some(std::path::Path::new("models/"))
         );
         assert_eq!(tiered.hot_capacity, 2);
+        // Scheduling knobs: EDF with a 500 ms best-effort horizon and no
+        // aging unless the environment says otherwise.
+        if std::env::var_os("NASFLAT_SCHED_POLICY").is_none() {
+            assert_eq!(cfg.sched_policy, SchedPolicy::Edf);
+        }
+        if std::env::var_os("NASFLAT_SCHED_DEADLINE_MS").is_none() {
+            assert_eq!(cfg.deadline_default_ms, 500);
+        }
+        if std::env::var_os("NASFLAT_SCHED_BOOST").is_none() {
+            assert_eq!(cfg.starvation_boost, 0);
+        }
+    }
+
+    #[test]
+    fn scheduling_knobs_override_and_clamp() {
+        let cfg = ServeConfig::builder()
+            .sched_policy(SchedPolicy::Fifo)
+            .deadline_default_ms(0) // clamped: a zero horizon is meaningless
+            .starvation_boost(3)
+            .build();
+        assert_eq!(cfg.sched_policy, SchedPolicy::Fifo);
+        assert_eq!(cfg.deadline_default_ms, 1);
+        assert_eq!(cfg.starvation_boost, 3);
+        assert_eq!("fifo".parse::<SchedPolicy>().unwrap(), SchedPolicy::Fifo);
+        assert_eq!("EDF".parse::<SchedPolicy>().unwrap(), SchedPolicy::Edf);
+        assert!("lifo".parse::<SchedPolicy>().is_err());
+        assert_eq!(SchedPolicy::Edf.to_string(), "edf");
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub enum ServeError {
     /// The service is shutting down (or has shut down); the request was not
     /// evaluated.
     Shutdown,
+    /// The request's deadline passed before it could be evaluated; the
+    /// scheduler answered it immediately instead of wasting a tape pass on
+    /// an answer nobody is waiting for.
+    DeadlineExceeded {
+        /// How far past its deadline the request was when retired,
+        /// milliseconds.
+        missed_by_ms: u32,
+    },
     /// A wire-protocol fault: oversized/malformed frame, closed connection,
     /// or a transport I/O error.
     Wire(WireFault),
@@ -59,6 +67,9 @@ impl core::fmt::Display for ServeError {
                 "server busy (queue full); retry after {retry_after_ms} ms"
             ),
             ServeError::Shutdown => write!(f, "service is shutting down"),
+            ServeError::DeadlineExceeded { missed_by_ms } => {
+                write!(f, "deadline exceeded by {missed_by_ms} ms; not evaluated")
+            }
             ServeError::Wire(e) => write!(f, "wire protocol fault: {e}"),
             ServeError::Bundle(e) => write!(f, "bundle rejected: {e}"),
             ServeError::Io(e) => write!(f, "I/O failure: {e}"),
@@ -109,6 +120,9 @@ mod tests {
             .to_string()
             .contains("7 ms"));
         assert!(ServeError::Shutdown.to_string().contains("shutting down"));
+        assert!(ServeError::DeadlineExceeded { missed_by_ms: 3 }
+            .to_string()
+            .contains("3 ms"));
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! [`nasflat_parallel::WorkerSet`]s and joined at shutdown):
 //!
 //! ```text
-//! accept loop ──► per-connection reader ──► bounded global job queue
-//!       │                 │  ▲                        │
-//!       │                 │  └ per-conn inflight cap  ▼
+//! accept loop ──► per-connection reader ──► bounded DeadlineQueue
+//!       │                 │  ▲               (EDF + aging | FIFO)
+//!       │                 │  └ per-conn          │
+//!       │                 │    inflight cap      ▼
 //!       │         per-connection writer ◄── scheduler workers
-//!       └ max_connections gate               (coalesce across models)
+//!       └ max_connections gate               (coalesce across models,
+//!                                             group by deadline class)
 //! ```
 //!
 //! **Backpressure, never buffering.** Overload is answered, not absorbed:
@@ -20,15 +22,30 @@
 //! per-connection inflight cap ([`ServeConfig::max_inflight`]) blocks a
 //! single pipelining client *before* it can monopolize the shared queue.
 //!
+//! **Deadline-aware draining.** The global queue is a
+//! [`DeadlineQueue`](crate::DeadlineQueue): under
+//! [`SchedPolicy::Edf`](crate::SchedPolicy) requests pop earliest-deadline
+//! first (best-effort requests sort with the
+//! [`deadline_default_ms`](ServeConfig::deadline_default_ms) budget, aged
+//! by [`starvation_boost`](ServeConfig::starvation_boost) so a
+//! tight-deadline flood can never starve them), while
+//! [`SchedPolicy::Fifo`](crate::SchedPolicy) preserves exact arrival
+//! order. A popped group never mixes deadline-bound and best-effort
+//! queries in one tape pass, and queries already overdue at dequeue are
+//! answered [`ServeError::DeadlineExceeded`] immediately instead of being
+//! evaluated.
+//!
 //! **Cross-model coalescing.** Scheduler workers drain the global queue
-//! exactly like the in-process [`DynamicBatcher`](crate::DynamicBatcher):
-//! block for one job, greedily grab up to [`ServeConfig::batch`] − 1 more,
-//! then evaluate the batch — grouped by model version — as mixed-device
-//! multi-query tape passes. Queries from *different connections* to the
-//! same model share a pass; the block-diagonal bit-identity contract makes
-//! the composition invisible: every reply is bitwise the sequential
+//! like the in-process [`DynamicBatcher`](crate::DynamicBatcher): block
+//! for a group of up to [`ServeConfig::batch`] queries, then evaluate it —
+//! grouped by model version — as mixed-device multi-query tape passes.
+//! Queries from *different connections* to the same model share a pass;
+//! the block-diagonal bit-identity contract makes the composition
+//! invisible: every reply is bitwise the sequential
 //! [`ModelBundle::predict_one`](crate::ModelBundle::predict_one) answer at
-//! any connection, worker, or batch count.
+//! any connection, worker, or batch count — under either policy, because
+//! scheduling only changes *which* queries share a pass, never a query's
+//! answer.
 //!
 //! **Graceful shutdown.** [`IngressServer::shutdown`] stops accepting,
 //! lets readers notice the flag at their next read-timeout tick, drains
@@ -38,9 +55,9 @@
 
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nasflat_parallel::WorkerSet;
 use nasflat_space::Arch;
@@ -50,6 +67,7 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::registry::SharedRegistry;
 use crate::request::{ServeRequest, ServeResponse};
+use crate::sched::{DeadlineQueue, PushError, QueueEntry};
 use crate::wire::{
     write_frame, ErrorFrame, Frame, FrameReader, ResponseFrame, ServerStats, StatsFrame, WireFault,
     WIRE_MAX_FRAME,
@@ -136,6 +154,9 @@ struct MetricsInner {
     faulted: AtomicU64,
     groups: AtomicU64,
     max_group: AtomicUsize,
+    deadline_met: AtomicU64,
+    deadline_missed: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 /// A point-in-time snapshot of the ingress counters
@@ -158,6 +179,14 @@ pub struct IngressMetrics {
     pub groups: u64,
     /// Largest coalesced group.
     pub max_group: usize,
+    /// Deadline-bound queries answered within their budget.
+    pub deadline_met: u64,
+    /// Deadline-bound queries evaluated but answered late (the client
+    /// still got the score).
+    pub deadline_missed: u64,
+    /// Queries already overdue at dequeue, answered
+    /// [`ServeError::DeadlineExceeded`] without evaluation.
+    pub deadline_expired: u64,
 }
 
 /// State shared by every ingress thread.
@@ -190,7 +219,7 @@ pub struct IngressServer {
     accept: Option<WorkerSet>,
     conns: Option<Arc<WorkerSet>>,
     workers: Option<WorkerSet>,
-    job_tx: Option<SyncSender<Job>>,
+    queue: Arc<DeadlineQueue<Job>>,
 }
 
 impl core::fmt::Debug for IngressServer {
@@ -221,21 +250,25 @@ impl IngressServer {
             live_conns: AtomicUsize::new(0),
             metrics: MetricsInner::default(),
         });
-        let (job_tx, job_rx) = sync_channel::<Job>(cfg.queue_depth.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let queue = Arc::new(DeadlineQueue::<Job>::new(
+            cfg.queue_depth.max(1),
+            cfg.sched_policy,
+            cfg.deadline_default_ms,
+            cfg.starvation_boost,
+        ));
         let workers = WorkerSet::new("nasflat-ingress-worker");
         for _ in 0..cfg.workers.max(1) {
-            let rx = job_rx.clone();
+            let queue = queue.clone();
             let shared = shared.clone();
-            workers.spawn(move || scheduler_loop(&rx, &shared))?;
+            workers.spawn(move || scheduler_loop(&queue, &shared))?;
         }
         let conns = Arc::new(WorkerSet::new("nasflat-ingress-conn"));
         let accept = WorkerSet::new("nasflat-ingress-accept");
         {
             let shared = shared.clone();
             let conns = conns.clone();
-            let tx = job_tx.clone();
-            accept.spawn(move || accept_loop(listener, &shared, &conns, &tx))?;
+            let queue = queue.clone();
+            accept.spawn(move || accept_loop(listener, &shared, &conns, &queue))?;
         }
         Ok(IngressServer {
             local_addr,
@@ -243,7 +276,7 @@ impl IngressServer {
             accept: Some(accept),
             conns: Some(conns),
             workers: Some(workers),
-            job_tx: Some(job_tx),
+            queue,
         })
     }
 
@@ -264,6 +297,9 @@ impl IngressServer {
             faults: m.faulted.load(Ordering::Relaxed),
             groups: m.groups.load(Ordering::Relaxed),
             max_group: m.max_group.load(Ordering::Relaxed),
+            deadline_met: m.deadline_met.load(Ordering::Relaxed),
+            deadline_missed: m.deadline_missed.load(Ordering::Relaxed),
+            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -283,10 +319,10 @@ impl IngressServer {
         if let Some(accept) = self.accept.take() {
             accept.join();
         }
-        // Readers exit at their next read-timeout tick; dropping the
-        // server's queue handle lets workers observe end-of-stream once
-        // every reader's clone is gone and the queue is drained.
-        drop(self.job_tx.take());
+        // Readers exit at their next read-timeout tick; closing the queue
+        // rejects any late push with `Closed` (answered as a shutdown
+        // error) and lets workers drain what remains, then exit.
+        self.queue.close();
         if let Some(conns) = self.conns.take() {
             // The accept thread held the only other handle and has joined,
             // so unwrapping cannot fail; the fallback spin is pure caution.
@@ -315,7 +351,7 @@ fn accept_loop(
     listener: TcpListener,
     shared: &Arc<Ingress>,
     conns: &Arc<WorkerSet>,
-    job_tx: &SyncSender<Job>,
+    queue: &Arc<DeadlineQueue<Job>>,
 ) {
     loop {
         let mut stream = match listener.accept() {
@@ -350,7 +386,7 @@ fn accept_loop(
         }
         shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         shared.live_conns.fetch_add(1, Ordering::AcqRel);
-        spawn_connection(conns, stream, shared, job_tx);
+        spawn_connection(conns, stream, shared, queue);
     }
 }
 
@@ -358,7 +394,7 @@ fn spawn_connection(
     conns: &Arc<WorkerSet>,
     stream: TcpStream,
     shared: &Arc<Ingress>,
-    job_tx: &SyncSender<Job>,
+    queue: &Arc<DeadlineQueue<Job>>,
 ) {
     // The token is shared by both per-connection threads; the gauge drops
     // when the last of them finishes (or a spawn fails below).
@@ -387,11 +423,11 @@ fn spawn_connection(
         }
     }
     let shared = shared.clone();
-    let job_tx = job_tx.clone();
+    let queue = queue.clone();
     // If this spawn fails, the closure is dropped unrun: reply_tx goes with
     // it, the writer sees the disconnect and exits, the token follows.
     let _ = conns.spawn(move || {
-        reader_loop(stream, &reply_tx, &job_tx, &shared, &slots);
+        reader_loop(stream, &reply_tx, &queue, &shared, &slots);
         drop(token);
     });
 }
@@ -400,7 +436,7 @@ fn spawn_connection(
 fn reader_loop(
     mut stream: TcpStream,
     reply_tx: &Sender<Reply>,
-    job_tx: &SyncSender<Job>,
+    queue: &DeadlineQueue<Job>,
     shared: &Arc<Ingress>,
     slots: &Arc<InflightSlots>,
 ) {
@@ -449,6 +485,9 @@ fn reader_loop(
                         cold_loads: tiers.cold_loads,
                         quarantined: tiers.quarantined,
                         models: registry.len() as u64,
+                        deadline_met: shared.metrics.deadline_met.load(Ordering::Relaxed),
+                        deadline_missed: shared.metrics.deadline_missed.load(Ordering::Relaxed),
+                        deadline_expired: shared.metrics.deadline_expired.load(Ordering::Relaxed),
                     }
                 };
                 let _ = reply_tx.send(Reply {
@@ -499,6 +538,7 @@ fn reader_loop(
             let _ = reply_tx.send(fail(id, Err(ServeError::Shutdown)));
             break;
         }
+        let deadline_ms = req.deadline_ms;
         let job = Job {
             id,
             model_version,
@@ -507,9 +547,9 @@ fn reader_loop(
             device: req.device,
             reply: reply_tx.clone(),
         };
-        match job_tx.try_send(job) {
+        match queue.try_push(job, deadline_ms) {
             Ok(()) => {}
-            Err(TrySendError::Full(_)) => {
+            Err(PushError::Full(_)) => {
                 // The queue is the backpressure boundary: reject now with a
                 // retry hint instead of buffering anywhere.
                 slots.release();
@@ -521,7 +561,7 @@ fn reader_loop(
                     }),
                 ));
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushError::Closed(_)) => {
                 slots.release();
                 let _ = reply_tx.send(fail(id, Err(ServeError::Shutdown)));
                 break;
@@ -578,27 +618,40 @@ fn writer_loop(mut stream: TcpStream, reply_rx: Receiver<Reply>, slots: &Infligh
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Scheduler worker: block for one job, greedily coalesce up to the batch
-/// limit, then evaluate per model version as mixed-device multi-query tape
-/// passes. Queries from different connections share passes here.
-fn scheduler_loop(job_rx: &Mutex<Receiver<Job>>, shared: &Ingress) {
+/// Scheduler worker: block for one deadline-class group (priority order,
+/// expired entries split out), then evaluate per model version as
+/// mixed-device multi-query tape passes. Queries from different
+/// connections share passes here.
+fn scheduler_loop(queue: &DeadlineQueue<Job>, shared: &Ingress) {
     let coalesce = shared.cfg.batch.max(1);
-    loop {
-        let mut group: Vec<Job> = Vec::with_capacity(coalesce);
-        {
-            let rx = job_rx.lock().expect("job queue lock");
-            match rx.recv() {
-                Ok(job) => group.push(job),
-                Err(_) => break, // all producers gone, queue drained
-            }
-            while group.len() < coalesce {
-                match rx.try_recv() {
-                    Ok(job) => group.push(job),
-                    Err(_) => break,
-                }
+    while let Some(drain) = queue.pop_group(coalesce) {
+        // Queries already overdue at dequeue are retired first: an answer
+        // nobody is waiting for is not worth a tape pass.
+        if !drain.expired.is_empty() {
+            let now = Instant::now();
+            for entry in drain.expired {
+                let missed_by_ms = entry.deadline.map_or(0, |d| {
+                    now.saturating_duration_since(d)
+                        .as_millis()
+                        .min(u32::MAX as u128) as u32
+                });
+                shared
+                    .metrics
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                let job = entry.item;
+                let _ = job.reply.send(Reply {
+                    id: job.id,
+                    body: ReplyBody::Answer(Err(ServeError::DeadlineExceeded { missed_by_ms })),
+                    counted: true,
+                });
             }
         }
-        // Evaluate per model version, preserving arrival order within each
+        let group: Vec<QueueEntry<Job>> = drain.live;
+        if group.is_empty() {
+            continue;
+        }
+        // Evaluate per model version, preserving pop order within each
         // sub-group (stable grouping keeps the tape layout deterministic
         // given the same coalesced set).
         let mut done = vec![false; group.len()];
@@ -606,16 +659,16 @@ fn scheduler_loop(job_rx: &Mutex<Receiver<Job>>, shared: &Ingress) {
             if done[start] {
                 continue;
             }
-            let version = group[start].model_version;
+            let version = group[start].item.model_version;
             let members: Vec<usize> = (start..group.len())
-                .filter(|&i| !done[i] && group[i].model_version == version)
+                .filter(|&i| !done[i] && group[i].item.model_version == version)
                 .collect();
             for &i in &members {
                 done[i] = true;
             }
-            let bundle = group[members[0]].bundle.clone();
-            let archs: Vec<&Arch> = members.iter().map(|&i| &group[i].arch).collect();
-            let devices: Vec<usize> = members.iter().map(|&i| group[i].device).collect();
+            let bundle = group[members[0]].item.bundle.clone();
+            let archs: Vec<&Arch> = members.iter().map(|&i| &group[i].item.arch).collect();
+            let devices: Vec<usize> = members.iter().map(|&i| group[i].item.device).collect();
             let mut sessions = bundle.open_sessions();
             let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
             shared.metrics.groups.fetch_add(1, Ordering::Relaxed);
@@ -627,8 +680,22 @@ fn scheduler_loop(job_rx: &Mutex<Receiver<Job>>, shared: &Ingress) {
                 .metrics
                 .served
                 .fetch_add(members.len() as u64, Ordering::Relaxed);
+            let finished = Instant::now();
             for (&i, score) in members.iter().zip(scores) {
-                let job = &group[i];
+                let entry = &group[i];
+                let job = &entry.item;
+                // Deadline accounting: a query evaluated late still gets
+                // its score, but counts as missed instead of met.
+                if let Some(d) = entry.deadline {
+                    if finished <= d {
+                        shared.metrics.deadline_met.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shared
+                            .metrics
+                            .deadline_missed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 // A send error means the connection's writer is gone (the
                 // client hung up); the answer is simply dropped.
                 let _ = job.reply.send(Reply {

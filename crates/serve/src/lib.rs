@@ -31,6 +31,15 @@
 //!   `busy, retry after` instead of buffering ([`ServeError::Busy`]), and a
 //!   scheduler that coalesces queries *across connections and models* into
 //!   shared tape passes. [`IngressClient`] is the matching blocking client.
+//! - [`DeadlineQueue`]: the **deadline-aware scheduler** behind the
+//!   ingress. Requests may carry a relative `deadline_ms` budget
+//!   ([`ServeRequest::with_deadline_ms`]); the queue orders by earliest
+//!   deadline with a configurable anti-starvation aging term
+//!   ([`SchedPolicy::Edf`], [`ServeConfig::starvation_boost`]), groups
+//!   batches by deadline class, and retires overdue requests with
+//!   [`ServeError::DeadlineExceeded`] instead of wasting a tape pass.
+//!   [`SchedPolicy::Fifo`] preserves the pre-deadline arrival-order drain
+//!   bit-for-bit.
 //!
 //! One request/response pair spans all of it: in-process callers hand
 //! [`ServeRequest`]s to [`PredictorRegistry::serve_one`] /
@@ -97,6 +106,7 @@ mod error;
 mod ingress;
 mod registry;
 mod request;
+mod sched;
 mod store;
 pub mod wire;
 
@@ -107,6 +117,7 @@ pub use error::ServeError;
 pub use ingress::{IngressMetrics, IngressServer};
 pub use registry::{CacheStats, PredictorRegistry, SharedRegistry};
 pub use request::{ServeRequest, ServeResponse};
+pub use sched::{DeadlineQueue, Drain, PushError, QueueEntry, SchedPolicy};
 pub use store::{BundleStore, StoreUpdate, TierStats};
 pub use wire::{IngressClient, ServerStats, WireFault};
 

@@ -297,6 +297,11 @@ impl PredictorRegistry {
     /// Answers one [`ServeRequest`], from the LRU result cache when the
     /// exact query was served before (bit-identical either way).
     ///
+    /// Evaluation is immediate — nothing queues, so a
+    /// [`ServeRequest::with_deadline_ms`] budget cannot expire here and is
+    /// not consulted. Deadlines bite where requests *wait*: the
+    /// [`DynamicBatcher`] drains and the TCP ingress queue.
+    ///
     /// # Errors
     /// Unknown model name, or a query malformed for that model.
     pub fn serve_one(&self, req: &ServeRequest) -> Result<ServeResponse, ServeError> {
@@ -348,6 +353,8 @@ impl PredictorRegistry {
     /// # Errors
     /// Unknown model name, or the batcher's query validation failure;
     /// validation of the whole stream happens before anything runs.
+    /// [`ServeError::DeadlineExceeded`] when any deadline request expired —
+    /// use [`PredictorRegistry::serve_each`] to keep the rest of the stream.
     pub fn serve_requests(
         &self,
         reqs: &[ServeRequest],
@@ -367,6 +374,42 @@ impl PredictorRegistry {
         reqs: &[ServeRequest],
         cfg: &ServeConfig,
     ) -> Result<(Vec<ServeResponse>, ServeMetrics), ServeError> {
+        let (results, metrics) = self.serve_each_with_metrics(reqs, cfg)?;
+        let mut responses = Vec::with_capacity(results.len());
+        for r in results {
+            responses.push(r?);
+        }
+        Ok((responses, metrics))
+    }
+
+    /// [`PredictorRegistry::serve_requests`] with a **per-slot verdict**:
+    /// each input-order entry is `Ok(response)` (bitwise the sequential
+    /// reference) or [`ServeError::DeadlineExceeded`] for a
+    /// [`ServeRequest::with_deadline_ms`] request that was overdue at
+    /// dequeue. Budgets are relative to the start of the request's
+    /// model-group drain; best-effort requests never fail per-slot.
+    ///
+    /// # Errors
+    /// Stream-level failures only — unknown model name or query validation,
+    /// detected before anything runs. Deadline outcomes are per-slot.
+    pub fn serve_each(
+        &self,
+        reqs: &[ServeRequest],
+        cfg: &ServeConfig,
+    ) -> Result<Vec<Result<ServeResponse, ServeError>>, ServeError> {
+        self.serve_each_with_metrics(reqs, cfg).map(|(r, _)| r)
+    }
+
+    /// [`PredictorRegistry::serve_each`] plus the drains' [`ServeMetrics`],
+    /// summed over model groups.
+    ///
+    /// # Errors
+    /// Same conditions as [`PredictorRegistry::serve_each`].
+    pub fn serve_each_with_metrics(
+        &self,
+        reqs: &[ServeRequest],
+        cfg: &ServeConfig,
+    ) -> Result<(Vec<Result<ServeResponse, ServeError>>, ServeMetrics), ServeError> {
         // Group indices by model, preserving first-appearance order.
         let mut order: Vec<&str> = Vec::new();
         let mut groups: HashMap<&str, Vec<usize>> = HashMap::new();
@@ -385,26 +428,34 @@ impl PredictorRegistry {
             .iter()
             .map(|name| self.lookup(name))
             .collect::<Result<_, _>>()?;
-        let mut responses: Vec<Option<ServeResponse>> = vec![None; reqs.len()];
+        let mut results: Vec<Option<Result<ServeResponse, ServeError>>> =
+            (0..reqs.len()).map(|_| None).collect();
         let mut metrics = ServeMetrics::default();
         for (name, (model_id, bundle)) in order.iter().zip(resolved) {
             let indices = &groups[name];
             let queries: Vec<ServeQuery> = indices
                 .iter()
-                .map(|&i| ServeQuery::new(reqs[i].arch.clone(), reqs[i].device))
+                .map(|&i| {
+                    let mut q = ServeQuery::new(reqs[i].arch.clone(), reqs[i].device);
+                    q.deadline_ms = reqs[i].deadline_ms;
+                    q
+                })
                 .collect();
-            let (scores, m) =
-                DynamicBatcher::new(&bundle, cfg.clone()).serve_with_metrics(&queries)?;
+            let (slots, m) =
+                DynamicBatcher::new(&bundle, cfg.clone()).serve_each_with_metrics(&queries)?;
             metrics.queries += m.queries;
             metrics.groups += m.groups;
             metrics.max_group = metrics.max_group.max(m.max_group);
+            metrics.deadline_met += m.deadline_met;
+            metrics.deadline_missed += m.deadline_missed;
+            metrics.deadline_expired += m.deadline_expired;
             metrics.sessions = metrics.sessions.merge(m.sessions);
-            for (&i, s) in indices.iter().zip(scores) {
-                responses[i] = Some(ServeResponse::new(s, model_id));
+            for (&i, s) in indices.iter().zip(slots) {
+                results[i] = Some(s.map(|score| ServeResponse::new(score, model_id)));
             }
         }
         Ok((
-            responses
+            results
                 .into_iter()
                 .map(|r| r.expect("every request answered"))
                 .collect(),

@@ -26,16 +26,34 @@ pub struct ServeRequest {
     pub arch: Arch,
     /// Device index into the model's ordered device list.
     pub device: usize,
+    /// Relative deadline budget, milliseconds: how long the caller is
+    /// willing to wait, measured from admission. `None` (the default) is
+    /// best-effort — scheduled with the configured default budget
+    /// ([`ServeConfig::deadline_default_ms`](crate::ServeConfig)) but never
+    /// expired. Requests whose budget runs out before evaluation are
+    /// answered
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+    /// instead of a score.
+    pub deadline_ms: Option<u32>,
 }
 
 impl ServeRequest {
-    /// A request for `arch` on device index `device` of model `model`.
+    /// A best-effort request for `arch` on device index `device` of model
+    /// `model`.
     pub fn new(model: impl Into<String>, arch: Arch, device: usize) -> Self {
         ServeRequest {
             model: model.into(),
             arch,
             device,
+            deadline_ms: None,
         }
+    }
+
+    /// The same request with a relative deadline budget of `ms`
+    /// milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 }
 

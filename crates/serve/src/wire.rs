@@ -8,11 +8,21 @@
 //! ```text
 //! frame     := u32 body_len | body               (body_len ≤ WIRE_MAX_FRAME)
 //! REQUEST   := 0x01 | u64 id | u8 space | bytes genotype | u32 device | str model
+//!              [ u8 flags | u32 deadline_ms ]    (flags bit 0 = deadline present)
 //! RESPONSE  := 0x02 | u64 id | u64 model_version | f32 score
 //! ERROR     := 0x03 | u64 id | u8 code | u32 retry_after_ms | str detail
 //! STATS_REQ := 0x04 | u64 id
-//! STATS     := 0x05 | u64 id | 11 × u64          (see ServerStats field order)
+//! STATS     := 0x05 | u64 id | 14 × u64          (see ServerStats field order)
 //! ```
+//!
+//! The REQUEST trailer is optional for compatibility in both directions:
+//! clients without a deadline omit the flags byte entirely (an old server
+//! accepts the frame unchanged), and a decoder only reads the trailer when
+//! bytes remain after `model` (an old client's frames decode as
+//! best-effort). The deadline is a *relative* budget in milliseconds — no
+//! wall-clock crosses the wire. Similarly, STATS grew from 11 to 14 `u64`
+//! fields; decoders treat the last three (the deadline met/missed/expired
+//! counters) as optional and zero-fill when an older server omits them.
 //!
 //! Request ids are chosen by the client (any nonzero value; responses echo
 //! them), which is what makes pipelining possible: a client may keep many
@@ -51,6 +61,10 @@ const CODE_BUSY: u8 = 3;
 const CODE_SHUTDOWN: u8 = 4;
 const CODE_WIRE: u8 = 5;
 const CODE_INTERNAL: u8 = 6;
+const CODE_DEADLINE: u8 = 7;
+
+/// REQUEST flags bit 0: a `u32 deadline_ms` follows the flags byte.
+const REQ_FLAG_DEADLINE: u8 = 0x01;
 
 /// Why reading or decoding a frame failed.
 #[non_exhaustive]
@@ -129,6 +143,10 @@ pub struct RequestFrame {
     pub device: u32,
     /// Registry name of the target model.
     pub model: String,
+    /// Relative deadline budget, milliseconds; `None` = best-effort.
+    /// Travels as an optional flags-byte trailer, so deadline-free frames
+    /// are byte-identical to the pre-deadline protocol.
+    pub deadline_ms: Option<u32>,
 }
 
 impl RequestFrame {
@@ -140,6 +158,7 @@ impl RequestFrame {
             genotype: req.arch.genotype().to_vec(),
             device: req.device as u32,
             model: req.model.clone(),
+            deadline_ms: req.deadline_ms,
         }
     }
 
@@ -155,6 +174,7 @@ impl RequestFrame {
             genotype,
             device,
             model,
+            deadline_ms,
         } = self;
         if id == 0 {
             return Err(ServeError::BadQuery(
@@ -169,7 +189,9 @@ impl RequestFrame {
                 space.short_name()
             ))
         })?;
-        Ok((id, ServeRequest::new(model, arch, device as usize)))
+        let mut req = ServeRequest::new(model, arch, device as usize);
+        req.deadline_ms = deadline_ms;
+        Ok((id, req))
     }
 }
 
@@ -192,7 +214,9 @@ pub struct ErrorFrame {
     pub id: u64,
     /// Stable failure code (see [`ErrorFrame::to_error`] for the mapping).
     pub code: u8,
-    /// Retry hint for busy rejections, milliseconds (`0` otherwise).
+    /// Millisecond payload of the code: the retry hint of a busy
+    /// rejection, or how late a deadline-exceeded request was (`0` for
+    /// every other code).
     pub retry_after_ms: u32,
     /// Human-readable detail.
     pub detail: String,
@@ -206,6 +230,9 @@ impl ErrorFrame {
             ServeError::BadQuery(detail) => (CODE_BAD_QUERY, 0, detail.clone()),
             ServeError::Busy { retry_after_ms } => (CODE_BUSY, *retry_after_ms, String::new()),
             ServeError::Shutdown => (CODE_SHUTDOWN, 0, String::new()),
+            ServeError::DeadlineExceeded { missed_by_ms } => {
+                (CODE_DEADLINE, *missed_by_ms, String::new())
+            }
             ServeError::Wire(fault) => (CODE_WIRE, 0, fault.to_string()),
             // Bundle/Io and any future variant: internal fault, detail only.
             other => (CODE_INTERNAL, 0, other.to_string()),
@@ -228,6 +255,9 @@ impl ErrorFrame {
                 retry_after_ms: self.retry_after_ms,
             },
             CODE_SHUTDOWN => ServeError::Shutdown,
+            CODE_DEADLINE => ServeError::DeadlineExceeded {
+                missed_by_ms: self.retry_after_ms,
+            },
             CODE_WIRE => ServeError::Wire(WireFault::Malformed(self.detail.clone())),
             CODE_INTERNAL => ServeError::Io(std::io::Error::other(self.detail.clone())),
             other => ServeError::Wire(WireFault::Malformed(format!(
@@ -266,6 +296,15 @@ pub struct ServerStats {
     pub quarantined: u64,
     /// Models the registry currently serves.
     pub models: u64,
+    /// Deadline-bound queries answered within their budget.
+    pub deadline_met: u64,
+    /// Deadline-bound queries evaluated but answered late (they still got
+    /// their score).
+    pub deadline_missed: u64,
+    /// Queries already overdue at dequeue, retired with
+    /// [`ServeError::DeadlineExceeded`] without
+    /// evaluation.
+    pub deadline_expired: u64,
 }
 
 /// A stats snapshot frame (server → client answer to a stats request).
@@ -304,6 +343,12 @@ impl Frame {
                 body.put_bytes(&r.genotype);
                 body.put_u32(r.device);
                 body.put_str(&r.model);
+                // Deadline-free requests omit the trailer entirely, keeping
+                // the frame byte-identical to the pre-deadline protocol.
+                if let Some(ms) = r.deadline_ms {
+                    body.put_u8(REQ_FLAG_DEADLINE);
+                    body.put_u32(ms);
+                }
             }
             Frame::Response(r) => {
                 body.put_u8(OP_RESPONSE);
@@ -338,6 +383,9 @@ impl Frame {
                     st.cold_loads,
                     st.quarantined,
                     st.models,
+                    st.deadline_met,
+                    st.deadline_missed,
+                    st.deadline_expired,
                 ] {
                     body.put_u64(v);
                 }
@@ -363,12 +411,29 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
             let genotype = r.get_bytes().map_err(malformed)?.to_vec();
             let device = r.get_u32().map_err(malformed)?;
             let model = r.get_str().map_err(malformed)?.to_string();
+            // Optional trailer: old clients end the frame at `model`.
+            let deadline_ms = if r.is_empty() {
+                None
+            } else {
+                let flags = r.get_u8().map_err(malformed)?;
+                if flags & !REQ_FLAG_DEADLINE != 0 {
+                    return Err(WireFault::Malformed(format!(
+                        "unknown request flags {flags:#04x}"
+                    )));
+                }
+                if flags & REQ_FLAG_DEADLINE != 0 {
+                    Some(r.get_u32().map_err(malformed)?)
+                } else {
+                    None
+                }
+            };
             Frame::Request(RequestFrame {
                 id,
                 space,
                 genotype,
                 device,
                 model,
+                deadline_ms,
             })
         }
         OP_RESPONSE => Frame::Response(ResponseFrame {
@@ -385,8 +450,16 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
         OP_STATS_REQUEST => Frame::StatsRequest(r.get_u64().map_err(malformed)?),
         OP_STATS => {
             let id = r.get_u64().map_err(malformed)?;
-            let mut fields = [0u64; 11];
-            for f in &mut fields {
+            let mut fields = [0u64; 14];
+            for f in fields.iter_mut().take(11) {
+                *f = r.get_u64().map_err(malformed)?;
+            }
+            // The deadline counters are optional: an older server sends 11
+            // fields and the last three stay zero.
+            for f in fields.iter_mut().skip(11) {
+                if r.is_empty() {
+                    break;
+                }
                 *f = r.get_u64().map_err(malformed)?;
             }
             Frame::Stats(StatsFrame {
@@ -403,6 +476,9 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
                     cold_loads: fields[8],
                     quarantined: fields[9],
                     models: fields[10],
+                    deadline_met: fields[11],
+                    deadline_missed: fields[12],
+                    deadline_expired: fields[13],
                 },
             })
         }
@@ -474,19 +550,27 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> Result<Frame, WireFau
 /// still checked against the limit as soon as the 4-byte prefix is
 /// buffered — before the body accumulates.
 #[derive(Debug, Default)]
-pub(crate) struct FrameReader {
+pub struct FrameReader {
     buf: Vec<u8>,
 }
 
 impl FrameReader {
-    pub(crate) fn new() -> Self {
+    /// An empty reader, ready to accumulate its first frame.
+    pub fn new() -> Self {
         FrameReader::default()
     }
 
     /// Tries to complete one frame: `Ok(Some)` when a full frame is
     /// buffered, `Ok(None)` when the read timed out first (call again),
     /// `Err` on a protocol or transport fault.
-    pub(crate) fn poll<R: Read>(
+    ///
+    /// # Errors
+    /// [`WireFault::Oversized`] as soon as the 4-byte prefix declares a
+    /// body over `max_frame`, [`WireFault::Closed`] on clean EOF at a
+    /// frame boundary, [`WireFault::Malformed`] on undecodable bodies or
+    /// mid-frame EOF, [`WireFault::Io`] on transport errors other than a
+    /// timeout.
+    pub fn poll<R: Read>(
         &mut self,
         r: &mut R,
         max_frame: usize,
@@ -700,6 +784,10 @@ mod tests {
     fn frames_round_trip_through_the_wire() {
         let frames = [
             Frame::Request(RequestFrame::from_request(9, &sample_request())),
+            Frame::Request(RequestFrame::from_request(
+                10,
+                &sample_request().with_deadline_ms(250),
+            )),
             Frame::Response(ResponseFrame {
                 id: 9,
                 model_version: 3,
@@ -724,6 +812,9 @@ mod tests {
                     cold_loads: 9,
                     quarantined: 10,
                     models: 11,
+                    deadline_met: 12,
+                    deadline_missed: 13,
+                    deadline_expired: 14,
                 },
             }),
         ];
@@ -905,6 +996,7 @@ mod tests {
             ServeError::BadQuery("device 9 out of range".into()),
             ServeError::Busy { retry_after_ms: 42 },
             ServeError::Shutdown,
+            ServeError::DeadlineExceeded { missed_by_ms: 8 },
         ];
         for err in &cases {
             let frame = ErrorFrame::from_error(3, err);
@@ -927,5 +1019,68 @@ mod tests {
             detail: "quota exceeded".into(),
         };
         assert!(matches!(future.to_error(), ServeError::Wire(_)));
+        // DeadlineExceeded carries its lateness through the retry slot.
+        let late = ErrorFrame::from_error(2, &ServeError::DeadlineExceeded { missed_by_ms: 77 });
+        assert_eq!(late.retry_after_ms, 77);
+        assert!(matches!(
+            late.to_error(),
+            ServeError::DeadlineExceeded { missed_by_ms: 77 }
+        ));
+    }
+
+    #[test]
+    fn deadline_trailer_is_backward_and_forward_compatible() {
+        // A deadline-free request encodes byte-identically to the
+        // pre-deadline protocol: no flags byte at all.
+        let plain = Frame::Request(RequestFrame::from_request(5, &sample_request()));
+        let with_deadline = Frame::Request(RequestFrame::from_request(
+            5,
+            &sample_request().with_deadline_ms(100),
+        ));
+        assert_eq!(plain.encode().len() + 5, with_deadline.encode().len());
+        let decoded = read_frame(&mut &plain.encode()[..], WIRE_MAX_FRAME).unwrap();
+        assert!(matches!(decoded, Frame::Request(r) if r.deadline_ms.is_none()));
+        // The deadline survives frame → ServeRequest validation.
+        let Frame::Request(rf) =
+            read_frame(&mut &with_deadline.encode()[..], WIRE_MAX_FRAME).unwrap()
+        else {
+            panic!("request frame expected")
+        };
+        let (_, req) = rf.into_request().unwrap();
+        assert_eq!(req.deadline_ms, Some(100));
+        // A flags byte with unknown bits set is rejected, not ignored —
+        // a future protocol extension must not silently decode wrong.
+        let mut bytes = with_deadline.encode();
+        let flags_at = plain.encode().len(); // first trailer byte
+        bytes[flags_at] |= 0x80;
+        assert!(matches!(
+            read_frame(&mut &bytes[..], WIRE_MAX_FRAME).unwrap_err(),
+            WireFault::Malformed(d) if d.contains("flags")
+        ));
+        // An 11-field stats body (older server) zero-fills the deadline
+        // counters instead of failing.
+        let mut body = ByteWriter::new();
+        body.put_u8(OP_STATS);
+        body.put_u64(3);
+        for v in 1..=11u64 {
+            body.put_u64(v);
+        }
+        let body = body.into_vec();
+        let mut framed = ByteWriter::new();
+        framed.put_len(body.len());
+        framed.put_raw(&body);
+        let bytes = framed.into_vec();
+        let Frame::Stats(s) = read_frame(&mut &bytes[..], WIRE_MAX_FRAME).unwrap() else {
+            panic!("stats frame expected")
+        };
+        assert_eq!(s.stats.models, 11);
+        assert_eq!(
+            (
+                s.stats.deadline_met,
+                s.stats.deadline_missed,
+                s.stats.deadline_expired
+            ),
+            (0, 0, 0)
+        );
     }
 }

@@ -10,8 +10,8 @@ use std::net::TcpStream;
 use nasflat_core::{LatencyPredictor, PredictorConfig};
 use nasflat_serve::wire::{read_frame, Frame, WIRE_MAX_FRAME};
 use nasflat_serve::{
-    IngressClient, IngressServer, ModelBundle, PredictorRegistry, ServeConfig, ServeError,
-    ServeRequest, SharedRegistry,
+    IngressClient, IngressServer, ModelBundle, PredictorRegistry, SchedPolicy, ServeConfig,
+    ServeError, ServeRequest, SharedRegistry,
 };
 use nasflat_space::{Arch, Space};
 
@@ -326,4 +326,42 @@ fn shutdown_mid_stream_answers_or_fails_clean_never_corrupts() {
         TcpStream::connect(addr).is_err(),
         "listener survived shutdown"
     );
+}
+
+/// The determinism matrix of the deadline-aware scheduler: a fixed arrival
+/// order (one connection, strict pipelining) must drain bitwise identical
+/// to the sequential reference under **every** policy × worker-count
+/// combination — scheduling reorders *when* queries evaluate, never *what*
+/// they answer.
+#[test]
+fn policy_and_worker_matrix_stays_bitwise_deterministic() {
+    let registry = shared_registry();
+    let reqs = mixed_requests(96, 41);
+    let expected = reference_bits(&registry, &reqs);
+    for policy in [SchedPolicy::Fifo, SchedPolicy::Edf] {
+        for workers in [1usize, 2, 8] {
+            let cfg = ServeConfig::builder()
+                .workers(workers)
+                .batch(8)
+                .sched_policy(policy)
+                .build();
+            let server = IngressServer::bind(registry.clone(), &cfg).expect("bind");
+            let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+            let got: Vec<u32> = client
+                .predict_many(&reqs, 8)
+                .into_iter()
+                .map(|r| r.expect("valid query").score.to_bits())
+                .collect();
+            assert_eq!(
+                got, expected,
+                "{policy:?} × {workers} workers diverged from sequential"
+            );
+            let metrics = server.shutdown();
+            assert_eq!(metrics.queries_served, reqs.len() as u64);
+            // Best-effort traffic never trips the deadline machinery.
+            assert_eq!(metrics.deadline_met, 0);
+            assert_eq!(metrics.deadline_missed, 0);
+            assert_eq!(metrics.deadline_expired, 0);
+        }
+    }
 }

@@ -1,0 +1,227 @@
+//! Adversarial acceptance suite for the deadline-aware ingress scheduler:
+//! a best-effort flood must not starve tight-deadline queries under EDF,
+//! every evaluated answer stays bitwise the sequential reference, EDF
+//! degenerates to FIFO when every request shares one budget, and overdue
+//! queries are retired with `DeadlineExceeded` instead of wasting a pass.
+
+use nasflat_core::{LatencyPredictor, PredictorConfig};
+use nasflat_serve::{
+    IngressClient, IngressServer, ModelBundle, PredictorRegistry, SchedPolicy, ServeConfig,
+    ServeError, ServeRequest, SharedRegistry,
+};
+use nasflat_space::{Arch, Space};
+
+fn tiny_cfg(seed: u64) -> PredictorConfig {
+    let mut c = PredictorConfig::quick().with_seed(seed);
+    c.op_dim = 8;
+    c.hw_dim = 8;
+    c.node_dim = 8;
+    c.ophw_gnn_dims = vec![12];
+    c.ophw_mlp_dims = vec![12];
+    c.gnn_dims = vec![12];
+    c.head_dims = vec![16];
+    c
+}
+
+fn bundle(seed: u64, num_devices: usize) -> ModelBundle {
+    let devices = (0..num_devices).map(|i| format!("dev_{i}")).collect();
+    ModelBundle::single(LatencyPredictor::new(
+        Space::Nb201,
+        devices,
+        0,
+        tiny_cfg(seed),
+    ))
+    .unwrap()
+}
+
+fn shared_registry() -> SharedRegistry {
+    let mut reg = PredictorRegistry::new(0); // no result cache: every hit is a real pass
+    reg.insert("alpha", bundle(7, 3)).unwrap();
+    reg.insert("beta", bundle(8, 3)).unwrap();
+    reg.into_shared()
+}
+
+fn mixed_requests(n: usize, salt: u64) -> Vec<ServeRequest> {
+    (0..n)
+        .map(|i| {
+            let model = if i % 3 == 0 { "beta" } else { "alpha" };
+            ServeRequest::new(
+                model,
+                Arch::nb201_from_index((i as u64 * 547 + salt) % 15_625),
+                i % 3,
+            )
+        })
+        .collect()
+}
+
+/// The reference: a sequential predict loop straight on the bundles.
+fn reference_bits(registry: &SharedRegistry, reqs: &[ServeRequest]) -> Vec<u32> {
+    let reg = registry.read().unwrap();
+    reqs.iter()
+        .map(|r| {
+            reg.get(&r.model)
+                .unwrap()
+                .predict_one(&r.arch, r.device)
+                .to_bits()
+        })
+        .collect()
+}
+
+/// The adversarial mix: 64 tight-deadline queries buried in a 512-query
+/// best-effort flood, pipelined down one connection into a 4-worker EDF
+/// scheduler. Every tight query must be *met* (answered in budget,
+/// bitwise the sequential reference) or *expired* (`DeadlineExceeded`) —
+/// never silently late — and every best-effort query must still complete
+/// bitwise-correct: aging-aware EDF reorders, it does not starve.
+#[test]
+fn edf_meets_tight_deadlines_without_starving_the_flood() {
+    let registry = shared_registry();
+    let cfg = ServeConfig::builder()
+        .workers(4)
+        .batch(8)
+        .queue_depth(1024)
+        .max_inflight(1024)
+        .sched_policy(SchedPolicy::Edf)
+        .deadline_default_ms(30_000) // best-effort ordering budget
+        .build();
+    let server = IngressServer::bind(registry.clone(), &cfg).expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+
+    const TOTAL: usize = 576;
+    let reqs: Vec<ServeRequest> = mixed_requests(TOTAL, 17)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if i % 9 == 0 {
+                r.with_deadline_ms(5_000) // 64 tight queries
+            } else {
+                r // 512 best-effort
+            }
+        })
+        .collect();
+    let tights = reqs.iter().filter(|r| r.deadline_ms.is_some()).count();
+    assert_eq!(tights, 64);
+    let expected = reference_bits(&registry, &reqs);
+
+    let results = client.predict_many(&reqs, TOTAL);
+    let mut tight_ok = 0usize;
+    let mut tight_expired = 0usize;
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(resp) => {
+                assert_eq!(resp.score.to_bits(), expected[i], "query {i} diverged");
+                if reqs[i].deadline_ms.is_some() {
+                    tight_ok += 1;
+                }
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => {
+                assert!(
+                    reqs[i].deadline_ms.is_some(),
+                    "best-effort query {i} can never expire"
+                );
+                tight_expired += 1;
+            }
+            Err(other) => panic!("query {i}: unexpected error {other}"),
+        }
+    }
+    // Zero starvation: every best-effort query completed (any miss would
+    // have panicked above), and every tight query was answered in budget
+    // or honestly expired.
+    assert_eq!(tight_ok + tight_expired, 64);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.busy_rejections, 0, "sized to never overflow");
+    assert_eq!(metrics.faults, 0);
+    assert_eq!(metrics.queries_served as usize, TOTAL - tight_expired);
+    assert_eq!(
+        metrics.deadline_met + metrics.deadline_missed,
+        tight_ok as u64
+    );
+    assert_eq!(metrics.deadline_expired, tight_expired as u64);
+    assert_eq!(
+        metrics.deadline_missed, 0,
+        "a 5 s budget on a micro model must never be evaluated late"
+    );
+}
+
+/// With every request sharing one budget, EDF's priority key reduces to
+/// arrival order — the drain must match FIFO answer-for-answer (both
+/// bitwise the sequential reference) with nothing expired or late.
+#[test]
+fn edf_equals_fifo_when_every_deadline_is_equal() {
+    let registry = shared_registry();
+    let reqs: Vec<ServeRequest> = mixed_requests(128, 29)
+        .into_iter()
+        .map(|r| r.with_deadline_ms(30_000))
+        .collect();
+    let expected = reference_bits(&registry, &reqs);
+
+    let mut answers: Vec<Vec<u32>> = Vec::new();
+    for policy in [SchedPolicy::Fifo, SchedPolicy::Edf] {
+        let cfg = ServeConfig::builder()
+            .workers(2)
+            .batch(8)
+            .sched_policy(policy)
+            .build();
+        let server = IngressServer::bind(registry.clone(), &cfg).expect("bind");
+        let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+        let got: Vec<u32> = client
+            .predict_many(&reqs, 16)
+            .into_iter()
+            .map(|r| {
+                r.expect("equal generous deadlines never expire")
+                    .score
+                    .to_bits()
+            })
+            .collect();
+        assert_eq!(got, expected, "{policy:?} diverged from sequential");
+        let metrics = server.shutdown();
+        assert_eq!(metrics.deadline_met, reqs.len() as u64);
+        assert_eq!(metrics.deadline_missed + metrics.deadline_expired, 0);
+        answers.push(got);
+    }
+    assert_eq!(answers[0], answers[1], "EDF must reduce to FIFO here");
+}
+
+/// Expiry-before-batch: queries whose budget is already gone at dequeue
+/// are answered `DeadlineExceeded` without an evaluation. A zero budget
+/// makes the deadline equal the admission instant, so any strictly later
+/// dequeue sees it overdue — deterministic, no timing knife-edge.
+#[test]
+fn overdue_queries_expire_at_dequeue_without_evaluation() {
+    let registry = shared_registry();
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .batch(8)
+        .queue_depth(256)
+        .max_inflight(256)
+        .sched_policy(SchedPolicy::Fifo) // arrival order: flood drains first
+        .build();
+    let server = IngressServer::bind(registry.clone(), &cfg).expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+
+    // 64 best-effort queries ahead of 8 zero-budget stragglers.
+    let mut reqs = mixed_requests(64, 53);
+    for r in mixed_requests(8, 71) {
+        reqs.push(r.with_deadline_ms(0));
+    }
+    let expected = reference_bits(&registry, &reqs);
+
+    let results = client.predict_many(&reqs, reqs.len());
+    for (i, result) in results.iter().enumerate() {
+        if i < 64 {
+            let resp = result.as_ref().expect("best-effort completes");
+            assert_eq!(resp.score.to_bits(), expected[i], "query {i} diverged");
+        } else {
+            assert!(
+                matches!(result, Err(ServeError::DeadlineExceeded { .. })),
+                "zero-budget query {i} must expire, got {result:?}"
+            );
+        }
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.queries_served, 64);
+    assert_eq!(metrics.deadline_expired, 8);
+    assert_eq!(metrics.deadline_met + metrics.deadline_missed, 0);
+}

@@ -3,12 +3,15 @@
 //! Connects to a running `serve_server` (or any [`IngressServer`]) and
 //! drives a pipelined NAS-Bench-201 query stream through it, printing
 //! throughput and a sample of the scores. Per-request failures (unknown
-//! model, bad device) and busy rejections are counted, not fatal — the
-//! backpressure contract makes them part of normal operation.
+//! model, bad device), busy rejections, and expired deadlines are
+//! counted, not fatal — the backpressure and deadline contracts make
+//! them part of normal operation.
 //!
 //! Usage:
-//! `cargo run --release --example serve_client -- [addr] [model] [n] [device]`
-//! (defaults: `127.0.0.1:7878 nd 256 0`).
+//! `cargo run --release --example serve_client -- [addr] [model] [n] [device] [deadline_ms]`
+//! (defaults: `127.0.0.1:7878 nd 256 0`, no deadline). A fifth argument
+//! attaches that relative budget to every request; overdue answers come
+//! back as `DeadlineExceeded` and are tallied separately.
 //!
 //! [`IngressServer`]: nasflat::serve::IngressServer
 
@@ -21,14 +24,19 @@ fn main() {
     let model = args.next().unwrap_or_else(|| "nd".to_string());
     let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(256);
     let device: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let deadline_ms: Option<u32> = args.next().and_then(|v| v.parse().ok());
 
     let requests: Vec<ServeRequest> = (0..n)
         .map(|i| {
-            ServeRequest::new(
+            let req = ServeRequest::new(
                 &model,
                 Arch::nb201_from_index((i as u64 * 37 + 5) % 15_625),
                 device,
-            )
+            );
+            match deadline_ms {
+                Some(ms) => req.with_deadline_ms(ms),
+                None => req,
+            }
         })
         .collect();
 
@@ -45,6 +53,7 @@ fn main() {
 
     let mut ok = 0usize;
     let mut busy = 0usize;
+    let mut expired = 0usize;
     let mut failed = 0usize;
     let mut sample = Vec::new();
     for result in &results {
@@ -56,6 +65,7 @@ fn main() {
                 }
             }
             Err(ServeError::Busy { .. }) => busy += 1,
+            Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
             Err(e) => {
                 if failed == 0 {
                     eprintln!("first failure: {e}");
@@ -65,8 +75,8 @@ fn main() {
         }
     }
     println!(
-        "{addr} model '{model}': {ok}/{n} answered ({busy} busy, {failed} failed) \
-         — {:.0} queries/s, sample scores [{}]",
+        "{addr} model '{model}': {ok}/{n} answered ({busy} busy, {expired} expired, \
+         {failed} failed) — {:.0} queries/s, sample scores [{}]",
         ok as f64 / elapsed.max(1e-9),
         sample.join(", ")
     );

@@ -13,9 +13,12 @@
 //!   with the `serve_client` example from another terminal.
 //! - `cargo run --release --example serve_server -- --smoke <N>` — bind an
 //!   ephemeral port, drive `N` queries through 4 real TCP connections
-//!   in-process, verify every answer **bitwise** against a sequential
-//!   `predict_one` loop, and shut down gracefully. Exits non-zero on any
-//!   divergence — CI runs this as the ingress smoke test.
+//!   in-process (every third carrying a generous deadline budget so the
+//!   wire trailer and the deadline ledger are exercised end to end),
+//!   verify every answer **bitwise** against a sequential `predict_one`
+//!   loop, and shut down gracefully. Exits non-zero on any divergence or
+//!   deadline miss — CI runs this as the ingress smoke test, with
+//!   `NASFLAT_SCHED_POLICY=edf` selecting the deadline-aware drain.
 
 use nasflat::core::{LatencyPredictor, PredictorConfig};
 use nasflat::hw::DeviceRegistry;
@@ -100,11 +103,18 @@ fn smoke(n: usize) {
     let num_devices = DeviceRegistry::nb201().owned_names().len();
     let requests: Vec<ServeRequest> = (0..n)
         .map(|i| {
-            ServeRequest::new(
+            let req = ServeRequest::new(
                 "nd",
                 Arch::nb201_from_index((i as u64 * 379 + 11) % 15_625),
                 i % num_devices,
-            )
+            );
+            // Every third query carries a budget no healthy server can
+            // blow, so the deadline trailer and ledger get real traffic.
+            if i % 3 == 0 {
+                req.with_deadline_ms(10_000)
+            } else {
+                req
+            }
         })
         .collect();
     // The contract every served answer must hit, bit for bit.
@@ -147,15 +157,26 @@ fn smoke(n: usize) {
         .count();
     let metrics = server.shutdown();
     println!(
-        "{:.0} queries/s — {} served, {} coalesced groups (max {}), bitwise-match: {}",
+        "{:.0} queries/s — {} served, {} coalesced groups (max {}), \
+         deadlines {} met / {} missed / {} expired, bitwise-match: {}",
         n as f64 / elapsed,
         metrics.queries_served,
         metrics.groups,
         metrics.max_group,
+        metrics.deadline_met,
+        metrics.deadline_missed,
+        metrics.deadline_expired,
         if divergent == 0 { "yes" } else { "NO" },
     );
     if divergent > 0 {
         eprintln!("FAIL: {divergent}/{n} served answers diverged from the sequential loop");
+        std::process::exit(1);
+    }
+    if metrics.deadline_missed + metrics.deadline_expired > 0 {
+        eprintln!(
+            "FAIL: 10 s budgets must always be met ({} missed, {} expired)",
+            metrics.deadline_missed, metrics.deadline_expired
+        );
         std::process::exit(1);
     }
 }

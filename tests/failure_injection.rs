@@ -151,3 +151,138 @@ fn predictor_config_rejects_inconsistent_supplement_width() {
     });
     assert!(result.is_err(), "supp_dim 0 with a supplement must panic");
 }
+
+/// One tiny model behind a shared registry, for the ingress fault tests.
+fn serve_registry() -> (nasflat::serve::SharedRegistry, Vec<u32>) {
+    use nasflat::serve::{ModelBundle, PredictorRegistry};
+    let mut cfg = tiny_cfg().predictor;
+    cfg.op_dim = 8;
+    let bundle = ModelBundle::single(nasflat::core::LatencyPredictor::new(
+        Space::Nb201,
+        vec!["dev_0".into(), "dev_1".into()],
+        0,
+        cfg,
+    ))
+    .unwrap();
+    let expected: Vec<u32> = (0..16)
+        .map(|i| {
+            bundle
+                .predict_one(&nasflat::space::Arch::nb201_from_index(i * 31), 0)
+                .to_bits()
+        })
+        .collect();
+    let mut reg = PredictorRegistry::new(0);
+    reg.insert("m", bundle).unwrap();
+    (reg.into_shared(), expected)
+}
+
+#[test]
+fn ingress_survives_a_mid_frame_stall_past_the_read_timeout() {
+    use nasflat::serve::wire::{read_frame, Frame, RequestFrame, WIRE_MAX_FRAME};
+    use nasflat::serve::{IngressServer, ServeConfig, ServeRequest};
+    use std::io::Write;
+
+    let (registry, expected) = serve_registry();
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .read_timeout_ms(10)
+        .build();
+    let server = IngressServer::bind(registry, &cfg).expect("bind");
+
+    let req = ServeRequest::new("m", nasflat::space::Arch::nb201_from_index(0), 0)
+        .with_deadline_ms(10_000);
+    let bytes = Frame::Request(RequestFrame::from_request(1, &req)).encode();
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Stall mid-length-prefix across several read-timeout cycles: the
+    // incremental reader must resume, not desynchronize or hang up.
+    sock.write_all(&bytes[..3]).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(80));
+    sock.write_all(&bytes[3..]).unwrap();
+    match read_frame(&mut sock, WIRE_MAX_FRAME).expect("answer after stall") {
+        Frame::Response(r) => {
+            assert_eq!(r.id, 1);
+            assert_eq!(r.score.to_bits(), expected[0], "stall corrupted the answer");
+        }
+        other => panic!("expected a response, got {other:?}"),
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.queries_served, 1);
+    assert_eq!(metrics.faults, 0, "a stall is not a protocol fault");
+    assert_eq!(metrics.deadline_met, 1);
+}
+
+#[test]
+fn dropped_connection_with_inflight_deadline_queries_stays_healthy() {
+    use nasflat::serve::wire::{write_frame, Frame, RequestFrame};
+    use nasflat::serve::{IngressClient, IngressServer, ServeConfig, ServeRequest};
+
+    let (registry, expected) = serve_registry();
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .batch(2)
+        .max_inflight(8)
+        .build();
+    let server = IngressServer::bind(registry, &cfg).expect("bind");
+
+    // Pipeline 8 deadline queries, then vanish without reading a reply:
+    // the workers answer into a dead socket, the connection tears down,
+    // and its in-flight slots must be reclaimed — not leak until shutdown.
+    {
+        let mut sock = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        for i in 0..8u64 {
+            let req = ServeRequest::new("m", nasflat::space::Arch::nb201_from_index(i * 31), 0)
+                .with_deadline_ms(10_000);
+            write_frame(
+                &mut sock,
+                &Frame::Request(RequestFrame::from_request(i + 1, &req)),
+            )
+            .unwrap();
+        }
+        // sock drops here, mid-flight.
+    }
+
+    // A fresh connection is served correctly — the server did not wedge on
+    // the dead reply channel. The orphaned flood may still be draining, so
+    // honor busy backpressure with bounded retries.
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+    let probe = ServeRequest::new("m", nasflat::space::Arch::nb201_from_index(31), 0);
+    let mut answer = None;
+    for _ in 0..200 {
+        match client.predict(&probe) {
+            Ok(resp) => {
+                answer = Some(resp);
+                break;
+            }
+            Err(nasflat::serve::ServeError::Busy { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(other) => panic!("fresh connection failed: {other}"),
+        }
+    }
+    let resp = answer.expect("fresh connection never served within 2 s");
+    assert_eq!(resp.score.to_bits(), expected[1]);
+
+    // Shutdown completes (no deadlock on jobs whose connection died) and
+    // the deadline ledger balances: every admitted deadline query was met,
+    // missed, or expired — never lost.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.connections_accepted, 2);
+    assert!(metrics.queries_served >= 1);
+    let deadline_total = metrics.deadline_met + metrics.deadline_missed + metrics.deadline_expired;
+    assert!(
+        deadline_total <= 8,
+        "8 deadline queries in flight, {deadline_total} accounted"
+    );
+}
+
+#[test]
+fn zero_capacity_deadline_queue_always_answers_full_then_closed() {
+    use nasflat::serve::{DeadlineQueue, PushError, SchedPolicy};
+    // queue_depth 0 is the degenerate admission bound the ingress maps to
+    // an immediate busy rejection; closing must still win over fullness.
+    let q = DeadlineQueue::<u8>::new(0, SchedPolicy::Edf, 500, 0);
+    assert!(matches!(q.try_push(7, None), Err(PushError::Full(7))));
+    assert!(matches!(q.try_push(8, Some(100)), Err(PushError::Full(8))));
+    q.close();
+    assert!(matches!(q.try_push(9, None), Err(PushError::Closed(9))));
+}
