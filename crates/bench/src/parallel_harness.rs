@@ -20,7 +20,10 @@
 //!   connections coalesced by the scheduler), `serve_deadline` (the
 //!   deadline-aware ingress scheduler: the FIFO drain vs EDF + aging over
 //!   an adversarial tight-budget/best-effort mix, `outputs_match` also
-//!   requiring zero missed or expired deadlines), and `train_batched_step`
+//!   requiring zero missed or expired deadlines), `telemetry_overhead`
+//!   (the same pipelined ingress stream with telemetry off vs on — the
+//!   observability layer must stay within ~5% and bit-invisible, with the
+//!   `METRICS` scrape carrying every per-stage histogram), and `train_batched_step`
 //!   (the pre-PR-8 trainer — `NASFLAT_TRAIN_BATCH=0`, B per-arch forwards
 //!   per step — vs stacked gradient steps with ONE backward per
 //!   mini-batch, over a full pretrain + transfer + predict pipeline).
@@ -34,7 +37,8 @@
 //! ratio is the speedup the CI `bench-quick` job tracks over time (it fails
 //! the build when `batch_forward` regresses below 1×, `multi_query_tape`
 //! below its 1.3× quick-mode target, `mixed_device_tape`,
-//! `serve_throughput`, or `serve_ingress` below their 1.2× targets, or —
+//! `serve_throughput`, or `serve_ingress` below their 1.2× targets,
+//! `telemetry_overhead` below 0.95×, or —
 //! on ≥4-core runners — `train_batched_step` below its 2× acceptance
 //! target or the `ensemble_train_transfer` / `batch_predict` thread
 //! scaling below 2×).
@@ -890,6 +894,92 @@ pub fn run_parallel_bench(threads: usize) -> ParallelReport {
         );
         deadline.outputs_match &= deadline_matches.get();
         targets.push(deadline);
+
+        // `telemetry_overhead`: the observability gate — the identical
+        // 4-connection pipelined stream through the ingress with telemetry
+        // off (baseline side) vs on (optimized side). Recording is relaxed
+        // atomics with no floats, so CI gates the ratio at >= 0.95x (the
+        // telemetered drain may cost at most ~5%) with bitwise-identical
+        // drained scores. Both sides scrape the METRICS endpoint inside the
+        // run (equal work, and it pins the endpoint staying up when
+        // telemetry is off); `outputs_match` additionally requires the
+        // telemetered scrape to carry the per-stage histogram families and
+        // a serve total balancing the stream.
+        let telemetry_matches = std::cell::Cell::new(true);
+        // The per-stream wall-clock (~ms) sits inside shared-runner noise,
+        // so each side boots one server and drives the stream several
+        // times — the 5% gate needs the larger, steadier measured region.
+        let telemetry_reps = 3;
+        let run_telemetry = |on: bool| -> Vec<u64> {
+            let cfg = ServeConfig::builder()
+                .workers(threads)
+                .telemetry(on)
+                .build();
+            let server = IngressServer::bind(shared.clone(), &cfg).expect("bind ingress");
+            let addr = server.local_addr();
+            let conns = 4;
+            let per_conn = requests.len() / conns;
+            let mut scores = Vec::new();
+            for _ in 0..telemetry_reps {
+                scores = std::thread::scope(|scope| {
+                    let handles: Vec<_> = requests
+                        .chunks(per_conn)
+                        .map(|reqs| {
+                            scope.spawn(move || {
+                                let mut client =
+                                    IngressClient::connect(addr).expect("connect ingress");
+                                client
+                                    .predict_many(reqs, 8)
+                                    .into_iter()
+                                    .map(|r| r.expect("valid query").score)
+                                    .collect::<Vec<f32>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().unwrap())
+                        .collect::<Vec<f32>>()
+                });
+                if scores
+                    .iter()
+                    .zip(&reference)
+                    .any(|(s, &r)| s.to_bits() != r)
+                {
+                    telemetry_matches.set(false);
+                }
+            }
+            let text = IngressClient::connect(addr)
+                .and_then(|mut c| c.metrics())
+                .unwrap_or_default();
+            if on {
+                let served = text.lines().find_map(|line| {
+                    line.strip_prefix("nasflat_queries_served_total ")
+                        .and_then(|v| v.parse::<u64>().ok())
+                });
+                if served != Some((telemetry_reps * requests.len()) as u64)
+                    || !text.contains("nasflat_queue_wait_us_bucket")
+                    || !text.contains("nasflat_tape_eval_us_bucket")
+                    || !text.contains("nasflat_response_write_us_bucket")
+                {
+                    telemetry_matches.set(false);
+                }
+            } else if text.is_empty() {
+                telemetry_matches.set(false); // endpoint must stay up when off
+            }
+            server.shutdown();
+            let mut digest = Vec::new();
+            digest_f32(&mut digest, &scores);
+            digest
+        };
+        let mut telemetry = measure_pair(
+            "telemetry_overhead",
+            threads,
+            || run_telemetry(false),
+            || run_telemetry(true),
+        );
+        telemetry.outputs_match &= telemetry_matches.get();
+        targets.push(telemetry);
 
         // `bundle_cold_load`: serving-process boot over a directory of K
         // durable bundles when the query stream only touches 2 of them.

@@ -664,6 +664,18 @@ impl SessionCounters {
         self.uniform_passes + self.ragged_passes
     }
 
+    /// The counters in the fixed-width form external telemetry (wire
+    /// expositions, serialized metrics) uses: `[uniform_passes,
+    /// ragged_passes, per_arch_queries]` as `u64`, independent of the
+    /// platform's `usize` width.
+    pub fn export_u64(&self) -> [u64; 3] {
+        [
+            self.uniform_passes as u64,
+            self.ragged_passes as u64,
+            self.per_arch_queries as u64,
+        ]
+    }
+
     /// Element-wise sum (aggregating per-worker sessions).
     pub fn merge(self, other: SessionCounters) -> SessionCounters {
         SessionCounters {

@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nasflat_core::SessionCounters;
@@ -28,6 +28,7 @@ use nasflat_space::Arch;
 use crate::bundle::ModelBundle;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
+use crate::telemetry::Telemetry;
 
 /// One latency query: an architecture and the device (embedding row of the
 /// bundle's device list) to predict it on.
@@ -65,21 +66,23 @@ impl ServeQuery {
 /// What a drain actually did — the serving telemetry the smoke tests and
 /// the bench harness assert on. Pass counts come straight from the worker
 /// sessions' [`SessionCounters`], so the uniform/ragged split is exact.
+/// Every numeric field is `u64` so the struct serializes uniformly into
+/// wire snapshots and text expositions regardless of platform `usize`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeMetrics {
     /// Queries drained (evaluated **or** retired as expired).
-    pub queries: usize,
+    pub queries: u64,
     /// Coalesced groups evaluated (tape passes + singletons).
-    pub groups: usize,
+    pub groups: u64,
     /// Largest coalesced group.
-    pub max_group: usize,
+    pub max_group: u64,
     /// Deadline queries evaluated and answered within their budget.
-    pub deadline_met: usize,
+    pub deadline_met: u64,
     /// Deadline queries evaluated, but the answer landed after the budget.
-    pub deadline_missed: usize,
+    pub deadline_missed: u64,
     /// Deadline queries already overdue at dequeue — answered
     /// [`ServeError::DeadlineExceeded`] without a tape pass.
-    pub deadline_expired: usize,
+    pub deadline_expired: u64,
     /// Per-member session counters summed over workers: multi-query passes
     /// (uniform fast path vs ragged fallback) and per-query evaluations.
     pub sessions: SessionCounters,
@@ -94,12 +97,26 @@ pub struct ServeMetrics {
 pub struct DynamicBatcher<'m> {
     bundle: &'m ModelBundle,
     cfg: ServeConfig,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl<'m> DynamicBatcher<'m> {
     /// A batcher over `bundle` with explicit tuning.
     pub fn new(bundle: &'m ModelBundle, cfg: ServeConfig) -> Self {
-        DynamicBatcher { bundle, cfg }
+        DynamicBatcher {
+            bundle,
+            cfg,
+            telemetry: None,
+        }
+    }
+
+    /// The same batcher recording into `telemetry`: queue-wait and
+    /// tape-evaluation latency histograms, batch/group-size histograms,
+    /// and the session pass counters. Recording is relaxed atomics only
+    /// and never changes drained bytes.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The bundle this batcher serves.
@@ -197,9 +214,12 @@ impl<'m> DynamicBatcher<'m> {
         // Deadline budgets are relative to this instant: the drain starts
         // now, and a query's deadline is `start + deadline_ms`.
         let start = Instant::now();
-        let (tx, rx) = sync_channel::<(usize, &ServeQuery)>(self.cfg.queue_depth.max(1));
+        // Items carry their enqueue instant so workers can histogram the
+        // queue wait without a side table.
+        let (tx, rx) = sync_channel::<(usize, &ServeQuery, Instant)>(self.cfg.queue_depth.max(1));
         let rx = Mutex::new(rx);
         let bundle = self.bundle;
+        let telemetry = self.telemetry.as_deref();
         // Live-consumer count, decremented even on unwind: the feeder must
         // never block on a queue nobody will drain, or a worker panic would
         // become a permanent hang instead of propagating at join.
@@ -220,7 +240,7 @@ impl<'m> DynamicBatcher<'m> {
                 let mut sessions = bundle.open_sessions();
                 let mut scored: Vec<(usize, Result<f32, ServeError>)> = Vec::new();
                 let mut metrics = ServeMetrics::default();
-                let mut group: Vec<(usize, &ServeQuery)> = Vec::with_capacity(coalesce);
+                let mut group: Vec<(usize, &ServeQuery, Instant)> = Vec::with_capacity(coalesce);
                 let mut live: Vec<(usize, &ServeQuery, Option<Instant>)> =
                     Vec::with_capacity(coalesce);
                 let mut archs: Vec<&Arch> = Vec::with_capacity(coalesce);
@@ -246,8 +266,14 @@ impl<'m> DynamicBatcher<'m> {
                     // Retire overdue deadline queries before spending a
                     // tape pass; best-effort queries (None) never expire.
                     let now = Instant::now();
+                    if let Some(t) = telemetry {
+                        t.observe_batch_size(group.len() as u64);
+                        for &(_, _, enqueued) in &group {
+                            t.observe_queue_wait(now.duration_since(enqueued).as_micros() as u64);
+                        }
+                    }
                     live.clear();
-                    for &(i, q) in &group {
+                    for &(i, q, _) in &group {
                         let deadline = q
                             .deadline_ms
                             .map(|ms| start + Duration::from_millis(ms as u64));
@@ -273,11 +299,16 @@ impl<'m> DynamicBatcher<'m> {
                     devices.clear();
                     archs.extend(live.iter().map(|(_, q, _)| &q.arch));
                     devices.extend(live.iter().map(|(_, q, _)| q.device));
+                    let eval_start = Instant::now();
                     let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
-                    metrics.queries += live.len();
+                    metrics.queries += live.len() as u64;
                     metrics.groups += 1;
-                    metrics.max_group = metrics.max_group.max(live.len());
+                    metrics.max_group = metrics.max_group.max(live.len() as u64);
                     let finished = Instant::now();
+                    if let Some(t) = telemetry {
+                        t.observe_eval(finished.duration_since(eval_start).as_micros() as u64);
+                        t.observe_group_size(live.len() as u64);
+                    }
                     for (&(i, _, deadline), score) in live.iter().zip(scores) {
                         if let Some(d) = deadline {
                             if finished <= d {
@@ -292,6 +323,9 @@ impl<'m> DynamicBatcher<'m> {
                 for s in &sessions {
                     metrics.sessions = metrics.sessions.merge(s.counters());
                 }
+                if let Some(t) = telemetry {
+                    t.add_sessions(&metrics.sessions);
+                }
                 (scored, metrics)
             },
             move || {
@@ -303,7 +337,11 @@ impl<'m> DynamicBatcher<'m> {
                 // the feeder instead of burning a core) while checking the
                 // live-consumer count keeps the feeder responsive and lets
                 // a worker panic propagate at join instead of deadlocking.
-                'feed: for mut item in queries.iter().enumerate() {
+                'feed: for mut item in queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| (i, q, Instant::now()))
+                {
                     let mut spins = 0u32;
                     loop {
                         match tx.try_send(item) {
@@ -415,17 +453,48 @@ mod tests {
         let (scores, metrics) = batcher.serve_with_metrics(&qs).unwrap();
         assert_eq!(scores.len(), 64);
         assert_eq!(metrics.queries, 64);
-        assert!(metrics.groups >= 64usize.div_ceil(8));
+        assert!(metrics.groups >= 64u64.div_ceil(8));
         assert!(metrics.max_group <= 8);
         // For a single-member bundle, every coalesced group is exactly one
         // session evaluation: a multi-query tape pass (2+ queries) or a
         // per-arch query (singleton).
         assert_eq!(
-            metrics.sessions.batched_passes() + metrics.sessions.per_arch_queries,
+            (metrics.sessions.batched_passes() + metrics.sessions.per_arch_queries) as u64,
             metrics.groups
         );
         // NB201 blocks are uniform, so the ragged fallback never fires.
         assert_eq!(metrics.sessions.ragged_passes, 0);
+    }
+
+    #[test]
+    fn telemetry_observes_the_drain_without_changing_bytes() {
+        let b = bundle();
+        let qs = queries(48);
+        let cfg = ServeConfig::builder().workers(2).batch(8).build();
+        let plain = DynamicBatcher::new(&b, cfg.clone()).serve(&qs).unwrap();
+        let telemetry = Arc::new(Telemetry::new(16));
+        let observed = DynamicBatcher::new(&b, cfg)
+            .with_telemetry(Arc::clone(&telemetry))
+            .serve_with_metrics(&qs)
+            .unwrap();
+        // Bit-invisible: identical scores with and without recording.
+        for (a, b) in plain.iter().zip(&observed.0) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let metrics = observed.1;
+        // The histograms balance the drain's ledger exactly: one queue-wait
+        // observation per query, one eval/group-size observation per group,
+        // and the group sizes sum back to the query count.
+        assert_eq!(telemetry.queue_wait().count, metrics.queries);
+        assert_eq!(telemetry.eval().count, metrics.groups);
+        assert_eq!(telemetry.group_sizes().count, metrics.groups);
+        assert_eq!(telemetry.group_sizes().sum, metrics.queries);
+        let (uniform, ragged, per_arch) = telemetry.session_totals();
+        assert_eq!(
+            [uniform, ragged, per_arch],
+            metrics.sessions.export_u64(),
+            "session counters aggregate into telemetry exactly"
+        );
     }
 
     #[test]

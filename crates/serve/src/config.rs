@@ -81,6 +81,17 @@ pub struct ServeConfig {
     /// best-effort traffic always makes progress under a tight-deadline
     /// flood.
     pub starvation_boost: u32,
+    /// Whether the [`Telemetry`](crate::Telemetry) layer records: per-stage
+    /// latency histograms, size histograms, gauges, and request traces.
+    /// Telemetry never changes served bytes either way — disabling it only
+    /// skips the atomic bookkeeping (the `telemetry_overhead` bench
+    /// baseline). The `METRICS` endpoint stays up regardless; with
+    /// telemetry off its histogram families read zero while the ingress
+    /// ledger and registry counters stay live.
+    pub telemetry: bool,
+    /// Bound of the per-request trace ring (0 keeps histograms but drops
+    /// traces).
+    pub trace_capacity: usize,
 }
 
 impl ServeConfig {
@@ -89,8 +100,9 @@ impl ServeConfig {
     /// apply), batch from `NASFLAT_SERVE_BATCH`, the store knobs from
     /// `NASFLAT_STORE_DIR` / `NASFLAT_HOT_CAPACITY`, the scheduling knobs
     /// from `NASFLAT_SCHED_POLICY` / `NASFLAT_SCHED_DEADLINE_MS` /
-    /// `NASFLAT_SCHED_BOOST`, loopback ephemeral bind, and a queue deep
-    /// enough to keep every worker's next batch waiting.
+    /// `NASFLAT_SCHED_BOOST`, the telemetry knobs from `NASFLAT_TELEMETRY`
+    /// (0 disables) / `NASFLAT_TRACE_CAPACITY`, loopback ephemeral bind,
+    /// and a queue deep enough to keep every worker's next batch waiting.
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder {
             cfg: ServeConfig {
@@ -109,6 +121,9 @@ impl ServeConfig {
                     .map_or(500, |ms| ms.min(u32::MAX as usize) as u32),
                 starvation_boost: nasflat_parallel::env_usize("NASFLAT_SCHED_BOOST", 0)
                     .map_or(0, |b| b.min(u32::MAX as usize) as u32),
+                telemetry: nasflat_parallel::env_usize("NASFLAT_TELEMETRY", 0) != Some(0),
+                trace_capacity: nasflat_parallel::env_usize("NASFLAT_TRACE_CAPACITY", 0)
+                    .unwrap_or(256),
             },
             queue_depth_pinned: false,
         }
@@ -237,6 +252,21 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Enables or disables telemetry recording (histograms, gauges,
+    /// traces). The default comes from `NASFLAT_TELEMETRY` (unset → on,
+    /// `0` → off).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.cfg.telemetry = on;
+        self
+    }
+
+    /// Bound of the per-request trace ring (0 disables tracing only). The
+    /// default comes from `NASFLAT_TRACE_CAPACITY` (unset → 256).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = capacity;
+        self
+    }
+
     /// Finalizes the config, deriving `queue_depth` from the final
     /// workers × batch shape unless it was pinned.
     pub fn build(mut self) -> ServeConfig {
@@ -288,6 +318,20 @@ mod tests {
         if std::env::var_os("NASFLAT_SCHED_BOOST").is_none() {
             assert_eq!(cfg.starvation_boost, 0);
         }
+        // Telemetry defaults on with a bounded trace ring; the builder can
+        // switch both off.
+        if std::env::var_os("NASFLAT_TELEMETRY").is_none() {
+            assert!(cfg.telemetry);
+        }
+        if std::env::var_os("NASFLAT_TRACE_CAPACITY").is_none() {
+            assert_eq!(cfg.trace_capacity, 256);
+        }
+        let quiet = ServeConfig::builder()
+            .telemetry(false)
+            .trace_capacity(0)
+            .build();
+        assert!(!quiet.telemetry);
+        assert_eq!(quiet.trace_capacity, 0);
     }
 
     #[test]

@@ -59,6 +59,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use nasflat_core::SessionCounters;
 use nasflat_parallel::WorkerSet;
 use nasflat_space::Arch;
 
@@ -68,16 +69,21 @@ use crate::error::ServeError;
 use crate::registry::SharedRegistry;
 use crate::request::{ServeRequest, ServeResponse};
 use crate::sched::{DeadlineQueue, PushError, QueueEntry};
+use crate::telemetry::{
+    render_counter, render_gauge, render_labelled, DeadlineVerdict, RequestTrace, Telemetry,
+};
 use crate::wire::{
-    write_frame, ErrorFrame, Frame, FrameReader, ResponseFrame, ServerStats, StatsFrame, WireFault,
-    WIRE_MAX_FRAME,
+    write_frame, ErrorFrame, Frame, FrameReader, MetricsFrame, ResponseFrame, ServerStats,
+    StatsFrame, WireFault, WIRE_MAX_FRAME,
 };
 
 /// One admitted query on its way to a scheduler worker. The model version
 /// and bundle are pinned at admission, so a hot-swap mid-flight never
-/// mixes versions within a reply.
+/// mixes versions within a reply. The registry name rides along for the
+/// per-model serve counters.
 struct Job {
     id: u64,
+    model: String,
     model_version: u64,
     bundle: Arc<ModelBundle>,
     arch: Arch,
@@ -87,18 +93,23 @@ struct Job {
 
 /// What a connection's writer thread sends back. `counted` marks replies
 /// that retire an inflight slot (exactly the jobs that were admitted to
-/// the global queue).
+/// the global queue). `trace` is the request's lifecycle record so far
+/// (telemetry enabled only); the writer stamps the reply time and commits
+/// it to the trace ring after the frame is written.
 struct Reply {
     id: u64,
     body: ReplyBody,
     counted: bool,
+    trace: Option<RequestTrace>,
 }
 
-/// A reply is either a query's answer (score or failure) or a stats
-/// snapshot, answered directly from the reader without touching the queue.
+/// A reply is either a query's answer (score or failure), a stats
+/// snapshot, or a metrics exposition — the last two answered directly from
+/// the reader without touching the queue.
 enum ReplyBody {
     Answer(Result<ServeResponse, ServeError>),
     Stats(ServerStats),
+    Metrics(String),
 }
 
 /// Per-connection admission control: a counting semaphore over the number
@@ -153,7 +164,7 @@ struct MetricsInner {
     busy: AtomicU64,
     faulted: AtomicU64,
     groups: AtomicU64,
-    max_group: AtomicUsize,
+    max_group: AtomicU64,
     deadline_met: AtomicU64,
     deadline_missed: AtomicU64,
     deadline_expired: AtomicU64,
@@ -177,8 +188,9 @@ pub struct IngressMetrics {
     pub faults: u64,
     /// Coalesced groups evaluated by the scheduler workers.
     pub groups: u64,
-    /// Largest coalesced group.
-    pub max_group: usize,
+    /// Largest coalesced group (`u64` like every other field, so the
+    /// snapshot serializes uniformly).
+    pub max_group: u64,
     /// Deadline-bound queries answered within their budget.
     pub deadline_met: u64,
     /// Deadline-bound queries evaluated but answered late (the client
@@ -196,6 +208,25 @@ struct Ingress {
     shutdown: AtomicBool,
     live_conns: AtomicUsize,
     metrics: MetricsInner,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Ingress {
+    fn metrics_snapshot(&self) -> IngressMetrics {
+        let m = &self.metrics;
+        IngressMetrics {
+            connections_accepted: m.accepted.load(Ordering::Relaxed),
+            connections_refused: m.refused.load(Ordering::Relaxed),
+            queries_served: m.served.load(Ordering::Relaxed),
+            busy_rejections: m.busy.load(Ordering::Relaxed),
+            faults: m.faulted.load(Ordering::Relaxed),
+            groups: m.groups.load(Ordering::Relaxed),
+            max_group: m.max_group.load(Ordering::Relaxed),
+            deadline_met: m.deadline_met.load(Ordering::Relaxed),
+            deadline_missed: m.deadline_missed.load(Ordering::Relaxed),
+            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Decrements the live-connection gauge when the *last* per-connection
@@ -243,12 +274,18 @@ impl IngressServer {
     pub fn bind(registry: SharedRegistry, cfg: &ServeConfig) -> Result<IngressServer, ServeError> {
         let listener = TcpListener::bind(cfg.bind)?;
         let local_addr = listener.local_addr()?;
+        let telemetry = if cfg.telemetry {
+            Telemetry::new(cfg.trace_capacity)
+        } else {
+            Telemetry::disabled()
+        };
         let shared = Arc::new(Ingress {
             registry,
             cfg: cfg.clone(),
             shutdown: AtomicBool::new(false),
             live_conns: AtomicUsize::new(0),
             metrics: MetricsInner::default(),
+            telemetry: Arc::new(telemetry),
         });
         let queue = Arc::new(DeadlineQueue::<Job>::new(
             cfg.queue_depth.max(1),
@@ -288,19 +325,30 @@ impl IngressServer {
 
     /// A snapshot of the ingress counters.
     pub fn metrics(&self) -> IngressMetrics {
-        let m = &self.shared.metrics;
-        IngressMetrics {
-            connections_accepted: m.accepted.load(Ordering::Relaxed),
-            connections_refused: m.refused.load(Ordering::Relaxed),
-            queries_served: m.served.load(Ordering::Relaxed),
-            busy_rejections: m.busy.load(Ordering::Relaxed),
-            faults: m.faulted.load(Ordering::Relaxed),
-            groups: m.groups.load(Ordering::Relaxed),
-            max_group: m.max_group.load(Ordering::Relaxed),
-            deadline_met: m.deadline_met.load(Ordering::Relaxed),
-            deadline_missed: m.deadline_missed.load(Ordering::Relaxed),
-            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
-        }
+        self.shared.metrics_snapshot()
+    }
+
+    /// The server's [`Telemetry`] bundle: per-stage latency histograms,
+    /// size histograms, gauges, and the request-trace ring. In-process
+    /// access to what the `METRICS` wire op exposes as text.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// Dumps the request-trace ring, oldest first — the per-request
+    /// lifecycle records (admission → dequeue → eval → reply timestamps
+    /// plus deadline verdicts). Empty when telemetry is disabled.
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.shared.telemetry.traces()
+    }
+
+    /// The full Prometheus-style text exposition, rendered in-process —
+    /// byte-for-byte what [`IngressClient::metrics`] fetches over TCP
+    /// (modulo the counters moving between the two renders).
+    ///
+    /// [`IngressClient::metrics`]: crate::IngressClient::metrics
+    pub fn metrics_text(&self) -> String {
+        exposition(&self.shared, &self.queue)
     }
 
     /// Graceful shutdown: stop accepting, answer everything already
@@ -412,9 +460,10 @@ fn spawn_connection(
     {
         let slots = slots.clone();
         let token = token.clone();
+        let telemetry = shared.telemetry.clone();
         if conns
             .spawn(move || {
-                writer_loop(writer_stream, reply_rx, &slots);
+                writer_loop(writer_stream, reply_rx, &slots, &telemetry);
                 drop(token);
             })
             .is_err()
@@ -444,6 +493,7 @@ fn reader_loop(
         id,
         body: ReplyBody::Answer(result),
         counted: false,
+        trace: None,
     };
     let mut framer = FrameReader::new();
     loop {
@@ -494,6 +544,21 @@ fn reader_loop(
                     id,
                     body: ReplyBody::Stats(snapshot),
                     counted: false,
+                    trace: None,
+                });
+                continue;
+            }
+            Frame::MetricsRequest(id) => {
+                // Text-exposition probe: like STATS, rendered inline by the
+                // reader and sent through the reply channel — never
+                // admitted to the job queue, so it cannot deadlock behind
+                // a full queue or an inflight cap.
+                let text = exposition(shared, queue);
+                let _ = reply_tx.send(Reply {
+                    id,
+                    body: ReplyBody::Metrics(text),
+                    counted: false,
+                    trace: None,
                 });
                 continue;
             }
@@ -541,6 +606,7 @@ fn reader_loop(
         let deadline_ms = req.deadline_ms;
         let job = Job {
             id,
+            model: req.model,
             model_version,
             bundle,
             arch: req.arch,
@@ -548,7 +614,11 @@ fn reader_loop(
             reply: reply_tx.clone(),
         };
         match queue.try_push(job, deadline_ms) {
-            Ok(()) => {}
+            Ok(()) => {
+                // Inflight gauge: admitted and unanswered; the writer
+                // decrements when the counted reply drains.
+                shared.telemetry.inflight().inc();
+            }
             Err(PushError::Full(_)) => {
                 // The queue is the backpressure boundary: reject now with a
                 // retry hint instead of buffering anywhere.
@@ -591,25 +661,49 @@ fn validate(bundle: &ModelBundle, req: &ServeRequest) -> Result<(), ServeError> 
 /// Per-connection write half: the only thread that touches the socket's
 /// write side, so frames never interleave. Keeps draining after a write
 /// failure (client gone) so every admitted job still retires its slot.
-fn writer_loop(mut stream: TcpStream, reply_rx: Receiver<Reply>, slots: &InflightSlots) {
+/// Records the response-write histogram and commits request traces after
+/// the frame lands.
+fn writer_loop(
+    mut stream: TcpStream,
+    reply_rx: Receiver<Reply>,
+    slots: &InflightSlots,
+    telemetry: &Telemetry,
+) {
     let mut sock_alive = true;
     while let Ok(reply) = reply_rx.recv() {
+        // The gauge must drop before the response bytes can reach the
+        // client: a scrape issued after the last reply was received has
+        // to observe a quiescent `nasflat_inflight`, never a stale 1.
+        if reply.counted {
+            telemetry.inflight().dec();
+        }
         if sock_alive {
-            let frame = match &reply.body {
-                ReplyBody::Answer(Ok(resp)) => Frame::Response(ResponseFrame {
+            let frame = match reply.body {
+                ReplyBody::Answer(Ok(ref resp)) => Frame::Response(ResponseFrame {
                     id: reply.id,
                     model_version: resp.model_version,
                     score: resp.score,
                 }),
-                ReplyBody::Answer(Err(e)) => Frame::Error(ErrorFrame::from_error(reply.id, e)),
+                ReplyBody::Answer(Err(ref e)) => Frame::Error(ErrorFrame::from_error(reply.id, e)),
                 ReplyBody::Stats(stats) => Frame::Stats(StatsFrame {
                     id: reply.id,
-                    stats: *stats,
+                    stats,
                 }),
+                ReplyBody::Metrics(text) => Frame::Metrics(MetricsFrame { id: reply.id, text }),
             };
-            if write_frame(&mut stream, &frame).is_err() {
+            if telemetry.is_enabled() {
+                let write_start = Instant::now();
+                if write_frame(&mut stream, &frame).is_err() {
+                    sock_alive = false;
+                }
+                telemetry.observe_write(write_start.elapsed().as_micros() as u64);
+            } else if write_frame(&mut stream, &frame).is_err() {
                 sock_alive = false;
             }
+        }
+        if let Some(mut trace) = reply.trace {
+            trace.replied_us = telemetry.now_us();
+            telemetry.push_trace(trace);
         }
         if reply.counted {
             slots.release();
@@ -624,32 +718,53 @@ fn writer_loop(mut stream: TcpStream, reply_rx: Receiver<Reply>, slots: &Infligh
 /// connections share passes here.
 fn scheduler_loop(queue: &DeadlineQueue<Job>, shared: &Ingress) {
     let coalesce = shared.cfg.batch.max(1);
+    let telemetry = &*shared.telemetry;
     while let Some(drain) = queue.pop_group(coalesce) {
+        // One timestamp for the whole drain: every popped entry — expired
+        // or live — left the queue at this instant, so the queue-wait
+        // histogram counts exactly `queries_served + deadline_expired`
+        // observations (busy rejections never enter the queue).
+        let dequeued = Instant::now();
         // Queries already overdue at dequeue are retired first: an answer
         // nobody is waiting for is not worth a tape pass.
-        if !drain.expired.is_empty() {
-            let now = Instant::now();
-            for entry in drain.expired {
-                let missed_by_ms = entry.deadline.map_or(0, |d| {
-                    now.saturating_duration_since(d)
-                        .as_millis()
-                        .min(u32::MAX as u128) as u32
-                });
-                shared
-                    .metrics
-                    .deadline_expired
-                    .fetch_add(1, Ordering::Relaxed);
-                let job = entry.item;
-                let _ = job.reply.send(Reply {
-                    id: job.id,
-                    body: ReplyBody::Answer(Err(ServeError::DeadlineExceeded { missed_by_ms })),
-                    counted: true,
-                });
-            }
+        for entry in drain.expired {
+            let missed_by_ms = entry.deadline.map_or(0, |d| {
+                dequeued
+                    .saturating_duration_since(d)
+                    .as_millis()
+                    .min(u32::MAX as u128) as u32
+            });
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            telemetry
+                .observe_queue_wait(dequeued.duration_since(entry.admitted).as_micros() as u64);
+            let job = entry.item;
+            let trace = telemetry.is_enabled().then(|| RequestTrace {
+                request_id: job.id,
+                model: job.model.clone(),
+                admitted_us: telemetry.us_at(entry.admitted),
+                dequeued_us: telemetry.us_at(dequeued),
+                evaluated_us: 0,
+                replied_us: 0,
+                verdict: DeadlineVerdict::Expired,
+            });
+            let _ = job.reply.send(Reply {
+                id: job.id,
+                body: ReplyBody::Answer(Err(ServeError::DeadlineExceeded { missed_by_ms })),
+                counted: true,
+                trace,
+            });
         }
         let group: Vec<QueueEntry<Job>> = drain.live;
         if group.is_empty() {
             continue;
+        }
+        telemetry.observe_batch_size(group.len() as u64);
+        for entry in &group {
+            telemetry
+                .observe_queue_wait(dequeued.duration_since(entry.admitted).as_micros() as u64);
         }
         // Evaluate per model version, preserving pop order within each
         // sub-group (stable grouping keeps the tape layout deterministic
@@ -659,6 +774,7 @@ fn scheduler_loop(queue: &DeadlineQueue<Job>, shared: &Ingress) {
             if done[start] {
                 continue;
             }
+            let assembly_start = Instant::now();
             let version = group[start].item.model_version;
             let members: Vec<usize> = (start..group.len())
                 .filter(|&i| !done[i] && group[i].item.model_version == version)
@@ -670,42 +786,171 @@ fn scheduler_loop(queue: &DeadlineQueue<Job>, shared: &Ingress) {
             let archs: Vec<&Arch> = members.iter().map(|&i| &group[i].item.arch).collect();
             let devices: Vec<usize> = members.iter().map(|&i| group[i].item.device).collect();
             let mut sessions = bundle.open_sessions();
+            let eval_start = Instant::now();
             let scores = bundle.score_batch_in(&mut sessions, &archs, &devices);
+            let finished = Instant::now();
+            telemetry
+                .observe_assembly(eval_start.duration_since(assembly_start).as_micros() as u64);
+            telemetry.observe_eval(finished.duration_since(eval_start).as_micros() as u64);
+            telemetry.observe_group_size(members.len() as u64);
+            if telemetry.is_enabled() {
+                let mut delta = SessionCounters::default();
+                for s in &sessions {
+                    delta = delta.merge(s.counters());
+                }
+                telemetry.add_sessions(&delta);
+            }
             shared.metrics.groups.fetch_add(1, Ordering::Relaxed);
             shared
                 .metrics
                 .max_group
-                .fetch_max(members.len(), Ordering::Relaxed);
+                .fetch_max(members.len() as u64, Ordering::Relaxed);
             shared
                 .metrics
                 .served
                 .fetch_add(members.len() as u64, Ordering::Relaxed);
-            let finished = Instant::now();
+            // Credit the per-model serve counter *before* the replies go
+            // out, so a scrape racing a client's tally can only see the
+            // counter ahead of (never behind) the answers it observed.
+            shared
+                .registry
+                .read()
+                .expect("registry lock")
+                .record_served(&group[members[0]].item.model, members.len() as u64);
             for (&i, score) in members.iter().zip(scores) {
                 let entry = &group[i];
                 let job = &entry.item;
                 // Deadline accounting: a query evaluated late still gets
                 // its score, but counts as missed instead of met.
-                if let Some(d) = entry.deadline {
-                    if finished <= d {
+                let verdict = match entry.deadline {
+                    Some(d) if finished <= d => {
                         shared.metrics.deadline_met.fetch_add(1, Ordering::Relaxed);
-                    } else {
+                        DeadlineVerdict::Met
+                    }
+                    Some(_) => {
                         shared
                             .metrics
                             .deadline_missed
                             .fetch_add(1, Ordering::Relaxed);
+                        DeadlineVerdict::Missed
                     }
-                }
+                    None => DeadlineVerdict::BestEffort,
+                };
+                let trace = telemetry.is_enabled().then(|| RequestTrace {
+                    request_id: job.id,
+                    model: job.model.clone(),
+                    admitted_us: telemetry.us_at(entry.admitted),
+                    dequeued_us: telemetry.us_at(dequeued),
+                    evaluated_us: telemetry.us_at(finished),
+                    replied_us: 0,
+                    verdict,
+                });
                 // A send error means the connection's writer is gone (the
                 // client hung up); the answer is simply dropped.
                 let _ = job.reply.send(Reply {
                     id: job.id,
                     body: ReplyBody::Answer(Ok(ServeResponse::new(score, job.model_version))),
                     counted: true,
+                    trace,
                 });
             }
         }
     }
+}
+
+/// Renders the full Prometheus-style text exposition: the telemetry
+/// histograms/gauges, the live queue-depth and connection gauges, the
+/// ingress ledger counters, the registry cache/tier families, and the
+/// per-model serve/hit/miss counters. Pure reads — rendering a scrape
+/// never perturbs what it measures beyond two registry read-locks.
+fn exposition(shared: &Ingress, queue: &DeadlineQueue<Job>) -> String {
+    let mut out = String::with_capacity(4096);
+    shared.telemetry.render_into(&mut out);
+    render_gauge(&mut out, "nasflat_queue_depth", queue.len() as u64);
+    render_gauge(
+        &mut out,
+        "nasflat_connections_live",
+        shared.live_conns.load(Ordering::Acquire) as u64,
+    );
+    let m = shared.metrics_snapshot();
+    render_counter(
+        &mut out,
+        "nasflat_connections_accepted_total",
+        m.connections_accepted,
+    );
+    render_counter(
+        &mut out,
+        "nasflat_connections_refused_total",
+        m.connections_refused,
+    );
+    render_counter(&mut out, "nasflat_queries_served_total", m.queries_served);
+    render_counter(&mut out, "nasflat_busy_rejections_total", m.busy_rejections);
+    render_counter(&mut out, "nasflat_faults_total", m.faults);
+    render_counter(&mut out, "nasflat_groups_total", m.groups);
+    render_gauge(&mut out, "nasflat_max_group", m.max_group);
+    render_counter(&mut out, "nasflat_deadline_met_total", m.deadline_met);
+    render_counter(&mut out, "nasflat_deadline_missed_total", m.deadline_missed);
+    render_counter(
+        &mut out,
+        "nasflat_deadline_expired_total",
+        m.deadline_expired,
+    );
+    let registry = shared.registry.read().expect("registry lock");
+    let cache = registry.cache_stats();
+    render_counter(&mut out, "nasflat_cache_hits_total", cache.hits);
+    render_counter(&mut out, "nasflat_cache_misses_total", cache.misses);
+    render_gauge(&mut out, "nasflat_cache_entries", cache.entries as u64);
+    let tiers = registry.tier_stats();
+    render_gauge(&mut out, "nasflat_store_hot", tiers.hot as u64);
+    render_gauge(&mut out, "nasflat_store_warm", tiers.warm as u64);
+    render_gauge(&mut out, "nasflat_store_durable", tiers.durable as u64);
+    render_gauge(
+        &mut out,
+        "nasflat_store_hot_capacity",
+        tiers.hot_capacity as u64,
+    );
+    render_counter(&mut out, "nasflat_store_evictions_total", tiers.evictions);
+    render_counter(&mut out, "nasflat_store_cold_loads_total", tiers.cold_loads);
+    render_counter(
+        &mut out,
+        "nasflat_store_quarantined_total",
+        tiers.quarantined,
+    );
+    render_gauge(&mut out, "nasflat_models", registry.len() as u64);
+    let per_model = registry.model_stats();
+    drop(registry);
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# TYPE nasflat_model_served_total counter");
+    for (name, c) in &per_model {
+        render_labelled(
+            &mut out,
+            "nasflat_model_served_total",
+            "model",
+            name,
+            c.served,
+        );
+    }
+    let _ = writeln!(out, "# TYPE nasflat_model_cache_hits_total counter");
+    for (name, c) in &per_model {
+        render_labelled(
+            &mut out,
+            "nasflat_model_cache_hits_total",
+            "model",
+            name,
+            c.cache_hits,
+        );
+    }
+    let _ = writeln!(out, "# TYPE nasflat_model_cache_misses_total counter");
+    for (name, c) in &per_model {
+        render_labelled(
+            &mut out,
+            "nasflat_model_cache_misses_total",
+            "model",
+            name,
+            c.cache_misses,
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -40,6 +40,17 @@
 //!   [`ServeError::DeadlineExceeded`] instead of wasting a tape pass.
 //!   [`SchedPolicy::Fifo`] preserves the pre-deadline arrival-order drain
 //!   bit-for-bit.
+//! - [`Telemetry`]: the **observability layer** — per-stage latency
+//!   histograms (queue wait, batch assembly, tape evaluation, response
+//!   write), batch/group-size histograms, pass-shape counters, live
+//!   queue-depth/inflight gauges, per-model serve/hit/miss counters, and a
+//!   bounded per-request trace ring. Served as a Prometheus-style text
+//!   exposition through the `METRICS` wire op
+//!   ([`IngressClient::metrics`]), answered inline by the connection
+//!   reader so it can never deadlock behind a full queue. Recording is
+//!   all relaxed atomics with no floats — bit-invisible to every
+//!   determinism suite, and gated overhead-neutral by the
+//!   `telemetry_overhead` bench entry.
 //!
 //! One request/response pair spans all of it: in-process callers hand
 //! [`ServeRequest`]s to [`PredictorRegistry::serve_one`] /
@@ -108,6 +119,7 @@ mod registry;
 mod request;
 mod sched;
 mod store;
+pub mod telemetry;
 pub mod wire;
 
 pub use batcher::{DynamicBatcher, ServeMetrics, ServeQuery};
@@ -115,10 +127,14 @@ pub use bundle::{BundleError, BundleMeta, ModelBundle};
 pub use config::{ServeConfig, ServeConfigBuilder};
 pub use error::ServeError;
 pub use ingress::{IngressMetrics, IngressServer};
-pub use registry::{CacheStats, PredictorRegistry, SharedRegistry};
+pub use registry::{CacheStats, ModelCounters, PredictorRegistry, SharedRegistry};
 pub use request::{ServeRequest, ServeResponse};
 pub use sched::{DeadlineQueue, Drain, PushError, QueueEntry, SchedPolicy};
 pub use store::{BundleStore, StoreUpdate, TierStats};
+pub use telemetry::{
+    DeadlineVerdict, Gauge, Histogram, HistogramSnapshot, RequestTrace, Telemetry,
+    HISTOGRAM_BUCKETS,
+};
 pub use wire::{IngressClient, ServerStats, WireFault};
 
 /// Default coalescing limit of the dynamic batcher: how many waiting

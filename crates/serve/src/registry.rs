@@ -111,6 +111,21 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Per-model serving counters, keyed by registry name. Counters are
+/// cumulative for the process: they survive hot-swaps (the name keeps
+/// serving) and removal (so the telemetry ledger still balances after a
+/// model retires mid-session).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelCounters {
+    /// Queries answered under this name (cached or evaluated).
+    pub served: u64,
+    /// [`PredictorRegistry::serve_one`] queries answered from the result
+    /// cache.
+    pub cache_hits: u64,
+    /// [`PredictorRegistry::serve_one`] queries that ran a forward pass.
+    pub cache_misses: u64,
+}
+
 /// Named models over a tiered [`BundleStore`] with an LRU result cache —
 /// the lookup layer of the serving subsystem.
 pub struct PredictorRegistry {
@@ -119,6 +134,7 @@ pub struct PredictorRegistry {
     cache_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    model_counters: Mutex<BTreeMap<String, ModelCounters>>,
 }
 
 impl PredictorRegistry {
@@ -144,6 +160,7 @@ impl PredictorRegistry {
             cache_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            model_counters: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -271,6 +288,37 @@ impl PredictorRegistry {
         self.store.stats()
     }
 
+    /// The per-model serving counters, sorted by model name. Cumulative for
+    /// the process (see [`ModelCounters`]); names that never served are
+    /// absent.
+    pub fn model_stats(&self) -> BTreeMap<String, ModelCounters> {
+        self.model_counters
+            .lock()
+            .expect("model counters lock")
+            .clone()
+    }
+
+    /// Credits `n` served queries to `name` — the hook the ingress
+    /// scheduler and the streaming entry points use so the per-model
+    /// ledger balances the global `queries_served` counter exactly.
+    pub(crate) fn record_served(&self, name: &str, n: u64) {
+        let mut counters = self.model_counters.lock().expect("model counters lock");
+        counters.entry(name.to_string()).or_default().served += n;
+    }
+
+    /// Credits one [`PredictorRegistry::serve_one`] answer to `name`,
+    /// split by whether the result cache answered it.
+    fn record_one(&self, name: &str, cache_hit: bool) {
+        let mut counters = self.model_counters.lock().expect("model counters lock");
+        let entry = counters.entry(name.to_string()).or_default();
+        entry.served += 1;
+        if cache_hit {
+            entry.cache_hits += 1;
+        } else {
+            entry.cache_misses += 1;
+        }
+    }
+
     /// Resolves `name` to its (version, bundle) pair, promoting through the
     /// store tiers as needed — the public face of the hook the TCP ingress
     /// uses to pin a model version at admission time.
@@ -329,10 +377,12 @@ impl PredictorRegistry {
         if self.cache_capacity > 0 {
             if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.record_one(&req.model, true);
                 return Ok(ServeResponse::new(hit, model_id));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_one(&req.model, false);
         let value = bundle.predict_one(&req.arch, req.device);
         self.cache
             .lock()
@@ -443,6 +493,7 @@ impl PredictorRegistry {
                 .collect();
             let (slots, m) =
                 DynamicBatcher::new(&bundle, cfg.clone()).serve_each_with_metrics(&queries)?;
+            self.record_served(name, indices.len() as u64);
             metrics.queries += m.queries;
             metrics.groups += m.groups;
             metrics.max_group = metrics.max_group.max(m.max_group);
@@ -614,6 +665,41 @@ mod tests {
         let stats = reg.cache_stats();
         assert_eq!((stats.hits, stats.entries), (0, 0));
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn per_model_counters_are_cumulative_and_balance_served_totals() {
+        let mut reg = PredictorRegistry::new(16);
+        reg.insert("a", bundle(11)).unwrap();
+        reg.insert("b", bundle(12)).unwrap();
+        let arch = Arch::nb201_from_index(64);
+        let _ = predict(&reg, "a", &arch, 0).unwrap(); // miss
+        let _ = predict(&reg, "a", &arch, 0).unwrap(); // hit
+        let _ = predict(&reg, "b", &arch, 1).unwrap(); // miss
+        let stats = reg.model_stats();
+        assert_eq!(stats["a"].served, 2);
+        assert_eq!((stats["a"].cache_hits, stats["a"].cache_misses), (1, 1));
+        assert_eq!(stats["b"].served, 1);
+        // Per-model splits balance the global cache counters exactly.
+        let global = reg.cache_stats();
+        let (hits, misses): (u64, u64) = stats
+            .values()
+            .fold((0, 0), |(h, m), c| (h + c.cache_hits, m + c.cache_misses));
+        assert_eq!((hits, misses), (global.hits, global.misses));
+        // Counters survive a hot-swap (same name keeps accumulating) and
+        // removal (the ledger must still balance afterwards).
+        reg.insert("a", bundle(13)).unwrap();
+        let _ = predict(&reg, "a", &arch, 0).unwrap();
+        assert_eq!(reg.model_stats()["a"].served, 3);
+        reg.remove("b").unwrap();
+        assert_eq!(reg.model_stats()["b"].served, 1);
+        // The streaming path credits whole groups.
+        let reqs: Vec<ServeRequest> = (0..6)
+            .map(|i| ServeRequest::new("a", Arch::nb201_from_index(i * 11), 0))
+            .collect();
+        let cfg = ServeConfig::builder().workers(1).batch(4).build();
+        reg.serve_requests(&reqs, &cfg).unwrap();
+        assert_eq!(reg.model_stats()["a"].served, 9);
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //! persistence format in the workspace:
 //!
 //! ```text
-//! frame     := u32 body_len | body               (body_len ≤ WIRE_MAX_FRAME)
-//! REQUEST   := 0x01 | u64 id | u8 space | bytes genotype | u32 device | str model
-//!              [ u8 flags | u32 deadline_ms ]    (flags bit 0 = deadline present)
-//! RESPONSE  := 0x02 | u64 id | u64 model_version | f32 score
-//! ERROR     := 0x03 | u64 id | u8 code | u32 retry_after_ms | str detail
-//! STATS_REQ := 0x04 | u64 id
-//! STATS     := 0x05 | u64 id | 14 × u64          (see ServerStats field order)
+//! frame       := u32 body_len | body             (body_len ≤ WIRE_MAX_FRAME)
+//! REQUEST     := 0x01 | u64 id | u8 space | bytes genotype | u32 device | str model
+//!                [ u8 flags | u32 deadline_ms ]  (flags bit 0 = deadline present)
+//! RESPONSE    := 0x02 | u64 id | u64 model_version | f32 score
+//! ERROR       := 0x03 | u64 id | u8 code | u32 retry_after_ms | str detail
+//! STATS_REQ   := 0x04 | u64 id
+//! STATS       := 0x05 | u64 id | 14 × u64        (see ServerStats field order)
+//! METRICS_REQ := 0x06 | u64 id
+//! METRICS     := 0x07 | u64 id | str text        (Prometheus-style exposition;
+//!                                                 body_len ≤ WIRE_MAX_METRICS_FRAME)
 //! ```
 //!
 //! The REQUEST trailer is optional for compatibility in both directions:
@@ -22,7 +25,11 @@
 //! best-effort). The deadline is a *relative* budget in milliseconds — no
 //! wall-clock crosses the wire. Similarly, STATS grew from 11 to 14 `u64`
 //! fields; decoders treat the last three (the deadline met/missed/expired
-//! counters) as optional and zero-fill when an older server omits them.
+//! counters) as optional and zero-fill when an older server omits them, and
+//! ignore any *extra* trailing bytes a newer server appends after field 14
+//! (future counters extend the body the same way the deadline counters
+//! did). STATS is the one opcode with this tolerance; every other frame
+//! still rejects trailing bytes as malformed.
 //!
 //! Request ids are chosen by the client (any nonzero value; responses echo
 //! them), which is what makes pipelining possible: a client may keep many
@@ -49,11 +56,19 @@ use crate::request::{ServeRequest, ServeResponse};
 /// tight.
 pub const WIRE_MAX_FRAME: usize = 4096;
 
+/// Largest admissible METRICS frame body, bytes. The text exposition is the
+/// one frame that outgrows [`WIRE_MAX_FRAME`] (a page of histogram families
+/// is tens of kilobytes); clients read the metrics reply under this larger
+/// bound. Server-inbound frames keep the tight [`WIRE_MAX_FRAME`] limit.
+pub const WIRE_MAX_METRICS_FRAME: usize = 1 << 20;
+
 const OP_REQUEST: u8 = 0x01;
 const OP_RESPONSE: u8 = 0x02;
 const OP_ERROR: u8 = 0x03;
 const OP_STATS_REQUEST: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
+const OP_METRICS_REQUEST: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
 
 const CODE_UNKNOWN_MODEL: u8 = 1;
 const CODE_BAD_QUERY: u8 = 2;
@@ -316,6 +331,16 @@ pub struct StatsFrame {
     pub stats: ServerStats,
 }
 
+/// A metrics-exposition frame (server → client answer to a metrics
+/// request): the full Prometheus-style text page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsFrame {
+    /// Echo of the metrics-request id.
+    pub id: u64,
+    /// The text exposition (`# TYPE` headers plus sample lines).
+    pub text: String,
+}
+
 /// One decoded wire message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -329,6 +354,10 @@ pub enum Frame {
     StatsRequest(u64),
     /// Server → client stats snapshot.
     Stats(StatsFrame),
+    /// Client → server metrics probe (body: opcode + id only).
+    MetricsRequest(u64),
+    /// Server → client metrics text exposition.
+    Metrics(MetricsFrame),
 }
 
 impl Frame {
@@ -390,6 +419,15 @@ impl Frame {
                     body.put_u64(v);
                 }
             }
+            Frame::MetricsRequest(id) => {
+                body.put_u8(OP_METRICS_REQUEST);
+                body.put_u64(*id);
+            }
+            Frame::Metrics(m) => {
+                body.put_u8(OP_METRICS);
+                body.put_u64(m.id);
+                body.put_str(&m.text);
+            }
         }
         let body = body.into_vec();
         let mut out = ByteWriter::with_capacity(4 + body.len());
@@ -448,6 +486,11 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
             detail: r.get_str().map_err(malformed)?.to_string(),
         }),
         OP_STATS_REQUEST => Frame::StatsRequest(r.get_u64().map_err(malformed)?),
+        OP_METRICS_REQUEST => Frame::MetricsRequest(r.get_u64().map_err(malformed)?),
+        OP_METRICS => Frame::Metrics(MetricsFrame {
+            id: r.get_u64().map_err(malformed)?,
+            text: r.get_str().map_err(malformed)?.to_string(),
+        }),
         OP_STATS => {
             let id = r.get_u64().map_err(malformed)?;
             let mut fields = [0u64; 14];
@@ -461,6 +504,14 @@ fn decode_frame(body: &[u8]) -> Result<Frame, WireFault> {
                     break;
                 }
                 *f = r.get_u64().map_err(malformed)?;
+            }
+            // Forward compatibility: a newer server may append counters
+            // past field 14. Drain and ignore them — STATS alone gets this
+            // tolerance; the global trailing-byte check below still rejects
+            // junk on every other opcode.
+            let extension = r.remaining();
+            if extension > 0 {
+                let _ = r.get_raw(extension).map_err(malformed)?;
             }
             Frame::Stats(StatsFrame {
                 id,
@@ -667,6 +718,37 @@ impl IngressClient {
         }
     }
 
+    /// Fetches the server's Prometheus-style text metrics exposition:
+    /// per-stage latency histograms (queue wait, batch assembly, tape
+    /// evaluation, response write), batch/group-size histograms, live
+    /// queue-depth and inflight gauges, the ingress ledger, and per-model
+    /// serve/hit/miss counters. Answered inline by the connection reader
+    /// (like [`IngressClient::stats`]), so it never queues behind
+    /// admission. One round trip; must not be interleaved with outstanding
+    /// [`IngressClient::predict_many`] calls.
+    ///
+    /// # Errors
+    /// Whatever the server answered with (e.g. [`ServeError::Shutdown`]) or
+    /// a local [`ServeError::Wire`] fault.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        const METRICS_ID: u64 = 1;
+        write_frame(&mut self.stream, &Frame::MetricsRequest(METRICS_ID))
+            .map_err(|e| ServeError::Wire(WireFault::Io(e)))?;
+        // The exposition is the one frame allowed past WIRE_MAX_FRAME.
+        match read_frame(&mut self.stream, WIRE_MAX_METRICS_FRAME) {
+            Ok(Frame::Metrics(m)) if m.id == METRICS_ID => Ok(m.text),
+            Ok(Frame::Metrics(m)) => Err(ServeError::Wire(WireFault::Malformed(format!(
+                "metrics response for unknown id {}",
+                m.id
+            )))),
+            Ok(Frame::Error(e)) => Err(e.to_error()),
+            Ok(_) => Err(ServeError::Wire(WireFault::Malformed(
+                "unexpected frame while awaiting metrics".into(),
+            ))),
+            Err(fault) => Err(ServeError::Wire(fault)),
+        }
+    }
+
     /// One query, one round trip.
     ///
     /// # Errors
@@ -742,7 +824,7 @@ impl IngressClient {
                         ))));
                     }
                 },
-                Ok(Frame::Request(_) | Frame::StatsRequest(_)) => {
+                Ok(Frame::Request(_) | Frame::StatsRequest(_) | Frame::MetricsRequest(_)) => {
                     abort = Some(Abort::Fault(WireFault::Malformed(
                         "server sent a request frame".into(),
                     )));
@@ -751,6 +833,12 @@ impl IngressClient {
                     abort = Some(Abort::Fault(WireFault::Malformed(format!(
                         "unsolicited stats frame (id {})",
                         s.id
+                    ))));
+                }
+                Ok(Frame::Metrics(m)) => {
+                    abort = Some(Abort::Fault(WireFault::Malformed(format!(
+                        "unsolicited metrics frame (id {})",
+                        m.id
                     ))));
                 }
                 Err(fault) => abort = Some(Abort::Fault(fault)),
@@ -816,6 +904,11 @@ mod tests {
                     deadline_missed: 13,
                     deadline_expired: 14,
                 },
+            }),
+            Frame::MetricsRequest(23),
+            Frame::Metrics(MetricsFrame {
+                id: 23,
+                text: "# TYPE nasflat_queue_depth gauge\nnasflat_queue_depth 0\n".into(),
             }),
         ];
         let mut pipe = Vec::new();

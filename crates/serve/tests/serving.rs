@@ -77,7 +77,7 @@ fn reloaded_bundle_serves_256_mixed_device_queries_bitwise_at_1_2_8_workers() {
                 "drained results diverged at {workers} workers, batch {batch}"
             );
             assert_eq!(metrics.queries, 256);
-            assert!(metrics.max_group <= batch.max(1));
+            assert!(metrics.max_group <= batch.max(1) as u64);
             if batch <= 1 {
                 // Per-query serving: no multi-query passes at all.
                 assert_eq!(metrics.sessions.batched_passes(), 0);

@@ -1,0 +1,277 @@
+//! Acceptance suite for the telemetry subsystem: the `METRICS` wire op
+//! over live TCP returns a text exposition whose totals **exactly
+//! balance** the ingress ledger; disabling telemetry is bitwise invisible
+//! to served scores while the endpoint stays up; and the request-trace
+//! ring is bounded with monotone per-request timestamps.
+
+use nasflat_core::{LatencyPredictor, PredictorConfig};
+use nasflat_serve::{
+    DeadlineVerdict, IngressClient, IngressServer, ModelBundle, PredictorRegistry, ServeConfig,
+    ServeRequest, SharedRegistry,
+};
+use nasflat_space::{Arch, Space};
+
+fn tiny_cfg(seed: u64) -> PredictorConfig {
+    let mut c = PredictorConfig::quick().with_seed(seed);
+    c.op_dim = 8;
+    c.hw_dim = 8;
+    c.node_dim = 8;
+    c.ophw_gnn_dims = vec![12];
+    c.ophw_mlp_dims = vec![12];
+    c.gnn_dims = vec![12];
+    c.head_dims = vec![16];
+    c
+}
+
+fn bundle(seed: u64, num_devices: usize) -> ModelBundle {
+    let devices = (0..num_devices).map(|i| format!("dev_{i}")).collect();
+    ModelBundle::single(LatencyPredictor::new(
+        Space::Nb201,
+        devices,
+        0,
+        tiny_cfg(seed),
+    ))
+    .unwrap()
+}
+
+fn shared_registry() -> SharedRegistry {
+    let mut reg = PredictorRegistry::new(0);
+    reg.insert("alpha", bundle(7, 3)).unwrap();
+    reg.insert("beta", bundle(8, 3)).unwrap();
+    reg.into_shared()
+}
+
+fn mixed_requests(n: usize, salt: u64) -> Vec<ServeRequest> {
+    (0..n)
+        .map(|i| {
+            let model = if i % 3 == 0 { "beta" } else { "alpha" };
+            let req = ServeRequest::new(
+                model,
+                Arch::nb201_from_index((i as u64 * 547 + salt) % 15_625),
+                i % 3,
+            );
+            if i % 4 == 0 {
+                // A generous budget: these must all be answered in time,
+                // pinning the exposition's deadline_met counter.
+                req.with_deadline_ms(60_000)
+            } else {
+                req
+            }
+        })
+        .collect()
+}
+
+/// Reads one unlabelled sample (`name value`) from the exposition.
+fn sample(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|line| {
+            let (n, v) = line.rsplit_once(' ')?;
+            if n == name {
+                v.parse().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("exposition is missing sample {name}:\n{text}"))
+}
+
+/// Sums every labelled sample of one family (`name{{...}} value`).
+fn labelled_sum(text: &str, family: &str) -> u64 {
+    let prefix = format!("{family}{{");
+    text.lines()
+        .filter(|line| line.starts_with(&prefix))
+        .filter_map(|line| {
+            line.rsplit_once(' ')
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_endpoint_balances_the_ingress_ledger_over_live_tcp() {
+    let registry = shared_registry();
+    let cfg = ServeConfig::builder().workers(2).batch(8).build();
+    let server = IngressServer::bind(registry, &cfg).expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+
+    const N: usize = 96;
+    let reqs = mixed_requests(N, 17);
+    let with_deadline = reqs.iter().filter(|r| r.deadline_ms.is_some()).count() as u64;
+    let mut ok = 0u64;
+    for result in client.predict_many(&reqs, 8) {
+        result.expect("valid query");
+        ok += 1;
+    }
+    assert_eq!(ok, N as u64);
+
+    let text = client.metrics().expect("METRICS over live TCP");
+    // Every required family is present in Prometheus text format.
+    for family in [
+        "# TYPE nasflat_queue_wait_us histogram",
+        "# TYPE nasflat_batch_assembly_us histogram",
+        "# TYPE nasflat_tape_eval_us histogram",
+        "# TYPE nasflat_response_write_us histogram",
+        "# TYPE nasflat_batch_size histogram",
+        "# TYPE nasflat_group_size histogram",
+        "# TYPE nasflat_queue_depth gauge",
+        "# TYPE nasflat_inflight gauge",
+        "# TYPE nasflat_model_served_total counter",
+        "nasflat_queue_wait_us_bucket{le=\"+Inf\"}",
+        "nasflat_tape_eval_us_bucket{le=\"+Inf\"}",
+        "nasflat_response_write_us_bucket{le=\"+Inf\"}",
+        "nasflat_batch_size_bucket{le=\"+Inf\"}",
+    ] {
+        assert!(text.contains(family), "missing {family:?} in:\n{text}");
+    }
+
+    let ledger = server.metrics();
+    assert_eq!(ledger.queries_served, N as u64);
+    assert_eq!(ledger.deadline_met, with_deadline);
+    assert_eq!(ledger.deadline_missed, 0);
+    assert_eq!(ledger.deadline_expired, 0);
+
+    // The exposition's totals balance the ledger exactly: every popped
+    // entry is one queue-wait observation, every tape pass one eval and
+    // one group-size observation, every answered query one group member.
+    assert_eq!(
+        sample(&text, "nasflat_queue_wait_us_count"),
+        ledger.queries_served + ledger.deadline_expired
+    );
+    assert_eq!(sample(&text, "nasflat_tape_eval_us_count"), ledger.groups);
+    assert_eq!(
+        sample(&text, "nasflat_batch_assembly_us_count"),
+        ledger.groups
+    );
+    assert_eq!(sample(&text, "nasflat_group_size_count"), ledger.groups);
+    assert_eq!(
+        sample(&text, "nasflat_group_size_sum"),
+        ledger.queries_served
+    );
+    assert_eq!(
+        sample(&text, "nasflat_batch_size_sum"),
+        ledger.queries_served,
+        "each live entry belongs to exactly one drain"
+    );
+    assert_eq!(
+        labelled_sum(&text, "nasflat_model_served_total"),
+        ledger.queries_served,
+        "per-model serve counters must sum to the global ledger"
+    );
+    assert_eq!(
+        sample(&text, "nasflat_queries_served_total"),
+        ledger.queries_served
+    );
+    assert_eq!(sample(&text, "nasflat_groups_total"), ledger.groups);
+    assert_eq!(sample(&text, "nasflat_deadline_met_total"), with_deadline);
+    assert_eq!(sample(&text, "nasflat_deadline_missed_total"), 0);
+    assert_eq!(sample(&text, "nasflat_deadline_expired_total"), 0);
+    // Quiescent after the drain: nothing queued, nothing inflight.
+    assert_eq!(sample(&text, "nasflat_queue_depth"), 0);
+    assert_eq!(sample(&text, "nasflat_inflight"), 0);
+    assert_eq!(sample(&text, "nasflat_connections_live"), 1);
+    // All N answers preceded the scrape on this connection, and the
+    // writer observes each write *after* its bytes are handed off — so
+    // at most the final write's observation can still be pending when
+    // the reader renders the exposition.
+    assert!(sample(&text, "nasflat_response_write_us_count") >= N as u64 - 1);
+
+    // The in-process render exposes the same families as the wire op.
+    let local = server.metrics_text();
+    assert_eq!(
+        sample(&local, "nasflat_queries_served_total"),
+        ledger.queries_served
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disabled_telemetry_is_bitwise_invisible_and_keeps_the_endpoint_up() {
+    let registry = shared_registry();
+    let reqs = mixed_requests(64, 5);
+    let expected: Vec<u32> = {
+        let reg = registry.read().unwrap();
+        reqs.iter()
+            .map(|r| {
+                reg.get(&r.model)
+                    .unwrap()
+                    .predict_one(&r.arch, r.device)
+                    .to_bits()
+            })
+            .collect()
+    };
+
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .batch(8)
+        .telemetry(false)
+        .build();
+    let server = IngressServer::bind(registry, &cfg).expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+    let got: Vec<u32> = client
+        .predict_many(&reqs, 8)
+        .into_iter()
+        .map(|r| r.expect("valid query").score.to_bits())
+        .collect();
+    assert_eq!(got, expected, "telemetry=off must not change served bytes");
+
+    // The endpoint stays up: histograms render zeroed, but the ledger
+    // counters (plain ingress atomics) are still live.
+    let text = client.metrics().expect("METRICS with telemetry disabled");
+    for histogram in [
+        "nasflat_queue_wait_us",
+        "nasflat_batch_assembly_us",
+        "nasflat_tape_eval_us",
+        "nasflat_response_write_us",
+        "nasflat_batch_size",
+        "nasflat_group_size",
+    ] {
+        assert_eq!(
+            sample(&text, &format!("{histogram}_count")),
+            0,
+            "{histogram} must not record when disabled"
+        );
+    }
+    assert_eq!(sample(&text, "nasflat_queries_served_total"), 64);
+    assert_eq!(labelled_sum(&text, "nasflat_model_served_total"), 64);
+    assert!(server.traces().is_empty(), "no traces when disabled");
+    server.shutdown();
+}
+
+#[test]
+fn trace_ring_is_bounded_fifo_with_monotone_timestamps() {
+    let registry = shared_registry();
+    let cfg = ServeConfig::builder()
+        .workers(1)
+        .batch(4)
+        .trace_capacity(8)
+        .build();
+    let server = IngressServer::bind(registry, &cfg).expect("bind");
+    let mut client = IngressClient::connect(server.local_addr()).expect("connect");
+
+    let reqs = mixed_requests(32, 23);
+    for result in client.predict_many(&reqs, 4) {
+        result.expect("valid query");
+    }
+
+    let traces = server.traces();
+    assert_eq!(traces.len(), 8, "ring keeps only the newest trace_capacity");
+    for trace in &traces {
+        assert!(
+            trace.model == "alpha" || trace.model == "beta",
+            "unknown model {}",
+            trace.model
+        );
+        assert!(trace.admitted_us <= trace.dequeued_us);
+        assert!(trace.dequeued_us <= trace.evaluated_us);
+        assert!(trace.evaluated_us <= trace.replied_us);
+        assert!(matches!(
+            trace.verdict,
+            DeadlineVerdict::BestEffort | DeadlineVerdict::Met
+        ));
+    }
+    // Oldest-first dump: commit order is reply-write order, monotone.
+    for pair in traces.windows(2) {
+        assert!(pair[0].replied_us <= pair[1].replied_us);
+    }
+    server.shutdown();
+}

@@ -13,14 +13,84 @@
 //! attaches that relative budget to every request; overdue answers come
 //! back as `DeadlineExceeded` and are tallied separately.
 //!
+//! Observability probes (no query traffic is sent):
+//! `serve_client -- --stats [addr]` pretty-prints the server's STATS
+//! snapshot; `serve_client -- --metrics [addr]` dumps the Prometheus-style
+//! text exposition from the `METRICS` wire op — pipe it straight into a
+//! scrape file.
+//!
 //! [`IngressServer`]: nasflat::serve::IngressServer
 
 use nasflat::serve::{IngressClient, ServeError, ServeRequest};
 use nasflat::space::Arch;
 
+fn connect_or_die(addr: &str) -> IngressClient {
+    match IngressClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach {addr}: {e} (is serve_server running?)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--stats`: one STATS round trip, pretty-printed.
+fn probe_stats(addr: &str) {
+    let mut client = connect_or_die(addr);
+    let s = match client.stats() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("STATS probe failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("server stats @ {addr}");
+    println!(
+        "  result cache     {} hits / {} misses ({} entries)",
+        s.cache_hits, s.cache_misses, s.cache_entries
+    );
+    println!(
+        "  store tiers      {} hot (cap {}), {} warm, {} durable — {} models",
+        s.hot, s.hot_capacity, s.warm, s.durable, s.models
+    );
+    println!(
+        "  tier churn       {} evictions, {} cold loads, {} quarantined",
+        s.evictions, s.cold_loads, s.quarantined
+    );
+    println!(
+        "  deadlines        {} met, {} missed, {} expired",
+        s.deadline_met, s.deadline_missed, s.deadline_expired
+    );
+}
+
+/// `--metrics`: one METRICS round trip; the exposition is already the
+/// Prometheus text format, so it is printed verbatim.
+fn probe_metrics(addr: &str) {
+    let mut client = connect_or_die(addr);
+    match client.metrics() {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("METRICS probe failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    let probe = match args.peek().map(String::as_str) {
+        Some("--stats") => Some(probe_stats as fn(&str)),
+        Some("--metrics") => Some(probe_metrics as fn(&str)),
+        _ => None,
+    };
+    if probe.is_some() {
+        args.next();
+    }
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    if let Some(probe) = probe {
+        probe(&addr);
+        return;
+    }
     let model = args.next().unwrap_or_else(|| "nd".to_string());
     let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(256);
     let device: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
@@ -40,13 +110,7 @@ fn main() {
         })
         .collect();
 
-    let mut client = match IngressClient::connect(&*addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot reach {addr}: {e} (is serve_server running?)");
-            std::process::exit(1);
-        }
-    };
+    let mut client = connect_or_die(&addr);
     let t0 = std::time::Instant::now();
     let results = client.predict_many(&requests, 8);
     let elapsed = t0.elapsed().as_secs_f64();

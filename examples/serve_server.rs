@@ -16,7 +16,9 @@
 //!   in-process (every third carrying a generous deadline budget so the
 //!   wire trailer and the deadline ledger are exercised end to end),
 //!   verify every answer **bitwise** against a sequential `predict_one`
-//!   loop, and shut down gracefully. Exits non-zero on any divergence or
+//!   loop, scrape the `METRICS` endpoint (failing if a required family is
+//!   missing or the exposition's deadline ledger disagrees with the client
+//!   tally), and shut down gracefully. Exits non-zero on any divergence or
 //!   deadline miss — CI runs this as the ingress smoke test, with
 //!   `NASFLAT_SCHED_POLICY=edf` selecting the deadline-aware drain.
 
@@ -155,6 +157,64 @@ fn smoke(n: usize) {
         .zip(&reference)
         .filter(|(s, r)| s != r)
         .count();
+
+    // Scrape the METRICS endpoint while the server is still up: the text
+    // exposition must carry every required family and its deadline ledger
+    // must agree with what the clients were promised (every third query
+    // carried a 10 s budget, so all of them count as met).
+    let text = IngressClient::connect(addr)
+        .expect("connect for scrape")
+        .metrics()
+        .expect("METRICS scrape");
+    let mut missing = 0usize;
+    for family in [
+        "nasflat_queue_wait_us_bucket",
+        "nasflat_tape_eval_us_bucket",
+        "nasflat_response_write_us_bucket",
+        "nasflat_batch_size_bucket",
+        "nasflat_queue_depth",
+        "nasflat_model_served_total",
+    ] {
+        if !text.contains(family) {
+            eprintln!("FAIL: exposition is missing required family {family}");
+            missing += 1;
+        }
+    }
+    if missing > 0 {
+        std::process::exit(1);
+    }
+    let scraped = |name: &str| -> u64 {
+        text.lines()
+            .find_map(|line| {
+                let (key, value) = line.rsplit_once(' ')?;
+                if key == name {
+                    value.parse().ok()
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| {
+                eprintln!("FAIL: exposition has no sample {name}");
+                std::process::exit(1);
+            })
+    };
+    let tally = (n.div_ceil(3) as u64, 0u64, 0u64); // met, missed, expired
+    let ledger = (
+        scraped("nasflat_deadline_met_total"),
+        scraped("nasflat_deadline_missed_total"),
+        scraped("nasflat_deadline_expired_total"),
+    );
+    if ledger != tally {
+        eprintln!(
+            "FAIL: scraped deadline ledger {ledger:?} disagrees with the client tally {tally:?}"
+        );
+        std::process::exit(1);
+    }
+    if scraped("nasflat_queries_served_total") != n as u64 {
+        eprintln!("FAIL: scraped served total disagrees with {n} client answers");
+        std::process::exit(1);
+    }
+
     let metrics = server.shutdown();
     println!(
         "{:.0} queries/s — {} served, {} coalesced groups (max {}), \
